@@ -1,0 +1,130 @@
+//! Ablations of the design choices DESIGN.md calls out, each a nano-scale
+//! Terasort run. The printed metrics are the ablation's result; Criterion
+//! times the simulations.
+//!
+//! 1. **Per-packet vs per-byte RED thresholds** — the paper stresses switches
+//!    count packets, which is what makes 150 B ACKs as costly as 1.5 kB data.
+//! 2. **Instantaneous vs EWMA queue estimate** for the marking decision.
+//! 3. **Delayed ACKs (1 vs 2)** — halves the ACK volume in the queues.
+//! 4. **Protection scope: ECE-bit vs ACK+SYN** — the two proposals.
+//! 5. **SACK on/off** — the paper's NS-2 FullTcp substrate predates SACK;
+//!    modern stacks have it. It changes loss-recovery dynamics and therefore
+//!    where overflow losses land.
+
+use bench::nano_config;
+use criterion::{criterion_group, criterion_main, Criterion};
+use ecn_core::{ProtectionMode, QdiscSpec, RedConfig};
+use experiments::scenario::{BufferDepth, QueueKind, Transport};
+use mrsim::{JobSpec, TerasortJob};
+use netpacket::PacketKind;
+use netsim::{ClusterSpec, Network, Simulation};
+use simevent::SimDuration;
+use tcpstack::TcpConfig;
+
+/// Run a nano Terasort over an explicit qdisc spec and TCP config; return
+/// (runtime_s, ack_early_drops).
+fn run_custom(qdisc: QdiscSpec, tcp: TcpConfig) -> (f64, u64) {
+    let cfg = nano_config();
+    let spec = ClusterSpec {
+        racks: cfg.racks,
+        hosts_per_rack: cfg.hosts_per_rack,
+        host_link: cfg.host_link,
+        uplink: cfg.uplink,
+        switch_qdisc: qdisc,
+        host_buffer_packets: 4 * cfg.deep_packets,
+        seed: cfg.seed,
+    };
+    let n = spec.total_hosts();
+    let job = JobSpec {
+        input_bytes_per_node: cfg.input_bytes_per_node,
+        map_waves: cfg.map_waves,
+        map_rate_bps: 100_000_000,
+        reduce_rate_bps: 200_000_000,
+        tcp,
+        parallel_copies: 5,
+        shuffle_jitter: cfg.shuffle_jitter,
+        seed: cfg.seed ^ 0x5EED,
+    };
+    let net = Network::new(spec);
+    let app = TerasortJob::new(job, n);
+    let mut sim = Simulation::new(net, app);
+    sim.time_limit = cfg.time_limit;
+    let report = sim.run();
+    assert!(report.app_done);
+    let runtime = sim.app.result().runtime.as_secs_f64();
+    let acks = sim.net.port_stats().total.dropped_early.get(PacketKind::PureAck);
+    (runtime, acks)
+}
+
+fn red_spec(mutator: impl Fn(&mut RedConfig)) -> QdiscSpec {
+    let mut rc = RedConfig::from_target_delay(
+        SimDuration::from_micros(200),
+        1_000_000_000,
+        1526,
+        100,
+        ProtectionMode::Default,
+    );
+    mutator(&mut rc);
+    QdiscSpec::Red(rc)
+}
+
+fn ecn_tcp() -> TcpConfig {
+    TcpConfig { recv_wnd: 128 << 10, sack: false, ..TcpConfig::with_ecn(tcpstack::EcnMode::Ecn) }
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+
+    // 1. Per-packet vs per-byte thresholds.
+    for (name, byte_mode) in [("thresholds_per_packet", false), ("thresholds_per_byte", true)] {
+        let spec = red_spec(|rc| rc.byte_mode = byte_mode);
+        let (rt, acks) = run_custom(spec.clone(), ecn_tcp());
+        println!("[ablation] {name}: runtime {rt:.4}s, ACK early-drops {acks}");
+        g.bench_function(name, |b| b.iter(|| run_custom(spec.clone(), ecn_tcp())));
+    }
+
+    // 2. Instantaneous vs EWMA queue estimate.
+    for (name, w) in [("queue_estimate_ewma", 0.25), ("queue_estimate_instantaneous", 1.0)] {
+        let spec = red_spec(|rc| rc.ewma_weight = w);
+        let (rt, acks) = run_custom(spec.clone(), ecn_tcp());
+        println!("[ablation] {name}: runtime {rt:.4}s, ACK early-drops {acks}");
+        g.bench_function(name, |b| b.iter(|| run_custom(spec.clone(), ecn_tcp())));
+    }
+
+    // 3. Delayed-ACK factor.
+    for (name, m) in [("delack_every_segment", 1u32), ("delack_every_2nd", 2u32)] {
+        let spec = red_spec(|_| {});
+        let tcp = TcpConfig { delayed_ack: m, ..ecn_tcp() };
+        let (rt, acks) = run_custom(spec.clone(), tcp.clone());
+        println!("[ablation] {name}: runtime {rt:.4}s, ACK early-drops {acks}");
+        g.bench_function(name, |b| b.iter(|| run_custom(spec.clone(), tcp.clone())));
+    }
+
+    // 5. SACK vs NewReno-only recovery (stock Default-mode RED).
+    for (name, sack) in [("recovery_newreno_no_sack", false), ("recovery_sack", true)] {
+        let spec = red_spec(|_| {});
+        let tcp = TcpConfig { sack, ..ecn_tcp() };
+        let (rt, acks) = run_custom(spec.clone(), tcp.clone());
+        println!("[ablation] {name}: runtime {rt:.4}s, ACK early-drops {acks}");
+        g.bench_function(name, |b| b.iter(|| run_custom(spec.clone(), tcp.clone())));
+    }
+
+    // 4. Protection scope.
+    for mode in ProtectionMode::ALL {
+        let name = format!("protection_{}", mode.label());
+        let spec = red_spec(|rc| rc.protection = mode);
+        let (rt, acks) = run_custom(spec.clone(), ecn_tcp());
+        println!("[ablation] {name}: runtime {rt:.4}s, ACK early-drops {acks}");
+        g.bench_function(&name, |b| b.iter(|| run_custom(spec.clone(), ecn_tcp())));
+    }
+
+    g.finish();
+
+    // Keep the unused-import lints honest: these types are part of the
+    // ablation surface even when a particular build elides a case.
+    let _ = (Transport::Tcp, QueueKind::DropTail, BufferDepth::Shallow);
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Microbenchmarks of the paper's queue disciplines: per-packet
+//! enqueue/dequeue cost of DropTail, RED (each protection mode) and the
+//! simple marking scheme. The paper's argument that a "true simple marking
+//! scheme ... simplifies the configuration" has a systems-cost face too:
+//! the marking scheme does strictly less work per packet than RED.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use ecn_core::{DropTail, ProtectionMode, Red, RedConfig, SimpleMarking, SimpleMarkingConfig};
+use netpacket::{EcnCodepoint, FlowId, NodeId, Packet, PacketId, QueueDiscipline, TcpFlags};
+use simevent::{SimDuration, SimTime};
+
+fn pkt(i: u64) -> Packet {
+    // 4/5 ECT data, 1/5 non-ECT ACK, like a shuffle hot spot.
+    let ack = i.is_multiple_of(5);
+    Packet {
+        id: PacketId(i),
+        flow: FlowId(i % 16),
+        src: NodeId(0),
+        dst: NodeId(1),
+        seq: i * 1460,
+        ack: 1,
+        payload: if ack { 0 } else { 1460 },
+        flags: TcpFlags::ACK,
+        ecn: if ack { EcnCodepoint::NotEct } else { EcnCodepoint::Ect0 },
+        sack: netpacket::SackBlocks::EMPTY,
+        sent_at: SimTime::ZERO,
+    }
+}
+
+fn drive(q: &mut dyn QueueDiscipline, n: u64) {
+    for i in 0..n {
+        let _ = q.enqueue(pkt(i), SimTime::from_nanos(i * 100));
+        if i % 2 == 0 {
+            let _ = q.dequeue(SimTime::from_nanos(i * 100 + 50));
+        }
+    }
+    while q.dequeue(SimTime::ZERO).is_some() {}
+}
+
+fn bench_aqms(c: &mut Criterion) {
+    const N: u64 = 10_000;
+    let mut g = c.benchmark_group("aqm_micro");
+    g.throughput(Throughput::Elements(N));
+
+    g.bench_function("droptail", |b| {
+        b.iter(|| {
+            let mut q = DropTail::new(100);
+            drive(black_box(&mut q), N);
+        })
+    });
+    for mode in ProtectionMode::ALL {
+        g.bench_function(format!("red_{}", mode.label()), |b| {
+            b.iter(|| {
+                let mut q = Red::new(
+                    RedConfig::from_target_delay(
+                        SimDuration::from_micros(500),
+                        1_000_000_000,
+                        1526,
+                        100,
+                        mode,
+                    ),
+                    7,
+                );
+                drive(black_box(&mut q), N);
+            })
+        });
+    }
+    g.bench_function("simple_marking", |b| {
+        b.iter(|| {
+            let mut q = SimpleMarking::new(SimpleMarkingConfig {
+                capacity_packets: 100,
+                threshold_packets: 41,
+            });
+            drive(black_box(&mut q), N);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_aqms);
+criterion_main!(benches);

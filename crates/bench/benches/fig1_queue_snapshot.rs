@@ -1,0 +1,33 @@
+//! Figure 1: the congested-queue snapshot scenario (stock RED + ECN under a
+//! Terasort shuffle). The bench times the full nano-scale simulation and
+//! prints the Fig. 1 composition it measures.
+
+use bench::nano_config;
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::figures::fig1;
+use simevent::SimDuration;
+
+fn bench_fig1(c: &mut Criterion) {
+    let cfg = nano_config();
+    // Regenerate the figure data once, visibly.
+    let rep = fig1(&cfg, SimDuration::from_micros(200));
+    println!(
+        "[fig1 @nano] mean occupancy {:.1} pkts, data fraction {:.0}%, \
+         ACK early-drops {}, data early-drops {} ({}% of early drops hit ACKs)",
+        rep.mean_occupancy,
+        rep.data_fraction * 100.0,
+        rep.acks_early_dropped,
+        rep.data_early_dropped,
+        (rep.ack_share_of_early_drops * 100.0).round()
+    );
+
+    let mut g = c.benchmark_group("fig1_queue_snapshot");
+    g.sample_size(10);
+    g.bench_function("red_default_shallow_traced", |b| {
+        b.iter(|| fig1(&cfg, SimDuration::from_micros(200)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

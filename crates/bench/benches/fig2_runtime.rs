@@ -1,0 +1,26 @@
+//! Figure 2 (Hadoop runtime): one nano-scale point per series per buffer
+//! depth at the paper's moderate 500 µs target delay. Each bench iteration
+//! is a complete Terasort simulation; the printed metric regenerates the
+//! figure's value for that series.
+
+use bench::{figure_series, nano_point};
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::scenario::BufferDepth;
+
+fn bench_fig2(c: &mut Criterion) {
+    for depth in BufferDepth::ALL {
+        let mut g = c.benchmark_group(format!("fig2_runtime_{}", depth.label()));
+        g.sample_size(10);
+        for (name, transport, queue) in figure_series() {
+            let m = nano_point(transport, queue, depth, 500);
+            println!("[fig2 {} @nano] {name}: runtime {:.4}s", depth.label(), m.runtime_s);
+            g.bench_function(name, |b| {
+                b.iter(|| nano_point(transport, queue, depth, 500).runtime_s)
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

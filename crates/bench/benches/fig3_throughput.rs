@@ -1,0 +1,29 @@
+//! Figure 3 (cluster throughput per node): one nano-scale point per series
+//! per depth at an aggressive 100 µs target delay, where the paper reports
+//! the ACK+SYN throughput boost. Prints the regenerated metric.
+
+use bench::{figure_series, nano_point};
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::scenario::BufferDepth;
+
+fn bench_fig3(c: &mut Criterion) {
+    for depth in BufferDepth::ALL {
+        let mut g = c.benchmark_group(format!("fig3_throughput_{}", depth.label()));
+        g.sample_size(10);
+        for (name, transport, queue) in figure_series() {
+            let m = nano_point(transport, queue, depth, 100);
+            println!(
+                "[fig3 {} @nano] {name}: {:.1} Mbit/s per node",
+                depth.label(),
+                m.throughput_per_node_bps / 1e6
+            );
+            g.bench_function(name, |b| {
+                b.iter(|| nano_point(transport, queue, depth, 100).throughput_per_node_bps)
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Figure 4 (mean per-packet network latency): one nano-scale point per
+//! series per depth at the paper's 500 µs target delay. Prints the
+//! regenerated metric.
+
+use bench::{figure_series, nano_point};
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::scenario::BufferDepth;
+
+fn bench_fig4(c: &mut Criterion) {
+    for depth in BufferDepth::ALL {
+        let mut g = c.benchmark_group(format!("fig4_latency_{}", depth.label()));
+        g.sample_size(10);
+        for (name, transport, queue) in figure_series() {
+            let m = nano_point(transport, queue, depth, 500);
+            println!(
+                "[fig4 {} @nano] {name}: mean latency {:.1} us",
+                depth.label(),
+                m.mean_latency_s * 1e6
+            );
+            g.bench_function(name, |b| {
+                b.iter(|| nano_point(transport, queue, depth, 500).mean_latency_s)
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Tables I & II: the codepoint model itself. These are microbenchmarks of
+//! the hot header operations every simulated packet goes through, and the
+//! bench run prints the rendered tables (the paper artefact).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use netpacket::{EcnCodepoint, TcpFlags};
+
+fn bench_tables(c: &mut Criterion) {
+    // Regenerate the paper's tables once per bench run.
+    println!("{}", experiments::figures::table1());
+    println!("{}", experiments::figures::table2());
+
+    let mut g = c.benchmark_group("tables_codepoints");
+    g.bench_function("table2_ecn_roundtrip", |b| {
+        b.iter(|| {
+            for bits in 0u8..4 {
+                if let Some(cp) = EcnCodepoint::from_bits(black_box(bits)) {
+                    black_box(cp.is_ect());
+                    black_box(cp.bits());
+                }
+            }
+        })
+    });
+    g.bench_function("table2_ce_marking", |b| {
+        b.iter(|| black_box(EcnCodepoint::Ect0).marked())
+    });
+    g.bench_function("table1_flag_ops", |b| {
+        b.iter(|| {
+            let mut f = TcpFlags::ecn_setup_syn();
+            f.insert(black_box(TcpFlags::ACK));
+            black_box(f.contains(TcpFlags::ECE));
+            f.remove(TcpFlags::CWR);
+            black_box(f)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Shared setup for the figure benches: a nano-scale scenario small enough
+//! for Criterion iteration, with the same structure as the paper's
+//! experiments. The `cargo bench` output doubles as a regeneration of each
+//! figure's data at nano scale — the bench prints the measured metric of the
+//! configuration it times.
+
+use experiments::scenario::{
+    run_scenario_once, BufferDepth, QueueKind, RunMetrics, ScenarioConfig, Transport,
+};
+use simevent::SimDuration;
+
+/// A scenario small enough to iterate under Criterion on one core, while
+/// still exercising map waves, an all-to-all shuffle and both buffer depths.
+pub fn nano_config() -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::tiny();
+    cfg.input_bytes_per_node = 1_000_000;
+    cfg.seed_count = 1;
+    cfg
+}
+
+/// Run one nano point (single seed) and return its metrics.
+pub fn nano_point(
+    transport: Transport,
+    queue: QueueKind,
+    depth: BufferDepth,
+    delay_us: u64,
+) -> RunMetrics {
+    run_scenario_once(
+        &nano_config(),
+        transport,
+        queue,
+        depth,
+        SimDuration::from_micros(delay_us),
+    )
+}
+
+/// The series every figure bench sweeps: the paper's three protection modes
+/// plus the simple marking scheme.
+pub fn figure_series() -> Vec<(&'static str, Transport, QueueKind)> {
+    use ecn_core::ProtectionMode::*;
+    vec![
+        ("tcp-ecn/red-default", Transport::TcpEcn, QueueKind::Red(Default)),
+        ("tcp-ecn/red-ece-bit", Transport::TcpEcn, QueueKind::Red(EceBit)),
+        ("tcp-ecn/red-ack+syn", Transport::TcpEcn, QueueKind::Red(AckSyn)),
+        ("dctcp/simple-marking", Transport::Dctcp, QueueKind::SimpleMarking),
+        ("tcp/droptail", Transport::Tcp, QueueKind::DropTail),
+    ]
+}

@@ -1,0 +1,94 @@
+//! Shared FIFO backing store for all disciplines.
+
+use netpacket::Packet;
+use std::collections::VecDeque;
+
+/// A FIFO of packets with byte accounting, used as the backing store of every
+/// discipline in this crate.
+#[derive(Debug, Default)]
+pub(crate) struct Fifo {
+    queue: VecDeque<Packet>,
+    bytes: u64,
+}
+
+impl Fifo {
+    pub(crate) fn new() -> Self {
+        Fifo { queue: VecDeque::new(), bytes: 0 }
+    }
+
+    pub(crate) fn push(&mut self, p: Packet) {
+        self.bytes += p.wire_bytes() as u64;
+        self.queue.push_back(p);
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<Packet> {
+        let p = self.queue.pop_front()?;
+        debug_assert!(self.bytes >= p.wire_bytes() as u64);
+        self.bytes -= p.wire_bytes() as u64;
+        Some(p)
+    }
+
+    pub(crate) fn len(&self) -> u64 {
+        self.queue.len() as u64
+    }
+
+    pub(crate) fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Iterate the resident packets head-to-tail (for queue snapshots).
+    pub(crate) fn iter(&self) -> impl Iterator<Item = &Packet> {
+        self.queue.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netpacket::{EcnCodepoint, FlowId, NodeId, PacketId, TcpFlags};
+    use simevent::SimTime;
+
+    fn pkt(id: u64, payload: u32) -> Packet {
+        Packet {
+            id: PacketId(id),
+            flow: FlowId(0),
+            src: NodeId(0),
+            dst: NodeId(1),
+            seq: 0,
+            ack: 0,
+            payload,
+            flags: TcpFlags::ACK,
+            ecn: EcnCodepoint::NotEct,
+            sack: netpacket::SackBlocks::EMPTY,
+            sent_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn fifo_order_and_bytes() {
+        let mut f = Fifo::new();
+        assert!(f.is_empty());
+        f.push(pkt(1, 1460));
+        f.push(pkt(2, 0));
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.bytes(), (1460 + netpacket::TCP_HEADER_BYTES + Packet::ACK_BYTES) as u64);
+        assert_eq!(f.pop().unwrap().id, PacketId(1));
+        assert_eq!(f.pop().unwrap().id, PacketId(2));
+        assert!(f.pop().is_none());
+        assert_eq!(f.bytes(), 0);
+    }
+
+    #[test]
+    fn iter_is_head_to_tail() {
+        let mut f = Fifo::new();
+        for i in 0..5 {
+            f.push(pkt(i, 100));
+        }
+        let ids: Vec<u64> = f.iter().map(|p| p.id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+
+//! The paper's primary contribution: switch egress queue disciplines.
+//!
+//! "High Throughput and Low Latency on Hadoop Clusters using Explicit
+//! Congestion Notification: The Untold Truth" (CLUSTER 2017) identifies that
+//! ECN-enabled AQMs early-drop **non-ECT** packets — which on a Hadoop shuffle
+//! are overwhelmingly pure ACKs, plus the SYN/SYN-ACK handshake — while only
+//! *marking* ECT data packets. This crate implements:
+//!
+//! * [`DropTail`] — the plain FIFO baseline against which the paper
+//!   normalises every result;
+//! * [`Red`] — Random Early Detection (Floyd & Jacobson) with ECN support,
+//!   per-packet or per-byte thresholds, EWMA or instantaneous queue length,
+//!   and the paper's three **protection modes** ([`ProtectionMode`]):
+//!   - `Default` — standard behaviour: non-ECT packets are early-dropped;
+//!   - `EceBit` — packets whose TCP header carries ECE (SYN, SYN-ACK and
+//!     congestion-echo ACKs) are exempt from early drop (paper proposal 1);
+//!   - `AckSyn` — all pure ACKs, SYNs and SYN-ACKs are exempt (paper's
+//!     strongest protection);
+//! * [`SimpleMarking`] — the paper's second proposal: a *true* simple marking
+//!   scheme with one instantaneous-queue threshold that marks ECT packets and
+//!   **never early-drops anything**; non-ECT packets are lost only when the
+//!   buffer is physically full.
+//!
+//! All disciplines implement [`netpacket::QueueDiscipline`] and keep full
+//! per-packet-kind statistics so experiments can report exactly *who* was
+//! dropped (the paper's Fig. 1 analysis).
+
+mod codel;
+mod config;
+mod droptail;
+mod fifo;
+mod marking;
+mod protection;
+mod red;
+
+pub use codel::{CoDel, CoDelConfig};
+pub use config::{QdiscSpec, RedConfig, SimpleMarkingConfig};
+pub use droptail::DropTail;
+pub use marking::SimpleMarking;
+pub use protection::ProtectionMode;
+pub use red::Red;
+
+use netpacket::QueueDiscipline;
+
+/// Build a boxed queue discipline from a serialisable spec. `seed` feeds the
+/// AQM's internal RNG (RED's probabilistic early decision).
+pub fn build_qdisc(spec: &QdiscSpec, seed: u64) -> Box<dyn QueueDiscipline + Send> {
+    match spec {
+        QdiscSpec::DropTail { capacity_packets } => Box::new(DropTail::new(*capacity_packets)),
+        QdiscSpec::Red(cfg) => Box::new(Red::new(cfg.clone(), seed)),
+        QdiscSpec::SimpleMarking(cfg) => Box::new(SimpleMarking::new(cfg.clone())),
+        QdiscSpec::CoDel(cfg) => Box::new(CoDel::new(cfg.clone())),
+    }
+}

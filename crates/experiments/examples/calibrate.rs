@@ -1,0 +1,67 @@
+//! Calibration probe: absolute (un-normalised) metrics for a handful of
+//! configurations. Used while sizing the default scenario so the paper's
+//! steady-state shapes emerge (job runtime must dwarf individual RTO
+//! stalls); kept as a diagnostic.
+//!
+//! Usage: `cargo run --release -p experiments --example calibrate -- [MB_per_node] [shallow_pkts] [waves]`
+
+use experiments::scenario::*;
+use ecn_core::ProtectionMode;
+use simevent::SimDuration;
+
+fn main() {
+    let mut cfg = ScenarioConfig::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(mb) = args.first() {
+        cfg.input_bytes_per_node = mb.parse::<u64>().unwrap() * 1_000_000;
+    }
+    if let Some(sh) = args.get(1) {
+        cfg.shallow_packets = sh.parse().unwrap();
+    }
+    if let Some(w) = args.get(2) {
+        cfg.map_waves = w.parse().unwrap();
+    }
+    println!(
+        "cluster: {} hosts, input {} MB/node, waves {}, shallow {} deep {}",
+        cfg.hosts(),
+        cfg.input_bytes_per_node / 1_000_000,
+        cfg.map_waves,
+        cfg.shallow_packets,
+        cfg.deep_packets
+    );
+    let points = [
+        ("droptail  shallow tcp    ", Transport::Tcp, QueueKind::DropTail, BufferDepth::Shallow, 500),
+        ("droptail  deep    tcp    ", Transport::Tcp, QueueKind::DropTail, BufferDepth::Deep, 500),
+        ("red-def   shallow tcp-ecn", Transport::TcpEcn, QueueKind::Red(ProtectionMode::Default), BufferDepth::Shallow, 100),
+        ("red-def   shallow tcp-ecn", Transport::TcpEcn, QueueKind::Red(ProtectionMode::Default), BufferDepth::Shallow, 500),
+        ("red-ece   shallow tcp-ecn", Transport::TcpEcn, QueueKind::Red(ProtectionMode::EceBit), BufferDepth::Shallow, 500),
+        ("red-as    shallow tcp-ecn", Transport::TcpEcn, QueueKind::Red(ProtectionMode::AckSyn), BufferDepth::Shallow, 500),
+        ("red-as    shallow dctcp  ", Transport::Dctcp, QueueKind::Red(ProtectionMode::AckSyn), BufferDepth::Shallow, 500),
+        ("marking   shallow tcp-ecn", Transport::TcpEcn, QueueKind::SimpleMarking, BufferDepth::Shallow, 500),
+        ("marking   shallow dctcp  ", Transport::Dctcp, QueueKind::SimpleMarking, BufferDepth::Shallow, 500),
+        ("marking   shallow dctcp 2m", Transport::Dctcp, QueueKind::SimpleMarking, BufferDepth::Shallow, 2000),
+        ("marking   shallow ecn  2m", Transport::TcpEcn, QueueKind::SimpleMarking, BufferDepth::Shallow, 2000),
+        ("red-as    shallow ecn  2m", Transport::TcpEcn, QueueKind::Red(ProtectionMode::AckSyn), BufferDepth::Shallow, 2000),
+        ("marking   deep    dctcp  ", Transport::Dctcp, QueueKind::SimpleMarking, BufferDepth::Deep, 500),
+    ];
+    println!(
+        "{:<28} {:>6} {:>9} {:>10} {:>10} {:>8} {:>8} {:>8} {:>8}",
+        "config", "dly", "runtime", "tput/nd", "lat_mean", "ackdrop", "timeout", "synrtx", "fulldrop"
+    );
+    for (label, t, q, d, dly) in points {
+        let m = run_scenario(&cfg, t, q, d, SimDuration::from_micros(dly));
+        println!(
+            "{:<28} {:>4}us {:>8.3}s {:>9.1}M {:>9.1}us {:>8} {:>8} {:>8} {:>8}{}",
+            label,
+            dly,
+            m.runtime_s,
+            m.throughput_per_node_bps / 1e6,
+            m.mean_latency_s * 1e6,
+            m.acks_early_dropped,
+            m.timeouts,
+            m.syn_retransmits,
+            m.full_drops,
+            if m.completed { "" } else { "  [INCOMPLETE]" },
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! The paper's central contrast (§II): *mimicking* a simple marking scheme
+//! with RED (the DCTCP paper's `min_th = max_th = K` recommendation) versus
+//! implementing a *true* marking scheme in the switch.
+//!
+//! The mimic still early-drops every non-ECT packet that crosses the
+//! threshold; the true scheme never early-drops at all. Same threshold K,
+//! same workload, same transport.
+//!
+//! Usage: `mimic_vs_marking [--tiny]`
+
+use ecn_core::{ProtectionMode, QdiscSpec, RedConfig, SimpleMarkingConfig};
+use experiments::scenario::{run_scenario_once, BufferDepth, ScenarioConfig, Transport};
+use mrsim::{JobSpec, TerasortJob};
+use netpacket::PacketKind;
+use netsim::{ClusterSpec, Network, Simulation};
+use simevent::SimDuration;
+use tcpstack::TcpConfig;
+
+fn run(cfg: &ScenarioConfig, qdisc: QdiscSpec, transport: Transport) -> (f64, f64, u64, u64) {
+    let spec = ClusterSpec {
+        racks: cfg.racks,
+        hosts_per_rack: cfg.hosts_per_rack,
+        host_link: cfg.host_link,
+        uplink: cfg.uplink,
+        switch_qdisc: qdisc,
+        host_buffer_packets: 4 * cfg.deep_packets,
+        seed: cfg.seed,
+    };
+    let n = spec.total_hosts();
+    let job = JobSpec {
+        input_bytes_per_node: cfg.input_bytes_per_node,
+        map_waves: cfg.map_waves,
+        map_rate_bps: 100_000_000,
+        reduce_rate_bps: 200_000_000,
+        tcp: TcpConfig { recv_wnd: 128 << 10, sack: false, ..TcpConfig::with_ecn(transport.ecn_mode()) },
+        parallel_copies: 5,
+        shuffle_jitter: cfg.shuffle_jitter,
+        seed: cfg.seed ^ 0x5EED,
+    };
+    let net = Network::new(spec);
+    let app = TerasortJob::new(job, n);
+    let mut sim = Simulation::new(net, app);
+    sim.time_limit = cfg.time_limit;
+    let report = sim.run();
+    assert!(report.app_done, "job must complete");
+    let stats = sim.net.port_stats().total;
+    (
+        sim.app.result().runtime.as_secs_f64(),
+        sim.net.latency().mean().as_secs_f64() * 1e6,
+        stats.dropped_early.get(PacketKind::PureAck)
+            + stats.dropped_early.get(PacketKind::Syn)
+            + stats.dropped_early.get(PacketKind::SynAck),
+        stats.marked.get(PacketKind::Data),
+    )
+}
+
+fn main() {
+    let tiny = std::env::args().any(|a| a == "--tiny");
+    let cfg = if tiny { ScenarioConfig::tiny() } else { ScenarioConfig::default() };
+    let delay = SimDuration::from_micros(500);
+    let cap = cfg.shallow_packets;
+    let rate = cfg.host_link.rate_bps;
+    let mean = cfg.mean_packet_bytes;
+
+    println!("Mimicked vs true marking scheme — same K, shallow buffers, DCTCP:\n");
+    println!(
+        "{:<34} {:>9} {:>11} {:>14} {:>10}",
+        "scheme", "runtime", "latency", "ctl-early-drop", "data-marks"
+    );
+    for (name, qdisc) in [
+        (
+            "RED mimic (min=max=K, paper §II)",
+            QdiscSpec::Red(RedConfig::dctcp_mimic(delay, rate, mean, cap, ProtectionMode::Default)),
+        ),
+        (
+            "RED mimic + ack+syn protection",
+            QdiscSpec::Red(RedConfig::dctcp_mimic(delay, rate, mean, cap, ProtectionMode::AckSyn)),
+        ),
+        (
+            "true simple marking (proposal 2)",
+            QdiscSpec::SimpleMarking(SimpleMarkingConfig::from_target_delay(delay, rate, mean, cap)),
+        ),
+    ] {
+        let (rt, lat, ctl_drops, marks) = run(&cfg, qdisc, Transport::Dctcp);
+        println!("{name:<34} {rt:>8.3}s {lat:>9.1} us {ctl_drops:>14} {marks:>10}");
+    }
+    println!(
+        "\nThe mimic's marking behaviour is identical for ECT data, but it\n\
+         early-drops the non-ECT control packets the paper cares about; the\n\
+         true scheme (or the protected mimic) does not."
+    );
+    // Silence unused-import style warnings across builds.
+    let _ = run_scenario_once;
+    let _ = BufferDepth::Shallow;
+}

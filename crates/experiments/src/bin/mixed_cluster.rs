@@ -1,0 +1,101 @@
+//! The paper's motivating scenario (§I), quantified: a latency-sensitive
+//! service (20 kB request flows every 5 ms) co-located with a Terasort
+//! shuffle. Compare what the service experiences under DropTail vs the
+//! paper's fixed configurations, on both buffer depths.
+//!
+//! Usage: `mixed_cluster [--tiny]`
+
+use ecn_core::ProtectionMode;
+use experiments::scenario::{BufferDepth, QueueKind, ScenarioConfig, Transport};
+use mrsim::{JobSpec, TerasortJob};
+use netsim::{jain_fairness, ClusterSpec, LatencyProbes, Network, PairApp, Simulation};
+use simevent::SimDuration;
+use tcpstack::TcpConfig;
+
+struct Row {
+    label: String,
+    runtime_s: f64,
+    probe_mean_ms: f64,
+    probe_p99_ms: f64,
+    probes_done: u64,
+    fairness: f64,
+}
+
+fn run(
+    cfg: &ScenarioConfig,
+    queue: QueueKind,
+    depth: BufferDepth,
+    transport: Transport,
+) -> Row {
+    let delay = SimDuration::from_micros(500);
+    let spec = ClusterSpec {
+        racks: cfg.racks,
+        hosts_per_rack: cfg.hosts_per_rack,
+        host_link: cfg.host_link,
+        uplink: cfg.uplink,
+        switch_qdisc: cfg.qdisc(queue, depth, delay),
+        host_buffer_packets: 4 * cfg.deep_packets,
+        seed: cfg.seed,
+    };
+    let n = spec.total_hosts();
+    let tcp = TcpConfig { recv_wnd: 128 << 10, sack: false, ..TcpConfig::with_ecn(transport.ecn_mode()) };
+    let job = JobSpec {
+        input_bytes_per_node: cfg.input_bytes_per_node,
+        map_waves: cfg.map_waves,
+        map_rate_bps: 100_000_000,
+        reduce_rate_bps: 200_000_000,
+        tcp: tcp.clone(),
+        parallel_copies: 5,
+        shuffle_jitter: cfg.shuffle_jitter,
+        seed: cfg.seed ^ 0x5EED,
+    };
+    let terasort = TerasortJob::new(job, n);
+    let probes = LatencyProbes::new(n, 20_000, SimDuration::from_millis(5), tcp);
+    let net = Network::new(spec);
+    let mut sim = Simulation::new(net, PairApp::new(terasort, probes));
+    sim.time_limit = cfg.time_limit;
+    let report = sim.run();
+    assert!(report.app_done, "{} {}: job must complete", queue.label(), depth.label());
+
+    let probes = &sim.app.secondary;
+    let fcts: Vec<f64> = probes.fct_samples().iter().map(|d| d.as_secs_f64()).collect();
+    Row {
+        label: format!("{} {} ({})", queue.label(), depth.label(), transport.label()),
+        runtime_s: sim.app.primary.result().runtime.as_secs_f64(),
+        probe_mean_ms: probes.fct().mean().as_secs_f64() * 1e3,
+        probe_p99_ms: probes.fct().quantile(0.99).as_secs_f64() * 1e3,
+        probes_done: probes.completed(),
+        fairness: jain_fairness(&fcts),
+    }
+}
+
+fn main() {
+    let tiny = std::env::args().any(|a| a == "--tiny");
+    let cfg = if tiny { ScenarioConfig::tiny() } else { ScenarioConfig::default() };
+
+    println!("Terasort + 20 kB service probes every 5 ms (the paper's mixed cluster):\n");
+    println!(
+        "{:<38} {:>9} {:>11} {:>10} {:>7} {:>9}",
+        "configuration", "runtime", "probe-mean", "probe-p99", "#done", "fairness"
+    );
+    let rows = [
+        (QueueKind::DropTail, BufferDepth::Shallow, Transport::Tcp),
+        (QueueKind::DropTail, BufferDepth::Deep, Transport::Tcp),
+        (QueueKind::Red(ProtectionMode::Default), BufferDepth::Shallow, Transport::TcpEcn),
+        (QueueKind::Red(ProtectionMode::AckSyn), BufferDepth::Shallow, Transport::TcpEcn),
+        (QueueKind::SimpleMarking, BufferDepth::Shallow, Transport::Dctcp),
+        (QueueKind::SimpleMarking, BufferDepth::Deep, Transport::Dctcp),
+    ];
+    for (q, d, t) in rows {
+        let r = run(&cfg, q, d, t);
+        println!(
+            "{:<38} {:>8.3}s {:>8.2} ms {:>7.2} ms {:>7} {:>9.3}",
+            r.label, r.runtime_s, r.probe_mean_ms, r.probe_p99_ms, r.probes_done, r.fairness
+        );
+    }
+    println!(
+        "\nDropTail-deep drowns the service in Bufferbloat; marking keeps probe\n\
+         completion times flat while the shuffle runs at full speed — the\n\
+         'low-latency services on the same infrastructure' goal of §I."
+    );
+}

@@ -1,0 +1,54 @@
+//! Regenerate EVERYTHING: Tables I–II, Figure 1, Figures 2–4 (both panels
+//! each) and the headline-claims table, writing raw data under `results/`.
+//!
+//! Usage: `run_all [--tiny] [--fresh]`
+
+use experiments::claims::{claims, render_claims};
+use experiments::cli::sweep_from_args;
+use experiments::figures::{fig1, fig2, fig3, fig4, table1, table2};
+use experiments::report::{render_panel, write_json};
+use simevent::SimDuration;
+use std::path::Path;
+
+fn main() {
+    let tiny = std::env::args().any(|a| a == "--tiny");
+
+    println!("{}", table1());
+    println!("{}", table2());
+
+    // Fig. 1 — queue snapshot under stock RED.
+    let cfg = if tiny {
+        experiments::scenario::ScenarioConfig::tiny()
+    } else {
+        experiments::scenario::ScenarioConfig::default()
+    };
+    eprintln!("[run_all] Fig. 1 queue snapshot...");
+    let f1 = fig1(&cfg, SimDuration::from_micros(200));
+    println!("== Fig. 1 — congested queue composition (RED default, shallow) ==");
+    println!(
+        "mean occupancy {:.1} pkts, peak {} pkts, data fraction {:.1}%",
+        f1.mean_occupancy,
+        f1.peak_occupancy,
+        f1.data_fraction * 100.0
+    );
+    println!(
+        "early drops: {} ACKs, {} SYN/SYN-ACK, {} data ({}% of early drops hit ACKs)\n",
+        f1.acks_early_dropped,
+        f1.handshake_early_dropped,
+        f1.data_early_dropped,
+        (f1.ack_share_of_early_drops * 100.0).round()
+    );
+    let _ = write_json(&f1, Path::new("results/fig1.json"));
+
+    // Figures 2–4 from one sweep.
+    let res = sweep_from_args();
+    for panel in fig2(&res).into_iter().chain(fig3(&res)).chain(fig4(&res)) {
+        println!("{}", render_panel(&panel));
+        let _ = write_json(&panel, Path::new("results").join(format!("{}.json", panel.id)).as_path());
+    }
+
+    // Headline claims.
+    let c = claims(&res);
+    println!("{}", render_claims(&c));
+    let _ = write_json(&c, Path::new("results/claims.json"));
+}

@@ -1,0 +1,8 @@
+//! Print the paper's Tables I and II (ECN codepoints) straight from the
+//! packet model, so the constants in code are auditable against the paper.
+
+fn main() {
+    print!("{}", experiments::figures::table1());
+    println!();
+    print!("{}", experiments::figures::table2());
+}

@@ -1,0 +1,62 @@
+//! Shared plumbing for the experiment binaries.
+
+use crate::report::write_sweep_json;
+use crate::sweep::{sweep, SweepGrid, SweepResults};
+use std::path::{Path, PathBuf};
+
+/// Where sweep results are cached so Figures 2–4 binaries share one run.
+pub fn default_cache_path(tiny: bool) -> PathBuf {
+    let name = if tiny { "sweep_tiny.json" } else { "sweep.json" };
+    PathBuf::from("results").join(name)
+}
+
+/// Load a cached sweep if it exists and was produced by the same grid;
+/// otherwise run the sweep and cache it.
+pub fn sweep_cached(grid: &SweepGrid, path: &Path) -> SweepResults {
+    if let Ok(text) = std::fs::read_to_string(path) {
+        if let Ok(res) = serde_json::from_str::<SweepResults>(&text) {
+            if res.grid == *grid {
+                eprintln!("[experiments] using cached sweep from {}", path.display());
+                return res;
+            }
+            eprintln!("[experiments] cache at {} has a different grid; re-running", path.display());
+        }
+    }
+    eprintln!(
+        "[experiments] running sweep: {} transports x {} queues x {} delays x 2 depths...",
+        grid.transports.len(),
+        grid.queues.len(),
+        grid.target_delays_us.len()
+    );
+    let res = sweep(grid);
+    if let Err(e) = write_sweep_json(&res, path) {
+        eprintln!("[experiments] warning: could not cache sweep: {e}");
+    }
+    res
+}
+
+/// Parse the common flags: `--tiny` (reduced grid) and `--fresh` (ignore
+/// cache). Returns (grid, cache_path, fresh).
+pub fn parse_args() -> (SweepGrid, PathBuf, bool) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let tiny = args.iter().any(|a| a == "--tiny");
+    let fresh = args.iter().any(|a| a == "--fresh");
+    if let Some(bad) = args
+        .iter()
+        .find(|a| a.as_str() != "--tiny" && a.as_str() != "--fresh")
+    {
+        eprintln!("unknown argument {bad}; supported: --tiny --fresh");
+        std::process::exit(2);
+    }
+    let grid = if tiny { SweepGrid::tiny() } else { SweepGrid::default() };
+    (grid, default_cache_path(tiny), fresh)
+}
+
+/// Run (or load) the sweep per the parsed flags.
+pub fn sweep_from_args() -> SweepResults {
+    let (grid, path, fresh) = parse_args();
+    if fresh {
+        let _ = std::fs::remove_file(&path);
+    }
+    sweep_cached(&grid, &path)
+}

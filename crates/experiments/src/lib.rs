@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! Experiment harness reproducing the paper's evaluation (§IV).
+//!
+//! One [`run_scenario`] call = one point of one figure: a Terasort job on the
+//! simulated cluster with a chosen transport (TCP / TCP-ECN / DCTCP), queue
+//! discipline (DropTail / RED with a protection mode / simple marking),
+//! buffer depth (shallow / deep) and RED target delay. A [`sweep()`] runs the
+//! whole grid — in parallel, since every point is an independent,
+//! deterministically seeded simulation — and the `figures` module renders the
+//! paper's Figures 2, 3 and 4 from one sweep, plus Fig. 1's queue snapshot
+//! and Tables I–II.
+
+pub mod claims;
+pub mod cli;
+pub mod figures;
+pub mod report;
+pub mod scenario;
+pub mod sweep;
+
+pub use scenario::{
+    BufferDepth, QueueKind, RunMetrics, ScenarioConfig, Transport, run_scenario,
+};
+pub use sweep::{SweepGrid, SweepPoint, SweepResults, sweep};

@@ -1,0 +1,419 @@
+//! One experiment point: cluster + job + queue configuration → metrics.
+
+use ecn_core::{ProtectionMode, QdiscSpec, RedConfig, SimpleMarkingConfig};
+use mrsim::{JobSpec, TerasortJob};
+use netpacket::PacketKind;
+use netsim::{ClusterSpec, LinkSpec, Network, Simulation};
+use serde::{Deserialize, Serialize};
+use simevent::{SimDuration, SimTime};
+use tcpstack::{EcnMode, TcpConfig};
+
+/// Which transport the cluster's flows run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Transport {
+    /// Plain TCP (loss-signalled).
+    Tcp,
+    /// Classic TCP with ECN (RFC 3168).
+    TcpEcn,
+    /// DCTCP.
+    Dctcp,
+}
+
+impl Transport {
+    /// The tcpstack mode for this transport.
+    pub fn ecn_mode(self) -> EcnMode {
+        match self {
+            Transport::Tcp => EcnMode::Off,
+            Transport::TcpEcn => EcnMode::Ecn,
+            Transport::Dctcp => EcnMode::Dctcp,
+        }
+    }
+
+    /// Figure-legend label.
+    pub fn label(self) -> &'static str {
+        self.ecn_mode().label()
+    }
+
+    /// The two ECN transports the paper's figures sweep.
+    pub const ECN_TRANSPORTS: [Transport; 2] = [Transport::TcpEcn, Transport::Dctcp];
+}
+
+/// Which discipline runs on every switch egress port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QueueKind {
+    /// FIFO tail-drop — the normalisation baseline.
+    DropTail,
+    /// RED with ECN and the given non-ECT protection mode.
+    Red(ProtectionMode),
+    /// The paper's true simple marking scheme.
+    SimpleMarking,
+    /// CoDel with ECN and the given protection mode (extension: shows the
+    /// pathology and its fix generalise beyond RED).
+    CoDel(ProtectionMode),
+}
+
+impl QueueKind {
+    /// Figure-legend label.
+    pub fn label(self) -> String {
+        match self {
+            QueueKind::DropTail => "droptail".into(),
+            QueueKind::Red(m) => format!("red[{}]", m.label()),
+            QueueKind::SimpleMarking => "simple-marking".into(),
+            QueueKind::CoDel(m) => format!("codel[{}]", m.label()),
+        }
+    }
+}
+
+/// The paper's shallow/deep buffer axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BufferDepth {
+    /// Commodity-switch shallow buffers.
+    Shallow,
+    /// Deep-buffer switch.
+    Deep,
+}
+
+impl BufferDepth {
+    /// Label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            BufferDepth::Shallow => "shallow",
+            BufferDepth::Deep => "deep",
+        }
+    }
+
+    /// Both depths.
+    pub const ALL: [BufferDepth; 2] = [BufferDepth::Shallow, BufferDepth::Deep];
+}
+
+/// Cluster and workload parameters shared by every point of a figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// Racks in the cluster.
+    pub racks: u32,
+    /// Hosts per rack.
+    pub hosts_per_rack: u32,
+    /// Host ↔ ToR link.
+    pub host_link: LinkSpec,
+    /// ToR ↔ core link.
+    pub uplink: LinkSpec,
+    /// Switch buffer depth, shallow (packets).
+    pub shallow_packets: u64,
+    /// Switch buffer depth, deep (packets).
+    pub deep_packets: u64,
+    /// Terasort input per node, bytes.
+    pub input_bytes_per_node: u64,
+    /// Map waves.
+    pub map_waves: u32,
+    /// Mean wire packet size used to convert target delays to thresholds.
+    pub mean_packet_bytes: u32,
+    /// Max deterministic stagger of map-task completions / shuffle starts
+    /// (models real Hadoop task skew; decorrelates incast bursts).
+    pub shuffle_jitter: SimDuration,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Independent repetitions per point (different seeds); reported metrics
+    /// are the mean. Damps the impact of individual RTO-tail events.
+    pub seed_count: u32,
+    /// Simulated-time wall per point.
+    pub time_limit: SimTime,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            racks: 2,
+            hosts_per_rack: 4,
+            host_link: LinkSpec::gbps(1, 5),
+            uplink: LinkSpec::gbps(10, 5),
+            shallow_packets: 100,  // ~150 kB/port: commodity switch
+            deep_packets: 1000,    // ~1.5 MB/port: deep-buffer switch
+            input_bytes_per_node: 64_000_000,
+            map_waves: 4,
+            mean_packet_bytes: 1526,
+            shuffle_jitter: SimDuration::from_millis(10),
+            seed: 20170905, // CLUSTER 2017 conference date
+            seed_count: 3,
+            time_limit: SimTime::from_secs(600),
+        }
+    }
+}
+
+impl ScenarioConfig {
+    /// A scaled-down config for fast unit tests and Criterion benches.
+    pub fn tiny() -> Self {
+        ScenarioConfig {
+            racks: 1,
+            hosts_per_rack: 4,
+            input_bytes_per_node: 4_000_000,
+            map_waves: 1,
+            shuffle_jitter: SimDuration::from_millis(2),
+            seed_count: 1,
+            ..Default::default()
+        }
+    }
+
+    /// Total hosts.
+    pub fn hosts(&self) -> u32 {
+        self.racks * self.hosts_per_rack
+    }
+
+    /// Buffer depth in packets for one side of the paper's axis.
+    pub fn capacity(&self, depth: BufferDepth) -> u64 {
+        match depth {
+            BufferDepth::Shallow => self.shallow_packets,
+            BufferDepth::Deep => self.deep_packets,
+        }
+    }
+
+    /// Build the switch qdisc spec for a point.
+    pub fn qdisc(
+        &self,
+        queue: QueueKind,
+        depth: BufferDepth,
+        target_delay: SimDuration,
+    ) -> QdiscSpec {
+        let cap = self.capacity(depth);
+        match queue {
+            QueueKind::DropTail => QdiscSpec::DropTail { capacity_packets: cap },
+            QueueKind::Red(mode) => QdiscSpec::Red(RedConfig::from_target_delay(
+                target_delay,
+                self.host_link.rate_bps,
+                self.mean_packet_bytes,
+                cap,
+                mode,
+            )),
+            QueueKind::SimpleMarking => {
+                QdiscSpec::SimpleMarking(SimpleMarkingConfig::from_target_delay(
+                    target_delay,
+                    self.host_link.rate_bps,
+                    self.mean_packet_bytes,
+                    cap,
+                ))
+            }
+            QueueKind::CoDel(mode) => QdiscSpec::CoDel(ecn_core::CoDelConfig {
+                capacity_packets: cap,
+                target: target_delay,
+                // Data-centre tuning: the classic 100 ms interval is WAN
+                // RTT scale and never arms on millisecond shuffle bursts;
+                // use a few times the target, floored at 1 ms.
+                interval: target_delay.saturating_mul(4).max(SimDuration::from_millis(1)),
+                ecn: true,
+                protection: mode,
+            }),
+        }
+    }
+}
+
+/// Everything measured from one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Job runtime in seconds (paper Fig. 2; inverse of effective throughput).
+    pub runtime_s: f64,
+    /// Mean goodput per node during the shuffle, bits/s (paper Fig. 3).
+    pub throughput_per_node_bps: f64,
+    /// Mean per-packet end-to-end latency, seconds (paper Fig. 4).
+    pub mean_latency_s: f64,
+    /// 99th-percentile per-packet latency, seconds.
+    pub p99_latency_s: f64,
+    /// Pure ACKs early-dropped at switch queues (the paper's smoking gun).
+    pub acks_early_dropped: u64,
+    /// SYN/SYN-ACKs early-dropped.
+    pub handshake_early_dropped: u64,
+    /// Data packets CE-marked.
+    pub data_marked: u64,
+    /// All tail drops (buffer overflow).
+    pub full_drops: u64,
+    /// Sender retransmission timeouts.
+    pub timeouts: u64,
+    /// Sender fast retransmits.
+    pub fast_retransmits: u64,
+    /// SYN retransmissions.
+    pub syn_retransmits: u64,
+    /// Whether the job actually finished inside the time limit.
+    pub completed: bool,
+}
+
+/// Run one experiment point: `seed_count` independent repetitions, averaged.
+pub fn run_scenario(
+    cfg: &ScenarioConfig,
+    transport: Transport,
+    queue: QueueKind,
+    depth: BufferDepth,
+    target_delay: SimDuration,
+) -> RunMetrics {
+    assert!(cfg.seed_count >= 1);
+    let runs: Vec<RunMetrics> = (0..cfg.seed_count)
+        .map(|i| {
+            let mut c = cfg.clone();
+            c.seed = cfg.seed.wrapping_add(i as u64 * 9973);
+            run_scenario_once(&c, transport, queue, depth, target_delay)
+        })
+        .collect();
+    average_metrics(&runs)
+}
+
+fn average_metrics(runs: &[RunMetrics]) -> RunMetrics {
+    let n = runs.len() as f64;
+    let fmean = |f: fn(&RunMetrics) -> f64| runs.iter().map(f).sum::<f64>() / n;
+    let umean = |f: fn(&RunMetrics) -> u64| {
+        (runs.iter().map(f).sum::<u64>() as f64 / n).round() as u64
+    };
+    RunMetrics {
+        runtime_s: fmean(|m| m.runtime_s),
+        throughput_per_node_bps: fmean(|m| m.throughput_per_node_bps),
+        mean_latency_s: fmean(|m| m.mean_latency_s),
+        p99_latency_s: fmean(|m| m.p99_latency_s),
+        acks_early_dropped: umean(|m| m.acks_early_dropped),
+        handshake_early_dropped: umean(|m| m.handshake_early_dropped),
+        data_marked: umean(|m| m.data_marked),
+        full_drops: umean(|m| m.full_drops),
+        timeouts: umean(|m| m.timeouts),
+        fast_retransmits: umean(|m| m.fast_retransmits),
+        syn_retransmits: umean(|m| m.syn_retransmits),
+        completed: runs.iter().all(|m| m.completed),
+    }
+}
+
+/// One repetition of one experiment point.
+pub fn run_scenario_once(
+    cfg: &ScenarioConfig,
+    transport: Transport,
+    queue: QueueKind,
+    depth: BufferDepth,
+    target_delay: SimDuration,
+) -> RunMetrics {
+    let spec = ClusterSpec {
+        racks: cfg.racks,
+        hosts_per_rack: cfg.hosts_per_rack,
+        host_link: cfg.host_link,
+        uplink: cfg.uplink,
+        switch_qdisc: cfg.qdisc(queue, depth, target_delay),
+        host_buffer_packets: 4 * cfg.deep_packets,
+        seed: cfg.seed,
+    };
+    let n = spec.total_hosts();
+    // 128 kB receive windows (Hadoop-era Linux autotuning scale) bound the
+    // slow-start overshoot of each shuffle flow, and SACK is off because the
+    // paper's substrate (NS-2 FullTcp under MRPerf) predates it; flip
+    // `sack: true` for the modern-stack ablation (`cargo bench ablations`).
+    let tcp = TcpConfig {
+        recv_wnd: 128 << 10,
+        sack: false,
+        ..TcpConfig::with_ecn(transport.ecn_mode())
+    };
+    let job = JobSpec {
+        input_bytes_per_node: cfg.input_bytes_per_node,
+        map_waves: cfg.map_waves,
+        map_rate_bps: 100_000_000,
+        reduce_rate_bps: 200_000_000,
+        tcp,
+        parallel_copies: 5,
+        shuffle_jitter: cfg.shuffle_jitter,
+        seed: cfg.seed ^ 0x5EED,
+    };
+    let net = Network::new(spec);
+    let app = TerasortJob::new(job, n);
+    let mut sim = Simulation::new(net, app);
+    sim.time_limit = cfg.time_limit;
+    let report = sim.run();
+
+    let res = sim.app.result();
+    let runtime_s = res.runtime.as_secs_f64();
+    // The paper's "average throughput per node": shuffle goodput over the
+    // shuffle's own span (first flow start to last byte acknowledged), so
+    // compute-phase gaps do not dilute the metric.
+    let span = res.shuffle_done.since(res.first_flow_at);
+    let throughput = if span > simevent::SimDuration::ZERO {
+        res.shuffle_bytes as f64 * 8.0 / span.as_secs_f64() / n as f64
+    } else {
+        0.0
+    };
+    let port = sim.net.port_stats().total;
+    let tx = sim.net.sender_stats_total();
+
+    RunMetrics {
+        runtime_s,
+        throughput_per_node_bps: throughput,
+        mean_latency_s: sim.net.latency().mean().as_secs_f64(),
+        p99_latency_s: sim.net.latency().quantile(0.99).as_secs_f64(),
+        acks_early_dropped: port.dropped_early.get(PacketKind::PureAck),
+        handshake_early_dropped: port.dropped_early.get(PacketKind::Syn)
+            + port.dropped_early.get(PacketKind::SynAck),
+        data_marked: port.marked.get(PacketKind::Data),
+        full_drops: port.dropped_full.total(),
+        timeouts: tx.timeouts,
+        fast_retransmits: tx.fast_retransmits,
+        syn_retransmits: tx.syn_retransmits,
+        completed: report.app_done,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(Transport::Tcp.label(), "tcp");
+        assert_eq!(Transport::TcpEcn.label(), "tcp-ecn");
+        assert_eq!(Transport::Dctcp.label(), "dctcp");
+        assert_eq!(QueueKind::DropTail.label(), "droptail");
+        assert_eq!(QueueKind::Red(ProtectionMode::AckSyn).label(), "red[ack+syn]");
+        assert_eq!(QueueKind::SimpleMarking.label(), "simple-marking");
+        assert_eq!(BufferDepth::Shallow.label(), "shallow");
+    }
+
+    #[test]
+    fn qdisc_building() {
+        let cfg = ScenarioConfig::default();
+        let d = cfg.qdisc(QueueKind::DropTail, BufferDepth::Deep, SimDuration::from_micros(1));
+        assert_eq!(d.capacity_packets(), 1000);
+        let r = cfg.qdisc(
+            QueueKind::Red(ProtectionMode::EceBit),
+            BufferDepth::Shallow,
+            SimDuration::from_micros(500),
+        );
+        assert_eq!(r.capacity_packets(), 100);
+        match r {
+            QdiscSpec::Red(rc) => {
+                assert!(rc.min_th < rc.max_th, "RED band straddles the target");
+                assert!(rc.ecn);
+                assert_eq!(rc.protection, ProtectionMode::EceBit);
+            }
+            _ => panic!("expected RED"),
+        }
+    }
+
+    #[test]
+    fn tiny_scenario_droptail_runs() {
+        let cfg = ScenarioConfig::tiny();
+        let m = run_scenario(
+            &cfg,
+            Transport::Tcp,
+            QueueKind::DropTail,
+            BufferDepth::Shallow,
+            SimDuration::from_micros(500),
+        );
+        assert!(m.completed, "tiny scenario must finish: {m:?}");
+        assert!(m.runtime_s > 0.0);
+        assert!(m.throughput_per_node_bps > 0.0);
+        assert!(m.mean_latency_s > 0.0);
+        assert_eq!(m.data_marked, 0, "droptail never marks");
+    }
+
+    #[test]
+    fn tiny_scenario_is_deterministic() {
+        let cfg = ScenarioConfig::tiny();
+        let go = || {
+            run_scenario(
+                &cfg,
+                Transport::Dctcp,
+                QueueKind::Red(ProtectionMode::AckSyn),
+                BufferDepth::Shallow,
+                SimDuration::from_micros(500),
+            )
+        };
+        assert_eq!(go(), go());
+    }
+}

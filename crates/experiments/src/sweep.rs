@@ -1,0 +1,220 @@
+//! The parameter sweep behind Figures 2–4.
+
+use crate::scenario::{
+    run_scenario, BufferDepth, QueueKind, RunMetrics, ScenarioConfig, Transport,
+};
+use ecn_core::ProtectionMode;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use simevent::SimDuration;
+
+/// The grid of configurations a figure sweeps.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepGrid {
+    /// Shared cluster/workload parameters.
+    pub config: ScenarioConfig,
+    /// RED/marking target delays (the x-axis), in microseconds.
+    pub target_delays_us: Vec<u64>,
+    /// Transports to sweep (the paper uses TCP-ECN and DCTCP).
+    pub transports: Vec<Transport>,
+    /// Queue disciplines to sweep (the paper's three RED modes + marking).
+    pub queues: Vec<QueueKind>,
+}
+
+impl Default for SweepGrid {
+    fn default() -> Self {
+        SweepGrid {
+            config: ScenarioConfig::default(),
+            target_delays_us: vec![50, 100, 200, 500, 1000, 2000, 5000],
+            transports: Transport::ECN_TRANSPORTS.to_vec(),
+            queues: vec![
+                QueueKind::Red(ProtectionMode::Default),
+                QueueKind::Red(ProtectionMode::EceBit),
+                QueueKind::Red(ProtectionMode::AckSyn),
+                QueueKind::SimpleMarking,
+            ],
+        }
+    }
+}
+
+impl SweepGrid {
+    /// A reduced grid for tests and benches.
+    pub fn tiny() -> Self {
+        SweepGrid {
+            config: ScenarioConfig::tiny(),
+            target_delays_us: vec![100, 500, 2000],
+            ..Default::default()
+        }
+    }
+}
+
+/// One evaluated grid point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Transport used.
+    pub transport: Transport,
+    /// Queue discipline used.
+    pub queue: QueueKind,
+    /// Buffer depth used.
+    pub depth: BufferDepth,
+    /// Target delay, microseconds.
+    pub delay_us: u64,
+    /// Measured outputs.
+    pub metrics: RunMetrics,
+}
+
+impl SweepPoint {
+    /// The series label used in the paper's figure legends, e.g.
+    /// `"dctcp red[ack+syn]"`.
+    pub fn series(&self) -> String {
+        format!("{} {}", self.transport.label(), self.queue.label())
+    }
+}
+
+/// All runs needed to draw Figures 2, 3 and 4.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepResults {
+    /// The grid that produced this.
+    pub grid: SweepGrid,
+    /// DropTail + plain TCP baseline with shallow buffers (the denominator
+    /// of every runtime/throughput normalisation in the paper).
+    pub baseline_shallow: RunMetrics,
+    /// DropTail + plain TCP baseline with deep buffers (the dashed line on
+    /// the deep panels; the latency denominator for deep results).
+    pub baseline_deep: RunMetrics,
+    /// All swept points, both depths.
+    pub points: Vec<SweepPoint>,
+}
+
+impl SweepResults {
+    /// Baseline for a depth.
+    pub fn baseline(&self, depth: BufferDepth) -> &RunMetrics {
+        match depth {
+            BufferDepth::Shallow => &self.baseline_shallow,
+            BufferDepth::Deep => &self.baseline_deep,
+        }
+    }
+
+    /// Points of one depth, in grid order.
+    pub fn at_depth(&self, depth: BufferDepth) -> impl Iterator<Item = &SweepPoint> {
+        self.points.iter().filter(move |p| p.depth == depth)
+    }
+
+    /// Find one point.
+    pub fn point(
+        &self,
+        transport: Transport,
+        queue: QueueKind,
+        depth: BufferDepth,
+        delay_us: u64,
+    ) -> Option<&SweepPoint> {
+        self.points.iter().find(|p| {
+            p.transport == transport && p.queue == queue && p.depth == depth && p.delay_us == delay_us
+        })
+    }
+}
+
+/// Run the full grid (both buffer depths plus the two DropTail baselines).
+///
+/// Every point is an independent deterministic simulation, so the grid is
+/// evaluated in parallel with rayon.
+pub fn sweep(grid: &SweepGrid) -> SweepResults {
+    let cfg = &grid.config;
+    // Baselines: the paper normalises against DropTail with plain TCP.
+    let (baseline_shallow, baseline_deep) = rayon::join(
+        || {
+            run_scenario(
+                cfg,
+                Transport::Tcp,
+                QueueKind::DropTail,
+                BufferDepth::Shallow,
+                SimDuration::from_micros(500),
+            )
+        },
+        || {
+            run_scenario(
+                cfg,
+                Transport::Tcp,
+                QueueKind::DropTail,
+                BufferDepth::Deep,
+                SimDuration::from_micros(500),
+            )
+        },
+    );
+
+    let mut jobs = Vec::new();
+    for depth in BufferDepth::ALL {
+        for &transport in &grid.transports {
+            for &queue in &grid.queues {
+                for &delay_us in &grid.target_delays_us {
+                    jobs.push((transport, queue, depth, delay_us));
+                }
+            }
+        }
+    }
+    let points: Vec<SweepPoint> = jobs
+        .into_par_iter()
+        .map(|(transport, queue, depth, delay_us)| {
+            let metrics = run_scenario(
+                cfg,
+                transport,
+                queue,
+                depth,
+                SimDuration::from_micros(delay_us),
+            );
+            SweepPoint { transport, queue, depth, delay_us, metrics }
+        })
+        .collect();
+
+    SweepResults { grid: grid.clone(), baseline_shallow, baseline_deep, points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_sweep_has_full_grid() {
+        let mut grid = SweepGrid::tiny();
+        grid.target_delays_us = vec![500];
+        grid.transports = vec![Transport::TcpEcn];
+        grid.queues = vec![
+            QueueKind::Red(ProtectionMode::Default),
+            QueueKind::SimpleMarking,
+        ];
+        let res = sweep(&grid);
+        assert_eq!(res.points.len(), 2 * 2); // 2 queues x 2 depths
+        assert!(res.baseline_shallow.completed);
+        assert!(res.baseline_deep.completed);
+        assert!(res.points.iter().all(|p| p.metrics.completed));
+        assert!(res
+            .point(Transport::TcpEcn, QueueKind::SimpleMarking, BufferDepth::Deep, 500)
+            .is_some());
+        assert_eq!(res.at_depth(BufferDepth::Shallow).count(), 2);
+    }
+
+    #[test]
+    fn series_labels() {
+        let p = SweepPoint {
+            transport: Transport::Dctcp,
+            queue: QueueKind::Red(ProtectionMode::AckSyn),
+            depth: BufferDepth::Shallow,
+            delay_us: 500,
+            metrics: RunMetrics {
+                runtime_s: 1.0,
+                throughput_per_node_bps: 1.0,
+                mean_latency_s: 1.0,
+                p99_latency_s: 1.0,
+                acks_early_dropped: 0,
+                handshake_early_dropped: 0,
+                data_marked: 0,
+                full_drops: 0,
+                timeouts: 0,
+                fast_retransmits: 0,
+                syn_retransmits: 0,
+                completed: true,
+            },
+        };
+        assert_eq!(p.series(), "dctcp red[ack+syn]");
+    }
+}

@@ -1,0 +1,132 @@
+//! Job specification and result types.
+
+use serde::{Deserialize, Serialize};
+use simevent::{SimDuration, SimTime};
+use tcpstack::TcpConfig;
+
+/// A Terasort-style MapReduce job description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Input bytes stored on each node (Terasort output ≈ input).
+    pub input_bytes_per_node: u64,
+    /// Number of map waves each node's input is processed in.
+    pub map_waves: u32,
+    /// Map-phase processing rate per node, in **bytes/second** (CPU+disk model).
+    pub map_rate_bps: u64,
+    /// Reduce-phase processing rate per node, in bytes/second.
+    pub reduce_rate_bps: u64,
+    /// Transport configuration for every shuffle flow.
+    pub tcp: TcpConfig,
+    /// Maximum concurrent inbound fetch flows per reducer node, like
+    /// Hadoop's `mapreduce.reduce.shuffle.parallelcopies` (default 5).
+    /// Remaining fetches queue and start as active ones finish.
+    pub parallel_copies: u32,
+    /// Maximum deterministic jitter added to each shuffle flow start, to
+    /// avoid artificial lock-step synchronisation of the whole cluster.
+    pub shuffle_jitter: SimDuration,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+}
+
+impl JobSpec {
+    /// A small job suitable for tests: `input` bytes per node, single wave.
+    pub fn small(input: u64, tcp: TcpConfig) -> JobSpec {
+        JobSpec {
+            input_bytes_per_node: input,
+            map_waves: 1,
+            map_rate_bps: 100_000_000,    // 100 MB/s per node
+            reduce_rate_bps: 200_000_000, // 200 MB/s per node
+            tcp,
+            parallel_copies: 5,
+            shuffle_jitter: SimDuration::from_micros(200),
+            seed: 42,
+        }
+    }
+
+    /// Bytes of map output each wave produces per node.
+    pub fn wave_output_bytes(&self) -> u64 {
+        self.input_bytes_per_node / self.map_waves as u64
+    }
+
+    /// Duration of one map wave's compute on a node.
+    pub fn wave_duration(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.wave_output_bytes() as f64 / self.map_rate_bps as f64)
+    }
+
+    /// Shuffle bytes a node sends to EACH remote node per wave (its own
+    /// partition stays local). `n` is the cluster size.
+    pub fn shuffle_bytes_per_peer(&self, n: u32) -> u64 {
+        assert!(n >= 1);
+        self.wave_output_bytes() / n as u64
+    }
+
+    /// Reduce compute time for a node, given the cluster size: each reducer
+    /// handles `total_input / n` bytes.
+    pub fn reduce_duration(&self, n: u32) -> SimDuration {
+        let per_reducer = self.input_bytes_per_node; // n nodes * input / n reducers
+        let _ = n;
+        SimDuration::from_secs_f64(per_reducer as f64 / self.reduce_rate_bps as f64)
+    }
+
+    /// Validate.
+    pub fn validate(&self) {
+        assert!(self.input_bytes_per_node > 0, "job needs input");
+        assert!(self.map_waves >= 1, "at least one map wave");
+        assert!(self.map_rate_bps > 0 && self.reduce_rate_bps > 0);
+        assert!(self.parallel_copies >= 1, "need at least one parallel copy");
+        self.tcp.validate();
+    }
+}
+
+/// What a finished job reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobResult {
+    /// Completion time of the last reducer — the paper's "runtime".
+    pub runtime: SimTime,
+    /// When the first shuffle flow started.
+    pub first_flow_at: SimTime,
+    /// When the last shuffle byte was acknowledged.
+    pub shuffle_done: SimTime,
+    /// Shuffle flows that ran.
+    pub flows: u64,
+    /// Total bytes moved across the network.
+    pub shuffle_bytes: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_quantities() {
+        let j = JobSpec {
+            input_bytes_per_node: 100_000_000,
+            map_waves: 4,
+            map_rate_bps: 50_000_000,
+            reduce_rate_bps: 100_000_000,
+            tcp: TcpConfig::default(),
+            parallel_copies: 5,
+            shuffle_jitter: SimDuration::ZERO,
+            seed: 1,
+        };
+        j.validate();
+        assert_eq!(j.wave_output_bytes(), 25_000_000);
+        // 25 MB at 50 MB/s = 0.5 s per wave.
+        assert_eq!(j.wave_duration(), SimDuration::from_millis(500));
+        // 25 MB / 5 nodes = 5 MB per peer per wave.
+        assert_eq!(j.shuffle_bytes_per_peer(5), 5_000_000);
+        // Reducer handles 100 MB at 100 MB/s = 1 s.
+        assert_eq!(j.reduce_duration(5), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn small_helper_validates() {
+        JobSpec::small(1_000_000, TcpConfig::default()).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "input")]
+    fn zero_input_rejected() {
+        JobSpec::small(0, TcpConfig::default()).validate();
+    }
+}

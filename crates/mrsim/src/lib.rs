@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! MapReduce simulator (the MRPerf replacement).
+//!
+//! The paper drives NS-2 from the MRPerf MapReduce simulator running a
+//! Terasort workload. This crate provides the equivalent: a [`TerasortJob`]
+//! that implements [`netsim::Application`] and generates the phase structure
+//! that matters for the paper's network argument:
+//!
+//! * **map waves** — each node processes its input split in `map_waves`
+//!   waves of compute, finishing at deterministic (lightly jittered) times;
+//! * **shuffle** — when a wave's map output is ready on a node, one TCP flow
+//!   per remote node carries that node's partitions of the output (Terasort:
+//!   map output ≈ map input, partitioned uniformly over reducers). This is
+//!   the all-to-all, many-to-many traffic that keeps every switch egress
+//!   queue at its marking threshold — the paper's problem scenario;
+//! * **reduce** — a node starts reducing once all its inbound shuffle data
+//!   has arrived and all waves are finished; the job completes when the last
+//!   reducer does.
+//!
+//! Job runtime (the paper's Fig. 2 metric) is the completion time of the last
+//! reducer; it is inversely proportional to effective cluster throughput.
+
+mod job;
+mod terasort;
+
+pub use job::{JobResult, JobSpec};
+pub use terasort::TerasortJob;

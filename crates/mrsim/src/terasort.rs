@@ -1,0 +1,232 @@
+//! The Terasort job as a `netsim` application.
+
+use crate::job::{JobResult, JobSpec};
+use netpacket::{FlowId, NodeId};
+use netsim::{Application, Network};
+use simevent::{SimRng, SimTime};
+use std::collections::BTreeMap;
+
+/// App-timer token encoding: kind in the top byte.
+const KIND_WAVE: u64 = 1;
+const KIND_FLOW: u64 = 2;
+const KIND_REDUCE: u64 = 3;
+
+fn token(kind: u64, a: u64, b: u64) -> u64 {
+    debug_assert!(a < (1 << 24) && b < (1 << 32));
+    (kind << 56) | (a << 32) | b
+}
+
+fn untoken(t: u64) -> (u64, u64, u64) {
+    (t >> 56, (t >> 32) & 0xFF_FFFF, t & 0xFFFF_FFFF)
+}
+
+/// Per-node shuffle progress.
+#[derive(Debug, Default, Clone)]
+struct NodeState {
+    waves_done: u32,
+    /// Fetches not yet complete (queued + active).
+    inbound_pending: u64,
+    inbound_started: u64,
+    /// Fetch flows currently in flight toward this node.
+    active_fetches: u32,
+    /// Fetches waiting for a parallel-copy slot: source and size.
+    fetch_queue: std::collections::VecDeque<(NodeId, u64)>,
+    reduce_scheduled: bool,
+    reduce_done: bool,
+}
+
+/// A Terasort run over the simulated cluster (see crate docs for the model).
+///
+/// Use with [`netsim::Simulation`]; after the run, [`TerasortJob::result`]
+/// returns runtime and shuffle accounting.
+#[derive(Debug)]
+pub struct TerasortJob {
+    spec: JobSpec,
+    n: u32,
+    nodes: Vec<NodeState>,
+    /// Flow → destination node, for inbound accounting.
+    flow_dst: BTreeMap<FlowId, NodeId>,
+    /// Deferred flow starts: token b-field → (src, dst, bytes).
+    deferred: Vec<(NodeId, NodeId, u64)>,
+    flows_started: u64,
+    flows_completed: u64,
+    first_flow_at: Option<SimTime>,
+    shuffle_bytes: u64,
+    shuffle_done_at: SimTime,
+    last_reduce_at: SimTime,
+    rng: SimRng,
+}
+
+impl TerasortJob {
+    /// Create a job for a cluster of `n` nodes.
+    pub fn new(spec: JobSpec, n: u32) -> Self {
+        spec.validate();
+        assert!(n >= 2, "Terasort shuffle needs at least two nodes");
+        let rng = SimRng::new(spec.seed);
+        TerasortJob {
+            spec,
+            n,
+            nodes: vec![NodeState::default(); n as usize],
+            flow_dst: BTreeMap::new(),
+            deferred: Vec::new(),
+            flows_started: 0,
+            flows_completed: 0,
+            first_flow_at: None,
+            shuffle_bytes: 0,
+            shuffle_done_at: SimTime::ZERO,
+            last_reduce_at: SimTime::ZERO,
+            rng,
+        }
+    }
+
+    /// The job's result; meaningful once the simulation reports `app_done`.
+    pub fn result(&self) -> JobResult {
+        JobResult {
+            runtime: self.last_reduce_at,
+            first_flow_at: self.first_flow_at.unwrap_or(SimTime::ZERO),
+            shuffle_done: self.shuffle_done_at,
+            flows: self.flows_completed,
+            shuffle_bytes: self.shuffle_bytes,
+        }
+    }
+
+    /// True when every node finished reducing.
+    pub fn finished(&self) -> bool {
+        self.nodes.iter().all(|s| s.reduce_done)
+    }
+
+    fn all_waves_done(&self, node: usize) -> bool {
+        self.nodes[node].waves_done == self.spec.map_waves
+    }
+
+    /// Node `s` finished map wave `w`: its output partitions become
+    /// fetchable; queue one fetch per remote reducer node.
+    fn on_wave_done(&mut self, s: usize, net: &mut Network, now: SimTime) {
+        self.nodes[s].waves_done += 1;
+        let bytes = self.spec.shuffle_bytes_per_peer(self.n);
+        if bytes > 0 {
+            for d in 0..self.n as usize {
+                if d == s {
+                    continue; // local partition does not cross the network
+                }
+                self.nodes[d].fetch_queue.push_back((NodeId(s as u32), bytes));
+                self.nodes[d].inbound_started += 1;
+                self.nodes[d].inbound_pending += 1;
+                self.pump_fetches(d, net, now);
+            }
+        }
+        self.maybe_schedule_reduces(net, now);
+    }
+
+    /// Start queued fetches toward node `d` while parallel-copy slots allow —
+    /// Hadoop's `parallelcopies` limit, which shapes the shuffle into a
+    /// pipeline instead of a full synchronous incast.
+    fn pump_fetches(&mut self, d: usize, net: &mut Network, now: SimTime) {
+        while self.nodes[d].active_fetches < self.spec.parallel_copies {
+            let Some((src, bytes)) = self.nodes[d].fetch_queue.pop_front() else { break };
+            self.nodes[d].active_fetches += 1;
+            // Small deterministic jitter decorrelates flow starts.
+            let jit = self
+                .rng
+                .fork(self.flows_started + self.deferred.len() as u64 + 1)
+                .next_below(self.spec.shuffle_jitter.as_nanos().max(1));
+            let at = now + simevent::SimDuration::from_nanos(jit);
+            let idx = self.deferred.len() as u64;
+            self.deferred.push((src, NodeId(d as u32), bytes));
+            net.schedule_app_timer(at, token(KIND_FLOW, 0, idx));
+        }
+    }
+
+    /// Schedule the reduce phase on any node that has everything it needs.
+    fn maybe_schedule_reduces(&mut self, net: &mut Network, now: SimTime) {
+        // A node can reduce only when the WHOLE cluster finished mapping
+        // (otherwise more inbound flows are still coming) and its own inbound
+        // shuffle queue is empty.
+        let cluster_mapped = (0..self.n as usize).all(|i| self.all_waves_done(i));
+        if !cluster_mapped {
+            return;
+        }
+        for d in 0..self.n as usize {
+            let st = &mut self.nodes[d];
+            if !st.reduce_scheduled && st.inbound_pending == 0 {
+                st.reduce_scheduled = true;
+                let dur = self.spec.reduce_duration(self.n);
+                net.schedule_app_timer(now + dur, token(KIND_REDUCE, d as u64, 0));
+            }
+        }
+    }
+}
+
+impl Application for TerasortJob {
+    fn on_start(&mut self, net: &mut Network, _now: SimTime) {
+        // Schedule every map wave completion on every node. A small per-node
+        // phase offset models non-identical task scheduling.
+        for s in 0..self.n as usize {
+            let offset_ns = self.rng.fork(0xA000 + s as u64).next_below(
+                self.spec.shuffle_jitter.as_nanos().max(1),
+            );
+            for w in 0..self.spec.map_waves {
+                let at = SimTime::from_nanos(offset_ns)
+                    + self.spec.wave_duration() * (w as u64 + 1);
+                net.schedule_app_timer(at, token(KIND_WAVE, s as u64, w as u64));
+            }
+        }
+    }
+
+    fn on_flow_complete(&mut self, flow: FlowId, net: &mut Network, now: SimTime) {
+        let Some(dst) = self.flow_dst.remove(&flow) else { return };
+        self.flows_completed += 1;
+        self.shuffle_done_at = self.shuffle_done_at.max(now);
+        let d = dst.0 as usize;
+        let st = &mut self.nodes[d];
+        debug_assert!(st.inbound_pending > 0 && st.active_fetches > 0);
+        st.inbound_pending -= 1;
+        st.active_fetches -= 1;
+        self.pump_fetches(d, net, now);
+        self.maybe_schedule_reduces(net, now);
+    }
+
+    fn on_timer(&mut self, t: u64, net: &mut Network, now: SimTime) {
+        let (kind, a, b) = untoken(t);
+        match kind {
+            KIND_WAVE => self.on_wave_done(a as usize, net, now),
+            KIND_FLOW => {
+                let (src, dst, bytes) = self.deferred[b as usize];
+                let flow = net.add_flow(src, dst, bytes, self.spec.tcp.clone(), now);
+                self.flow_dst.insert(flow, dst);
+                self.flows_started += 1;
+                self.first_flow_at.get_or_insert(now);
+                self.shuffle_bytes += bytes;
+            }
+            KIND_REDUCE => {
+                let st = &mut self.nodes[a as usize];
+                debug_assert!(st.reduce_scheduled && !st.reduce_done);
+                st.reduce_done = true;
+                self.last_reduce_at = self.last_reduce_at.max(now);
+            }
+            _ => unreachable!("bad app token {t:#x}"),
+        }
+    }
+
+    fn done(&self, _net: &Network) -> bool {
+        self.finished()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_roundtrip() {
+        for (k, a, b) in [(KIND_WAVE, 0, 0), (KIND_FLOW, 3, 12345), (KIND_REDUCE, 15, 0xFFFF_FFFF)] {
+            assert_eq!(untoken(token(k, a, b)), (k, a, b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "two nodes")]
+    fn single_node_rejected() {
+        let _ = TerasortJob::new(crate::JobSpec::small(1000, tcpstack::TcpConfig::default()), 1);
+    }
+}

@@ -1,0 +1,135 @@
+//! Packet classification used by AQM statistics and protection predicates.
+
+use crate::{Packet, TcpFlags};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The coarse classes the paper's analysis distinguishes at the switch queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PacketKind {
+    /// Data-bearing segment (payload > 0). On ECN connections these are ECT.
+    Data,
+    /// Pure acknowledgement (no payload, ACK set, no SYN/FIN/RST) — Non-ECT.
+    PureAck,
+    /// Initial SYN.
+    Syn,
+    /// SYN-ACK reply.
+    SynAck,
+    /// FIN or FIN-ACK teardown segment.
+    Fin,
+    /// Anything else (RST, bare header anomalies).
+    Other,
+}
+
+impl PacketKind {
+    /// Classify a packet.
+    pub fn of(p: &Packet) -> PacketKind {
+        if p.flags.contains(TcpFlags::SYN) {
+            if p.flags.contains(TcpFlags::ACK) {
+                PacketKind::SynAck
+            } else {
+                PacketKind::Syn
+            }
+        } else if p.flags.contains(TcpFlags::FIN) {
+            PacketKind::Fin
+        } else if p.payload > 0 {
+            PacketKind::Data
+        } else if p.is_pure_ack() {
+            PacketKind::PureAck
+        } else {
+            PacketKind::Other
+        }
+    }
+
+    /// All kinds, for iterating stats tables.
+    pub const ALL: [PacketKind; 6] = [
+        PacketKind::Data,
+        PacketKind::PureAck,
+        PacketKind::Syn,
+        PacketKind::SynAck,
+        PacketKind::Fin,
+        PacketKind::Other,
+    ];
+
+    /// Dense index for per-kind counters.
+    pub fn index(self) -> usize {
+        match self {
+            PacketKind::Data => 0,
+            PacketKind::PureAck => 1,
+            PacketKind::Syn => 2,
+            PacketKind::SynAck => 3,
+            PacketKind::Fin => 4,
+            PacketKind::Other => 5,
+        }
+    }
+}
+
+impl fmt::Display for PacketKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PacketKind::Data => "data",
+            PacketKind::PureAck => "ack",
+            PacketKind::Syn => "syn",
+            PacketKind::SynAck => "syn-ack",
+            PacketKind::Fin => "fin",
+            PacketKind::Other => "other",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EcnCodepoint, FlowId, NodeId, PacketId};
+    use simevent::SimTime;
+
+    fn pkt(flags: TcpFlags, payload: u32) -> Packet {
+        Packet {
+            id: PacketId(0),
+            flow: FlowId(0),
+            src: NodeId(0),
+            dst: NodeId(1),
+            seq: 0,
+            ack: 0,
+            payload,
+            flags,
+            ecn: EcnCodepoint::NotEct,
+            sack: crate::SackBlocks::EMPTY,
+            sent_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn classify_all_kinds() {
+        assert_eq!(PacketKind::of(&pkt(TcpFlags::ACK, 1460)), PacketKind::Data);
+        assert_eq!(PacketKind::of(&pkt(TcpFlags::ACK, 0)), PacketKind::PureAck);
+        assert_eq!(PacketKind::of(&pkt(TcpFlags::SYN, 0)), PacketKind::Syn);
+        assert_eq!(PacketKind::of(&pkt(TcpFlags::ecn_setup_syn(), 0)), PacketKind::Syn);
+        assert_eq!(PacketKind::of(&pkt(TcpFlags::SYN | TcpFlags::ACK, 0)), PacketKind::SynAck);
+        assert_eq!(PacketKind::of(&pkt(TcpFlags::FIN | TcpFlags::ACK, 0)), PacketKind::Fin);
+        assert_eq!(PacketKind::of(&pkt(TcpFlags::RST, 0)), PacketKind::Other);
+    }
+
+    #[test]
+    fn ece_does_not_change_kind() {
+        assert_eq!(PacketKind::of(&pkt(TcpFlags::ACK | TcpFlags::ECE, 0)), PacketKind::PureAck);
+        assert_eq!(PacketKind::of(&pkt(TcpFlags::ACK | TcpFlags::ECE, 1460)), PacketKind::Data);
+    }
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        let mut seen = [false; 6];
+        for k in PacketKind::ALL {
+            assert!(!seen[k.index()], "duplicate index");
+            seen[k.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(PacketKind::PureAck.to_string(), "ack");
+        assert_eq!(PacketKind::SynAck.to_string(), "syn-ack");
+    }
+}

@@ -1,0 +1,147 @@
+//! IP-header ECN codepoints — paper Table II.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The two-bit ECN field of the IP header (RFC 3168), exactly the paper's
+/// Table II:
+///
+/// | bits | name    | description                 |
+/// |------|---------|-----------------------------|
+/// | `00` | Non-ECT | Non ECN-Capable Transport   |
+/// | `10` | ECT(0)  | ECN Capable Transport       |
+/// | `01` | ECT(1)  | ECN Capable Transport       |
+/// | `11` | CE      | Congestion Encountered      |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum EcnCodepoint {
+    /// `00` — the transport does not understand ECN; congestion must be
+    /// signalled to it by dropping. Pure ACKs, SYN and SYN-ACK are sent with
+    /// this codepoint even on ECN-enabled connections — the crux of the paper.
+    #[default]
+    NotEct,
+    /// `10` — ECN-capable transport, variant 0 (the one TCP actually sends).
+    Ect0,
+    /// `01` — ECN-capable transport, variant 1.
+    Ect1,
+    /// `11` — set by a switch/router in place of ECT when it wants to signal
+    /// congestion instead of dropping.
+    Ce,
+}
+
+impl EcnCodepoint {
+    /// True for `ECT(0)`, `ECT(1)` and `CE`: the packet belongs to an
+    /// ECN-capable transport and may be marked rather than dropped.
+    ///
+    /// `CE` counts as ECN-capable because a packet already marked upstream
+    /// must obviously not be early-dropped by the next AQM.
+    pub fn is_ect(self) -> bool {
+        !matches!(self, EcnCodepoint::NotEct)
+    }
+
+    /// True only for the `CE` codepoint.
+    pub fn is_ce(self) -> bool {
+        matches!(self, EcnCodepoint::Ce)
+    }
+
+    /// The result of a switch marking this packet: ECT(0)/ECT(1) become CE;
+    /// CE stays CE. Marking a Non-ECT packet is a protocol violation and
+    /// panics (AQMs must check [`EcnCodepoint::is_ect`] first).
+    pub fn marked(self) -> EcnCodepoint {
+        match self {
+            EcnCodepoint::Ect0 | EcnCodepoint::Ect1 | EcnCodepoint::Ce => EcnCodepoint::Ce,
+            EcnCodepoint::NotEct => panic!("cannot CE-mark a Non-ECT packet"),
+        }
+    }
+
+    /// The raw two-bit field value as transmitted (paper Table II 'Codepoint'
+    /// column: Non-ECT=0b00, ECT(0)=0b10, ECT(1)=0b01, CE=0b11).
+    pub fn bits(self) -> u8 {
+        match self {
+            EcnCodepoint::NotEct => 0b00,
+            EcnCodepoint::Ect0 => 0b10,
+            EcnCodepoint::Ect1 => 0b01,
+            EcnCodepoint::Ce => 0b11,
+        }
+    }
+
+    /// Parse the two-bit field. Values above `0b11` return `None`.
+    pub fn from_bits(bits: u8) -> Option<EcnCodepoint> {
+        match bits {
+            0b00 => Some(EcnCodepoint::NotEct),
+            0b10 => Some(EcnCodepoint::Ect0),
+            0b01 => Some(EcnCodepoint::Ect1),
+            0b11 => Some(EcnCodepoint::Ce),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for EcnCodepoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            EcnCodepoint::NotEct => "Non-ECT",
+            EcnCodepoint::Ect0 => "ECT(0)",
+            EcnCodepoint::Ect1 => "ECT(1)",
+            EcnCodepoint::Ce => "CE",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper Table II, row by row.
+    #[test]
+    fn table2_codepoint_bits() {
+        assert_eq!(EcnCodepoint::NotEct.bits(), 0b00);
+        assert_eq!(EcnCodepoint::Ect0.bits(), 0b10);
+        assert_eq!(EcnCodepoint::Ect1.bits(), 0b01);
+        assert_eq!(EcnCodepoint::Ce.bits(), 0b11);
+    }
+
+    #[test]
+    fn table2_roundtrip() {
+        for cp in [EcnCodepoint::NotEct, EcnCodepoint::Ect0, EcnCodepoint::Ect1, EcnCodepoint::Ce] {
+            assert_eq!(EcnCodepoint::from_bits(cp.bits()), Some(cp));
+        }
+        assert_eq!(EcnCodepoint::from_bits(0b100), None);
+    }
+
+    #[test]
+    fn ect_classification() {
+        assert!(!EcnCodepoint::NotEct.is_ect());
+        assert!(EcnCodepoint::Ect0.is_ect());
+        assert!(EcnCodepoint::Ect1.is_ect());
+        assert!(EcnCodepoint::Ce.is_ect());
+        assert!(EcnCodepoint::Ce.is_ce());
+        assert!(!EcnCodepoint::Ect0.is_ce());
+    }
+
+    #[test]
+    fn marking_sets_ce() {
+        assert_eq!(EcnCodepoint::Ect0.marked(), EcnCodepoint::Ce);
+        assert_eq!(EcnCodepoint::Ect1.marked(), EcnCodepoint::Ce);
+        assert_eq!(EcnCodepoint::Ce.marked(), EcnCodepoint::Ce);
+    }
+
+    #[test]
+    #[should_panic(expected = "Non-ECT")]
+    fn marking_non_ect_panics() {
+        let _ = EcnCodepoint::NotEct.marked();
+    }
+
+    #[test]
+    fn default_is_not_ect() {
+        assert_eq!(EcnCodepoint::default(), EcnCodepoint::NotEct);
+    }
+
+    #[test]
+    fn display_names_match_table2() {
+        assert_eq!(EcnCodepoint::NotEct.to_string(), "Non-ECT");
+        assert_eq!(EcnCodepoint::Ect0.to_string(), "ECT(0)");
+        assert_eq!(EcnCodepoint::Ect1.to_string(), "ECT(1)");
+        assert_eq!(EcnCodepoint::Ce.to_string(), "CE");
+    }
+}

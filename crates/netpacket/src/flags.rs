@@ -1,0 +1,197 @@
+//! TCP header flags, including the ECN flags of paper Table I.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{BitOr, BitOrAssign};
+
+/// TCP header flag bits.
+///
+/// The paper's Table I lists the two ECN flags in the TCP header:
+///
+/// | codepoint | name | description                 |
+/// |-----------|------|-----------------------------|
+/// | `01`      | ECE  | ECN-Echo flag               |
+/// | `10`      | CWR  | Congestion Window Reduced   |
+///
+/// We carry the full flag byte (standard RFC 793 bit positions, with ECE and
+/// CWR in their RFC 3168 positions) so that the AQM protection predicates can
+/// dispatch on real header state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct TcpFlags(u8);
+
+impl TcpFlags {
+    /// No flags set.
+    pub const EMPTY: TcpFlags = TcpFlags(0);
+    /// FIN — sender is finished sending.
+    pub const FIN: TcpFlags = TcpFlags(0x01);
+    /// SYN — synchronise sequence numbers (connection setup).
+    pub const SYN: TcpFlags = TcpFlags(0x02);
+    /// RST — reset the connection.
+    pub const RST: TcpFlags = TcpFlags(0x04);
+    /// PSH — push buffered data to the application.
+    pub const PSH: TcpFlags = TcpFlags(0x08);
+    /// ACK — the acknowledgement number is valid.
+    pub const ACK: TcpFlags = TcpFlags(0x10);
+    /// ECE — ECN-Echo (paper Table I, codepoint 01): echoes a received CE mark
+    /// back to the sender; also used during the handshake to negotiate ECN.
+    pub const ECE: TcpFlags = TcpFlags(0x40);
+    /// CWR — Congestion Window Reduced (paper Table I, codepoint 10): sender
+    /// tells the receiver it has reacted, stopping the ECE echo.
+    pub const CWR: TcpFlags = TcpFlags(0x80);
+
+    /// Construct from a raw flag byte.
+    pub const fn from_bits(bits: u8) -> TcpFlags {
+        TcpFlags(bits)
+    }
+
+    /// The raw flag byte.
+    pub const fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// True if every flag in `other` is also set in `self`.
+    pub const fn contains(self, other: TcpFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// True if any flag in `other` is set in `self`.
+    pub const fn intersects(self, other: TcpFlags) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Set the flags in `other`.
+    pub fn insert(&mut self, other: TcpFlags) {
+        self.0 |= other.0;
+    }
+
+    /// Clear the flags in `other`.
+    pub fn remove(&mut self, other: TcpFlags) {
+        self.0 &= !other.0;
+    }
+
+    /// Copy of `self` with `other` also set.
+    pub const fn with(self, other: TcpFlags) -> TcpFlags {
+        TcpFlags(self.0 | other.0)
+    }
+
+    /// A SYN segment with ECN negotiation, as sent by an ECN-capable client:
+    /// `SYN + ECE + CWR` (RFC 3168 §6.1.1; the paper notes "SYN packets have
+    /// their ECE-bit marked ... to signalize a ECT-capable connection").
+    pub const fn ecn_setup_syn() -> TcpFlags {
+        TcpFlags(Self::SYN.0 | Self::ECE.0 | Self::CWR.0)
+    }
+
+    /// An ECN-capable SYN-ACK: `SYN + ACK + ECE` (RFC 3168 §6.1.1).
+    pub const fn ecn_setup_syn_ack() -> TcpFlags {
+        TcpFlags(Self::SYN.0 | Self::ACK.0 | Self::ECE.0)
+    }
+}
+
+impl BitOr for TcpFlags {
+    type Output = TcpFlags;
+    fn bitor(self, rhs: TcpFlags) -> TcpFlags {
+        TcpFlags(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for TcpFlags {
+    fn bitor_assign(&mut self, rhs: TcpFlags) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl fmt::Display for TcpFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        let mut put = |f: &mut fmt::Formatter<'_>, s: &str| -> fmt::Result {
+            if !first {
+                f.write_str("|")?;
+            }
+            first = false;
+            f.write_str(s)
+        };
+        let pairs = [
+            (TcpFlags::SYN, "SYN"),
+            (TcpFlags::ACK, "ACK"),
+            (TcpFlags::FIN, "FIN"),
+            (TcpFlags::RST, "RST"),
+            (TcpFlags::PSH, "PSH"),
+            (TcpFlags::ECE, "ECE"),
+            (TcpFlags::CWR, "CWR"),
+        ];
+        for (flag, name) in pairs {
+            if self.contains(flag) {
+                put(f, name)?;
+            }
+        }
+        if first {
+            f.write_str("-")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper Table I: ECE and CWR are distinct single-bit codepoints.
+    #[test]
+    fn table1_ece_cwr_distinct_bits() {
+        assert_eq!(TcpFlags::ECE.bits().count_ones(), 1);
+        assert_eq!(TcpFlags::CWR.bits().count_ones(), 1);
+        assert_eq!(TcpFlags::ECE.bits() & TcpFlags::CWR.bits(), 0);
+    }
+
+    #[test]
+    fn table1_rfc3168_positions() {
+        // RFC 3168: CWR is bit 7, ECE bit 6 of the flag byte.
+        assert_eq!(TcpFlags::CWR.bits(), 0x80);
+        assert_eq!(TcpFlags::ECE.bits(), 0x40);
+    }
+
+    #[test]
+    fn contains_and_intersects() {
+        let f = TcpFlags::SYN | TcpFlags::ACK;
+        assert!(f.contains(TcpFlags::SYN));
+        assert!(f.contains(TcpFlags::SYN | TcpFlags::ACK));
+        assert!(!f.contains(TcpFlags::SYN | TcpFlags::ECE));
+        assert!(f.intersects(TcpFlags::ACK | TcpFlags::ECE));
+        assert!(!f.intersects(TcpFlags::ECE));
+    }
+
+    #[test]
+    fn insert_remove() {
+        let mut f = TcpFlags::ACK;
+        f.insert(TcpFlags::ECE);
+        assert!(f.contains(TcpFlags::ACK | TcpFlags::ECE));
+        f.remove(TcpFlags::ECE);
+        assert_eq!(f, TcpFlags::ACK);
+    }
+
+    #[test]
+    fn ecn_handshake_flag_patterns() {
+        let syn = TcpFlags::ecn_setup_syn();
+        assert!(syn.contains(TcpFlags::SYN));
+        assert!(syn.contains(TcpFlags::ECE), "paper: SYN carries ECE to request ECN");
+        assert!(syn.contains(TcpFlags::CWR));
+        assert!(!syn.contains(TcpFlags::ACK));
+
+        let syn_ack = TcpFlags::ecn_setup_syn_ack();
+        assert!(syn_ack.contains(TcpFlags::SYN | TcpFlags::ACK | TcpFlags::ECE));
+        assert!(!syn_ack.contains(TcpFlags::CWR));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!((TcpFlags::SYN | TcpFlags::ECE).to_string(), "SYN|ECE");
+        assert_eq!(TcpFlags::EMPTY.to_string(), "-");
+    }
+
+    #[test]
+    fn roundtrip_bits() {
+        for bits in 0u8..=255 {
+            assert_eq!(TcpFlags::from_bits(bits).bits(), bits);
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! The queue-discipline abstraction implemented by `ecn-core`'s AQMs and
+//! consumed by `netsim` switch ports.
+
+use crate::{Packet, PacketKind};
+use serde::{Deserialize, Serialize};
+use simevent::SimTime;
+
+/// What happened to a packet offered to a queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EnqueueOutcome {
+    /// Accepted unmodified.
+    Enqueued,
+    /// Accepted, and its IP ECN field was set to CE (congestion signalled).
+    EnqueuedMarked,
+    /// Rejected by the AQM's early-drop policy (queue was *not* full).
+    DroppedEarly,
+    /// Rejected because the buffer was physically full (tail drop).
+    DroppedFull,
+}
+
+impl EnqueueOutcome {
+    /// True when the packet made it into the queue.
+    pub fn accepted(self) -> bool {
+        matches!(self, EnqueueOutcome::Enqueued | EnqueueOutcome::EnqueuedMarked)
+    }
+}
+
+/// Per-kind counters kept by every queue: one slot per [`PacketKind`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KindCounters(pub [u64; 6]);
+
+impl KindCounters {
+    /// Increment the counter for `kind`.
+    pub fn bump(&mut self, kind: PacketKind) {
+        self.0[kind.index()] += 1;
+    }
+    /// Read the counter for `kind`.
+    pub fn get(&self, kind: PacketKind) -> u64 {
+        self.0[kind.index()]
+    }
+    /// Sum over all kinds.
+    pub fn total(&self) -> u64 {
+        self.0.iter().sum()
+    }
+}
+
+/// Statistics every queue discipline maintains; used for the paper's Fig. 1
+/// analysis (who gets dropped) and for the conservation property tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueueStats {
+    /// Packets accepted (marked or not), by kind.
+    pub enqueued: KindCounters,
+    /// Packets accepted *and* CE-marked, by kind.
+    pub marked: KindCounters,
+    /// Packets early-dropped by AQM policy, by kind.
+    pub dropped_early: KindCounters,
+    /// Packets tail-dropped on a full buffer, by kind.
+    pub dropped_full: KindCounters,
+    /// Packets dequeued, by kind.
+    pub dequeued: KindCounters,
+    /// Total bytes accepted.
+    pub bytes_enqueued: u64,
+    /// Total bytes dequeued.
+    pub bytes_dequeued: u64,
+    /// High-water mark of queue occupancy in packets.
+    pub max_len_packets: u64,
+    /// High-water mark of queue occupancy in bytes.
+    pub max_len_bytes: u64,
+}
+
+impl QueueStats {
+    /// All drops (early + full), all kinds.
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped_early.total() + self.dropped_full.total()
+    }
+
+    /// Record an accepted packet.
+    pub fn on_enqueue(&mut self, kind: PacketKind, bytes: u32, marked: bool, len_pkts: u64, len_bytes: u64) {
+        self.enqueued.bump(kind);
+        if marked {
+            self.marked.bump(kind);
+        }
+        self.bytes_enqueued += bytes as u64;
+        self.max_len_packets = self.max_len_packets.max(len_pkts);
+        self.max_len_bytes = self.max_len_bytes.max(len_bytes);
+    }
+
+    /// Record a dequeued packet.
+    pub fn on_dequeue(&mut self, kind: PacketKind, bytes: u32) {
+        self.dequeued.bump(kind);
+        self.bytes_dequeued += bytes as u64;
+    }
+}
+
+/// A switch egress queue discipline.
+///
+/// Implementations decide, per packet, between accepting (optionally CE
+/// marking) and dropping (early or overflow). The port transmitter calls
+/// [`QueueDiscipline::dequeue`] when the line goes idle.
+///
+/// Determinism contract: given the same sequence of calls (with the same
+/// packets and times) and the same internal RNG seed, an implementation must
+/// make identical decisions.
+pub trait QueueDiscipline: std::fmt::Debug {
+    /// Offer a packet. On acceptance the queue takes ownership; on drop the
+    /// packet is consumed (the caller sees the outcome).
+    fn enqueue(&mut self, packet: Packet, now: SimTime) -> EnqueueOutcome;
+
+    /// Remove the head-of-line packet, if any.
+    fn dequeue(&mut self, now: SimTime) -> Option<Packet>;
+
+    /// Current occupancy in packets.
+    fn len_packets(&self) -> u64;
+
+    /// Current occupancy in bytes.
+    fn len_bytes(&self) -> u64;
+
+    /// Capacity in packets (the buffer depth the paper's shallow/deep axis
+    /// varies).
+    fn capacity_packets(&self) -> u64;
+
+    /// Cumulative statistics.
+    fn stats(&self) -> &QueueStats;
+
+    /// Human-readable discipline name for reports (`DropTail`, `RED[ece]`, ...).
+    fn name(&self) -> String;
+
+    /// Resident packets by kind (indexed by [`PacketKind::index`]), for
+    /// queue-composition snapshots (the paper's Fig. 1). Disciplines that
+    /// cannot enumerate residents may return zeros.
+    fn snapshot_kinds(&self) -> [u64; 6] {
+        [0; 6]
+    }
+
+    /// True when nothing is queued.
+    fn is_empty(&self) -> bool {
+        self.len_packets() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_accepted() {
+        assert!(EnqueueOutcome::Enqueued.accepted());
+        assert!(EnqueueOutcome::EnqueuedMarked.accepted());
+        assert!(!EnqueueOutcome::DroppedEarly.accepted());
+        assert!(!EnqueueOutcome::DroppedFull.accepted());
+    }
+
+    #[test]
+    fn kind_counters() {
+        let mut c = KindCounters::default();
+        c.bump(PacketKind::PureAck);
+        c.bump(PacketKind::PureAck);
+        c.bump(PacketKind::Data);
+        assert_eq!(c.get(PacketKind::PureAck), 2);
+        assert_eq!(c.get(PacketKind::Data), 1);
+        assert_eq!(c.get(PacketKind::Syn), 0);
+        assert_eq!(c.total(), 3);
+    }
+
+    #[test]
+    fn stats_accounting() {
+        let mut s = QueueStats::default();
+        s.on_enqueue(PacketKind::Data, 1500, true, 3, 4500);
+        s.on_enqueue(PacketKind::PureAck, 150, false, 4, 4650);
+        s.on_dequeue(PacketKind::Data, 1500);
+        assert_eq!(s.enqueued.total(), 2);
+        assert_eq!(s.marked.total(), 1);
+        assert_eq!(s.marked.get(PacketKind::Data), 1);
+        assert_eq!(s.bytes_enqueued, 1650);
+        assert_eq!(s.bytes_dequeued, 1500);
+        assert_eq!(s.max_len_packets, 4);
+        assert_eq!(s.max_len_bytes, 4650);
+        assert_eq!(s.dropped_total(), 0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Application combinators and auxiliary workloads.
+//!
+//! * [`PairApp`] runs two applications on the same network — e.g. a Terasort
+//!   job (primary) plus a stream of latency probes (secondary). Useful for
+//!   the paper's motivating scenario: latency-sensitive services co-located
+//!   with Hadoop.
+//! * [`LatencyProbes`] periodically starts small request-sized flows between
+//!   rotating host pairs and records their flow completion times.
+//!
+//! Token-space contract: applications must not use bit 63 of their app-timer
+//! tokens; `PairApp` claims it to route timers to the secondary application.
+
+use crate::network::Network;
+use crate::sim::Application;
+use netpacket::{FlowId, NodeId};
+use simevent::{SimDuration, SimTime};
+use simmetrics::LatencyHistogram;
+use std::collections::BTreeSet;
+use tcpstack::TcpConfig;
+
+const SECONDARY_BIT: u64 = 1 << 63;
+
+/// Runs `primary` and `secondary` side by side. Flow completions are offered
+/// to both (each application tracks the flows it started); the simulation is
+/// done when the **primary** is done — the secondary is background load.
+#[derive(Debug)]
+pub struct PairApp<A, B> {
+    /// The workload that decides completion.
+    pub primary: A,
+    /// Background application.
+    pub secondary: B,
+}
+
+impl<A: Application, B: Application> PairApp<A, B> {
+    /// Combine two applications.
+    pub fn new(primary: A, secondary: B) -> Self {
+        PairApp { primary, secondary }
+    }
+}
+
+impl<A: Application, B: Application> Application for PairApp<A, B> {
+    fn on_start(&mut self, net: &mut Network, now: SimTime) {
+        self.primary.on_start(net, now);
+        let before = net.take_pending_token_snapshot();
+        self.secondary.on_start(net, now);
+        net.tag_new_app_timers(before, SECONDARY_BIT);
+    }
+
+    fn on_flow_complete(&mut self, flow: FlowId, net: &mut Network, now: SimTime) {
+        self.primary.on_flow_complete(flow, net, now);
+        let before = net.take_pending_token_snapshot();
+        self.secondary.on_flow_complete(flow, net, now);
+        net.tag_new_app_timers(before, SECONDARY_BIT);
+    }
+
+    fn on_timer(&mut self, token: u64, net: &mut Network, now: SimTime) {
+        if token & SECONDARY_BIT != 0 {
+            let before = net.take_pending_token_snapshot();
+            self.secondary.on_timer(token & !SECONDARY_BIT, net, now);
+            net.tag_new_app_timers(before, SECONDARY_BIT);
+        } else {
+            self.primary.on_timer(token, net, now);
+        }
+    }
+
+    fn done(&self, net: &Network) -> bool {
+        self.primary.done(net)
+    }
+}
+
+/// Background latency probes: every `period`, a `bytes`-sized flow starts
+/// from host `i % n` to host `(i+1) % n`. Models the small request/response
+/// traffic of co-located low-latency services (paper §I).
+#[derive(Debug)]
+pub struct LatencyProbes {
+    /// Probe payload size.
+    pub bytes: u64,
+    /// Interval between probe starts.
+    pub period: SimDuration,
+    /// Stop launching probes after this many (0 = unlimited).
+    pub max_probes: u64,
+    /// Transport for probe flows.
+    pub tcp: TcpConfig,
+    hosts: u32,
+    launched: u64,
+    my_flows: BTreeSet<FlowId>,
+    fct: LatencyHistogram,
+    fct_samples: Vec<SimDuration>,
+}
+
+impl LatencyProbes {
+    /// Probes over a cluster of `hosts` hosts.
+    pub fn new(hosts: u32, bytes: u64, period: SimDuration, tcp: TcpConfig) -> Self {
+        assert!(hosts >= 2, "probes need at least two hosts");
+        assert!(period > SimDuration::ZERO);
+        LatencyProbes {
+            bytes,
+            period,
+            max_probes: 0,
+            tcp,
+            hosts,
+            launched: 0,
+            my_flows: BTreeSet::new(),
+            fct: LatencyHistogram::new(),
+            fct_samples: Vec::new(),
+        }
+    }
+
+    /// Completed-probe flow-completion-time histogram.
+    pub fn fct(&self) -> &LatencyHistogram {
+        &self.fct
+    }
+
+    /// Raw FCT samples, in completion order.
+    pub fn fct_samples(&self) -> &[SimDuration] {
+        &self.fct_samples
+    }
+
+    /// Probes completed so far.
+    pub fn completed(&self) -> u64 {
+        self.fct.count()
+    }
+
+    /// Probes started so far.
+    pub fn launched(&self) -> u64 {
+        self.launched
+    }
+
+    fn launch(&mut self, net: &mut Network, now: SimTime) {
+        let i = self.launched as u32;
+        let src = NodeId(i % self.hosts);
+        let dst = NodeId((i + 1) % self.hosts);
+        let flow = net.add_flow(src, dst, self.bytes, self.tcp.clone(), now);
+        self.my_flows.insert(flow);
+        self.launched += 1;
+    }
+}
+
+impl Application for LatencyProbes {
+    fn on_start(&mut self, net: &mut Network, now: SimTime) {
+        net.schedule_app_timer(now + self.period, 0);
+    }
+
+    fn on_flow_complete(&mut self, flow: FlowId, net: &mut Network, now: SimTime) {
+        if self.my_flows.remove(&flow) {
+            if let Some(rec) = net.flow(flow) {
+                let fct = now.since(rec.started);
+                self.fct.record(fct);
+                self.fct_samples.push(fct);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, _token: u64, net: &mut Network, now: SimTime) {
+        if self.max_probes == 0 || self.launched < self.max_probes {
+            self.launch(net, now);
+            net.schedule_app_timer(now + self.period, 0);
+        }
+    }
+
+    /// Probes never finish on their own: they are background load for a
+    /// [`PairApp`] primary. (Standalone use would run to the time limit.)
+    fn done(&self, _net: &Network) -> bool {
+        false
+    }
+}
+
+/// Jain's fairness index over a set of positive values:
+/// `(Σx)² / (n · Σx²)`; 1.0 = perfectly fair, 1/n = maximally unfair.
+pub fn jain_fairness(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = values.iter().sum();
+    let sq: f64 = values.iter().map(|v| v * v).sum();
+    if sq == 0.0 {
+        return 1.0;
+    }
+    sum * sum / (values.len() as f64 * sq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jain_index_bounds() {
+        assert_eq!(jain_fairness(&[]), 1.0);
+        assert_eq!(jain_fairness(&[5.0, 5.0, 5.0]), 1.0);
+        let unfair = jain_fairness(&[1.0, 0.0, 0.0, 0.0]);
+        assert!((unfair - 0.25).abs() < 1e-12, "one-of-four gets everything: {unfair}");
+        let mid = jain_fairness(&[2.0, 1.0]);
+        assert!(mid > 0.5 && mid < 1.0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Link parameters.
+
+use serde::{Deserialize, Serialize};
+use simevent::SimDuration;
+
+/// A directed link's physical parameters. A full-duplex cable is two of
+/// these, one per direction, each with its own egress queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Line rate in bits per second.
+    pub rate_bps: u64,
+    /// Propagation delay.
+    pub delay: SimDuration,
+}
+
+impl LinkSpec {
+    /// A link with the given gigabit rate and delay in microseconds.
+    pub fn gbps(gbit: u64, delay_us: u64) -> LinkSpec {
+        LinkSpec { rate_bps: gbit * 1_000_000_000, delay: SimDuration::from_micros(delay_us) }
+    }
+
+    /// Serialisation time for `bytes` on this link.
+    pub fn tx_time(&self, bytes: u64) -> SimDuration {
+        SimDuration::transmission(bytes, self.rate_bps)
+    }
+
+    /// Validate.
+    pub fn validate(&self) {
+        assert!(self.rate_bps > 0, "link rate must be positive");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gbps_constructor() {
+        let l = LinkSpec::gbps(1, 5);
+        assert_eq!(l.rate_bps, 1_000_000_000);
+        assert_eq!(l.delay, SimDuration::from_micros(5));
+        l.validate();
+    }
+
+    #[test]
+    fn tx_time_1500b_1gbps() {
+        assert_eq!(LinkSpec::gbps(1, 0).tx_time(1500), SimDuration::from_micros(12));
+    }
+
+    #[test]
+    fn tx_time_10gbps() {
+        assert_eq!(LinkSpec::gbps(10, 0).tx_time(1500).as_nanos(), 1200);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        LinkSpec { rate_bps: 0, delay: SimDuration::ZERO }.validate();
+    }
+}

@@ -1,0 +1,669 @@
+//! The network state machine: hosts, switches, ports, routing, metrics.
+
+use crate::link::LinkSpec;
+use crate::topology::ClusterSpec;
+use ecn_core::{build_qdisc, DropTail};
+use netpacket::{
+    EnqueueOutcome, FlowId, NodeId, Packet, PacketKind, QueueDiscipline, QueueStats,
+};
+use simevent::{SimDuration, SimTime};
+use simmetrics::{LatencyHistogram, QueueSample, QueueTrace, ThroughputMeter};
+use std::collections::BTreeMap;
+use tcpstack::{Receiver, Sender, TcpAgent, TcpConfig};
+
+/// Addresses a device in the simulated cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DevRef {
+    /// End host by index (== `NodeId`).
+    Host(usize),
+    /// Switch by index: `0..racks` are ToRs, index `racks` is the core.
+    Switch(usize),
+}
+
+/// Simulation events.
+#[derive(Debug)]
+pub enum Event {
+    /// A packet arrives at a device after crossing a link.
+    Arrive {
+        /// Destination device.
+        dev: DevRef,
+        /// The packet.
+        packet: Packet,
+    },
+    /// A port finished serialising its current packet.
+    TxComplete {
+        /// Transmitting device.
+        dev: DevRef,
+        /// Port index on that device (hosts have a single NIC, port 0).
+        port: usize,
+    },
+    /// Check TCP timers on one host.
+    HostTimers {
+        /// Host index.
+        host: usize,
+    },
+    /// Wakes the [`crate::Application`] (handled by the sim loop, not here).
+    AppTimer {
+        /// Opaque token chosen by the application.
+        token: u64,
+    },
+    /// Periodic queue-trace sample.
+    Sample,
+}
+
+/// One egress port: a queue discipline plus a serialising transmitter.
+struct Port {
+    qdisc: Box<dyn QueueDiscipline + Send>,
+    link: LinkSpec,
+    peer: DevRef,
+    transmitting: Option<Packet>,
+}
+
+impl std::fmt::Debug for Port {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Port")
+            .field("qdisc", &self.qdisc.name())
+            .field("peer", &self.peer)
+            .finish()
+    }
+}
+
+/// A TCP endpoint living on a host.
+#[derive(Debug)]
+enum Endpoint {
+    Tx(Sender),
+    Rx(Receiver),
+}
+
+impl Endpoint {
+    fn agent(&mut self) -> &mut dyn TcpAgent {
+        match self {
+            Endpoint::Tx(s) => s,
+            Endpoint::Rx(r) => r,
+        }
+    }
+    fn next_deadline(&self) -> Option<SimTime> {
+        match self {
+            Endpoint::Tx(s) => s.next_deadline(),
+            Endpoint::Rx(r) => r.next_deadline(),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Host {
+    nic: Port,
+    endpoints: BTreeMap<FlowId, Endpoint>,
+    timer_scheduled: Option<SimTime>,
+}
+
+#[derive(Debug)]
+struct Switch {
+    ports: Vec<Port>,
+    /// `route[dst_host]` = egress port index.
+    route: Vec<usize>,
+}
+
+/// Book-keeping for one flow.
+#[derive(Debug, Clone)]
+pub struct FlowRecord {
+    /// Flow id.
+    pub flow: FlowId,
+    /// Sending host.
+    pub src: NodeId,
+    /// Receiving host.
+    pub dst: NodeId,
+    /// Bytes the flow transfers.
+    pub bytes: u64,
+    /// When the flow was started.
+    pub started: SimTime,
+    /// When all bytes were acknowledged, if finished.
+    pub completed: Option<SimTime>,
+}
+
+/// Aggregated per-port statistics for reporting.
+#[derive(Debug, Clone)]
+pub struct PortStatsReport {
+    /// Sum over every switch egress port.
+    pub total: QueueStats,
+    /// Per-port stats, labelled `"<switch>/<port>: <qdisc name>"`.
+    pub ports: Vec<(String, QueueStats)>,
+}
+
+/// The simulated cluster.
+#[derive(Debug)]
+pub struct Network {
+    spec: ClusterSpec,
+    hosts: Vec<Host>,
+    switches: Vec<Switch>,
+    flows: BTreeMap<FlowId, FlowRecord>,
+    next_flow: u64,
+    pending: Vec<(SimTime, Event)>,
+    completed: Vec<FlowId>,
+    latency_all: LatencyHistogram,
+    latency_data: LatencyHistogram,
+    latency_ack: LatencyHistogram,
+    throughput: ThroughputMeter,
+    trace: Option<TraceState>,
+    /// Packets that arrived for an unknown flow (should stay zero).
+    orphan_packets: u64,
+}
+
+#[derive(Debug)]
+struct TraceState {
+    switch: usize,
+    port: usize,
+    interval: SimDuration,
+    trace: QueueTrace,
+    armed: bool,
+}
+
+fn try_start_tx(
+    port: &mut Port,
+    dev: DevRef,
+    idx: usize,
+    now: SimTime,
+    pending: &mut Vec<(SimTime, Event)>,
+) {
+    if port.transmitting.is_some() {
+        return;
+    }
+    if let Some(p) = port.qdisc.dequeue(now) {
+        let tx = port.link.tx_time(p.wire_bytes() as u64);
+        port.transmitting = Some(p);
+        pending.push((now + tx, Event::TxComplete { dev, port: idx }));
+    }
+}
+
+fn enqueue_and_kick(
+    port: &mut Port,
+    dev: DevRef,
+    idx: usize,
+    packet: Packet,
+    now: SimTime,
+    pending: &mut Vec<(SimTime, Event)>,
+) -> EnqueueOutcome {
+    let out = port.qdisc.enqueue(packet, now);
+    try_start_tx(port, dev, idx, now, pending);
+    out
+}
+
+impl Network {
+    /// Build the cluster described by `spec`.
+    pub fn new(spec: ClusterSpec) -> Self {
+        spec.validate();
+        let n = spec.total_hosts() as usize;
+        let racks = spec.racks as usize;
+        let rng = simevent::SimRng::new(spec.seed);
+        let mut seed_counter = 0u64;
+        let mut next_seed = || {
+            seed_counter += 1;
+            rng.fork(seed_counter).seed()
+        };
+
+        let mut hosts = Vec::with_capacity(n);
+        for h in 0..n {
+            hosts.push(Host {
+                nic: Port {
+                    qdisc: Box::new(DropTail::new(spec.host_buffer_packets)),
+                    link: spec.host_link,
+                    peer: DevRef::Switch(spec.rack_of(h as u32) as usize),
+                    transmitting: None,
+                },
+                endpoints: BTreeMap::new(),
+                timer_scheduled: None,
+            });
+        }
+
+        let mut switches = Vec::new();
+        // ToR switches.
+        for r in 0..racks {
+            let mut ports = Vec::new();
+            let mut route = vec![usize::MAX; n];
+            for local in 0..spec.hosts_per_rack as usize {
+                let h = r * spec.hosts_per_rack as usize + local;
+                route[h] = ports.len();
+                ports.push(Port {
+                    qdisc: build_qdisc(&spec.switch_qdisc, next_seed()),
+                    link: spec.host_link,
+                    peer: DevRef::Host(h),
+                    transmitting: None,
+                });
+            }
+            if racks > 1 {
+                let up = ports.len();
+                ports.push(Port {
+                    qdisc: build_qdisc(&spec.switch_qdisc, next_seed()),
+                    link: spec.uplink,
+                    peer: DevRef::Switch(racks), // core
+                    transmitting: None,
+                });
+                for (h, slot) in route.iter_mut().enumerate() {
+                    if spec.rack_of(h as u32) as usize != r {
+                        *slot = up;
+                    }
+                }
+            }
+            switches.push(Switch { ports, route });
+        }
+        // Core switch.
+        if racks > 1 {
+            let mut ports = Vec::new();
+            let mut route = vec![usize::MAX; n];
+            for r in 0..racks {
+                let pidx = ports.len();
+                ports.push(Port {
+                    qdisc: build_qdisc(&spec.switch_qdisc, next_seed()),
+                    link: spec.uplink,
+                    peer: DevRef::Switch(r),
+                    transmitting: None,
+                });
+                for (h, slot) in route.iter_mut().enumerate() {
+                    if spec.rack_of(h as u32) as usize == r {
+                        *slot = pidx;
+                    }
+                }
+            }
+            switches.push(Switch { ports, route });
+        }
+
+        Network {
+            spec,
+            hosts,
+            switches,
+            flows: BTreeMap::new(),
+            next_flow: 1,
+            pending: Vec::new(),
+            completed: Vec::new(),
+            latency_all: LatencyHistogram::new(),
+            latency_data: LatencyHistogram::new(),
+            latency_ack: LatencyHistogram::new(),
+            throughput: ThroughputMeter::new(),
+            trace: None,
+            orphan_packets: 0,
+        }
+    }
+
+    /// The cluster spec this network was built from.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// Start a `bytes`-long TCP transfer from `src` to `dst`.
+    ///
+    /// The receiver is pre-attached (as in NS-2); the SYN still travels and
+    /// can be dropped.
+    pub fn add_flow(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        cfg: TcpConfig,
+        now: SimTime,
+    ) -> FlowId {
+        assert!(src != dst, "flow endpoints must differ");
+        assert!((src.0 as usize) < self.hosts.len() && (dst.0 as usize) < self.hosts.len());
+        let flow = FlowId(self.next_flow);
+        self.next_flow += 1;
+        let sender = Sender::new(flow, src, dst, bytes, cfg.clone(), now);
+        let receiver = Receiver::new(flow, dst, src, cfg);
+        self.hosts[dst.0 as usize].endpoints.insert(flow, Endpoint::Rx(receiver));
+        self.hosts[src.0 as usize].endpoints.insert(flow, Endpoint::Tx(sender));
+        self.flows.insert(
+            flow,
+            FlowRecord { flow, src, dst, bytes, started: now, completed: None },
+        );
+        self.flush_host(src.0 as usize, now);
+        flow
+    }
+
+    /// Ask the sim loop to deliver an [`Event::AppTimer`] at `at`.
+    pub fn schedule_app_timer(&mut self, at: SimTime, token: u64) {
+        self.pending.push((at, Event::AppTimer { token }));
+    }
+
+    /// Record queue-occupancy samples of one switch port every `interval`.
+    pub fn enable_queue_trace(
+        &mut self,
+        switch: usize,
+        port: usize,
+        interval: SimDuration,
+        max_samples: usize,
+    ) {
+        assert!(switch < self.switches.len() && port < self.switches[switch].ports.len());
+        assert!(interval > SimDuration::ZERO);
+        self.trace = Some(TraceState {
+            switch,
+            port,
+            interval,
+            trace: QueueTrace::new(max_samples),
+            armed: false,
+        });
+        self.pending.push((SimTime::ZERO, Event::Sample));
+    }
+
+    /// The recorded queue trace, if tracing was enabled.
+    pub fn queue_trace(&self) -> Option<&QueueTrace> {
+        self.trace.as_ref().map(|t| &t.trace)
+    }
+
+    // ----- event handling ---------------------------------------------------
+
+    /// Process one event. `AppTimer` events must be routed to the application
+    /// by the caller, not here.
+    pub fn handle(&mut self, ev: Event, now: SimTime) {
+        match ev {
+            Event::Arrive { dev, packet } => match dev {
+                DevRef::Switch(s) => self.arrive_at_switch(s, packet, now),
+                DevRef::Host(h) => self.arrive_at_host(h, packet, now),
+            },
+            Event::TxComplete { dev, port } => self.tx_complete(dev, port, now),
+            Event::HostTimers { host } => self.host_timers(host, now),
+            Event::Sample => self.sample(now),
+            Event::AppTimer { .. } => {
+                unreachable!("AppTimer must be handled by the simulation loop")
+            }
+        }
+    }
+
+    fn arrive_at_switch(&mut self, s: usize, packet: Packet, now: SimTime) {
+        let sw = &mut self.switches[s];
+        let out = sw.route[packet.dst.0 as usize];
+        debug_assert!(out != usize::MAX, "no route from switch {s} to {}", packet.dst);
+        let port = &mut sw.ports[out];
+        let _ = enqueue_and_kick(port, DevRef::Switch(s), out, packet, now, &mut self.pending);
+    }
+
+    fn arrive_at_host(&mut self, h: usize, packet: Packet, now: SimTime) {
+        // End-to-end latency accounting for every delivered packet.
+        let lat = now.since(packet.sent_at);
+        self.latency_all.record(lat);
+        match PacketKind::of(&packet) {
+            PacketKind::Data => self.latency_data.record(lat),
+            PacketKind::PureAck => self.latency_ack.record(lat),
+            _ => {}
+        }
+
+        let host = &mut self.hosts[h];
+        let Some(ep) = host.endpoints.get_mut(&packet.flow) else {
+            self.orphan_packets += 1;
+            return;
+        };
+        let goodput_before = match ep {
+            Endpoint::Rx(r) => Some(r.bytes_received()),
+            Endpoint::Tx(_) => None,
+        };
+        ep.agent().on_segment(&packet, now);
+        if let (Some(before), Endpoint::Rx(r)) = (goodput_before, &*ep) {
+            let delta = r.bytes_received().saturating_sub(before);
+            self.throughput.record(NodeId(h as u32), delta, now);
+        }
+        self.flush_host(h, now);
+    }
+
+    fn tx_complete(&mut self, dev: DevRef, port_idx: usize, now: SimTime) {
+        let port = match dev {
+            DevRef::Host(h) => &mut self.hosts[h].nic,
+            DevRef::Switch(s) => &mut self.switches[s].ports[port_idx],
+        };
+        let p = port
+            .transmitting
+            .take()
+            .expect("TxComplete with no packet in flight");
+        let peer = port.peer;
+        self.pending.push((now + port.link.delay, Event::Arrive { dev: peer, packet: p }));
+        try_start_tx(port, dev, port_idx, now, &mut self.pending);
+    }
+
+    fn host_timers(&mut self, h: usize, now: SimTime) {
+        self.hosts[h].timer_scheduled = None;
+        // Fire every endpoint whose deadline has passed.
+        let due: Vec<FlowId> = self.hosts[h]
+            .endpoints
+            .iter()
+            .filter(|(_, ep)| ep.next_deadline().is_some_and(|d| d <= now))
+            .map(|(f, _)| *f)
+            .collect();
+        for f in due {
+            if let Some(ep) = self.hosts[h].endpoints.get_mut(&f) {
+                ep.agent().on_timer(now);
+            }
+        }
+        self.flush_host(h, now);
+    }
+
+    fn sample(&mut self, now: SimTime) {
+        let Some(ts) = self.trace.as_mut() else { return };
+        let port = &self.switches[ts.switch].ports[ts.port];
+        let sample = QueueSample {
+            at: now,
+            len_packets: port.qdisc.len_packets(),
+            len_bytes: port.qdisc.len_bytes(),
+            by_kind: port.qdisc.snapshot_kinds(),
+        };
+        ts.trace.record(sample);
+        ts.armed = true;
+        if (ts.trace.samples().len()) < usize::MAX {
+            // Keep sampling; the trace itself caps retained samples.
+            self.pending.push((now + ts.interval, Event::Sample));
+        }
+    }
+
+    /// Drain one host's outboxes into its NIC, update flow completion, and
+    /// re-arm its timer event.
+    fn flush_host(&mut self, h: usize, now: SimTime) {
+        loop {
+            let host = &mut self.hosts[h];
+            let mut out: Vec<Packet> = Vec::new();
+            for ep in host.endpoints.values_mut() {
+                out.append(&mut ep.agent().take_outbox());
+            }
+            if out.is_empty() {
+                break;
+            }
+            for pkt in out {
+                let _ = enqueue_and_kick(
+                    &mut host.nic,
+                    DevRef::Host(h),
+                    0,
+                    pkt,
+                    now,
+                    &mut self.pending,
+                );
+            }
+        }
+        // Completion checks for senders on this host.
+        let host = &self.hosts[h];
+        let mut newly_done = Vec::new();
+        for (f, ep) in &host.endpoints {
+            if let Endpoint::Tx(s) = ep {
+                if s.is_complete() {
+                    if let Some(rec) = self.flows.get(f) {
+                        if rec.completed.is_none() {
+                            newly_done.push((*f, s.completed_at().unwrap_or(now)));
+                        }
+                    }
+                }
+            }
+        }
+        for (f, at) in newly_done {
+            if let Some(rec) = self.flows.get_mut(&f) {
+                rec.completed = Some(at);
+            }
+            self.completed.push(f);
+        }
+        // Re-arm the host timer.
+        let host = &mut self.hosts[h];
+        let next = host.endpoints.values().filter_map(|e| e.next_deadline()).min();
+        if let Some(d) = next {
+            let d = d.max(now);
+            if host.timer_scheduled.is_none_or(|t| d < t) {
+                host.timer_scheduled = Some(d);
+                self.pending.push((d, Event::HostTimers { host: h }));
+            }
+        }
+    }
+
+    // ----- draining by the sim loop -----------------------------------------
+
+    /// Take the events generated since the last call.
+    pub fn take_pending(&mut self) -> Vec<(SimTime, Event)> {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Mark the current end of the pending-event buffer, for
+    /// [`Network::tag_new_app_timers`]. Used by application combinators.
+    pub fn take_pending_token_snapshot(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// OR `bit` into the token of every [`Event::AppTimer`] pushed since the
+    /// snapshot — how [`crate::PairApp`] namespaces its secondary
+    /// application's timers.
+    pub fn tag_new_app_timers(&mut self, since: usize, bit: u64) {
+        for (_, ev) in self.pending.iter_mut().skip(since) {
+            if let Event::AppTimer { token } = ev {
+                *token |= bit;
+            }
+        }
+    }
+
+    /// Take the flows completed since the last call.
+    pub fn take_completed(&mut self) -> Vec<FlowId> {
+        std::mem::take(&mut self.completed)
+    }
+
+    // ----- metrics & introspection ------------------------------------------
+
+    /// Per-packet end-to-end latency over all delivered packets (Fig. 4).
+    pub fn latency(&self) -> &LatencyHistogram {
+        &self.latency_all
+    }
+
+    /// Latency of data segments only.
+    pub fn latency_data(&self) -> &LatencyHistogram {
+        &self.latency_data
+    }
+
+    /// Latency of pure ACKs only.
+    pub fn latency_acks(&self) -> &LatencyHistogram {
+        &self.latency_ack
+    }
+
+    /// Goodput accounting (Fig. 3).
+    pub fn throughput(&self) -> &ThroughputMeter {
+        &self.throughput
+    }
+
+    /// All flow records.
+    pub fn flows(&self) -> impl Iterator<Item = &FlowRecord> {
+        self.flows.values()
+    }
+
+    /// One flow record.
+    pub fn flow(&self, f: FlowId) -> Option<&FlowRecord> {
+        self.flows.get(&f)
+    }
+
+    /// Number of completed flows.
+    pub fn completed_flows(&self) -> usize {
+        self.flows.values().filter(|r| r.completed.is_some()).count()
+    }
+
+    /// True when every started flow has completed.
+    pub fn all_flows_complete(&self) -> bool {
+        self.flows.values().all(|r| r.completed.is_some())
+    }
+
+    /// Latest flow completion time, if all are complete.
+    pub fn last_completion(&self) -> Option<SimTime> {
+        if !self.all_flows_complete() || self.flows.is_empty() {
+            return None;
+        }
+        self.flows.values().filter_map(|r| r.completed).max()
+    }
+
+    /// Packets delivered to hosts with no matching endpoint (should be zero).
+    pub fn orphan_packets(&self) -> u64 {
+        self.orphan_packets
+    }
+
+    /// Aggregate switch-port queue statistics (drop/mark composition — the
+    /// quantitative core of the paper's Fig. 1 argument).
+    pub fn port_stats(&self) -> PortStatsReport {
+        let mut total = QueueStats::default();
+        let mut ports = Vec::new();
+        for (si, sw) in self.switches.iter().enumerate() {
+            for (pi, port) in sw.ports.iter().enumerate() {
+                let s = *port.qdisc.stats();
+                merge_stats(&mut total, &s);
+                ports.push((format!("sw{si}/p{pi}: {}", port.qdisc.name()), s));
+            }
+        }
+        PortStatsReport { total, ports }
+    }
+
+    /// Per-sender transport statistics, aggregated.
+    pub fn sender_stats_total(&self) -> tcpstack::SenderStats {
+        let mut agg = tcpstack::SenderStats::default();
+        for host in &self.hosts {
+            for ep in host.endpoints.values() {
+                if let Endpoint::Tx(s) = ep {
+                    let st = s.stats();
+                    agg.data_segments_sent += st.data_segments_sent;
+                    agg.retransmits += st.retransmits;
+                    agg.fast_retransmits += st.fast_retransmits;
+                    agg.timeouts += st.timeouts;
+                    agg.syn_retransmits += st.syn_retransmits;
+                    agg.ece_acks += st.ece_acks;
+                    agg.ecn_reductions += st.ecn_reductions;
+                }
+            }
+        }
+        agg
+    }
+
+    /// Per-receiver transport statistics, aggregated.
+    pub fn receiver_stats_total(&self) -> tcpstack::ReceiverStats {
+        let mut agg = tcpstack::ReceiverStats::default();
+        for host in &self.hosts {
+            for ep in host.endpoints.values() {
+                if let Endpoint::Rx(r) = ep {
+                    let st = r.stats();
+                    agg.segments_received += st.segments_received;
+                    agg.ce_received += st.ce_received;
+                    agg.acks_sent += st.acks_sent;
+                    agg.ece_acks_sent += st.ece_acks_sent;
+                    agg.syn_acks_sent += st.syn_acks_sent;
+                }
+            }
+        }
+        agg
+    }
+
+    /// Sum of application bytes received across all receivers.
+    pub fn total_bytes_received(&self) -> u64 {
+        self.hosts
+            .iter()
+            .flat_map(|h| h.endpoints.values())
+            .map(|ep| match ep {
+                Endpoint::Rx(r) => r.bytes_received(),
+                Endpoint::Tx(_) => 0,
+            })
+            .sum()
+    }
+}
+
+fn merge_stats(into: &mut QueueStats, from: &QueueStats) {
+    for k in PacketKind::ALL {
+        into.enqueued.0[k.index()] += from.enqueued.get(k);
+        into.marked.0[k.index()] += from.marked.get(k);
+        into.dropped_early.0[k.index()] += from.dropped_early.get(k);
+        into.dropped_full.0[k.index()] += from.dropped_full.get(k);
+        into.dequeued.0[k.index()] += from.dequeued.get(k);
+    }
+    into.bytes_enqueued += from.bytes_enqueued;
+    into.bytes_dequeued += from.bytes_dequeued;
+    into.max_len_packets = into.max_len_packets.max(from.max_len_packets);
+    into.max_len_bytes = into.max_len_bytes.max(from.max_len_bytes);
+}

@@ -1,0 +1,151 @@
+//! The event loop and the application hook.
+
+use crate::network::{Event, Network};
+use netpacket::{FlowId, NodeId};
+use simevent::{RunOutcome, Scheduler, SchedulerConfig, SimTime};
+use tcpstack::TcpConfig;
+
+/// A workload driving the network: starts flows, reacts to completions, and
+/// decides when the simulation is over. `mrsim`'s Terasort job implements
+/// this; tests use [`StaticFlows`].
+pub trait Application {
+    /// Called once at t=0 before any event is processed.
+    fn on_start(&mut self, net: &mut Network, now: SimTime);
+    /// Called when a flow's final byte is acknowledged.
+    fn on_flow_complete(&mut self, flow: FlowId, net: &mut Network, now: SimTime);
+    /// Called for every [`Event::AppTimer`] the application scheduled via
+    /// [`Network::schedule_app_timer`].
+    fn on_timer(&mut self, token: u64, net: &mut Network, now: SimTime);
+    /// Checked after every event; returning `true` ends the run.
+    fn done(&self, net: &Network) -> bool;
+}
+
+/// Outcome of a full simulation run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Why the run stopped.
+    pub outcome: RunOutcome,
+    /// Events processed.
+    pub events: u64,
+    /// Simulated end time (last processed event).
+    pub end_time: SimTime,
+    /// Flows completed during the run.
+    pub flows_completed: usize,
+    /// Whether the application reported success (all work done).
+    pub app_done: bool,
+}
+
+/// Couples a [`Network`] with an [`Application`] and runs them to completion.
+#[derive(Debug)]
+pub struct Simulation<A: Application> {
+    /// The simulated cluster.
+    pub net: Network,
+    /// The workload.
+    pub app: A,
+    /// Hard wall on simulated time.
+    pub time_limit: SimTime,
+}
+
+impl<A: Application> Simulation<A> {
+    /// Build a simulation with a default 1-hour simulated-time wall.
+    pub fn new(net: Network, app: A) -> Self {
+        Simulation { net, app, time_limit: SimTime::from_secs(3600) }
+    }
+
+    /// Run until the application is done, the event queue drains, or the
+    /// time limit is hit.
+    pub fn run(&mut self) -> RunReport {
+        let mut sched: Scheduler<Event> = Scheduler::new(SchedulerConfig {
+            time_limit: self.time_limit,
+            event_limit: u64::MAX,
+        });
+        let net = &mut self.net;
+        let app = &mut self.app;
+
+        app.on_start(net, SimTime::ZERO);
+        for (t, e) in net.take_pending() {
+            sched.schedule_at(t, e);
+        }
+        if app.done(net) {
+            return RunReport {
+                outcome: RunOutcome::Stopped,
+                events: 0,
+                end_time: SimTime::ZERO,
+                flows_completed: net.completed_flows(),
+                app_done: true,
+            };
+        }
+
+        let (outcome, stats) = sched.run(|sched, now, ev| {
+            match ev {
+                Event::AppTimer { token } => app.on_timer(token, net, now),
+                other => net.handle(other, now),
+            }
+            for f in net.take_completed() {
+                app.on_flow_complete(f, net, now);
+            }
+            for (t, e) in net.take_pending() {
+                sched.schedule_at(t.max(now), e);
+            }
+            !app.done(net)
+        });
+
+        RunReport {
+            outcome,
+            events: stats.events_processed,
+            end_time: stats.end_time,
+            flows_completed: net.completed_flows(),
+            app_done: app.done(net),
+        }
+    }
+}
+
+/// The simplest application: a fixed list of flows, each started at a given
+/// time; done when every one has completed.
+#[derive(Debug, Clone)]
+pub struct StaticFlows {
+    flows: Vec<(SimTime, NodeId, NodeId, u64, TcpConfig)>,
+    started: usize,
+}
+
+impl StaticFlows {
+    /// Flows as `(start_time, src, dst, bytes, config)`.
+    pub fn new(flows: Vec<(SimTime, NodeId, NodeId, u64, TcpConfig)>) -> Self {
+        StaticFlows { flows, started: 0 }
+    }
+
+    /// All flows start at t=0 with a shared config.
+    pub fn all_at_zero(pairs: Vec<(NodeId, NodeId, u64)>, cfg: TcpConfig) -> Self {
+        Self::new(
+            pairs
+                .into_iter()
+                .map(|(s, d, b)| (SimTime::ZERO, s, d, b, cfg.clone()))
+                .collect(),
+        )
+    }
+}
+
+impl Application for StaticFlows {
+    fn on_start(&mut self, net: &mut Network, now: SimTime) {
+        for (i, (at, src, dst, bytes, cfg)) in self.flows.iter().enumerate() {
+            if *at <= now {
+                net.add_flow(*src, *dst, *bytes, cfg.clone(), now);
+                self.started += 1;
+            } else {
+                net.schedule_app_timer(*at, i as u64);
+            }
+        }
+    }
+
+    fn on_flow_complete(&mut self, _flow: FlowId, _net: &mut Network, _now: SimTime) {}
+
+    fn on_timer(&mut self, token: u64, net: &mut Network, now: SimTime) {
+        let (_, src, dst, bytes, cfg) = &self.flows[token as usize];
+        net.add_flow(*src, *dst, *bytes, cfg.clone(), now);
+        self.started += 1;
+    }
+
+    fn done(&self, net: &Network) -> bool {
+        self.started == self.flows.len() && net.all_flows_complete()
+    }
+}

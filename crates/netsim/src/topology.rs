@@ -1,0 +1,124 @@
+//! Cluster topology specification.
+
+use crate::link::LinkSpec;
+use ecn_core::QdiscSpec;
+use serde::{Deserialize, Serialize};
+
+/// A two-tier Hadoop-style cluster:
+///
+/// ```text
+///                 ┌──────┐
+///                 │ core │
+///                 └─┬──┬─┘
+///        uplink ┌───┘  └───┐
+///           ┌───┴──┐   ┌───┴──┐
+///           │ ToR0 │   │ ToR1 │        (one per rack)
+///           └┬─┬─┬─┘   └┬─┬─┬─┘
+///  host link h h h      h h h          (hosts_per_rack each)
+/// ```
+///
+/// All **switch egress ports** (ToR down-ports, ToR up-ports, core
+/// down-ports) run `switch_qdisc` — this is where the paper's AQMs live.
+/// Host NICs run a plain deep DropTail (`host_buffer_packets`): end hosts
+/// are not where the paper intervenes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Number of racks (each gets a ToR switch).
+    pub racks: u32,
+    /// Hosts per rack.
+    pub hosts_per_rack: u32,
+    /// Host ↔ ToR link (both directions).
+    pub host_link: LinkSpec,
+    /// ToR ↔ core link (both directions). Typically faster (oversubscription
+    /// control).
+    pub uplink: LinkSpec,
+    /// Queue discipline for every switch egress port.
+    pub switch_qdisc: QdiscSpec,
+    /// Host NIC buffer depth in packets (always DropTail).
+    pub host_buffer_packets: u64,
+    /// Seed for all stochastic components (AQM randomness).
+    pub seed: u64,
+}
+
+impl ClusterSpec {
+    /// Total hosts in the cluster.
+    pub fn total_hosts(&self) -> u32 {
+        self.racks * self.hosts_per_rack
+    }
+
+    /// Rack index of a host.
+    pub fn rack_of(&self, host: u32) -> u32 {
+        host / self.hosts_per_rack
+    }
+
+    /// Validate the spec.
+    pub fn validate(&self) {
+        assert!(self.racks >= 1, "need at least one rack");
+        assert!(self.hosts_per_rack >= 1, "need at least one host per rack");
+        assert!(self.host_buffer_packets >= 1);
+        self.host_link.validate();
+        self.uplink.validate();
+    }
+
+    /// A small single-rack cluster, handy for tests: `n` hosts behind one ToR.
+    pub fn single_rack(n: u32, host_link: LinkSpec, switch_qdisc: QdiscSpec, seed: u64) -> Self {
+        ClusterSpec {
+            racks: 1,
+            hosts_per_rack: n,
+            host_link,
+            uplink: host_link, // unused with one rack, but must be valid
+            switch_qdisc,
+            host_buffer_packets: 1000,
+            seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ClusterSpec {
+        ClusterSpec {
+            racks: 2,
+            hosts_per_rack: 8,
+            host_link: LinkSpec::gbps(1, 5),
+            uplink: LinkSpec::gbps(10, 5),
+            switch_qdisc: QdiscSpec::DropTail { capacity_packets: 100 },
+            host_buffer_packets: 1000,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn host_counting_and_racks() {
+        let s = spec();
+        s.validate();
+        assert_eq!(s.total_hosts(), 16);
+        assert_eq!(s.rack_of(0), 0);
+        assert_eq!(s.rack_of(7), 0);
+        assert_eq!(s.rack_of(8), 1);
+        assert_eq!(s.rack_of(15), 1);
+    }
+
+    #[test]
+    fn single_rack_helper() {
+        let s = ClusterSpec::single_rack(
+            4,
+            LinkSpec::gbps(1, 2),
+            QdiscSpec::DropTail { capacity_packets: 50 },
+            9,
+        );
+        s.validate();
+        assert_eq!(s.total_hosts(), 4);
+        assert_eq!(s.rack_of(3), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rack")]
+    fn zero_racks_rejected() {
+        let mut s = spec();
+        s.racks = 0;
+        s.validate();
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! Deterministic discrete-event simulation kernel.
+//!
+//! This crate is the substrate that replaces NS-2's event scheduler in the
+//! CLUSTER 2017 ECN/Hadoop reproduction. It provides:
+//!
+//! * [`SimTime`] / [`SimDuration`] — integer-nanosecond simulated time, so every
+//!   run is exactly reproducible (no floating-point drift in the clock).
+//! * [`EventQueue`] — a binary-heap priority queue with *stable* FIFO ordering
+//!   for events scheduled at the same instant, which is required for
+//!   deterministic packet ordering.
+//! * [`Scheduler`] — a run-to-completion driver with event accounting and a
+//!   hard time limit to guard against runaway simulations.
+//! * [`SimRng`] — seedable RNG plumbing so stochastic components (e.g. RED's
+//!   drop probability) are reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use simevent::{EventQueue, SimTime, SimDuration};
+//!
+//! let mut q: EventQueue<&'static str> = EventQueue::new();
+//! q.schedule(SimTime::from_micros(5), "second");
+//! q.schedule(SimTime::from_micros(1), "first");
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!(ev, "first");
+//! assert_eq!(t, SimTime::from_micros(1));
+//! ```
+
+mod queue;
+mod rng;
+mod scheduler;
+mod time;
+
+pub use queue::{EventQueue, ScheduledEvent};
+pub use rng::SimRng;
+pub use scheduler::{RunOutcome, Scheduler, SchedulerConfig, SchedulerStats};
+pub use time::{SimDuration, SimTime};

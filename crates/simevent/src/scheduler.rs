@@ -1,0 +1,221 @@
+//! Run-to-completion simulation driver.
+
+use crate::queue::EventQueue;
+use crate::time::SimTime;
+
+/// Limits and knobs for a simulation run.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Hard wall on simulated time; events beyond it are not processed.
+    pub time_limit: SimTime,
+    /// Hard wall on the number of events processed; guards against livelock.
+    pub event_limit: u64,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig { time_limit: SimTime::from_secs(3_600), event_limit: u64::MAX }
+    }
+}
+
+/// Why a run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained: the simulation reached a natural quiescent end.
+    Drained,
+    /// The configured simulated-time limit was reached.
+    TimeLimit,
+    /// The configured event-count limit was reached.
+    EventLimit,
+    /// The handler requested an early stop (e.g. the measured job finished).
+    Stopped,
+}
+
+/// Counters describing a finished run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SchedulerStats {
+    /// Events processed.
+    pub events_processed: u64,
+    /// Simulated instant of the last processed event.
+    pub end_time: SimTime,
+}
+
+/// The simulation driver: owns the clock and the event queue and hands each
+/// event to a caller-supplied handler.
+///
+/// The handler receives `(&mut Scheduler, SimTime, E)` and may schedule further
+/// events; returning `false` stops the run.
+#[derive(Debug)]
+pub struct Scheduler<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+    config: SchedulerConfig,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new(SchedulerConfig::default())
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// A scheduler with the given limits, clock at t=0.
+    pub fn new(config: SchedulerConfig) -> Self {
+        Scheduler { queue: EventQueue::new(), now: SimTime::ZERO, config }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// Panics if `at` is in the simulated past — such an event would silently
+    /// corrupt causality.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(at >= self.now, "cannot schedule into the past: {at} < {}", self.now);
+        self.queue.schedule(at, event);
+    }
+
+    /// Schedule `event` after a delay from the current instant.
+    pub fn schedule_after(&mut self, delay: crate::time::SimDuration, event: E) {
+        let at = self.now + delay;
+        self.queue.schedule(at, event);
+    }
+
+    /// Pending event count.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Run until the queue drains, a limit is hit, or the handler returns `false`.
+    pub fn run<F>(&mut self, mut handler: F) -> (RunOutcome, SchedulerStats)
+    where
+        F: FnMut(&mut Scheduler<E>, SimTime, E) -> bool,
+    {
+        let mut stats = SchedulerStats { events_processed: 0, end_time: self.now };
+        loop {
+            if stats.events_processed >= self.config.event_limit {
+                return (RunOutcome::EventLimit, stats);
+            }
+            let Some((at, event)) = self.queue.pop() else {
+                return (RunOutcome::Drained, stats);
+            };
+            if at > self.config.time_limit {
+                // Put nothing back: past the horizon the run is over.
+                self.now = self.config.time_limit;
+                stats.end_time = self.now;
+                return (RunOutcome::TimeLimit, stats);
+            }
+            debug_assert!(at >= self.now, "event queue yielded out-of-order event");
+            self.now = at;
+            stats.events_processed += 1;
+            stats.end_time = at;
+            if !handler(self, at, event) {
+                return (RunOutcome::Stopped, stats);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn drains_and_counts() {
+        let mut s: Scheduler<u32> = Scheduler::default();
+        for i in 0..5 {
+            s.schedule_at(SimTime::from_micros(i), i as u32);
+        }
+        let mut seen = Vec::new();
+        let (outcome, stats) = s.run(|_, _, e| {
+            seen.push(e);
+            true
+        });
+        assert_eq!(outcome, RunOutcome::Drained);
+        assert_eq!(stats.events_processed, 5);
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+        assert_eq!(stats.end_time, SimTime::from_micros(4));
+    }
+
+    #[test]
+    fn handler_can_schedule_more() {
+        let mut s: Scheduler<u64> = Scheduler::default();
+        s.schedule_at(SimTime::from_nanos(1), 0);
+        let (outcome, stats) = s.run(|sched, now, gen| {
+            if gen < 10 {
+                sched.schedule_at(now + SimDuration::from_nanos(1), gen + 1);
+            }
+            true
+        });
+        assert_eq!(outcome, RunOutcome::Drained);
+        assert_eq!(stats.events_processed, 11);
+    }
+
+    #[test]
+    fn stops_on_false() {
+        let mut s: Scheduler<u32> = Scheduler::default();
+        for i in 0..100 {
+            s.schedule_at(SimTime::from_nanos(i), i as u32);
+        }
+        let (outcome, stats) = s.run(|_, _, e| e < 10);
+        assert_eq!(outcome, RunOutcome::Stopped);
+        assert_eq!(stats.events_processed, 11);
+    }
+
+    #[test]
+    fn respects_time_limit() {
+        let mut s: Scheduler<()> = Scheduler::new(SchedulerConfig {
+            time_limit: SimTime::from_micros(10),
+            event_limit: u64::MAX,
+        });
+        s.schedule_at(SimTime::from_micros(5), ());
+        s.schedule_at(SimTime::from_micros(50), ());
+        let (outcome, stats) = s.run(|_, _, _| true);
+        assert_eq!(outcome, RunOutcome::TimeLimit);
+        assert_eq!(stats.events_processed, 1);
+        assert_eq!(s.now(), SimTime::from_micros(10));
+    }
+
+    #[test]
+    fn respects_event_limit() {
+        let mut s: Scheduler<()> = Scheduler::new(SchedulerConfig {
+            time_limit: SimTime::MAX,
+            event_limit: 3,
+        });
+        for i in 0..10 {
+            s.schedule_at(SimTime::from_nanos(i), ());
+        }
+        let (outcome, stats) = s.run(|_, _, _| true);
+        assert_eq!(outcome, RunOutcome::EventLimit);
+        assert_eq!(stats.events_processed, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_into_past_panics() {
+        let mut s: Scheduler<()> = Scheduler::default();
+        s.schedule_at(SimTime::from_micros(10), ());
+        s.run(|sched, _, _| {
+            sched.schedule_at(SimTime::from_micros(1), ());
+            true
+        });
+    }
+
+    #[test]
+    fn clock_is_monotone() {
+        let mut s: Scheduler<u64> = Scheduler::default();
+        for i in [7u64, 3, 9, 1, 4] {
+            s.schedule_at(SimTime::from_nanos(i), i);
+        }
+        let mut last = SimTime::ZERO;
+        s.run(|_, now, _| {
+            assert!(now >= last);
+            last = now;
+            true
+        });
+    }
+}

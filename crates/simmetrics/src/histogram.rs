@@ -1,0 +1,196 @@
+//! Streaming latency histogram.
+
+use serde::{Deserialize, Serialize};
+use simevent::SimDuration;
+
+/// Number of logarithmic buckets: bucket `i` covers `[2^i, 2^(i+1))` ns,
+/// so 64 buckets span the whole `u64` nanosecond range.
+const BUCKETS: usize = 64;
+
+/// A log-bucketed histogram of durations with exact mean/min/max tracking.
+///
+/// Means are exact (sum/count); quantiles are bucket-resolution (≤ 2×
+/// relative error), which is ample for reproducing the paper's normalised
+/// latency plots.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum_ns: u128,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+
+    fn bucket_of(ns: u64) -> usize {
+        // 0 ns lands in bucket 0.
+        (63 - ns.max(1).leading_zeros()) as usize
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, d: SimDuration) {
+        let ns = d.as_nanos();
+        self.buckets[Self::bucket_of(ns)] += 1;
+        self.count += 1;
+        self.sum_ns += ns as u128;
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact arithmetic mean, or zero when empty.
+    pub fn mean(&self) -> SimDuration {
+        if self.count == 0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_nanos((self.sum_ns / self.count as u128) as u64)
+    }
+
+    /// Smallest recorded sample, or zero when empty.
+    pub fn min(&self) -> SimDuration {
+        if self.count == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos(self.min_ns)
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> SimDuration {
+        SimDuration::from_nanos(self.max_ns)
+    }
+
+    /// Approximate quantile (`q` in `[0,1]`), at bucket resolution: returns
+    /// the upper bound of the bucket containing the q-th sample.
+    pub fn quantile(&self, q: f64) -> SimDuration {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.count == 0 {
+            return SimDuration::ZERO;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let upper = if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+                return SimDuration::from_nanos(upper.min(self.max_ns).max(self.min_ns));
+            }
+        }
+        SimDuration::from_nanos(self.max_ns)
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        if other.count > 0 {
+            self.min_ns = self.min_ns.min(other.min_ns);
+            self.max_ns = self.max_ns.max(other.max_ns);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), SimDuration::ZERO);
+        assert_eq!(h.min(), SimDuration::ZERO);
+        assert_eq!(h.quantile(0.5), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = LatencyHistogram::new();
+        h.record(SimDuration::from_micros(10));
+        h.record(SimDuration::from_micros(20));
+        h.record(SimDuration::from_micros(30));
+        assert_eq!(h.mean(), SimDuration::from_micros(20));
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), SimDuration::from_micros(10));
+        assert_eq!(h.max(), SimDuration::from_micros(30));
+    }
+
+    #[test]
+    fn quantile_bucket_resolution() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record(SimDuration::from_micros(10));
+        }
+        h.record(SimDuration::from_millis(10));
+        let p50 = h.quantile(0.5).as_nanos() as f64;
+        assert!((10_000.0..20_000.0).contains(&p50), "p50 = {p50}");
+        let p999 = h.quantile(0.999).as_nanos();
+        assert!(p999 >= 8_000_000, "p999 = {p999}");
+    }
+
+    #[test]
+    fn quantile_monotone() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=1000u64 {
+            h.record(SimDuration::from_micros(i));
+        }
+        let qs = [0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+        for w in qs.windows(2) {
+            assert!(h.quantile(w[0]) <= h.quantile(w[1]));
+        }
+    }
+
+    #[test]
+    fn zero_duration_sample() {
+        let mut h = LatencyHistogram::new();
+        h.record(SimDuration::ZERO);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.mean(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(SimDuration::from_micros(10));
+        b.record(SimDuration::from_micros(30));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.mean(), SimDuration::from_micros(20));
+        assert_eq!(a.max(), SimDuration::from_micros(30));
+        assert_eq!(a.min(), SimDuration::from_micros(10));
+    }
+
+    #[test]
+    fn merge_with_empty_keeps_minmax() {
+        let mut a = LatencyHistogram::new();
+        a.record(SimDuration::from_micros(5));
+        a.merge(&LatencyHistogram::new());
+        assert_eq!(a.min(), SimDuration::from_micros(5));
+        assert_eq!(a.count(), 1);
+    }
+}

@@ -1,0 +1,20 @@
+#![warn(missing_docs)]
+
+//! Measurement infrastructure for the ECN/Hadoop reproduction.
+//!
+//! Three instruments cover everything the paper reports:
+//!
+//! * [`LatencyHistogram`] — streaming log-bucketed histogram of per-packet
+//!   end-to-end latencies (paper Fig. 4's metric);
+//! * [`ThroughputMeter`] — bytes-delivered accounting per node and cluster-wide
+//!   (paper Fig. 3's metric);
+//! * [`QueueTrace`] — time series of a queue's occupancy with per-packet-kind
+//!   composition (the paper's Fig. 1 "snapshot of a network switch queue").
+
+mod histogram;
+mod queue_trace;
+mod throughput;
+
+pub use histogram::LatencyHistogram;
+pub use queue_trace::{QueueSample, QueueTrace};
+pub use throughput::ThroughputMeter;

@@ -1,0 +1,194 @@
+//! Queue-occupancy time series with packet-kind composition (paper Fig. 1).
+
+use netpacket::PacketKind;
+use serde::{Deserialize, Serialize};
+use simevent::SimTime;
+
+/// One snapshot of a queue: when, how full, and what it is full *of*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueueSample {
+    /// Sample instant.
+    pub at: SimTime,
+    /// Resident packets, total.
+    pub len_packets: u64,
+    /// Resident bytes.
+    pub len_bytes: u64,
+    /// Resident packets by kind (indexed by `PacketKind::index()`).
+    pub by_kind: [u64; 6],
+}
+
+impl QueueSample {
+    /// Count of resident packets of one kind.
+    pub fn kind(&self, k: PacketKind) -> u64 {
+        self.by_kind[k.index()]
+    }
+
+    /// Fraction of resident packets that are data (the paper's Fig. 1 shows a
+    /// queue dominated by ECT data with ACKs squeezed out).
+    pub fn data_fraction(&self) -> f64 {
+        if self.len_packets == 0 {
+            return 0.0;
+        }
+        self.kind(PacketKind::Data) as f64 / self.len_packets as f64
+    }
+}
+
+/// A bounded trace of queue snapshots taken at a fixed sampling interval.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueueTrace {
+    samples: Vec<QueueSample>,
+    max_samples: usize,
+    /// Running peak occupancy over the whole run (kept even when samples are
+    /// capped).
+    peak_packets: u64,
+}
+
+impl QueueTrace {
+    /// A trace holding at most `max_samples` snapshots (older ones are kept,
+    /// further ones dropped — experiments size this to cover the run).
+    pub fn new(max_samples: usize) -> Self {
+        QueueTrace { samples: Vec::new(), max_samples, peak_packets: 0 }
+    }
+
+    /// Record a snapshot.
+    pub fn record(&mut self, sample: QueueSample) {
+        self.peak_packets = self.peak_packets.max(sample.len_packets);
+        if self.samples.len() < self.max_samples {
+            self.samples.push(sample);
+        }
+    }
+
+    /// The recorded snapshots, in time order.
+    pub fn samples(&self) -> &[QueueSample] {
+        &self.samples
+    }
+
+    /// Peak packet occupancy observed (including beyond the sample cap).
+    pub fn peak_packets(&self) -> u64 {
+        self.peak_packets
+    }
+
+    /// Mean packet occupancy over the recorded samples.
+    pub fn mean_packets(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|s| s.len_packets).sum::<u64>() as f64 / self.samples.len() as f64
+    }
+
+    /// Render the trace as CSV: `time_us,total,data,ack,syn,syn_ack,fin,other`.
+    /// One row per sample — ready for external plotting of the paper's Fig. 1.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("time_us,total_packets,data,ack,syn,syn_ack,fin,other\n");
+        for s in &self.samples {
+            out.push_str(&format!(
+                "{:.3},{},{},{},{},{},{},{}\n",
+                s.at.as_micros_f64(),
+                s.len_packets,
+                s.by_kind[PacketKind::Data.index()],
+                s.by_kind[PacketKind::PureAck.index()],
+                s.by_kind[PacketKind::Syn.index()],
+                s.by_kind[PacketKind::SynAck.index()],
+                s.by_kind[PacketKind::Fin.index()],
+                s.by_kind[PacketKind::Other.index()],
+            ));
+        }
+        out
+    }
+
+    /// Mean packet occupancy over non-empty samples only ("while busy").
+    pub fn mean_nonempty_packets(&self) -> f64 {
+        let non_empty: Vec<u64> = self
+            .samples
+            .iter()
+            .map(|s| s.len_packets)
+            .filter(|&l| l > 0)
+            .collect();
+        if non_empty.is_empty() {
+            return 0.0;
+        }
+        non_empty.iter().sum::<u64>() as f64 / non_empty.len() as f64
+    }
+
+    /// Mean fraction of occupancy that is data packets, over non-empty samples.
+    pub fn mean_data_fraction(&self) -> f64 {
+        let non_empty: Vec<_> = self.samples.iter().filter(|s| s.len_packets > 0).collect();
+        if non_empty.is_empty() {
+            return 0.0;
+        }
+        non_empty.iter().map(|s| s.data_fraction()).sum::<f64>() / non_empty.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(at_us: u64, data: u64, acks: u64) -> QueueSample {
+        let mut by_kind = [0u64; 6];
+        by_kind[PacketKind::Data.index()] = data;
+        by_kind[PacketKind::PureAck.index()] = acks;
+        QueueSample {
+            at: SimTime::from_micros(at_us),
+            len_packets: data + acks,
+            len_bytes: data * 1526 + acks * 150,
+            by_kind,
+        }
+    }
+
+    #[test]
+    fn composition_accessors() {
+        let s = sample(1, 90, 10);
+        assert_eq!(s.kind(PacketKind::Data), 90);
+        assert_eq!(s.kind(PacketKind::PureAck), 10);
+        assert!((s.data_fraction() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sample_fraction_zero() {
+        let s = sample(1, 0, 0);
+        assert_eq!(s.data_fraction(), 0.0);
+    }
+
+    #[test]
+    fn trace_caps_but_tracks_peak() {
+        let mut t = QueueTrace::new(2);
+        t.record(sample(1, 5, 0));
+        t.record(sample(2, 10, 0));
+        t.record(sample(3, 100, 0)); // beyond cap, but peak still counted
+        assert_eq!(t.samples().len(), 2);
+        assert_eq!(t.peak_packets(), 100);
+    }
+
+    #[test]
+    fn means() {
+        let mut t = QueueTrace::new(10);
+        t.record(sample(1, 8, 2));
+        t.record(sample(2, 6, 4));
+        t.record(sample(3, 0, 0)); // empty sample excluded from data fraction
+        assert!((t.mean_packets() - 20.0 / 3.0).abs() < 1e-9);
+        assert!((t.mean_data_fraction() - (0.8 + 0.6) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let mut t = QueueTrace::new(10);
+        t.record(sample(3, 7, 2));
+        let csv = t.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "time_us,total_packets,data,ack,syn,syn_ack,fin,other"
+        );
+        assert_eq!(lines.next().unwrap(), "3.000,9,7,2,0,0,0,0");
+        assert!(lines.next().is_none());
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = QueueTrace::new(4);
+        assert_eq!(t.mean_packets(), 0.0);
+        assert_eq!(t.mean_data_fraction(), 0.0);
+        assert_eq!(t.peak_packets(), 0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Per-node and cluster-wide goodput accounting.
+
+use netpacket::NodeId;
+use serde::{Deserialize, Serialize};
+use simevent::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Counts application payload bytes delivered to each node over time, and
+/// turns them into the paper's "average throughput per node" (Fig. 3 metric).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ThroughputMeter {
+    per_node: BTreeMap<NodeId, u64>,
+    total_bytes: u64,
+    first_delivery: Option<SimTime>,
+    last_delivery: Option<SimTime>,
+}
+
+impl ThroughputMeter {
+    /// An empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `bytes` of payload delivered at `node`.
+    pub fn record(&mut self, node: NodeId, bytes: u64, now: SimTime) {
+        if bytes == 0 {
+            return;
+        }
+        *self.per_node.entry(node).or_insert(0) += bytes;
+        self.total_bytes += bytes;
+        if self.first_delivery.is_none() {
+            self.first_delivery = Some(now);
+        }
+        self.last_delivery = Some(now);
+    }
+
+    /// Total payload bytes delivered cluster-wide.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Payload bytes delivered to one node.
+    pub fn node_bytes(&self, node: NodeId) -> u64 {
+        self.per_node.get(&node).copied().unwrap_or(0)
+    }
+
+    /// Nodes that received anything.
+    pub fn active_nodes(&self) -> usize {
+        self.per_node.len()
+    }
+
+    /// Cluster goodput in bits/s over `duration`.
+    pub fn cluster_bps(&self, duration: SimDuration) -> f64 {
+        if duration == SimDuration::ZERO {
+            return 0.0;
+        }
+        self.total_bytes as f64 * 8.0 / duration.as_secs_f64()
+    }
+
+    /// The paper's Fig. 3 metric: mean goodput per receiving node, bits/s.
+    pub fn mean_node_bps(&self, duration: SimDuration) -> f64 {
+        if self.per_node.is_empty() {
+            return 0.0;
+        }
+        self.cluster_bps(duration) / self.per_node.len() as f64
+    }
+
+    /// Span between first and last delivery.
+    pub fn active_span(&self) -> SimDuration {
+        match (self.first_delivery, self.last_delivery) {
+            (Some(a), Some(b)) => b.since(a),
+            _ => SimDuration::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_meter() {
+        let m = ThroughputMeter::new();
+        assert_eq!(m.total_bytes(), 0);
+        assert_eq!(m.cluster_bps(SimDuration::from_secs(1)), 0.0);
+        assert_eq!(m.mean_node_bps(SimDuration::from_secs(1)), 0.0);
+        assert_eq!(m.active_span(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn accumulates_per_node() {
+        let mut m = ThroughputMeter::new();
+        m.record(NodeId(1), 1000, SimTime::from_secs(1));
+        m.record(NodeId(2), 3000, SimTime::from_secs(2));
+        m.record(NodeId(1), 500, SimTime::from_secs(3));
+        assert_eq!(m.total_bytes(), 4500);
+        assert_eq!(m.node_bytes(NodeId(1)), 1500);
+        assert_eq!(m.node_bytes(NodeId(2)), 3000);
+        assert_eq!(m.node_bytes(NodeId(3)), 0);
+        assert_eq!(m.active_nodes(), 2);
+        assert_eq!(m.active_span(), SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn zero_byte_records_ignored() {
+        let mut m = ThroughputMeter::new();
+        m.record(NodeId(1), 0, SimTime::from_secs(1));
+        assert_eq!(m.active_nodes(), 0);
+        assert_eq!(m.active_span(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn throughput_math() {
+        let mut m = ThroughputMeter::new();
+        m.record(NodeId(1), 125_000, SimTime::from_secs(1)); // 1 Mbit
+        m.record(NodeId(2), 125_000, SimTime::from_secs(1));
+        let bps = m.cluster_bps(SimDuration::from_secs(2));
+        assert!((bps - 1_000_000.0).abs() < 1.0, "bps = {bps}");
+        let per_node = m.mean_node_bps(SimDuration::from_secs(2));
+        assert!((per_node - 500_000.0).abs() < 1.0);
+    }
+}

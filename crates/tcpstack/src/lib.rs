@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! Packet-level TCP endpoints for the ECN/Hadoop reproduction.
+//!
+//! This crate replaces NS-2's TCP agents (plus the Stanford DCTCP patch) with
+//! a from-scratch implementation of the pieces the paper's pathology depends
+//! on:
+//!
+//! * **connection establishment** — SYN / SYN-ACK / ACK with exponential SYN
+//!   retransmission (a dropped SYN stalls a flow for a full second, which is
+//!   exactly why the paper protects handshake packets);
+//! * **cumulative-ACK reliability** — dup-ACK fast retransmit, NewReno
+//!   partial-ACK recovery, RFC 6298 retransmission timer with backoff, and
+//!   the whole-window-loss → RTO → `cwnd = 1 MSS` collapse the paper calls
+//!   "devastating";
+//! * **ECN (RFC 3168)** — data segments are ECT(0) while **pure ACKs, SYN and
+//!   SYN-ACK are Non-ECT** (the untold truth), receivers echo CE via the ECE
+//!   flag until they see CWR, senders react at most once per window;
+//! * **DCTCP** — per-ACK CE feedback, `alpha = (1-g)alpha + g·F` per window,
+//!   multiplicative reduction by `alpha/2`.
+//!
+//! Endpoints are *reactive state machines*: the network layer feeds them
+//! segments and timer expiries and drains their outbox. They never touch the
+//! event queue themselves, which keeps them trivially testable.
+
+mod agent;
+mod config;
+mod intervals;
+mod receiver;
+mod reassembly;
+mod rtt;
+mod sender;
+
+pub use agent::TcpAgent;
+pub use config::{EcnMode, TcpConfig};
+pub use intervals::IntervalSet;
+pub use receiver::{Receiver, ReceiverStats};
+pub use reassembly::Reassembly;
+pub use rtt::RttEstimator;
+pub use sender::{Sender, SenderStats};

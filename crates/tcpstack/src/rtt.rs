@@ -1,0 +1,159 @@
+//! RFC 6298 retransmission-timeout estimation.
+
+use simevent::SimDuration;
+
+/// SRTT/RTTVAR estimator per RFC 6298, with Karn's rule applied by the caller
+/// (only samples from non-retransmitted segments are fed in).
+#[derive(Debug, Clone)]
+pub struct RttEstimator {
+    srtt: Option<SimDuration>,
+    rttvar: SimDuration,
+    min_rto: SimDuration,
+    max_rto: SimDuration,
+    initial_rto: SimDuration,
+    /// Exponential backoff multiplier applied after each timeout.
+    backoff: u32,
+}
+
+impl RttEstimator {
+    /// A fresh estimator with no samples.
+    pub fn new(initial_rto: SimDuration, min_rto: SimDuration, max_rto: SimDuration) -> Self {
+        RttEstimator { srtt: None, rttvar: SimDuration::ZERO, min_rto, max_rto, initial_rto, backoff: 0 }
+    }
+
+    /// Feed a round-trip sample from a non-retransmitted segment.
+    pub fn sample(&mut self, rtt: SimDuration) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(rtt);
+                self.rttvar = rtt / 2;
+            }
+            Some(srtt) => {
+                // RTTVAR <- 3/4 RTTVAR + 1/4 |SRTT - R'|
+                let err = if srtt > rtt { srtt - rtt } else { rtt - srtt };
+                self.rttvar = self.rttvar.mul_f64(0.75) + err.mul_f64(0.25);
+                // SRTT <- 7/8 SRTT + 1/8 R'
+                self.srtt = Some(srtt.mul_f64(7.0 / 8.0) + rtt.mul_f64(1.0 / 8.0));
+            }
+        }
+        // A valid sample resets the backoff (Karn).
+        self.backoff = 0;
+    }
+
+    /// The current RTO including backoff, clamped to `[min_rto, max_rto]`.
+    pub fn rto(&self) -> SimDuration {
+        let base = match self.srtt {
+            None => self.initial_rto,
+            Some(srtt) => {
+                let var4 = self.rttvar.saturating_mul(4);
+                // Clock granularity G is 1 ns here; rttvar dominates.
+                srtt + var4
+            }
+        };
+        let base = base.max(self.min_rto);
+        let backed = base.saturating_mul(1u64 << self.backoff.min(16));
+        backed.min(self.max_rto)
+    }
+
+    /// Double the RTO after a retransmission timeout.
+    pub fn back_off(&mut self) {
+        self.backoff = self.backoff.saturating_add(1);
+    }
+
+    /// Current backoff exponent (0 = none).
+    pub fn backoff_level(&self) -> u32 {
+        self.backoff
+    }
+
+    /// Smoothed RTT, if any sample has been taken.
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.srtt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn est() -> RttEstimator {
+        RttEstimator::new(
+            SimDuration::from_secs(1),
+            SimDuration::from_millis(200),
+            SimDuration::from_secs(60),
+        )
+    }
+
+    #[test]
+    fn initial_rto_before_samples() {
+        assert_eq!(est().rto(), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn first_sample_initialises() {
+        let mut e = est();
+        e.sample(SimDuration::from_millis(100));
+        assert_eq!(e.srtt(), Some(SimDuration::from_millis(100)));
+        // RTO = srtt + 4*rttvar = 100 + 4*50 = 300ms, above the 200ms floor.
+        assert_eq!(e.rto(), SimDuration::from_millis(300));
+    }
+
+    #[test]
+    fn min_rto_floor_applies() {
+        let mut e = est();
+        // Tiny, stable RTT: RTO must clamp at min_rto.
+        for _ in 0..50 {
+            e.sample(SimDuration::from_micros(100));
+        }
+        assert_eq!(e.rto(), SimDuration::from_millis(200));
+    }
+
+    #[test]
+    fn srtt_converges_to_stable_rtt() {
+        let mut e = est();
+        for _ in 0..100 {
+            e.sample(SimDuration::from_millis(10));
+        }
+        let srtt = e.srtt().unwrap();
+        assert!((srtt.as_secs_f64() - 0.010).abs() < 1e-4, "srtt = {srtt}");
+    }
+
+    #[test]
+    fn variance_grows_with_jitter() {
+        let mut stable = est();
+        let mut jittery = est();
+        for i in 0..100 {
+            stable.sample(SimDuration::from_millis(50));
+            jittery.sample(SimDuration::from_millis(if i % 2 == 0 { 10 } else { 90 }));
+        }
+        assert!(jittery.rto() > stable.rto());
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let mut e = est();
+        e.sample(SimDuration::from_millis(100)); // rto = 300ms
+        let base = e.rto();
+        e.back_off();
+        assert_eq!(e.rto(), base.saturating_mul(2));
+        e.back_off();
+        assert_eq!(e.rto(), base.saturating_mul(4));
+        for _ in 0..30 {
+            e.back_off();
+        }
+        assert_eq!(e.rto(), SimDuration::from_secs(60), "capped at max_rto");
+    }
+
+    #[test]
+    fn sample_resets_backoff() {
+        let mut e = est();
+        e.sample(SimDuration::from_millis(100));
+        e.back_off();
+        e.back_off();
+        assert_eq!(e.backoff_level(), 2);
+        e.sample(SimDuration::from_millis(100));
+        assert_eq!(e.backoff_level(), 0);
+        // Second identical sample: RTTVAR decays to 3/4 * 50ms = 37.5ms,
+        // so RTO = 100ms + 4 * 37.5ms = 250ms.
+        assert_eq!(e.rto(), SimDuration::from_millis(250));
+    }
+}

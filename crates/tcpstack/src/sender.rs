@@ -1,0 +1,935 @@
+//! The sending endpoint: NewReno congestion control, ECN and DCTCP reactions.
+
+use crate::agent::TcpAgent;
+use crate::config::{EcnMode, TcpConfig};
+use crate::intervals::IntervalSet;
+use crate::rtt::RttEstimator;
+use netpacket::{EcnCodepoint, FlowId, NodeId, Packet, PacketId, TcpFlags};
+use serde::{Deserialize, Serialize};
+use simevent::SimTime;
+
+/// Counters exposed for experiment reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SenderStats {
+    /// Data segments sent (including retransmissions).
+    pub data_segments_sent: u64,
+    /// Retransmitted data segments (fast retransmit + RTO).
+    pub retransmits: u64,
+    /// Fast retransmits triggered by 3 duplicate ACKs.
+    pub fast_retransmits: u64,
+    /// Retransmission timeouts fired with data outstanding.
+    pub timeouts: u64,
+    /// SYN retransmissions (the paper: dropped SYNs block connection setup).
+    pub syn_retransmits: u64,
+    /// ACKs carrying the ECE flag received.
+    pub ece_acks: u64,
+    /// Congestion-window reductions caused by ECN (ECE) rather than loss.
+    pub ecn_reductions: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// SYN sent, waiting for SYN-ACK.
+    SynSent,
+    /// Handshake done, moving data.
+    Established,
+    /// All data acknowledged.
+    Complete,
+}
+
+/// A one-directional TCP sender pushing `total_bytes` to a [`crate::Receiver`].
+///
+/// Sequence space: the SYN occupies seq 0, data occupies `[1, total_bytes+1)`.
+/// The flow is complete when `snd_una == total_bytes + 1`.
+#[derive(Debug)]
+pub struct Sender {
+    cfg: TcpConfig,
+    flow: FlowId,
+    src: NodeId,
+    dst: NodeId,
+    total: u64,
+    state: State,
+
+    snd_una: u64,
+    snd_nxt: u64,
+    cwnd: f64,
+    ssthresh: f64,
+    dupacks: u32,
+    in_recovery: bool,
+    recover: u64,
+
+    rtt: RttEstimator,
+    rto_deadline: Option<SimTime>,
+    /// One outstanding RTT sample: (ack level that completes it, send time).
+    rtt_sample: Option<(u64, SimTime)>,
+
+    /// ECN actually negotiated on the handshake.
+    ecn_on: bool,
+    /// Reduce-once-per-window guard: ignore ECE until snd_una passes this.
+    cwr_end: u64,
+    /// Send CWR on outgoing data segments until the reduction window is
+    /// acknowledged. Sticky (not one-shot) so a lost CWR-carrying segment
+    /// cannot leave the receiver's ECE latch stuck — a stuck latch would
+    /// halve cwnd every window for the rest of the flow.
+    send_cwr: bool,
+
+    // DCTCP state.
+    alpha: f64,
+    ce_acked: u64,
+    window_acked: u64,
+    alpha_end: u64,
+
+    /// Highest sequence number ever transmitted (for Karn's rule after a
+    /// go-back-N timeout, where `snd_nxt` rewinds below it).
+    max_sent: u64,
+
+    /// SACK scoreboard: ranges above `snd_una` the receiver reported holding.
+    sacked: IntervalSet,
+    /// Retransmission cursor within the current recovery episode: holes below
+    /// this have already been retransmitted once.
+    retx_point: u64,
+
+    outbox: Vec<Packet>,
+    pkt_counter: u32,
+    stats: SenderStats,
+    started_at: SimTime,
+    completed_at: Option<SimTime>,
+}
+
+impl Sender {
+    /// Create the sender and immediately emit the SYN into the outbox.
+    pub fn new(
+        flow: FlowId,
+        src: NodeId,
+        dst: NodeId,
+        total_bytes: u64,
+        cfg: TcpConfig,
+        now: SimTime,
+    ) -> Self {
+        cfg.validate();
+        let cwnd = (cfg.init_cwnd_segments as f64) * cfg.mss as f64;
+        let ssthresh = cfg.recv_wnd as f64;
+        let rtt = RttEstimator::new(cfg.initial_rto, cfg.min_rto, cfg.max_rto);
+        let mut s = Sender {
+            cfg,
+            flow,
+            src,
+            dst,
+            total: total_bytes,
+            state: State::SynSent,
+            snd_una: 0,
+            snd_nxt: 1, // SYN occupies seq 0
+            cwnd,
+            ssthresh,
+            dupacks: 0,
+            in_recovery: false,
+            recover: 0,
+            rtt,
+            rto_deadline: None,
+            rtt_sample: None,
+            ecn_on: false,
+            cwr_end: 0,
+            send_cwr: false,
+            alpha: 1.0,
+            ce_acked: 0,
+            window_acked: 0,
+            alpha_end: 1,
+            max_sent: 1,
+            sacked: IntervalSet::new(),
+            retx_point: 1,
+            outbox: Vec::new(),
+            pkt_counter: 0,
+            stats: SenderStats::default(),
+            started_at: now,
+            completed_at: None,
+        };
+        s.send_syn(now);
+        s
+    }
+
+    // ----- accessors ------------------------------------------------------
+
+    /// Bytes acknowledged so far (excluding SYN).
+    pub fn bytes_acked(&self) -> u64 {
+        self.snd_una.saturating_sub(1).min(self.total)
+    }
+
+    /// Total bytes this flow will transfer.
+    pub fn total_bytes(&self) -> u64 {
+        self.total
+    }
+
+    /// Congestion window in bytes.
+    pub fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    /// Slow-start threshold in bytes.
+    pub fn ssthresh(&self) -> f64 {
+        self.ssthresh
+    }
+
+    /// DCTCP's congestion-extent estimate.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// True once the handshake completed and ECN was agreed by both ends.
+    pub fn ecn_negotiated(&self) -> bool {
+        self.ecn_on
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> &SenderStats {
+        &self.stats
+    }
+
+    /// When the flow was created (SYN first sent).
+    pub fn started_at(&self) -> SimTime {
+        self.started_at
+    }
+
+    /// When the final byte was acknowledged, if the flow is complete.
+    pub fn completed_at(&self) -> Option<SimTime> {
+        self.completed_at
+    }
+
+    /// True while unacknowledged data (or SYN) is outstanding.
+    pub fn has_outstanding(&self) -> bool {
+        self.snd_nxt > self.snd_una
+    }
+
+    /// Bytes currently marked received-out-of-order by the SACK scoreboard.
+    pub fn sacked_bytes(&self) -> u64 {
+        self.sacked.covered_len()
+    }
+
+    // ----- packet construction --------------------------------------------
+
+    fn next_id(&mut self) -> PacketId {
+        self.pkt_counter += 1;
+        PacketId((self.flow.0 << 20) | self.pkt_counter as u64)
+    }
+
+    fn send_syn(&mut self, now: SimTime) {
+        let flags = if self.cfg.ecn.uses_ecn() {
+            TcpFlags::ecn_setup_syn()
+        } else {
+            TcpFlags::SYN
+        };
+        // Stock TCP: SYNs are never ECT (paper §II-B). With the ECN++
+        // extension they are, so AQMs mark instead of dropping them.
+        let ecn = if self.cfg.ect_control_packets && self.cfg.ecn.uses_ecn() {
+            EcnCodepoint::Ect0
+        } else {
+            EcnCodepoint::NotEct
+        };
+        let pkt = Packet {
+            id: self.next_id(),
+            flow: self.flow,
+            src: self.src,
+            dst: self.dst,
+            seq: 0,
+            ack: 0,
+            payload: 0,
+            flags,
+            ecn,
+            sack: netpacket::SackBlocks::EMPTY,
+            sent_at: now,
+        };
+        self.outbox.push(pkt);
+        self.rto_deadline = Some(now + self.rtt.rto());
+    }
+
+    fn send_handshake_ack(&mut self, now: SimTime) {
+        let ecn = if self.cfg.ect_control_packets && self.ecn_on {
+            EcnCodepoint::Ect0 // ECN++ extension
+        } else {
+            EcnCodepoint::NotEct // pure ACKs are never ECT — the crux
+        };
+        let pkt = Packet {
+            id: self.next_id(),
+            flow: self.flow,
+            src: self.src,
+            dst: self.dst,
+            seq: self.snd_nxt,
+            ack: 1, // receiver's SYN occupies its seq 0
+            payload: 0,
+            flags: TcpFlags::ACK,
+            ecn,
+            sack: netpacket::SackBlocks::EMPTY,
+            sent_at: now,
+        };
+        self.outbox.push(pkt);
+    }
+
+    fn emit_data(&mut self, seq: u64, len: u32, now: SimTime, is_retransmit: bool) {
+        let mut flags = TcpFlags::ACK;
+        if self.send_cwr && self.ecn_on {
+            flags.insert(TcpFlags::CWR);
+        }
+        let ecn = if self.ecn_on { EcnCodepoint::Ect0 } else { EcnCodepoint::NotEct };
+        let pkt = Packet {
+            id: self.next_id(),
+            flow: self.flow,
+            src: self.src,
+            dst: self.dst,
+            seq,
+            ack: 1,
+            payload: len,
+            flags,
+            ecn,
+            sack: netpacket::SackBlocks::EMPTY,
+            sent_at: now,
+        };
+        self.outbox.push(pkt);
+        self.stats.data_segments_sent += 1;
+        if is_retransmit {
+            self.stats.retransmits += 1;
+            // Karn: never sample RTT from a retransmitted range.
+            self.rtt_sample = None;
+        } else if self.rtt_sample.is_none() {
+            self.rtt_sample = Some((seq + len as u64, now));
+        }
+        if self.rto_deadline.is_none() {
+            self.rto_deadline = Some(now + self.rtt.rto());
+        }
+    }
+
+    // ----- congestion control ---------------------------------------------
+
+    fn mss_f(&self) -> f64 {
+        self.cfg.mss as f64
+    }
+
+    fn flight(&self) -> u64 {
+        self.snd_nxt - self.snd_una
+    }
+
+    fn usable_window(&self) -> f64 {
+        self.cwnd.min(self.cfg.recv_wnd as f64)
+    }
+
+    /// React to an ECE-carrying ACK, at most once per window.
+    fn maybe_ecn_react(&mut self, ack: u64) {
+        if !self.ecn_on || self.in_recovery {
+            return;
+        }
+        if ack <= self.cwr_end {
+            return; // already reacted this window
+        }
+        match self.cfg.ecn {
+            EcnMode::Ecn => {
+                // RFC 3168: same response as a loss, but without retransmission.
+                self.ssthresh = (self.cwnd / 2.0).max(2.0 * self.mss_f());
+                self.cwnd = self.ssthresh;
+            }
+            EcnMode::Dctcp => {
+                // DCTCP: scale by the congestion extent.
+                self.cwnd = (self.cwnd * (1.0 - self.alpha / 2.0)).max(self.mss_f());
+                self.ssthresh = self.cwnd;
+            }
+            EcnMode::Off => return,
+        }
+        self.cwr_end = self.snd_nxt;
+        self.send_cwr = true;
+        self.stats.ecn_reductions += 1;
+    }
+
+    /// DCTCP per-window alpha update.
+    fn dctcp_account(&mut self, newly: u64, ece: bool, ack: u64) {
+        if self.cfg.ecn != EcnMode::Dctcp {
+            return;
+        }
+        self.window_acked += newly;
+        if ece {
+            self.ce_acked += newly;
+        }
+        if ack >= self.alpha_end {
+            if self.window_acked > 0 {
+                let f = self.ce_acked as f64 / self.window_acked as f64;
+                let g = self.cfg.dctcp_g;
+                self.alpha = (1.0 - g) * self.alpha + g * f;
+            }
+            self.ce_acked = 0;
+            self.window_acked = 0;
+            self.alpha_end = self.snd_nxt;
+        }
+    }
+
+    fn on_new_ack(&mut self, ack: u64, ece: bool, now: SimTime) {
+        // The ECN reduction window has passed: stop advertising CWR.
+        if self.send_cwr && ack > self.cwr_end {
+            self.send_cwr = false;
+        }
+        // After a go-back-N rewind a cumulative ACK can exceed snd_nxt (it
+        // covers data sent before the timeout): pull snd_nxt forward so the
+        // covered range is never retransmitted and flight() stays well-formed.
+        self.snd_nxt = self.snd_nxt.max(ack);
+        let newly = ack - self.snd_una;
+        self.dctcp_account(newly, ece, ack);
+        if ece {
+            self.maybe_ecn_react(ack);
+        }
+        // Complete an outstanding RTT sample.
+        if let Some((need, sent)) = self.rtt_sample {
+            if ack >= need {
+                self.rtt.sample(now.since(sent));
+                self.rtt_sample = None;
+            }
+        }
+        self.sacked.prune_below(ack);
+        if self.in_recovery {
+            if ack >= self.recover {
+                // Full ACK: leave fast recovery.
+                self.in_recovery = false;
+                self.cwnd = self.ssthresh;
+                self.dupacks = 0;
+                self.snd_una = ack;
+            } else {
+                // Partial ACK: retransmit the next hole (SACK skips ranges
+                // the receiver already holds), deflate (NewReno).
+                self.snd_una = ack;
+                self.retx_point = self.retx_point.max(ack);
+                self.cwnd = (self.cwnd - newly as f64 + self.mss_f()).max(self.mss_f());
+                let _ = self.retransmit_next_hole(now);
+            }
+        } else {
+            self.dupacks = 0;
+            self.snd_una = ack;
+            // Window growth.
+            if self.cwnd < self.ssthresh {
+                self.cwnd += self.mss_f().min(newly as f64);
+            } else {
+                self.cwnd += self.mss_f() * self.mss_f() / self.cwnd;
+            }
+        }
+        // Restart or disarm the retransmission timer.
+        if self.has_outstanding() {
+            self.rto_deadline = Some(now + self.rtt.rto());
+        } else {
+            self.rto_deadline = None;
+        }
+        // Completion check: all data bytes acknowledged.
+        if self.snd_una > self.total {
+            self.state = State::Complete;
+            self.rto_deadline = None;
+            if self.completed_at.is_none() {
+                self.completed_at = Some(now);
+            }
+        }
+    }
+
+    fn on_dup_ack(&mut self, ece: bool, now: SimTime) {
+        if !self.has_outstanding() {
+            return;
+        }
+        if ece {
+            self.maybe_ecn_react(self.snd_una);
+        }
+        if self.in_recovery {
+            // Inflate: each dup signals a departed segment.
+            self.cwnd += self.mss_f();
+            if self.cfg.sack && !self.sacked.is_empty() && self.retransmit_next_hole(now) {
+                // SACK fast recovery: the freed slot was spent repairing a
+                // hole, so take the inflation back — exactly one packet
+                // enters the network per dupack, as in classic recovery.
+                self.cwnd -= self.mss_f();
+            }
+            return;
+        }
+        self.dupacks += 1;
+        if self.dupacks < 3 {
+            // Limited transmit (RFC 3042): send one previously unsent segment
+            // per early dupack so the ACK clock keeps running and fast
+            // retransmit can trigger even with small windows.
+            self.limited_transmit(now);
+            return;
+        }
+        if self.dupacks == 3 {
+            if self.cfg.sack
+                && self.stats.fast_retransmits > 0
+                && self.snd_una <= self.recover
+                && self.sacked.is_empty()
+            {
+                // RFC 6582-style "avoid multiple fast retransmits": with an
+                // empty scoreboard, dupacks at or below the last recovery
+                // point are echoes of our own retransmissions, not new loss.
+                // (A non-empty scoreboard is positive evidence of fresh loss,
+                // and the SACK-less path keeps classic NewReno behaviour.)
+                return;
+            }
+            // Fast retransmit + fast recovery (NewReno; SACK-aware hole
+            // selection when the scoreboard has data).
+            self.ssthresh = (self.flight() as f64 / 2.0).max(2.0 * self.mss_f());
+            self.cwnd = self.ssthresh + 3.0 * self.mss_f();
+            self.in_recovery = true;
+            self.recover = self.snd_nxt;
+            self.retx_point = self.snd_una;
+            self.stats.fast_retransmits += 1;
+            let _ = self.retransmit_next_hole(now);
+        }
+    }
+
+    /// RFC 3042 limited transmit: one new segment, bypassing cwnd (but not
+    /// the receiver window).
+    fn limited_transmit(&mut self, now: SimTime) {
+        if self.state != State::Established || self.snd_nxt > self.total {
+            return;
+        }
+        if self.flight() + self.cfg.mss as u64 > self.cfg.recv_wnd {
+            return;
+        }
+        let remaining = self.total + 1 - self.snd_nxt;
+        let seg = (self.cfg.mss as u64).min(remaining) as u32;
+        let seq = self.snd_nxt;
+        self.snd_nxt += seg as u64;
+        let is_retransmit = seq < self.max_sent;
+        self.max_sent = self.max_sent.max(self.snd_nxt);
+        self.emit_data(seq, seg, now, is_retransmit);
+    }
+
+    /// Retransmit the first not-yet-repaired hole in this recovery episode.
+    /// Without SACK the only known hole starts at `snd_una` (classic
+    /// NewReno); with SACK the scoreboard locates later holes and bounds the
+    /// retransmission so it never resends data the receiver holds.
+    /// Returns true when a retransmission was emitted.
+    fn retransmit_next_hole(&mut self, now: SimTime) -> bool {
+        let seq = if self.cfg.sack {
+            self.sacked
+                .first_uncovered(self.retx_point.max(self.snd_una).max(1))
+        } else {
+            self.snd_una.max(1)
+        };
+        if seq > self.total || seq >= self.recover.max(self.snd_una + 1) {
+            return false;
+        }
+        if self.cfg.sack && !self.sacked.is_empty() {
+            // RFC 6675 loss inference (simplified): only data BELOW the
+            // highest SACKed byte can be declared lost; everything above it
+            // is merely in flight and must not be retransmitted.
+            let highest = self.sacked.max_covered().unwrap_or(0);
+            if seq >= highest && seq != self.snd_una {
+                return false;
+            }
+        }
+        let mut len = (self.cfg.mss as u64).min(self.total + 1 - seq);
+        if self.cfg.sack {
+            if let Some(island) = self.sacked.next_covered_after(seq) {
+                len = len.min(island - seq);
+            }
+        }
+        self.retx_point = seq + len;
+        self.emit_data(seq, len as u32, now, true);
+        self.rto_deadline = Some(now + self.rtt.rto());
+        true
+    }
+
+    /// Send as much new data as the window allows.
+    fn try_send(&mut self, now: SimTime) {
+        if self.state != State::Established {
+            return;
+        }
+        loop {
+            if self.snd_nxt > self.total {
+                break; // everything transmitted at least once
+            }
+            let remaining = self.total + 1 - self.snd_nxt;
+            let seg = (self.cfg.mss as u64).min(remaining) as u32;
+            let win = self.usable_window();
+            let fits = (self.flight() + seg as u64) as f64 <= win;
+            // Progress guarantee: with an empty pipe always allow one segment,
+            // otherwise a sub-MSS cwnd would deadlock the flow.
+            if !fits && (self.flight() != 0) {
+                break;
+            }
+            let seq = self.snd_nxt;
+            self.snd_nxt += seg as u64;
+            // After a go-back-N timeout snd_nxt rewinds, so bytes below
+            // max_sent are retransmissions (no RTT samples — Karn's rule).
+            let is_retransmit = seq < self.max_sent;
+            self.max_sent = self.max_sent.max(self.snd_nxt);
+            self.emit_data(seq, seg, now, is_retransmit);
+            if !fits {
+                break;
+            }
+        }
+    }
+
+    fn handle_timeout(&mut self, now: SimTime) {
+        match self.state {
+            State::SynSent => {
+                // Dropped SYN: the paper's "new connections prevented from
+                // being established". Exponential backoff on the initial RTO.
+                self.stats.syn_retransmits += 1;
+                self.rtt.back_off();
+                let flags = if self.cfg.ecn.uses_ecn() {
+                    TcpFlags::ecn_setup_syn()
+                } else {
+                    TcpFlags::SYN
+                };
+                let id = self.next_id();
+                self.outbox.push(Packet {
+                    id,
+                    flow: self.flow,
+                    src: self.src,
+                    dst: self.dst,
+                    seq: 0,
+                    ack: 0,
+                    payload: 0,
+                    flags,
+                    ecn: EcnCodepoint::NotEct,
+                    sack: netpacket::SackBlocks::EMPTY,
+                    sent_at: now,
+                });
+                self.rto_deadline = Some(now + self.rtt.rto());
+            }
+            State::Established => {
+                if !self.has_outstanding() {
+                    self.rto_deadline = None;
+                    return;
+                }
+                // Whole-window loss or tail loss: collapse to 1 MSS and
+                // go-back-N (the receiver discards duplicates). This is the
+                // "devastating" event the paper describes for dropped ACK
+                // windows.
+                self.stats.timeouts += 1;
+                self.ssthresh = (self.flight() as f64 / 2.0).max(2.0 * self.mss_f());
+                self.cwnd = self.mss_f();
+                self.in_recovery = false;
+                self.dupacks = 0;
+                self.retx_point = self.snd_una;
+                self.snd_nxt = self.snd_una.max(1);
+                self.rtt.back_off();
+                self.rtt_sample = None;
+                self.rto_deadline = Some(now + self.rtt.rto());
+                self.try_send(now);
+            }
+            State::Complete => {
+                self.rto_deadline = None;
+            }
+        }
+    }
+}
+
+impl TcpAgent for Sender {
+    fn flow(&self) -> FlowId {
+        self.flow
+    }
+
+    fn on_segment(&mut self, pkt: &Packet, now: SimTime) {
+        match self.state {
+            State::SynSent => {
+                if pkt.is_syn_ack() && pkt.ack >= 1 {
+                    // ECN is on only if we asked AND the peer echoed ECE.
+                    self.ecn_on = self.cfg.ecn.uses_ecn() && pkt.flags.contains(TcpFlags::ECE);
+                    self.snd_una = 1;
+                    self.state = State::Established;
+                    self.rto_deadline = None;
+                    self.send_handshake_ack(now);
+                    if self.total == 0 {
+                        self.state = State::Complete;
+                        self.completed_at = Some(now);
+                    } else {
+                        self.try_send(now);
+                    }
+                }
+            }
+            State::Established => {
+                if pkt.is_syn_ack() {
+                    // Our handshake ACK was lost; re-ack.
+                    self.send_handshake_ack(now);
+                    return;
+                }
+                if !pkt.flags.contains(TcpFlags::ACK) {
+                    return;
+                }
+                if self.cfg.sack {
+                    for (bs, be) in pkt.sack.iter() {
+                        // Clamp to what we actually sent; ignore stale blocks.
+                        let bs = bs.max(self.snd_una);
+                        let be = be.min(self.max_sent);
+                        self.sacked.insert(bs, be);
+                    }
+                }
+                let ece = pkt.flags.contains(TcpFlags::ECE);
+                if ece {
+                    self.stats.ece_acks += 1;
+                }
+                if pkt.ack > self.max_sent {
+                    return; // acks data we never sent; ignore
+                }
+                if pkt.ack > self.snd_una {
+                    self.on_new_ack(pkt.ack, ece, now);
+                    self.try_send(now);
+                } else if pkt.ack == self.snd_una {
+                    self.on_dup_ack(ece, now);
+                    self.try_send(now);
+                }
+            }
+            State::Complete => {}
+        }
+    }
+
+    fn on_timer(&mut self, now: SimTime) {
+        if let Some(d) = self.rto_deadline {
+            if now >= d {
+                self.handle_timeout(now);
+            }
+        }
+    }
+
+    fn next_deadline(&self) -> Option<SimTime> {
+        self.rto_deadline
+    }
+
+    fn take_outbox(&mut self) -> Vec<Packet> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    fn is_complete(&self) -> bool {
+        self.state == State::Complete
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MSS: u64 = 1460;
+
+    fn mk(total: u64, ecn: EcnMode) -> Sender {
+        Sender::new(
+            FlowId(1),
+            NodeId(0),
+            NodeId(1),
+            total,
+            TcpConfig::with_ecn(ecn),
+            SimTime::ZERO,
+        )
+    }
+
+    fn syn_ack(ecn: bool) -> Packet {
+        Packet {
+            id: PacketId(900),
+            flow: FlowId(1),
+            src: NodeId(1),
+            dst: NodeId(0),
+            seq: 0,
+            ack: 1,
+            payload: 0,
+            flags: if ecn { TcpFlags::ecn_setup_syn_ack() } else { TcpFlags::SYN | TcpFlags::ACK },
+            ecn: EcnCodepoint::NotEct,
+            sack: netpacket::SackBlocks::EMPTY,
+            sent_at: SimTime::ZERO,
+        }
+    }
+
+    fn ack(ackno: u64, flags: TcpFlags) -> Packet {
+        Packet {
+            id: PacketId(901),
+            flow: FlowId(1),
+            src: NodeId(1),
+            dst: NodeId(0),
+            seq: 1,
+            ack: ackno,
+            payload: 0,
+            flags,
+            ecn: EcnCodepoint::NotEct,
+            sack: netpacket::SackBlocks::EMPTY,
+            sent_at: SimTime::ZERO,
+        }
+    }
+
+    /// Establish the connection and drain the handshake packets.
+    fn established(total: u64, ecn: EcnMode) -> Sender {
+        let mut s = mk(total, ecn);
+        let syn = s.take_outbox();
+        assert_eq!(syn.len(), 1);
+        s.on_segment(&syn_ack(ecn.uses_ecn()), SimTime::from_micros(100));
+        s
+    }
+
+    #[test]
+    fn first_packet_is_syn_with_mode_flags() {
+        let mut plain = mk(1000, EcnMode::Off);
+        let p = plain.take_outbox().remove(0);
+        assert!(p.is_syn());
+        assert!(!p.flags.contains(TcpFlags::ECE));
+        assert_eq!(p.ecn, EcnCodepoint::NotEct);
+
+        let mut e = mk(1000, EcnMode::Ecn);
+        let p = e.take_outbox().remove(0);
+        assert!(p.flags.contains(TcpFlags::ECE) && p.flags.contains(TcpFlags::CWR));
+        assert_eq!(p.ecn, EcnCodepoint::NotEct, "SYN is never ECT");
+    }
+
+    #[test]
+    fn syn_ack_establishes_and_sends_initial_window() {
+        let mut s = established(100_000, EcnMode::Ecn);
+        assert!(s.ecn_negotiated());
+        let out = s.take_outbox();
+        // Handshake ACK + 2 segments (init cwnd = 2 MSS).
+        assert_eq!(out.len(), 3);
+        assert!(out[0].is_pure_ack());
+        assert_eq!(out[1].payload as u64, MSS);
+        assert_eq!(out[1].seq, 1);
+        assert_eq!(out[1].ecn, EcnCodepoint::Ect0);
+        assert_eq!(out[2].seq, 1 + MSS);
+    }
+
+    #[test]
+    fn non_ecn_syn_ack_disables_ecn() {
+        let mut s = mk(10_000, EcnMode::Ecn);
+        let _ = s.take_outbox();
+        s.on_segment(&syn_ack(false), SimTime::from_micros(100));
+        assert!(!s.ecn_negotiated());
+        let out = s.take_outbox();
+        assert!(out.iter().filter(|p| p.payload > 0).all(|p| p.ecn == EcnCodepoint::NotEct));
+    }
+
+    #[test]
+    fn slow_start_grows_one_mss_per_ack() {
+        // Appropriate byte counting with L = 1 (RFC 3465): each ACK grows
+        // cwnd by min(newly_acked, MSS), so a cumulative ACK covering two
+        // segments still adds one MSS.
+        let mut s = established(1_000_000, EcnMode::Off);
+        let w0 = s.cwnd();
+        let _ = s.take_outbox();
+        s.on_segment(&ack(1 + 2 * MSS, TcpFlags::ACK), SimTime::from_micros(200));
+        assert!((s.cwnd() - (w0 + MSS as f64)).abs() < 1.0, "cwnd {}", s.cwnd());
+        // Per-segment ACKs add one MSS each.
+        let _ = s.take_outbox();
+        s.on_segment(&ack(1 + 3 * MSS, TcpFlags::ACK), SimTime::from_micros(300));
+        assert!((s.cwnd() - (w0 + 2.0 * MSS as f64)).abs() < 1.0, "cwnd {}", s.cwnd());
+    }
+
+    #[test]
+    fn three_dupacks_fast_retransmit() {
+        let mut s = established(1_000_000, EcnMode::Off);
+        let _ = s.take_outbox();
+        // Grow the window a bit so there is flight.
+        s.on_segment(&ack(1 + 2 * MSS, TcpFlags::ACK), SimTime::from_micros(200));
+        let _ = s.take_outbox();
+        for i in 0..3 {
+            s.on_segment(&ack(1 + 2 * MSS, TcpFlags::ACK), SimTime::from_micros(300 + i));
+        }
+        assert_eq!(s.stats().fast_retransmits, 1);
+        let out = s.take_outbox();
+        // Limited transmit sent 2 new segments on dupacks 1-2, then the
+        // retransmission of the lost head on dupack 3.
+        let head_retx = out.iter().filter(|p| p.seq == 1 + 2 * MSS && p.payload > 0).count();
+        assert!(head_retx >= 1, "head must be retransmitted: {out:?}");
+    }
+
+    #[test]
+    fn limited_transmit_on_first_two_dupacks() {
+        let mut s = established(1_000_000, EcnMode::Off);
+        let _ = s.take_outbox();
+        s.on_segment(&ack(1 + 2 * MSS, TcpFlags::ACK), SimTime::from_micros(200));
+        let sent_before = s.stats().data_segments_sent;
+        let _ = s.take_outbox();
+        s.on_segment(&ack(1 + 2 * MSS, TcpFlags::ACK), SimTime::from_micros(300));
+        s.on_segment(&ack(1 + 2 * MSS, TcpFlags::ACK), SimTime::from_micros(301));
+        assert_eq!(s.stats().data_segments_sent, sent_before + 2, "one new segment per dupack");
+        assert_eq!(s.stats().fast_retransmits, 0);
+    }
+
+    #[test]
+    fn ece_reduces_once_per_window() {
+        let mut s = established(1_000_000, EcnMode::Ecn);
+        let _ = s.take_outbox();
+        // Grow cwnd: ack 2 segments.
+        s.on_segment(&ack(1 + 2 * MSS, TcpFlags::ACK), SimTime::from_micros(200));
+        let _ = s.take_outbox();
+        let w = s.cwnd();
+        // Two ECE acks in the same window: only one reduction.
+        s.on_segment(&ack(1 + 3 * MSS, TcpFlags::ACK | TcpFlags::ECE), SimTime::from_micros(300));
+        let w_after_first = s.cwnd();
+        assert!(w_after_first < w, "ECE must reduce cwnd");
+        assert_eq!(s.stats().ecn_reductions, 1);
+        s.on_segment(&ack(1 + 4 * MSS, TcpFlags::ACK | TcpFlags::ECE), SimTime::from_micros(301));
+        assert_eq!(s.stats().ecn_reductions, 1, "once per window");
+        assert_eq!(s.stats().retransmits, 0, "ECN response never retransmits");
+    }
+
+    #[test]
+    fn cwr_flag_set_until_window_acked() {
+        let mut s = established(1_000_000, EcnMode::Ecn);
+        let _ = s.take_outbox();
+        s.on_segment(&ack(1 + 2 * MSS, TcpFlags::ACK), SimTime::from_micros(200));
+        let _ = s.take_outbox();
+        s.on_segment(&ack(1 + 3 * MSS, TcpFlags::ACK | TcpFlags::ECE), SimTime::from_micros(300));
+        let out = s.take_outbox();
+        assert!(
+            out.iter().filter(|p| p.payload > 0).all(|p| p.flags.contains(TcpFlags::CWR)),
+            "all data in the reduction window carries CWR: {out:?}"
+        );
+    }
+
+    #[test]
+    fn dctcp_alpha_updates_per_window() {
+        let mut s = established(10_000_000, EcnMode::Dctcp);
+        let _ = s.take_outbox();
+        let a0 = s.alpha();
+        assert_eq!(a0, 1.0, "conservative init");
+        // A full window acked with no ECE: alpha decays by factor (1-g).
+        s.on_segment(&ack(1 + 2 * MSS, TcpFlags::ACK), SimTime::from_micros(200));
+        let g = 1.0 / 16.0;
+        assert!((s.alpha() - (1.0 - g)).abs() < 1e-9, "alpha = {}", s.alpha());
+    }
+
+    #[test]
+    fn timeout_collapses_to_one_mss_and_goes_back_n() {
+        let mut s = established(1_000_000, EcnMode::Off);
+        let _ = s.take_outbox();
+        s.on_segment(&ack(1 + 2 * MSS, TcpFlags::ACK), SimTime::from_micros(200));
+        let _ = s.take_outbox();
+        let deadline = s.next_deadline().expect("RTO armed with data in flight");
+        s.on_timer(deadline);
+        assert_eq!(s.stats().timeouts, 1);
+        assert!((s.cwnd() - MSS as f64).abs() < 1.0, "cwnd = {}", s.cwnd());
+        let out = s.take_outbox();
+        assert_eq!(out.len(), 1, "go-back-N restarts with one segment");
+        assert_eq!(out[0].seq, 1 + 2 * MSS, "restart at snd_una");
+    }
+
+    #[test]
+    fn spurious_timer_is_noop() {
+        let mut s = established(1_000_000, EcnMode::Off);
+        let _ = s.take_outbox();
+        s.on_timer(SimTime::from_micros(150)); // long before the deadline
+        assert_eq!(s.stats().timeouts, 0);
+        assert!(s.take_outbox().is_empty());
+    }
+
+    #[test]
+    fn completion_records_time() {
+        let mut s = established(MSS, EcnMode::Off);
+        let _ = s.take_outbox();
+        assert!(!s.is_complete());
+        s.on_segment(&ack(1 + MSS, TcpFlags::ACK), SimTime::from_micros(500));
+        assert!(s.is_complete());
+        assert_eq!(s.completed_at(), Some(SimTime::from_micros(500)));
+        assert_eq!(s.bytes_acked(), MSS);
+        assert!(s.next_deadline().is_none(), "no timers after completion");
+    }
+
+    #[test]
+    fn acks_beyond_max_sent_ignored() {
+        let mut s = established(1_000_000, EcnMode::Off);
+        let _ = s.take_outbox();
+        let una_before = s.bytes_acked();
+        s.on_segment(&ack(500_000, TcpFlags::ACK), SimTime::from_micros(200));
+        assert_eq!(s.bytes_acked(), una_before, "ack for unsent data must be ignored");
+    }
+
+    #[test]
+    fn duplicate_syn_ack_reacks() {
+        let mut s = established(10_000, EcnMode::Off);
+        let _ = s.take_outbox();
+        s.on_segment(&syn_ack(false), SimTime::from_micros(500));
+        let out = s.take_outbox();
+        assert!(out.iter().any(|p| p.is_pure_ack()), "must re-ack a duplicate SYN-ACK");
+    }
+}

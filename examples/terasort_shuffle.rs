@@ -1,0 +1,99 @@
+//! The paper's workload: a Terasort job on a two-rack cluster, comparing the
+//! broken configuration (stock RED + ECN) against the paper's two fixes.
+//!
+//! Run with: `cargo run --release --example terasort_shuffle`
+
+use hadoop_ecn::prelude::*;
+
+fn run(label: &str, qdisc: QdiscSpec, ecn: EcnMode) {
+    let spec = ClusterSpec {
+        racks: 2,
+        hosts_per_rack: 4,
+        host_link: LinkSpec::gbps(1, 5),
+        uplink: LinkSpec::gbps(10, 5),
+        switch_qdisc: qdisc,
+        host_buffer_packets: 4000,
+        seed: 20170905,
+    };
+    let n = spec.total_hosts();
+    let job = JobSpec {
+        input_bytes_per_node: 16_000_000,
+        map_waves: 2,
+        map_rate_bps: 100_000_000,
+        reduce_rate_bps: 200_000_000,
+        tcp: TcpConfig { recv_wnd: 128 << 10, ..TcpConfig::with_ecn(ecn) },
+        parallel_copies: 5,
+        shuffle_jitter: SimDuration::from_millis(10),
+        seed: 99,
+    };
+    let net = Network::new(spec);
+    let app = TerasortJob::new(job, n);
+    let mut sim = Simulation::new(net, app);
+    let report = sim.run();
+    assert!(report.app_done, "{label}: job did not finish");
+
+    let res = sim.app.result();
+    let stats = sim.net.port_stats().total;
+    let tx = sim.net.sender_stats_total();
+    println!(
+        "{label:<34} runtime {:>8}   latency {:>9}   ack-drops {:>5}   timeouts {:>3}",
+        res.runtime,
+        sim.net.latency().mean(),
+        stats.dropped_early.get(PacketKind::PureAck),
+        tx.timeouts,
+    );
+}
+
+fn main() {
+    let gbps = 1_000_000_000;
+    let delay = SimDuration::from_micros(500);
+    let shallow = 100;
+
+    println!("Terasort, 8 nodes x 16 MB, shallow switch buffers ({shallow} pkts), target delay {delay}:\n");
+
+    run(
+        "droptail (baseline)",
+        QdiscSpec::DropTail { capacity_packets: shallow },
+        EcnMode::Off,
+    );
+    run(
+        "stock RED+ECN  [paper: broken]",
+        QdiscSpec::Red(RedConfig::from_target_delay(
+            delay,
+            gbps,
+            1526,
+            shallow,
+            ProtectionMode::Default,
+        )),
+        EcnMode::Ecn,
+    );
+    run(
+        "RED+ECN ece-bit  [proposal 1a]",
+        QdiscSpec::Red(RedConfig::from_target_delay(
+            delay,
+            gbps,
+            1526,
+            shallow,
+            ProtectionMode::EceBit,
+        )),
+        EcnMode::Ecn,
+    );
+    run(
+        "RED+ECN ack+syn  [proposal 1b]",
+        QdiscSpec::Red(RedConfig::from_target_delay(
+            delay,
+            gbps,
+            1526,
+            shallow,
+            ProtectionMode::AckSyn,
+        )),
+        EcnMode::Ecn,
+    );
+    run(
+        "simple marking + DCTCP  [proposal 2]",
+        QdiscSpec::SimpleMarking(SimpleMarkingConfig::from_target_delay(
+            delay, gbps, 1526, shallow,
+        )),
+        EcnMode::Dctcp,
+    );
+}

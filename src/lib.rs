@@ -1,0 +1,93 @@
+#![warn(missing_docs)]
+
+//! # hadoop-ecn
+//!
+//! A from-scratch Rust reproduction of **"High Throughput and Low Latency on
+//! Hadoop Clusters using Explicit Congestion Notification: The Untold Truth"**
+//! (Fischer e Silva & Carpenter, IEEE CLUSTER 2017).
+//!
+//! The paper shows that ECN-enabled AQMs on switches early-drop **non-ECT**
+//! packets — on a Hadoop shuffle, overwhelmingly pure ACKs plus SYN/SYN-ACK —
+//! while only *marking* ECT data, and that this is why prior work could not
+//! get high throughput and low latency at the same time. It proposes
+//! protecting those packets from early drop, or replacing the AQM with a
+//! *true* simple marking scheme that never early-drops at all.
+//!
+//! This crate is a facade over the workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`core`](ecn_core) | **the paper's contribution**: DropTail, RED + ECN with the three protection modes (`Default` / `EceBit` / `AckSyn`), and the true [`SimpleMarking`](ecn_core::SimpleMarking) scheme |
+//! | [`simevent`] | deterministic discrete-event kernel |
+//! | [`netpacket`] | ECN codepoints (paper Table II), TCP flags (Table I), packets, the qdisc trait |
+//! | [`tcpstack`] | TCP NewReno + RFC 3168 ECN, DCTCP, handshake & RTO machinery |
+//! | [`netsim`] | links, switch ports, two-tier cluster topology, event loop |
+//! | [`mrsim`] | MRPerf-analogue Terasort job (map waves → all-to-all shuffle → reduce) |
+//! | [`simmetrics`] | latency histograms, goodput meters, queue-composition traces |
+//! | [`experiments`] | per-figure harness regenerating the paper's Tables I–II and Figures 1–4 |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hadoop_ecn::prelude::*;
+//!
+//! // A 4-host rack whose switch runs the paper's simple marking scheme.
+//! let spec = ClusterSpec::single_rack(
+//!     4,
+//!     LinkSpec::gbps(1, 5),
+//!     QdiscSpec::SimpleMarking(SimpleMarkingConfig {
+//!         capacity_packets: 100,
+//!         threshold_packets: 20,
+//!     }),
+//!     42,
+//! );
+//! let net = Network::new(spec);
+//!
+//! // One 1 MB DCTCP flow from host 0 to host 1.
+//! let app = StaticFlows::all_at_zero(
+//!     vec![(NodeId(0), NodeId(1), 1_000_000)],
+//!     TcpConfig::with_ecn(EcnMode::Dctcp),
+//! );
+//! let mut sim = Simulation::new(net, app);
+//! let report = sim.run();
+//! assert!(report.app_done);
+//! assert_eq!(sim.net.total_bytes_received(), 1_000_000);
+//! ```
+
+pub use ecn_core;
+pub use experiments;
+pub use mrsim;
+pub use netpacket;
+pub use netsim;
+pub use simevent;
+pub use simmetrics;
+pub use tcpstack;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use ecn_core::{
+        DropTail, ProtectionMode, QdiscSpec, Red, RedConfig, SimpleMarking, SimpleMarkingConfig,
+    };
+    pub use mrsim::{JobResult, JobSpec, TerasortJob};
+    pub use netpacket::{EcnCodepoint, FlowId, NodeId, Packet, PacketKind, TcpFlags};
+    pub use netsim::{
+        Application, ClusterSpec, LinkSpec, Network, RunReport, Simulation, StaticFlows,
+    };
+    pub use simevent::{SimDuration, SimTime};
+    pub use tcpstack::{EcnMode, Receiver, Sender, TcpAgent, TcpConfig};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_work() {
+        let d = DropTail::new(10);
+        assert_eq!(netpacket::QueueDiscipline::capacity_packets(&d), 10);
+        assert_eq!(EcnCodepoint::Ce.bits(), 0b11);
+        assert_eq!(ProtectionMode::ALL.len(), 3);
+        let _ = TcpConfig::with_ecn(EcnMode::Dctcp);
+        let _ = SimTime::from_micros(1) + SimDuration::from_micros(2);
+    }
+}

@@ -1,0 +1,124 @@
+//! Cross-crate integration tests through the facade API.
+
+use hadoop_ecn::prelude::*;
+
+fn marking_rack(n: u32, threshold: u64, seed: u64) -> ClusterSpec {
+    ClusterSpec::single_rack(
+        n,
+        LinkSpec::gbps(1, 5),
+        QdiscSpec::SimpleMarking(SimpleMarkingConfig {
+            capacity_packets: 100,
+            threshold_packets: threshold,
+        }),
+        seed,
+    )
+}
+
+#[test]
+fn quickstart_flow_completes() {
+    let net = Network::new(marking_rack(4, 20, 42));
+    let app = StaticFlows::all_at_zero(
+        vec![(NodeId(0), NodeId(1), 1_000_000)],
+        TcpConfig::with_ecn(EcnMode::Dctcp),
+    );
+    let mut sim = Simulation::new(net, app);
+    let report = sim.run();
+    assert!(report.app_done);
+    assert_eq!(sim.net.total_bytes_received(), 1_000_000);
+    assert_eq!(sim.net.orphan_packets(), 0);
+}
+
+#[test]
+fn terasort_through_facade() {
+    let spec = ClusterSpec {
+        racks: 2,
+        hosts_per_rack: 2,
+        host_link: LinkSpec::gbps(1, 5),
+        uplink: LinkSpec::gbps(10, 5),
+        switch_qdisc: QdiscSpec::DropTail { capacity_packets: 100 },
+        host_buffer_packets: 2000,
+        seed: 5,
+    };
+    let n = spec.total_hosts();
+    let job = JobSpec::small(1_000_000, TcpConfig::default());
+    let net = Network::new(spec);
+    let app = TerasortJob::new(job, n);
+    let mut sim = Simulation::new(net, app);
+    let report = sim.run();
+    assert!(report.app_done);
+    let res = sim.app.result();
+    assert_eq!(res.flows, (n * (n - 1)) as u64);
+    assert!(res.runtime > res.shuffle_done);
+}
+
+#[test]
+fn whole_stack_determinism() {
+    let go = || {
+        let net = Network::new(marking_rack(6, 15, 77));
+        let mut pairs = Vec::new();
+        for s in 0..6u32 {
+            for d in 0..6u32 {
+                if s != d {
+                    pairs.push((NodeId(s), NodeId(d), 150_000));
+                }
+            }
+        }
+        let app = StaticFlows::all_at_zero(pairs, TcpConfig::with_ecn(EcnMode::Dctcp));
+        let mut sim = Simulation::new(net, app);
+        let report = sim.run();
+        (
+            report.events,
+            report.end_time,
+            sim.net.latency().count(),
+            sim.net.latency().mean().as_nanos(),
+            sim.net.port_stats().total.marked.total(),
+        )
+    };
+    assert_eq!(go(), go());
+}
+
+#[test]
+fn different_seeds_differ() {
+    let go = |seed: u64| {
+        let net = Network::new(ClusterSpec::single_rack(
+            4,
+            LinkSpec::gbps(1, 5),
+            QdiscSpec::Red(RedConfig::from_target_delay(
+                SimDuration::from_micros(300),
+                1_000_000_000,
+                1526,
+                100,
+                ProtectionMode::Default,
+            )),
+            seed,
+        ));
+        let pairs: Vec<_> = (1..4).map(|i| (NodeId(i), NodeId(0), 400_000)).collect();
+        let app = StaticFlows::all_at_zero(pairs, TcpConfig::with_ecn(EcnMode::Ecn));
+        let mut sim = Simulation::new(net, app);
+        sim.run();
+        sim.net.latency().mean().as_nanos()
+    };
+    // RED's probabilistic decisions depend on the cluster seed.
+    assert_ne!(go(1), go(2));
+}
+
+#[test]
+fn ecn_tables_exposed_by_experiments() {
+    let t1 = experiments::figures::table1();
+    let t2 = experiments::figures::table2();
+    assert!(t1.contains("ECN-Echo"));
+    assert!(t2.contains("ECT(1)"));
+}
+
+#[test]
+fn three_transports_complete_identical_workload() {
+    for mode in [EcnMode::Off, EcnMode::Ecn, EcnMode::Dctcp] {
+        let net = Network::new(marking_rack(4, 20, 9));
+        let pairs: Vec<_> = (1..4).map(|i| (NodeId(i), NodeId(0), 300_000)).collect();
+        let app = StaticFlows::all_at_zero(pairs, TcpConfig::with_ecn(mode));
+        let mut sim = Simulation::new(net, app);
+        let report = sim.run();
+        assert!(report.app_done, "{mode:?} must complete");
+        assert_eq!(sim.net.total_bytes_received(), 3 * 300_000, "{mode:?}");
+    }
+}

@@ -1,0 +1,151 @@
+//! Shape tests of the paper's headline claims at test scale.
+//!
+//! These assert the *orderings* the paper reports (who wins, what gets
+//! dropped), not absolute magnitudes — the full-scale numbers live in
+//! EXPERIMENTS.md and come from `cargo run --release -p experiments --bin
+//! run_all`.
+
+use experiments::scenario::{
+    run_scenario, BufferDepth, QueueKind, RunMetrics, ScenarioConfig, Transport,
+};
+use hadoop_ecn::prelude::*;
+
+fn cfg() -> ScenarioConfig {
+    // Tiny jobs are one RTO away from noise; average a few seeds.
+    ScenarioConfig { seed_count: 3, ..ScenarioConfig::tiny() }
+}
+
+fn point(t: Transport, q: QueueKind, d: BufferDepth, delay_us: u64) -> RunMetrics {
+    let m = run_scenario(&cfg(), t, q, d, SimDuration::from_micros(delay_us));
+    assert!(m.completed, "{t:?}/{q:?}/{d:?}@{delay_us}us did not complete");
+    m
+}
+
+/// §II-A: with a stock ECN AQM the early drops land on ACKs, never on the
+/// ECT data that fills the queue.
+#[test]
+fn claim_ack_drops_are_the_problem() {
+    let m = point(
+        Transport::TcpEcn,
+        QueueKind::Red(ProtectionMode::Default),
+        BufferDepth::Shallow,
+        100,
+    );
+    assert!(m.acks_early_dropped > 0, "stock RED must early-drop ACKs: {m:?}");
+    assert!(m.data_marked > 0, "ECT data must be CE-marked: {m:?}");
+}
+
+/// §II-B proposal 1: the protection modes eliminate exactly those drops.
+#[test]
+fn claim_protection_eliminates_ack_drops() {
+    let default = point(
+        Transport::TcpEcn,
+        QueueKind::Red(ProtectionMode::Default),
+        BufferDepth::Shallow,
+        100,
+    );
+    let ece = point(
+        Transport::TcpEcn,
+        QueueKind::Red(ProtectionMode::EceBit),
+        BufferDepth::Shallow,
+        100,
+    );
+    let acksyn = point(
+        Transport::TcpEcn,
+        QueueKind::Red(ProtectionMode::AckSyn),
+        BufferDepth::Shallow,
+        100,
+    );
+    assert_eq!(acksyn.acks_early_dropped, 0, "ack+syn protects every ACK");
+    assert_eq!(acksyn.handshake_early_dropped, 0);
+    assert!(
+        ece.acks_early_dropped <= default.acks_early_dropped,
+        "ece-bit must not drop more ACKs than default ({} vs {})",
+        ece.acks_early_dropped,
+        default.acks_early_dropped
+    );
+    assert_eq!(ece.handshake_early_dropped, 0, "ECN SYNs carry ECE and are protected");
+}
+
+/// §II-B proposal 2: the true marking scheme never early-drops anything and
+/// does not lose throughput against the stock AQM.
+#[test]
+fn claim_simple_marking_never_early_drops_and_keeps_throughput() {
+    let marking = point(Transport::Dctcp, QueueKind::SimpleMarking, BufferDepth::Shallow, 100);
+    assert_eq!(marking.acks_early_dropped, 0);
+    assert_eq!(marking.handshake_early_dropped, 0);
+    let default = point(
+        Transport::Dctcp,
+        QueueKind::Red(ProtectionMode::Default),
+        BufferDepth::Shallow,
+        100,
+    );
+    assert!(
+        marking.runtime_s <= default.runtime_s,
+        "marking ({:.3}s) must not be slower than stock RED ({:.3}s)",
+        marking.runtime_s,
+        default.runtime_s
+    );
+}
+
+/// §IV: marking cuts latency on deep buffers dramatically (bufferbloat)
+/// while keeping runtime at least at DropTail level.
+#[test]
+fn claim_latency_reduction_on_deep_buffers() {
+    let droptail = point(Transport::Tcp, QueueKind::DropTail, BufferDepth::Deep, 500);
+    let marking = point(Transport::Dctcp, QueueKind::SimpleMarking, BufferDepth::Deep, 500);
+    assert!(
+        marking.mean_latency_s * 2.0 < droptail.mean_latency_s,
+        "deep-buffer latency must drop at least 2x: droptail {:.1}us vs marking {:.1}us",
+        droptail.mean_latency_s * 1e6,
+        marking.mean_latency_s * 1e6
+    );
+    assert!(
+        marking.runtime_s <= droptail.runtime_s * 1.15,
+        "latency win must not cost runtime: {:.3}s vs {:.3}s",
+        marking.runtime_s,
+        droptail.runtime_s
+    );
+}
+
+/// §VI: commodity shallow-buffer switches with marking reach deep-buffer
+/// DropTail throughput.
+///
+/// This claim is about steady-state throughput, so it needs a job long
+/// enough that a single 200 ms RTO cannot double the runtime: 32 MB/node
+/// instead of the tiny 4 MB.
+#[test]
+fn claim_shallow_marking_matches_deep_droptail() {
+    let cfg = ScenarioConfig {
+        input_bytes_per_node: 32_000_000,
+        ..cfg()
+    };
+    let run = |t, q, d| {
+        let m = run_scenario(&cfg, t, q, d, SimDuration::from_micros(500));
+        assert!(m.completed);
+        m
+    };
+    let deep_droptail = run(Transport::Tcp, QueueKind::DropTail, BufferDepth::Deep);
+    let shallow_marking = run(Transport::Dctcp, QueueKind::SimpleMarking, BufferDepth::Shallow);
+    assert!(
+        shallow_marking.runtime_s <= deep_droptail.runtime_s * 1.35,
+        "shallow+marking ({:.3}s) must be near deep droptail ({:.3}s)",
+        shallow_marking.runtime_s,
+        deep_droptail.runtime_s
+    );
+}
+
+/// §IV: at loose target delays (threshold above the physical buffer) every
+/// AQM degenerates to the DropTail baseline — the sweep's right edge.
+#[test]
+fn claim_loose_thresholds_converge_to_droptail() {
+    let droptail = point(Transport::Tcp, QueueKind::DropTail, BufferDepth::Shallow, 500);
+    let marking = point(Transport::Dctcp, QueueKind::SimpleMarking, BufferDepth::Shallow, 5000);
+    let rel = (marking.runtime_s - droptail.runtime_s).abs() / droptail.runtime_s;
+    assert!(
+        rel < 0.25,
+        "K beyond the buffer must behave like DropTail: {:.3}s vs {:.3}s",
+        marking.runtime_s,
+        droptail.runtime_s
+    );
+}
