@@ -52,7 +52,12 @@ fn run_custom(qdisc: QdiscSpec, tcp: TcpConfig) -> (f64, u64) {
     let report = sim.run();
     assert!(report.app_done);
     let runtime = sim.app.result().runtime.as_secs_f64();
-    let acks = sim.net.port_stats().total.dropped_early.get(PacketKind::PureAck);
+    let acks = sim
+        .net
+        .port_stats()
+        .total
+        .dropped_early
+        .get(PacketKind::PureAck);
     (runtime, acks)
 }
 
@@ -69,7 +74,11 @@ fn red_spec(mutator: impl Fn(&mut RedConfig)) -> QdiscSpec {
 }
 
 fn ecn_tcp() -> TcpConfig {
-    TcpConfig { recv_wnd: 128 << 10, sack: false, ..TcpConfig::with_ecn(tcpstack::EcnMode::Ecn) }
+    TcpConfig {
+        recv_wnd: 128 << 10,
+        sack: false,
+        ..TcpConfig::with_ecn(tcpstack::EcnMode::Ecn)
+    }
 }
 
 fn bench_ablations(c: &mut Criterion) {
@@ -77,7 +86,10 @@ fn bench_ablations(c: &mut Criterion) {
     g.sample_size(10);
 
     // 1. Per-packet vs per-byte thresholds.
-    for (name, byte_mode) in [("thresholds_per_packet", false), ("thresholds_per_byte", true)] {
+    for (name, byte_mode) in [
+        ("thresholds_per_packet", false),
+        ("thresholds_per_byte", true),
+    ] {
         let spec = red_spec(|rc| rc.byte_mode = byte_mode);
         let (rt, acks) = run_custom(spec.clone(), ecn_tcp());
         println!("[ablation] {name}: runtime {rt:.4}s, ACK early-drops {acks}");
@@ -85,7 +97,10 @@ fn bench_ablations(c: &mut Criterion) {
     }
 
     // 2. Instantaneous vs EWMA queue estimate.
-    for (name, w) in [("queue_estimate_ewma", 0.25), ("queue_estimate_instantaneous", 1.0)] {
+    for (name, w) in [
+        ("queue_estimate_ewma", 0.25),
+        ("queue_estimate_instantaneous", 1.0),
+    ] {
         let spec = red_spec(|rc| rc.ewma_weight = w);
         let (rt, acks) = run_custom(spec.clone(), ecn_tcp());
         println!("[ablation] {name}: runtime {rt:.4}s, ACK early-drops {acks}");
@@ -95,7 +110,10 @@ fn bench_ablations(c: &mut Criterion) {
     // 3. Delayed-ACK factor.
     for (name, m) in [("delack_every_segment", 1u32), ("delack_every_2nd", 2u32)] {
         let spec = red_spec(|_| {});
-        let tcp = TcpConfig { delayed_ack: m, ..ecn_tcp() };
+        let tcp = TcpConfig {
+            delayed_ack: m,
+            ..ecn_tcp()
+        };
         let (rt, acks) = run_custom(spec.clone(), tcp.clone());
         println!("[ablation] {name}: runtime {rt:.4}s, ACK early-drops {acks}");
         g.bench_function(name, |b| b.iter(|| run_custom(spec.clone(), tcp.clone())));

@@ -21,7 +21,11 @@ fn pkt(i: u64) -> Packet {
         ack: 1,
         payload: if ack { 0 } else { 1460 },
         flags: TcpFlags::ACK,
-        ecn: if ack { EcnCodepoint::NotEct } else { EcnCodepoint::Ect0 },
+        ecn: if ack {
+            EcnCodepoint::NotEct
+        } else {
+            EcnCodepoint::Ect0
+        },
         sack: netpacket::SackBlocks::EMPTY,
         sent_at: SimTime::ZERO,
     }

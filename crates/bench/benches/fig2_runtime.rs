@@ -13,7 +13,11 @@ fn bench_fig2(c: &mut Criterion) {
         g.sample_size(10);
         for (name, transport, queue) in figure_series() {
             let m = nano_point(transport, queue, depth, 500);
-            println!("[fig2 {} @nano] {name}: runtime {:.4}s", depth.label(), m.runtime_s);
+            println!(
+                "[fig2 {} @nano] {name}: runtime {:.4}s",
+                depth.label(),
+                m.runtime_s
+            );
             g.bench_function(name, |b| {
                 b.iter(|| nano_point(transport, queue, depth, 500).runtime_s)
             });

@@ -1,0 +1,86 @@
+//! Simulation-kernel microbenchmarks: scheduler backend throughput (the
+//! binary-heap reference vs the calendar-queue fast path) and one Fig. 2
+//! scenario point per engine. `perf_report` measures the same workloads with
+//! its own timing loop to produce `BENCH_1.json`; this bench keeps them under
+//! criterion for regression tracking.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use experiments::scenario::{
+    run_scenario_once_with, BufferDepth, Engine, QueueKind, ScenarioConfig, Transport,
+};
+use simevent::{CalendarQueue, EventQueue, QueueBackend, SimDuration, SimTime};
+
+/// Deterministic 64-bit LCG (MMIX constants) for workload jitter.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_below(&mut self, bound: u64) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (self.0 >> 33) % bound
+    }
+}
+
+/// Hold-and-churn: keep `pending` events in flight, pop and reschedule with
+/// up to 1 ms of jitter (see `perf_report` for the BENCH_1.json version).
+fn churn<Q: QueueBackend<u64>>(mut q: Q, pending: usize, events: u64) {
+    let mut rng = Lcg(0x9E37_79B9_7F4A_7C15);
+    for i in 0..pending {
+        q.schedule(SimTime::from_nanos(rng.next_below(1_000_000)), i as u64);
+    }
+    for _ in 0..events {
+        let (at, v) = q.pop().expect("queue held non-empty");
+        q.schedule(
+            at + SimDuration::from_nanos(rng.next_below(1_000_000) + 1),
+            v,
+        );
+    }
+}
+
+fn bench_backends(c: &mut Criterion) {
+    const PENDING: usize = 65_536;
+    const EVENTS: u64 = 100_000;
+    let mut g = c.benchmark_group("kernel");
+    g.throughput(Throughput::Elements(EVENTS));
+    g.bench_function("heap_churn", |b| {
+        b.iter(|| churn(black_box(EventQueue::new()), PENDING, EVENTS))
+    });
+    g.bench_function("calendar_churn", |b| {
+        // Geometry matched to the load per Brown's sizing rule: ~2 events per
+        // bucket, window spanning the 1 ms jitter horizon.
+        b.iter(|| {
+            churn(
+                black_box(CalendarQueue::with_geometry(7, 32_768)),
+                PENDING,
+                EVENTS,
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let cfg = ScenarioConfig::tiny();
+    let point = |engine| {
+        run_scenario_once_with(
+            &cfg,
+            Transport::Dctcp,
+            QueueKind::SimpleMarking,
+            BufferDepth::Shallow,
+            SimDuration::from_micros(500),
+            engine,
+        )
+    };
+    let mut g = c.benchmark_group("fig2_point_engines");
+    g.sample_size(10);
+    g.bench_function("reference", |b| {
+        b.iter(|| black_box(point(Engine::Reference)))
+    });
+    g.bench_function("fast", |b| b.iter(|| black_box(point(Engine::Fast))));
+    g.finish();
+}
+
+criterion_group!(kernel, bench_backends, bench_engines);
+criterion_main!(kernel);

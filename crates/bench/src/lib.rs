@@ -39,10 +39,26 @@ pub fn nano_point(
 pub fn figure_series() -> Vec<(&'static str, Transport, QueueKind)> {
     use ecn_core::ProtectionMode::*;
     vec![
-        ("tcp-ecn/red-default", Transport::TcpEcn, QueueKind::Red(Default)),
-        ("tcp-ecn/red-ece-bit", Transport::TcpEcn, QueueKind::Red(EceBit)),
-        ("tcp-ecn/red-ack+syn", Transport::TcpEcn, QueueKind::Red(AckSyn)),
-        ("dctcp/simple-marking", Transport::Dctcp, QueueKind::SimpleMarking),
+        (
+            "tcp-ecn/red-default",
+            Transport::TcpEcn,
+            QueueKind::Red(Default),
+        ),
+        (
+            "tcp-ecn/red-ece-bit",
+            Transport::TcpEcn,
+            QueueKind::Red(EceBit),
+        ),
+        (
+            "tcp-ecn/red-ack+syn",
+            Transport::TcpEcn,
+            QueueKind::Red(AckSyn),
+        ),
+        (
+            "dctcp/simple-marking",
+            Transport::Dctcp,
+            QueueKind::SimpleMarking,
+        ),
         ("tcp/droptail", Transport::Tcp, QueueKind::DropTail),
     ]
 }

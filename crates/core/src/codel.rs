@@ -41,7 +41,10 @@ impl CoDelConfig {
     pub fn validate(&self) {
         assert!(self.capacity_packets > 0, "capacity must be positive");
         assert!(self.target > SimDuration::ZERO, "target must be positive");
-        assert!(self.interval > SimDuration::ZERO, "interval must be positive");
+        assert!(
+            self.interval > SimDuration::ZERO,
+            "interval must be positive"
+        );
     }
 }
 
@@ -185,7 +188,8 @@ impl QueueDiscipline for CoDel {
                 // Enter the dropping state. Resume at a rate informed by the
                 // recent history (classic CoDel count reuse).
                 self.dropping = true;
-                self.count = if self.count > 2 && now.since(self.drop_next) < self.cfg.interval.saturating_mul(8)
+                self.count = if self.count > 2
+                    && now.since(self.drop_next) < self.cfg.interval.saturating_mul(8)
                 {
                     self.count - 2
                 } else {
@@ -263,7 +267,12 @@ mod tests {
     }
 
     fn ack(id: u64, flags: TcpFlags) -> Packet {
-        Packet { payload: 0, ecn: EcnCodepoint::NotEct, flags, ..data(id, EcnCodepoint::NotEct) }
+        Packet {
+            payload: 0,
+            ecn: EcnCodepoint::NotEct,
+            flags,
+            ..data(id, EcnCodepoint::NotEct)
+        }
     }
 
     fn cfg(ecn: bool, protection: ProtectionMode) -> CoDelConfig {
@@ -294,7 +303,11 @@ mod tests {
             q.enqueue(data(i, EcnCodepoint::Ect0), SimTime::from_micros(i));
         }
         // Service immediately: sojourn ~ 0.
-        let out = drain_all(&mut q, SimTime::from_micros(20), SimDuration::from_micros(1));
+        let out = drain_all(
+            &mut q,
+            SimTime::from_micros(20),
+            SimDuration::from_micros(1),
+        );
         assert_eq!(out.len(), 10);
         assert_eq!(q.stats().marked.total(), 0);
         assert_eq!(q.stats().dropped_early.total(), 0);
@@ -308,7 +321,11 @@ mod tests {
         }
         // Start serving 50 ms later (sojourn >> target) and slowly (so the
         // "above target for a full interval" condition holds).
-        let out = drain_all(&mut q, SimTime::from_millis(50), SimDuration::from_micros(200));
+        let out = drain_all(
+            &mut q,
+            SimTime::from_millis(50),
+            SimDuration::from_micros(200),
+        );
         assert_eq!(out.len(), 200, "ECN CoDel marks, never drops ECT");
         assert!(q.stats().marked.total() > 0, "persistent delay must mark");
         assert_eq!(q.stats().dropped_early.total(), 0);
@@ -321,10 +338,21 @@ mod tests {
             q.enqueue(data(2 * i, EcnCodepoint::Ect0), SimTime::from_micros(i));
             q.enqueue(ack(2 * i + 1, TcpFlags::ACK), SimTime::from_micros(i));
         }
-        let out = drain_all(&mut q, SimTime::from_millis(50), SimDuration::from_micros(200));
+        let out = drain_all(
+            &mut q,
+            SimTime::from_millis(50),
+            SimDuration::from_micros(200),
+        );
         let s = q.stats();
-        assert!(s.dropped_early.get(PacketKind::PureAck) > 0, "CoDel+ECN drops ACKs too");
-        assert_eq!(s.dropped_early.get(PacketKind::Data), 0, "ECT data is marked instead");
+        assert!(
+            s.dropped_early.get(PacketKind::PureAck) > 0,
+            "CoDel+ECN drops ACKs too"
+        );
+        assert_eq!(
+            s.dropped_early.get(PacketKind::Data),
+            0,
+            "ECT data is marked instead"
+        );
         assert!(out.len() < 200);
     }
 
@@ -335,7 +363,11 @@ mod tests {
             q.enqueue(data(2 * i, EcnCodepoint::Ect0), SimTime::from_micros(i));
             q.enqueue(ack(2 * i + 1, TcpFlags::ACK), SimTime::from_micros(i));
         }
-        let out = drain_all(&mut q, SimTime::from_millis(50), SimDuration::from_micros(200));
+        let out = drain_all(
+            &mut q,
+            SimTime::from_millis(50),
+            SimDuration::from_micros(200),
+        );
         assert_eq!(out.len(), 200, "protection must save every ACK");
         assert_eq!(q.stats().dropped_early.total(), 0);
         assert!(q.stats().marked.total() > 0);
@@ -347,7 +379,11 @@ mod tests {
         for i in 0..100 {
             q.enqueue(data(i, EcnCodepoint::Ect0), SimTime::from_micros(i));
         }
-        drain_all(&mut q, SimTime::from_millis(50), SimDuration::from_micros(200));
+        drain_all(
+            &mut q,
+            SimTime::from_millis(50),
+            SimDuration::from_micros(200),
+        );
         assert!(q.stats().dropped_early.total() > 0);
         assert_eq!(q.stats().marked.total(), 0);
     }
@@ -357,10 +393,18 @@ mod tests {
         let mut q = CoDel::new(cfg(true, ProtectionMode::Default));
         let offered = 300u64;
         for i in 0..offered {
-            let p = if i % 3 == 0 { ack(i, TcpFlags::ACK) } else { data(i, EcnCodepoint::Ect0) };
+            let p = if i % 3 == 0 {
+                ack(i, TcpFlags::ACK)
+            } else {
+                data(i, EcnCodepoint::Ect0)
+            };
             let _ = q.enqueue(p, SimTime::from_micros(i));
         }
-        drain_all(&mut q, SimTime::from_millis(50), SimDuration::from_micros(300));
+        drain_all(
+            &mut q,
+            SimTime::from_millis(50),
+            SimDuration::from_micros(300),
+        );
         let s = q.stats();
         assert_eq!(
             s.enqueued.total(),
@@ -405,11 +449,19 @@ mod tests {
 
     #[test]
     fn tail_drop_on_full_buffer() {
-        let mut q = CoDel::new(CoDelConfig { capacity_packets: 4, ..cfg(true, ProtectionMode::AckSyn) });
+        let mut q = CoDel::new(CoDelConfig {
+            capacity_packets: 4,
+            ..cfg(true, ProtectionMode::AckSyn)
+        });
         for i in 0..4 {
-            assert!(q.enqueue(data(i, EcnCodepoint::Ect0), SimTime::ZERO).accepted());
+            assert!(q
+                .enqueue(data(i, EcnCodepoint::Ect0), SimTime::ZERO)
+                .accepted());
         }
-        assert_eq!(q.enqueue(data(9, EcnCodepoint::Ect0), SimTime::ZERO), EnqueueOutcome::DroppedFull);
+        assert_eq!(
+            q.enqueue(data(9, EcnCodepoint::Ect0), SimTime::ZERO),
+            EnqueueOutcome::DroppedFull
+        );
     }
 
     #[test]

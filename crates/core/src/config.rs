@@ -144,7 +144,10 @@ impl RedConfig {
             "ewma_weight must be in (0,1], got {}",
             self.ewma_weight
         );
-        assert!(self.mean_packet_bytes > 0, "mean packet size must be positive");
+        assert!(
+            self.mean_packet_bytes > 0,
+            "mean packet size must be positive"
+        );
     }
 }
 
@@ -333,7 +336,9 @@ mod tests {
 
     #[test]
     fn spec_labels_and_capacity() {
-        let d = QdiscSpec::DropTail { capacity_packets: 100 };
+        let d = QdiscSpec::DropTail {
+            capacity_packets: 100,
+        };
         assert_eq!(d.label(), "droptail");
         assert_eq!(d.capacity_packets(), 100);
         let r = QdiscSpec::Red(RedConfig::from_target_delay(

@@ -20,7 +20,11 @@ impl DropTail {
     /// A DropTail queue holding at most `capacity_packets` packets.
     pub fn new(capacity_packets: u64) -> Self {
         assert!(capacity_packets > 0, "capacity must be positive");
-        DropTail { fifo: Fifo::new(), capacity_packets, stats: QueueStats::default() }
+        DropTail {
+            fifo: Fifo::new(),
+            capacity_packets,
+            stats: QueueStats::default(),
+        }
     }
 
     /// Iterate resident packets head-to-tail (queue snapshots, Fig. 1).
@@ -38,7 +42,8 @@ impl QueueDiscipline for DropTail {
         }
         let bytes = packet.wire_bytes();
         self.fifo.push(packet);
-        self.stats.on_enqueue(kind, bytes, false, self.fifo.len(), self.fifo.bytes());
+        self.stats
+            .on_enqueue(kind, bytes, false, self.fifo.len(), self.fifo.bytes());
         EnqueueOutcome::Enqueued
     }
 
@@ -104,10 +109,17 @@ mod tests {
         for i in 0..3 {
             assert_eq!(q.enqueue(pkt(i), SimTime::ZERO), EnqueueOutcome::Enqueued);
         }
-        assert_eq!(q.enqueue(pkt(3), SimTime::ZERO), EnqueueOutcome::DroppedFull);
+        assert_eq!(
+            q.enqueue(pkt(3), SimTime::ZERO),
+            EnqueueOutcome::DroppedFull
+        );
         assert_eq!(q.len_packets(), 3);
         assert_eq!(q.stats().dropped_full.total(), 1);
-        assert_eq!(q.stats().dropped_early.total(), 0, "DropTail never early-drops");
+        assert_eq!(
+            q.stats().dropped_early.total(),
+            0,
+            "DropTail never early-drops"
+        );
     }
 
     #[test]

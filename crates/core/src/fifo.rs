@@ -13,7 +13,10 @@ pub(crate) struct Fifo {
 
 impl Fifo {
     pub(crate) fn new() -> Self {
-        Fifo { queue: VecDeque::new(), bytes: 0 }
+        Fifo {
+            queue: VecDeque::new(),
+            bytes: 0,
+        }
     }
 
     pub(crate) fn push(&mut self, p: Packet) {
@@ -75,7 +78,10 @@ mod tests {
         f.push(pkt(1, 1460));
         f.push(pkt(2, 0));
         assert_eq!(f.len(), 2);
-        assert_eq!(f.bytes(), (1460 + netpacket::TCP_HEADER_BYTES + Packet::ACK_BYTES) as u64);
+        assert_eq!(
+            f.bytes(),
+            (1460 + netpacket::TCP_HEADER_BYTES + Packet::ACK_BYTES) as u64
+        );
         assert_eq!(f.pop().unwrap().id, PacketId(1));
         assert_eq!(f.pop().unwrap().id, PacketId(2));
         assert!(f.pop().is_none());

@@ -28,7 +28,11 @@ impl SimpleMarking {
     /// Build the queue.
     pub fn new(cfg: SimpleMarkingConfig) -> Self {
         cfg.validate();
-        SimpleMarking { fifo: Fifo::new(), cfg, stats: QueueStats::default() }
+        SimpleMarking {
+            fifo: Fifo::new(),
+            cfg,
+            stats: QueueStats::default(),
+        }
     }
 
     /// The configuration this queue was built with.
@@ -55,7 +59,8 @@ impl QueueDiscipline for SimpleMarking {
         }
         let bytes = packet.wire_bytes();
         self.fifo.push(packet);
-        self.stats.on_enqueue(kind, bytes, mark, self.fifo.len(), self.fifo.bytes());
+        self.stats
+            .on_enqueue(kind, bytes, mark, self.fifo.len(), self.fifo.bytes());
         if mark {
             EnqueueOutcome::EnqueuedMarked
         } else {
@@ -94,7 +99,10 @@ impl QueueDiscipline for SimpleMarking {
     }
 
     fn name(&self) -> String {
-        format!("SimpleMarking(K={},cap={})", self.cfg.threshold_packets, self.cfg.capacity_packets)
+        format!(
+            "SimpleMarking(K={},cap={})",
+            self.cfg.threshold_packets, self.cfg.capacity_packets
+        )
     }
 }
 
@@ -120,21 +128,37 @@ mod tests {
     }
 
     fn ack(id: u64) -> Packet {
-        Packet { payload: 0, ecn: EcnCodepoint::NotEct, ..data(id, EcnCodepoint::NotEct) }
+        Packet {
+            payload: 0,
+            ecn: EcnCodepoint::NotEct,
+            ..data(id, EcnCodepoint::NotEct)
+        }
     }
 
     fn q(k: u64, cap: u64) -> SimpleMarking {
-        SimpleMarking::new(SimpleMarkingConfig { capacity_packets: cap, threshold_packets: k })
+        SimpleMarking::new(SimpleMarkingConfig {
+            capacity_packets: cap,
+            threshold_packets: k,
+        })
     }
 
     #[test]
     fn marks_ect_at_threshold() {
         let mut sm = q(3, 100);
         for i in 0..3 {
-            assert_eq!(sm.enqueue(data(i, EcnCodepoint::Ect0), SimTime::ZERO), EnqueueOutcome::Enqueued);
+            assert_eq!(
+                sm.enqueue(data(i, EcnCodepoint::Ect0), SimTime::ZERO),
+                EnqueueOutcome::Enqueued
+            );
         }
-        assert_eq!(sm.enqueue(data(4, EcnCodepoint::Ect0), SimTime::ZERO), EnqueueOutcome::EnqueuedMarked);
-        assert_eq!(sm.resident().filter(|p| p.ecn == EcnCodepoint::Ce).count(), 1);
+        assert_eq!(
+            sm.enqueue(data(4, EcnCodepoint::Ect0), SimTime::ZERO),
+            EnqueueOutcome::EnqueuedMarked
+        );
+        assert_eq!(
+            sm.resident().filter(|p| p.ecn == EcnCodepoint::Ce).count(),
+            1
+        );
     }
 
     #[test]
@@ -169,7 +193,10 @@ mod tests {
         for i in 0..4 {
             assert!(sm.enqueue(ack(i), SimTime::ZERO).accepted());
         }
-        assert_eq!(sm.enqueue(ack(99), SimTime::ZERO), EnqueueOutcome::DroppedFull);
+        assert_eq!(
+            sm.enqueue(ack(99), SimTime::ZERO),
+            EnqueueOutcome::DroppedFull
+        );
         assert_eq!(sm.stats().dropped_full.total(), 1);
         assert_eq!(sm.stats().dropped_early.total(), 0);
     }
@@ -185,7 +212,10 @@ mod tests {
         sm.dequeue(SimTime::ZERO);
         sm.dequeue(SimTime::ZERO);
         assert_eq!(sm.len_packets(), 2);
-        assert_eq!(sm.enqueue(data(9, EcnCodepoint::Ect0), SimTime::ZERO), EnqueueOutcome::Enqueued);
+        assert_eq!(
+            sm.enqueue(data(9, EcnCodepoint::Ect0), SimTime::ZERO),
+            EnqueueOutcome::Enqueued
+        );
     }
 
     #[test]

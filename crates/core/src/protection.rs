@@ -47,8 +47,11 @@ impl ProtectionMode {
     }
 
     /// All modes, in the order the paper lists them.
-    pub const ALL: [ProtectionMode; 3] =
-        [ProtectionMode::Default, ProtectionMode::EceBit, ProtectionMode::AckSyn];
+    pub const ALL: [ProtectionMode; 3] = [
+        ProtectionMode::Default,
+        ProtectionMode::EceBit,
+        ProtectionMode::AckSyn,
+    ];
 
     /// Short label used in figure legends.
     pub fn label(self) -> &'static str {
@@ -114,7 +117,10 @@ mod tests {
     #[test]
     fn ack_syn_protects_all_control() {
         let m = ProtectionMode::AckSyn;
-        assert!(m.protects(&pkt(TcpFlags::ACK, 0)), "all pure ACKs protected");
+        assert!(
+            m.protects(&pkt(TcpFlags::ACK, 0)),
+            "all pure ACKs protected"
+        );
         assert!(m.protects(&pkt(TcpFlags::ACK | TcpFlags::ECE, 0)));
         assert!(m.protects(&pkt(TcpFlags::SYN, 0)));
         assert!(m.protects(&pkt(TcpFlags::ecn_setup_syn(), 0)));

@@ -137,7 +137,11 @@ impl Red {
         self.count += 1;
         let p_b = self.cfg.max_p * (self.avg - min_th) / (max_th - min_th).max(f64::MIN_POSITIVE);
         let denom = 1.0 - self.count as f64 * p_b;
-        let p_a = if denom <= 0.0 { 1.0 } else { (p_b / denom).min(1.0) };
+        let p_a = if denom <= 0.0 {
+            1.0
+        } else {
+            (p_b / denom).min(1.0)
+        };
         if self.rng.chance(p_a) {
             self.count = 0;
             true
@@ -153,7 +157,8 @@ impl Red {
         }
         let bytes = packet.wire_bytes();
         self.fifo.push(packet);
-        self.stats.on_enqueue(kind, bytes, mark, self.fifo.len(), self.fifo.bytes());
+        self.stats
+            .on_enqueue(kind, bytes, mark, self.fifo.len(), self.fifo.bytes());
         if mark {
             EnqueueOutcome::EnqueuedMarked
         } else {
@@ -296,7 +301,10 @@ mod tests {
     fn below_threshold_no_marking() {
         let mut q = Red::new(single_threshold(10, 100, ProtectionMode::Default), 1);
         for i in 0..10 {
-            assert_eq!(q.enqueue(data(i, EcnCodepoint::Ect0), SimTime::ZERO), EnqueueOutcome::Enqueued);
+            assert_eq!(
+                q.enqueue(data(i, EcnCodepoint::Ect0), SimTime::ZERO),
+                EnqueueOutcome::Enqueued
+            );
         }
         assert_eq!(q.stats().marked.total(), 0);
     }
@@ -341,8 +349,12 @@ mod tests {
     fn ece_bit_mode_protects_handshake() {
         let mut q = Red::new(single_threshold(5, 100, ProtectionMode::EceBit), 1);
         fill(&mut q, 5);
-        assert!(q.enqueue(ack(1, TcpFlags::ecn_setup_syn()), SimTime::ZERO).accepted());
-        assert!(q.enqueue(ack(2, TcpFlags::ecn_setup_syn_ack()), SimTime::ZERO).accepted());
+        assert!(q
+            .enqueue(ack(1, TcpFlags::ecn_setup_syn()), SimTime::ZERO)
+            .accepted());
+        assert!(q
+            .enqueue(ack(2, TcpFlags::ecn_setup_syn_ack()), SimTime::ZERO)
+            .accepted());
     }
 
     #[test]
@@ -350,9 +362,13 @@ mod tests {
         let mut q = Red::new(single_threshold(5, 100, ProtectionMode::AckSyn), 1);
         fill(&mut q, 5);
         assert!(q.enqueue(ack(1, TcpFlags::ACK), SimTime::ZERO).accepted());
-        assert!(q.enqueue(ack(2, TcpFlags::ACK | TcpFlags::ECE), SimTime::ZERO).accepted());
+        assert!(q
+            .enqueue(ack(2, TcpFlags::ACK | TcpFlags::ECE), SimTime::ZERO)
+            .accepted());
         assert!(q.enqueue(ack(3, TcpFlags::SYN), SimTime::ZERO).accepted());
-        assert!(q.enqueue(ack(4, TcpFlags::SYN | TcpFlags::ACK), SimTime::ZERO).accepted());
+        assert!(q
+            .enqueue(ack(4, TcpFlags::SYN | TcpFlags::ACK), SimTime::ZERO)
+            .accepted());
         assert_eq!(q.stats().dropped_early.total(), 0);
     }
 
@@ -361,7 +377,11 @@ mod tests {
         let mut q = Red::new(single_threshold(5, 8, ProtectionMode::AckSyn), 1);
         fill(&mut q, 8); // buffer physically full (marks after threshold)
         let out = q.enqueue(ack(99, TcpFlags::ACK), SimTime::ZERO);
-        assert_eq!(out, EnqueueOutcome::DroppedFull, "protection is from EARLY drop only");
+        assert_eq!(
+            out,
+            EnqueueOutcome::DroppedFull,
+            "protection is from EARLY drop only"
+        );
     }
 
     #[test]
@@ -372,8 +392,14 @@ mod tests {
         fill(&mut q, 5);
         // Without ECN, even ECT packets are dropped (classic RED), and
         // protection modes are ECN-mode features so they don't apply.
-        assert_eq!(q.enqueue(data(99, EcnCodepoint::Ect0), SimTime::ZERO), EnqueueOutcome::DroppedEarly);
-        assert_eq!(q.enqueue(ack(100, TcpFlags::ACK), SimTime::ZERO), EnqueueOutcome::DroppedEarly);
+        assert_eq!(
+            q.enqueue(data(99, EcnCodepoint::Ect0), SimTime::ZERO),
+            EnqueueOutcome::DroppedEarly
+        );
+        assert_eq!(
+            q.enqueue(ack(100, TcpFlags::ACK), SimTime::ZERO),
+            EnqueueOutcome::DroppedEarly
+        );
     }
 
     #[test]
@@ -392,7 +418,10 @@ mod tests {
             q.dequeue(SimTime::ZERO);
         }
         assert_eq!(q.len_packets(), 5);
-        assert_eq!(q.enqueue(data(200, EcnCodepoint::Ect0), SimTime::ZERO), EnqueueOutcome::Enqueued);
+        assert_eq!(
+            q.enqueue(data(200, EcnCodepoint::Ect0), SimTime::ZERO),
+            EnqueueOutcome::Enqueued
+        );
     }
 
     #[test]
@@ -415,7 +444,10 @@ mod tests {
         let mut q = Red::new(cfg, 1);
         let mut dropped = 0;
         for i in 0..30 {
-            if !q.enqueue(ack(i, TcpFlags::ACK), SimTime::from_nanos(i)).accepted() {
+            if !q
+                .enqueue(ack(i, TcpFlags::ACK), SimTime::from_nanos(i))
+                .accepted()
+            {
                 dropped += 1;
             }
         }
@@ -485,7 +517,10 @@ mod tests {
         }
         let low = mk(15, 42);
         let high = mk(90, 42);
-        assert!(high > low, "drop frequency must grow with occupancy: {low} vs {high}");
+        assert!(
+            high > low,
+            "drop frequency must grow with occupancy: {low} vs {high}"
+        );
     }
 
     #[test]
@@ -501,19 +536,24 @@ mod tests {
         let mut first_drop_byte = None;
         for i in 0..2000 {
             if first_drop_pkt.is_none()
-                && pkt_mode.enqueue(ack(i, TcpFlags::ACK), SimTime::ZERO) == EnqueueOutcome::DroppedEarly
+                && pkt_mode.enqueue(ack(i, TcpFlags::ACK), SimTime::ZERO)
+                    == EnqueueOutcome::DroppedEarly
             {
                 first_drop_pkt = Some(i);
             }
             if first_drop_byte.is_none()
-                && byte_mode.enqueue(ack(i, TcpFlags::ACK), SimTime::ZERO) == EnqueueOutcome::DroppedEarly
+                && byte_mode.enqueue(ack(i, TcpFlags::ACK), SimTime::ZERO)
+                    == EnqueueOutcome::DroppedEarly
             {
                 first_drop_byte = Some(i);
             }
         }
         let p = first_drop_pkt.expect("packet mode must eventually drop");
         let b = first_drop_byte.expect("byte mode must eventually drop");
-        assert!(b > p * 5, "byte mode should admit many more ACKs: pkt={p} byte={b}");
+        assert!(
+            b > p * 5,
+            "byte mode should admit many more ACKs: pkt={p} byte={b}"
+        );
     }
 
     #[test]
@@ -522,7 +562,17 @@ mod tests {
         let mut offered = 0u64;
         for i in 0..200 {
             offered += 1;
-            let _ = q.enqueue(data(i, if i % 3 == 0 { EcnCodepoint::NotEct } else { EcnCodepoint::Ect0 }), SimTime::from_nanos(i));
+            let _ = q.enqueue(
+                data(
+                    i,
+                    if i % 3 == 0 {
+                        EcnCodepoint::NotEct
+                    } else {
+                        EcnCodepoint::Ect0
+                    },
+                ),
+                SimTime::from_nanos(i),
+            );
             if i % 2 == 0 {
                 q.dequeue(SimTime::from_nanos(i));
             }
@@ -566,7 +616,10 @@ mod tests {
                 _ => {}
             }
         }
-        assert!(accepts > 0 && drops > 0, "gentle band must be probabilistic: {accepts}/{drops}");
+        assert!(
+            accepts > 0 && drops > 0,
+            "gentle band must be probabilistic: {accepts}/{drops}"
+        );
     }
 
     #[test]

@@ -5,8 +5,8 @@
 //!
 //! Usage: `cargo run --release -p experiments --example calibrate -- [MB_per_node] [shallow_pkts] [waves]`
 
-use experiments::scenario::*;
 use ecn_core::ProtectionMode;
+use experiments::scenario::*;
 use simevent::SimDuration;
 
 fn main() {
@@ -30,23 +30,109 @@ fn main() {
         cfg.deep_packets
     );
     let points = [
-        ("droptail  shallow tcp    ", Transport::Tcp, QueueKind::DropTail, BufferDepth::Shallow, 500),
-        ("droptail  deep    tcp    ", Transport::Tcp, QueueKind::DropTail, BufferDepth::Deep, 500),
-        ("red-def   shallow tcp-ecn", Transport::TcpEcn, QueueKind::Red(ProtectionMode::Default), BufferDepth::Shallow, 100),
-        ("red-def   shallow tcp-ecn", Transport::TcpEcn, QueueKind::Red(ProtectionMode::Default), BufferDepth::Shallow, 500),
-        ("red-ece   shallow tcp-ecn", Transport::TcpEcn, QueueKind::Red(ProtectionMode::EceBit), BufferDepth::Shallow, 500),
-        ("red-as    shallow tcp-ecn", Transport::TcpEcn, QueueKind::Red(ProtectionMode::AckSyn), BufferDepth::Shallow, 500),
-        ("red-as    shallow dctcp  ", Transport::Dctcp, QueueKind::Red(ProtectionMode::AckSyn), BufferDepth::Shallow, 500),
-        ("marking   shallow tcp-ecn", Transport::TcpEcn, QueueKind::SimpleMarking, BufferDepth::Shallow, 500),
-        ("marking   shallow dctcp  ", Transport::Dctcp, QueueKind::SimpleMarking, BufferDepth::Shallow, 500),
-        ("marking   shallow dctcp 2m", Transport::Dctcp, QueueKind::SimpleMarking, BufferDepth::Shallow, 2000),
-        ("marking   shallow ecn  2m", Transport::TcpEcn, QueueKind::SimpleMarking, BufferDepth::Shallow, 2000),
-        ("red-as    shallow ecn  2m", Transport::TcpEcn, QueueKind::Red(ProtectionMode::AckSyn), BufferDepth::Shallow, 2000),
-        ("marking   deep    dctcp  ", Transport::Dctcp, QueueKind::SimpleMarking, BufferDepth::Deep, 500),
+        (
+            "droptail  shallow tcp    ",
+            Transport::Tcp,
+            QueueKind::DropTail,
+            BufferDepth::Shallow,
+            500,
+        ),
+        (
+            "droptail  deep    tcp    ",
+            Transport::Tcp,
+            QueueKind::DropTail,
+            BufferDepth::Deep,
+            500,
+        ),
+        (
+            "red-def   shallow tcp-ecn",
+            Transport::TcpEcn,
+            QueueKind::Red(ProtectionMode::Default),
+            BufferDepth::Shallow,
+            100,
+        ),
+        (
+            "red-def   shallow tcp-ecn",
+            Transport::TcpEcn,
+            QueueKind::Red(ProtectionMode::Default),
+            BufferDepth::Shallow,
+            500,
+        ),
+        (
+            "red-ece   shallow tcp-ecn",
+            Transport::TcpEcn,
+            QueueKind::Red(ProtectionMode::EceBit),
+            BufferDepth::Shallow,
+            500,
+        ),
+        (
+            "red-as    shallow tcp-ecn",
+            Transport::TcpEcn,
+            QueueKind::Red(ProtectionMode::AckSyn),
+            BufferDepth::Shallow,
+            500,
+        ),
+        (
+            "red-as    shallow dctcp  ",
+            Transport::Dctcp,
+            QueueKind::Red(ProtectionMode::AckSyn),
+            BufferDepth::Shallow,
+            500,
+        ),
+        (
+            "marking   shallow tcp-ecn",
+            Transport::TcpEcn,
+            QueueKind::SimpleMarking,
+            BufferDepth::Shallow,
+            500,
+        ),
+        (
+            "marking   shallow dctcp  ",
+            Transport::Dctcp,
+            QueueKind::SimpleMarking,
+            BufferDepth::Shallow,
+            500,
+        ),
+        (
+            "marking   shallow dctcp 2m",
+            Transport::Dctcp,
+            QueueKind::SimpleMarking,
+            BufferDepth::Shallow,
+            2000,
+        ),
+        (
+            "marking   shallow ecn  2m",
+            Transport::TcpEcn,
+            QueueKind::SimpleMarking,
+            BufferDepth::Shallow,
+            2000,
+        ),
+        (
+            "red-as    shallow ecn  2m",
+            Transport::TcpEcn,
+            QueueKind::Red(ProtectionMode::AckSyn),
+            BufferDepth::Shallow,
+            2000,
+        ),
+        (
+            "marking   deep    dctcp  ",
+            Transport::Dctcp,
+            QueueKind::SimpleMarking,
+            BufferDepth::Deep,
+            500,
+        ),
     ];
     println!(
         "{:<28} {:>6} {:>9} {:>10} {:>10} {:>8} {:>8} {:>8} {:>8}",
-        "config", "dly", "runtime", "tput/nd", "lat_mean", "ackdrop", "timeout", "synrtx", "fulldrop"
+        "config",
+        "dly",
+        "runtime",
+        "tput/nd",
+        "lat_mean",
+        "ackdrop",
+        "timeout",
+        "synrtx",
+        "fulldrop"
     );
     for (label, t, q, d, dly) in points {
         let m = run_scenario(&cfg, t, q, d, SimDuration::from_micros(dly));

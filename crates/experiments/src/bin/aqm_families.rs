@@ -11,16 +11,18 @@ use simevent::SimDuration;
 
 fn main() {
     let tiny = std::env::args().any(|a| a == "--tiny");
-    let mut cfg = if tiny { ScenarioConfig::tiny() } else { ScenarioConfig::default() };
+    let mut cfg = if tiny {
+        ScenarioConfig::tiny()
+    } else {
+        ScenarioConfig::default()
+    };
     if tiny {
         // Tiny jobs are a single RTO away from inversion; average harder.
         cfg.seed_count = 5;
     }
     let delay = SimDuration::from_micros(500);
 
-    println!(
-        "TCP-ECN Terasort, shallow buffers, target delay {delay} — AQM family comparison:\n"
-    );
+    println!("TCP-ECN Terasort, shallow buffers, target delay {delay} — AQM family comparison:\n");
     println!(
         "{:<22} {:>9} {:>11} {:>11} {:>10} {:>9}",
         "queue", "runtime", "tput/node", "latency", "ack-drops", "timeouts"

@@ -12,7 +12,11 @@ use std::path::Path;
 
 fn main() {
     let tiny = std::env::args().any(|a| a == "--tiny");
-    let cfg = if tiny { ScenarioConfig::tiny() } else { ScenarioConfig::default() };
+    let cfg = if tiny {
+        ScenarioConfig::tiny()
+    } else {
+        ScenarioConfig::default()
+    };
     let target = SimDuration::from_micros(200);
     eprintln!("[fig1] running TCP-ECN Terasort over stock RED (Default mode), shallow buffers...");
     let rep = fig1(&cfg, target);
@@ -20,15 +24,30 @@ fn main() {
     println!("== Fig. 1 — snapshot of a congested switch egress queue ==");
     println!("queue: ToR0 -> host0, RED default mode, target delay {target}");
     println!();
-    println!("mean occupancy          : {:8.1} packets", rep.mean_occupancy);
+    println!(
+        "mean occupancy          : {:8.1} packets",
+        rep.mean_occupancy
+    );
     println!("peak occupancy          : {:8} packets", rep.peak_occupancy);
-    println!("resident data fraction  : {:8.1} %", rep.data_fraction * 100.0);
+    println!(
+        "resident data fraction  : {:8.1} %",
+        rep.data_fraction * 100.0
+    );
     println!();
     println!("early drops (cluster-wide, all switch ports):");
     println!("  pure ACKs             : {:8}", rep.acks_early_dropped);
-    println!("  SYN / SYN-ACK         : {:8}", rep.handshake_early_dropped);
-    println!("  ECT data              : {:8}  (always marked instead)", rep.data_early_dropped);
-    println!("  ACK share of drops    : {:8.1} %", rep.ack_share_of_early_drops * 100.0);
+    println!(
+        "  SYN / SYN-ACK         : {:8}",
+        rep.handshake_early_dropped
+    );
+    println!(
+        "  ECT data              : {:8}  (always marked instead)",
+        rep.data_early_dropped
+    );
+    println!(
+        "  ACK share of drops    : {:8.1} %",
+        rep.ack_share_of_early_drops * 100.0
+    );
     println!("CE marks on data        : {:8}", rep.data_marked);
     println!();
     println!(
@@ -41,7 +60,11 @@ fn main() {
         eprintln!("[fig1] wrote {}", out.display());
     }
     // Full queue-occupancy time series for plotting.
-    let csv_path = Path::new("results").join(if tiny { "fig1_trace_tiny.csv" } else { "fig1_trace.csv" });
+    let csv_path = Path::new("results").join(if tiny {
+        "fig1_trace_tiny.csv"
+    } else {
+        "fig1_trace.csv"
+    });
     match fig1_trace_csv(&cfg, target) {
         Ok(csv) => {
             if std::fs::write(&csv_path, csv).is_ok() {

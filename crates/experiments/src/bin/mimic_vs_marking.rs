@@ -32,7 +32,11 @@ fn run(cfg: &ScenarioConfig, qdisc: QdiscSpec, transport: Transport) -> (f64, f6
         map_waves: cfg.map_waves,
         map_rate_bps: 100_000_000,
         reduce_rate_bps: 200_000_000,
-        tcp: TcpConfig { recv_wnd: 128 << 10, sack: false, ..TcpConfig::with_ecn(transport.ecn_mode()) },
+        tcp: TcpConfig {
+            recv_wnd: 128 << 10,
+            sack: false,
+            ..TcpConfig::with_ecn(transport.ecn_mode())
+        },
         parallel_copies: 5,
         shuffle_jitter: cfg.shuffle_jitter,
         seed: cfg.seed ^ 0x5EED,
@@ -56,7 +60,11 @@ fn run(cfg: &ScenarioConfig, qdisc: QdiscSpec, transport: Transport) -> (f64, f6
 
 fn main() {
     let tiny = std::env::args().any(|a| a == "--tiny");
-    let cfg = if tiny { ScenarioConfig::tiny() } else { ScenarioConfig::default() };
+    let cfg = if tiny {
+        ScenarioConfig::tiny()
+    } else {
+        ScenarioConfig::default()
+    };
     let delay = SimDuration::from_micros(500);
     let cap = cfg.shallow_packets;
     let rate = cfg.host_link.rate_bps;
@@ -70,15 +78,29 @@ fn main() {
     for (name, qdisc) in [
         (
             "RED mimic (min=max=K, paper §II)",
-            QdiscSpec::Red(RedConfig::dctcp_mimic(delay, rate, mean, cap, ProtectionMode::Default)),
+            QdiscSpec::Red(RedConfig::dctcp_mimic(
+                delay,
+                rate,
+                mean,
+                cap,
+                ProtectionMode::Default,
+            )),
         ),
         (
             "RED mimic + ack+syn protection",
-            QdiscSpec::Red(RedConfig::dctcp_mimic(delay, rate, mean, cap, ProtectionMode::AckSyn)),
+            QdiscSpec::Red(RedConfig::dctcp_mimic(
+                delay,
+                rate,
+                mean,
+                cap,
+                ProtectionMode::AckSyn,
+            )),
         ),
         (
             "true simple marking (proposal 2)",
-            QdiscSpec::SimpleMarking(SimpleMarkingConfig::from_target_delay(delay, rate, mean, cap)),
+            QdiscSpec::SimpleMarking(SimpleMarkingConfig::from_target_delay(
+                delay, rate, mean, cap,
+            )),
         ),
     ] {
         let (rt, lat, ctl_drops, marks) = run(&cfg, qdisc, Transport::Dctcp);

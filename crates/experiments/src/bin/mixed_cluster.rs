@@ -21,12 +21,7 @@ struct Row {
     fairness: f64,
 }
 
-fn run(
-    cfg: &ScenarioConfig,
-    queue: QueueKind,
-    depth: BufferDepth,
-    transport: Transport,
-) -> Row {
+fn run(cfg: &ScenarioConfig, queue: QueueKind, depth: BufferDepth, transport: Transport) -> Row {
     let delay = SimDuration::from_micros(500);
     let spec = ClusterSpec {
         racks: cfg.racks,
@@ -38,7 +33,11 @@ fn run(
         seed: cfg.seed,
     };
     let n = spec.total_hosts();
-    let tcp = TcpConfig { recv_wnd: 128 << 10, sack: false, ..TcpConfig::with_ecn(transport.ecn_mode()) };
+    let tcp = TcpConfig {
+        recv_wnd: 128 << 10,
+        sack: false,
+        ..TcpConfig::with_ecn(transport.ecn_mode())
+    };
     let job = JobSpec {
         input_bytes_per_node: cfg.input_bytes_per_node,
         map_waves: cfg.map_waves,
@@ -55,12 +54,26 @@ fn run(
     let mut sim = Simulation::new(net, PairApp::new(terasort, probes));
     sim.time_limit = cfg.time_limit;
     let report = sim.run();
-    assert!(report.app_done, "{} {}: job must complete", queue.label(), depth.label());
+    assert!(
+        report.app_done,
+        "{} {}: job must complete",
+        queue.label(),
+        depth.label()
+    );
 
     let probes = &sim.app.secondary;
-    let fcts: Vec<f64> = probes.fct_samples().iter().map(|d| d.as_secs_f64()).collect();
+    let fcts: Vec<f64> = probes
+        .fct_samples()
+        .iter()
+        .map(|d| d.as_secs_f64())
+        .collect();
     Row {
-        label: format!("{} {} ({})", queue.label(), depth.label(), transport.label()),
+        label: format!(
+            "{} {} ({})",
+            queue.label(),
+            depth.label(),
+            transport.label()
+        ),
         runtime_s: sim.app.primary.result().runtime.as_secs_f64(),
         probe_mean_ms: probes.fct().mean().as_secs_f64() * 1e3,
         probe_p99_ms: probes.fct().quantile(0.99).as_secs_f64() * 1e3,
@@ -71,7 +84,11 @@ fn run(
 
 fn main() {
     let tiny = std::env::args().any(|a| a == "--tiny");
-    let cfg = if tiny { ScenarioConfig::tiny() } else { ScenarioConfig::default() };
+    let cfg = if tiny {
+        ScenarioConfig::tiny()
+    } else {
+        ScenarioConfig::default()
+    };
 
     println!("Terasort + 20 kB service probes every 5 ms (the paper's mixed cluster):\n");
     println!(
@@ -81,10 +98,26 @@ fn main() {
     let rows = [
         (QueueKind::DropTail, BufferDepth::Shallow, Transport::Tcp),
         (QueueKind::DropTail, BufferDepth::Deep, Transport::Tcp),
-        (QueueKind::Red(ProtectionMode::Default), BufferDepth::Shallow, Transport::TcpEcn),
-        (QueueKind::Red(ProtectionMode::AckSyn), BufferDepth::Shallow, Transport::TcpEcn),
-        (QueueKind::SimpleMarking, BufferDepth::Shallow, Transport::Dctcp),
-        (QueueKind::SimpleMarking, BufferDepth::Deep, Transport::Dctcp),
+        (
+            QueueKind::Red(ProtectionMode::Default),
+            BufferDepth::Shallow,
+            Transport::TcpEcn,
+        ),
+        (
+            QueueKind::Red(ProtectionMode::AckSyn),
+            BufferDepth::Shallow,
+            Transport::TcpEcn,
+        ),
+        (
+            QueueKind::SimpleMarking,
+            BufferDepth::Shallow,
+            Transport::Dctcp,
+        ),
+        (
+            QueueKind::SimpleMarking,
+            BufferDepth::Deep,
+            Transport::Dctcp,
+        ),
     ];
     for (q, d, t) in rows {
         let r = run(&cfg, q, d, t);

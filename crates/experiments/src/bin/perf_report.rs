@@ -1,0 +1,268 @@
+//! Kernel + end-to-end performance report: the numbers behind `BENCH_1.json`.
+//!
+//! Measures, in one process:
+//!
+//! 1. **Kernel events/sec** — raw schedule/pop throughput of the reference
+//!    binary-heap [`simevent::EventQueue`] against the [`simevent::CalendarQueue`]
+//!    fast path, on a hold-and-churn workload and on a cancellation-heavy
+//!    workload (the rearmed-timer pattern TCP produces).
+//! 2. **Fig. 2 shallow sweep wall-clock** — the same grid of Terasort points
+//!    evaluated with the seed-faithful reference engine (heap scheduler, map
+//!    lookups, full-scan flushes, no timer cancellation) and with the fast
+//!    engine, checking that both produce identical metrics.
+//!
+//! Usage: `cargo run --release -p experiments --bin perf_report [out.json]`
+//! (defaults to `BENCH_1.json` in the current directory).
+
+use ecn_core::ProtectionMode;
+use experiments::scenario::{
+    run_scenario_once_with, BufferDepth, Engine, QueueKind, RunMetrics, ScenarioConfig, Transport,
+};
+use serde::Serialize;
+use simevent::{CalendarQueue, EventQueue, QueueBackend, SimDuration, SimTime};
+use std::time::Instant;
+
+/// Deterministic 64-bit LCG (MMIX constants) for workload jitter.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_below(&mut self, bound: u64) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (self.0 >> 33) % bound
+    }
+}
+
+/// Hold-and-churn: keep `pending` events in flight, pop one, reschedule it
+/// with up to 1 ms of jitter (the calendar's native window scale). Returns
+/// popped events per second.
+fn churn<Q: QueueBackend<u64>>(mut q: Q, pending: usize, events: u64) -> f64 {
+    let mut rng = Lcg(0x9E37_79B9_7F4A_7C15);
+    for i in 0..pending {
+        q.schedule(SimTime::from_nanos(rng.next_below(1_000_000)), i as u64);
+    }
+    let start = Instant::now();
+    for _ in 0..events {
+        let (at, v) = q.pop().expect("queue held non-empty");
+        q.schedule(
+            at + SimDuration::from_nanos(rng.next_below(1_000_000) + 1),
+            v,
+        );
+    }
+    events as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Rearmed-timer churn: each popped event schedules a cancellable deadline,
+/// immediately supersedes it (cancel + reschedule) — the TCP RTO/delayed-ACK
+/// pattern. Returns popped events per second.
+fn cancel_heavy<Q: QueueBackend<u64>>(mut q: Q, pending: usize, events: u64) -> f64 {
+    let mut rng = Lcg(0x2545_F491_4F6C_DD1D);
+    for i in 0..pending {
+        q.schedule(SimTime::from_nanos(rng.next_below(1_000_000)), i as u64);
+    }
+    let start = Instant::now();
+    for _ in 0..events {
+        let (at, v) = q.pop().expect("queue held non-empty");
+        let h =
+            q.schedule_cancellable(at + SimDuration::from_nanos(rng.next_below(500_000) + 1), v);
+        q.cancel(h);
+        q.schedule(
+            at + SimDuration::from_nanos(rng.next_below(1_000_000) + 1),
+            v,
+        );
+    }
+    events as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Calendar geometry matched to the microbench load, per Brown's sizing
+/// rule: bucket count within 2× of the pending population (a few events per
+/// bucket), bucket width spanning the 1 ms delay horizon twice over.
+fn bench_calendar(pending: usize) -> CalendarQueue<u64> {
+    let buckets = (pending / 2).next_power_of_two();
+    // width = 4 * horizon / buckets, as a power of two (horizon = 2^20 ns);
+    // the wide window keeps most reschedules out of the overflow heap.
+    let shift = (22u32.saturating_sub(buckets.trailing_zeros())).max(1);
+    CalendarQueue::with_geometry(shift, buckets)
+}
+
+#[derive(Debug, Serialize)]
+struct KernelWorkload {
+    pending: u64,
+    popped_events: u64,
+    heap_events_per_sec: f64,
+    calendar_events_per_sec: f64,
+    speedup: f64,
+}
+
+const KERNEL_SAMPLES: usize = 5;
+
+/// Median of `KERNEL_SAMPLES` interleaved heap/calendar measurements — one
+/// short run of each backend is too noisy on a busy single-core box.
+fn kernel_workload(
+    pending: usize,
+    events: u64,
+    bench: fn(EventQueue<u64>, usize, u64) -> f64,
+    bench_cal: fn(CalendarQueue<u64>, usize, u64) -> f64,
+) -> KernelWorkload {
+    let mut heap_runs = Vec::new();
+    let mut cal_runs = Vec::new();
+    for _ in 0..KERNEL_SAMPLES {
+        heap_runs.push(bench(EventQueue::new(), pending, events));
+        cal_runs.push(bench_cal(bench_calendar(pending), pending, events));
+    }
+    let median = |mut v: Vec<f64>| -> f64 {
+        v.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+        v[v.len() / 2]
+    };
+    let heap = median(heap_runs);
+    let calendar = median(cal_runs);
+    KernelWorkload {
+        pending: pending as u64,
+        popped_events: events,
+        heap_events_per_sec: heap,
+        calendar_events_per_sec: calendar,
+        speedup: calendar / heap,
+    }
+}
+
+#[derive(Debug, Serialize)]
+struct KernelReport {
+    churn: KernelWorkload,
+    cancel_heavy: KernelWorkload,
+}
+
+#[derive(Debug, Serialize)]
+struct SweepReport {
+    points: u64,
+    reference_seconds: f64,
+    fast_seconds: f64,
+    speedup: f64,
+    outputs_identical: bool,
+    /// Events processed across all points (cancellation shrinks this).
+    reference_events: u64,
+    fast_events: u64,
+    /// Max over points of the scheduler's pending-event high-water mark.
+    reference_peak_pending: u64,
+    fast_peak_pending: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct PerfReport {
+    description: String,
+    kernel: KernelReport,
+    sweep_fig2_shallow: SweepReport,
+}
+
+/// The Fig. 2 shallow grid used for the wall-clock comparison: one rack of
+/// twelve hosts over three map waves, so each host accumulates enough
+/// endpoints for the reference engine's per-packet scans to show their cost.
+fn sweep_config() -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::tiny();
+    cfg.hosts_per_rack = 12;
+    cfg.input_bytes_per_node = 6_000_000;
+    cfg.map_waves = 3;
+    cfg
+}
+
+fn sweep_points() -> Vec<(Transport, QueueKind, u64)> {
+    let mut points = vec![(Transport::Tcp, QueueKind::DropTail, 500)];
+    for transport in Transport::ECN_TRANSPORTS {
+        for queue in [
+            QueueKind::Red(ProtectionMode::Default),
+            QueueKind::Red(ProtectionMode::AckSyn),
+            QueueKind::SimpleMarking,
+        ] {
+            for delay_us in [100u64, 500, 2000] {
+                points.push((transport, queue, delay_us));
+            }
+        }
+    }
+    points
+}
+
+fn run_sweep(engine: Engine) -> (f64, Vec<RunMetrics>, u64, u64) {
+    let cfg = sweep_config();
+    let mut metrics = Vec::new();
+    let mut events = 0u64;
+    let mut peak = 0u64;
+    let start = Instant::now();
+    for (transport, queue, delay_us) in sweep_points() {
+        let (m, report) = run_scenario_once_with(
+            &cfg,
+            transport,
+            queue,
+            BufferDepth::Shallow,
+            SimDuration::from_micros(delay_us),
+            engine,
+        );
+        events += report.events;
+        peak = peak.max(report.peak_pending as u64);
+        metrics.push(m);
+    }
+    (start.elapsed().as_secs_f64(), metrics, events, peak)
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_1.json".into());
+
+    eprintln!("kernel microbench (churn)...");
+    let churn_w = kernel_workload(1_048_576, 1_000_000, churn, churn);
+    eprintln!(
+        "  heap {:.2}M ev/s, calendar {:.2}M ev/s, speedup {:.2}x",
+        churn_w.heap_events_per_sec / 1e6,
+        churn_w.calendar_events_per_sec / 1e6,
+        churn_w.speedup,
+    );
+
+    eprintln!("kernel microbench (cancel-heavy)...");
+    let cancel_w = kernel_workload(1_048_576, 1_000_000, cancel_heavy, cancel_heavy);
+    eprintln!(
+        "  heap {:.2}M ev/s, calendar {:.2}M ev/s, speedup {:.2}x",
+        cancel_w.heap_events_per_sec / 1e6,
+        cancel_w.calendar_events_per_sec / 1e6,
+        cancel_w.speedup,
+    );
+
+    eprintln!("fig2-shallow sweep, reference engine...");
+    let (ref_s, ref_metrics, ref_events, ref_peak) = run_sweep(Engine::Reference);
+    eprintln!("  {ref_s:.2}s, {ref_events} events");
+    eprintln!("fig2-shallow sweep, fast engine...");
+    let (fast_s, fast_metrics, fast_events, fast_peak) = run_sweep(Engine::Fast);
+    eprintln!(
+        "  {fast_s:.2}s, {fast_events} events, speedup {:.2}x",
+        ref_s / fast_s
+    );
+
+    let identical = ref_metrics == fast_metrics;
+    if !identical {
+        eprintln!("WARNING: engines disagreed on sweep outputs");
+    }
+
+    let report = PerfReport {
+        description: "Simulation-kernel fast path: binary-heap reference vs calendar queue + \
+                      slab lookups + timer cancellation, measured in one process."
+            .into(),
+        kernel: KernelReport {
+            churn: churn_w,
+            cancel_heavy: cancel_w,
+        },
+        sweep_fig2_shallow: SweepReport {
+            points: sweep_points().len() as u64,
+            reference_seconds: ref_s,
+            fast_seconds: fast_s,
+            speedup: ref_s / fast_s,
+            outputs_identical: identical,
+            reference_events: ref_events,
+            fast_events,
+            reference_peak_pending: ref_peak,
+            fast_peak_pending: fast_peak,
+        },
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialise report");
+    std::fs::write(&out, json.as_bytes()).expect("write report");
+    println!("wrote {out}");
+}

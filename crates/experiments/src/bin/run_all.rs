@@ -44,7 +44,12 @@ fn main() {
     let res = sweep_from_args();
     for panel in fig2(&res).into_iter().chain(fig3(&res)).chain(fig4(&res)) {
         println!("{}", render_panel(&panel));
-        let _ = write_json(&panel, Path::new("results").join(format!("{}.json", panel.id)).as_path());
+        let _ = write_json(
+            &panel,
+            Path::new("results")
+                .join(format!("{}.json", panel.id))
+                .as_path(),
+        );
     }
 
     // Headline claims.

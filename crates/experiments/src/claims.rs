@@ -203,11 +203,41 @@ mod tests {
             baseline_shallow: metrics(100.0, 1.0),
             baseline_deep: metrics(110.0, 5.0),
             points: vec![
-                point(QueueKind::Red(ProtectionMode::Default), BufferDepth::Shallow, 100, 80.0, 0.4),
-                point(QueueKind::Red(ProtectionMode::AckSyn), BufferDepth::Shallow, 100, 112.0, 0.2),
-                point(QueueKind::SimpleMarking, BufferDepth::Shallow, 100, 108.0, 0.15),
-                point(QueueKind::Red(ProtectionMode::EceBit), BufferDepth::Shallow, 500, 97.0, 0.1),
-                point(QueueKind::Red(ProtectionMode::AckSyn), BufferDepth::Deep, 500, 111.0, 2.0),
+                point(
+                    QueueKind::Red(ProtectionMode::Default),
+                    BufferDepth::Shallow,
+                    100,
+                    80.0,
+                    0.4,
+                ),
+                point(
+                    QueueKind::Red(ProtectionMode::AckSyn),
+                    BufferDepth::Shallow,
+                    100,
+                    112.0,
+                    0.2,
+                ),
+                point(
+                    QueueKind::SimpleMarking,
+                    BufferDepth::Shallow,
+                    100,
+                    108.0,
+                    0.15,
+                ),
+                point(
+                    QueueKind::Red(ProtectionMode::EceBit),
+                    BufferDepth::Shallow,
+                    500,
+                    97.0,
+                    0.1,
+                ),
+                point(
+                    QueueKind::Red(ProtectionMode::AckSyn),
+                    BufferDepth::Deep,
+                    500,
+                    111.0,
+                    2.0,
+                ),
             ],
         };
         let c = claims(&res);

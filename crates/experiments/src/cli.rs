@@ -6,7 +6,11 @@ use std::path::{Path, PathBuf};
 
 /// Where sweep results are cached so Figures 2–4 binaries share one run.
 pub fn default_cache_path(tiny: bool) -> PathBuf {
-    let name = if tiny { "sweep_tiny.json" } else { "sweep.json" };
+    let name = if tiny {
+        "sweep_tiny.json"
+    } else {
+        "sweep.json"
+    };
     PathBuf::from("results").join(name)
 }
 
@@ -19,7 +23,10 @@ pub fn sweep_cached(grid: &SweepGrid, path: &Path) -> SweepResults {
                 eprintln!("[experiments] using cached sweep from {}", path.display());
                 return res;
             }
-            eprintln!("[experiments] cache at {} has a different grid; re-running", path.display());
+            eprintln!(
+                "[experiments] cache at {} has a different grid; re-running",
+                path.display()
+            );
         }
     }
     eprintln!(
@@ -48,7 +55,11 @@ pub fn parse_args() -> (SweepGrid, PathBuf, bool) {
         eprintln!("unknown argument {bad}; supported: --tiny --fresh");
         std::process::exit(2);
     }
-    let grid = if tiny { SweepGrid::tiny() } else { SweepGrid::default() };
+    let grid = if tiny {
+        SweepGrid::tiny()
+    } else {
+        SweepGrid::default()
+    };
     (grid, default_cache_path(tiny), fresh)
 }
 

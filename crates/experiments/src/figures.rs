@@ -63,7 +63,10 @@ where
             let mut cells = Vec::new();
             for &delay_us in &res.grid.target_delays_us {
                 if let Some(p) = res.point(transport, queue, depth, delay_us) {
-                    cells.push(FigureCell { delay_us, value: metric(&p.metrics) });
+                    cells.push(FigureCell {
+                        delay_us,
+                        value: metric(&p.metrics),
+                    });
                 }
             }
             if !cells.is_empty() {
@@ -229,7 +232,10 @@ pub fn fig1_full(cfg: &ScenarioConfig, target_delay: SimDuration) -> (Fig1Report
         map_waves: cfg.map_waves,
         map_rate_bps: 100_000_000,
         reduce_rate_bps: 200_000_000,
-        tcp: TcpConfig { sack: false, ..TcpConfig::with_ecn(Transport::TcpEcn.ecn_mode()) },
+        tcp: TcpConfig {
+            sack: false,
+            ..TcpConfig::with_ecn(Transport::TcpEcn.ecn_mode())
+        },
         parallel_copies: 5,
         shuffle_jitter: cfg.shuffle_jitter,
         seed: cfg.seed ^ 0x5EED,
@@ -290,7 +296,12 @@ pub fn table2() -> String {
         (EcnCodepoint::Ect1, "ECN Capable Transport"),
         (EcnCodepoint::Ce, "Congestion Encountered"),
     ] {
-        s.push_str(&format!("{:02b}         {:<9} {}\n", cp.bits(), cp.to_string(), desc));
+        s.push_str(&format!(
+            "{:02b}         {:<9} {}\n",
+            cp.bits(),
+            cp.to_string(),
+            desc
+        ));
     }
     s
 }
@@ -314,10 +325,19 @@ mod tests {
         let mut cfg = ScenarioConfig::tiny();
         cfg.input_bytes_per_node = 2_000_000;
         let rep = fig1(&cfg, SimDuration::from_micros(200));
-        assert!(rep.data_fraction > 0.5, "queue should be data-dominated: {rep:?}");
+        assert!(
+            rep.data_fraction > 0.5,
+            "queue should be data-dominated: {rep:?}"
+        );
         assert_eq!(rep.data_early_dropped, 0, "ECT data is marked, not dropped");
         assert!(rep.data_marked > 0);
-        assert!(rep.acks_early_dropped > 0, "stock RED must early-drop ACKs: {rep:?}");
-        assert!(rep.ack_share_of_early_drops > 0.5, "ACKs dominate early drops: {rep:?}");
+        assert!(
+            rep.acks_early_dropped > 0,
+            "stock RED must early-drop ACKs: {rep:?}"
+        );
+        assert!(
+            rep.ack_share_of_early_drops > 0.5,
+            "ACKs dominate early drops: {rep:?}"
+        );
     }
 }

@@ -18,7 +18,5 @@ pub mod report;
 pub mod scenario;
 pub mod sweep;
 
-pub use scenario::{
-    BufferDepth, QueueKind, RunMetrics, ScenarioConfig, Transport, run_scenario,
-};
-pub use sweep::{SweepGrid, SweepPoint, SweepResults, sweep};
+pub use scenario::{run_scenario, BufferDepth, QueueKind, RunMetrics, ScenarioConfig, Transport};
+pub use sweep::{sweep, SweepGrid, SweepPoint, SweepResults};

@@ -75,8 +75,14 @@ mod tests {
             series: vec![FigureSeries {
                 label: "tcp-ecn red[ece-bit]".into(),
                 cells: vec![
-                    FigureCell { delay_us: 100, value: 1.25 },
-                    FigureCell { delay_us: 500, value: 0.875 },
+                    FigureCell {
+                        delay_us: 100,
+                        value: 1.25,
+                    },
+                    FigureCell {
+                        delay_us: 500,
+                        value: 0.875,
+                    },
                 ],
             }],
         }

@@ -126,8 +126,8 @@ impl Default for ScenarioConfig {
             hosts_per_rack: 4,
             host_link: LinkSpec::gbps(1, 5),
             uplink: LinkSpec::gbps(10, 5),
-            shallow_packets: 100,  // ~150 kB/port: commodity switch
-            deep_packets: 1000,    // ~1.5 MB/port: deep-buffer switch
+            shallow_packets: 100, // ~150 kB/port: commodity switch
+            deep_packets: 1000,   // ~1.5 MB/port: deep-buffer switch
             input_bytes_per_node: 64_000_000,
             map_waves: 4,
             mean_packet_bytes: 1526,
@@ -175,7 +175,9 @@ impl ScenarioConfig {
     ) -> QdiscSpec {
         let cap = self.capacity(depth);
         match queue {
-            QueueKind::DropTail => QdiscSpec::DropTail { capacity_packets: cap },
+            QueueKind::DropTail => QdiscSpec::DropTail {
+                capacity_packets: cap,
+            },
             QueueKind::Red(mode) => QdiscSpec::Red(RedConfig::from_target_delay(
                 target_delay,
                 self.host_link.rate_bps,
@@ -197,12 +199,28 @@ impl ScenarioConfig {
                 // Data-centre tuning: the classic 100 ms interval is WAN
                 // RTT scale and never arms on millisecond shuffle bursts;
                 // use a few times the target, floored at 1 ms.
-                interval: target_delay.saturating_mul(4).max(SimDuration::from_millis(1)),
+                interval: target_delay
+                    .saturating_mul(4)
+                    .max(SimDuration::from_millis(1)),
                 ecn: true,
                 protection: mode,
             }),
         }
     }
+}
+
+/// Which simulation engine evaluates a point.
+///
+/// `Fast` is the optimised path (calendar-queue scheduler, slab lookups,
+/// timer cancellation); `Reference` is the seed implementation (binary-heap
+/// scheduler, map lookups, full-scan flushes), kept so the perf report can
+/// measure before/after in one process. Both produce identical metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Engine {
+    /// Optimised kernel (the default everywhere).
+    Fast,
+    /// Seed-faithful slow path, for benchmarking only.
+    Reference,
 }
 
 /// Everything measured from one run.
@@ -256,9 +274,8 @@ pub fn run_scenario(
 fn average_metrics(runs: &[RunMetrics]) -> RunMetrics {
     let n = runs.len() as f64;
     let fmean = |f: fn(&RunMetrics) -> f64| runs.iter().map(f).sum::<f64>() / n;
-    let umean = |f: fn(&RunMetrics) -> u64| {
-        (runs.iter().map(f).sum::<u64>() as f64 / n).round() as u64
-    };
+    let umean =
+        |f: fn(&RunMetrics) -> u64| (runs.iter().map(f).sum::<u64>() as f64 / n).round() as u64;
     RunMetrics {
         runtime_s: fmean(|m| m.runtime_s),
         throughput_per_node_bps: fmean(|m| m.throughput_per_node_bps),
@@ -283,6 +300,20 @@ pub fn run_scenario_once(
     depth: BufferDepth,
     target_delay: SimDuration,
 ) -> RunMetrics {
+    run_scenario_once_with(cfg, transport, queue, depth, target_delay, Engine::Fast).0
+}
+
+/// One repetition on an explicit [`Engine`], also returning the simulation's
+/// [`netsim::RunReport`] (event counts, peak pending events) for the perf
+/// report.
+pub fn run_scenario_once_with(
+    cfg: &ScenarioConfig,
+    transport: Transport,
+    queue: QueueKind,
+    depth: BufferDepth,
+    target_delay: SimDuration,
+    engine: Engine,
+) -> (RunMetrics, netsim::RunReport) {
     let spec = ClusterSpec {
         racks: cfg.racks,
         hosts_per_rack: cfg.hosts_per_rack,
@@ -316,7 +347,13 @@ pub fn run_scenario_once(
     let app = TerasortJob::new(job, n);
     let mut sim = Simulation::new(net, app);
     sim.time_limit = cfg.time_limit;
-    let report = sim.run();
+    let report = match engine {
+        Engine::Fast => sim.run(),
+        Engine::Reference => {
+            sim.net.set_reference_mode(true);
+            sim.run_reference()
+        }
+    };
 
     let res = sim.app.result();
     let runtime_s = res.runtime.as_secs_f64();
@@ -332,7 +369,7 @@ pub fn run_scenario_once(
     let port = sim.net.port_stats().total;
     let tx = sim.net.sender_stats_total();
 
-    RunMetrics {
+    let metrics = RunMetrics {
         runtime_s,
         throughput_per_node_bps: throughput,
         mean_latency_s: sim.net.latency().mean().as_secs_f64(),
@@ -346,7 +383,8 @@ pub fn run_scenario_once(
         fast_retransmits: tx.fast_retransmits,
         syn_retransmits: tx.syn_retransmits,
         completed: report.app_done,
-    }
+    };
+    (metrics, report)
 }
 
 #[cfg(test)]
@@ -359,7 +397,10 @@ mod tests {
         assert_eq!(Transport::TcpEcn.label(), "tcp-ecn");
         assert_eq!(Transport::Dctcp.label(), "dctcp");
         assert_eq!(QueueKind::DropTail.label(), "droptail");
-        assert_eq!(QueueKind::Red(ProtectionMode::AckSyn).label(), "red[ack+syn]");
+        assert_eq!(
+            QueueKind::Red(ProtectionMode::AckSyn).label(),
+            "red[ack+syn]"
+        );
         assert_eq!(QueueKind::SimpleMarking.label(), "simple-marking");
         assert_eq!(BufferDepth::Shallow.label(), "shallow");
     }
@@ -367,7 +408,11 @@ mod tests {
     #[test]
     fn qdisc_building() {
         let cfg = ScenarioConfig::default();
-        let d = cfg.qdisc(QueueKind::DropTail, BufferDepth::Deep, SimDuration::from_micros(1));
+        let d = cfg.qdisc(
+            QueueKind::DropTail,
+            BufferDepth::Deep,
+            SimDuration::from_micros(1),
+        );
         assert_eq!(d.capacity_packets(), 1000);
         let r = cfg.qdisc(
             QueueKind::Red(ProtectionMode::EceBit),
@@ -400,6 +445,27 @@ mod tests {
         assert!(m.throughput_per_node_bps > 0.0);
         assert!(m.mean_latency_s > 0.0);
         assert_eq!(m.data_marked, 0, "droptail never marks");
+    }
+
+    #[test]
+    fn fast_and_reference_engines_agree() {
+        let cfg = ScenarioConfig::tiny();
+        let run = |engine| {
+            run_scenario_once_with(
+                &cfg,
+                Transport::TcpEcn,
+                QueueKind::Red(ProtectionMode::Default),
+                BufferDepth::Shallow,
+                SimDuration::from_micros(500),
+                engine,
+            )
+        };
+        let (fast, fast_report) = run(Engine::Fast);
+        let (reference, reference_report) = run(Engine::Reference);
+        assert_eq!(fast, reference, "engines must produce identical metrics");
+        // Cancellation removes spurious timer fires, so the fast engine
+        // processes no more events than the reference one.
+        assert!(fast_report.events <= reference_report.events);
     }
 
     #[test]

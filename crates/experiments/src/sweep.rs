@@ -109,37 +109,46 @@ impl SweepResults {
         delay_us: u64,
     ) -> Option<&SweepPoint> {
         self.points.iter().find(|p| {
-            p.transport == transport && p.queue == queue && p.depth == depth && p.delay_us == delay_us
+            p.transport == transport
+                && p.queue == queue
+                && p.depth == depth
+                && p.delay_us == delay_us
         })
     }
+}
+
+/// The paper's normalisation baseline for one depth: DropTail with plain
+/// TCP. The 500 µs target delay is inert for DropTail (nothing marks), but
+/// keeps the plumbing identical to the swept points.
+pub fn run_baseline(cfg: &ScenarioConfig, depth: BufferDepth) -> RunMetrics {
+    run_scenario(
+        cfg,
+        Transport::Tcp,
+        QueueKind::DropTail,
+        depth,
+        SimDuration::from_micros(500),
+    )
+}
+
+/// True when `SWEEP_TIMING=1`: print per-point wall-clock timing to stderr
+/// (there is no logging framework in this workspace, so this stands in for
+/// debug-level logging).
+fn timing_enabled() -> bool {
+    std::env::var_os("SWEEP_TIMING").is_some_and(|v| v == "1")
 }
 
 /// Run the full grid (both buffer depths plus the two DropTail baselines).
 ///
 /// Every point is an independent deterministic simulation, so the grid is
-/// evaluated in parallel with rayon.
+/// evaluated in parallel with rayon. Set `SWEEP_TIMING=1` to print each
+/// point's wall-clock time to stderr.
 pub fn sweep(grid: &SweepGrid) -> SweepResults {
     let cfg = &grid.config;
+    let timing = timing_enabled();
     // Baselines: the paper normalises against DropTail with plain TCP.
     let (baseline_shallow, baseline_deep) = rayon::join(
-        || {
-            run_scenario(
-                cfg,
-                Transport::Tcp,
-                QueueKind::DropTail,
-                BufferDepth::Shallow,
-                SimDuration::from_micros(500),
-            )
-        },
-        || {
-            run_scenario(
-                cfg,
-                Transport::Tcp,
-                QueueKind::DropTail,
-                BufferDepth::Deep,
-                SimDuration::from_micros(500),
-            )
-        },
+        || run_baseline(cfg, BufferDepth::Shallow),
+        || run_baseline(cfg, BufferDepth::Deep),
     );
 
     let mut jobs = Vec::new();
@@ -155,6 +164,7 @@ pub fn sweep(grid: &SweepGrid) -> SweepResults {
     let points: Vec<SweepPoint> = jobs
         .into_par_iter()
         .map(|(transport, queue, depth, delay_us)| {
+            let start = std::time::Instant::now();
             let metrics = run_scenario(
                 cfg,
                 transport,
@@ -162,11 +172,31 @@ pub fn sweep(grid: &SweepGrid) -> SweepResults {
                 depth,
                 SimDuration::from_micros(delay_us),
             );
-            SweepPoint { transport, queue, depth, delay_us, metrics }
+            if timing {
+                eprintln!(
+                    "sweep point {} {} {} {delay_us}us: {:.3}s",
+                    transport.label(),
+                    queue.label(),
+                    depth.label(),
+                    start.elapsed().as_secs_f64(),
+                );
+            }
+            SweepPoint {
+                transport,
+                queue,
+                depth,
+                delay_us,
+                metrics,
+            }
         })
         .collect();
 
-    SweepResults { grid: grid.clone(), baseline_shallow, baseline_deep, points }
+    SweepResults {
+        grid: grid.clone(),
+        baseline_shallow,
+        baseline_deep,
+        points,
+    }
 }
 
 #[cfg(test)]
@@ -188,7 +218,12 @@ mod tests {
         assert!(res.baseline_deep.completed);
         assert!(res.points.iter().all(|p| p.metrics.completed));
         assert!(res
-            .point(Transport::TcpEcn, QueueKind::SimpleMarking, BufferDepth::Deep, 500)
+            .point(
+                Transport::TcpEcn,
+                QueueKind::SimpleMarking,
+                BufferDepth::Deep,
+                500
+            )
             .is_some());
         assert_eq!(res.at_depth(BufferDepth::Shallow).count(), 2);
     }

@@ -109,7 +109,9 @@ impl TerasortJob {
                 if d == s {
                     continue; // local partition does not cross the network
                 }
-                self.nodes[d].fetch_queue.push_back((NodeId(s as u32), bytes));
+                self.nodes[d]
+                    .fetch_queue
+                    .push_back((NodeId(s as u32), bytes));
                 self.nodes[d].inbound_started += 1;
                 self.nodes[d].inbound_pending += 1;
                 self.pump_fetches(d, net, now);
@@ -123,7 +125,9 @@ impl TerasortJob {
     /// pipeline instead of a full synchronous incast.
     fn pump_fetches(&mut self, d: usize, net: &mut Network, now: SimTime) {
         while self.nodes[d].active_fetches < self.spec.parallel_copies {
-            let Some((src, bytes)) = self.nodes[d].fetch_queue.pop_front() else { break };
+            let Some((src, bytes)) = self.nodes[d].fetch_queue.pop_front() else {
+                break;
+            };
             self.nodes[d].active_fetches += 1;
             // Small deterministic jitter decorrelates flow starts.
             let jit = self
@@ -162,19 +166,22 @@ impl Application for TerasortJob {
         // Schedule every map wave completion on every node. A small per-node
         // phase offset models non-identical task scheduling.
         for s in 0..self.n as usize {
-            let offset_ns = self.rng.fork(0xA000 + s as u64).next_below(
-                self.spec.shuffle_jitter.as_nanos().max(1),
-            );
+            let offset_ns = self
+                .rng
+                .fork(0xA000 + s as u64)
+                .next_below(self.spec.shuffle_jitter.as_nanos().max(1));
             for w in 0..self.spec.map_waves {
-                let at = SimTime::from_nanos(offset_ns)
-                    + self.spec.wave_duration() * (w as u64 + 1);
+                let at =
+                    SimTime::from_nanos(offset_ns) + self.spec.wave_duration() * (w as u64 + 1);
                 net.schedule_app_timer(at, token(KIND_WAVE, s as u64, w as u64));
             }
         }
     }
 
     fn on_flow_complete(&mut self, flow: FlowId, net: &mut Network, now: SimTime) {
-        let Some(dst) = self.flow_dst.remove(&flow) else { return };
+        let Some(dst) = self.flow_dst.remove(&flow) else {
+            return;
+        };
         self.flows_completed += 1;
         self.shuffle_done_at = self.shuffle_done_at.max(now);
         let d = dst.0 as usize;
@@ -219,7 +226,11 @@ mod tests {
 
     #[test]
     fn token_roundtrip() {
-        for (k, a, b) in [(KIND_WAVE, 0, 0), (KIND_FLOW, 3, 12345), (KIND_REDUCE, 15, 0xFFFF_FFFF)] {
+        for (k, a, b) in [
+            (KIND_WAVE, 0, 0),
+            (KIND_FLOW, 3, 12345),
+            (KIND_REDUCE, 15, 0xFFFF_FFFF),
+        ] {
             assert_eq!(untoken(token(k, a, b)), (k, a, b));
         }
     }
@@ -227,6 +238,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "two nodes")]
     fn single_node_rejected() {
-        let _ = TerasortJob::new(crate::JobSpec::small(1000, tcpstack::TcpConfig::default()), 1);
+        let _ = TerasortJob::new(
+            crate::JobSpec::small(1000, tcpstack::TcpConfig::default()),
+            1,
+        );
     }
 }

@@ -32,7 +32,12 @@ fn run(qdisc: QdiscSpec, job: JobSpec) -> (netsim::RunReport, Simulation<Terasor
 #[test]
 fn terasort_completes_on_droptail() {
     let job = JobSpec::small(2_000_000, TcpConfig::default());
-    let (report, sim) = run(QdiscSpec::DropTail { capacity_packets: 100 }, job);
+    let (report, sim) = run(
+        QdiscSpec::DropTail {
+            capacity_packets: 100,
+        },
+        job,
+    );
     assert!(report.app_done, "job must finish: {report:?}");
     let res = sim.app.result();
     // 8 nodes, each sends 2MB * 7/8 across the network.
@@ -49,18 +54,32 @@ fn map_phase_lower_bounds_runtime() {
     let job = JobSpec::small(2_000_000, TcpConfig::default());
     let wave = job.wave_duration();
     let reduce = job.reduce_duration(8);
-    let (report, sim) = run(QdiscSpec::DropTail { capacity_packets: 100 }, job);
+    let (report, sim) = run(
+        QdiscSpec::DropTail {
+            capacity_packets: 100,
+        },
+        job,
+    );
     assert!(report.app_done);
     let res = sim.app.result();
     // Runtime >= map wave + reduce compute (network adds more).
-    assert!(res.runtime >= SimTime::ZERO + wave + reduce, "runtime {} too small", res.runtime);
+    assert!(
+        res.runtime >= SimTime::ZERO + wave + reduce,
+        "runtime {} too small",
+        res.runtime
+    );
 }
 
 #[test]
 fn multi_wave_shuffle_overlaps_map() {
     let mut job = JobSpec::small(4_000_000, TcpConfig::default());
     job.map_waves = 4;
-    let (report, sim) = run(QdiscSpec::DropTail { capacity_packets: 100 }, job);
+    let (report, sim) = run(
+        QdiscSpec::DropTail {
+            capacity_packets: 100,
+        },
+        job,
+    );
     assert!(report.app_done);
     let res = sim.app.result();
     assert_eq!(res.flows, 4 * 8 * 7, "one flow per wave per ordered pair");
@@ -83,7 +102,12 @@ fn terasort_is_deterministic() {
         );
         assert!(report.app_done);
         let r = sim.app.result();
-        (r.runtime, r.shuffle_done, r.flows, sim.net.latency().mean().as_nanos())
+        (
+            r.runtime,
+            r.shuffle_done,
+            r.flows,
+            sim.net.latency().mean().as_nanos(),
+        )
     };
     assert_eq!(go(), go());
 }
@@ -134,7 +158,12 @@ fn shuffle_latency_reduced_by_marking_vs_droptail_deep() {
     // Deep buffers + DropTail = bufferbloat; deep buffers + marking = low
     // latency at full throughput (paper Fig. 4b).
     let job = || JobSpec::small(4_000_000, TcpConfig::with_ecn(EcnMode::Dctcp));
-    let (rep_dt, sim_dt) = run(QdiscSpec::DropTail { capacity_packets: 1000 }, job());
+    let (rep_dt, sim_dt) = run(
+        QdiscSpec::DropTail {
+            capacity_packets: 1000,
+        },
+        job(),
+    );
     let (rep_sm, sim_sm) = run(
         QdiscSpec::SimpleMarking(SimpleMarkingConfig {
             capacity_packets: 1000,

@@ -105,16 +105,31 @@ mod tests {
         assert_eq!(PacketKind::of(&pkt(TcpFlags::ACK, 1460)), PacketKind::Data);
         assert_eq!(PacketKind::of(&pkt(TcpFlags::ACK, 0)), PacketKind::PureAck);
         assert_eq!(PacketKind::of(&pkt(TcpFlags::SYN, 0)), PacketKind::Syn);
-        assert_eq!(PacketKind::of(&pkt(TcpFlags::ecn_setup_syn(), 0)), PacketKind::Syn);
-        assert_eq!(PacketKind::of(&pkt(TcpFlags::SYN | TcpFlags::ACK, 0)), PacketKind::SynAck);
-        assert_eq!(PacketKind::of(&pkt(TcpFlags::FIN | TcpFlags::ACK, 0)), PacketKind::Fin);
+        assert_eq!(
+            PacketKind::of(&pkt(TcpFlags::ecn_setup_syn(), 0)),
+            PacketKind::Syn
+        );
+        assert_eq!(
+            PacketKind::of(&pkt(TcpFlags::SYN | TcpFlags::ACK, 0)),
+            PacketKind::SynAck
+        );
+        assert_eq!(
+            PacketKind::of(&pkt(TcpFlags::FIN | TcpFlags::ACK, 0)),
+            PacketKind::Fin
+        );
         assert_eq!(PacketKind::of(&pkt(TcpFlags::RST, 0)), PacketKind::Other);
     }
 
     #[test]
     fn ece_does_not_change_kind() {
-        assert_eq!(PacketKind::of(&pkt(TcpFlags::ACK | TcpFlags::ECE, 0)), PacketKind::PureAck);
-        assert_eq!(PacketKind::of(&pkt(TcpFlags::ACK | TcpFlags::ECE, 1460)), PacketKind::Data);
+        assert_eq!(
+            PacketKind::of(&pkt(TcpFlags::ACK | TcpFlags::ECE, 0)),
+            PacketKind::PureAck
+        );
+        assert_eq!(
+            PacketKind::of(&pkt(TcpFlags::ACK | TcpFlags::ECE, 1460)),
+            PacketKind::Data
+        );
     }
 
     #[test]

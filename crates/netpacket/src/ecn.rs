@@ -103,7 +103,12 @@ mod tests {
 
     #[test]
     fn table2_roundtrip() {
-        for cp in [EcnCodepoint::NotEct, EcnCodepoint::Ect0, EcnCodepoint::Ect1, EcnCodepoint::Ce] {
+        for cp in [
+            EcnCodepoint::NotEct,
+            EcnCodepoint::Ect0,
+            EcnCodepoint::Ect1,
+            EcnCodepoint::Ce,
+        ] {
             assert_eq!(EcnCodepoint::from_bits(cp.bits()), Some(cp));
         }
         assert_eq!(EcnCodepoint::from_bits(0b100), None);

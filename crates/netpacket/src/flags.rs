@@ -173,7 +173,10 @@ mod tests {
     fn ecn_handshake_flag_patterns() {
         let syn = TcpFlags::ecn_setup_syn();
         assert!(syn.contains(TcpFlags::SYN));
-        assert!(syn.contains(TcpFlags::ECE), "paper: SYN carries ECE to request ECN");
+        assert!(
+            syn.contains(TcpFlags::ECE),
+            "paper: SYN carries ECE to request ECN"
+        );
         assert!(syn.contains(TcpFlags::CWR));
         assert!(!syn.contains(TcpFlags::ACK));
 

@@ -45,7 +45,10 @@ pub struct SackBlocks {
 
 impl SackBlocks {
     /// No SACK information.
-    pub const EMPTY: SackBlocks = SackBlocks { blocks: [(0, 0); 3], len: 0 };
+    pub const EMPTY: SackBlocks = SackBlocks {
+        blocks: [(0, 0); 3],
+        len: 0,
+    };
 
     /// Append a block; silently ignored beyond capacity or if empty.
     pub fn push(&mut self, start: u64, end: u64) {
@@ -125,7 +128,9 @@ impl Packet {
     pub fn is_pure_ack(&self) -> bool {
         self.payload == 0
             && self.flags.contains(TcpFlags::ACK)
-            && !self.flags.intersects(TcpFlags::SYN | TcpFlags::FIN | TcpFlags::RST)
+            && !self
+                .flags
+                .intersects(TcpFlags::SYN | TcpFlags::FIN | TcpFlags::RST)
     }
 
     /// True for the initial SYN (no ACK bit).
@@ -178,7 +183,10 @@ mod tests {
         assert!(!ack.is_syn_ack());
 
         let data = base(TcpFlags::ACK, 1460, EcnCodepoint::Ect0);
-        assert!(!data.is_pure_ack(), "segments with payload are not pure ACKs");
+        assert!(
+            !data.is_pure_ack(),
+            "segments with payload are not pure ACKs"
+        );
 
         let syn_ack = base(TcpFlags::SYN | TcpFlags::ACK, 0, EcnCodepoint::NotEct);
         assert!(!syn_ack.is_pure_ack());
@@ -215,7 +223,10 @@ mod tests {
     fn ect_and_ece_accessors() {
         let p = base(TcpFlags::ACK | TcpFlags::ECE, 0, EcnCodepoint::NotEct);
         assert!(p.has_ece());
-        assert!(!p.is_ect(), "pure ACKs are Non-ECT even when echoing congestion");
+        assert!(
+            !p.is_ect(),
+            "pure ACKs are Non-ECT even when echoing congestion"
+        );
         let d = base(TcpFlags::ACK, 1460, EcnCodepoint::Ce);
         assert!(d.is_ect());
     }

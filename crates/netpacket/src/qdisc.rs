@@ -21,7 +21,10 @@ pub enum EnqueueOutcome {
 impl EnqueueOutcome {
     /// True when the packet made it into the queue.
     pub fn accepted(self) -> bool {
-        matches!(self, EnqueueOutcome::Enqueued | EnqueueOutcome::EnqueuedMarked)
+        matches!(
+            self,
+            EnqueueOutcome::Enqueued | EnqueueOutcome::EnqueuedMarked
+        )
     }
 }
 
@@ -75,7 +78,14 @@ impl QueueStats {
     }
 
     /// Record an accepted packet.
-    pub fn on_enqueue(&mut self, kind: PacketKind, bytes: u32, marked: bool, len_pkts: u64, len_bytes: u64) {
+    pub fn on_enqueue(
+        &mut self,
+        kind: PacketKind,
+        bytes: u32,
+        marked: bool,
+        len_pkts: u64,
+        len_bytes: u64,
+    ) {
         self.enqueued.bump(kind);
         if marked {
             self.marked.bump(kind);

@@ -188,7 +188,10 @@ mod tests {
         assert_eq!(jain_fairness(&[]), 1.0);
         assert_eq!(jain_fairness(&[5.0, 5.0, 5.0]), 1.0);
         let unfair = jain_fairness(&[1.0, 0.0, 0.0, 0.0]);
-        assert!((unfair - 0.25).abs() < 1e-12, "one-of-four gets everything: {unfair}");
+        assert!(
+            (unfair - 0.25).abs() < 1e-12,
+            "one-of-four gets everything: {unfair}"
+        );
         let mid = jain_fairness(&[2.0, 1.0]);
         assert!(mid > 0.5 && mid < 1.0);
     }

@@ -16,7 +16,10 @@ pub struct LinkSpec {
 impl LinkSpec {
     /// A link with the given gigabit rate and delay in microseconds.
     pub fn gbps(gbit: u64, delay_us: u64) -> LinkSpec {
-        LinkSpec { rate_bps: gbit * 1_000_000_000, delay: SimDuration::from_micros(delay_us) }
+        LinkSpec {
+            rate_bps: gbit * 1_000_000_000,
+            delay: SimDuration::from_micros(delay_us),
+        }
     }
 
     /// Serialisation time for `bytes` on this link.
@@ -44,7 +47,10 @@ mod tests {
 
     #[test]
     fn tx_time_1500b_1gbps() {
-        assert_eq!(LinkSpec::gbps(1, 0).tx_time(1500), SimDuration::from_micros(12));
+        assert_eq!(
+            LinkSpec::gbps(1, 0).tx_time(1500),
+            SimDuration::from_micros(12)
+        );
     }
 
     #[test]
@@ -55,6 +61,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "positive")]
     fn zero_rate_rejected() {
-        LinkSpec { rate_bps: 0, delay: SimDuration::ZERO }.validate();
+        LinkSpec {
+            rate_bps: 0,
+            delay: SimDuration::ZERO,
+        }
+        .validate();
     }
 }

@@ -3,12 +3,11 @@
 use crate::link::LinkSpec;
 use crate::topology::ClusterSpec;
 use ecn_core::{build_qdisc, DropTail};
-use netpacket::{
-    EnqueueOutcome, FlowId, NodeId, Packet, PacketKind, QueueDiscipline, QueueStats,
-};
+use netpacket::{EnqueueOutcome, FlowId, NodeId, Packet, PacketKind, QueueDiscipline, QueueStats};
 use simevent::{SimDuration, SimTime};
 use simmetrics::{LatencyHistogram, QueueSample, QueueTrace, ThroughputMeter};
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
 use tcpstack::{Receiver, Sender, TcpAgent, TcpConfig};
 
 /// Addresses a device in the simulated cluster.
@@ -90,11 +89,48 @@ impl Endpoint {
     }
 }
 
+/// One endpoint slot on a host. Slots are appended in flow-creation order and
+/// never removed, so slot order equals ascending [`FlowId`] order — the same
+/// iteration order the original `BTreeMap<FlowId, Endpoint>` provided.
+#[derive(Debug)]
+struct EndpointSlot {
+    flow: FlowId,
+    ep: Endpoint,
+}
+
 #[derive(Debug)]
 struct Host {
     nic: Port,
-    endpoints: BTreeMap<FlowId, Endpoint>,
+    endpoints: Vec<EndpointSlot>,
+    /// Flow → endpoint slot, the seed implementation's lookup structure.
+    /// Maintained for [`Network::set_reference_mode`]; the fast path never
+    /// reads it.
+    by_flow: BTreeMap<FlowId, u32>,
+    /// Lazy min-heap of `(deadline, endpoint slot)` candidates. An entry is
+    /// pushed every time an endpoint is driven and reports a deadline; stale
+    /// entries (the endpoint's deadline has since moved or cleared) are
+    /// discarded at query time. Invariant: whenever an endpoint currently
+    /// reports `next_deadline() == Some(d)`, an entry `(d, slot)` is in the
+    /// heap — so the valid head is exactly the minimum over all endpoints,
+    /// without the O(endpoints) scan the original re-arm code did.
+    deadlines: BinaryHeap<Reverse<(SimTime, u32)>>,
     timer_scheduled: Option<SimTime>,
+}
+
+/// Where a flow's two endpoints live: host index plus endpoint-slot index on
+/// that host. Indexed by `FlowId - 1` (ids are dense, starting at 1).
+#[derive(Debug, Clone, Copy)]
+struct FlowSlot {
+    src_host: u32,
+    tx_idx: u32,
+    dst_host: u32,
+    rx_idx: u32,
+}
+
+/// Dense index for a flow id: ids start at 1, slabs at 0.
+#[inline]
+fn flow_index(f: FlowId) -> Option<usize> {
+    (f.0 as usize).checked_sub(1)
 }
 
 #[derive(Debug)]
@@ -136,9 +172,18 @@ pub struct Network {
     spec: ClusterSpec,
     hosts: Vec<Host>,
     switches: Vec<Switch>,
-    flows: BTreeMap<FlowId, FlowRecord>,
-    next_flow: u64,
+    /// Flow records, indexed by `FlowId - 1` (ids are dense, allocated here).
+    flows: Vec<FlowRecord>,
+    /// Endpoint locations, parallel to `flows`.
+    flow_slots: Vec<FlowSlot>,
     pending: Vec<(SimTime, Event)>,
+    /// Scratch buffer reused by [`Network::flush_host`] so the per-packet hot
+    /// path does not allocate.
+    flush_buf: Vec<Packet>,
+    /// When set, per-packet processing uses the seed implementation's
+    /// algorithms (map lookups, full-endpoint-scan flushes). See
+    /// [`Network::set_reference_mode`].
+    reference_mode: bool,
     completed: Vec<FlowId>,
     latency_all: LatencyHistogram,
     latency_data: LatencyHistogram,
@@ -210,7 +255,9 @@ impl Network {
                     peer: DevRef::Switch(spec.rack_of(h as u32) as usize),
                     transmitting: None,
                 },
-                endpoints: BTreeMap::new(),
+                endpoints: Vec::new(),
+                by_flow: BTreeMap::new(),
+                deadlines: BinaryHeap::new(),
                 timer_scheduled: None,
             });
         }
@@ -271,9 +318,11 @@ impl Network {
             spec,
             hosts,
             switches,
-            flows: BTreeMap::new(),
-            next_flow: 1,
+            flows: Vec::new(),
+            flow_slots: Vec::new(),
             pending: Vec::new(),
+            flush_buf: Vec::new(),
+            reference_mode: false,
             completed: Vec::new(),
             latency_all: LatencyHistogram::new(),
             latency_data: LatencyHistogram::new(),
@@ -303,17 +352,46 @@ impl Network {
     ) -> FlowId {
         assert!(src != dst, "flow endpoints must differ");
         assert!((src.0 as usize) < self.hosts.len() && (dst.0 as usize) < self.hosts.len());
-        let flow = FlowId(self.next_flow);
-        self.next_flow += 1;
+        let flow = FlowId(self.flows.len() as u64 + 1);
         let sender = Sender::new(flow, src, dst, bytes, cfg.clone(), now);
         let receiver = Receiver::new(flow, dst, src, cfg);
-        self.hosts[dst.0 as usize].endpoints.insert(flow, Endpoint::Rx(receiver));
-        self.hosts[src.0 as usize].endpoints.insert(flow, Endpoint::Tx(sender));
-        self.flows.insert(
+
+        let dst_h = &mut self.hosts[dst.0 as usize];
+        let rx_idx = dst_h.endpoints.len() as u32;
+        dst_h.endpoints.push(EndpointSlot {
             flow,
-            FlowRecord { flow, src, dst, bytes, started: now, completed: None },
-        );
-        self.flush_host(src.0 as usize, now);
+            ep: Endpoint::Rx(receiver),
+        });
+        dst_h.by_flow.insert(flow, rx_idx);
+        // Keep the deadline-heap invariant without flushing the receiving
+        // host (the original code did not flush it either).
+        if let Some(d) = dst_h.endpoints[rx_idx as usize].ep.next_deadline() {
+            dst_h.deadlines.push(Reverse((d, rx_idx)));
+        }
+
+        let src_h = &mut self.hosts[src.0 as usize];
+        let tx_idx = src_h.endpoints.len() as u32;
+        src_h.endpoints.push(EndpointSlot {
+            flow,
+            ep: Endpoint::Tx(sender),
+        });
+        src_h.by_flow.insert(flow, tx_idx);
+
+        self.flow_slots.push(FlowSlot {
+            src_host: src.0,
+            tx_idx,
+            dst_host: dst.0,
+            rx_idx,
+        });
+        self.flows.push(FlowRecord {
+            flow,
+            src,
+            dst,
+            bytes,
+            started: now,
+            completed: None,
+        });
+        self.flush_host(src.0 as usize, now, &[tx_idx]);
         flow
     }
 
@@ -369,7 +447,11 @@ impl Network {
     fn arrive_at_switch(&mut self, s: usize, packet: Packet, now: SimTime) {
         let sw = &mut self.switches[s];
         let out = sw.route[packet.dst.0 as usize];
-        debug_assert!(out != usize::MAX, "no route from switch {s} to {}", packet.dst);
+        debug_assert!(
+            out != usize::MAX,
+            "no route from switch {s} to {}",
+            packet.dst
+        );
         let port = &mut sw.ports[out];
         let _ = enqueue_and_kick(port, DevRef::Switch(s), out, packet, now, &mut self.pending);
     }
@@ -384,11 +466,28 @@ impl Network {
             _ => {}
         }
 
-        let host = &mut self.hosts[h];
-        let Some(ep) = host.endpoints.get_mut(&packet.flow) else {
+        // O(1) endpoint lookup: flow id -> slab slot -> endpoint index.
+        // (Reference mode keeps the seed's per-packet map lookup instead.)
+        let idx = if self.reference_mode {
+            self.hosts[h].by_flow.get(&packet.flow).copied()
+        } else {
+            flow_index(packet.flow)
+                .and_then(|i| self.flow_slots.get(i))
+                .and_then(|slot| {
+                    if slot.dst_host == h as u32 {
+                        Some(slot.rx_idx)
+                    } else if slot.src_host == h as u32 {
+                        Some(slot.tx_idx)
+                    } else {
+                        None
+                    }
+                })
+        };
+        let Some(idx) = idx else {
             self.orphan_packets += 1;
             return;
         };
+        let ep = &mut self.hosts[h].endpoints[idx as usize].ep;
         let goodput_before = match ep {
             Endpoint::Rx(r) => Some(r.bytes_received()),
             Endpoint::Tx(_) => None,
@@ -398,7 +497,7 @@ impl Network {
             let delta = r.bytes_received().saturating_sub(before);
             self.throughput.record(NodeId(h as u32), delta, now);
         }
-        self.flush_host(h, now);
+        self.flush_host(h, now, &[idx]);
     }
 
     fn tx_complete(&mut self, dev: DevRef, port_idx: usize, now: SimTime) {
@@ -411,29 +510,52 @@ impl Network {
             .take()
             .expect("TxComplete with no packet in flight");
         let peer = port.peer;
-        self.pending.push((now + port.link.delay, Event::Arrive { dev: peer, packet: p }));
+        self.pending.push((
+            now + port.link.delay,
+            Event::Arrive {
+                dev: peer,
+                packet: p,
+            },
+        ));
         try_start_tx(port, dev, port_idx, now, &mut self.pending);
     }
 
     fn host_timers(&mut self, h: usize, now: SimTime) {
-        self.hosts[h].timer_scheduled = None;
-        // Fire every endpoint whose deadline has passed.
-        let due: Vec<FlowId> = self.hosts[h]
-            .endpoints
-            .iter()
-            .filter(|(_, ep)| ep.next_deadline().is_some_and(|d| d <= now))
-            .map(|(f, _)| *f)
-            .collect();
-        for f in due {
-            if let Some(ep) = self.hosts[h].endpoints.get_mut(&f) {
-                ep.agent().on_timer(now);
+        if self.reference_mode {
+            self.host_timers_reference(h, now);
+            return;
+        }
+        let host = &mut self.hosts[h];
+        host.timer_scheduled = None;
+        // Pop matured deadline candidates; entries are lazily invalidated, so
+        // each candidate endpoint's actual deadline is re-checked. Any
+        // endpoint that is genuinely due has a matured entry here (the heap
+        // always holds an entry at the current deadline), so this finds the
+        // same set the original full endpoint scan did.
+        let mut due: Vec<u32> = Vec::new();
+        while let Some(&Reverse((d, idx))) = host.deadlines.peek() {
+            if d > now {
+                break;
+            }
+            host.deadlines.pop();
+            let actual = host.endpoints[idx as usize].ep.next_deadline();
+            if actual.is_some_and(|a| a <= now) {
+                due.push(idx);
             }
         }
-        self.flush_host(h, now);
+        // Slot order equals FlowId order, matching the original firing order.
+        due.sort_unstable();
+        due.dedup();
+        for &idx in &due {
+            host.endpoints[idx as usize].ep.agent().on_timer(now);
+        }
+        self.flush_host(h, now, &due);
     }
 
     fn sample(&mut self, now: SimTime) {
-        let Some(ts) = self.trace.as_mut() else { return };
+        let Some(ts) = self.trace.as_mut() else {
+            return;
+        };
         let port = &self.switches[ts.switch].ports[ts.port];
         let sample = QueueSample {
             at: now,
@@ -449,14 +571,119 @@ impl Network {
         }
     }
 
-    /// Drain one host's outboxes into its NIC, update flow completion, and
-    /// re-arm its timer event.
-    fn flush_host(&mut self, h: usize, now: SimTime) {
+    /// Drain the touched endpoints' outboxes into the host's NIC, update flow
+    /// completion, and re-arm the host's timer event.
+    ///
+    /// `touched` lists the endpoint slots driven since the last flush (in
+    /// ascending slot order). Untouched endpoints were drained when *they*
+    /// were last driven, and enqueueing to the NIC never feeds an endpoint,
+    /// so restricting the flush to the touched slots is behaviour-identical
+    /// to the original drain-everything loop — without the O(endpoints) scan
+    /// on every delivered packet.
+    fn flush_host(&mut self, h: usize, now: SimTime, touched: &[u32]) {
+        if self.reference_mode {
+            self.flush_host_reference(h, now);
+            return;
+        }
+        let Network {
+            hosts,
+            flows,
+            pending,
+            completed,
+            flush_buf,
+            ..
+        } = self;
+        let host = &mut hosts[h];
+        debug_assert!(flush_buf.is_empty());
+        for &idx in touched {
+            host.endpoints[idx as usize]
+                .ep
+                .agent()
+                .drain_outbox_into(flush_buf);
+        }
+        for pkt in flush_buf.drain(..) {
+            let _ = enqueue_and_kick(&mut host.nic, DevRef::Host(h), 0, pkt, now, pending);
+        }
+        // Completion checks and deadline-heap maintenance for the touched
+        // endpoints (completion can only transition on a driven endpoint).
+        for &idx in touched {
+            let slot = &host.endpoints[idx as usize];
+            if let Endpoint::Tx(s) = &slot.ep {
+                if s.is_complete() {
+                    let rec = &mut flows[flow_index(slot.flow).expect("flow id 0 is invalid")];
+                    if rec.completed.is_none() {
+                        rec.completed = Some(s.completed_at().unwrap_or(now));
+                        completed.push(slot.flow);
+                    }
+                }
+            }
+            if let Some(d) = slot.ep.next_deadline() {
+                host.deadlines.push(Reverse((d, idx)));
+            }
+        }
+        // Re-arm the host timer from the lazy deadline heap: discard stale
+        // entries until the head matches its endpoint's actual deadline. That
+        // head is the true minimum over all endpoints (every current deadline
+        // has an entry).
+        let next = loop {
+            let Some(&Reverse((d, idx))) = host.deadlines.peek() else {
+                break None;
+            };
+            if host.endpoints[idx as usize].ep.next_deadline() == Some(d) {
+                break Some(d);
+            }
+            host.deadlines.pop();
+        };
+        if let Some(d) = next {
+            let d = d.max(now);
+            if host.timer_scheduled.is_none_or(|t| d < t) {
+                host.timer_scheduled = Some(d);
+                pending.push((d, Event::HostTimers { host: h }));
+            }
+        }
+    }
+
+    // ----- reference (seed) per-packet path ---------------------------------
+
+    /// Switch per-packet processing to the seed implementation's algorithms:
+    /// `BTreeMap` endpoint lookups, drain-every-endpoint flushes with a fresh
+    /// allocation per flush, and full-scan timer re-arms. Kept — like
+    /// `simevent::EventQueue` — as the measured "before" of the perf report
+    /// (`BENCH_1.json`); both modes produce identical simulation results.
+    pub fn set_reference_mode(&mut self, on: bool) {
+        self.reference_mode = on;
+    }
+
+    /// Seed implementation of [`Network::host_timers`]: scan every endpoint
+    /// for matured deadlines.
+    fn host_timers_reference(&mut self, h: usize, now: SimTime) {
+        self.hosts[h].timer_scheduled = None;
+        let due: Vec<FlowId> = self.hosts[h]
+            .endpoints
+            .iter()
+            .filter(|s| s.ep.next_deadline().is_some_and(|d| d <= now))
+            .map(|s| s.flow)
+            .collect();
+        for f in due {
+            if let Some(&idx) = self.hosts[h].by_flow.get(&f) {
+                self.hosts[h].endpoints[idx as usize]
+                    .ep
+                    .agent()
+                    .on_timer(now);
+            }
+        }
+        self.flush_host_reference(h, now);
+    }
+
+    /// Seed implementation of [`Network::flush_host`]: drain every endpoint's
+    /// outbox (allocating per pass), scan every sender for completion, and
+    /// re-arm from a full min-scan over all endpoint deadlines.
+    fn flush_host_reference(&mut self, h: usize, now: SimTime) {
         loop {
             let host = &mut self.hosts[h];
             let mut out: Vec<Packet> = Vec::new();
-            for ep in host.endpoints.values_mut() {
-                out.append(&mut ep.agent().take_outbox());
+            for slot in &mut host.endpoints {
+                out.append(&mut slot.ep.agent().take_outbox());
             }
             if out.is_empty() {
                 break;
@@ -475,26 +702,30 @@ impl Network {
         // Completion checks for senders on this host.
         let host = &self.hosts[h];
         let mut newly_done = Vec::new();
-        for (f, ep) in &host.endpoints {
-            if let Endpoint::Tx(s) = ep {
+        for slot in &host.endpoints {
+            if let Endpoint::Tx(s) = &slot.ep {
                 if s.is_complete() {
-                    if let Some(rec) = self.flows.get(f) {
+                    if let Some(rec) = flow_index(slot.flow).and_then(|i| self.flows.get(i)) {
                         if rec.completed.is_none() {
-                            newly_done.push((*f, s.completed_at().unwrap_or(now)));
+                            newly_done.push((slot.flow, s.completed_at().unwrap_or(now)));
                         }
                     }
                 }
             }
         }
         for (f, at) in newly_done {
-            if let Some(rec) = self.flows.get_mut(&f) {
+            if let Some(rec) = flow_index(f).and_then(|i| self.flows.get_mut(i)) {
                 rec.completed = Some(at);
             }
             self.completed.push(f);
         }
-        // Re-arm the host timer.
+        // Re-arm the host timer from a full scan.
         let host = &mut self.hosts[h];
-        let next = host.endpoints.values().filter_map(|e| e.next_deadline()).min();
+        let next = host
+            .endpoints
+            .iter()
+            .filter_map(|s| s.ep.next_deadline())
+            .min();
         if let Some(d) = next {
             let d = d.max(now);
             if host.timer_scheduled.is_none_or(|t| d < t) {
@@ -509,6 +740,19 @@ impl Network {
     /// Take the events generated since the last call.
     pub fn take_pending(&mut self) -> Vec<(SimTime, Event)> {
         std::mem::take(&mut self.pending)
+    }
+
+    /// Like [`Network::take_pending`], but swaps the pending buffer with
+    /// `buf` (which must be empty) so the event loop can reuse one allocation
+    /// for the lifetime of the run instead of allocating per event.
+    pub fn swap_pending(&mut self, buf: &mut Vec<(SimTime, Event)>) {
+        debug_assert!(buf.is_empty(), "swap_pending requires an empty buffer");
+        std::mem::swap(&mut self.pending, buf);
+    }
+
+    /// Number of hosts in the cluster.
+    pub fn num_hosts(&self) -> usize {
+        self.hosts.len()
     }
 
     /// Mark the current end of the pending-event buffer, for
@@ -555,24 +799,24 @@ impl Network {
         &self.throughput
     }
 
-    /// All flow records.
+    /// All flow records, in ascending [`FlowId`] order.
     pub fn flows(&self) -> impl Iterator<Item = &FlowRecord> {
-        self.flows.values()
+        self.flows.iter()
     }
 
     /// One flow record.
     pub fn flow(&self, f: FlowId) -> Option<&FlowRecord> {
-        self.flows.get(&f)
+        flow_index(f).and_then(|i| self.flows.get(i))
     }
 
     /// Number of completed flows.
     pub fn completed_flows(&self) -> usize {
-        self.flows.values().filter(|r| r.completed.is_some()).count()
+        self.flows.iter().filter(|r| r.completed.is_some()).count()
     }
 
     /// True when every started flow has completed.
     pub fn all_flows_complete(&self) -> bool {
-        self.flows.values().all(|r| r.completed.is_some())
+        self.flows.iter().all(|r| r.completed.is_some())
     }
 
     /// Latest flow completion time, if all are complete.
@@ -580,7 +824,7 @@ impl Network {
         if !self.all_flows_complete() || self.flows.is_empty() {
             return None;
         }
-        self.flows.values().filter_map(|r| r.completed).max()
+        self.flows.iter().filter_map(|r| r.completed).max()
     }
 
     /// Packets delivered to hosts with no matching endpoint (should be zero).
@@ -607,8 +851,8 @@ impl Network {
     pub fn sender_stats_total(&self) -> tcpstack::SenderStats {
         let mut agg = tcpstack::SenderStats::default();
         for host in &self.hosts {
-            for ep in host.endpoints.values() {
-                if let Endpoint::Tx(s) = ep {
+            for slot in &host.endpoints {
+                if let Endpoint::Tx(s) = &slot.ep {
                     let st = s.stats();
                     agg.data_segments_sent += st.data_segments_sent;
                     agg.retransmits += st.retransmits;
@@ -627,8 +871,8 @@ impl Network {
     pub fn receiver_stats_total(&self) -> tcpstack::ReceiverStats {
         let mut agg = tcpstack::ReceiverStats::default();
         for host in &self.hosts {
-            for ep in host.endpoints.values() {
-                if let Endpoint::Rx(r) = ep {
+            for slot in &host.endpoints {
+                if let Endpoint::Rx(r) = &slot.ep {
                     let st = r.stats();
                     agg.segments_received += st.segments_received;
                     agg.ce_received += st.ce_received;
@@ -645,8 +889,8 @@ impl Network {
     pub fn total_bytes_received(&self) -> u64 {
         self.hosts
             .iter()
-            .flat_map(|h| h.endpoints.values())
-            .map(|ep| match ep {
+            .flat_map(|h| h.endpoints.iter())
+            .map(|slot| match &slot.ep {
                 Endpoint::Rx(r) => r.bytes_received(),
                 Endpoint::Tx(_) => 0,
             })

@@ -2,7 +2,9 @@
 
 use crate::network::{Event, Network};
 use netpacket::{FlowId, NodeId};
-use simevent::{RunOutcome, Scheduler, SchedulerConfig, SimTime};
+use simevent::{
+    HeapScheduler, QueueBackend, RunOutcome, Scheduler, SchedulerConfig, SimTime, TimerHandle,
+};
 use tcpstack::TcpConfig;
 
 /// A workload driving the network: starts flows, reacts to completions, and
@@ -33,6 +35,8 @@ pub struct RunReport {
     pub flows_completed: usize,
     /// Whether the application reported success (all work done).
     pub app_done: bool,
+    /// High-water mark of pending events in the scheduler.
+    pub peak_pending: usize,
 }
 
 /// Couples a [`Network`] with an [`Application`] and runs them to completion.
@@ -49,13 +53,118 @@ pub struct Simulation<A: Application> {
 impl<A: Application> Simulation<A> {
     /// Build a simulation with a default 1-hour simulated-time wall.
     pub fn new(net: Network, app: A) -> Self {
-        Simulation { net, app, time_limit: SimTime::from_secs(3600) }
+        Simulation {
+            net,
+            app,
+            time_limit: SimTime::from_secs(3600),
+        }
     }
 
     /// Run until the application is done, the event queue drains, or the
     /// time limit is hit.
+    ///
+    /// Uses the default calendar-queue scheduler backend; see
+    /// [`Simulation::run_with_backend`] to pin a specific one.
     pub fn run(&mut self) -> RunReport {
-        let mut sched: Scheduler<Event> = Scheduler::new(SchedulerConfig {
+        self.run_with_backend::<simevent::CalendarQueue<Event>>()
+    }
+
+    /// Run on an explicit scheduler backend (e.g. the reference binary-heap
+    /// [`simevent::EventQueue`] for benchmarking). Both backends pop in the
+    /// same order, so the report is identical either way.
+    pub fn run_with_backend<Q: QueueBackend<Event>>(&mut self) -> RunReport {
+        let mut sched: Scheduler<Event, Q> = Scheduler::new(SchedulerConfig {
+            time_limit: self.time_limit,
+            event_limit: u64::MAX,
+        });
+        let net = &mut self.net;
+        let app = &mut self.app;
+
+        // One outstanding (cancellable) HostTimers event per host: when the
+        // network re-arms a host to an earlier deadline, the superseded event
+        // is cancelled instead of left to fire spuriously.
+        let mut timer_handles: Vec<Option<TimerHandle>> = vec![None; net.num_hosts()];
+        // Reused pending-event buffer: the per-event drain swaps it with the
+        // network's (empty) buffer instead of allocating a fresh Vec.
+        let mut inbox: Vec<(SimTime, Event)> = Vec::new();
+
+        fn drain(
+            sched: &mut Scheduler<Event, impl QueueBackend<Event>>,
+            inbox: &mut Vec<(SimTime, Event)>,
+            timer_handles: &mut [Option<TimerHandle>],
+            net: &mut Network,
+            now: SimTime,
+        ) {
+            net.swap_pending(inbox);
+            for (t, e) in inbox.drain(..) {
+                let t = t.max(now);
+                match e {
+                    Event::HostTimers { host } => {
+                        if let Some(h) = timer_handles[host].take() {
+                            sched.cancel(h);
+                        }
+                        timer_handles[host] =
+                            Some(sched.schedule_cancellable_at(t, Event::HostTimers { host }));
+                    }
+                    e => sched.schedule_at(t, e),
+                }
+            }
+        }
+
+        app.on_start(net, SimTime::ZERO);
+        drain(
+            &mut sched,
+            &mut inbox,
+            &mut timer_handles,
+            net,
+            SimTime::ZERO,
+        );
+        if app.done(net) {
+            return RunReport {
+                outcome: RunOutcome::Stopped,
+                events: 0,
+                end_time: SimTime::ZERO,
+                flows_completed: net.completed_flows(),
+                app_done: true,
+                peak_pending: sched.peak_pending(),
+            };
+        }
+
+        let (outcome, stats) = sched.run(|sched, now, ev| {
+            match ev {
+                Event::AppTimer { token } => app.on_timer(token, net, now),
+                Event::HostTimers { host } => {
+                    timer_handles[host] = None;
+                    net.handle(Event::HostTimers { host }, now);
+                }
+                other => net.handle(other, now),
+            }
+            for f in net.take_completed() {
+                app.on_flow_complete(f, net, now);
+            }
+            drain(sched, &mut inbox, &mut timer_handles, net, now);
+            !app.done(net)
+        });
+
+        RunReport {
+            outcome,
+            events: stats.events_processed,
+            end_time: stats.end_time,
+            flows_completed: net.completed_flows(),
+            app_done: app.done(net),
+            peak_pending: sched.peak_pending(),
+        }
+    }
+
+    /// The seed implementation's event loop, kept as the measured "before"
+    /// of the perf report: binary-heap scheduler, a fresh pending-buffer
+    /// allocation per event, and no `HostTimers` cancellation (superseded
+    /// timer events fire spuriously). Pair with
+    /// [`Network::set_reference_mode`] for a faithful end-to-end reference.
+    /// Simulation results are identical to [`Simulation::run`]; only the
+    /// event count can differ (spurious timer fires).
+    pub fn run_reference(&mut self) -> RunReport {
+        let mut sched: HeapScheduler<Event> = Scheduler::new(SchedulerConfig {
             time_limit: self.time_limit,
             event_limit: u64::MAX,
         });
@@ -73,6 +182,7 @@ impl<A: Application> Simulation<A> {
                 end_time: SimTime::ZERO,
                 flows_completed: net.completed_flows(),
                 app_done: true,
+                peak_pending: sched.peak_pending(),
             };
         }
 
@@ -96,6 +206,7 @@ impl<A: Application> Simulation<A> {
             end_time: stats.end_time,
             flows_completed: net.completed_flows(),
             app_done: app.done(net),
+            peak_pending: sched.peak_pending(),
         }
     }
 }

@@ -84,7 +84,9 @@ mod tests {
             hosts_per_rack: 8,
             host_link: LinkSpec::gbps(1, 5),
             uplink: LinkSpec::gbps(10, 5),
-            switch_qdisc: QdiscSpec::DropTail { capacity_packets: 100 },
+            switch_qdisc: QdiscSpec::DropTail {
+                capacity_packets: 100,
+            },
             host_buffer_packets: 1000,
             seed: 1,
         }
@@ -106,7 +108,9 @@ mod tests {
         let s = ClusterSpec::single_rack(
             4,
             LinkSpec::gbps(1, 2),
-            QdiscSpec::DropTail { capacity_packets: 50 },
+            QdiscSpec::DropTail {
+                capacity_packets: 50,
+            },
             9,
         );
         s.validate();

@@ -12,7 +12,9 @@ fn droptail_cluster(racks: u32, hosts_per_rack: u32, cap: u64, seed: u64) -> Clu
         hosts_per_rack,
         host_link: LinkSpec::gbps(1, 5),
         uplink: LinkSpec::gbps(10, 5),
-        switch_qdisc: QdiscSpec::DropTail { capacity_packets: cap },
+        switch_qdisc: QdiscSpec::DropTail {
+            capacity_packets: cap,
+        },
         host_buffer_packets: 2000,
         seed,
     }
@@ -66,12 +68,18 @@ fn flow_throughput_approaches_line_rate() {
     let (_, net) = run_flows(
         droptail_cluster(1, 2, 200, 1),
         vec![(NodeId(0), NodeId(1), 20_000_000)],
-        TcpConfig { recv_wnd: 4 << 20, ..TcpConfig::default() },
+        TcpConfig {
+            recv_wnd: 4 << 20,
+            ..TcpConfig::default()
+        },
     );
     let rec = net.flows().next().unwrap();
     let dur = rec.completed.unwrap().since(rec.started);
     let gbps = 20_000_000.0 * 8.0 / dur.as_secs_f64() / 1e9;
-    assert!(gbps > 0.80, "long flow should reach most of 1 Gbps, got {gbps:.3}");
+    assert!(
+        gbps > 0.80,
+        "long flow should reach most of 1 Gbps, got {gbps:.3}"
+    );
 }
 
 #[test]
@@ -84,7 +92,10 @@ fn incast_all_to_one_completes() {
     assert_eq!(net.total_bytes_received(), 7 * 500_000);
     // The receiver's ToR down-port must have seen congestion.
     let stats = net.port_stats();
-    assert!(stats.total.dropped_total() > 0, "incast with 64-pkt buffers should drop");
+    assert!(
+        stats.total.dropped_total() > 0,
+        "incast with 64-pkt buffers should drop"
+    );
 }
 
 #[test]
@@ -98,7 +109,11 @@ fn all_to_all_shuffle_completes() {
             }
         }
     }
-    let (report, net) = run_flows(droptail_cluster(2, 3, 100, 7), pairs.clone(), TcpConfig::default());
+    let (report, net) = run_flows(
+        droptail_cluster(2, 3, 100, 7),
+        pairs.clone(),
+        TcpConfig::default(),
+    );
     assert!(report.app_done);
     assert_eq!(net.total_bytes_received(), pairs.len() as u64 * 200_000);
     assert_eq!(net.completed_flows(), pairs.len());
@@ -150,9 +165,18 @@ fn red_default_mode_early_drops_acks_under_shuffle() {
     let stats = net.port_stats();
     let ack_early = stats.total.dropped_early.get(PacketKind::PureAck);
     let data_early = stats.total.dropped_early.get(PacketKind::Data);
-    assert!(ack_early > 0, "default RED must early-drop ACKs in a shuffle");
-    assert_eq!(data_early, 0, "ECT data must be marked, never early-dropped");
-    assert!(stats.total.marked.get(PacketKind::Data) > 0, "data must get CE marks");
+    assert!(
+        ack_early > 0,
+        "default RED must early-drop ACKs in a shuffle"
+    );
+    assert_eq!(
+        data_early, 0,
+        "ECT data must be marked, never early-dropped"
+    );
+    assert!(
+        stats.total.marked.get(PacketKind::Data) > 0,
+        "data must get CE marks"
+    );
 }
 
 #[test]
@@ -209,7 +233,10 @@ fn simple_marking_never_early_drops() {
     assert!(report.app_done);
     let stats = net.port_stats();
     assert_eq!(stats.total.dropped_early.total(), 0);
-    assert!(stats.total.marked.total() > 0, "DCTCP traffic should get marked");
+    assert!(
+        stats.total.marked.total() > 0,
+        "DCTCP traffic should get marked"
+    );
 }
 
 #[test]
@@ -225,11 +252,18 @@ fn queue_trace_records_composition() {
     let report = sim.run();
     assert!(report.app_done);
     let trace = sim.net.queue_trace().expect("trace enabled");
-    assert!(trace.peak_packets() > 0, "the incast port must queue packets");
+    assert!(
+        trace.peak_packets() > 0,
+        "the incast port must queue packets"
+    );
     assert!(trace.samples().len() > 10);
     // Composition: the congested direction carries data, so data should
     // dominate its queue (the paper's Fig. 1 shape).
-    assert!(trace.mean_data_fraction() > 0.5, "got {}", trace.mean_data_fraction());
+    assert!(
+        trace.mean_data_fraction() > 0.5,
+        "got {}",
+        trace.mean_data_fraction()
+    );
 }
 
 #[test]
@@ -238,7 +272,13 @@ fn staggered_start_times_respected() {
     let cfg = TcpConfig::default();
     let app = StaticFlows::new(vec![
         (SimTime::ZERO, NodeId(0), NodeId(1), 10_000, cfg.clone()),
-        (SimTime::from_millis(50), NodeId(1), NodeId(2), 10_000, cfg.clone()),
+        (
+            SimTime::from_millis(50),
+            NodeId(1),
+            NodeId(2),
+            10_000,
+            cfg.clone(),
+        ),
     ]);
     let mut sim = Simulation::new(net, app);
     let report = sim.run();
@@ -300,7 +340,11 @@ fn plain_tcp_data_is_never_marked() {
     let (report, net) = run_flows(spec, pairs, TcpConfig::default()); // ECN off
     assert!(report.app_done);
     let stats = net.port_stats();
-    assert_eq!(stats.total.marked.total(), 0, "non-ECN traffic cannot be CE-marked");
+    assert_eq!(
+        stats.total.marked.total(),
+        0,
+        "non-ECN traffic cannot be CE-marked"
+    );
     // Without ECN, RED signals by dropping data too.
     assert!(stats.total.dropped_early.get(PacketKind::Data) > 0);
 }
@@ -321,7 +365,10 @@ fn latency_probes_alongside_bulk_traffic() {
     let report = sim.run();
     assert!(report.app_done, "primary decides completion: {report:?}");
     let probes = &sim.app.secondary;
-    assert!(probes.launched() > 3, "probes must keep launching during the bulk transfer");
+    assert!(
+        probes.launched() > 3,
+        "probes must keep launching during the bulk transfer"
+    );
     assert!(probes.completed() > 0, "some probes must complete");
     assert!(probes.fct().mean() > SimDuration::ZERO);
     assert_eq!(probes.fct_samples().len() as u64, probes.completed());
@@ -344,15 +391,30 @@ fn pair_app_routes_timers_without_crosstalk() {
     let net = Network::new(spec);
     let cfg = TcpConfig::default();
     let bulk = StaticFlows::new(vec![
-        (SimTime::from_millis(1), NodeId(1), NodeId(0), 100_000, cfg.clone()),
-        (SimTime::from_millis(7), NodeId(2), NodeId(0), 100_000, cfg.clone()),
+        (
+            SimTime::from_millis(1),
+            NodeId(1),
+            NodeId(0),
+            100_000,
+            cfg.clone(),
+        ),
+        (
+            SimTime::from_millis(7),
+            NodeId(2),
+            NodeId(0),
+            100_000,
+            cfg.clone(),
+        ),
     ]);
     let probes = LatencyProbes::new(4, 10_000, SimDuration::from_millis(3), cfg);
     let mut sim = Simulation::new(net, PairApp::new(bulk, probes));
     let report = sim.run();
     assert!(report.app_done);
     assert_eq!(
-        sim.net.flows().filter(|r| r.bytes == 100_000 && r.completed.is_some()).count(),
+        sim.net
+            .flows()
+            .filter(|r| r.bytes == 100_000 && r.completed.is_some())
+            .count(),
         2,
         "both staggered primary flows must run"
     );
@@ -383,8 +445,15 @@ fn codel_cluster_completes_and_marks() {
     let (report, net) = run_flows(spec, pairs, TcpConfig::with_ecn(EcnMode::Dctcp));
     assert!(report.app_done);
     let stats = net.port_stats();
-    assert_eq!(stats.total.dropped_early.get(PacketKind::PureAck), 0, "protected");
-    assert!(stats.total.marked.get(PacketKind::Data) > 0, "persistent shuffle queues must mark");
+    assert_eq!(
+        stats.total.dropped_early.get(PacketKind::PureAck),
+        0,
+        "protected"
+    );
+    assert!(
+        stats.total.marked.get(PacketKind::Data) > 0,
+        "persistent shuffle queues must mark"
+    );
 }
 
 #[test]
@@ -411,11 +480,18 @@ fn ecn_plus_plus_host_side_fix_eliminates_early_drops() {
             }
         }
     }
-    let cfg = TcpConfig { ect_control_packets: true, ..TcpConfig::with_ecn(EcnMode::Ecn) };
+    let cfg = TcpConfig {
+        ect_control_packets: true,
+        ..TcpConfig::with_ecn(EcnMode::Ecn)
+    };
     let (report, net) = run_flows(spec, pairs, cfg);
     assert!(report.app_done);
     let stats = net.port_stats();
-    assert_eq!(stats.total.dropped_early.total(), 0, "everything is ECT under ECN++");
+    assert_eq!(
+        stats.total.dropped_early.total(),
+        0,
+        "everything is ECT under ECN++"
+    );
     assert!(
         stats.total.marked.get(PacketKind::PureAck) > 0,
         "ACKs are marked instead of dropped"
@@ -432,7 +508,9 @@ fn oversubscribed_uplink_congests_the_core() {
         hosts_per_rack: 4,
         host_link: LinkSpec::gbps(1, 5),
         uplink: LinkSpec::gbps(1, 5), // deliberately NOT 10G
-        switch_qdisc: QdiscSpec::DropTail { capacity_packets: 100 },
+        switch_qdisc: QdiscSpec::DropTail {
+            capacity_packets: 100,
+        },
         host_buffer_packets: 2000,
         seed: 59,
     };
@@ -453,5 +531,8 @@ fn oversubscribed_uplink_congests_the_core() {
         .map(|(_, s)| s.max_len_packets)
         .max()
         .unwrap_or(0);
-    assert!(uplink_peak > 10, "oversubscribed uplinks must build queues: {uplink_peak}");
+    assert!(
+        uplink_peak > 10,
+        "oversubscribed uplinks must build queues: {uplink_peak}"
+    );
 }

@@ -1,0 +1,484 @@
+//! Calendar queue: a time-bucketed event scheduler (Brown, CACM 1988) with an
+//! overflow heap, tuned for the simulator's event-time distribution.
+//!
+//! # Structure
+//!
+//! Pending events live in one of three places, partitioned by firing time:
+//!
+//! * **window buckets** — a contiguous span of `n_buckets` fixed-width time
+//!   buckets covering `[window_start, window_end)`. Each bucket is a small
+//!   binary heap ordered by `(time, seq)`. Scheduling into the window and
+//!   popping from it are O(log k) for k = events *in that bucket* — typically
+//!   a handful — instead of O(log n) over the whole pending set.
+//! * **overflow heap** — events at or beyond `window_end` (long timers: TCP
+//!   RTOs, sampling ticks). When the window drains, it slides forward to the
+//!   earliest overflow event and the overflow events inside the new span are
+//!   redistributed into buckets — each event migrates at most once.
+//! * **past heap** — events scheduled before the current cursor bucket. The
+//!   simulation driver never does this (its `schedule_at` asserts
+//!   time-monotonicity), so in practice this heap stays empty; it exists so
+//!   the queue is a drop-in replacement for [`EventQueue`] under *arbitrary*
+//!   interleavings, which is exactly what the equivalence proptests check.
+//!
+//! # Why pops are exactly `(time, seq)`-ordered
+//!
+//! The three regions partition time: `past < cursor-bucket start ≤ window
+//! events < window_end ≤ overflow`. Buckets left of the cursor are always
+//! empty (a late insert that would land there goes to the past heap instead),
+//! buckets partition the window into disjoint intervals, and every individual
+//! heap orders by `(time, seq)`. So "past heap, then first non-empty bucket,
+//! then slide the window" always yields the global minimum — bit-for-bit the
+//! order [`EventQueue`] produces, which keeps whole-simulation determinism.
+
+use crate::handle::{CancelSet, TimerHandle};
+use crate::queue::{QueueBackend, ScheduledEvent};
+use crate::time::SimTime;
+use std::collections::BinaryHeap;
+
+/// Default bucket width: 2^11 ns ≈ 2 µs, on the order of one MTU transmission
+/// time at 10 Gb/s and well below the fabric RTT, so back-to-back packet
+/// events spread across buckets instead of piling into one.
+const DEFAULT_BUCKET_SHIFT: u32 = 11;
+
+/// Default bucket count (power of two). Window span = 512 × 2 µs ≈ 1 ms,
+/// which covers transmissions, propagation, RTTs, and delayed ACKs; only
+/// RTO-scale timers overflow.
+const DEFAULT_BUCKETS: usize = 512;
+
+/// A deterministic event queue with O(1)-amortised scheduling on the
+/// simulation hot path. Drop-in replacement for [`EventQueue`]: same API,
+/// same pop order, plus the same [`TimerHandle`] cancellation.
+///
+/// [`EventQueue`]: crate::EventQueue
+#[derive(Debug)]
+pub struct CalendarQueue<E> {
+    /// Events earlier than the cursor bucket (see module docs; empty in
+    /// monotone use).
+    past: BinaryHeap<ScheduledEvent<E>>,
+    /// The window: fixed-width time buckets, each a `(time, seq)` min-heap.
+    buckets: Vec<BinaryHeap<ScheduledEvent<E>>>,
+    /// Events at or beyond `window_end`.
+    overflow: BinaryHeap<ScheduledEvent<E>>,
+    /// log2 of the bucket width in nanoseconds.
+    bucket_shift: u32,
+    /// Start of the window in nanoseconds (multiple of the bucket width).
+    window_start: u64,
+    /// First possibly-non-empty bucket; buckets left of it are empty.
+    cursor: usize,
+    /// Physical events enqueued anywhere (including cancelled-not-reaped).
+    raw_len: usize,
+    next_seq: u64,
+    scheduled_total: u64,
+    cancels: CancelSet,
+}
+
+impl<E> Default for CalendarQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> CalendarQueue<E> {
+    /// An empty queue with the default geometry (512 buckets × ~2 µs).
+    pub fn new() -> Self {
+        Self::with_geometry(DEFAULT_BUCKET_SHIFT, DEFAULT_BUCKETS)
+    }
+
+    /// An empty queue with buckets of `1 << bucket_shift` nanoseconds and
+    /// `n_buckets` of them per window. Exposed for tests and tuning;
+    /// geometry affects performance only, never pop order.
+    pub fn with_geometry(bucket_shift: u32, n_buckets: usize) -> Self {
+        assert!(n_buckets > 0, "need at least one bucket");
+        assert!(bucket_shift < 40, "bucket width must stay addressable");
+        CalendarQueue {
+            past: BinaryHeap::new(),
+            buckets: (0..n_buckets).map(|_| BinaryHeap::new()).collect(),
+            overflow: BinaryHeap::new(),
+            bucket_shift,
+            window_start: 0,
+            cursor: 0,
+            raw_len: 0,
+            next_seq: 0,
+            scheduled_total: 0,
+            cancels: CancelSet::default(),
+        }
+    }
+
+    /// Bucket index for time `t`, if `t` falls inside the current window.
+    #[inline]
+    fn bucket_index(&self, t: u64) -> Option<usize> {
+        let idx = (t.checked_sub(self.window_start)? >> self.bucket_shift) as usize;
+        (idx < self.buckets.len()).then_some(idx)
+    }
+
+    /// Nanosecond start of the cursor bucket.
+    #[inline]
+    fn cursor_start(&self) -> u64 {
+        self.window_start + ((self.cursor as u64) << self.bucket_shift)
+    }
+
+    #[inline]
+    fn push(&mut self, at: SimTime, event: E) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        self.raw_len += 1;
+        let t = at.as_nanos();
+        let se = ScheduledEvent { at, seq, event };
+        if t < self.cursor_start() {
+            // Behind the cursor: strictly earlier than everything still in
+            // the window, so it must win the next pop.
+            self.past.push(se);
+        } else {
+            match self.bucket_index(t) {
+                Some(idx) => self.buckets[idx].push(se),
+                None => self.overflow.push(se),
+            }
+        }
+        seq
+    }
+
+    /// Pop the earliest physical event, cancelled or not.
+    fn pop_raw(&mut self) -> Option<ScheduledEvent<E>> {
+        if let Some(se) = self.past.pop() {
+            self.raw_len -= 1;
+            return Some(se);
+        }
+        loop {
+            while self.cursor < self.buckets.len() {
+                if let Some(se) = self.buckets[self.cursor].pop() {
+                    self.raw_len -= 1;
+                    return Some(se);
+                }
+                self.cursor += 1;
+            }
+            // Window exhausted: slide it to the earliest overflow event and
+            // redistribute everything that now falls inside.
+            let earliest = self.overflow.peek()?.at.as_nanos();
+            self.window_start = (earliest >> self.bucket_shift) << self.bucket_shift;
+            self.cursor = 0;
+            while let Some(se) = self.overflow.peek() {
+                match self.bucket_index(se.at.as_nanos()) {
+                    Some(idx) => {
+                        let se = self.overflow.pop().expect("peeked event exists");
+                        self.buckets[idx].push(se);
+                    }
+                    None => break,
+                }
+            }
+        }
+    }
+
+    /// Schedule `event` to fire at absolute time `at`.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        self.push(at, event);
+    }
+
+    /// Schedule `event` at `at`, returning a cancellation handle.
+    pub fn schedule_cancellable(&mut self, at: SimTime, event: E) -> TimerHandle {
+        let seq = self.push(at, event);
+        self.cancels.register(seq)
+    }
+
+    /// Cancel a pending event (lazy deletion: it is skipped when popped).
+    pub fn cancel(&mut self, handle: TimerHandle) -> bool {
+        self.cancels.cancel(handle)
+    }
+
+    /// Remove and return the earliest live event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(se) = self.pop_raw() {
+            if self.cancels.reap(se.seq) {
+                continue;
+            }
+            return Some((se.at, se.event));
+        }
+        None
+    }
+
+    /// The firing time of the earliest live pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        let live_min = |heap: &BinaryHeap<ScheduledEvent<E>>| {
+            let head = heap.peek()?;
+            if !self.cancels.is_cancelled(head.seq) {
+                return Some(head.at);
+            }
+            heap.iter()
+                .filter(|se| !self.cancels.is_cancelled(se.seq))
+                .map(|se| se.at)
+                .min()
+        };
+        if let Some(t) = live_min(&self.past) {
+            return Some(t);
+        }
+        for bucket in &self.buckets[self.cursor.min(self.buckets.len())..] {
+            if let Some(t) = live_min(bucket) {
+                return Some(t);
+            }
+        }
+        live_min(&self.overflow)
+    }
+
+    /// Number of live pending events.
+    pub fn len(&self) -> usize {
+        self.raw_len - self.cancels.pending_cancelled()
+    }
+
+    /// True when no live events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events ever scheduled on this queue.
+    ///
+    /// Monotone over the queue's lifetime: unaffected by pops, cancellations,
+    /// and [`clear`](Self::clear).
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+
+    /// Drop all pending events (keeps `scheduled_total` and the seq counter).
+    pub fn clear(&mut self) {
+        self.past.clear();
+        for bucket in &mut self.buckets {
+            bucket.clear();
+        }
+        self.overflow.clear();
+        self.window_start = 0;
+        self.cursor = 0;
+        self.raw_len = 0;
+        self.cancels.clear();
+    }
+}
+
+impl<E> QueueBackend<E> for CalendarQueue<E> {
+    fn empty() -> Self {
+        Self::new()
+    }
+    fn schedule(&mut self, at: SimTime, event: E) {
+        CalendarQueue::schedule(self, at, event);
+    }
+    fn schedule_cancellable(&mut self, at: SimTime, event: E) -> TimerHandle {
+        CalendarQueue::schedule_cancellable(self, at, event)
+    }
+    fn cancel(&mut self, handle: TimerHandle) -> bool {
+        CalendarQueue::cancel(self, handle)
+    }
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        CalendarQueue::pop(self)
+    }
+    fn peek_time(&self) -> Option<SimTime> {
+        CalendarQueue::peek_time(self)
+    }
+    fn len(&self) -> usize {
+        CalendarQueue::len(self)
+    }
+    fn scheduled_total(&self) -> u64 {
+        CalendarQueue::scheduled_total(self)
+    }
+    fn clear(&mut self) {
+        CalendarQueue::clear(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tiny geometry so unit tests cross window boundaries constantly.
+    fn tiny() -> CalendarQueue<u64> {
+        CalendarQueue::with_geometry(4, 8) // 16 ns buckets, 128 ns window
+    }
+
+    #[test]
+    fn pops_in_time_order_across_windows() {
+        let mut q = tiny();
+        // Spread far beyond one window span.
+        for (i, t) in [5_000u64, 3, 900, 17, 40_000, 41, 900, 128]
+            .iter()
+            .enumerate()
+        {
+            q.schedule(SimTime::from_nanos(*t), i as u64);
+        }
+        let mut times = Vec::new();
+        while let Some((t, _)) = q.pop() {
+            times.push(t.as_nanos());
+        }
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted);
+    }
+
+    #[test]
+    fn same_instant_is_fifo_even_through_overflow() {
+        let mut q = tiny();
+        // All at one far-future instant: they sit in overflow, then get
+        // redistributed together — order must still be insertion order.
+        let t = SimTime::from_nanos(100_000);
+        for i in 0..50u64 {
+            q.schedule(t, i);
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn late_insert_behind_cursor_still_wins() {
+        let mut q = tiny();
+        q.schedule(SimTime::from_nanos(100), 100);
+        q.schedule(SimTime::from_nanos(10), 10);
+        assert_eq!(q.pop().unwrap().0.as_nanos(), 10);
+        // The cursor is now at the 100 ns bucket; schedule earlier than it.
+        q.schedule(SimTime::from_nanos(20), 20);
+        assert_eq!(q.pop().unwrap().0.as_nanos(), 20, "past-heap event wins");
+        assert_eq!(q.pop().unwrap().0.as_nanos(), 100);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancellation_matches_reference_semantics() {
+        let mut q = tiny();
+        let h_near = q.schedule_cancellable(SimTime::from_nanos(5), 5);
+        let h_far = q.schedule_cancellable(SimTime::from_nanos(90_000), 90);
+        q.schedule(SimTime::from_nanos(7), 7);
+        assert_eq!(q.len(), 3);
+        assert!(q.cancel(h_far), "cancel works in overflow region");
+        assert!(q.cancel(h_near), "cancel works in the window");
+        assert!(!q.cancel(h_near), "double cancel is a no-op");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(7), 7)));
+        assert!(q.pop().is_none(), "cancelled events are reaped silently");
+        assert_eq!(q.scheduled_total(), 3);
+    }
+
+    #[test]
+    fn peek_time_is_live_minimum() {
+        let mut q = tiny();
+        assert_eq!(q.peek_time(), None);
+        let h = q.schedule_cancellable(SimTime::from_nanos(3), 3);
+        q.schedule(SimTime::from_nanos(50_000), 50);
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(3)));
+        q.cancel(h);
+        assert_eq!(
+            q.peek_time(),
+            Some(SimTime::from_nanos(50_000)),
+            "peek skips cancelled head and reaches overflow"
+        );
+    }
+
+    #[test]
+    fn clear_resets_events_but_not_counters() {
+        let mut q = tiny();
+        for i in 0..10u64 {
+            q.schedule(SimTime::from_nanos(i * 1000), i);
+        }
+        q.pop();
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.scheduled_total(), 10);
+        q.schedule(SimTime::from_nanos(1), 1);
+        assert_eq!(q.scheduled_total(), 11);
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(1), 1)));
+    }
+}
+
+#[cfg(test)]
+mod equivalence {
+    //! The tentpole's correctness proof: for arbitrary interleavings of
+    //! schedule / cancellable-schedule / pop / cancel, the calendar queue and
+    //! the reference binary heap pop the same `(time, payload)` sequence and
+    //! agree on every intermediate observation.
+
+    use super::*;
+    use crate::queue::EventQueue;
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        /// Schedule at absolute time t (plain).
+        Schedule(u64),
+        /// Schedule at absolute time t (cancellable); remember the handle.
+        ScheduleCancellable(u64),
+        /// Pop one event.
+        Pop,
+        /// Cancel the k-th remembered handle (mod live list length).
+        Cancel(usize),
+    }
+
+    fn arb_op() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            // Times span several windows of the tiny geometry and collide
+            // often (coarse granularity) to stress FIFO tie-breaks.
+            4 => (0u64..60_000).prop_map(|t| Op::Schedule(t / 7 * 7)),
+            3 => (0u64..60_000).prop_map(|t| Op::ScheduleCancellable(t / 7 * 7)),
+            4 => Just(Op::Pop),
+            2 => (0usize..64).prop_map(Op::Cancel),
+        ]
+    }
+
+    fn check_equivalence(ops: Vec<Op>, shift: u32, n_buckets: usize) -> Result<(), String> {
+        let mut heap: EventQueue<u64> = EventQueue::new();
+        let mut cal: CalendarQueue<u64> = CalendarQueue::with_geometry(shift, n_buckets);
+        let mut handles: Vec<(TimerHandle, TimerHandle)> = Vec::new();
+        let mut payload = 0u64;
+        for op in ops {
+            match op {
+                Op::Schedule(t) => {
+                    heap.schedule(SimTime::from_nanos(t), payload);
+                    cal.schedule(SimTime::from_nanos(t), payload);
+                    payload += 1;
+                }
+                Op::ScheduleCancellable(t) => {
+                    let hh = heap.schedule_cancellable(SimTime::from_nanos(t), payload);
+                    let hc = cal.schedule_cancellable(SimTime::from_nanos(t), payload);
+                    handles.push((hh, hc));
+                    payload += 1;
+                }
+                Op::Pop => {
+                    prop_assert_eq!(heap.pop(), cal.pop(), "pop diverged");
+                }
+                Op::Cancel(k) => {
+                    if handles.is_empty() {
+                        continue;
+                    }
+                    let (hh, hc) = handles[k % handles.len()];
+                    prop_assert_eq!(heap.cancel(hh), cal.cancel(hc), "cancel diverged");
+                }
+            }
+            prop_assert_eq!(heap.len(), cal.len(), "live length diverged");
+            prop_assert_eq!(heap.peek_time(), cal.peek_time(), "peek diverged");
+            prop_assert_eq!(heap.scheduled_total(), cal.scheduled_total());
+        }
+        // Drain both completely: the full tail must match too.
+        loop {
+            let (a, b) = (heap.pop(), cal.pop());
+            prop_assert_eq!(a, b, "drain diverged");
+            if a.is_none() {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// Equivalence under the tiny geometry (constant window slides).
+        #[test]
+        fn same_pops_tiny_geometry(ops in prop::collection::vec(arb_op(), 1..300)) {
+            check_equivalence(ops, 4, 8)?;
+        }
+
+        /// Equivalence under the production geometry.
+        #[test]
+        fn same_pops_default_geometry(ops in prop::collection::vec(arb_op(), 1..300)) {
+            check_equivalence(ops, 11, 512)?;
+        }
+
+        /// Equivalence with a single bucket (degenerates to heap-of-heaps).
+        #[test]
+        fn same_pops_single_bucket(ops in prop::collection::vec(arb_op(), 1..200)) {
+            check_equivalence(ops, 6, 1)?;
+        }
+    }
+}

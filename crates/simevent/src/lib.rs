@@ -9,9 +9,15 @@
 //!   run is exactly reproducible (no floating-point drift in the clock).
 //! * [`EventQueue`] — a binary-heap priority queue with *stable* FIFO ordering
 //!   for events scheduled at the same instant, which is required for
-//!   deterministic packet ordering.
+//!   deterministic packet ordering. Kept as the reference implementation.
+//! * [`CalendarQueue`] — the fast path: a time-bucketed calendar queue with
+//!   O(1)-amortised scheduling, proptest-verified to pop in exactly the same
+//!   order as [`EventQueue`].
+//! * [`TimerHandle`] cancellation on both queues (lazy deletion), so rearmed
+//!   timers (TCP RTO, delayed ACK) stop ballooning the pending-event set.
 //! * [`Scheduler`] — a run-to-completion driver with event accounting and a
-//!   hard time limit to guard against runaway simulations.
+//!   hard time limit to guard against runaway simulations; generic over the
+//!   queue backend, defaulting to the calendar queue.
 //! * [`SimRng`] — seedable RNG plumbing so stochastic components (e.g. RED's
 //!   drop probability) are reproducible.
 //!
@@ -28,12 +34,16 @@
 //! assert_eq!(t, SimTime::from_micros(1));
 //! ```
 
+mod calendar;
+mod handle;
 mod queue;
 mod rng;
 mod scheduler;
 mod time;
 
-pub use queue::{EventQueue, ScheduledEvent};
+pub use calendar::CalendarQueue;
+pub use handle::TimerHandle;
+pub use queue::{EventQueue, QueueBackend, ScheduledEvent};
 pub use rng::SimRng;
-pub use scheduler::{RunOutcome, Scheduler, SchedulerConfig, SchedulerStats};
+pub use scheduler::{HeapScheduler, RunOutcome, Scheduler, SchedulerConfig, SchedulerStats};
 pub use time::{SimDuration, SimTime};

@@ -1,5 +1,6 @@
 //! Stable priority queue of timestamped events.
 
+use crate::handle::{CancelSet, TimerHandle};
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -41,15 +42,54 @@ impl<E> Ord for ScheduledEvent<E> {
     }
 }
 
-/// A deterministic event queue.
+/// The operations a deterministic event queue must provide, implemented by
+/// both the reference [`EventQueue`] (binary heap) and the fast-path
+/// [`CalendarQueue`](crate::CalendarQueue) (time-bucketed calendar).
+///
+/// The contract, which the cross-backend proptests enforce: pops are globally
+/// ordered by `(time, schedule order)`; cancellation is O(1) lazy deletion
+/// with live [`len`](Self::len) accounting; two backends fed the same
+/// operation sequence pop the same event sequence and return the same
+/// cancellation results.
+pub trait QueueBackend<E> {
+    /// An empty queue.
+    fn empty() -> Self;
+    /// Schedule `event` at absolute time `at` (not cancellable, no overhead).
+    fn schedule(&mut self, at: SimTime, event: E);
+    /// Schedule `event` at `at` and return a handle that can cancel it.
+    fn schedule_cancellable(&mut self, at: SimTime, event: E) -> TimerHandle;
+    /// Cancel a previously scheduled event. `false` if it already fired or
+    /// was already cancelled.
+    fn cancel(&mut self, handle: TimerHandle) -> bool;
+    /// Remove and return the earliest live event, if any.
+    fn pop(&mut self) -> Option<(SimTime, E)>;
+    /// The firing time of the earliest live pending event.
+    fn peek_time(&self) -> Option<SimTime>;
+    /// Number of live pending events (cancelled events excluded).
+    fn len(&self) -> usize;
+    /// True when no live events are pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Total events ever scheduled on this queue (monotone; survives
+    /// [`clear`](Self::clear)).
+    fn scheduled_total(&self) -> u64;
+    /// Drop all pending events. Does not reset `scheduled_total`.
+    fn clear(&mut self);
+}
+
+/// A deterministic event queue (reference implementation, binary heap).
 ///
 /// Events are popped in nondecreasing time order; events scheduled for the
-/// same instant are popped in scheduling order.
+/// same instant are popped in scheduling order. This is the semantically
+/// obvious implementation the calendar queue is checked against; the hot
+/// simulation path uses [`CalendarQueue`](crate::CalendarQueue).
 #[derive(Debug)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<ScheduledEvent<E>>,
     next_seq: u64,
     scheduled_total: u64,
+    cancels: CancelSet,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -61,50 +101,141 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// An empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0, scheduled_total: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            scheduled_total: 0,
+            cancels: CancelSet::default(),
+        }
     }
 
     /// An empty queue with room for `cap` events before reallocating.
+    ///
+    /// `cap` is a lower bound on the initial allocation, not a limit: the
+    /// queue grows past it transparently, and [`capacity`](Self::capacity)
+    /// may report more than requested. Counters (`scheduled_total`, `seq`)
+    /// start at zero exactly as with [`new`](Self::new).
     pub fn with_capacity(cap: usize) -> Self {
-        EventQueue { heap: BinaryHeap::with_capacity(cap), next_seq: 0, scheduled_total: 0 }
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+            scheduled_total: 0,
+            cancels: CancelSet::default(),
+        }
     }
 
-    /// Schedule `event` to fire at absolute time `at`.
-    pub fn schedule(&mut self, at: SimTime, event: E) {
+    /// Events the queue can hold before reallocating.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
+    /// Release excess capacity after a burst (e.g. between sweep points).
+    pub fn shrink_to_fit(&mut self) {
+        self.heap.shrink_to_fit();
+    }
+
+    fn push(&mut self, at: SimTime, event: E) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled_total += 1;
         self.heap.push(ScheduledEvent { at, seq, event });
+        seq
     }
 
-    /// Remove and return the earliest event, if any.
+    /// Schedule `event` to fire at absolute time `at`.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        self.push(at, event);
+    }
+
+    /// Schedule `event` at `at`, returning a cancellation handle.
+    pub fn schedule_cancellable(&mut self, at: SimTime, event: E) -> TimerHandle {
+        let seq = self.push(at, event);
+        self.cancels.register(seq)
+    }
+
+    /// Cancel a pending event (lazy deletion: it is skipped when popped).
+    pub fn cancel(&mut self, handle: TimerHandle) -> bool {
+        self.cancels.cancel(handle)
+    }
+
+    /// Remove and return the earliest live event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|se| (se.at, se.event))
+        while let Some(se) = self.heap.pop() {
+            if self.cancels.reap(se.seq) {
+                continue;
+            }
+            return Some((se.at, se.event));
+        }
+        None
     }
 
-    /// The firing time of the earliest pending event.
+    /// The firing time of the earliest live pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|se| se.at)
+        let head = self.heap.peek()?;
+        if !self.cancels.is_cancelled(head.seq) {
+            return Some(head.at);
+        }
+        // Rare path: the head is a lazily-deleted timer; fall back to a scan
+        // over live events rather than mutating from a peek.
+        self.heap
+            .iter()
+            .filter(|se| !self.cancels.is_cancelled(se.seq))
+            .map(|se| se.at)
+            .min()
     }
 
-    /// Number of pending events.
+    /// Number of live pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() - self.cancels.pending_cancelled()
     }
 
-    /// True when no events are pending.
+    /// True when no live events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Total events ever scheduled on this queue.
+    ///
+    /// Monotone over the queue's lifetime: unaffected by pops, cancellations,
+    /// and [`clear`](Self::clear).
     pub fn scheduled_total(&self) -> u64 {
         self.scheduled_total
     }
 
-    /// Drop all pending events.
+    /// Drop all pending events (keeps `scheduled_total` and the seq counter).
     pub fn clear(&mut self) {
         self.heap.clear();
+        self.cancels.clear();
+    }
+}
+
+impl<E> QueueBackend<E> for EventQueue<E> {
+    fn empty() -> Self {
+        Self::new()
+    }
+    fn schedule(&mut self, at: SimTime, event: E) {
+        EventQueue::schedule(self, at, event);
+    }
+    fn schedule_cancellable(&mut self, at: SimTime, event: E) -> TimerHandle {
+        EventQueue::schedule_cancellable(self, at, event)
+    }
+    fn cancel(&mut self, handle: TimerHandle) -> bool {
+        EventQueue::cancel(self, handle)
+    }
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        EventQueue::pop(self)
+    }
+    fn peek_time(&self) -> Option<SimTime> {
+        EventQueue::peek_time(self)
+    }
+    fn len(&self) -> usize {
+        EventQueue::len(self)
+    }
+    fn scheduled_total(&self) -> u64 {
+        EventQueue::scheduled_total(self)
+    }
+    fn clear(&mut self) {
+        EventQueue::clear(self);
     }
 }
 
@@ -173,6 +304,66 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.scheduled_total(), 10);
+    }
+
+    #[test]
+    fn scheduled_total_survives_clear_and_keeps_counting() {
+        // Regression: `scheduled_total` is a lifetime counter, not a gauge.
+        // It must neither reset on clear() nor double-count cancellations.
+        let mut q = EventQueue::new();
+        for i in 0..5u64 {
+            q.schedule(SimTime::from_nanos(i), i);
+        }
+        let h = q.schedule_cancellable(SimTime::from_nanos(99), 99);
+        assert!(q.cancel(h));
+        assert_eq!(q.scheduled_total(), 6, "cancelled events still count");
+        q.clear();
+        assert_eq!(q.scheduled_total(), 6);
+        q.schedule(SimTime::from_nanos(1), 1);
+        assert_eq!(q.scheduled_total(), 7, "counter keeps going after clear");
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn with_capacity_preallocates_and_shrinks() {
+        let mut q: EventQueue<u64> = EventQueue::with_capacity(256);
+        assert!(q.capacity() >= 256, "with_capacity is a lower bound");
+        assert_eq!(q.scheduled_total(), 0, "capacity does not affect counters");
+        for i in 0..16u64 {
+            q.schedule(SimTime::from_nanos(i), i);
+        }
+        while q.pop().is_some() {}
+        q.shrink_to_fit();
+        assert!(q.capacity() < 256, "shrink_to_fit releases the burst");
+        // The queue still works after shrinking.
+        q.schedule(SimTime::from_nanos(1), 1);
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(1), 1)));
+    }
+
+    #[test]
+    fn cancellation_skips_and_counts() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(1), 1u64);
+        let h2 = q.schedule_cancellable(SimTime::from_nanos(2), 2u64);
+        let h3 = q.schedule_cancellable(SimTime::from_nanos(3), 3u64);
+        assert_eq!(q.len(), 3);
+        assert!(q.cancel(h2));
+        assert!(!q.cancel(h2), "double cancel is a no-op");
+        assert_eq!(q.len(), 2, "len is live events only");
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(1), 1)));
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(3), 3)), "2 was skipped");
+        assert!(!q.cancel(h3), "cancel after fire reports false");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn peek_time_sees_through_cancelled_head() {
+        let mut q = EventQueue::new();
+        let h = q.schedule_cancellable(SimTime::from_nanos(1), 1u64);
+        q.schedule(SimTime::from_nanos(5), 5u64);
+        q.cancel(h);
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(5)));
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(5), 5)));
     }
 }
 

@@ -19,7 +19,10 @@ pub struct SimRng {
 impl SimRng {
     /// Create a generator from an explicit seed.
     pub fn new(seed: u64) -> Self {
-        SimRng { inner: SmallRng::seed_from_u64(seed), seed }
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+            seed,
+        }
     }
 
     /// The seed this generator was created with.
@@ -71,7 +74,10 @@ impl SimRng {
     /// Exponentially distributed value with the given mean. Used for e.g.
     /// probe inter-arrival times. Mean of zero yields zero.
     pub fn exponential(&mut self, mean: f64) -> f64 {
-        assert!(mean >= 0.0 && mean.is_finite(), "mean must be finite and non-negative");
+        assert!(
+            mean >= 0.0 && mean.is_finite(),
+            "mean must be finite and non-negative"
+        );
         if mean == 0.0 {
             return 0.0;
         }
@@ -179,6 +185,10 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
-        assert_ne!(v, (0..50).collect::<Vec<_>>(), "50 elements should not stay sorted");
+        assert_ne!(
+            v,
+            (0..50).collect::<Vec<_>>(),
+            "50 elements should not stay sorted"
+        );
     }
 }

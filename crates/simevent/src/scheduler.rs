@@ -1,7 +1,10 @@
 //! Run-to-completion simulation driver.
 
-use crate::queue::EventQueue;
+use crate::calendar::CalendarQueue;
+use crate::handle::TimerHandle;
+use crate::queue::{EventQueue, QueueBackend};
 use crate::time::SimTime;
+use std::marker::PhantomData;
 
 /// Limits and knobs for a simulation run.
 #[derive(Debug, Clone)]
@@ -14,7 +17,10 @@ pub struct SchedulerConfig {
 
 impl Default for SchedulerConfig {
     fn default() -> Self {
-        SchedulerConfig { time_limit: SimTime::from_secs(3_600), event_limit: u64::MAX }
+        SchedulerConfig {
+            time_limit: SimTime::from_secs(3_600),
+            event_limit: u64::MAX,
+        }
     }
 }
 
@@ -45,23 +51,39 @@ pub struct SchedulerStats {
 ///
 /// The handler receives `(&mut Scheduler, SimTime, E)` and may schedule further
 /// events; returning `false` stops the run.
+///
+/// Generic over the queue backend `Q`: the default is the O(1)-amortised
+/// [`CalendarQueue`]; [`HeapScheduler`] pins the reference [`EventQueue`] for
+/// benchmarking the two against each other. Both backends pop in exactly the
+/// same order, so the choice never affects simulation results.
 #[derive(Debug)]
-pub struct Scheduler<E> {
-    queue: EventQueue<E>,
+pub struct Scheduler<E, Q: QueueBackend<E> = CalendarQueue<E>> {
+    queue: Q,
     now: SimTime,
     config: SchedulerConfig,
+    peak_pending: usize,
+    _events: PhantomData<fn() -> E>,
 }
 
-impl<E> Default for Scheduler<E> {
+/// A [`Scheduler`] driven by the reference binary-heap [`EventQueue`].
+pub type HeapScheduler<E> = Scheduler<E, EventQueue<E>>;
+
+impl<E, Q: QueueBackend<E>> Default for Scheduler<E, Q> {
     fn default() -> Self {
         Self::new(SchedulerConfig::default())
     }
 }
 
-impl<E> Scheduler<E> {
+impl<E, Q: QueueBackend<E>> Scheduler<E, Q> {
     /// A scheduler with the given limits, clock at t=0.
     pub fn new(config: SchedulerConfig) -> Self {
-        Scheduler { queue: EventQueue::new(), now: SimTime::ZERO, config }
+        Scheduler {
+            queue: Q::empty(),
+            now: SimTime::ZERO,
+            config,
+            peak_pending: 0,
+            _events: PhantomData,
+        }
     }
 
     /// Current simulated time.
@@ -74,14 +96,40 @@ impl<E> Scheduler<E> {
     /// Panics if `at` is in the simulated past — such an event would silently
     /// corrupt causality.
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
-        assert!(at >= self.now, "cannot schedule into the past: {at} < {}", self.now);
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {at} < {}",
+            self.now
+        );
         self.queue.schedule(at, event);
+        self.note_pending();
     }
 
     /// Schedule `event` after a delay from the current instant.
     pub fn schedule_after(&mut self, delay: crate::time::SimDuration, event: E) {
         let at = self.now + delay;
         self.queue.schedule(at, event);
+        self.note_pending();
+    }
+
+    /// Like [`schedule_at`](Self::schedule_at), but the returned handle can
+    /// cancel the event before it fires — the tool rearming timers (TCP RTO,
+    /// delayed ACK) need so superseded deadlines stop accumulating.
+    pub fn schedule_cancellable_at(&mut self, at: SimTime, event: E) -> TimerHandle {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {at} < {}",
+            self.now
+        );
+        let h = self.queue.schedule_cancellable(at, event);
+        self.note_pending();
+        h
+    }
+
+    /// Cancel a pending event. Returns `false` (harmlessly) if it already
+    /// fired or was already cancelled.
+    pub fn cancel(&mut self, handle: TimerHandle) -> bool {
+        self.queue.cancel(handle)
     }
 
     /// Pending event count.
@@ -89,12 +137,25 @@ impl<E> Scheduler<E> {
         self.queue.len()
     }
 
+    /// High-water mark of pending live events over the run so far.
+    pub fn peak_pending(&self) -> usize {
+        self.peak_pending
+    }
+
+    #[inline]
+    fn note_pending(&mut self) {
+        self.peak_pending = self.peak_pending.max(self.queue.len());
+    }
+
     /// Run until the queue drains, a limit is hit, or the handler returns `false`.
     pub fn run<F>(&mut self, mut handler: F) -> (RunOutcome, SchedulerStats)
     where
-        F: FnMut(&mut Scheduler<E>, SimTime, E) -> bool,
+        F: FnMut(&mut Scheduler<E, Q>, SimTime, E) -> bool,
     {
-        let mut stats = SchedulerStats { events_processed: 0, end_time: self.now };
+        let mut stats = SchedulerStats {
+            events_processed: 0,
+            end_time: self.now,
+        };
         loop {
             if stats.events_processed >= self.config.event_limit {
                 return (RunOutcome::EventLimit, stats);

@@ -8,11 +8,15 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 ///
 /// Integer-based so that simulations are bit-for-bit reproducible; 64 bits of
 /// nanoseconds covers ~292 years of simulated time, far beyond any experiment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, in nanoseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -89,7 +93,10 @@ impl SimDuration {
     ///
     /// Panics if `s` is negative or too large to represent.
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s >= 0.0 && s.is_finite(), "duration must be finite and non-negative");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "duration must be finite and non-negative"
+        );
         let ns = s * 1e9;
         assert!(ns < u64::MAX as f64, "duration overflows SimDuration");
         SimDuration(ns.round() as u64)
@@ -126,7 +133,10 @@ impl SimDuration {
     /// Checked scale by a float, for RTT estimator arithmetic. Result is
     /// rounded to the nearest nanosecond and saturates at the representable max.
     pub fn mul_f64(self, k: f64) -> Self {
-        assert!(k >= 0.0 && k.is_finite(), "scale must be finite and non-negative");
+        assert!(
+            k >= 0.0 && k.is_finite(),
+            "scale must be finite and non-negative"
+        );
         let ns = self.0 as f64 * k;
         if ns >= u64::MAX as f64 {
             SimDuration(u64::MAX)
@@ -152,7 +162,11 @@ impl AddAssign<SimDuration> for SimTime {
 impl Sub<SimTime> for SimTime {
     type Output = SimDuration;
     fn sub(self, rhs: SimTime) -> SimDuration {
-        SimDuration(self.0.checked_sub(rhs.0).expect("SimTime underflow: rhs is later than lhs"))
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimTime underflow: rhs is later than lhs"),
+        )
     }
 }
 
@@ -298,8 +312,14 @@ mod tests {
 
     #[test]
     fn saturating_ops() {
-        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
+            SimTime::MAX
+        );
         assert_eq!(SimDuration::MAX.saturating_mul(3), SimDuration::MAX);
-        assert_eq!(SimDuration::from_secs(1).saturating_mul(2), SimDuration::from_secs(2));
+        assert_eq!(
+            SimDuration::from_secs(1).saturating_mul(2),
+            SimDuration::from_secs(2)
+        );
     }
 }

@@ -93,7 +93,11 @@ impl LatencyHistogram {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                let upper = if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+                let upper = if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
                 return SimDuration::from_nanos(upper.min(self.max_ns).max(self.min_ns));
             }
         }

@@ -47,7 +47,11 @@ impl QueueTrace {
     /// A trace holding at most `max_samples` snapshots (older ones are kept,
     /// further ones dropped — experiments size this to cover the run).
     pub fn new(max_samples: usize) -> Self {
-        QueueTrace { samples: Vec::new(), max_samples, peak_packets: 0 }
+        QueueTrace {
+            samples: Vec::new(),
+            max_samples,
+            peak_packets: 0,
+        }
     }
 
     /// Record a snapshot.

@@ -27,6 +27,14 @@ pub trait TcpAgent: std::fmt::Debug + Send {
     /// Drain packets the endpoint wants transmitted.
     fn take_outbox(&mut self) -> Vec<Packet>;
 
+    /// Drain pending packets into `out` without surrendering the outbox's
+    /// allocation. The default falls back to [`TcpAgent::take_outbox`];
+    /// concrete endpoints override it so the per-packet hot path never
+    /// allocates.
+    fn drain_outbox_into(&mut self, out: &mut Vec<Packet>) {
+        out.append(&mut self.take_outbox());
+    }
+
     /// True when this endpoint's job is done (sender: all data acked).
     fn is_complete(&self) -> bool;
 }

@@ -95,16 +95,28 @@ impl Default for TcpConfig {
 impl TcpConfig {
     /// A config with the given ECN mode and the rest default.
     pub fn with_ecn(ecn: EcnMode) -> Self {
-        TcpConfig { ecn, ..Default::default() }
+        TcpConfig {
+            ecn,
+            ..Default::default()
+        }
     }
 
     /// Sanity-check invariants; panics on nonsense.
     pub fn validate(&self) {
         assert!(self.mss > 0, "mss must be positive");
-        assert!(self.init_cwnd_segments > 0, "initial cwnd must be at least 1 segment");
-        assert!(self.recv_wnd >= self.mss as u64, "recv_wnd must hold at least one segment");
+        assert!(
+            self.init_cwnd_segments > 0,
+            "initial cwnd must be at least 1 segment"
+        );
+        assert!(
+            self.recv_wnd >= self.mss as u64,
+            "recv_wnd must hold at least one segment"
+        );
         assert!(self.min_rto > SimDuration::ZERO);
-        assert!(self.initial_rto >= self.min_rto, "initial_rto must be >= min_rto");
+        assert!(
+            self.initial_rto >= self.min_rto,
+            "initial_rto must be >= min_rto"
+        );
         assert!(self.max_rto >= self.initial_rto);
         assert!(
             self.dctcp_g > 0.0 && self.dctcp_g <= 1.0,
@@ -143,12 +155,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "mss")]
     fn zero_mss_rejected() {
-        TcpConfig { mss: 0, ..Default::default() }.validate();
+        TcpConfig {
+            mss: 0,
+            ..Default::default()
+        }
+        .validate();
     }
 
     #[test]
     #[should_panic(expected = "dctcp_g")]
     fn bad_gain_rejected() {
-        TcpConfig { dctcp_g: 0.0, ..Default::default() }.validate();
+        TcpConfig {
+            dctcp_g: 0.0,
+            ..Default::default()
+        }
+        .validate();
     }
 }

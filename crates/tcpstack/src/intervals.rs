@@ -158,7 +158,11 @@ mod tests {
         s.insert(30, 40);
         assert_eq!(s.next_covered_after(0), Some(10));
         assert_eq!(s.next_covered_after(20), Some(30));
-        assert_eq!(s.next_covered_after(30), None, "strictly after 30 there is no new start");
+        assert_eq!(
+            s.next_covered_after(30),
+            None,
+            "strictly after 30 there is no new start"
+        );
         assert_eq!(s.next_covered_after(40), None);
     }
 

@@ -26,15 +26,15 @@
 mod agent;
 mod config;
 mod intervals;
-mod receiver;
 mod reassembly;
+mod receiver;
 mod rtt;
 mod sender;
 
 pub use agent::TcpAgent;
 pub use config::{EcnMode, TcpConfig};
 pub use intervals::IntervalSet;
-pub use receiver::{Receiver, ReceiverStats};
 pub use reassembly::Reassembly;
+pub use receiver::{Receiver, ReceiverStats};
 pub use rtt::RttEstimator;
 pub use sender::{Sender, SenderStats};

@@ -17,7 +17,10 @@ pub struct Reassembly {
 impl Reassembly {
     /// Start expecting byte `initial` first.
     pub fn new(initial: u64) -> Self {
-        Reassembly { rcv_nxt: initial, islands: BTreeMap::new() }
+        Reassembly {
+            rcv_nxt: initial,
+            islands: BTreeMap::new(),
+        }
     }
 
     /// The cumulative ACK point: everything below is contiguous.
@@ -181,7 +184,9 @@ mod tests {
         // Simple LCG scramble for determinism without pulling in rand.
         let mut state = 12345u64;
         for i in (1..order.len()).rev() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let j = (state >> 33) as usize % (i + 1);
             order.swap(i, j);
         }

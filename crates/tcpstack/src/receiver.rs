@@ -309,6 +309,10 @@ impl TcpAgent for Receiver {
         std::mem::take(&mut self.outbox)
     }
 
+    fn drain_outbox_into(&mut self, out: &mut Vec<Packet>) {
+        out.append(&mut self.outbox);
+    }
+
     fn is_complete(&self) -> bool {
         // Receivers have no terminal condition of their own; flow completion
         // is judged at the sender.
@@ -333,7 +337,11 @@ mod tests {
             seq: 0,
             ack: 0,
             payload: 0,
-            flags: if ecn { TcpFlags::ecn_setup_syn() } else { TcpFlags::SYN },
+            flags: if ecn {
+                TcpFlags::ecn_setup_syn()
+            } else {
+                TcpFlags::SYN
+            },
             ecn: EcnCodepoint::NotEct,
             sack: netpacket::SackBlocks::EMPTY,
             sent_at: SimTime::ZERO,
@@ -364,7 +372,10 @@ mod tests {
         let out = r.take_outbox();
         assert_eq!(out.len(), 1);
         assert!(out[0].is_syn_ack());
-        assert!(out[0].flags.contains(TcpFlags::ECE), "SYN-ACK echoes ECN support");
+        assert!(
+            out[0].flags.contains(TcpFlags::ECE),
+            "SYN-ACK echoes ECN support"
+        );
         assert!(!out[0].flags.contains(TcpFlags::CWR));
         assert_eq!(out[0].ecn, EcnCodepoint::NotEct, "SYN-ACK is never ECT");
     }
@@ -397,18 +408,31 @@ mod tests {
         let _ = r.take_outbox();
         let d = r.next_deadline().expect("SYN-ACK timer armed");
         r.on_timer(d);
-        assert_eq!(r.stats().syn_acks_sent, 2, "retransmit while handshake incomplete");
+        assert_eq!(
+            r.stats().syn_acks_sent,
+            2,
+            "retransmit while handshake incomplete"
+        );
         // Establishing (via data) disarms it.
-        r.on_segment(&data(1, 100, EcnCodepoint::NotEct, TcpFlags::ACK), d + simevent::SimDuration::from_nanos(1));
+        r.on_segment(
+            &data(1, 100, EcnCodepoint::NotEct, TcpFlags::ACK),
+            d + simevent::SimDuration::from_nanos(1),
+        );
         assert!(r.is_established());
         let d2 = r.next_deadline();
-        assert!(d2.is_none(), "no timers once established (delack off): {d2:?}");
+        assert!(
+            d2.is_none(),
+            "no timers once established (delack off): {d2:?}"
+        );
     }
 
     #[test]
     fn in_order_data_acked_cumulatively() {
         let mut r = mk(EcnMode::Off);
-        r.on_segment(&data(1, 1000, EcnCodepoint::NotEct, TcpFlags::ACK), SimTime::from_micros(1));
+        r.on_segment(
+            &data(1, 1000, EcnCodepoint::NotEct, TcpFlags::ACK),
+            SimTime::from_micros(1),
+        );
         let out = r.take_outbox();
         assert_eq!(out.len(), 1);
         assert!(out[0].is_pure_ack());
@@ -419,14 +443,23 @@ mod tests {
     #[test]
     fn out_of_order_triggers_dup_ack() {
         let mut r = mk(EcnMode::Off);
-        r.on_segment(&data(1, 1000, EcnCodepoint::NotEct, TcpFlags::ACK), SimTime::from_micros(1));
+        r.on_segment(
+            &data(1, 1000, EcnCodepoint::NotEct, TcpFlags::ACK),
+            SimTime::from_micros(1),
+        );
         let _ = r.take_outbox();
         // Skip ahead: hole at [1001, 2001).
-        r.on_segment(&data(2001, 1000, EcnCodepoint::NotEct, TcpFlags::ACK), SimTime::from_micros(2));
+        r.on_segment(
+            &data(2001, 1000, EcnCodepoint::NotEct, TcpFlags::ACK),
+            SimTime::from_micros(2),
+        );
         let out = r.take_outbox();
         assert_eq!(out[0].ack, 1001, "dup ack repeats the hole");
         // Fill the hole: cumulative ack jumps over both.
-        r.on_segment(&data(1001, 1000, EcnCodepoint::NotEct, TcpFlags::ACK), SimTime::from_micros(3));
+        r.on_segment(
+            &data(1001, 1000, EcnCodepoint::NotEct, TcpFlags::ACK),
+            SimTime::from_micros(3),
+        );
         let out = r.take_outbox();
         assert_eq!(out[0].ack, 3001);
     }
@@ -437,20 +470,37 @@ mod tests {
         r.on_segment(&syn(true), SimTime::from_micros(1));
         let _ = r.take_outbox();
         // CE-marked segment: ACK carries ECE.
-        r.on_segment(&data(1, 1000, EcnCodepoint::Ce, TcpFlags::ACK), SimTime::from_micros(2));
+        r.on_segment(
+            &data(1, 1000, EcnCodepoint::Ce, TcpFlags::ACK),
+            SimTime::from_micros(2),
+        );
         let out = r.take_outbox();
         assert!(out[0].flags.contains(TcpFlags::ECE));
         // Unmarked segment, no CWR yet: latch holds.
-        r.on_segment(&data(1001, 1000, EcnCodepoint::Ect0, TcpFlags::ACK), SimTime::from_micros(3));
+        r.on_segment(
+            &data(1001, 1000, EcnCodepoint::Ect0, TcpFlags::ACK),
+            SimTime::from_micros(3),
+        );
         let out = r.take_outbox();
-        assert!(out[0].flags.contains(TcpFlags::ECE), "latch holds until CWR");
+        assert!(
+            out[0].flags.contains(TcpFlags::ECE),
+            "latch holds until CWR"
+        );
         // CWR clears it.
         r.on_segment(
-            &data(2001, 1000, EcnCodepoint::Ect0, TcpFlags::ACK | TcpFlags::CWR),
+            &data(
+                2001,
+                1000,
+                EcnCodepoint::Ect0,
+                TcpFlags::ACK | TcpFlags::CWR,
+            ),
             SimTime::from_micros(4),
         );
         let out = r.take_outbox();
-        assert!(!out[0].flags.contains(TcpFlags::ECE), "CWR clears the latch");
+        assert!(
+            !out[0].flags.contains(TcpFlags::ECE),
+            "CWR clears the latch"
+        );
     }
 
     #[test]
@@ -458,7 +508,10 @@ mod tests {
         let mut r = mk(EcnMode::Ecn);
         r.on_segment(&syn(true), SimTime::from_micros(1));
         let _ = r.take_outbox();
-        r.on_segment(&data(1, 1000, EcnCodepoint::Ce, TcpFlags::ACK), SimTime::from_micros(2));
+        r.on_segment(
+            &data(1, 1000, EcnCodepoint::Ce, TcpFlags::ACK),
+            SimTime::from_micros(2),
+        );
         let _ = r.take_outbox();
         // Segment carrying BOTH CWR and a fresh CE mark: ECE must stay.
         r.on_segment(
@@ -474,30 +527,54 @@ mod tests {
         let mut r = mk(EcnMode::Dctcp);
         r.on_segment(&syn(true), SimTime::from_micros(1));
         let _ = r.take_outbox();
-        r.on_segment(&data(1, 1000, EcnCodepoint::Ect0, TcpFlags::ACK), SimTime::from_micros(2));
+        r.on_segment(
+            &data(1, 1000, EcnCodepoint::Ect0, TcpFlags::ACK),
+            SimTime::from_micros(2),
+        );
         let out = r.take_outbox();
         assert!(!out[0].flags.contains(TcpFlags::ECE));
-        r.on_segment(&data(1001, 1000, EcnCodepoint::Ce, TcpFlags::ACK), SimTime::from_micros(3));
+        r.on_segment(
+            &data(1001, 1000, EcnCodepoint::Ce, TcpFlags::ACK),
+            SimTime::from_micros(3),
+        );
         let out = r.take_outbox();
-        assert!(out[0].flags.contains(TcpFlags::ECE), "CE segment -> ECE ack");
+        assert!(
+            out[0].flags.contains(TcpFlags::ECE),
+            "CE segment -> ECE ack"
+        );
         // Back to unmarked: ECE drops immediately (no latch in DCTCP).
-        r.on_segment(&data(2001, 1000, EcnCodepoint::Ect0, TcpFlags::ACK), SimTime::from_micros(4));
+        r.on_segment(
+            &data(2001, 1000, EcnCodepoint::Ect0, TcpFlags::ACK),
+            SimTime::from_micros(4),
+        );
         let out = r.take_outbox();
         assert!(!out[0].flags.contains(TcpFlags::ECE));
     }
 
     #[test]
     fn delayed_ack_coalesces_and_timer_flushes() {
-        let cfg = TcpConfig { delayed_ack: 2, ..TcpConfig::default() };
+        let cfg = TcpConfig {
+            delayed_ack: 2,
+            ..TcpConfig::default()
+        };
         let mut r = Receiver::new(FlowId(1), NodeId(1), NodeId(0), cfg);
-        r.on_segment(&data(1, 1000, EcnCodepoint::NotEct, TcpFlags::ACK), SimTime::from_micros(1));
+        r.on_segment(
+            &data(1, 1000, EcnCodepoint::NotEct, TcpFlags::ACK),
+            SimTime::from_micros(1),
+        );
         assert!(r.take_outbox().is_empty(), "first segment held back");
-        r.on_segment(&data(1001, 1000, EcnCodepoint::NotEct, TcpFlags::ACK), SimTime::from_micros(2));
+        r.on_segment(
+            &data(1001, 1000, EcnCodepoint::NotEct, TcpFlags::ACK),
+            SimTime::from_micros(2),
+        );
         let out = r.take_outbox();
         assert_eq!(out.len(), 1, "second segment flushes the ack");
         assert_eq!(out[0].ack, 2001);
         // A lone tail segment is flushed by the delack timer.
-        r.on_segment(&data(2001, 500, EcnCodepoint::NotEct, TcpFlags::ACK), SimTime::from_micros(3));
+        r.on_segment(
+            &data(2001, 500, EcnCodepoint::NotEct, TcpFlags::ACK),
+            SimTime::from_micros(3),
+        );
         assert!(r.take_outbox().is_empty());
         let d = r.next_deadline().expect("delack timer armed");
         r.on_timer(d);

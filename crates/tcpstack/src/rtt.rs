@@ -18,7 +18,14 @@ pub struct RttEstimator {
 impl RttEstimator {
     /// A fresh estimator with no samples.
     pub fn new(initial_rto: SimDuration, min_rto: SimDuration, max_rto: SimDuration) -> Self {
-        RttEstimator { srtt: None, rttvar: SimDuration::ZERO, min_rto, max_rto, initial_rto, backoff: 0 }
+        RttEstimator {
+            srtt: None,
+            rttvar: SimDuration::ZERO,
+            min_rto,
+            max_rto,
+            initial_rto,
+            backoff: 0,
+        }
     }
 
     /// Feed a round-trip sample from a non-retransmitted segment.

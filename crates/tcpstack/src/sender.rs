@@ -268,7 +268,11 @@ impl Sender {
         if self.send_cwr && self.ecn_on {
             flags.insert(TcpFlags::CWR);
         }
-        let ecn = if self.ecn_on { EcnCodepoint::Ect0 } else { EcnCodepoint::NotEct };
+        let ecn = if self.ecn_on {
+            EcnCodepoint::Ect0
+        } else {
+            EcnCodepoint::NotEct
+        };
         let pkt = Packet {
             id: self.next_id(),
             flow: self.flow,
@@ -687,6 +691,10 @@ impl TcpAgent for Sender {
         std::mem::take(&mut self.outbox)
     }
 
+    fn drain_outbox_into(&mut self, out: &mut Vec<Packet>) {
+        out.append(&mut self.outbox);
+    }
+
     fn is_complete(&self) -> bool {
         self.state == State::Complete
     }
@@ -718,7 +726,11 @@ mod tests {
             seq: 0,
             ack: 1,
             payload: 0,
-            flags: if ecn { TcpFlags::ecn_setup_syn_ack() } else { TcpFlags::SYN | TcpFlags::ACK },
+            flags: if ecn {
+                TcpFlags::ecn_setup_syn_ack()
+            } else {
+                TcpFlags::SYN | TcpFlags::ACK
+            },
             ecn: EcnCodepoint::NotEct,
             sack: netpacket::SackBlocks::EMPTY,
             sent_at: SimTime::ZERO,
@@ -785,7 +797,10 @@ mod tests {
         s.on_segment(&syn_ack(false), SimTime::from_micros(100));
         assert!(!s.ecn_negotiated());
         let out = s.take_outbox();
-        assert!(out.iter().filter(|p| p.payload > 0).all(|p| p.ecn == EcnCodepoint::NotEct));
+        assert!(out
+            .iter()
+            .filter(|p| p.payload > 0)
+            .all(|p| p.ecn == EcnCodepoint::NotEct));
     }
 
     #[test]
@@ -797,11 +812,19 @@ mod tests {
         let w0 = s.cwnd();
         let _ = s.take_outbox();
         s.on_segment(&ack(1 + 2 * MSS, TcpFlags::ACK), SimTime::from_micros(200));
-        assert!((s.cwnd() - (w0 + MSS as f64)).abs() < 1.0, "cwnd {}", s.cwnd());
+        assert!(
+            (s.cwnd() - (w0 + MSS as f64)).abs() < 1.0,
+            "cwnd {}",
+            s.cwnd()
+        );
         // Per-segment ACKs add one MSS each.
         let _ = s.take_outbox();
         s.on_segment(&ack(1 + 3 * MSS, TcpFlags::ACK), SimTime::from_micros(300));
-        assert!((s.cwnd() - (w0 + 2.0 * MSS as f64)).abs() < 1.0, "cwnd {}", s.cwnd());
+        assert!(
+            (s.cwnd() - (w0 + 2.0 * MSS as f64)).abs() < 1.0,
+            "cwnd {}",
+            s.cwnd()
+        );
     }
 
     #[test]
@@ -812,13 +835,19 @@ mod tests {
         s.on_segment(&ack(1 + 2 * MSS, TcpFlags::ACK), SimTime::from_micros(200));
         let _ = s.take_outbox();
         for i in 0..3 {
-            s.on_segment(&ack(1 + 2 * MSS, TcpFlags::ACK), SimTime::from_micros(300 + i));
+            s.on_segment(
+                &ack(1 + 2 * MSS, TcpFlags::ACK),
+                SimTime::from_micros(300 + i),
+            );
         }
         assert_eq!(s.stats().fast_retransmits, 1);
         let out = s.take_outbox();
         // Limited transmit sent 2 new segments on dupacks 1-2, then the
         // retransmission of the lost head on dupack 3.
-        let head_retx = out.iter().filter(|p| p.seq == 1 + 2 * MSS && p.payload > 0).count();
+        let head_retx = out
+            .iter()
+            .filter(|p| p.seq == 1 + 2 * MSS && p.payload > 0)
+            .count();
         assert!(head_retx >= 1, "head must be retransmitted: {out:?}");
     }
 
@@ -831,7 +860,11 @@ mod tests {
         let _ = s.take_outbox();
         s.on_segment(&ack(1 + 2 * MSS, TcpFlags::ACK), SimTime::from_micros(300));
         s.on_segment(&ack(1 + 2 * MSS, TcpFlags::ACK), SimTime::from_micros(301));
-        assert_eq!(s.stats().data_segments_sent, sent_before + 2, "one new segment per dupack");
+        assert_eq!(
+            s.stats().data_segments_sent,
+            sent_before + 2,
+            "one new segment per dupack"
+        );
         assert_eq!(s.stats().fast_retransmits, 0);
     }
 
@@ -844,11 +877,17 @@ mod tests {
         let _ = s.take_outbox();
         let w = s.cwnd();
         // Two ECE acks in the same window: only one reduction.
-        s.on_segment(&ack(1 + 3 * MSS, TcpFlags::ACK | TcpFlags::ECE), SimTime::from_micros(300));
+        s.on_segment(
+            &ack(1 + 3 * MSS, TcpFlags::ACK | TcpFlags::ECE),
+            SimTime::from_micros(300),
+        );
         let w_after_first = s.cwnd();
         assert!(w_after_first < w, "ECE must reduce cwnd");
         assert_eq!(s.stats().ecn_reductions, 1);
-        s.on_segment(&ack(1 + 4 * MSS, TcpFlags::ACK | TcpFlags::ECE), SimTime::from_micros(301));
+        s.on_segment(
+            &ack(1 + 4 * MSS, TcpFlags::ACK | TcpFlags::ECE),
+            SimTime::from_micros(301),
+        );
         assert_eq!(s.stats().ecn_reductions, 1, "once per window");
         assert_eq!(s.stats().retransmits, 0, "ECN response never retransmits");
     }
@@ -859,10 +898,15 @@ mod tests {
         let _ = s.take_outbox();
         s.on_segment(&ack(1 + 2 * MSS, TcpFlags::ACK), SimTime::from_micros(200));
         let _ = s.take_outbox();
-        s.on_segment(&ack(1 + 3 * MSS, TcpFlags::ACK | TcpFlags::ECE), SimTime::from_micros(300));
+        s.on_segment(
+            &ack(1 + 3 * MSS, TcpFlags::ACK | TcpFlags::ECE),
+            SimTime::from_micros(300),
+        );
         let out = s.take_outbox();
         assert!(
-            out.iter().filter(|p| p.payload > 0).all(|p| p.flags.contains(TcpFlags::CWR)),
+            out.iter()
+                .filter(|p| p.payload > 0)
+                .all(|p| p.flags.contains(TcpFlags::CWR)),
             "all data in the reduction window carries CWR: {out:?}"
         );
     }
@@ -876,7 +920,11 @@ mod tests {
         // A full window acked with no ECE: alpha decays by factor (1-g).
         s.on_segment(&ack(1 + 2 * MSS, TcpFlags::ACK), SimTime::from_micros(200));
         let g = 1.0 / 16.0;
-        assert!((s.alpha() - (1.0 - g)).abs() < 1e-9, "alpha = {}", s.alpha());
+        assert!(
+            (s.alpha() - (1.0 - g)).abs() < 1e-9,
+            "alpha = {}",
+            s.alpha()
+        );
     }
 
     #[test]
@@ -921,7 +969,11 @@ mod tests {
         let _ = s.take_outbox();
         let una_before = s.bytes_acked();
         s.on_segment(&ack(500_000, TcpFlags::ACK), SimTime::from_micros(200));
-        assert_eq!(s.bytes_acked(), una_before, "ack for unsent data must be ignored");
+        assert_eq!(
+            s.bytes_acked(),
+            una_before,
+            "ack for unsent data must be ignored"
+        );
     }
 
     #[test]
@@ -930,6 +982,9 @@ mod tests {
         let _ = s.take_outbox();
         s.on_segment(&syn_ack(false), SimTime::from_micros(500));
         let out = s.take_outbox();
-        assert!(out.iter().any(|p| p.is_pure_ack()), "must re-ack a duplicate SYN-ACK");
+        assert!(
+            out.iter().any(|p| p.is_pure_ack()),
+            "must re-ack a duplicate SYN-ACK"
+        );
     }
 }

@@ -122,9 +122,12 @@ const LIMIT: SimTime = SimTime::from_secs(120);
 
 #[test]
 fn clean_transfer_completes() {
-    let mut w = Wire::new(100_000, TcpConfig::default(), TcpConfig::default(), |_, _| {
-        Verdict::Deliver
-    });
+    let mut w = Wire::new(
+        100_000,
+        TcpConfig::default(),
+        TcpConfig::default(),
+        |_, _| Verdict::Deliver,
+    );
     let done = w.run(LIMIT).expect("transfer must complete");
     assert!(done > SimTime::ZERO);
     assert_eq!(w.sender.bytes_acked(), 100_000);
@@ -135,7 +138,9 @@ fn clean_transfer_completes() {
 
 #[test]
 fn zero_byte_flow_completes_after_handshake() {
-    let mut w = Wire::new(0, TcpConfig::default(), TcpConfig::default(), |_, _| Verdict::Deliver);
+    let mut w = Wire::new(0, TcpConfig::default(), TcpConfig::default(), |_, _| {
+        Verdict::Deliver
+    });
     let done = w.run(LIMIT).expect("zero-byte flow completes");
     // One RTT: SYN out (50us) + SYN-ACK back (50us).
     assert_eq!(done, SimTime::from_micros(100));
@@ -148,7 +153,11 @@ fn handshake_packets_are_non_ect() {
     w.run(LIMIT).expect("completes");
     for p in &w.delivered_log {
         if p.is_syn() || p.is_syn_ack() || p.is_pure_ack() {
-            assert_eq!(p.ecn, EcnCodepoint::NotEct, "control packets must be Non-ECT: {p:?}");
+            assert_eq!(
+                p.ecn,
+                EcnCodepoint::NotEct,
+                "control packets must be Non-ECT: {p:?}"
+            );
         }
     }
 }
@@ -162,7 +171,10 @@ fn ecn_negotiation_makes_data_ect() {
     assert!(w.receiver.ecn_negotiated());
     let data: Vec<_> = w.delivered_log.iter().filter(|p| p.payload > 0).collect();
     assert!(!data.is_empty());
-    assert!(data.iter().all(|p| p.ecn == EcnCodepoint::Ect0), "all data must be ECT(0)");
+    assert!(
+        data.iter().all(|p| p.ecn == EcnCodepoint::Ect0),
+        "all data must be ECT(0)"
+    );
 }
 
 #[test]
@@ -175,19 +187,28 @@ fn ecn_negotiation_fails_when_receiver_lacks_it() {
     );
     w.run(LIMIT).expect("completes");
     assert!(!w.sender.ecn_negotiated());
-    assert!(w.delivered_log.iter().filter(|p| p.payload > 0).all(|p| p.ecn == EcnCodepoint::NotEct));
+    assert!(w
+        .delivered_log
+        .iter()
+        .filter(|p| p.payload > 0)
+        .all(|p| p.ecn == EcnCodepoint::NotEct));
 }
 
 #[test]
 fn lost_syn_is_retransmitted_with_backoff() {
     // Drop the very first packet (the SYN).
-    let mut w = Wire::new(10_000, TcpConfig::default(), TcpConfig::default(), |_, n| {
-        if n == 1 {
-            Verdict::Drop
-        } else {
-            Verdict::Deliver
-        }
-    });
+    let mut w = Wire::new(
+        10_000,
+        TcpConfig::default(),
+        TcpConfig::default(),
+        |_, n| {
+            if n == 1 {
+                Verdict::Drop
+            } else {
+                Verdict::Deliver
+            }
+        },
+    );
     let done = w.run(LIMIT).expect("completes despite SYN loss");
     assert_eq!(w.sender.stats().syn_retransmits, 1);
     // The retransmission waits the full initial RTO (1 s) — the paper's point
@@ -199,14 +220,19 @@ fn lost_syn_is_retransmitted_with_backoff() {
 #[test]
 fn lost_syn_ack_recovers_via_receiver_retransmission() {
     let mut dropped = false;
-    let mut w = Wire::new(10_000, TcpConfig::default(), TcpConfig::default(), move |p, _| {
-        // Drop only the first SYN-ACK.
-        if p.is_syn_ack() && !dropped {
-            dropped = true;
-            return Verdict::Drop;
-        }
-        Verdict::Deliver
-    });
+    let mut w = Wire::new(
+        10_000,
+        TcpConfig::default(),
+        TcpConfig::default(),
+        move |p, _| {
+            // Drop only the first SYN-ACK.
+            if p.is_syn_ack() && !dropped {
+                dropped = true;
+                return Verdict::Drop;
+            }
+            Verdict::Deliver
+        },
+    );
     let done = w.run(LIMIT).expect("completes despite SYN-ACK loss");
     assert!(done >= SimTime::from_secs(1));
     assert!(w.receiver.stats().syn_acks_sent >= 2);
@@ -220,7 +246,10 @@ fn single_data_loss_triggers_fast_retransmit() {
     let mut dropped = false;
     let mut w = Wire::new(
         400_000,
-        TcpConfig { init_cwnd_segments: 10, ..TcpConfig::default() },
+        TcpConfig {
+            init_cwnd_segments: 10,
+            ..TcpConfig::default()
+        },
         TcpConfig::default(),
         move |p, _| {
             if p.payload > 0 && p.seq > 50_000 && !dropped {
@@ -232,7 +261,11 @@ fn single_data_loss_triggers_fast_retransmit() {
     );
     let done = w.run(LIMIT).expect("completes");
     assert_eq!(w.sender.stats().fast_retransmits, 1);
-    assert_eq!(w.sender.stats().timeouts, 0, "fast retransmit should avoid the RTO");
+    assert_eq!(
+        w.sender.stats().timeouts,
+        0,
+        "fast retransmit should avoid the RTO"
+    );
     assert_eq!(w.receiver.bytes_received(), 400_000);
     // No 200ms stall: finished quickly.
     assert!(done < SimTime::from_millis(200), "done at {done}");
@@ -242,14 +275,19 @@ fn single_data_loss_triggers_fast_retransmit() {
 fn whole_window_loss_forces_timeout() {
     // Drop ALL packets in a time band — models the paper's "whole TCP sliding
     // window is lost" catastrophe.
-    let mut w = Wire::new(200_000, TcpConfig::default(), TcpConfig::default(), |p, _| {
-        let t = p.sent_at;
-        if t > SimTime::from_micros(300) && t < SimTime::from_millis(5) {
-            Verdict::Drop
-        } else {
-            Verdict::Deliver
-        }
-    });
+    let mut w = Wire::new(
+        200_000,
+        TcpConfig::default(),
+        TcpConfig::default(),
+        |p, _| {
+            let t = p.sent_at;
+            if t > SimTime::from_micros(300) && t < SimTime::from_millis(5) {
+                Verdict::Drop
+            } else {
+                Verdict::Deliver
+            }
+        },
+    );
     let done = w.run(LIMIT).expect("completes after RTO");
     assert!(w.sender.stats().timeouts >= 1, "whole-window loss must RTO");
     // The flow stalls for at least min_rto (200 ms).
@@ -260,13 +298,18 @@ fn whole_window_loss_forces_timeout() {
 #[test]
 fn ack_losses_are_tolerated_by_cumulative_acks() {
     // Drop 60% of pure ACKs (deterministically): cumulative ACKs cover.
-    let mut w = Wire::new(300_000, TcpConfig::default(), TcpConfig::default(), |p, n| {
-        if p.is_pure_ack() && n % 5 < 3 {
-            Verdict::Drop
-        } else {
-            Verdict::Deliver
-        }
-    });
+    let mut w = Wire::new(
+        300_000,
+        TcpConfig::default(),
+        TcpConfig::default(),
+        |p, n| {
+            if p.is_pure_ack() && n % 5 < 3 {
+                Verdict::Drop
+            } else {
+                Verdict::Deliver
+            }
+        },
+    );
     let done = w.run(LIMIT).expect("completes despite heavy ACK loss");
     assert_eq!(w.receiver.bytes_received(), 300_000);
     let _ = done;
@@ -290,9 +333,16 @@ fn ce_marks_produce_ece_echo_and_single_reduction_per_window() {
     assert_eq!(w.sender.stats().retransmits, 0, "ECN avoids retransmission");
     assert_eq!(w.receiver.bytes_received(), 500_000);
     // CWR must appear on some data packet to stop the echo.
-    assert!(w.delivered_log.iter().any(|p| p.flags.contains(TcpFlags::CWR)));
+    assert!(w
+        .delivered_log
+        .iter()
+        .any(|p| p.flags.contains(TcpFlags::CWR)));
     // Reductions are bounded: far fewer than the number of marked segments.
-    let marked = w.delivered_log.iter().filter(|p| p.ecn == EcnCodepoint::Ce).count() as u64;
+    let marked = w
+        .delivered_log
+        .iter()
+        .filter(|p| p.ecn == EcnCodepoint::Ce)
+        .count() as u64;
     assert!(w.sender.stats().ecn_reductions < marked.max(2));
 }
 
@@ -311,9 +361,16 @@ fn classic_ecn_latch_clears_after_cwr() {
     w.run(LIMIT).expect("completes");
     // ECE acks happen, but the latch must clear: not all later acks carry ECE.
     let acks: Vec<_> = w.delivered_log.iter().filter(|p| p.is_pure_ack()).collect();
-    let ece_acks = acks.iter().filter(|p| p.flags.contains(TcpFlags::ECE)).count();
+    let ece_acks = acks
+        .iter()
+        .filter(|p| p.flags.contains(TcpFlags::ECE))
+        .count();
     assert!(ece_acks >= 1);
-    assert!(ece_acks < acks.len() / 2, "latch must clear after CWR: {ece_acks}/{}", acks.len());
+    assert!(
+        ece_acks < acks.len() / 2,
+        "latch must clear after CWR: {ece_acks}/{}",
+        acks.len()
+    );
 }
 
 #[test]
@@ -329,7 +386,10 @@ fn dctcp_alpha_tracks_mark_fraction() {
     });
     w.run(LIMIT).expect("completes");
     let alpha = w.sender.alpha();
-    assert!(alpha > 0.05 && alpha < 0.8, "alpha should reflect ~30% marking, got {alpha}");
+    assert!(
+        alpha > 0.05 && alpha < 0.8,
+        "alpha should reflect ~30% marking, got {alpha}"
+    );
     assert!(w.sender.stats().ecn_reductions > 0);
     assert_eq!(w.sender.stats().retransmits, 0);
 }
@@ -342,14 +402,21 @@ fn dctcp_no_marks_alpha_decays_toward_zero() {
     let cfg = TcpConfig::with_ecn(EcnMode::Dctcp);
     let mut w = Wire::new(16_000_000, cfg.clone(), cfg, |_, _| Verdict::Deliver);
     w.run(LIMIT).expect("completes");
-    assert!(w.sender.alpha() < 0.3, "alpha must decay without marks, got {}", w.sender.alpha());
+    assert!(
+        w.sender.alpha() < 0.3,
+        "alpha must decay without marks, got {}",
+        w.sender.alpha()
+    );
     assert_eq!(w.sender.stats().ecn_reductions, 0);
 }
 
 #[test]
 fn delayed_ack_halves_ack_volume() {
     let run = |m: u32| {
-        let cfg = TcpConfig { delayed_ack: m, ..TcpConfig::default() };
+        let cfg = TcpConfig {
+            delayed_ack: m,
+            ..TcpConfig::default()
+        };
         let mut w = Wire::new(500_000, TcpConfig::default(), cfg, |_, _| Verdict::Deliver);
         w.run(LIMIT).expect("completes");
         w.receiver.stats().acks_sent
@@ -364,24 +431,37 @@ fn delayed_ack_halves_ack_volume() {
 
 #[test]
 fn cwnd_grows_during_slow_start() {
-    let mut w = Wire::new(1_000_000, TcpConfig::default(), TcpConfig::default(), |_, _| {
-        Verdict::Deliver
-    });
+    let mut w = Wire::new(
+        1_000_000,
+        TcpConfig::default(),
+        TcpConfig::default(),
+        |_, _| Verdict::Deliver,
+    );
     let before = w.sender.cwnd();
     w.run(LIMIT).expect("completes");
-    assert!(w.sender.cwnd() > before * 4.0, "cwnd must grow: {} -> {}", before, w.sender.cwnd());
+    assert!(
+        w.sender.cwnd() > before * 4.0,
+        "cwnd must grow: {} -> {}",
+        before,
+        w.sender.cwnd()
+    );
 }
 
 #[test]
 fn runs_are_deterministic() {
     let run = || {
-        let mut w = Wire::new(250_000, TcpConfig::default(), TcpConfig::default(), |p, n| {
-            if p.payload > 0 && n % 37 == 0 {
-                Verdict::Drop
-            } else {
-                Verdict::Deliver
-            }
-        });
+        let mut w = Wire::new(
+            250_000,
+            TcpConfig::default(),
+            TcpConfig::default(),
+            |p, n| {
+                if p.payload > 0 && n % 37 == 0 {
+                    Verdict::Drop
+                } else {
+                    Verdict::Deliver
+                }
+            },
+        );
         let done = w.run(LIMIT);
         (done, w.delivered_log.len(), w.sender.stats().retransmits)
     };
@@ -393,14 +473,21 @@ fn heavy_random_loss_still_completes() {
     // Deterministic pseudo-random 10% loss on everything (except we never let
     // it run forever: RTO backoff handles repeated losses).
     let mut state = 0xDEADBEEFu64;
-    let mut w = Wire::new(100_000, TcpConfig::default(), TcpConfig::default(), move |_, _| {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-        if (state >> 33).is_multiple_of(10) {
-            Verdict::Drop
-        } else {
-            Verdict::Deliver
-        }
-    });
+    let mut w = Wire::new(
+        100_000,
+        TcpConfig::default(),
+        TcpConfig::default(),
+        move |_, _| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            if (state >> 33).is_multiple_of(10) {
+                Verdict::Drop
+            } else {
+                Verdict::Deliver
+            }
+        },
+    );
     w.run(LIMIT).expect("must complete under 10% loss");
     assert_eq!(w.receiver.bytes_received(), 100_000);
     assert!(w.sender.stats().retransmits > 0);
@@ -408,7 +495,10 @@ fn heavy_random_loss_still_completes() {
 
 #[test]
 fn ecn_plus_plus_makes_control_packets_ect() {
-    let cfg = TcpConfig { ect_control_packets: true, ..TcpConfig::with_ecn(EcnMode::Ecn) };
+    let cfg = TcpConfig {
+        ect_control_packets: true,
+        ..TcpConfig::with_ecn(EcnMode::Ecn)
+    };
     let mut w = Wire::new(100_000, cfg.clone(), cfg, |_, _| Verdict::Deliver);
     w.run(LIMIT).expect("completes");
     // SYN is ECT from the very first packet (sender opts in before
@@ -419,14 +509,20 @@ fn ecn_plus_plus_makes_control_packets_ect() {
     assert_eq!(syn_ack.ecn, EcnCodepoint::Ect0);
     let acks: Vec<_> = w.delivered_log.iter().filter(|p| p.is_pure_ack()).collect();
     assert!(!acks.is_empty());
-    assert!(acks.iter().all(|p| p.ecn == EcnCodepoint::Ect0), "ECN++ ACKs are ECT");
+    assert!(
+        acks.iter().all(|p| p.ecn == EcnCodepoint::Ect0),
+        "ECN++ ACKs are ECT"
+    );
 }
 
 #[test]
 fn ecn_plus_plus_absorbs_marks_on_acks() {
     // CE-mark every ACK in flight: the transfer must proceed unharmed (marks
     // on control packets are absorbed, not echoed).
-    let cfg = TcpConfig { ect_control_packets: true, ..TcpConfig::with_ecn(EcnMode::Ecn) };
+    let cfg = TcpConfig {
+        ect_control_packets: true,
+        ..TcpConfig::with_ecn(EcnMode::Ecn)
+    };
     let mut w = Wire::new(200_000, cfg.clone(), cfg, |p, _| {
         if p.is_pure_ack() {
             Verdict::MarkAndDeliver
@@ -436,7 +532,11 @@ fn ecn_plus_plus_absorbs_marks_on_acks() {
     });
     w.run(LIMIT).expect("completes");
     assert_eq!(w.receiver.bytes_received(), 200_000);
-    assert_eq!(w.sender.stats().ecn_reductions, 0, "ACK marks must not trigger reductions");
+    assert_eq!(
+        w.sender.stats().ecn_reductions,
+        0,
+        "ACK marks must not trigger reductions"
+    );
 }
 
 #[test]
@@ -451,7 +551,10 @@ fn sack_single_loss_single_retransmission() {
     let mut dropped = false;
     let mut w = Wire::new(
         400_000,
-        TcpConfig { init_cwnd_segments: 10, ..TcpConfig::default() },
+        TcpConfig {
+            init_cwnd_segments: 10,
+            ..TcpConfig::default()
+        },
         TcpConfig::default(),
         move |p, _| {
             if p.payload > 0 && p.seq > 50_000 && !dropped {
@@ -463,7 +566,11 @@ fn sack_single_loss_single_retransmission() {
     );
     w.run(LIMIT).expect("completes");
     assert_eq!(w.sender.stats().fast_retransmits, 1);
-    assert_eq!(w.sender.stats().retransmits, 1, "SACK repairs exactly the hole");
+    assert_eq!(
+        w.sender.stats().retransmits,
+        1,
+        "SACK repairs exactly the hole"
+    );
     assert_eq!(w.sender.stats().timeouts, 0);
     assert_eq!(w.receiver.bytes_received(), 400_000);
 }
@@ -476,11 +583,17 @@ fn sack_multi_loss_recovers_without_timeout() {
     let mut kill = vec![60_000u64, 90_000, 120_000];
     let mut w = Wire::new(
         600_000,
-        TcpConfig { init_cwnd_segments: 20, ..TcpConfig::default() },
+        TcpConfig {
+            init_cwnd_segments: 20,
+            ..TcpConfig::default()
+        },
         TcpConfig::default(),
         move |p, _| {
             if p.payload > 0 {
-                if let Some(i) = kill.iter().position(|&k| p.seq <= k && k < p.seq + p.payload as u64) {
+                if let Some(i) = kill
+                    .iter()
+                    .position(|&k| p.seq <= k && k < p.seq + p.payload as u64)
+                {
                     kill.remove(i);
                     return Verdict::Drop;
                 }
@@ -490,7 +603,11 @@ fn sack_multi_loss_recovers_without_timeout() {
     );
     let done = w.run(LIMIT).expect("completes");
     assert_eq!(w.sender.stats().timeouts, 0, "SACK must avoid the RTO");
-    assert!(w.sender.stats().retransmits <= 6, "no spurious retransmission storm: {:?}", w.sender.stats());
+    assert!(
+        w.sender.stats().retransmits <= 6,
+        "no spurious retransmission storm: {:?}",
+        w.sender.stats()
+    );
     assert_eq!(w.receiver.bytes_received(), 600_000);
     assert!(done < SimTime::from_millis(200), "no RTO stall: {done}");
 }
@@ -500,7 +617,10 @@ fn sack_acks_carry_islands() {
     let mut dropped = false;
     let mut w = Wire::new(
         200_000,
-        TcpConfig { init_cwnd_segments: 10, ..TcpConfig::default() },
+        TcpConfig {
+            init_cwnd_segments: 10,
+            ..TcpConfig::default()
+        },
         TcpConfig::default(),
         move |p, _| {
             if p.payload > 0 && p.seq > 30_000 && !dropped {
@@ -512,7 +632,9 @@ fn sack_acks_carry_islands() {
     );
     w.run(LIMIT).expect("completes");
     assert!(
-        w.delivered_log.iter().any(|p| p.is_pure_ack() && !p.sack.is_empty()),
+        w.delivered_log
+            .iter()
+            .any(|p| p.is_pure_ack() && !p.sack.is_empty()),
         "dup acks must carry SACK blocks"
     );
 }
@@ -521,16 +643,31 @@ fn sack_acks_carry_islands() {
 fn sack_disabled_reverts_to_newreno() {
     let run = |sack: bool| {
         let mut kill = vec![60_000u64, 90_000, 120_000];
-        let cfg = TcpConfig { sack, init_cwnd_segments: 20, ..TcpConfig::default() };
-        let mut w = Wire::new(600_000, cfg, TcpConfig { sack, ..TcpConfig::default() }, move |p, _| {
-            if p.payload > 0 {
-                if let Some(i) = kill.iter().position(|&k| p.seq <= k && k < p.seq + p.payload as u64) {
-                    kill.remove(i);
-                    return Verdict::Drop;
+        let cfg = TcpConfig {
+            sack,
+            init_cwnd_segments: 20,
+            ..TcpConfig::default()
+        };
+        let mut w = Wire::new(
+            600_000,
+            cfg,
+            TcpConfig {
+                sack,
+                ..TcpConfig::default()
+            },
+            move |p, _| {
+                if p.payload > 0 {
+                    if let Some(i) = kill
+                        .iter()
+                        .position(|&k| p.seq <= k && k < p.seq + p.payload as u64)
+                    {
+                        kill.remove(i);
+                        return Verdict::Drop;
+                    }
                 }
-            }
-            Verdict::Deliver
-        });
+                Verdict::Deliver
+            },
+        );
         let done = w.run(LIMIT).expect("completes");
         (done, w.sender.stats().retransmits)
     };
@@ -541,7 +678,10 @@ fn sack_disabled_reverts_to_newreno() {
         "SACK must not be slower than NewReno: {t_sack} vs {t_newreno}"
     );
     // No-SACK acks must carry no blocks.
-    let cfg = TcpConfig { sack: false, ..TcpConfig::default() };
+    let cfg = TcpConfig {
+        sack: false,
+        ..TcpConfig::default()
+    };
     let mut w = Wire::new(50_000, cfg.clone(), cfg, |_, _| Verdict::Deliver);
     w.run(LIMIT).expect("completes");
     assert!(w.delivered_log.iter().all(|p| p.sack.is_empty()));
@@ -554,8 +694,15 @@ fn sack_go_back_n_never_resends_more_than_newreno() {
     // so it retransmits strictly less than the no-SACK sender in the same
     // scenario.
     let run = |sack: bool| {
-        let scfg = TcpConfig { sack, init_cwnd_segments: 30, ..TcpConfig::default() };
-        let rcfg = TcpConfig { sack, ..TcpConfig::default() };
+        let scfg = TcpConfig {
+            sack,
+            init_cwnd_segments: 30,
+            ..TcpConfig::default()
+        };
+        let rcfg = TcpConfig {
+            sack,
+            ..TcpConfig::default()
+        };
         let mut w = Wire::new(400_000, scfg, rcfg, |p, _| {
             // Kill the first 5 data segments and the early dup acks so fast
             // retransmit cannot finish the repair and an RTO is forced.

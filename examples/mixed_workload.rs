@@ -14,7 +14,13 @@ fn service_flows(cfg: &TcpConfig) -> Vec<(SimTime, NodeId, NodeId, u64, TcpConfi
         .map(|i| {
             let src = NodeId((i % 4) as u32);
             let dst = NodeId(((i + 1) % 4) as u32);
-            (SimTime::from_millis(5 + i * 10), src, dst, 20_000, cfg.clone())
+            (
+                SimTime::from_millis(5 + i * 10),
+                src,
+                dst,
+                20_000,
+                cfg.clone(),
+            )
         })
         .collect()
 }
@@ -34,7 +40,10 @@ fn bulk_flows(cfg: &TcpConfig) -> Vec<(SimTime, NodeId, NodeId, u64, TcpConfig)>
 
 fn run(label: &str, qdisc: QdiscSpec, ecn: EcnMode) {
     let spec = ClusterSpec::single_rack(4, LinkSpec::gbps(1, 5), qdisc, 31);
-    let cfg = TcpConfig { recv_wnd: 256 << 10, ..TcpConfig::with_ecn(ecn) };
+    let cfg = TcpConfig {
+        recv_wnd: 256 << 10,
+        ..TcpConfig::with_ecn(ecn)
+    };
     let mut flows = bulk_flows(&cfg);
     let n_bulk = flows.len();
     flows.extend(service_flows(&cfg));
@@ -76,7 +85,9 @@ fn main() {
     println!("4 hosts, 1 Gbps, DEEP buffers (1000 pkts/port) — Bufferbloat territory:\n");
     run(
         "droptail deep",
-        QdiscSpec::DropTail { capacity_packets: 1000 },
+        QdiscSpec::DropTail {
+            capacity_packets: 1000,
+        },
         EcnMode::Off,
     );
     run(

@@ -35,7 +35,8 @@ fn mixed_traffic() -> Vec<Packet> {
             out.push(pkt(0, TcpFlags::ACK, EcnCodepoint::NotEct)); // plain ACK
         }
         if i % 9 == 0 {
-            out.push(pkt(0, TcpFlags::ACK | TcpFlags::ECE, EcnCodepoint::NotEct)); // ECE ACK
+            out.push(pkt(0, TcpFlags::ACK | TcpFlags::ECE, EcnCodepoint::NotEct));
+            // ECE ACK
         }
         if i % 60 == 0 {
             out.push(pkt(0, TcpFlags::ecn_setup_syn(), EcnCodepoint::NotEct)); // SYN

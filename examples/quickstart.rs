@@ -34,24 +34,43 @@ fn main() {
     let mut sim = Simulation::new(net, app);
     let report = sim.run();
 
-    println!("simulation: {:?} after {} events, t = {}", report.outcome, report.events, report.end_time);
+    println!(
+        "simulation: {:?} after {} events, t = {}",
+        report.outcome, report.events, report.end_time
+    );
     println!("flows completed: {}/{}", report.flows_completed, 4);
     for rec in sim.net.flows() {
         let done = rec
             .completed
             .map(|t| format!("{}", t.since(rec.started)))
             .unwrap_or_else(|| "DNF".into());
-        println!("  {} {} -> {} ({} B) finished in {done}", rec.flow, rec.src, rec.dst, rec.bytes);
+        println!(
+            "  {} {} -> {} ({} B) finished in {done}",
+            rec.flow, rec.src, rec.dst, rec.bytes
+        );
     }
 
     println!("\nper-packet end-to-end latency:");
-    println!("  mean {}  p99 {}", sim.net.latency().mean(), sim.net.latency().quantile(0.99));
+    println!(
+        "  mean {}  p99 {}",
+        sim.net.latency().mean(),
+        sim.net.latency().quantile(0.99)
+    );
 
     let stats = sim.net.port_stats().total;
     println!("\nswitch queue totals:");
-    println!("  CE-marked data     : {}", stats.marked.get(PacketKind::Data));
-    println!("  early-dropped ACKs : {}", stats.dropped_early.get(PacketKind::PureAck));
-    println!("  early-dropped data : {}", stats.dropped_early.get(PacketKind::Data));
+    println!(
+        "  CE-marked data     : {}",
+        stats.marked.get(PacketKind::Data)
+    );
+    println!(
+        "  early-dropped ACKs : {}",
+        stats.dropped_early.get(PacketKind::PureAck)
+    );
+    println!(
+        "  early-dropped data : {}",
+        stats.dropped_early.get(PacketKind::Data)
+    );
     println!("  overflow drops     : {}", stats.dropped_full.total());
     println!(
         "\nNote the asymmetry: ECT data is marked, never early-dropped; every\n\

@@ -21,7 +21,10 @@ fn run(label: &str, qdisc: QdiscSpec, ecn: EcnMode) {
         map_waves: 2,
         map_rate_bps: 100_000_000,
         reduce_rate_bps: 200_000_000,
-        tcp: TcpConfig { recv_wnd: 128 << 10, ..TcpConfig::with_ecn(ecn) },
+        tcp: TcpConfig {
+            recv_wnd: 128 << 10,
+            ..TcpConfig::with_ecn(ecn)
+        },
         parallel_copies: 5,
         shuffle_jitter: SimDuration::from_millis(10),
         seed: 99,
@@ -53,7 +56,9 @@ fn main() {
 
     run(
         "droptail (baseline)",
-        QdiscSpec::DropTail { capacity_packets: shallow },
+        QdiscSpec::DropTail {
+            capacity_packets: shallow,
+        },
         EcnMode::Off,
     );
     run(

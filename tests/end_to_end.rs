@@ -35,7 +35,9 @@ fn terasort_through_facade() {
         hosts_per_rack: 2,
         host_link: LinkSpec::gbps(1, 5),
         uplink: LinkSpec::gbps(10, 5),
-        switch_qdisc: QdiscSpec::DropTail { capacity_packets: 100 },
+        switch_qdisc: QdiscSpec::DropTail {
+            capacity_packets: 100,
+        },
         host_buffer_packets: 2000,
         seed: 5,
     };

@@ -10,7 +10,10 @@ use experiments::sweep::{sweep, SweepGrid};
 fn tiny_sweep() -> experiments::sweep::SweepResults {
     let mut grid = SweepGrid::tiny();
     grid.transports = vec![Transport::TcpEcn];
-    grid.queues = vec![QueueKind::Red(ProtectionMode::AckSyn), QueueKind::SimpleMarking];
+    grid.queues = vec![
+        QueueKind::Red(ProtectionMode::AckSyn),
+        QueueKind::SimpleMarking,
+    ];
     grid.target_delays_us = vec![500];
     sweep(&grid)
 }

@@ -12,12 +12,18 @@ use hadoop_ecn::prelude::*;
 
 fn cfg() -> ScenarioConfig {
     // Tiny jobs are one RTO away from noise; average a few seeds.
-    ScenarioConfig { seed_count: 3, ..ScenarioConfig::tiny() }
+    ScenarioConfig {
+        seed_count: 3,
+        ..ScenarioConfig::tiny()
+    }
 }
 
 fn point(t: Transport, q: QueueKind, d: BufferDepth, delay_us: u64) -> RunMetrics {
     let m = run_scenario(&cfg(), t, q, d, SimDuration::from_micros(delay_us));
-    assert!(m.completed, "{t:?}/{q:?}/{d:?}@{delay_us}us did not complete");
+    assert!(
+        m.completed,
+        "{t:?}/{q:?}/{d:?}@{delay_us}us did not complete"
+    );
     m
 }
 
@@ -31,7 +37,10 @@ fn claim_ack_drops_are_the_problem() {
         BufferDepth::Shallow,
         100,
     );
-    assert!(m.acks_early_dropped > 0, "stock RED must early-drop ACKs: {m:?}");
+    assert!(
+        m.acks_early_dropped > 0,
+        "stock RED must early-drop ACKs: {m:?}"
+    );
     assert!(m.data_marked > 0, "ECT data must be CE-marked: {m:?}");
 }
 
@@ -64,14 +73,22 @@ fn claim_protection_eliminates_ack_drops() {
         ece.acks_early_dropped,
         default.acks_early_dropped
     );
-    assert_eq!(ece.handshake_early_dropped, 0, "ECN SYNs carry ECE and are protected");
+    assert_eq!(
+        ece.handshake_early_dropped, 0,
+        "ECN SYNs carry ECE and are protected"
+    );
 }
 
 /// §II-B proposal 2: the true marking scheme never early-drops anything and
 /// does not lose throughput against the stock AQM.
 #[test]
 fn claim_simple_marking_never_early_drops_and_keeps_throughput() {
-    let marking = point(Transport::Dctcp, QueueKind::SimpleMarking, BufferDepth::Shallow, 100);
+    let marking = point(
+        Transport::Dctcp,
+        QueueKind::SimpleMarking,
+        BufferDepth::Shallow,
+        100,
+    );
     assert_eq!(marking.acks_early_dropped, 0);
     assert_eq!(marking.handshake_early_dropped, 0);
     let default = point(
@@ -93,7 +110,12 @@ fn claim_simple_marking_never_early_drops_and_keeps_throughput() {
 #[test]
 fn claim_latency_reduction_on_deep_buffers() {
     let droptail = point(Transport::Tcp, QueueKind::DropTail, BufferDepth::Deep, 500);
-    let marking = point(Transport::Dctcp, QueueKind::SimpleMarking, BufferDepth::Deep, 500);
+    let marking = point(
+        Transport::Dctcp,
+        QueueKind::SimpleMarking,
+        BufferDepth::Deep,
+        500,
+    );
     assert!(
         marking.mean_latency_s * 2.0 < droptail.mean_latency_s,
         "deep-buffer latency must drop at least 2x: droptail {:.1}us vs marking {:.1}us",
@@ -126,7 +148,11 @@ fn claim_shallow_marking_matches_deep_droptail() {
         m
     };
     let deep_droptail = run(Transport::Tcp, QueueKind::DropTail, BufferDepth::Deep);
-    let shallow_marking = run(Transport::Dctcp, QueueKind::SimpleMarking, BufferDepth::Shallow);
+    let shallow_marking = run(
+        Transport::Dctcp,
+        QueueKind::SimpleMarking,
+        BufferDepth::Shallow,
+    );
     assert!(
         shallow_marking.runtime_s <= deep_droptail.runtime_s * 1.35,
         "shallow+marking ({:.3}s) must be near deep droptail ({:.3}s)",
@@ -139,8 +165,18 @@ fn claim_shallow_marking_matches_deep_droptail() {
 /// AQM degenerates to the DropTail baseline — the sweep's right edge.
 #[test]
 fn claim_loose_thresholds_converge_to_droptail() {
-    let droptail = point(Transport::Tcp, QueueKind::DropTail, BufferDepth::Shallow, 500);
-    let marking = point(Transport::Dctcp, QueueKind::SimpleMarking, BufferDepth::Shallow, 5000);
+    let droptail = point(
+        Transport::Tcp,
+        QueueKind::DropTail,
+        BufferDepth::Shallow,
+        500,
+    );
+    let marking = point(
+        Transport::Dctcp,
+        QueueKind::SimpleMarking,
+        BufferDepth::Shallow,
+        5000,
+    );
     let rel = (marking.runtime_s - droptail.runtime_s).abs() / droptail.runtime_s;
     assert!(
         rel < 0.25,

@@ -1,0 +1,273 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the `criterion_group!`/`criterion_main!` harness surface this
+//! workspace's benches use, with two modes:
+//!
+//! * default (`cargo bench`): adaptive wall-clock timing — each benchmark is
+//!   calibrated to ~0.5 s of measurement and reports mean time per iteration
+//!   (plus elements/sec when a [`Throughput`] is set);
+//! * `--test` smoke mode (what CI runs): every benchmark body executes exactly
+//!   once so regressions in the bench code itself are caught cheaply.
+//!
+//! No statistics, plots, or saved baselines — this exists so benches compile,
+//! run, and print comparable numbers without crates.io access.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier; defers to `std::hint::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Work-per-iteration declaration used to derive rate output.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iteration processes this many logical elements.
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// Harness entry point; one per bench binary.
+pub struct Criterion {
+    smoke: bool,
+    filter: Option<String>,
+    default_sample_size: usize,
+}
+
+impl Criterion {
+    /// Build from CLI args: `--test` enables smoke mode, a bare positional
+    /// argument filters benchmark names by substring, everything else
+    /// (`--bench`, criterion flags) is ignored.
+    pub fn from_args() -> Self {
+        let mut smoke = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                smoke = true;
+            } else if !arg.starts_with('-') {
+                filter = Some(arg);
+            }
+        }
+        Criterion {
+            smoke,
+            filter,
+            default_sample_size: 20,
+        }
+    }
+
+    fn selected(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Run a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let sample_size = self.default_sample_size;
+        self.run_one(&name.into(), None, sample_size, f);
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        throughput: Option<Throughput>,
+        sample_size: usize,
+        mut f: F,
+    ) {
+        if !self.selected(name) {
+            return;
+        }
+        let mut b = Bencher {
+            smoke: self.smoke,
+            sample_size,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        if self.smoke {
+            println!("{name}: smoke ok");
+            return;
+        }
+        if b.iters == 0 {
+            println!("{name}: no iterations recorded");
+            return;
+        }
+        let per_iter = b.total.as_secs_f64() / b.iters as f64;
+        let rate = throughput.map(|t| match t {
+            Throughput::Elements(n) => format!("  {:.3e} elem/s", n as f64 / per_iter),
+            Throughput::Bytes(n) => format!("  {:.3e} B/s", n as f64 / per_iter),
+        });
+        println!(
+            "{name}: {} per iter ({} iters){}",
+            fmt_duration(per_iter),
+            b.iters,
+            rate.unwrap_or_default()
+        );
+    }
+
+    /// Print the run footer (no-op; kept for API parity).
+    pub fn final_summary(&mut self) {}
+}
+
+fn fmt_duration(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Group with shared throughput/sample-size settings.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare work per iteration for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Set the number of measurement samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Run one benchmark within the group (name is `group/name`).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name.into());
+        let throughput = self.throughput;
+        let sample_size = self.sample_size.unwrap_or(self.c.default_sample_size);
+        self.c.run_one(&full, throughput, sample_size, f);
+        self
+    }
+
+    /// End the group (no-op; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark; drives the timed routine.
+pub struct Bencher {
+    smoke: bool,
+    sample_size: usize,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `f`. Smoke mode runs it once; bench mode calibrates the
+    /// iteration count so total measurement lasts roughly half a second.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.smoke {
+            black_box(f());
+            self.iters = 1;
+            return;
+        }
+        // Calibrate: time one iteration, then size batches to the target.
+        let t0 = Instant::now();
+        black_box(f());
+        let first = t0.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(500);
+        let remaining_iters = (target.as_secs_f64() / first.as_secs_f64())
+            .min((self.sample_size.max(1) * 50) as f64) as u64;
+        let mut total = first;
+        let mut iters = 1u64;
+        for _ in 0..remaining_iters {
+            let t = Instant::now();
+            black_box(f());
+            total += t.elapsed();
+            iters += 1;
+            if total >= target {
+                break;
+            }
+        }
+        self.total = total;
+        self.iters = iters;
+    }
+}
+
+/// Bundle benchmark functions into a group callable.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generate `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_bench_run() {
+        let mut c = Criterion {
+            smoke: true,
+            filter: None,
+            default_sample_size: 10,
+        };
+        let mut ran = 0u32;
+        c.bench_function("plain", |b| b.iter(|| ran += 1));
+        {
+            let mut g = c.benchmark_group("grp");
+            g.throughput(Throughput::Elements(4));
+            g.sample_size(10);
+            g.bench_function("inner", |b| b.iter(|| ran += 1));
+            g.finish();
+        }
+        assert_eq!(ran, 2, "smoke mode runs each body exactly once");
+    }
+
+    #[test]
+    fn filter_skips_unmatched() {
+        let mut c = Criterion {
+            smoke: true,
+            filter: Some("yes".into()),
+            default_sample_size: 10,
+        };
+        let mut ran = 0u32;
+        c.bench_function("yes_me", |b| b.iter(|| ran += 1));
+        c.bench_function("not_this", |b| b.iter(|| ran += 1));
+        assert_eq!(ran, 1);
+    }
+}

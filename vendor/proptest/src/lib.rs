@@ -1,0 +1,447 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset this workspace uses: `Strategy` with `prop_map` /
+//! `prop_shuffle`, `Just`, `any::<T>()`, integer-range strategies, weighted
+//! `prop_oneof!`, `prop::collection::vec`, and the `proptest!` /
+//! `prop_assert*` macros. Sampling is driven by a per-test deterministic RNG
+//! (seeded from the test name), so failures reproduce across runs. There is
+//! **no shrinking**: a failing case reports its inputs via the assertion
+//! message instead of minimising them. Case count defaults to 64 and can be
+//! overridden with the `PROPTEST_CASES` environment variable or
+//! `ProptestConfig::with_cases`.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A generator of values of type `Self::Value`.
+    ///
+    /// Object-safe: `prop_oneof!` stores arms as `Box<dyn Strategy<Value = T>>`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Uniformly permute a generated `Vec` (Fisher–Yates).
+        fn prop_shuffle(self) -> Shuffle<Self>
+        where
+            Self: Sized,
+        {
+            Shuffle(self)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_shuffle`].
+    pub struct Shuffle<S>(S);
+
+    impl<S, T> Strategy for Shuffle<S>
+    where
+        S: Strategy<Value = Vec<T>>,
+    {
+        type Value = Vec<T>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<T> {
+            let mut v = self.0.sample(rng);
+            for i in (1..v.len()).rev() {
+                let j = rng.rng.gen_range(0..=i);
+                v.swap(i, j);
+            }
+            v
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident . $idx:tt),+)),*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy!((A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3));
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Box a strategy for storage in heterogeneous collections (`prop_oneof!`).
+    pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+        Box::new(s)
+    }
+
+    /// Weighted choice between strategies with a common value type.
+    pub struct OneOf<T> {
+        arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+        total: u32,
+    }
+
+    impl<T> OneOf<T> {
+        /// Build from `(weight, strategy)` arms; weights must sum > 0.
+        pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+            let total = arms.iter().map(|(w, _)| *w).sum();
+            assert!(total > 0, "prop_oneof! needs positive total weight");
+            OneOf { arms, total }
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.rng.gen_range(0..self.total);
+            for (w, s) in &self.arms {
+                if pick < *w {
+                    return s.sample(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weights covered above")
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "anything goes" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut TestRng) -> u64 {
+            rng.rng.gen()
+        }
+    }
+    impl Arbitrary for u32 {
+        fn arbitrary(rng: &mut TestRng) -> u32 {
+            rng.rng.gen()
+        }
+    }
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.rng.gen()
+        }
+    }
+    impl Arbitrary for u8 {
+        fn arbitrary(rng: &mut TestRng) -> u8 {
+            rng.rng.gen_range(0u8..=u8::MAX)
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T` ("any value of this type").
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s whose length is drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// `prop::collection::vec` — a vector of `element` with length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+pub mod test_runner {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Deterministic per-test RNG (xoshiro256++ via the vendored `rand`).
+    pub struct TestRng {
+        pub(crate) rng: SmallRng,
+    }
+
+    impl TestRng {
+        /// Seed from a test name so each test has a stable, distinct stream.
+        pub fn deterministic(name: &str) -> Self {
+            // FNV-1a over the name gives a stable 64-bit seed.
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng {
+                rng: SmallRng::seed_from_u64(h),
+            }
+        }
+    }
+
+    /// Per-block configuration; only `cases` is honoured by the stub.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases to run per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Run each property `cases` times.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+
+        /// Effective case count after the `PROPTEST_CASES` env override.
+        pub fn resolved_cases(&self) -> u32 {
+            std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(self.cases)
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Real proptest defaults to 256; 64 keeps debug-mode `cargo test`
+            // fast on the single-core CI box while still exploring broadly.
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+/// Everything the `use proptest::prelude::*;` idiom expects.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Weighted choice: `prop_oneof![3 => strat_a, 1 => strat_b]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $(($weight as u32, $crate::strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Property assertion: fails the current case (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Property equality assertion: fails the current case (no shrinking).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (l, r) = (&$a, &$b);
+        if l != r {
+            return Err(format!(
+                "assertion failed: `{:?}` != `{:?}` ({} vs {})",
+                l, r, stringify!($a), stringify!($b)
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$a, &$b);
+        if l != r {
+            return Err(format!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                l, r, format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+/// The `proptest! { ... }` block: optional `#![proptest_config(..)]` followed
+/// by `#[test] fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            (<$crate::test_runner::ProptestConfig as ::std::default::Default>::default())
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let cases = $crate::test_runner::ProptestConfig::resolved_cases(&config);
+            let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for case in 0..cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                // Render inputs up front: the body may consume them by value.
+                let __inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}  "),+),
+                    $(&$arg),+
+                );
+                // `mut` because the body may (or may not) mutate captures.
+                #[allow(unused_mut)]
+                let mut run = || -> ::std::result::Result<(), ::std::string::String> {
+                    $body
+                    ::std::result::Result::Ok(())
+                };
+                if let ::std::result::Result::Err(msg) = run() {
+                    panic!(
+                        "proptest `{}` case {}/{} failed: {}\n  inputs: {}\n  (vendored proptest: no shrinking)",
+                        stringify!($name),
+                        case + 1,
+                        cases,
+                        msg,
+                        __inputs,
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u64..10, y in 0u8..4) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y < 4);
+        }
+
+        #[test]
+        fn map_and_oneof(v in prop::collection::vec(
+            prop_oneof![2 => (0u64..5).prop_map(|n| n * 2), 1 => Just(99u64)],
+            1..20,
+        )) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            for x in &v {
+                prop_assert!(*x == 99 || (*x % 2 == 0 && *x < 10), "bad element {}", x);
+            }
+        }
+
+        #[test]
+        fn shuffle_is_permutation(perm in Just((0u64..30).collect::<Vec<_>>()).prop_shuffle()) {
+            let mut sorted = perm.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(sorted, (0u64..30).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let s = 0u64..1000;
+        let mut a = TestRng::deterministic("x");
+        let mut b = TestRng::deterministic("x");
+        for _ in 0..100 {
+            assert_eq!(s.sample(&mut a), s.sample(&mut b));
+        }
+    }
+}

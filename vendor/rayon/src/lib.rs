@@ -1,0 +1,143 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the two entry points this workspace uses — [`join`] and
+//! `Vec::into_par_iter().map(..).collect()` — on top of `std::thread::scope`.
+//! Work is split into one contiguous chunk per available core and results are
+//! reassembled in input order, so `collect` is deterministic regardless of
+//! scheduling. On a single-core host everything degrades to the sequential
+//! path with no thread spawns.
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if threads_available() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon::join worker panicked"))
+    })
+}
+
+fn threads_available() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Conversion into a "parallel" iterator (the subset: owned `Vec`).
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item;
+    /// Begin a parallel pipeline.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// Head of a parallel pipeline over owned items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Map each item through `f` (applied on worker threads).
+    pub fn map<U, F>(self, f: F) -> ParMap<T, F>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A mapped parallel pipeline; terminate with [`ParMap::collect`].
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> ParMap<T, F> {
+    /// Evaluate the pipeline and collect results **in input order**.
+    pub fn collect<U, C>(self) -> C
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+        C: FromIterator<U>,
+    {
+        let n_threads = threads_available().min(self.items.len().max(1));
+        if n_threads <= 1 {
+            let f = self.f;
+            return self.items.into_iter().map(f).collect();
+        }
+        let len = self.items.len();
+        let chunk_size = len.div_ceil(n_threads);
+        let f = &self.f;
+        let mut chunks: Vec<(usize, Vec<T>)> = Vec::with_capacity(n_threads);
+        let mut items = self.items;
+        let mut start = len;
+        // Peel chunks off the tail so each drain is O(chunk).
+        while start > 0 {
+            let lo = start.saturating_sub(chunk_size);
+            chunks.push((lo, items.drain(lo..).collect()));
+            start = lo;
+        }
+        let mut parts: Vec<(usize, Vec<U>)> = std::thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|(lo, chunk)| {
+                    s.spawn(move || (lo, chunk.into_iter().map(f).collect::<Vec<U>>()))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rayon worker panicked"))
+                .collect()
+        });
+        parts.sort_by_key(|(lo, _)| *lo);
+        parts.into_iter().flat_map(|(_, part)| part).collect()
+    }
+}
+
+/// `use rayon::prelude::*;` surface.
+pub mod prelude {
+    pub use crate::IntoParallelIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "two");
+        assert_eq!((a, b), (2, "two"));
+    }
+
+    #[test]
+    fn collect_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let ys: Vec<u64> = xs.clone().into_par_iter().map(|x| x * 3).collect();
+        assert_eq!(ys, xs.iter().map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let ys: Vec<u64> = Vec::<u64>::new().into_par_iter().map(|x| x).collect();
+        assert!(ys.is_empty());
+    }
+}
