@@ -1,0 +1,100 @@
+//! Traffic-generator benches: one nano-scale run of each `workload`
+//! generator (incast, permutation + mice, closed-loop RPC) over DCTCP and a
+//! protected RED-mimic — the configuration the workloads experiment treats
+//! as the fixed baseline. Exercises the full generator → `WorkloadApp` →
+//! `netsim` path, so a regression in any layer shows up here.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ecn_core::{ProtectionMode, QdiscSpec, RedConfig};
+use netpacket::NodeId;
+use netsim::{ClusterSpec, LinkSpec, Network, Simulation};
+use simevent::{SimDuration, SimTime};
+use simmetrics::IdealFct;
+use tcpstack::{EcnMode, TcpConfig};
+use workload::{
+    Incast, IncastConfig, Mixed, MixedConfig, Rpc, RpcConfig, SizeDist, TrafficModel, WorkloadApp,
+};
+
+const HOSTS: u32 = 6;
+const RATE_BPS: u64 = 1_000_000_000;
+
+fn network() -> Network {
+    let qdisc = QdiscSpec::Red(RedConfig::dctcp_mimic(
+        SimDuration::from_micros(500),
+        RATE_BPS,
+        1526,
+        100,
+        ProtectionMode::AckSyn,
+    ));
+    Network::new(ClusterSpec::single_rack(
+        HOSTS,
+        LinkSpec::gbps(1, 5),
+        qdisc,
+        7,
+    ))
+}
+
+/// Run a generator to completion; returns bytes moved so criterion can't
+/// dead-code the simulation away.
+fn run<M: TrafficModel>(model: M) -> u64 {
+    let ideal = IdealFct {
+        base_rtt: SimDuration::from_micros(20),
+        bottleneck_bps: RATE_BPS,
+    };
+    let app = WorkloadApp::new(model, TcpConfig::with_ecn(EcnMode::Dctcp), ideal);
+    let mut sim = Simulation::new(network(), app);
+    sim.time_limit = SimTime::from_secs(30);
+    sim.run();
+    assert!(sim.app.model.done(), "workload must finish in-bench");
+    sim.app.fct_summary().all.bytes
+}
+
+fn incast() -> Incast {
+    Incast::new(IncastConfig {
+        aggregator: NodeId(0),
+        fanin: HOSTS - 1,
+        response_bytes: 200_000,
+        rounds: 2,
+        stagger: SimDuration::from_micros(100),
+        round_gap: SimDuration::from_micros(500),
+        seed: 7,
+    })
+}
+
+fn mixed() -> Mixed {
+    Mixed::new(MixedConfig {
+        elephant_lanes: HOSTS,
+        elephant_bytes: 500_000,
+        elephants_per_lane: 1,
+        mice: 10,
+        mice_mean_gap: SimDuration::from_micros(300),
+        mice_sizes: SizeDist::WebSearch,
+        seed: 7,
+    })
+}
+
+fn rpc() -> Rpc {
+    Rpc::new(RpcConfig {
+        clients: 2,
+        fanout: 3,
+        request_bytes: 2_000,
+        response_bytes: 64_000,
+        requests_per_client: 3,
+        think_time: SimDuration::from_micros(200),
+        service_jitter: SimDuration::from_micros(100),
+        slo: SimDuration::from_millis(5),
+        seed: 7,
+    })
+}
+
+fn bench_workloads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workloads_nano");
+    g.sample_size(10);
+    g.bench_function("incast", |b| b.iter(|| run(incast())));
+    g.bench_function("mixed", |b| b.iter(|| run(mixed())));
+    g.bench_function("rpc", |b| b.iter(|| run(rpc())));
+    g.finish();
+}
+
+criterion_group!(benches, bench_workloads);
+criterion_main!(benches);

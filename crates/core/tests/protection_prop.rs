@@ -1,0 +1,97 @@
+//! Property tests tying [`ecn_core::ProtectionMode`] to the packet
+//! classification in `netpacket`: across *arbitrary* flag combinations and
+//! payloads, each mode's `protects` predicate must coincide with the class
+//! the paper defines it by — `Default` protects nothing, `EceBit` protects
+//! exactly the ECE carriers, `AckSyn` protects exactly the pure-ACK / SYN /
+//! SYN-ACK classes.
+
+use ecn_core::ProtectionMode;
+use netpacket::{EcnCodepoint, FlowId, NodeId, Packet, PacketId, PacketKind, SackBlocks, TcpFlags};
+use proptest::prelude::*;
+use simevent::SimTime;
+
+fn packet(bits: u8, payload: u32, ecn: EcnCodepoint) -> Packet {
+    Packet {
+        id: PacketId(0),
+        flow: FlowId(0),
+        src: NodeId(0),
+        dst: NodeId(1),
+        seq: 0,
+        ack: 0,
+        payload,
+        flags: TcpFlags::from_bits(bits),
+        ecn,
+        sack: SackBlocks::EMPTY,
+        sent_at: SimTime::ZERO,
+    }
+}
+
+/// All four codepoints, index-selected so the stub's integer strategies can
+/// drive the choice.
+fn codepoint(i: u8) -> EcnCodepoint {
+    match i % 4 {
+        0 => EcnCodepoint::NotEct,
+        1 => EcnCodepoint::Ect0,
+        2 => EcnCodepoint::Ect1,
+        _ => EcnCodepoint::Ce,
+    }
+}
+
+proptest! {
+    /// `Default` early-drops every packet it is consulted about, whatever
+    /// the header says.
+    #[test]
+    fn default_never_protects(bits in 0u8..=255, payload in 0u32..=3000, ecn in 0u8..=3) {
+        let p = packet(bits, payload, codepoint(ecn));
+        prop_assert!(!ProtectionMode::Default.protects(&p));
+    }
+
+    /// `EceBit` protects a packet iff its TCP header carries ECE — the
+    /// predicate is exactly `has_ece`, nothing else in the packet matters.
+    #[test]
+    fn ece_bit_is_exactly_has_ece(bits in 0u8..=255, payload in 0u32..=3000, ecn in 0u8..=3) {
+        let p = packet(bits, payload, codepoint(ecn));
+        prop_assert_eq!(
+            ProtectionMode::EceBit.protects(&p),
+            p.has_ece(),
+            "flags {:?} payload {}",
+            p.flags,
+            p.payload
+        );
+    }
+
+    /// `AckSyn` protects a packet iff `netpacket` classifies it as a pure
+    /// ACK, SYN or SYN-ACK — the two crates must agree on the class
+    /// boundary (payload-bearing ACKs, FINs and RSTs stay droppable).
+    #[test]
+    fn ack_syn_is_exactly_the_control_classes(bits in 0u8..=255, payload in 0u32..=3000, ecn in 0u8..=3) {
+        let p = packet(bits, payload, codepoint(ecn));
+        let control = matches!(
+            PacketKind::of(&p),
+            PacketKind::PureAck | PacketKind::Syn | PacketKind::SynAck
+        );
+        prop_assert_eq!(
+            ProtectionMode::AckSyn.protects(&p),
+            control,
+            "flags {:?} payload {} kind {:?}",
+            p.flags,
+            p.payload,
+            PacketKind::of(&p)
+        );
+    }
+
+    /// On the control classes the paper discusses, `AckSyn` is a strict
+    /// superset of `EceBit`: any ECE-protected pure ACK / SYN / SYN-ACK is
+    /// also ACK+SYN-protected.
+    #[test]
+    fn ack_syn_covers_ece_bit_on_control(bits in 0u8..=255, ecn in 0u8..=3) {
+        let p = packet(bits, 0, codepoint(ecn));
+        let control = matches!(
+            PacketKind::of(&p),
+            PacketKind::PureAck | PacketKind::Syn | PacketKind::SynAck
+        );
+        if control && ProtectionMode::EceBit.protects(&p) {
+            prop_assert!(ProtectionMode::AckSyn.protects(&p));
+        }
+    }
+}

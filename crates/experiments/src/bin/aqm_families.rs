@@ -3,19 +3,17 @@
 //! vs ACK+SYN protection, plus the simple marking scheme, and compare who
 //! dropped what.
 //!
-//! Usage: `aqm_families [--tiny]`
+//! Usage: `aqm_families [--tiny] [--seed N]`
 
 use ecn_core::ProtectionMode;
-use experiments::scenario::{run_scenario, BufferDepth, QueueKind, ScenarioConfig, Transport};
+use experiments::cli::cli_args;
+use experiments::scenario::{run_scenario, BufferDepth, QueueKind, Transport};
 use simevent::SimDuration;
 
 fn main() {
-    let tiny = std::env::args().any(|a| a == "--tiny");
-    let mut cfg = if tiny {
-        ScenarioConfig::tiny()
-    } else {
-        ScenarioConfig::default()
-    };
+    let args = cli_args();
+    let tiny = args.tiny;
+    let mut cfg = args.scenario();
     if tiny {
         // Tiny jobs are a single RTO away from inversion; average harder.
         cfg.seed_count = 5;

@@ -2,21 +2,18 @@
 //! Hadoop cluster" — a queue held at the marking threshold by ECT data while
 //! non-ECT ACKs (and handshake packets) take the early drops.
 //!
-//! Usage: `fig1_queue_snapshot [--tiny]`
+//! Usage: `fig1_queue_snapshot [--tiny] [--seed N]`
 
+use experiments::cli::cli_args;
 use experiments::figures::{fig1, fig1_trace_csv};
 use experiments::report::write_json;
-use experiments::scenario::ScenarioConfig;
 use simevent::SimDuration;
 use std::path::Path;
 
 fn main() {
-    let tiny = std::env::args().any(|a| a == "--tiny");
-    let cfg = if tiny {
-        ScenarioConfig::tiny()
-    } else {
-        ScenarioConfig::default()
-    };
+    let args = cli_args();
+    let tiny = args.tiny;
+    let cfg = args.scenario();
     let target = SimDuration::from_micros(200);
     eprintln!("[fig1] running TCP-ECN Terasort over stock RED (Default mode), shallow buffers...");
     let rep = fig1(&cfg, target);

@@ -59,12 +59,7 @@ fn run(cfg: &ScenarioConfig, qdisc: QdiscSpec, transport: Transport) -> (f64, f6
 }
 
 fn main() {
-    let tiny = std::env::args().any(|a| a == "--tiny");
-    let cfg = if tiny {
-        ScenarioConfig::tiny()
-    } else {
-        ScenarioConfig::default()
-    };
+    let cfg = experiments::cli::cli_args().scenario();
     let delay = SimDuration::from_micros(500);
     let cap = cfg.shallow_packets;
     let rate = cfg.host_link.rate_bps;

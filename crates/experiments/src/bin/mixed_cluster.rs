@@ -83,12 +83,7 @@ fn run(cfg: &ScenarioConfig, queue: QueueKind, depth: BufferDepth, transport: Tr
 }
 
 fn main() {
-    let tiny = std::env::args().any(|a| a == "--tiny");
-    let cfg = if tiny {
-        ScenarioConfig::tiny()
-    } else {
-        ScenarioConfig::default()
-    };
+    let cfg = experiments::cli::cli_args().scenario();
 
     println!("Terasort + 20 kB service probes every 5 ms (the paper's mixed cluster):\n");
     println!(

@@ -158,11 +158,14 @@ struct PerfReport {
 /// The Fig. 2 shallow grid used for the wall-clock comparison: one rack of
 /// twelve hosts over three map waves, so each host accumulates enough
 /// endpoints for the reference engine's per-packet scans to show their cost.
-fn sweep_config() -> ScenarioConfig {
+fn sweep_config(seed: Option<u64>) -> ScenarioConfig {
     let mut cfg = ScenarioConfig::tiny();
     cfg.hosts_per_rack = 12;
     cfg.input_bytes_per_node = 6_000_000;
     cfg.map_waves = 3;
+    if let Some(s) = seed {
+        cfg.seed = s;
+    }
     cfg
 }
 
@@ -182,8 +185,8 @@ fn sweep_points() -> Vec<(Transport, QueueKind, u64)> {
     points
 }
 
-fn run_sweep(engine: Engine) -> (f64, Vec<RunMetrics>, u64, u64) {
-    let cfg = sweep_config();
+fn run_sweep(engine: Engine, seed: Option<u64>) -> (f64, Vec<RunMetrics>, u64, u64) {
+    let cfg = sweep_config(seed);
     let mut metrics = Vec::new();
     let mut events = 0u64;
     let mut peak = 0u64;
@@ -205,9 +208,32 @@ fn run_sweep(engine: Engine) -> (f64, Vec<RunMetrics>, u64, u64) {
 }
 
 fn main() {
-    let out = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_1.json".into());
+    // `perf_report [out.json] [--seed N]` — the first non-flag argument is
+    // the output path.
+    let mut out = String::from("BENCH_1.json");
+    let mut seed = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        if a == "--seed" {
+            match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(s)) => seed = Some(s),
+                _ => {
+                    eprintln!("--seed needs an unsigned integer value");
+                    std::process::exit(2);
+                }
+            }
+        } else if let Some(v) = a.strip_prefix("--seed=") {
+            match v.parse::<u64>() {
+                Ok(s) => seed = Some(s),
+                Err(_) => {
+                    eprintln!("--seed needs an unsigned integer value");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            out = a;
+        }
+    }
 
     eprintln!("kernel microbench (churn)...");
     let churn_w = kernel_workload(1_048_576, 1_000_000, churn, churn);
@@ -228,10 +254,10 @@ fn main() {
     );
 
     eprintln!("fig2-shallow sweep, reference engine...");
-    let (ref_s, ref_metrics, ref_events, ref_peak) = run_sweep(Engine::Reference);
+    let (ref_s, ref_metrics, ref_events, ref_peak) = run_sweep(Engine::Reference, seed);
     eprintln!("  {ref_s:.2}s, {ref_events} events");
     eprintln!("fig2-shallow sweep, fast engine...");
-    let (fast_s, fast_metrics, fast_events, fast_peak) = run_sweep(Engine::Fast);
+    let (fast_s, fast_metrics, fast_events, fast_peak) = run_sweep(Engine::Fast, seed);
     eprintln!(
         "  {fast_s:.2}s, {fast_events} events, speedup {:.2}x",
         ref_s / fast_s

@@ -1,7 +1,7 @@
 //! Regenerate EVERYTHING: Tables I–II, Figure 1, Figures 2–4 (both panels
 //! each) and the headline-claims table, writing raw data under `results/`.
 //!
-//! Usage: `run_all [--tiny] [--fresh]`
+//! Usage: `run_all [--tiny] [--fresh] [--seed N]`
 
 use experiments::claims::{claims, render_claims};
 use experiments::cli::sweep_from_args;
@@ -11,17 +11,11 @@ use simevent::SimDuration;
 use std::path::Path;
 
 fn main() {
-    let tiny = std::env::args().any(|a| a == "--tiny");
-
     println!("{}", table1());
     println!("{}", table2());
 
     // Fig. 1 — queue snapshot under stock RED.
-    let cfg = if tiny {
-        experiments::scenario::ScenarioConfig::tiny()
-    } else {
-        experiments::scenario::ScenarioConfig::default()
-    };
+    let cfg = experiments::cli::cli_args().scenario();
     eprintln!("[run_all] Fig. 1 queue snapshot...");
     let f1 = fig1(&cfg, SimDuration::from_micros(200));
     println!("== Fig. 1 — congested queue composition (RED default, shallow) ==");

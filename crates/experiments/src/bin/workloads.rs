@@ -1,0 +1,419 @@
+//! Datacenter workload suite: the `workload` crate's three generators —
+//! partition-aggregate incast, permutation elephants + Poisson mice, and
+//! closed-loop RPC — each swept across four switch configurations:
+//!
+//! * DropTail (the loss-signalled baseline),
+//! * RED-mimic with no protection (the paper's problem configuration:
+//!   every non-ECT packet above K is early-DROPPED),
+//! * RED-mimic with ACK+SYN protection (the paper's fix),
+//! * the true simple marking scheme (never early-drops anything).
+//!
+//! All runs use DCTCP. Per point it reports flow-completion-time and
+//! slowdown percentiles (mice vs elephants), coflow completion times,
+//! goodput, and the non-ECT early-drop counters, writing
+//! `results/workloads_{incast,mixed,rpc}[_tiny].json` plus a claims file.
+//! Output JSON is deterministic: two same-seed runs are byte-identical.
+//!
+//! Usage: `workloads [--tiny] [--seed N]`
+
+use ecn_core::{ProtectionMode, QdiscSpec, RedConfig, SimpleMarkingConfig};
+use experiments::cli::cli_args;
+use experiments::report::write_json;
+use experiments::scenario::{ScenarioConfig, Transport};
+use netpacket::{NodeId, PacketKind};
+use netsim::{ClusterSpec, Network, Simulation};
+use serde::Serialize;
+use simevent::{SimDuration, SimTime};
+use simmetrics::{FctSummary, IdealFct};
+use std::path::Path;
+use tcpstack::TcpConfig;
+use workload::{
+    CoflowSummary, Incast, IncastConfig, Mixed, MixedConfig, Rpc, RpcConfig, RpcSummary, SizeDist,
+    TrafficModel, WorkloadApp,
+};
+
+/// The switch configurations every workload is swept across. `Mimic` is the
+/// DCTCP paper's RED parametrisation (`min_th == max_th == K`,
+/// instantaneous queue) — the scheme this paper shows early-drops every
+/// non-ECT packet above K unless protected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WlQueue {
+    DropTail,
+    Mimic(ProtectionMode),
+    SimpleMarking,
+}
+
+impl WlQueue {
+    fn label(self) -> String {
+        match self {
+            WlQueue::DropTail => "droptail".into(),
+            WlQueue::Mimic(m) => format!("mimic[{}]", m.label()),
+            WlQueue::SimpleMarking => "simple-marking".into(),
+        }
+    }
+
+    fn qdisc(self, cfg: &ScenarioConfig, target: SimDuration) -> QdiscSpec {
+        let cap = cfg.shallow_packets;
+        let rate = cfg.host_link.rate_bps;
+        let mean = cfg.mean_packet_bytes;
+        match self {
+            WlQueue::DropTail => QdiscSpec::DropTail {
+                capacity_packets: cap,
+            },
+            WlQueue::Mimic(mode) => {
+                QdiscSpec::Red(RedConfig::dctcp_mimic(target, rate, mean, cap, mode))
+            }
+            WlQueue::SimpleMarking => QdiscSpec::SimpleMarking(
+                SimpleMarkingConfig::from_target_delay(target, rate, mean, cap),
+            ),
+        }
+    }
+}
+
+const QUEUES: [WlQueue; 4] = [
+    WlQueue::DropTail,
+    WlQueue::Mimic(ProtectionMode::Default),
+    WlQueue::Mimic(ProtectionMode::AckSyn),
+    WlQueue::SimpleMarking,
+];
+
+/// One workload under one switch configuration.
+#[derive(Debug, Clone, Serialize)]
+struct QueueResult {
+    queue: String,
+    /// Whether every flow completed inside the time limit.
+    completed: bool,
+    /// Delivered application bytes over the run's simulated span, bits/s.
+    goodput_bps: f64,
+    /// Simulated end of the run, seconds.
+    end_time_s: f64,
+    fct: FctSummary,
+    coflows: CoflowSummary,
+    /// Only for the RPC workload: request-latency/SLO accounting
+    /// (`null` for the others).
+    rpc: Option<RpcSummary>,
+    /// Pure ACKs early-dropped at switch queues.
+    acks_early_dropped: u64,
+    /// SYN / SYN-ACKs early-dropped at switch queues.
+    handshake_early_dropped: u64,
+    /// Data packets CE-marked.
+    data_marked: u64,
+    /// Sender retransmission timeouts.
+    timeouts: u64,
+    /// SYN retransmissions (each one cost a 1 s connection-setup RTO).
+    syn_retransmits: u64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct WorkloadReport {
+    workload: String,
+    seed: u64,
+    hosts: u32,
+    configs: Vec<QueueResult>,
+}
+
+/// The headline checks: the paper's non-ECT pathology must be visible in
+/// every workload, and both fixes must erase it.
+#[derive(Debug, Clone, Serialize)]
+struct WorkloadClaims {
+    /// Incast goodput under unprotected RED-mimic over ACK+SYN protection
+    /// (expected well below 1: dropped SYNs serialise rounds on 1 s RTOs).
+    incast_collapse_vs_protected: f64,
+    /// Incast goodput under ACK+SYN protection over DropTail (expected ≈ 1:
+    /// the fix restores full throughput).
+    incast_protected_vs_droptail: f64,
+    /// Incast goodput under true simple marking over ACK+SYN protection
+    /// (expected ≈ 1: the marking scheme needs no protection heuristic).
+    incast_marking_vs_protected: f64,
+    /// ACKs early-dropped in the mixed workload under unprotected RED-mimic
+    /// (expected > 0: elephants' ACKs cross loaded reverse-path ports).
+    mixed_ack_drops_unprotected: u64,
+    /// ...and under ACK+SYN protection plus simple marking (expected 0).
+    mixed_ack_drops_protected: u64,
+    /// RPC SLO violations under unprotected RED-mimic (expected > the
+    /// protected count: response-flow SYNs die at the loaded client port).
+    rpc_slo_violations_unprotected: u64,
+    /// RPC SLO violations under ACK+SYN protection.
+    rpc_slo_violations_protected: u64,
+}
+
+struct WorkloadSizes {
+    hosts: u32,
+    incast: IncastConfig,
+    mixed: MixedConfig,
+    rpc: RpcConfig,
+    time_limit: SimTime,
+}
+
+fn sizes(cfg: &ScenarioConfig, tiny: bool) -> WorkloadSizes {
+    let hosts = if tiny { 4 } else { 12 };
+    WorkloadSizes {
+        hosts,
+        incast: IncastConfig {
+            aggregator: NodeId(0),
+            fanin: hosts - 1,
+            // Each response is long enough that the aggregator port holds a
+            // standing DCTCP queue at K for most of the round, so every
+            // straggler SYN is a coin flip against the early-drop gate.
+            response_bytes: if tiny { 2_000_000 } else { 1_000_000 },
+            rounds: if tiny { 4 } else { 5 },
+            // The stagger is the pathology's trigger: early responders hold
+            // the aggregator port at K while late responders' SYNs arrive.
+            stagger: SimDuration::from_millis(3),
+            round_gap: SimDuration::from_millis(2),
+            seed: cfg.seed,
+        },
+        mixed: MixedConfig {
+            elephant_lanes: hosts,
+            elephant_bytes: if tiny { 2_000_000 } else { 4_000_000 },
+            elephants_per_lane: 2,
+            mice: if tiny { 20 } else { 80 },
+            mice_mean_gap: SimDuration::from_millis(1),
+            mice_sizes: SizeDist::WebSearch,
+            seed: cfg.seed,
+        },
+        rpc: RpcConfig {
+            clients: if tiny { 2 } else { 4 },
+            fanout: hosts.min(7) - 1,
+            request_bytes: 2_000,
+            // 256 KB responses take ~2 ms on the client's access link, so a
+            // straggling server's response SYN arrives while the fast
+            // servers' responses still hold the client port at K.
+            response_bytes: 256_000,
+            requests_per_client: if tiny { 8 } else { 20 },
+            think_time: SimDuration::from_millis(1),
+            service_jitter: SimDuration::from_millis(2),
+            slo: SimDuration::from_millis(25),
+            seed: cfg.seed,
+        },
+        time_limit: SimTime::from_secs(if tiny { 60 } else { 180 }),
+    }
+}
+
+/// Run one generator under one switch configuration and collect everything.
+fn run_queue<M: TrafficModel>(
+    cfg: &ScenarioConfig,
+    sizes: &WorkloadSizes,
+    queue: WlQueue,
+    model: M,
+) -> (QueueResult, M) {
+    // Single rack: every workload's contention is at ToR→host ports, and a
+    // one-switch cluster keeps the pathology attributable to one queue.
+    let spec = ClusterSpec::single_rack(
+        sizes.hosts,
+        cfg.host_link,
+        queue.qdisc(cfg, SimDuration::from_micros(500)),
+        cfg.seed,
+    );
+    let tcp = TcpConfig {
+        recv_wnd: 128 << 10,
+        sack: false,
+        ..TcpConfig::with_ecn(Transport::Dctcp.ecn_mode())
+    };
+    // Idle-path FCT model: two host links each way plus one full-size
+    // serialisation, against the host line rate.
+    let ideal = IdealFct {
+        base_rtt: cfg.host_link.delay.saturating_mul(4) + cfg.host_link.tx_time(1_526),
+        bottleneck_bps: cfg.host_link.rate_bps,
+    };
+    let app = WorkloadApp::new(model, tcp, ideal);
+    let mut sim = Simulation::new(Network::new(spec), app);
+    sim.time_limit = sizes.time_limit;
+    let report = sim.run();
+
+    let fct = sim.app.fct_summary();
+    let coflows = sim.app.coflow_summary();
+    let stats = sim.net.port_stats().total;
+    let senders = sim.net.sender_stats_total();
+    let end_s = report.end_time.as_secs_f64();
+    let result = QueueResult {
+        queue: queue.label(),
+        completed: report.app_done,
+        goodput_bps: if end_s > 0.0 {
+            fct.all.bytes as f64 * 8.0 / end_s
+        } else {
+            0.0
+        },
+        end_time_s: end_s,
+        fct,
+        coflows,
+        rpc: None,
+        acks_early_dropped: stats.dropped_early.get(PacketKind::PureAck),
+        handshake_early_dropped: stats.dropped_early.get(PacketKind::Syn)
+            + stats.dropped_early.get(PacketKind::SynAck),
+        data_marked: stats.marked.get(PacketKind::Data),
+        timeouts: senders.timeouts,
+        syn_retransmits: senders.syn_retransmits,
+    };
+    (result, sim.app.model)
+}
+
+fn print_header(name: &str) {
+    println!("\n== {name} ==");
+    println!(
+        "{:<18} {:>9} {:>10} {:>10} {:>10} {:>10} {:>9} {:>9}",
+        "queue", "goodput", "fct-p50", "fct-p99", "cct-mean", "ack-drop", "syn-drop", "timeouts"
+    );
+}
+
+fn print_row(r: &QueueResult) {
+    println!(
+        "{:<18} {:>7.1}Mb {:>8.0}us {:>8.0}us {:>8.0}us {:>10} {:>9} {:>9}{}",
+        r.queue,
+        r.goodput_bps / 1e6,
+        r.fct.all.fct_p50_us,
+        r.fct.all.fct_p99_us,
+        r.coflows.cct_mean_us,
+        r.acks_early_dropped,
+        r.handshake_early_dropped,
+        r.timeouts,
+        if r.completed { "" } else { "  [TIME LIMIT]" },
+    );
+}
+
+fn main() {
+    let args = cli_args();
+    let cfg = args.scenario();
+    let sz = sizes(&cfg, args.tiny);
+    let suffix = if args.tiny { "_tiny" } else { "" };
+
+    // Incast.
+    print_header("partition-aggregate incast");
+    let mut incast_results = Vec::new();
+    for q in QUEUES {
+        let (r, _) = run_queue(&cfg, &sz, q, Incast::new(sz.incast));
+        print_row(&r);
+        incast_results.push(r);
+    }
+    let incast_report = WorkloadReport {
+        workload: "incast".into(),
+        seed: cfg.seed,
+        hosts: sz.hosts,
+        configs: incast_results,
+    };
+    let path = Path::new("results").join(format!("workloads_incast{suffix}.json"));
+    if write_json(&incast_report, &path).is_ok() {
+        eprintln!("[workloads] wrote {}", path.display());
+    }
+
+    // Mixed elephants + mice.
+    print_header("permutation elephants + poisson mice");
+    let mut mixed_results = Vec::new();
+    for q in QUEUES {
+        let (r, _) = run_queue(&cfg, &sz, q, Mixed::new(sz.mixed));
+        print_row(&r);
+        mixed_results.push(r);
+    }
+    let mixed_report = WorkloadReport {
+        workload: "mixed".into(),
+        seed: cfg.seed,
+        hosts: sz.hosts,
+        configs: mixed_results,
+    };
+    let path = Path::new("results").join(format!("workloads_mixed{suffix}.json"));
+    if write_json(&mixed_report, &path).is_ok() {
+        eprintln!("[workloads] wrote {}", path.display());
+    }
+
+    // Closed-loop RPC.
+    print_header("closed-loop RPC");
+    let mut rpc_results = Vec::new();
+    for q in QUEUES {
+        let (mut r, model) = run_queue(&cfg, &sz, q, Rpc::new(sz.rpc));
+        r.rpc = Some(model.summary());
+        print_row(&r);
+        rpc_results.push(r);
+    }
+    let rpc_report = WorkloadReport {
+        workload: "rpc".into(),
+        seed: cfg.seed,
+        hosts: sz.hosts,
+        configs: rpc_results,
+    };
+    let path = Path::new("results").join(format!("workloads_rpc{suffix}.json"));
+    if write_json(&rpc_report, &path).is_ok() {
+        eprintln!("[workloads] wrote {}", path.display());
+    }
+
+    // Claim checks.
+    let by_queue = |rs: &[QueueResult], q: WlQueue| -> QueueResult {
+        rs.iter()
+            .find(|r| r.queue == q.label())
+            .expect("queue present in sweep")
+            .clone()
+    };
+    let unprotected = WlQueue::Mimic(ProtectionMode::Default);
+    let protected = WlQueue::Mimic(ProtectionMode::AckSyn);
+    let inc_unprot = by_queue(&incast_report.configs, unprotected);
+    let inc_prot = by_queue(&incast_report.configs, protected);
+    let inc_drop = by_queue(&incast_report.configs, WlQueue::DropTail);
+    let inc_mark = by_queue(&incast_report.configs, WlQueue::SimpleMarking);
+    let mix_unprot = by_queue(&mixed_report.configs, unprotected);
+    let mix_prot = by_queue(&mixed_report.configs, protected);
+    let mix_mark = by_queue(&mixed_report.configs, WlQueue::SimpleMarking);
+    let rpc_unprot = by_queue(&rpc_report.configs, unprotected);
+    let rpc_prot = by_queue(&rpc_report.configs, protected);
+
+    let claims = WorkloadClaims {
+        incast_collapse_vs_protected: inc_unprot.goodput_bps / inc_prot.goodput_bps,
+        incast_protected_vs_droptail: inc_prot.goodput_bps / inc_drop.goodput_bps,
+        incast_marking_vs_protected: inc_mark.goodput_bps / inc_prot.goodput_bps,
+        mixed_ack_drops_unprotected: mix_unprot.acks_early_dropped,
+        mixed_ack_drops_protected: mix_prot.acks_early_dropped + mix_mark.acks_early_dropped,
+        rpc_slo_violations_unprotected: rpc_unprot.rpc.as_ref().map_or(0, |s| s.slo_violations),
+        rpc_slo_violations_protected: rpc_prot.rpc.as_ref().map_or(0, |s| s.slo_violations),
+    };
+
+    println!("\n== claim checks ==");
+    let check = |name: &str, pass: bool, detail: String| {
+        println!(
+            "  [{}] {name}: {detail}",
+            if pass { "PASS" } else { "FAIL" }
+        );
+    };
+    check(
+        "incast goodput collapses without protection",
+        claims.incast_collapse_vs_protected < 0.75,
+        format!(
+            "red[default] / red[ack+syn] = {:.3}",
+            claims.incast_collapse_vs_protected
+        ),
+    );
+    check(
+        "ACK+SYN protection restores DropTail goodput",
+        claims.incast_protected_vs_droptail > 0.9,
+        format!(
+            "red[ack+syn] / droptail = {:.3}",
+            claims.incast_protected_vs_droptail
+        ),
+    );
+    check(
+        "simple marking needs no protection heuristic",
+        claims.incast_marking_vs_protected > 0.9,
+        format!(
+            "simple-marking / red[ack+syn] = {:.3}",
+            claims.incast_marking_vs_protected
+        ),
+    );
+    check(
+        "mixed load early-drops ACKs only when unprotected",
+        claims.mixed_ack_drops_unprotected > 0 && claims.mixed_ack_drops_protected == 0,
+        format!(
+            "unprotected {} vs protected {}",
+            claims.mixed_ack_drops_unprotected, claims.mixed_ack_drops_protected
+        ),
+    );
+    check(
+        "unprotected marking inflates RPC SLO violations",
+        claims.rpc_slo_violations_unprotected > claims.rpc_slo_violations_protected,
+        format!(
+            "unprotected {} vs protected {}",
+            claims.rpc_slo_violations_unprotected, claims.rpc_slo_violations_protected
+        ),
+    );
+
+    let path = Path::new("results").join(format!("workloads_claims{suffix}.json"));
+    if write_json(&claims, &path).is_ok() {
+        eprintln!("[workloads] wrote {}", path.display());
+    }
+}

@@ -1,8 +1,73 @@
 //! Shared plumbing for the experiment binaries.
 
 use crate::report::write_sweep_json;
+use crate::scenario::ScenarioConfig;
 use crate::sweep::{sweep, SweepGrid, SweepResults};
 use std::path::{Path, PathBuf};
+
+/// The flags every experiment binary understands.
+#[derive(Debug, Clone, Default)]
+pub struct CliArgs {
+    /// `--tiny`: reduced grid / scaled-down cluster for smoke runs.
+    pub tiny: bool,
+    /// `--fresh`: ignore any cached sweep.
+    pub fresh: bool,
+    /// `--seed N`: override the scenario's base RNG seed.
+    pub seed: Option<u64>,
+}
+
+impl CliArgs {
+    /// Parse `args` (without the program name). Exits with status 2 on an
+    /// unknown flag or a malformed `--seed`.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> CliArgs {
+        let mut out = CliArgs::default();
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--tiny" => out.tiny = true,
+                "--fresh" => out.fresh = true,
+                "--seed" => match it.next().map(|v| v.parse::<u64>()) {
+                    Some(Ok(s)) => out.seed = Some(s),
+                    _ => die("--seed needs an unsigned integer value"),
+                },
+                other => match other.strip_prefix("--seed=") {
+                    Some(v) => match v.parse::<u64>() {
+                        Ok(s) => out.seed = Some(s),
+                        Err(_) => die("--seed needs an unsigned integer value"),
+                    },
+                    None => die(&format!(
+                        "unknown argument {other}; supported: --tiny --fresh --seed N"
+                    )),
+                },
+            }
+        }
+        out
+    }
+
+    /// The scenario these flags select: tiny or default, with the seed
+    /// override applied.
+    pub fn scenario(&self) -> ScenarioConfig {
+        let mut cfg = if self.tiny {
+            ScenarioConfig::tiny()
+        } else {
+            ScenarioConfig::default()
+        };
+        if let Some(s) = self.seed {
+            cfg.seed = s;
+        }
+        cfg
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}
+
+/// Parse the process's own arguments.
+pub fn cli_args() -> CliArgs {
+    CliArgs::parse(std::env::args().skip(1))
+}
 
 /// Where sweep results are cached so Figures 2–4 binaries share one run.
 pub fn default_cache_path(tiny: bool) -> PathBuf {
@@ -15,7 +80,9 @@ pub fn default_cache_path(tiny: bool) -> PathBuf {
 }
 
 /// Load a cached sweep if it exists and was produced by the same grid;
-/// otherwise run the sweep and cache it.
+/// otherwise run the sweep and cache it. A `--seed` override changes
+/// `grid.config.seed`, so a cache written under a different seed fails the
+/// grid comparison and is re-run rather than silently reused.
 pub fn sweep_cached(grid: &SweepGrid, path: &Path) -> SweepResults {
     if let Ok(text) = std::fs::read_to_string(path) {
         if let Ok(res) = serde_json::from_str::<SweepResults>(&text) {
@@ -42,25 +109,16 @@ pub fn sweep_cached(grid: &SweepGrid, path: &Path) -> SweepResults {
     res
 }
 
-/// Parse the common flags: `--tiny` (reduced grid) and `--fresh` (ignore
-/// cache). Returns (grid, cache_path, fresh).
+/// Parse the common flags. Returns (grid, cache_path, fresh).
 pub fn parse_args() -> (SweepGrid, PathBuf, bool) {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let tiny = args.iter().any(|a| a == "--tiny");
-    let fresh = args.iter().any(|a| a == "--fresh");
-    if let Some(bad) = args
-        .iter()
-        .find(|a| a.as_str() != "--tiny" && a.as_str() != "--fresh")
-    {
-        eprintln!("unknown argument {bad}; supported: --tiny --fresh");
-        std::process::exit(2);
-    }
-    let grid = if tiny {
+    let args = cli_args();
+    let mut grid = if args.tiny {
         SweepGrid::tiny()
     } else {
         SweepGrid::default()
     };
-    (grid, default_cache_path(tiny), fresh)
+    grid.config = args.scenario();
+    (grid, default_cache_path(args.tiny), args.fresh)
 }
 
 /// Run (or load) the sweep per the parsed flags.
@@ -70,4 +128,31 @@ pub fn sweep_from_args() -> SweepResults {
         let _ = std::fs::remove_file(&path);
     }
     sweep_cached(&grid, &path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> CliArgs {
+        CliArgs::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let a = parse(&["--tiny", "--seed", "99", "--fresh"]);
+        assert!(a.tiny && a.fresh);
+        assert_eq!(a.seed, Some(99));
+        assert_eq!(parse(&["--seed=123"]).seed, Some(123));
+        assert_eq!(parse(&[]).seed, None);
+    }
+
+    #[test]
+    fn seed_overrides_scenario() {
+        let base = parse(&["--tiny"]).scenario();
+        assert_eq!(base.seed, ScenarioConfig::tiny().seed);
+        let a = parse(&["--tiny", "--seed", "7"]).scenario();
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.racks, base.racks, "seed override changes only the seed");
+    }
 }

@@ -5,6 +5,7 @@ use netpacket::{FlowId, NodeId};
 use netsim::{Application, Network};
 use simevent::{SimRng, SimTime};
 use std::collections::BTreeMap;
+use workload::{CoflowSet, CoflowSummary};
 
 /// App-timer token encoding: kind in the top byte.
 const KIND_WAVE: u64 = 1;
@@ -29,6 +30,8 @@ struct NodeState {
     inbound_started: u64,
     /// Fetch flows currently in flight toward this node.
     active_fetches: u32,
+    /// Fetch flows ever launched toward this node (coflow registrations).
+    fetches_launched: u64,
     /// Fetches waiting for a parallel-copy slot: source and size.
     fetch_queue: std::collections::VecDeque<(NodeId, u64)>,
     reduce_scheduled: bool,
@@ -54,6 +57,10 @@ pub struct TerasortJob {
     shuffle_bytes: u64,
     shuffle_done_at: SimTime,
     last_reduce_at: SimTime,
+    /// Each reducer's inbound shuffle as a coflow (group id = reducer node):
+    /// the reducer cannot start until its LAST fetch lands, so the coflow
+    /// completion time, not any single fetch's FCT, is what gates the job.
+    coflows: CoflowSet,
     rng: SimRng,
 }
 
@@ -75,7 +82,28 @@ impl TerasortJob {
             shuffle_bytes: 0,
             shuffle_done_at: SimTime::ZERO,
             last_reduce_at: SimTime::ZERO,
+            coflows: CoflowSet::new(),
             rng,
+        }
+    }
+
+    /// Per-reducer inbound-shuffle coflows (group id = reducer node index).
+    pub fn shuffle_coflows(&self) -> &CoflowSet {
+        &self.coflows
+    }
+
+    /// Summary of the per-reducer shuffle coflow completion times.
+    pub fn coflow_summary(&self) -> CoflowSummary {
+        self.coflows.summary()
+    }
+
+    /// Inbound fetches each reducer receives over the whole job (its own
+    /// partition never crosses the network).
+    fn fetches_per_reducer(&self) -> u64 {
+        if self.spec.shuffle_bytes_per_peer(self.n) == 0 {
+            0
+        } else {
+            u64::from(self.n - 1) * u64::from(self.spec.map_waves)
         }
     }
 
@@ -184,6 +212,7 @@ impl Application for TerasortJob {
         };
         self.flows_completed += 1;
         self.shuffle_done_at = self.shuffle_done_at.max(now);
+        self.coflows.complete_one(u64::from(dst.0), now);
         let d = dst.0 as usize;
         let st = &mut self.nodes[d];
         debug_assert!(st.inbound_pending > 0 && st.active_fetches > 0);
@@ -204,6 +233,13 @@ impl Application for TerasortJob {
                 self.flows_started += 1;
                 self.first_flow_at.get_or_insert(now);
                 self.shuffle_bytes += bytes;
+                let group = u64::from(dst.0);
+                self.coflows.register(group, now);
+                let st = &mut self.nodes[dst.0 as usize];
+                st.fetches_launched += 1;
+                if st.fetches_launched == self.fetches_per_reducer() {
+                    self.coflows.seal(group);
+                }
             }
             KIND_REDUCE => {
                 let st = &mut self.nodes[a as usize];
@@ -233,6 +269,38 @@ mod tests {
         ] {
             assert_eq!(untoken(token(k, a, b)), (k, a, b));
         }
+    }
+
+    #[test]
+    fn shuffle_coflows_track_every_reducer() {
+        use ecn_core::QdiscSpec;
+        use netsim::{ClusterSpec, LinkSpec, Network, Simulation};
+        let n = 4;
+        let spec = ClusterSpec::single_rack(
+            n,
+            LinkSpec::gbps(1, 5),
+            QdiscSpec::DropTail {
+                capacity_packets: 100,
+            },
+            1,
+        );
+        let job = crate::JobSpec::small(1_000_000, tcpstack::TcpConfig::default());
+        let mut sim = Simulation::new(Network::new(spec), TerasortJob::new(job, n));
+        sim.time_limit = SimTime::from_secs(60);
+        sim.run();
+        assert!(sim.app.finished());
+        let cs = sim.app.shuffle_coflows();
+        assert_eq!(cs.len(), n as usize, "one coflow per reducer");
+        assert!(cs.all_finished());
+        let sum = sim.app.coflow_summary();
+        assert_eq!(sum.finished, u64::from(n));
+        assert!(sum.cct_mean_us > 0.0);
+        // The job's shuffle-done timestamp is exactly the last coflow finish.
+        let last_cct = (0..u64::from(n))
+            .filter_map(|g| cs.cct(g))
+            .max()
+            .expect("finished coflows");
+        assert!(last_cct.as_micros_f64() <= sum.cct_max_us + 1e-9);
     }
 
     #[test]

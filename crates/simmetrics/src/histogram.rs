@@ -104,6 +104,61 @@ impl LatencyHistogram {
         SimDuration::from_nanos(self.max_ns)
     }
 
+    /// Interpolated quantile (`q` in `[0,1]`).
+    ///
+    /// Unlike [`LatencyHistogram::quantile`], which returns the upper bound
+    /// of the bucket containing the q-th sample (a step function with ≤ 2×
+    /// relative error), this spreads each bucket's samples uniformly across
+    /// the bucket's span and interpolates linearly between the continuous
+    /// rank's neighbours — the "linear" percentile definition, at bucket
+    /// resolution. The result is clamped to `[min, max]`, so a single-sample
+    /// histogram returns that sample exactly and `percentile(0.0)` /
+    /// `percentile(1.0)` are exactly `min` / `max`.
+    pub fn percentile(&self, q: f64) -> SimDuration {
+        assert!((0.0..=1.0).contains(&q), "percentile must be in [0,1]");
+        if self.count == 0 {
+            return SimDuration::ZERO;
+        }
+        // The extreme ranks are tracked exactly; everything between is
+        // bucket-resolution.
+        if q == 0.0 {
+            return self.min();
+        }
+        if q == 1.0 {
+            return self.max();
+        }
+        // Continuous zero-based rank; value(k) for an integer rank k places
+        // bucket i's samples evenly inside [lower(i), upper(i)).
+        let rank = q * (self.count - 1) as f64;
+        let lo = (rank.floor() as u64).min(self.count - 1);
+        let hi = (rank.ceil() as u64).min(self.count - 1);
+        let frac = rank - lo as f64;
+        let v_lo = self.value_at_rank(lo);
+        let v_hi = self.value_at_rank(hi);
+        let v = v_lo + (v_hi - v_lo) * frac;
+        SimDuration::from_nanos((v.round() as u64).clamp(self.min_ns, self.max_ns))
+    }
+
+    /// Position of the zero-based integer rank `k` inside its bucket,
+    /// interpolated across the bucket's span. `k` must be `< count`.
+    fn value_at_rank(&self, k: u64) -> f64 {
+        debug_assert!(k < self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if k < seen + c {
+                let lower = if i == 0 { 0u64 } else { 1u64 << i };
+                let upper = if i >= 63 { u64::MAX } else { 1u64 << (i + 1) };
+                let within = (k - seen) as f64 + 0.5;
+                return lower as f64 + (upper - lower) as f64 * (within / c as f64);
+            }
+            seen += c;
+        }
+        self.max_ns as f64
+    }
+
     /// Merge another histogram into this one.
     pub fn merge(&mut self, other: &LatencyHistogram) {
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
@@ -187,6 +242,73 @@ mod tests {
         assert_eq!(a.mean(), SimDuration::from_micros(20));
         assert_eq!(a.max(), SimDuration::from_micros(30));
         assert_eq!(a.min(), SimDuration::from_micros(10));
+    }
+
+    #[test]
+    fn percentile_empty_is_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.percentile(0.0), SimDuration::ZERO);
+        assert_eq!(h.percentile(0.5), SimDuration::ZERO);
+        assert_eq!(h.percentile(1.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn percentile_single_sample_is_exact() {
+        let mut h = LatencyHistogram::new();
+        h.record(SimDuration::from_micros(123));
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(
+                h.percentile(q),
+                SimDuration::from_micros(123),
+                "q = {q}: clamped to the only sample"
+            );
+        }
+    }
+
+    #[test]
+    fn percentile_bucket_boundary_samples() {
+        // Samples exactly on bucket boundaries: 2^10 ns opens bucket 10 and
+        // 2^11 ns opens bucket 11. The interpolated value must stay within
+        // [min, max] and straddle the boundary monotonically.
+        let mut h = LatencyHistogram::new();
+        h.record(SimDuration::from_nanos(1 << 10));
+        h.record(SimDuration::from_nanos(1 << 11));
+        assert_eq!(h.percentile(0.0), SimDuration::from_nanos(1 << 10));
+        assert_eq!(h.percentile(1.0), SimDuration::from_nanos(1 << 11));
+        let mid = h.percentile(0.5).as_nanos();
+        assert!(
+            (1 << 10..=1 << 11).contains(&mid),
+            "median between the two boundary samples: {mid}"
+        );
+    }
+
+    #[test]
+    fn percentile_is_monotone_and_clamped() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=1000u64 {
+            h.record(SimDuration::from_micros(i));
+        }
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+        for w in qs.windows(2) {
+            assert!(h.percentile(w[0]) <= h.percentile(w[1]));
+        }
+        assert_eq!(h.percentile(0.0), h.min());
+        assert_eq!(h.percentile(1.0), h.max());
+        // Interpolation stays within one bucket (≤ 2×) of the exact p50.
+        let p50 = h.percentile(0.5).as_micros_f64();
+        assert!((250.0..=1000.0).contains(&p50), "p50 = {p50} us");
+    }
+
+    #[test]
+    fn percentile_refines_quantile() {
+        // All mass in one bucket: quantile() returns the bucket's upper
+        // bound, percentile() interpolates inside it — never coarser.
+        let mut h = LatencyHistogram::new();
+        for _ in 0..100 {
+            h.record(SimDuration::from_nanos(1500)); // bucket [1024, 2048)
+        }
+        assert_eq!(h.percentile(0.5), SimDuration::from_nanos(1500));
+        assert!(h.percentile(0.5) <= h.quantile(0.5));
     }
 
     #[test]

@@ -9,12 +9,16 @@
 //! * [`ThroughputMeter`] — bytes-delivered accounting per node and cluster-wide
 //!   (paper Fig. 3's metric);
 //! * [`QueueTrace`] — time series of a queue's occupancy with per-packet-kind
-//!   composition (the paper's Fig. 1 "snapshot of a network switch queue").
+//!   composition (the paper's Fig. 1 "snapshot of a network switch queue");
+//! * [`FctCollector`] — per-flow completion times and slowdowns, split into
+//!   mice vs elephants (the metric of the `workload` crate's generators).
 
+mod fct;
 mod histogram;
 mod queue_trace;
 mod throughput;
 
+pub use fct::{ClassFctSummary, FctCollector, FctSummary, FlowClass, IdealFct};
 pub use histogram::LatencyHistogram;
 pub use queue_trace::{QueueSample, QueueTrace};
 pub use throughput::ThroughputMeter;

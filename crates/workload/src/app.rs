@@ -1,0 +1,175 @@
+//! [`WorkloadApp`]: couples any [`TrafficModel`] to a live
+//! [`netsim::Network`] with FCT and coflow instrumentation on every flow.
+//!
+//! This generalises the Terasort-only hookup in `netsim::apps` / `mrsim`:
+//! the model decides *what* to send and the harness uniformly records *how
+//! long it took* — per-flow completion times into a
+//! [`simmetrics::FctCollector`] and group completions into a
+//! [`crate::CoflowSet`].
+
+use crate::coflow::{CoflowSet, CoflowSummary};
+use crate::model::{FlowSpec, Launcher, TrafficModel};
+use netpacket::FlowId;
+use netsim::{Application, Network};
+use simevent::SimTime;
+use simmetrics::{FctCollector, FctSummary, FlowClass, IdealFct};
+use std::collections::BTreeMap;
+use tcpstack::TcpConfig;
+
+/// Bit 63 is [`netsim::PairApp`]'s secondary-application namespace.
+const RESERVED_TOKEN_BIT: u64 = 1 << 63;
+
+/// Book-keeping for one flow the harness issued.
+#[derive(Debug, Clone, Copy)]
+struct Issued {
+    class: FlowClass,
+    bytes: u64,
+    started: SimTime,
+    coflow: Option<u64>,
+}
+
+/// The [`Launcher`] a [`WorkloadApp`] hands its model: a live network plus
+/// the instrumentation maps.
+struct Driver<'a> {
+    net: &'a mut Network,
+    tcp: &'a TcpConfig,
+    issued: &'a mut BTreeMap<FlowId, Issued>,
+    coflows: &'a mut CoflowSet,
+    flows_issued: &'a mut u64,
+}
+
+impl Launcher for Driver<'_> {
+    fn start_flow(&mut self, spec: FlowSpec, now: SimTime) -> FlowId {
+        let flow = self
+            .net
+            .add_flow(spec.src, spec.dst, spec.bytes, self.tcp.clone(), now);
+        self.issued.insert(
+            flow,
+            Issued {
+                class: spec.class,
+                bytes: spec.bytes,
+                started: now,
+                coflow: spec.coflow,
+            },
+        );
+        if let Some(g) = spec.coflow {
+            self.coflows.register(g, now);
+        }
+        *self.flows_issued += 1;
+        flow
+    }
+
+    fn set_timer(&mut self, at: SimTime, token: u64) {
+        assert_eq!(
+            token & RESERVED_TOKEN_BIT,
+            0,
+            "token bit 63 is reserved for PairApp"
+        );
+        self.net.schedule_app_timer(at, token);
+    }
+
+    fn seal_coflow(&mut self, group: u64) {
+        self.coflows.seal(group);
+    }
+
+    fn num_hosts(&self) -> u32 {
+        self.net.num_hosts() as u32
+    }
+}
+
+/// Runs a [`TrafficModel`] as a [`netsim::Application`], recording every
+/// flow's completion time (split mice/elephants) and every coflow's
+/// completion time.
+#[derive(Debug)]
+pub struct WorkloadApp<M> {
+    /// The traffic generator.
+    pub model: M,
+    tcp: TcpConfig,
+    issued: BTreeMap<FlowId, Issued>,
+    fct: FctCollector,
+    coflows: CoflowSet,
+    flows_issued: u64,
+}
+
+impl<M: TrafficModel> WorkloadApp<M> {
+    /// Couple `model` to flows using transport `tcp`; FCTs are normalised
+    /// into slowdowns against `ideal`.
+    pub fn new(model: M, tcp: TcpConfig, ideal: IdealFct) -> Self {
+        tcp.validate();
+        WorkloadApp {
+            model,
+            tcp,
+            issued: BTreeMap::new(),
+            fct: FctCollector::new(ideal),
+            coflows: CoflowSet::new(),
+            flows_issued: 0,
+        }
+    }
+
+    /// Per-flow completion-time statistics recorded so far.
+    pub fn fct(&self) -> &FctCollector {
+        &self.fct
+    }
+
+    /// The mice/elephants/overall FCT summary.
+    pub fn fct_summary(&self) -> FctSummary {
+        self.fct.summary()
+    }
+
+    /// Coflow (group) completion-time summary.
+    pub fn coflow_summary(&self) -> CoflowSummary {
+        self.coflows.summary()
+    }
+
+    /// Flows issued so far.
+    pub fn flows_issued(&self) -> u64 {
+        self.flows_issued
+    }
+
+    /// Flows issued but not yet completed.
+    pub fn flows_in_flight(&self) -> usize {
+        self.issued.len()
+    }
+
+    fn driver<'a>(&'a mut self, net: &'a mut Network) -> (&'a mut M, Driver<'a>) {
+        (
+            &mut self.model,
+            Driver {
+                net,
+                tcp: &self.tcp,
+                issued: &mut self.issued,
+                coflows: &mut self.coflows,
+                flows_issued: &mut self.flows_issued,
+            },
+        )
+    }
+}
+
+impl<M: TrafficModel> Application for WorkloadApp<M> {
+    fn on_start(&mut self, net: &mut Network, now: SimTime) {
+        let (model, mut driver) = self.driver(net);
+        model.on_start(&mut driver, now);
+    }
+
+    fn on_flow_complete(&mut self, flow: FlowId, net: &mut Network, now: SimTime) {
+        let Some(rec) = self.issued.remove(&flow) else {
+            return; // not ours (e.g. the other half of a PairApp)
+        };
+        self.fct
+            .record(rec.class, rec.bytes, now.since(rec.started));
+        if let Some(g) = rec.coflow {
+            self.coflows.complete_one(g, now);
+        }
+        let (model, mut driver) = self.driver(net);
+        model.on_flow_complete(flow, &mut driver, now);
+    }
+
+    fn on_timer(&mut self, token: u64, net: &mut Network, now: SimTime) {
+        let (model, mut driver) = self.driver(net);
+        model.on_timer(token, &mut driver, now);
+    }
+
+    fn done(&self, _net: &Network) -> bool {
+        self.model.done() && self.issued.is_empty()
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! Datacenter traffic generators for the ECN/Hadoop reproduction.
+//!
+//! The paper's pathology — ECN-enabled AQMs early-dropping non-ECT packets
+//! (pure ACKs, SYN, SYN-ACK) — only shows up under traffic that holds
+//! switch queues at the marking threshold while short control packets cross
+//! them. This crate packages the three canonical datacenter patterns that
+//! do exactly that, behind one deterministic, seed-driven abstraction:
+//!
+//! * [`Incast`] — partition-aggregate fan-in: N responders answer one
+//!   aggregator per round; late responders' SYNs meet the standing queue;
+//! * [`Mixed`] — permutation elephants saturating every receiver port while
+//!   Poisson mice (empirical web-search / data-mining sizes) cross them;
+//! * [`Rpc`] — closed-loop request/response fan-out with per-request SLO
+//!   accounting.
+//!
+//! Generators implement [`TrafficModel`] and never touch the network
+//! directly: they ask a [`Launcher`] for flows and timers, which keeps them
+//! unit-testable. [`WorkloadApp`] is the bridge that runs a model inside a
+//! [`netsim::Simulation`], recording every flow into a
+//! [`simmetrics::FctCollector`] (per-class FCT/slowdown percentiles) and
+//! every flow group into a [`CoflowSet`] (collective completion times).
+
+mod app;
+mod coflow;
+mod incast;
+mod mixed;
+mod model;
+mod rpc;
+
+pub use app::WorkloadApp;
+pub use coflow::{CoflowSet, CoflowSummary};
+pub use incast::{Incast, IncastConfig};
+pub use mixed::{Mixed, MixedConfig, SizeDist};
+pub use model::{class_of, FlowSpec, Launcher, TrafficModel, MOUSE_MAX_BYTES};
+pub use rpc::{Rpc, RpcConfig, RpcStats, RpcSummary};

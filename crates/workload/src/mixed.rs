@@ -1,0 +1,330 @@
+//! Permutation elephants plus Poisson mice: the background-load mix used
+//! throughout the datacenter-transport literature.
+//!
+//! Elephants run a permutation pattern — host `i` streams to host
+//! `(i + offset) mod n`, a fixed random offset — so every sender saturates a
+//! distinct receiver-side port and the queues sit at the AQM's operating
+//! point for the whole run. Mice arrive as a Poisson process with sizes
+//! drawn from an empirical CDF (web-search or data-mining, interpolated
+//! log-linearly between table points) and cross those standing queues.
+//!
+//! Under the paper's unprotected RED-mimic the pathology shows up twice:
+//! each mouse's **SYN** is non-ECT and can be early-dropped at the loaded
+//! receiver port (1 s connection-establishment RTO), and the elephants'
+//! **pure ACKs** returning through a loaded reverse-path port can be
+//! early-dropped in bursts, stalling the very flows the AQM is meant to
+//! pace.
+
+use crate::model::{class_of, FlowSpec, Launcher, TrafficModel};
+use netpacket::{FlowId, NodeId};
+use simevent::{SimDuration, SimRng, SimTime};
+use simmetrics::FlowClass;
+use std::collections::BTreeMap;
+
+/// Single timer kind: the next Poisson mouse arrival.
+const TOKEN_MOUSE: u64 = 3 << 60;
+
+/// Flow-size distribution for mice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SizeDist {
+    /// Web-search flow sizes (the DCTCP production trace shape).
+    WebSearch,
+    /// Data-mining flow sizes (the VL2 trace shape): heavier tail, smaller
+    /// median.
+    DataMining,
+    /// Every mouse is exactly this many bytes.
+    Fixed(u64),
+}
+
+/// `(cumulative probability, flow bytes)` knots; log-linear between knots.
+/// Shapes follow the published web-search (DCTCP) trace.
+const WEB_SEARCH_CDF: &[(f64, u64)] = &[
+    (0.0, 1_000),
+    (0.15, 10_000),
+    (0.20, 20_000),
+    (0.30, 30_000),
+    (0.40, 50_000),
+    (0.53, 80_000),
+    (0.60, 200_000),
+    (0.70, 1_000_000),
+    (0.80, 2_000_000),
+    (0.90, 5_000_000),
+    (0.97, 10_000_000),
+    (1.0, 30_000_000),
+];
+
+/// Data-mining (VL2) trace shape: most flows tiny, a heavy elephant tail.
+const DATA_MINING_CDF: &[(f64, u64)] = &[
+    (0.0, 100),
+    (0.50, 1_000),
+    (0.60, 2_000),
+    (0.70, 5_000),
+    (0.80, 50_000),
+    (0.90, 1_000_000),
+    (0.95, 10_000_000),
+    (0.99, 100_000_000),
+    (1.0, 1_000_000_000),
+];
+
+impl SizeDist {
+    /// Draw one flow size.
+    pub fn sample(self, rng: &mut SimRng) -> u64 {
+        let table = match self {
+            SizeDist::WebSearch => WEB_SEARCH_CDF,
+            SizeDist::DataMining => DATA_MINING_CDF,
+            SizeDist::Fixed(bytes) => return bytes.max(1),
+        };
+        let u = rng.next_f64();
+        let hi = table
+            .iter()
+            .position(|&(p, _)| u <= p)
+            .unwrap_or(table.len() - 1)
+            .max(1);
+        let (p0, b0) = table[hi - 1];
+        let (p1, b1) = table[hi];
+        let frac = if p1 > p0 { (u - p0) / (p1 - p0) } else { 0.0 };
+        let ln = (b0 as f64).ln() + frac * ((b1 as f64).ln() - (b0 as f64).ln());
+        (ln.exp().round() as u64).max(1)
+    }
+}
+
+/// Configuration of a [`Mixed`] workload.
+#[derive(Debug, Clone, Copy)]
+pub struct MixedConfig {
+    /// Permutation lanes (elephant sender hosts); must be ≤ cluster size.
+    pub elephant_lanes: u32,
+    /// Bytes per elephant transfer.
+    pub elephant_bytes: u64,
+    /// Back-to-back transfers per lane (the next starts when one finishes).
+    pub elephants_per_lane: u32,
+    /// Total mice to issue.
+    pub mice: u32,
+    /// Mean Poisson inter-arrival gap between mice.
+    pub mice_mean_gap: SimDuration,
+    /// Mouse size distribution.
+    pub mice_sizes: SizeDist,
+    /// Seed for the permutation offset, arrivals, sizes, and endpoints.
+    pub seed: u64,
+}
+
+/// Permutation elephants + Poisson mice generator. Each elephant lane is
+/// one coflow (group id = lane index); mice are individual flows.
+#[derive(Debug)]
+pub struct Mixed {
+    cfg: MixedConfig,
+    /// Elephant lane endpoints and arrival process, split off `seed` so the
+    /// mice stream is independent of lane count.
+    lanes_rng: SimRng,
+    mice_rng: SimRng,
+    /// Lane each in-flight elephant belongs to.
+    elephants: BTreeMap<FlowId, u32>,
+    /// Per-lane (dst, transfers still to issue).
+    lanes: Vec<(NodeId, u32)>,
+    mice_issued: u32,
+}
+
+impl Mixed {
+    /// A generator that has not issued anything yet.
+    pub fn new(cfg: MixedConfig) -> Self {
+        assert!(
+            cfg.mice_mean_gap > SimDuration::ZERO || cfg.mice == 0,
+            "poisson gap must be positive"
+        );
+        let root = SimRng::new(cfg.seed);
+        Mixed {
+            cfg,
+            lanes_rng: root.fork(0xe1e),
+            mice_rng: root.fork(0x717ce),
+            elephants: BTreeMap::new(),
+            lanes: Vec::new(),
+            mice_issued: 0,
+        }
+    }
+
+    /// Mice issued so far.
+    pub fn mice_issued(&self) -> u32 {
+        self.mice_issued
+    }
+
+    fn elephants_remaining(&self) -> bool {
+        self.lanes.iter().any(|&(_, left)| left > 0)
+    }
+
+    fn start_elephant(&mut self, lane: u32, l: &mut dyn Launcher, now: SimTime) {
+        let (dst, left) = &mut self.lanes[lane as usize];
+        debug_assert!(*left > 0);
+        *left -= 1;
+        let sealed = *left == 0;
+        let dst = *dst;
+        let flow = l.start_flow(
+            FlowSpec {
+                src: NodeId(lane),
+                dst,
+                bytes: self.cfg.elephant_bytes,
+                class: FlowClass::Elephant,
+                coflow: Some(u64::from(lane)),
+            },
+            now,
+        );
+        self.elephants.insert(flow, lane);
+        if sealed {
+            l.seal_coflow(u64::from(lane));
+        }
+    }
+
+    fn schedule_next_mouse(&mut self, l: &mut dyn Launcher, now: SimTime) {
+        let gap = self
+            .mice_rng
+            .exponential(self.cfg.mice_mean_gap.as_nanos() as f64);
+        l.set_timer(
+            now + SimDuration::from_nanos(gap.round() as u64),
+            TOKEN_MOUSE,
+        );
+    }
+}
+
+impl TrafficModel for Mixed {
+    fn on_start(&mut self, l: &mut dyn Launcher, now: SimTime) {
+        let n = l.num_hosts();
+        assert!(n >= 2, "need at least two hosts");
+        assert!(self.cfg.elephant_lanes <= n, "more lanes than hosts");
+        // One random permutation offset shared by all lanes: every receiver
+        // port carries exactly one elephant.
+        let offset = 1 + self.lanes_rng.next_below(u64::from(n) - 1) as u32;
+        for lane in 0..self.cfg.elephant_lanes {
+            let dst = NodeId((lane + offset) % n);
+            self.lanes.push((dst, self.cfg.elephants_per_lane));
+            if self.cfg.elephants_per_lane > 0 {
+                self.start_elephant(lane, l, now);
+            }
+        }
+        if self.cfg.mice > 0 {
+            self.schedule_next_mouse(l, now);
+        }
+    }
+
+    fn on_flow_complete(&mut self, flow: FlowId, l: &mut dyn Launcher, now: SimTime) {
+        if let Some(lane) = self.elephants.remove(&flow) {
+            if self.lanes[lane as usize].1 > 0 {
+                self.start_elephant(lane, l, now);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, l: &mut dyn Launcher, now: SimTime) {
+        assert_eq!(token, TOKEN_MOUSE, "unknown mixed-workload timer token");
+        if self.mice_issued >= self.cfg.mice {
+            return;
+        }
+        let n = u64::from(l.num_hosts());
+        let src = self.mice_rng.next_below(n);
+        let dst = (src + 1 + self.mice_rng.next_below(n - 1)) % n;
+        let bytes = self.cfg.mice_sizes.sample(&mut self.mice_rng);
+        l.start_flow(
+            FlowSpec {
+                src: NodeId(src as u32),
+                dst: NodeId(dst as u32),
+                bytes,
+                class: class_of(bytes),
+                coflow: None,
+            },
+            now,
+        );
+        self.mice_issued += 1;
+        if self.mice_issued < self.cfg.mice {
+            self.schedule_next_mouse(l, now);
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.mice_issued == self.cfg.mice && !self.elephants_remaining()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::mock::MockLauncher;
+
+    fn cfg() -> MixedConfig {
+        MixedConfig {
+            elephant_lanes: 4,
+            elephant_bytes: 10_000_000,
+            elephants_per_lane: 2,
+            mice: 5,
+            mice_mean_gap: SimDuration::from_micros(200),
+            mice_sizes: SizeDist::WebSearch,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn permutation_is_a_bijection_on_lanes() {
+        let mut m = Mixed::new(cfg());
+        let mut l = MockLauncher::new(4);
+        m.on_start(&mut l, SimTime::ZERO);
+        assert_eq!(l.flows.len(), 4, "one elephant per lane at start");
+        let mut dsts: Vec<u32> = l.flows.iter().map(|f| f.dst.0).collect();
+        dsts.sort_unstable();
+        dsts.dedup();
+        assert_eq!(dsts.len(), 4, "no receiver carries two elephants");
+        assert!(l.flows.iter().all(|f| f.src != f.dst));
+    }
+
+    #[test]
+    fn lanes_chain_back_to_back_and_seal() {
+        let mut m = Mixed::new(cfg());
+        let mut l = MockLauncher::new(4);
+        m.on_start(&mut l, SimTime::ZERO);
+        let first: Vec<FlowId> = m.elephants.keys().copied().collect();
+        for f in first {
+            m.on_flow_complete(f, &mut l, SimTime::from_millis(90));
+        }
+        assert_eq!(l.flows.len(), 8, "each lane issued its second transfer");
+        let mut sealed = l.sealed.clone();
+        sealed.sort_unstable();
+        assert_eq!(sealed, vec![0, 1, 2, 3], "lanes sealed on last transfer");
+        let second: Vec<FlowId> = m.elephants.keys().copied().collect();
+        for f in second {
+            m.on_flow_complete(f, &mut l, SimTime::from_millis(180));
+        }
+        assert_eq!(l.flows.len(), 8, "no lane issues past its quota");
+    }
+
+    #[test]
+    fn mice_arrive_until_quota() {
+        let mut m = Mixed::new(cfg());
+        let mut l = MockLauncher::new(4);
+        m.on_start(&mut l, SimTime::ZERO);
+        let mut t = 0;
+        while t < l.timers.len() {
+            let (at, tok) = l.timers[t];
+            t += 1;
+            m.on_timer(tok, &mut l, at);
+        }
+        assert_eq!(m.mice_issued(), 5);
+        let mice: Vec<_> = l.flows.iter().filter(|f| f.coflow.is_none()).collect();
+        assert_eq!(mice.len(), 5);
+        assert!(mice.iter().all(|f| f.src != f.dst));
+        assert!(!m.done(), "elephant chains still open");
+    }
+
+    #[test]
+    fn size_dists_are_deterministic_and_in_range() {
+        for dist in [SizeDist::WebSearch, SizeDist::DataMining] {
+            let mut a = SimRng::new(9).fork(1);
+            let mut b = SimRng::new(9).fork(1);
+            for _ in 0..500 {
+                let x = dist.sample(&mut a);
+                assert_eq!(x, dist.sample(&mut b));
+                let (lo, hi) = match dist {
+                    SizeDist::WebSearch => (1_000, 30_000_000),
+                    SizeDist::DataMining => (100, 1_000_000_000),
+                    SizeDist::Fixed(_) => unreachable!(),
+                };
+                assert!((lo..=hi).contains(&x), "{dist:?} sample {x} out of range");
+            }
+        }
+        assert_eq!(SizeDist::Fixed(77).sample(&mut SimRng::new(0)), 77);
+    }
+}

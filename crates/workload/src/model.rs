@@ -1,0 +1,117 @@
+//! The [`TrafficModel`] trait: a deterministic, seed-driven traffic
+//! generator, decoupled from the network it runs on.
+
+use netpacket::{FlowId, NodeId};
+use simevent::SimTime;
+use simmetrics::FlowClass;
+
+/// Flows at or below this many bytes are classed as mice. 100 kB is the
+/// customary datacenter-transport cut: partition-aggregate responses and RPCs
+/// sit well below it, shuffle/backup transfers well above.
+pub const MOUSE_MAX_BYTES: u64 = 100_000;
+
+/// Size class of a `bytes`-long flow under the [`MOUSE_MAX_BYTES`] cut.
+pub fn class_of(bytes: u64) -> FlowClass {
+    if bytes <= MOUSE_MAX_BYTES {
+        FlowClass::Mouse
+    } else {
+        FlowClass::Elephant
+    }
+}
+
+/// What a traffic model asks the harness to transfer: one TCP flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowSpec {
+    /// Sending host.
+    pub src: NodeId,
+    /// Receiving host.
+    pub dst: NodeId,
+    /// Application bytes to transfer.
+    pub bytes: u64,
+    /// Size class under which the flow's FCT is recorded.
+    pub class: FlowClass,
+    /// Optional coflow this flow belongs to (incast round, shuffle wave,
+    /// RPC request...); group completion times are tracked per coflow.
+    pub coflow: Option<u64>,
+}
+
+/// The harness-side services a [`TrafficModel`] drives: starting flows and
+/// arming timers. Implemented by [`crate::WorkloadApp`]'s driver over a live
+/// [`netsim::Network`]; tests can implement it with a mock.
+pub trait Launcher {
+    /// Start a flow now. The returned id is the one later passed to
+    /// [`TrafficModel::on_flow_complete`].
+    fn start_flow(&mut self, spec: FlowSpec, now: SimTime) -> FlowId;
+    /// Ask for [`TrafficModel::on_timer`] to fire at `at` with `token`.
+    /// Tokens are private to the model; bit 63 is reserved by
+    /// [`netsim::PairApp`]'s convention and must stay clear.
+    fn set_timer(&mut self, at: SimTime, token: u64);
+    /// Declare that a coflow group will get no more member flows; the group
+    /// finishes when its last registered flow completes.
+    fn seal_coflow(&mut self, group: u64);
+    /// Hosts in the cluster, for models that size themselves to the network.
+    fn num_hosts(&self) -> u32;
+}
+
+/// A deterministic traffic generator: arrival process plus flow-size
+/// distribution, seeded explicitly so two same-seed runs issue an identical
+/// flow sequence.
+///
+/// The contract mirrors [`netsim::Application`], but models never see the
+/// [`netsim::Network`] directly — only a [`Launcher`] — so the harness can
+/// interpose flow-completion-time instrumentation on every flow (see
+/// [`crate::WorkloadApp`]) and models stay trivially unit-testable.
+pub trait TrafficModel {
+    /// Called once at t=0: issue initial flows / arm initial timers.
+    fn on_start(&mut self, l: &mut dyn Launcher, now: SimTime);
+    /// Called when a flow this model started completes (last byte acked).
+    fn on_flow_complete(&mut self, flow: FlowId, l: &mut dyn Launcher, now: SimTime);
+    /// Called for every timer armed via [`Launcher::set_timer`].
+    fn on_timer(&mut self, token: u64, l: &mut dyn Launcher, now: SimTime);
+    /// True when the workload has issued everything and seen it complete.
+    fn done(&self) -> bool;
+}
+
+#[cfg(test)]
+pub(crate) mod mock {
+    use super::*;
+
+    /// A launcher that records requests without a network — for unit tests.
+    #[derive(Debug, Default)]
+    pub struct MockLauncher {
+        pub flows: Vec<FlowSpec>,
+        pub timers: Vec<(SimTime, u64)>,
+        pub sealed: Vec<u64>,
+        pub hosts: u32,
+        next_id: u64,
+    }
+
+    impl MockLauncher {
+        pub fn new(hosts: u32) -> Self {
+            MockLauncher {
+                hosts,
+                ..Default::default()
+            }
+        }
+    }
+
+    impl Launcher for MockLauncher {
+        fn start_flow(&mut self, spec: FlowSpec, _now: SimTime) -> FlowId {
+            self.flows.push(spec);
+            self.next_id += 1;
+            FlowId(self.next_id)
+        }
+
+        fn set_timer(&mut self, at: SimTime, token: u64) {
+            self.timers.push((at, token));
+        }
+
+        fn seal_coflow(&mut self, group: u64) {
+            self.sealed.push(group);
+        }
+
+        fn num_hosts(&self) -> u32 {
+            self.hosts
+        }
+    }
+}

@@ -1,0 +1,422 @@
+//! Closed-loop RPC: each client keeps exactly one fan-out request in flight,
+//! thinks for a fixed time after it completes, then issues the next.
+//!
+//! A request is a small coflow: `fanout` request flows from the client to
+//! distinct servers, each answered by a response flow back. The request is
+//! complete when the **last** response lands (partition-aggregate
+//! semantics), and the client's observed latency is compared against a
+//! service-level objective. Because requests, responses, and their ACKs are
+//! all short — SYNs and pure ACKs dominate the packet mix — this workload
+//! is almost entirely non-ECT traffic: under the paper's unprotected
+//! RED-mimic a single early-dropped SYN turns a sub-millisecond RPC into a
+//! one-second outlier, which is exactly what the SLO violation counter
+//! surfaces.
+
+use crate::model::{class_of, FlowSpec, Launcher, TrafficModel};
+use netpacket::{FlowId, NodeId};
+use serde::{Deserialize, Serialize};
+use simevent::{SimDuration, SimRng, SimTime};
+use std::collections::BTreeMap;
+
+/// Timer tokens: bits 60..63 = kind.
+const KIND_NEXT: u64 = 4;
+const KIND_RESPONSE: u64 = 5;
+
+fn token(client: u32) -> u64 {
+    (KIND_NEXT << 60) | u64::from(client)
+}
+
+fn response_token(request: u64, server: NodeId) -> u64 {
+    debug_assert!(request < (1 << 32) && server.0 < (1 << 16));
+    (KIND_RESPONSE << 60) | (request << 16) | u64::from(server.0)
+}
+
+/// Configuration of an [`Rpc`] workload.
+#[derive(Debug, Clone, Copy)]
+pub struct RpcConfig {
+    /// Client hosts (hosts `0..clients`); servers are drawn from the rest.
+    pub clients: u32,
+    /// Servers contacted per request.
+    pub fanout: u32,
+    /// Bytes of each request flow (client → server).
+    pub request_bytes: u64,
+    /// Bytes of each response flow (server → client).
+    pub response_bytes: u64,
+    /// Requests each client issues before stopping.
+    pub requests_per_client: u32,
+    /// Client-side idle time between a completion and the next request.
+    pub think_time: SimDuration,
+    /// Server-side service time before the response is sent, jittered
+    /// uniformly over `[0, service_jitter]`. Real fan-out services always
+    /// have straggling servers; the stragglers' response SYNs are the ones
+    /// that meet a queue the fast servers' responses already filled.
+    pub service_jitter: SimDuration,
+    /// Latency objective a request is judged against.
+    pub slo: SimDuration,
+    /// Seed for server selection.
+    pub seed: u64,
+}
+
+/// Where an in-flight flow sits in the request's lifecycle.
+#[derive(Debug, Clone, Copy)]
+struct Member {
+    request: u64,
+    server: NodeId,
+    is_request: bool,
+}
+
+#[derive(Debug)]
+struct OpenRequest {
+    client: u32,
+    started: SimTime,
+    responses_launched: u32,
+    members_done: u32,
+}
+
+/// Closed-loop RPC generator. Each request is one coflow (group id =
+/// global request counter).
+#[derive(Debug)]
+pub struct Rpc {
+    cfg: RpcConfig,
+    rng: SimRng,
+    flows: BTreeMap<FlowId, Member>,
+    open: BTreeMap<u64, OpenRequest>,
+    next_request: u64,
+    issued_per_client: Vec<u32>,
+    stats: RpcStats,
+}
+
+/// Per-request latency record of an [`Rpc`] run.
+#[derive(Debug, Clone, Default)]
+pub struct RpcStats {
+    latencies_ns: Vec<u64>,
+    violations: u64,
+}
+
+impl RpcStats {
+    /// Completed requests.
+    pub fn requests(&self) -> u64 {
+        self.latencies_ns.len() as u64
+    }
+
+    /// Requests that exceeded the SLO.
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// Reduce to the summary reported by the experiments bin.
+    pub fn summary(&self, slo: SimDuration) -> RpcSummary {
+        let mut us: Vec<f64> = self
+            .latencies_ns
+            .iter()
+            .map(|&ns| ns as f64 / 1e3)
+            .collect();
+        us.sort_by(f64::total_cmp);
+        let n = us.len();
+        let pct = |q: f64| -> f64 {
+            if n == 0 {
+                return 0.0;
+            }
+            let rank = q * (n - 1) as f64;
+            let lo = rank.floor() as usize;
+            let hi = rank.ceil() as usize;
+            us[lo] + (us[hi] - us[lo]) * (rank - lo as f64)
+        };
+        RpcSummary {
+            requests: n as u64,
+            latency_mean_us: if n == 0 {
+                0.0
+            } else {
+                us.iter().sum::<f64>() / n as f64
+            },
+            latency_p50_us: pct(0.50),
+            latency_p95_us: pct(0.95),
+            latency_p99_us: pct(0.99),
+            latency_max_us: us.last().copied().unwrap_or(0.0),
+            slo_us: slo.as_micros_f64(),
+            slo_violations: self.violations,
+        }
+    }
+}
+
+/// Request-latency summary of an [`Rpc`] run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RpcSummary {
+    /// Requests completed.
+    pub requests: u64,
+    /// Mean request latency, microseconds.
+    pub latency_mean_us: f64,
+    /// Median request latency, microseconds.
+    pub latency_p50_us: f64,
+    /// 95th-percentile request latency, microseconds.
+    pub latency_p95_us: f64,
+    /// 99th-percentile request latency, microseconds.
+    pub latency_p99_us: f64,
+    /// Worst request latency, microseconds.
+    pub latency_max_us: f64,
+    /// The objective the run was judged against, microseconds.
+    pub slo_us: f64,
+    /// Requests slower than the objective.
+    pub slo_violations: u64,
+}
+
+impl Rpc {
+    /// A generator that has not issued anything yet.
+    pub fn new(cfg: RpcConfig) -> Self {
+        assert!(
+            cfg.clients > 0 && cfg.fanout > 0 && cfg.requests_per_client > 0,
+            "degenerate RPC config"
+        );
+        Rpc {
+            cfg,
+            rng: SimRng::new(cfg.seed).fork(0x59c),
+            flows: BTreeMap::new(),
+            open: BTreeMap::new(),
+            next_request: 0,
+            issued_per_client: vec![0; cfg.clients as usize],
+            stats: RpcStats::default(),
+        }
+    }
+
+    /// Latency records accumulated so far.
+    pub fn stats(&self) -> &RpcStats {
+        &self.stats
+    }
+
+    /// The run's summary against the configured SLO.
+    pub fn summary(&self) -> RpcSummary {
+        self.stats.summary(self.cfg.slo)
+    }
+
+    fn issue_request(&mut self, client: u32, l: &mut dyn Launcher, now: SimTime) {
+        let request = self.next_request;
+        self.next_request += 1;
+        self.issued_per_client[client as usize] += 1;
+        self.open.insert(
+            request,
+            OpenRequest {
+                client,
+                started: now,
+                responses_launched: 0,
+                members_done: 0,
+            },
+        );
+        // Draw `fanout` distinct servers from the non-client hosts by a
+        // partial Fisher–Yates over the candidate list.
+        let mut candidates: Vec<u32> = (0..l.num_hosts()).filter(|&h| h != client).collect();
+        assert!(
+            candidates.len() >= self.cfg.fanout as usize,
+            "not enough hosts for the configured fanout"
+        );
+        for i in 0..self.cfg.fanout as usize {
+            let j = i + self.rng.next_below((candidates.len() - i) as u64) as usize;
+            candidates.swap(i, j);
+            let server = NodeId(candidates[i]);
+            let flow = l.start_flow(
+                FlowSpec {
+                    src: NodeId(client),
+                    dst: server,
+                    bytes: self.cfg.request_bytes,
+                    class: class_of(self.cfg.request_bytes),
+                    coflow: Some(request),
+                },
+                now,
+            );
+            self.flows.insert(
+                flow,
+                Member {
+                    request,
+                    server,
+                    is_request: true,
+                },
+            );
+        }
+    }
+}
+
+impl TrafficModel for Rpc {
+    fn on_start(&mut self, l: &mut dyn Launcher, now: SimTime) {
+        assert!(
+            l.num_hosts() > self.cfg.fanout,
+            "need fanout + 1 hosts (servers + a client)"
+        );
+        assert!(self.cfg.clients <= l.num_hosts(), "more clients than hosts");
+        for client in 0..self.cfg.clients {
+            self.issue_request(client, l, now);
+        }
+    }
+
+    fn on_flow_complete(&mut self, flow: FlowId, l: &mut dyn Launcher, now: SimTime) {
+        let member = self.flows.remove(&flow).expect("unknown RPC flow");
+        let req = self
+            .open
+            .get_mut(&member.request)
+            .expect("flow for a closed request");
+        req.members_done += 1;
+        if member.is_request {
+            // The server got the full request: answer on the same coflow
+            // after its (jittered) service time.
+            let service = self.rng.next_below(self.cfg.service_jitter.as_nanos() + 1);
+            l.set_timer(
+                now + SimDuration::from_nanos(service),
+                response_token(member.request, member.server),
+            );
+            return;
+        }
+        if req.members_done == 2 * self.cfg.fanout {
+            let req = self.open.remove(&member.request).unwrap();
+            let latency = now.since(req.started);
+            self.stats.latencies_ns.push(latency.as_nanos());
+            if latency > self.cfg.slo {
+                self.stats.violations += 1;
+            }
+            if self.issued_per_client[req.client as usize] < self.cfg.requests_per_client {
+                l.set_timer(now + self.cfg.think_time, token(req.client));
+            }
+        }
+    }
+
+    fn on_timer(&mut self, tok: u64, l: &mut dyn Launcher, now: SimTime) {
+        match tok >> 60 {
+            KIND_NEXT => {
+                let client = (tok & 0xffff_ffff) as u32;
+                self.issue_request(client, l, now);
+            }
+            KIND_RESPONSE => {
+                let request = (tok >> 16) & 0xffff_ffff;
+                let server = NodeId((tok & 0xffff) as u32);
+                let req = self
+                    .open
+                    .get_mut(&request)
+                    .expect("response timer for a closed request");
+                let flow = l.start_flow(
+                    FlowSpec {
+                        src: server,
+                        dst: NodeId(req.client),
+                        bytes: self.cfg.response_bytes,
+                        class: class_of(self.cfg.response_bytes),
+                        coflow: Some(request),
+                    },
+                    now,
+                );
+                self.flows.insert(
+                    flow,
+                    Member {
+                        request,
+                        server,
+                        is_request: false,
+                    },
+                );
+                req.responses_launched += 1;
+                if req.responses_launched == self.cfg.fanout {
+                    l.seal_coflow(request);
+                }
+            }
+            kind => panic!("unknown RPC timer token kind {kind}"),
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.open.is_empty()
+            && self
+                .issued_per_client
+                .iter()
+                .all(|&n| n == self.cfg.requests_per_client)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::mock::MockLauncher;
+
+    fn cfg() -> RpcConfig {
+        RpcConfig {
+            clients: 2,
+            fanout: 3,
+            request_bytes: 2_000,
+            response_bytes: 32_000,
+            requests_per_client: 2,
+            think_time: SimDuration::from_micros(500),
+            service_jitter: SimDuration::from_micros(200),
+            slo: SimDuration::from_millis(10),
+            seed: 11,
+        }
+    }
+
+    /// Drive a full closed loop against the mock, completing every flow
+    /// `step` after it starts.
+    fn run(cfg: RpcConfig, step: SimDuration) -> (Rpc, MockLauncher) {
+        let mut m = Rpc::new(cfg);
+        let mut l = MockLauncher::new(8);
+        m.on_start(&mut l, SimTime::ZERO);
+        let mut now = SimTime::ZERO;
+        let mut timers_fired = 0;
+        while !m.done() {
+            now += step;
+            while let Some(&id) = m.flows.keys().next() {
+                m.on_flow_complete(id, &mut l, now);
+            }
+            while timers_fired < l.timers.len() {
+                let (at, tok) = l.timers[timers_fired];
+                timers_fired += 1;
+                now = now.max(at);
+                m.on_timer(tok, &mut l, now);
+            }
+        }
+        (m, l)
+    }
+
+    #[test]
+    fn fanout_hits_distinct_servers() {
+        let mut m = Rpc::new(cfg());
+        let mut l = MockLauncher::new(8);
+        m.on_start(&mut l, SimTime::ZERO);
+        assert_eq!(l.flows.len(), 6, "fanout flows per client");
+        for client in 0..2u32 {
+            let mut dsts: Vec<u32> = l
+                .flows
+                .iter()
+                .filter(|f| f.src == NodeId(client))
+                .map(|f| f.dst.0)
+                .collect();
+            assert_eq!(dsts.len(), 3);
+            dsts.sort_unstable();
+            dsts.dedup();
+            assert_eq!(dsts.len(), 3, "servers must be distinct");
+            assert!(!dsts.contains(&client), "a client never serves itself");
+        }
+    }
+
+    #[test]
+    fn closed_loop_completes_all_requests() {
+        let (m, l) = run(cfg(), SimDuration::from_micros(100));
+        assert_eq!(m.stats().requests(), 4, "2 clients x 2 requests");
+        assert_eq!(m.stats().violations(), 0);
+        // 4 requests x (3 requests + 3 responses) flows.
+        assert_eq!(l.flows.len(), 24);
+        let mut sealed = l.sealed.clone();
+        sealed.sort_unstable();
+        assert_eq!(sealed, vec![0, 1, 2, 3]);
+        let s = m.summary();
+        assert_eq!(s.requests, 4);
+        assert!(s.latency_p99_us >= s.latency_p50_us);
+    }
+
+    #[test]
+    fn slow_requests_violate_slo() {
+        let mut c = cfg();
+        c.slo = SimDuration::from_micros(50);
+        let (m, _) = run(c, SimDuration::from_micros(100));
+        assert_eq!(m.stats().violations(), 4, "every request missed the SLO");
+    }
+
+    #[test]
+    fn same_seed_same_servers() {
+        let mut a = MockLauncher::new(8);
+        let mut b = MockLauncher::new(8);
+        Rpc::new(cfg()).on_start(&mut a, SimTime::ZERO);
+        Rpc::new(cfg()).on_start(&mut b, SimTime::ZERO);
+        assert_eq!(a.flows, b.flows);
+    }
+}

@@ -1,0 +1,149 @@
+//! End-to-end determinism: each generator, run twice on a real network with
+//! the same seed, must produce identical FCT / coflow / latency summaries.
+//! This is the property the experiments bin's byte-identical-JSON acceptance
+//! check rests on.
+
+use ecn_core::QdiscSpec;
+use netsim::{ClusterSpec, LinkSpec, Network, Simulation};
+use simevent::{SimDuration, SimTime};
+use simmetrics::{FctSummary, IdealFct};
+use tcpstack::{EcnMode, TcpConfig};
+use workload::{
+    CoflowSummary, Incast, IncastConfig, Mixed, MixedConfig, Rpc, RpcConfig, SizeDist,
+    TrafficModel, WorkloadApp,
+};
+
+const HOSTS: u32 = 6;
+
+fn network(seed: u64) -> Network {
+    let spec = ClusterSpec::single_rack(
+        HOSTS,
+        LinkSpec::gbps(1, 5),
+        QdiscSpec::DropTail {
+            capacity_packets: 100,
+        },
+        seed,
+    );
+    Network::new(spec)
+}
+
+fn ideal() -> IdealFct {
+    IdealFct {
+        base_rtt: SimDuration::from_micros(20),
+        bottleneck_bps: 1_000_000_000,
+    }
+}
+
+fn run<M: TrafficModel>(model: M) -> (FctSummary, CoflowSummary, u64) {
+    let tcp = TcpConfig::with_ecn(EcnMode::Dctcp);
+    let app = WorkloadApp::new(model, tcp, ideal());
+    let mut sim = Simulation::new(network(99), app);
+    sim.time_limit = SimTime::from_secs(30);
+    sim.run();
+    assert!(
+        sim.app.model.done() && sim.app.flows_in_flight() == 0,
+        "workload did not finish inside the time limit"
+    );
+    (
+        sim.app.fct_summary(),
+        sim.app.coflow_summary(),
+        sim.app.flows_issued(),
+    )
+}
+
+fn incast(seed: u64) -> Incast {
+    Incast::new(IncastConfig {
+        aggregator: netpacket::NodeId(0),
+        fanin: 4,
+        response_bytes: 256_000,
+        rounds: 3,
+        stagger: SimDuration::from_micros(50),
+        round_gap: SimDuration::from_millis(1),
+        seed,
+    })
+}
+
+fn mixed(seed: u64) -> Mixed {
+    Mixed::new(MixedConfig {
+        elephant_lanes: 3,
+        elephant_bytes: 2_000_000,
+        elephants_per_lane: 2,
+        mice: 20,
+        mice_mean_gap: SimDuration::from_micros(500),
+        mice_sizes: SizeDist::WebSearch,
+        seed,
+    })
+}
+
+fn rpc(seed: u64) -> Rpc {
+    Rpc::new(RpcConfig {
+        clients: 2,
+        fanout: 3,
+        request_bytes: 2_000,
+        response_bytes: 32_000,
+        requests_per_client: 4,
+        think_time: SimDuration::from_micros(200),
+        service_jitter: SimDuration::from_micros(100),
+        slo: SimDuration::from_millis(5),
+        seed,
+    })
+}
+
+#[test]
+fn incast_same_seed_identical() {
+    let a = run(incast(7));
+    let b = run(incast(7));
+    assert_eq!(a, b);
+    let (fct, coflows, flows) = a;
+    assert_eq!(flows, 12, "fanin x rounds");
+    assert_eq!(coflows.finished, 3);
+    assert_eq!(fct.all.flows, 12);
+    assert!(
+        fct.all.slowdown_p50 >= 1.0,
+        "slowdown is ≥ 1 by construction"
+    );
+}
+
+#[test]
+fn incast_different_seed_differs() {
+    let a = run(incast(7));
+    let b = run(incast(8));
+    assert_ne!(
+        a.0.all.fct_mean_us, b.0.all.fct_mean_us,
+        "different jitter seeds must yield different FCTs"
+    );
+}
+
+#[test]
+fn mixed_same_seed_identical() {
+    let a = run(mixed(21));
+    let b = run(mixed(21));
+    assert_eq!(a, b);
+    let (fct, coflows, flows) = a;
+    assert_eq!(flows, 26, "6 elephants + 20 mice");
+    assert_eq!(coflows.coflows, 3, "one coflow per elephant lane");
+    assert_eq!(coflows.finished, 3);
+    assert!(fct.elephants.flows >= 6);
+}
+
+#[test]
+fn rpc_same_seed_identical_and_closed_loop() {
+    let (a, rpc_a) = {
+        let tcp = TcpConfig::with_ecn(EcnMode::Dctcp);
+        let app = WorkloadApp::new(rpc(3), tcp, ideal());
+        let mut sim = Simulation::new(network(99), app);
+        sim.time_limit = SimTime::from_secs(30);
+        sim.run();
+        (sim.app.fct_summary(), sim.app.model.summary())
+    };
+    let b = run(rpc(3));
+    assert_eq!(a, b.0);
+    assert_eq!(rpc_a.requests, 8, "2 clients x 4 requests");
+    assert_eq!(b.2, 48, "8 requests x (3 requests + 3 responses)");
+    assert_eq!(b.1.finished, 8, "every request coflow finished");
+    assert!(rpc_a.latency_p50_us > 0.0);
+    assert_eq!(
+        rpc_a.slo_violations, 0,
+        "uncongested DropTail meets the SLO"
+    );
+}
