@@ -3,7 +3,9 @@
 //! and its fix, are properties of *any* ECN-enabled AQM, not just RED.
 
 use crate::ProtectionMode;
-use netpacket::{EnqueueOutcome, Packet, PacketKind, QueueDiscipline, QueueStats};
+use netpacket::{
+    ConservationCheck, EnqueueOutcome, Packet, PacketKind, QueueDiscipline, QueueStats,
+};
 use serde::{Deserialize, Serialize};
 use simevent::{SimDuration, SimTime};
 use std::collections::VecDeque;
@@ -68,6 +70,7 @@ pub struct CoDel {
     dropping: bool,
     drop_next: SimTime,
     count: u32,
+    conserve: ConservationCheck,
 }
 
 impl CoDel {
@@ -83,6 +86,7 @@ impl CoDel {
             dropping: false,
             drop_next: SimTime::ZERO,
             count: 0,
+            conserve: ConservationCheck::default(),
         }
     }
 
@@ -138,26 +142,13 @@ impl CoDel {
             return Some(p); // the paper's modification, applied to CoDel
         }
         self.stats.dropped_early.bump(PacketKind::of(&p));
+        self.conserve.on_drop_resident(p.wire_bytes());
         None
     }
-}
 
-impl QueueDiscipline for CoDel {
-    fn enqueue(&mut self, packet: Packet, now: SimTime) -> EnqueueOutcome {
-        let kind = PacketKind::of(&packet);
-        if self.queue.len() as u64 >= self.cfg.capacity_packets {
-            self.stats.dropped_full.bump(kind);
-            return EnqueueOutcome::DroppedFull;
-        }
-        let bytes = packet.wire_bytes();
-        self.bytes += bytes as u64;
-        self.queue.push_back((packet, now));
-        self.stats
-            .on_enqueue(kind, bytes, false, self.queue.len() as u64, self.bytes);
-        EnqueueOutcome::Enqueued
-    }
-
-    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+    /// The CoDel control-law dequeue loop. Returns the packet to deliver;
+    /// the caller records delivery stats exactly once.
+    fn dequeue_inner(&mut self, now: SimTime) -> Option<Packet> {
         loop {
             let Some((p, ok)) = self.dodeque(now) else {
                 self.dropping = false;
@@ -166,22 +157,16 @@ impl QueueDiscipline for CoDel {
             if self.dropping {
                 if !ok {
                     self.dropping = false;
-                    self.stats.on_dequeue(PacketKind::of(&p), p.wire_bytes());
                     return Some(p);
                 }
                 if now >= self.drop_next {
                     self.count += 1;
                     self.drop_next += self.control_interval();
                     match self.signal(p) {
-                        Some(delivered) => {
-                            self.stats
-                                .on_dequeue(PacketKind::of(&delivered), delivered.wire_bytes());
-                            return Some(delivered);
-                        }
+                        Some(delivered) => return Some(delivered),
                         None => continue, // dropped: pull the next packet
                     }
                 }
-                self.stats.on_dequeue(PacketKind::of(&p), p.wire_bytes());
                 return Some(p);
             }
             if ok {
@@ -197,17 +182,40 @@ impl QueueDiscipline for CoDel {
                 };
                 self.drop_next = now + self.control_interval();
                 match self.signal(p) {
-                    Some(delivered) => {
-                        self.stats
-                            .on_dequeue(PacketKind::of(&delivered), delivered.wire_bytes());
-                        return Some(delivered);
-                    }
+                    Some(delivered) => return Some(delivered),
                     None => continue,
                 }
             }
-            self.stats.on_dequeue(PacketKind::of(&p), p.wire_bytes());
             return Some(p);
         }
+    }
+}
+
+impl QueueDiscipline for CoDel {
+    fn enqueue(&mut self, packet: Packet, now: SimTime) -> EnqueueOutcome {
+        let kind = PacketKind::of(&packet);
+        if self.queue.len() as u64 >= self.cfg.capacity_packets {
+            self.stats.dropped_full.bump(kind);
+            return EnqueueOutcome::DroppedFull;
+        }
+        let bytes = packet.wire_bytes();
+        self.bytes += bytes as u64;
+        self.queue.push_back((packet, now));
+        self.conserve.on_admit(bytes);
+        self.stats
+            .on_enqueue(kind, bytes, false, self.queue.len() as u64, self.bytes);
+        self.debug_verify_conservation();
+        EnqueueOutcome::Enqueued
+    }
+
+    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+        let delivered = self.dequeue_inner(now);
+        if let Some(p) = &delivered {
+            self.conserve.on_deliver(p.wire_bytes());
+            self.stats.on_dequeue(PacketKind::of(p), p.wire_bytes());
+        }
+        self.debug_verify_conservation();
+        delivered
     }
 
     fn len_packets(&self) -> u64 {
@@ -242,6 +250,11 @@ impl QueueDiscipline for CoDel {
             self.cfg.capacity_packets,
             self.cfg.ecn
         )
+    }
+
+    fn debug_verify_conservation(&self) {
+        self.conserve
+            .verify("CoDel", &self.stats, self.queue.len() as u64, self.bytes);
     }
 }
 

@@ -1,7 +1,9 @@
 //! Plain FIFO tail-drop — the paper's normalisation baseline.
 
 use crate::fifo::Fifo;
-use netpacket::{EnqueueOutcome, Packet, PacketKind, QueueDiscipline, QueueStats};
+use netpacket::{
+    ConservationCheck, EnqueueOutcome, Packet, PacketKind, QueueDiscipline, QueueStats,
+};
 use simevent::SimTime;
 
 /// A DropTail queue: accept until the packet buffer is full, then drop.
@@ -14,6 +16,7 @@ pub struct DropTail {
     fifo: Fifo,
     capacity_packets: u64,
     stats: QueueStats,
+    conserve: ConservationCheck,
 }
 
 impl DropTail {
@@ -24,6 +27,7 @@ impl DropTail {
             fifo: Fifo::new(),
             capacity_packets,
             stats: QueueStats::default(),
+            conserve: ConservationCheck::default(),
         }
     }
 
@@ -42,14 +46,18 @@ impl QueueDiscipline for DropTail {
         }
         let bytes = packet.wire_bytes();
         self.fifo.push(packet);
+        self.conserve.on_admit(bytes);
         self.stats
             .on_enqueue(kind, bytes, false, self.fifo.len(), self.fifo.bytes());
+        self.debug_verify_conservation();
         EnqueueOutcome::Enqueued
     }
 
     fn dequeue(&mut self, _now: SimTime) -> Option<Packet> {
         let p = self.fifo.pop()?;
+        self.conserve.on_deliver(p.wire_bytes());
         self.stats.on_dequeue(PacketKind::of(&p), p.wire_bytes());
+        self.debug_verify_conservation();
         Some(p)
     }
 
@@ -79,6 +87,11 @@ impl QueueDiscipline for DropTail {
 
     fn name(&self) -> String {
         format!("DropTail(cap={})", self.capacity_packets)
+    }
+
+    fn debug_verify_conservation(&self) {
+        self.conserve
+            .verify("DropTail", &self.stats, self.fifo.len(), self.fifo.bytes());
     }
 }
 

@@ -2,7 +2,9 @@
 
 use crate::config::SimpleMarkingConfig;
 use crate::fifo::Fifo;
-use netpacket::{EnqueueOutcome, Packet, PacketKind, QueueDiscipline, QueueStats};
+use netpacket::{
+    ConservationCheck, EnqueueOutcome, Packet, PacketKind, QueueDiscipline, QueueStats,
+};
 use simevent::SimTime;
 
 /// A single-threshold marking queue that **never early-drops**.
@@ -22,6 +24,7 @@ pub struct SimpleMarking {
     cfg: SimpleMarkingConfig,
     fifo: Fifo,
     stats: QueueStats,
+    conserve: ConservationCheck,
 }
 
 impl SimpleMarking {
@@ -32,6 +35,7 @@ impl SimpleMarking {
             fifo: Fifo::new(),
             cfg,
             stats: QueueStats::default(),
+            conserve: ConservationCheck::default(),
         }
     }
 
@@ -59,8 +63,10 @@ impl QueueDiscipline for SimpleMarking {
         }
         let bytes = packet.wire_bytes();
         self.fifo.push(packet);
+        self.conserve.on_admit(bytes);
         self.stats
             .on_enqueue(kind, bytes, mark, self.fifo.len(), self.fifo.bytes());
+        self.debug_verify_conservation();
         if mark {
             EnqueueOutcome::EnqueuedMarked
         } else {
@@ -70,7 +76,9 @@ impl QueueDiscipline for SimpleMarking {
 
     fn dequeue(&mut self, _now: SimTime) -> Option<Packet> {
         let p = self.fifo.pop()?;
+        self.conserve.on_deliver(p.wire_bytes());
         self.stats.on_dequeue(PacketKind::of(&p), p.wire_bytes());
+        self.debug_verify_conservation();
         Some(p)
     }
 
@@ -103,6 +111,15 @@ impl QueueDiscipline for SimpleMarking {
             "SimpleMarking(K={},cap={})",
             self.cfg.threshold_packets, self.cfg.capacity_packets
         )
+    }
+
+    fn debug_verify_conservation(&self) {
+        self.conserve.verify(
+            "SimpleMarking",
+            &self.stats,
+            self.fifo.len(),
+            self.fifo.bytes(),
+        );
     }
 }
 

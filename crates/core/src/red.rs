@@ -2,7 +2,9 @@
 
 use crate::config::RedConfig;
 use crate::fifo::Fifo;
-use netpacket::{EnqueueOutcome, Packet, PacketKind, QueueDiscipline, QueueStats};
+use netpacket::{
+    ConservationCheck, EnqueueOutcome, Packet, PacketKind, QueueDiscipline, QueueStats,
+};
 use simevent::{SimDuration, SimRng, SimTime};
 
 /// RED (Floyd & Jacobson 1993) as implemented by switch vendors, extended with
@@ -28,6 +30,7 @@ pub struct Red {
     cfg: RedConfig,
     fifo: Fifo,
     stats: QueueStats,
+    conserve: ConservationCheck,
     rng: SimRng,
     /// EWMA of the queue length, in packets (or bytes in byte mode).
     avg: f64,
@@ -51,6 +54,7 @@ impl Red {
             cfg,
             fifo: Fifo::new(),
             stats: QueueStats::default(),
+            conserve: ConservationCheck::default(),
             rng: SimRng::new(seed),
             avg: 0.0,
             count: -1,
@@ -157,8 +161,10 @@ impl Red {
         }
         let bytes = packet.wire_bytes();
         self.fifo.push(packet);
+        self.conserve.on_admit(bytes);
         self.stats
             .on_enqueue(kind, bytes, mark, self.fifo.len(), self.fifo.bytes());
+        self.debug_verify_conservation();
         if mark {
             EnqueueOutcome::EnqueuedMarked
         } else {
@@ -193,10 +199,12 @@ impl QueueDiscipline for Red {
 
     fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
         let p = self.fifo.pop()?;
+        self.conserve.on_deliver(p.wire_bytes());
         self.stats.on_dequeue(PacketKind::of(&p), p.wire_bytes());
         if self.fifo.is_empty() {
             self.idle_since = Some(now);
         }
+        self.debug_verify_conservation();
         Some(p)
     }
 
@@ -233,6 +241,11 @@ impl QueueDiscipline for Red {
             self.cfg.capacity_packets,
             self.cfg.ecn
         )
+    }
+
+    fn debug_verify_conservation(&self) {
+        self.conserve
+            .verify("RED", &self.stats, self.fifo.len(), self.fifo.bytes());
     }
 }
 

@@ -288,7 +288,9 @@ fn main() {
             fast_peak_pending: fast_peak,
         },
     };
-    let json = serde_json::to_string_pretty(&report).expect("serialise report");
-    std::fs::write(&out, json.as_bytes()).expect("write report");
+    if let Err(e) = experiments::report::write_json(&report, std::path::Path::new(&out)) {
+        eprintln!("perf_report: failed to write {out}: {e}");
+        std::process::exit(1);
+    }
     println!("wrote {out}");
 }

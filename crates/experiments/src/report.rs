@@ -43,19 +43,18 @@ pub fn render_panel(panel: &FigurePanel) -> String {
 
 /// Persist raw sweep results as JSON.
 pub fn write_sweep_json(res: &SweepResults, path: &Path) -> std::io::Result<()> {
-    if let Some(dir) = path.parent() {
-        std::fs::create_dir_all(dir)?;
-    }
-    let json = serde_json::to_string_pretty(res).expect("sweep results serialise");
-    std::fs::write(path, json)
+    write_json(res, path)
 }
 
-/// Persist any serialisable report as JSON.
+/// Persist any serialisable report as JSON. Serialisation failures surface
+/// as `InvalidData` I/O errors rather than panics, so callers can report the
+/// offending path.
 pub fn write_json<T: serde::Serialize>(value: &T, path: &Path) -> std::io::Result<()> {
     if let Some(dir) = path.parent() {
         std::fs::create_dir_all(dir)?;
     }
-    let json = serde_json::to_string_pretty(value).expect("report serialises");
+    let json = serde_json::to_string_pretty(value)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
     std::fs::write(path, json)
 }
 

@@ -102,6 +102,116 @@ impl QueueStats {
     }
 }
 
+/// Debug-build packet/byte conservation checker.
+///
+/// Counts admissions, deliveries and post-admission drops *independently* of
+/// [`QueueStats`], so a discipline's bookkeeping is cross-checked against a
+/// second ledger on every operation. [`ConservationCheck::verify`] asserts
+/// the conservation identity
+///
+/// ```text
+/// admitted == delivered + dropped_resident + resident
+/// ```
+///
+/// in both packets and bytes, and that the independent ledger agrees with the
+/// discipline's own `QueueStats`. In release builds the struct is zero-sized
+/// and every method is a no-op, so the hot path pays nothing.
+#[derive(Debug, Default, Clone)]
+pub struct ConservationCheck {
+    #[cfg(debug_assertions)]
+    inner: ConservationLedger,
+}
+
+#[cfg(debug_assertions)]
+#[derive(Debug, Default, Clone)]
+struct ConservationLedger {
+    admitted_pkts: u64,
+    admitted_bytes: u64,
+    delivered_pkts: u64,
+    delivered_bytes: u64,
+    /// Packets admitted earlier and then dropped at dequeue time (CoDel's
+    /// head-drop control law); zero for enqueue-time droppers.
+    dropped_resident_pkts: u64,
+    dropped_resident_bytes: u64,
+}
+
+impl ConservationCheck {
+    /// Record a packet admitted into the queue.
+    #[inline]
+    pub fn on_admit(&mut self, bytes: u32) {
+        let _ = bytes;
+        #[cfg(debug_assertions)]
+        {
+            self.inner.admitted_pkts += 1;
+            self.inner.admitted_bytes += bytes as u64;
+        }
+    }
+
+    /// Record a packet handed to the line at dequeue.
+    #[inline]
+    pub fn on_deliver(&mut self, bytes: u32) {
+        let _ = bytes;
+        #[cfg(debug_assertions)]
+        {
+            self.inner.delivered_pkts += 1;
+            self.inner.delivered_bytes += bytes as u64;
+        }
+    }
+
+    /// Record an *admitted* packet dropped at dequeue time (head drop).
+    #[inline]
+    pub fn on_drop_resident(&mut self, bytes: u32) {
+        let _ = bytes;
+        #[cfg(debug_assertions)]
+        {
+            self.inner.dropped_resident_pkts += 1;
+            self.inner.dropped_resident_bytes += bytes as u64;
+        }
+    }
+
+    /// Assert the conservation identity against the queue's current occupancy
+    /// and its [`QueueStats`]. No-op in release builds.
+    #[inline]
+    pub fn verify(&self, name: &str, stats: &QueueStats, len_pkts: u64, len_bytes: u64) {
+        let _ = (name, stats, len_pkts, len_bytes);
+        #[cfg(debug_assertions)]
+        {
+            let l = &self.inner;
+            assert_eq!(
+                l.admitted_pkts,
+                l.delivered_pkts + l.dropped_resident_pkts + len_pkts,
+                "{name}: packet conservation violated \
+                 (admitted != delivered + head-dropped + resident)"
+            );
+            assert_eq!(
+                l.admitted_bytes,
+                l.delivered_bytes + l.dropped_resident_bytes + len_bytes,
+                "{name}: byte conservation violated"
+            );
+            // The independent ledger must agree with the discipline's own
+            // statistics — catches a stats update forgotten on any path.
+            assert_eq!(
+                l.admitted_pkts,
+                stats.enqueued.total(),
+                "{name}: stats.enqueued disagrees with conservation ledger"
+            );
+            assert_eq!(
+                l.admitted_bytes, stats.bytes_enqueued,
+                "{name}: stats.bytes_enqueued disagrees with conservation ledger"
+            );
+            assert_eq!(
+                l.delivered_pkts,
+                stats.dequeued.total(),
+                "{name}: stats.dequeued disagrees with conservation ledger"
+            );
+            assert!(
+                l.dropped_resident_pkts <= stats.dropped_early.total(),
+                "{name}: head drops not reflected in stats.dropped_early"
+            );
+        }
+    }
+}
+
 /// A switch egress queue discipline.
 ///
 /// Implementations decide, per packet, between accepting (optionally CE
@@ -146,6 +256,13 @@ pub trait QueueDiscipline: std::fmt::Debug {
     fn is_empty(&self) -> bool {
         self.len_packets() == 0
     }
+
+    /// Debug-build invariant hook: assert packet/byte conservation
+    /// (`admitted == delivered + head-dropped + resident`) against the
+    /// discipline's internal ledger. Called by `netsim` after every
+    /// enqueue/dequeue in debug builds; the default is a no-op so
+    /// uninstrumented disciplines remain valid implementations.
+    fn debug_verify_conservation(&self) {}
 }
 
 #[cfg(test)]
@@ -170,6 +287,25 @@ mod tests {
         assert_eq!(c.get(PacketKind::Data), 1);
         assert_eq!(c.get(PacketKind::Syn), 0);
         assert_eq!(c.total(), 3);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn conservation_check_catches_lost_packet() {
+        // A queue that admits two packets, delivers one, and claims to be
+        // empty has lost a packet; verify must panic in debug builds.
+        let mut c = ConservationCheck::default();
+        let mut s = QueueStats::default();
+        c.on_admit(100);
+        s.on_enqueue(PacketKind::Data, 100, false, 1, 100);
+        c.on_admit(100);
+        s.on_enqueue(PacketKind::Data, 100, false, 2, 200);
+        c.on_deliver(100);
+        s.on_dequeue(PacketKind::Data, 100);
+        // Consistent state: one resident packet.
+        c.verify("test", &s, 1, 100);
+        let r = std::panic::catch_unwind(|| c.verify("test", &s, 0, 0));
+        assert!(r.is_err(), "claiming an empty queue must trip the check");
     }
 
     #[test]

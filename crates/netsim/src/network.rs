@@ -214,6 +214,8 @@ fn try_start_tx(
         return;
     }
     if let Some(p) = port.qdisc.dequeue(now) {
+        #[cfg(debug_assertions)]
+        port.qdisc.debug_verify_conservation();
         let tx = port.link.tx_time(p.wire_bytes() as u64);
         port.transmitting = Some(p);
         pending.push((now + tx, Event::TxComplete { dev, port: idx }));
@@ -229,6 +231,8 @@ fn enqueue_and_kick(
     pending: &mut Vec<(SimTime, Event)>,
 ) -> EnqueueOutcome {
     let out = port.qdisc.enqueue(packet, now);
+    #[cfg(debug_assertions)]
+    port.qdisc.debug_verify_conservation();
     try_start_tx(port, dev, idx, now, pending);
     out
 }

@@ -164,6 +164,12 @@ impl<E> EventQueue<E> {
             if self.cancels.reap(se.seq) {
                 continue;
             }
+            // Pop-is-minimum invariant: nothing still queued may fire before
+            // the event we just removed (debug builds only).
+            debug_assert!(
+                self.peek_time().is_none_or(|next| se.at <= next),
+                "EventQueue popped an event later than the remaining head"
+            );
             return Some((se.at, se.event));
         }
         None

@@ -1,0 +1,192 @@
+//! The waiver file, `simlint.toml`.
+//!
+//! A tiny line-oriented parser for exactly the subset the linter needs:
+//! `[[waiver]]` tables with `code`, `path`, and `reason` string keys. Every
+//! waiver **must** carry a non-empty justification — an allowlist without
+//! reasons rots into noise.
+//!
+//! ```toml
+//! [[waiver]]
+//! code = "SL004"
+//! path = "crates/simevent/src/time.rs"
+//! reason = "expect() documents checked-arithmetic overflow contracts"
+//! ```
+//!
+//! `path` is a prefix match on workspace-relative paths, so one waiver can
+//! cover a file or a whole directory.
+
+use crate::rules::Finding;
+
+/// One `[[waiver]]` entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    /// Diagnostic code this waiver silences (`SL004`, ...).
+    pub code: String,
+    /// Workspace-relative path prefix the waiver applies to.
+    pub path: String,
+    /// Mandatory human justification.
+    pub reason: String,
+}
+
+impl Waiver {
+    /// Does this waiver cover `finding`?
+    pub fn covers(&self, finding: &Finding) -> bool {
+        self.code == finding.code && finding.file.starts_with(self.path.as_str())
+    }
+}
+
+/// Parse the waiver file. Returns `Err` with a line-numbered message on any
+/// malformed entry; an empty or comment-only file parses to no waivers.
+pub fn parse(text: &str) -> Result<Vec<Waiver>, String> {
+    struct Partial {
+        start_line: usize,
+        code: Option<String>,
+        path: Option<String>,
+        reason: Option<String>,
+    }
+
+    fn finish(p: Partial) -> Result<Waiver, String> {
+        let line = p.start_line;
+        let code = p
+            .code
+            .ok_or_else(|| format!("waiver at line {line}: missing `code`"))?;
+        if !(code.len() == 5
+            && code.starts_with("SL")
+            && code[2..].chars().all(|c| c.is_ascii_digit()))
+        {
+            return Err(format!(
+                "waiver at line {line}: `code` must look like SL001, got {code:?}"
+            ));
+        }
+        let path = p
+            .path
+            .ok_or_else(|| format!("waiver at line {line}: missing `path`"))?;
+        let reason = p
+            .reason
+            .ok_or_else(|| format!("waiver at line {line}: missing `reason`"))?;
+        if reason.trim().is_empty() {
+            return Err(format!(
+                "waiver at line {line}: `reason` must be a non-empty justification"
+            ));
+        }
+        Ok(Waiver { code, path, reason })
+    }
+
+    let mut waivers = Vec::new();
+    let mut current: Option<Partial> = None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[waiver]]" {
+            if let Some(p) = current.take() {
+                waivers.push(finish(p)?);
+            }
+            current = Some(Partial {
+                start_line: lineno,
+                code: None,
+                path: None,
+                reason: None,
+            });
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!(
+                "simlint.toml line {lineno}: expected `key = \"value\"`"
+            ));
+        };
+        let key = key.trim();
+        let value = value.trim();
+        if !(value.starts_with('"') && value.ends_with('"') && value.len() >= 2) {
+            return Err(format!(
+                "simlint.toml line {lineno}: value for `{key}` must be a double-quoted string"
+            ));
+        }
+        let value = value[1..value.len() - 1].to_string();
+        let Some(p) = current.as_mut() else {
+            return Err(format!(
+                "simlint.toml line {lineno}: `{key}` outside a [[waiver]] table"
+            ));
+        };
+        match key {
+            "code" => p.code = Some(value),
+            "path" => p.path = Some(value),
+            "reason" => p.reason = Some(value),
+            other => {
+                return Err(format!(
+                    "simlint.toml line {lineno}: unknown key `{other}` (expected code/path/reason)"
+                ));
+            }
+        }
+    }
+    if let Some(p) = current.take() {
+        waivers.push(finish(p)?);
+    }
+    Ok(waivers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_multiple_waivers() {
+        let text = "# header comment\n\n\
+                    [[waiver]]\ncode = \"SL004\"\npath = \"crates/a/src\"\nreason = \"invariant\"\n\n\
+                    [[waiver]]\ncode = \"SL005\"\npath = \"crates/b/src/x.rs\"\nreason = \"bounded\"\n";
+        let ws = parse(text).expect("parses");
+        assert_eq!(ws.len(), 2);
+        assert_eq!(ws[0].code, "SL004");
+        assert_eq!(ws[1].path, "crates/b/src/x.rs");
+    }
+
+    #[test]
+    fn empty_file_ok() {
+        assert!(parse("").expect("ok").is_empty());
+        assert!(parse("# only comments\n").expect("ok").is_empty());
+    }
+
+    #[test]
+    fn missing_reason_rejected() {
+        let text = "[[waiver]]\ncode = \"SL004\"\npath = \"crates/a\"\n";
+        assert!(parse(text).is_err());
+        let blank = "[[waiver]]\ncode = \"SL004\"\npath = \"crates/a\"\nreason = \"  \"\n";
+        assert!(parse(blank).is_err());
+    }
+
+    #[test]
+    fn bad_code_rejected() {
+        let text = "[[waiver]]\ncode = \"XX1\"\npath = \"crates/a\"\nreason = \"r\"\n";
+        assert!(parse(text).is_err());
+    }
+
+    #[test]
+    fn key_outside_table_rejected() {
+        assert!(parse("code = \"SL001\"\n").is_err());
+    }
+
+    #[test]
+    fn prefix_match_covers() {
+        let w = Waiver {
+            code: "SL004".into(),
+            path: "crates/netsim/src".into(),
+            reason: "r".into(),
+        };
+        let f = Finding {
+            file: "crates/netsim/src/network.rs".into(),
+            line: 1,
+            code: "SL004",
+            message: String::new(),
+            waived: false,
+        };
+        assert!(w.covers(&f));
+        let other = Finding {
+            file: "crates/core/src/red.rs".into(),
+            ..f.clone()
+        };
+        assert!(!w.covers(&other));
+    }
+}

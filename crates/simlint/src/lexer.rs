@@ -1,0 +1,304 @@
+//! A minimal hand-rolled Rust token scanner.
+//!
+//! The linter needs exactly one property from its front end: **never mistake
+//! text inside comments, strings, or char literals for code**. Everything
+//! else — full expression structure, macro expansion, type resolution — is
+//! deliberately out of scope; the rules work on flat token streams.
+//!
+//! Tokens carry 1-based line numbers so diagnostics point at real source
+//! locations.
+
+/// What a token is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`HashMap`, `as`, `use`, ...).
+    Ident,
+    /// A single punctuation character (`.`, `<`, `(` ...). Multi-character
+    /// operators arrive as consecutive tokens.
+    Punct(char),
+    /// A numeric literal, consumed as one token so `1.0` emits no `.`.
+    Number,
+    /// A lifetime (`'a`), kept distinct so it is never confused with a
+    /// char literal.
+    Lifetime,
+}
+
+/// One token with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// 1-based line number in the scanned file.
+    pub line: u32,
+    /// Classification.
+    pub kind: TokenKind,
+    /// Source text for identifiers and lifetimes; single character for
+    /// punctuation; the raw digits for numbers.
+    pub text: String,
+}
+
+impl Token {
+    /// True when this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// True when this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// Scan `source` into tokens, stripping comments, strings, and char
+/// literals. Unterminated constructs are tolerated (the scanner stops at end
+/// of input): the linter must degrade gracefully on code rustc would reject.
+pub fn lex(source: &str) -> Vec<Token> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    macro_rules! bump_line {
+        ($c:expr) => {
+            if $c == '\n' {
+                line += 1;
+            }
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+
+        // Line comment.
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+
+        // Block comment, nested.
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let mut depth = 1usize;
+            i += 2;
+            while i < chars.len() && depth > 0 {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    bump_line!(chars[i]);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+
+        // Raw strings (r"...", r#"..."#) and raw byte strings (br#"..."#).
+        if c == 'r' || (c == 'b' && chars.get(i + 1) == Some(&'r')) {
+            let start = if c == 'b' { i + 1 } else { i };
+            let mut j = start + 1;
+            let mut hashes = 0usize;
+            while chars.get(j) == Some(&'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if chars.get(j) == Some(&'"') {
+                // It is a raw string: skip to the matching `"###`.
+                i = j + 1;
+                'raw: while i < chars.len() {
+                    if chars[i] == '"' {
+                        let mut k = 0usize;
+                        while k < hashes && chars.get(i + 1 + k) == Some(&'#') {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            i += 1 + hashes;
+                            break 'raw;
+                        }
+                    }
+                    bump_line!(chars[i]);
+                    i += 1;
+                }
+                continue;
+            }
+            // Not a raw string (`r` / `br` was an ordinary ident prefix);
+            // fall through to identifier handling below.
+        }
+
+        // Ordinary and byte strings.
+        if c == '"' || (c == 'b' && chars.get(i + 1) == Some(&'"')) {
+            i += if c == 'b' { 2 } else { 1 };
+            while i < chars.len() {
+                match chars[i] {
+                    '\\' => i += 2,
+                    '"' => {
+                        i += 1;
+                        break;
+                    }
+                    ch => {
+                        bump_line!(ch);
+                        i += 1;
+                    }
+                }
+            }
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let next = chars.get(i + 1).copied();
+            let is_lifetime = matches!(next, Some(n) if n.is_alphabetic() || n == '_')
+                && chars.get(i + 2) != Some(&'\'');
+            if is_lifetime {
+                let start = i + 1;
+                let mut j = start;
+                while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                out.push(Token {
+                    line,
+                    kind: TokenKind::Lifetime,
+                    text: chars[start..j].iter().collect(),
+                });
+                i = j;
+            } else {
+                // Char literal: '\n', 'x', '\u{1F600}' ...
+                i += 1;
+                while i < chars.len() {
+                    match chars[i] {
+                        '\\' => i += 2,
+                        '\'' => {
+                            i += 1;
+                            break;
+                        }
+                        ch => {
+                            bump_line!(ch);
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            continue;
+        }
+
+        // Identifier / keyword.
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            out.push(Token {
+                line,
+                kind: TokenKind::Ident,
+                text: chars[start..i].iter().collect(),
+            });
+            continue;
+        }
+
+        // Number: digits, radix prefixes, suffixes, and a fractional part —
+        // consumed whole so `1.5` never emits a `.` punct token.
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            if chars.get(i) == Some(&'.') && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit()) {
+                i += 1;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+            }
+            out.push(Token {
+                line,
+                kind: TokenKind::Number,
+                text: chars[start..i].iter().collect(),
+            });
+            continue;
+        }
+
+        if !c.is_whitespace() {
+            out.push(Token {
+                line,
+                kind: TokenKind::Punct(c),
+                text: c.to_string(),
+            });
+        }
+        bump_line!(c);
+        i += 1;
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let src = "let a = 1; // HashMap here\n/* Instant\n nested /* SystemTime */ */ let b;";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "a", "let", "b"]);
+    }
+
+    #[test]
+    fn strips_strings_and_raw_strings() {
+        let src = r##"let s = "unwrap()"; let r = r#"thread_rng"#; let b = b"expect";"##;
+        let ids = idents(src);
+        assert!(!ids
+            .iter()
+            .any(|i| i == "unwrap" || i == "thread_rng" || i == "expect"));
+    }
+
+    #[test]
+    fn lifetime_is_not_a_char_literal() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; }");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Lifetime && t.text == "a"));
+        // The body of the char literal must not leak an ident `x` beyond the
+        // parameter one.
+        let xs = toks.iter().filter(|t| t.is_ident("x")).count();
+        assert_eq!(xs, 1);
+    }
+
+    #[test]
+    fn numbers_swallow_fraction() {
+        let toks = lex("let f = 1.5f64;");
+        assert!(!toks.iter().any(|t| t.is_punct('.')));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Number && t.text == "1.5f64"));
+    }
+
+    #[test]
+    fn tuple_field_access_keeps_dot() {
+        let toks = lex("x.0");
+        assert!(toks.iter().any(|t| t.is_punct('.')));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_strings() {
+        let src = "let a = \"one\ntwo\";\nlet hit = 0;";
+        let toks = lex(src);
+        let hit = toks.iter().find(|t| t.is_ident("hit")).expect("hit token");
+        assert_eq!(hit.line, 3);
+    }
+
+    #[test]
+    fn method_call_tokens() {
+        let toks = lex("v.unwrap()");
+        let i = toks.iter().position(|t| t.is_ident("unwrap")).expect("pos");
+        assert!(toks[i - 1].is_punct('.'));
+        assert!(toks[i + 1].is_punct('('));
+    }
+}

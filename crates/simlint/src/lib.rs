@@ -1,0 +1,159 @@
+#![warn(missing_docs)]
+
+//! **simlint** — the workspace's determinism & invariant linter.
+//!
+//! The simulator's headline guarantee is that a run is a pure function of
+//! `(scenario, seed)`. That guarantee is easy to break silently: one
+//! `Instant::now()` in a stats path, one default-hasher `HashMap` iterated
+//! into a report, one `thread_rng()` in a workload generator. simlint scans
+//! the token stream of every Rust source in `crates/` and enforces:
+//!
+//! | code  | rule |
+//! |-------|------|
+//! | SL001 | no `Instant`/`SystemTime` in simulation crates |
+//! | SL002 | no default-hasher `HashMap`/`HashSet` in simulation state |
+//! | SL003 | no `thread_rng`/`from_entropy` anywhere |
+//! | SL004 | no `.unwrap()`/`.expect()` in non-test library code |
+//! | SL005 | no lossy `as` casts of time/byte counters |
+//!
+//! Findings can be waived per path + code in `simlint.toml`, each with a
+//! mandatory justification. Run it as `cargo run -p simlint` (human output)
+//! or `cargo run -p simlint -- --json` (machine output for CI).
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+use std::fs;
+use std::path::Path;
+
+pub use config::Waiver;
+pub use rules::Finding;
+
+/// The outcome of a lint run.
+#[derive(Debug)]
+pub struct LintReport {
+    /// Every finding, waived or not, sorted by (file, line, code).
+    pub findings: Vec<Finding>,
+    /// How many source files were scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// Findings not covered by a waiver — these fail the build.
+    pub fn active(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.waived)
+    }
+
+    /// Findings silenced by `simlint.toml`.
+    pub fn waived_count(&self) -> usize {
+        self.findings.iter().filter(|f| f.waived).count()
+    }
+
+    /// True when nothing fails the build.
+    pub fn is_clean(&self) -> bool {
+        self.active().next().is_none()
+    }
+}
+
+/// Lint the workspace rooted at `root`, applying `waivers`.
+pub fn lint_workspace(root: &Path, waivers: &[Waiver]) -> Result<LintReport, String> {
+    let files = walk::rust_sources(root)?;
+    let mut findings = Vec::new();
+    for rel in &files {
+        let source =
+            fs::read_to_string(root.join(rel)).map_err(|e| format!("reading {rel}: {e}"))?;
+        let tokens = lexer::lex(&source);
+        for mut f in rules::check_file(rel, &tokens) {
+            f.waived = waivers.iter().any(|w| w.covers(&f));
+            findings.push(f);
+        }
+    }
+    findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.code).cmp(&(b.file.as_str(), b.line, b.code)));
+    Ok(LintReport {
+        findings,
+        files_scanned: files.len(),
+    })
+}
+
+/// Load waivers from `path`. A missing file is not an error (no waivers);
+/// a malformed file is.
+pub fn load_waivers(path: &Path) -> Result<Vec<Waiver>, String> {
+    match fs::read_to_string(path) {
+        Ok(text) => config::parse(&text),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
+        Err(e) => Err(format!("reading {}: {e}", path.display())),
+    }
+}
+
+/// Render the report as a JSON object (hand-rolled: the linter stays
+/// dependency-free).
+pub fn to_json(report: &LintReport) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    let mut items = Vec::new();
+    for f in &report.findings {
+        items.push(format!(
+            "    {{\"file\": \"{}\", \"line\": {}, \"code\": \"{}\", \"waived\": {}, \"message\": \"{}\"}}",
+            esc(&f.file),
+            f.line,
+            f.code,
+            f.waived,
+            esc(&f.message)
+        ));
+    }
+    format!(
+        "{{\n  \"files_scanned\": {},\n  \"waived\": {},\n  \"active\": {},\n  \"findings\": [\n{}\n  ]\n}}",
+        report.files_scanned,
+        report.waived_count(),
+        report.active().count(),
+        items.join(",\n")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let report = LintReport {
+            findings: vec![
+                Finding {
+                    file: "crates/a/src/x.rs".into(),
+                    line: 3,
+                    code: "SL004",
+                    message: "say \"why\"".into(),
+                    waived: true,
+                },
+                Finding {
+                    file: "crates/a/src/y.rs".into(),
+                    line: 9,
+                    code: "SL001",
+                    message: "wall clock".into(),
+                    waived: false,
+                },
+            ],
+            files_scanned: 2,
+        };
+        let json = to_json(&report);
+        assert!(json.contains("\\\"why\\\""));
+        assert!(json.contains("\"active\": 1"));
+        assert!(json.contains("\"waived\": 1"));
+        assert!(!report.is_clean());
+    }
+}

@@ -1,0 +1,424 @@
+//! The lint rules: SL001–SL005.
+//!
+//! Each rule is a pure function over a file's token stream plus its
+//! workspace-relative path. The rules encode the simulator's **determinism
+//! contract** (see DESIGN.md): simulation results must be a function of the
+//! scenario and the seed, and of nothing else.
+
+use crate::lexer::{Token, TokenKind};
+
+/// One diagnostic produced by a rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Stable diagnostic code (`SL001` ... `SL005`).
+    pub code: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+    /// Set when a `simlint.toml` waiver covers this finding.
+    pub waived: bool,
+}
+
+/// Crate directories whose code *is* the simulation: wall-clock time and
+/// ambient entropy are banned here outright. `experiments` is deliberately
+/// absent — measuring real elapsed time in the harness is legitimate.
+const SIM_CRATES: &[&str] = &[
+    "simevent",
+    "netpacket",
+    "tcpstack",
+    "core",
+    "netsim",
+    "mrsim",
+    "workload",
+    "simmetrics",
+];
+
+/// Crates where default-hasher collections are banned (simulation state and
+/// anything that feeds report output, whose iteration order must be stable).
+const HASH_ORDER_CRATES: &[&str] = &[
+    "simevent",
+    "netpacket",
+    "tcpstack",
+    "core",
+    "netsim",
+    "mrsim",
+    "workload",
+    "simmetrics",
+    "experiments",
+];
+
+/// Narrow numeric types for SL005: casting a time/byte counter into one of
+/// these silently truncates at datacenter scale (a 10 s run is 1e10 ns —
+/// already past `u32`).
+const NARROW_TYPES: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "f32"];
+
+/// The crate directory name from a workspace-relative path
+/// (`crates/netsim/src/...` → `netsim`).
+fn crate_dir(path: &str) -> Option<&str> {
+    let mut parts = path.split('/');
+    if parts.next()? != "crates" {
+        return None;
+    }
+    parts.next()
+}
+
+/// True when the path is test, bench, example, or fixture code — exempt from
+/// SL004 (panicking on violated expectations is exactly what tests do).
+fn is_test_path(path: &str) -> bool {
+    path.split('/')
+        .any(|p| matches!(p, "tests" | "benches" | "examples" | "fixtures"))
+}
+
+/// Mark every token inside a `#[cfg(test)]`-gated item or a `#[test]`
+/// function body. Works on brace balance: after the attribute, everything up
+/// to the close of the next `{` block is test code.
+fn test_region_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let is_cfg_test = tokens[i].is_punct('#')
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))
+            && tokens.get(i + 2).is_some_and(|t| t.is_ident("cfg"))
+            && tokens.get(i + 3).is_some_and(|t| t.is_punct('('))
+            && tokens.get(i + 4).is_some_and(|t| t.is_ident("test"));
+        let is_test_attr = tokens[i].is_punct('#')
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))
+            && tokens.get(i + 2).is_some_and(|t| t.is_ident("test"))
+            && tokens.get(i + 3).is_some_and(|t| t.is_punct(']'));
+        if is_cfg_test || is_test_attr {
+            // Mark from the attribute to the end of the next balanced block.
+            // A `#[cfg(test)]` on a braceless item (e.g. `use`) ends at `;`
+            // before any `{` — handle that too.
+            let start = i;
+            let mut j = i;
+            let mut depth = 0usize;
+            let mut entered = false;
+            while j < tokens.len() {
+                if tokens[j].is_punct('{') {
+                    depth += 1;
+                    entered = true;
+                } else if tokens[j].is_punct('}') {
+                    depth = depth.saturating_sub(1);
+                    if entered && depth == 0 {
+                        break;
+                    }
+                } else if tokens[j].is_punct(';') && !entered {
+                    break;
+                }
+                j += 1;
+            }
+            let end = j.min(tokens.len().saturating_sub(1));
+            for m in &mut mask[start..=end] {
+                *m = true;
+            }
+            i = end + 1;
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+/// True when token `i` sits inside a `use` declaration. Sound because a
+/// `use` declaration always terminates with `;` and `use` cannot appear
+/// mid-expression: a `use` ident with no `;` after it before token `i`
+/// means `i` is still inside that declaration (group imports included).
+fn in_use_statement(tokens: &[Token], i: usize) -> bool {
+    for t in tokens[..i].iter().rev() {
+        if t.is_punct(';') {
+            return false;
+        }
+        if t.is_ident("use") {
+            return true;
+        }
+    }
+    false
+}
+
+/// Count top-level commas inside the generic argument list opening at
+/// `tokens[open]` (which must be `<`). Returns `None` when the list never
+/// closes (macro soup) — callers treat that as "cannot prove a custom
+/// hasher", i.e. flag it.
+fn generic_arity(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut commas = 0usize;
+    let mut paren = 0usize;
+    let mut j = open;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        // `->` and `=>`: the `>` is not a generics close.
+        if (t.is_punct('-') || t.is_punct('='))
+            && tokens.get(j + 1).is_some_and(|n| n.is_punct('>'))
+        {
+            j += 2;
+            continue;
+        }
+        if t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct('>') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(commas);
+            }
+        } else if t.is_punct('(') {
+            paren += 1;
+        } else if t.is_punct(')') {
+            paren = paren.saturating_sub(1);
+        } else if t.is_punct(',') && depth == 1 && paren == 0 {
+            commas += 1;
+        } else if t.is_punct(';') && depth == 1 {
+            // `[T; N]` inside generics — commas there are still top level
+            // for our purpose; nothing to do.
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Lookback window for SL005: does any of the `n` tokens before `i` name a
+/// time or byte quantity?
+fn lookback_names_counter(tokens: &[Token], i: usize, n: usize) -> Option<String> {
+    let lo = i.saturating_sub(n);
+    for t in tokens[lo..i].iter().rev() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let s = t.text.as_str();
+        let timeish = s.contains("nanos")
+            || s.contains("micros")
+            || s.contains("millis")
+            || s.ends_with("_ns")
+            || s.ends_with("_us")
+            || s.ends_with("_ms");
+        let byteish = s.contains("bytes") || s == "bps";
+        if timeish || byteish {
+            return Some(t.text.clone());
+        }
+    }
+    None
+}
+
+/// Run every rule over one file. `path` must be workspace-relative with
+/// forward slashes.
+pub fn check_file(path: &str, tokens: &[Token]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let krate = crate_dir(path);
+    let in_sim = krate.is_some_and(|c| SIM_CRATES.contains(&c));
+    let in_hash_scope = krate.is_some_and(|c| HASH_ORDER_CRATES.contains(&c));
+    let test_path = is_test_path(path);
+    let test_mask = test_region_mask(tokens);
+
+    let mut push = |line: u32, code: &'static str, message: String| {
+        out.push(Finding {
+            file: path.to_string(),
+            line,
+            code,
+            message,
+            waived: false,
+        });
+    };
+
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            // SL001: wall-clock time sources in simulation crates.
+            "Instant" | "SystemTime" if in_sim => {
+                push(
+                    t.line,
+                    "SL001",
+                    format!(
+                        "`{}` in simulation crate `{}`: simulated time must come \
+                         from SimTime, never the wall clock",
+                        t.text,
+                        krate.unwrap_or("?")
+                    ),
+                );
+            }
+            // SL002: default-hasher collections where iteration order leaks
+            // into simulation state or reports.
+            "HashMap" | "HashSet" if in_hash_scope => {
+                if in_use_statement(tokens, i) {
+                    continue; // imports are fine; usage sites are checked
+                }
+                let required = if t.text == "HashMap" { 2 } else { 1 };
+                let custom_hasher = tokens
+                    .get(i + 1)
+                    .filter(|n| n.is_punct('<'))
+                    .and_then(|_| generic_arity(tokens, i + 1))
+                    .is_some_and(|commas| commas >= required);
+                if !custom_hasher {
+                    push(
+                        t.line,
+                        "SL002",
+                        format!(
+                            "`{}` with the default (randomized) hasher: iteration \
+                             order is nondeterministic; use BTreeMap/BTreeSet or a \
+                             fixed BuildHasher",
+                            t.text
+                        ),
+                    );
+                }
+            }
+            // SL003: ambient entropy anywhere in the workspace.
+            "thread_rng" | "from_entropy" => {
+                push(
+                    t.line,
+                    "SL003",
+                    format!(
+                        "`{}`: all randomness must flow from an explicitly seeded \
+                         SimRng so runs are reproducible",
+                        t.text
+                    ),
+                );
+            }
+            // SL004: unwrap/expect in non-test library code.
+            "unwrap" | "expect" if !test_path && !test_mask[i] => {
+                let is_method_call = i > 0
+                    && tokens[i - 1].is_punct('.')
+                    && tokens.get(i + 1).is_some_and(|n| n.is_punct('('));
+                if is_method_call {
+                    push(
+                        t.line,
+                        "SL004",
+                        format!(
+                            "`.{}()` in library code: return a Result or document \
+                             the invariant with a simlint.toml waiver",
+                            t.text
+                        ),
+                    );
+                }
+            }
+            // SL005: lossy `as` casts of time/byte counters. Test code is
+            // exempt: its values are small constants by construction.
+            "as" if !test_path && !test_mask[i] => {
+                let Some(next) = tokens.get(i + 1) else {
+                    continue;
+                };
+                if next.kind == TokenKind::Ident && NARROW_TYPES.contains(&next.text.as_str()) {
+                    if let Some(counter) = lookback_names_counter(tokens, i, 6) {
+                        push(
+                            t.line,
+                            "SL005",
+                            format!(
+                                "`{}` cast to `{}` can truncate: time/byte counters \
+                                 must stay in 64-bit (or use try_into with a checked \
+                                 contract)",
+                                counter, next.text
+                            ),
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn codes(path: &str, src: &str) -> Vec<&'static str> {
+        check_file(path, &lex(src))
+            .into_iter()
+            .map(|f| f.code)
+            .collect()
+    }
+
+    #[test]
+    fn sl001_flags_instant_in_sim_crate_only() {
+        let src = "use std::time::Instant;";
+        assert_eq!(codes("crates/netsim/src/x.rs", src), vec!["SL001"]);
+        assert!(codes("crates/experiments/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn sl002_default_hasher_flagged_custom_ok() {
+        assert_eq!(
+            codes(
+                "crates/core/src/x.rs",
+                "let m: HashMap<u64, u64> = HashMap::new();"
+            ),
+            vec!["SL002", "SL002"]
+        );
+        let custom = "type S = HashSet<u64, BuildHasherDefault<SeqHasher>>;";
+        assert!(codes("crates/simevent/src/x.rs", custom).is_empty());
+        let custom_map = "type M = HashMap<u64, u64, BuildHasherDefault<SeqHasher>>;";
+        assert!(codes("crates/core/src/x.rs", custom_map).is_empty());
+    }
+
+    #[test]
+    fn sl002_use_line_exempt() {
+        assert!(codes("crates/core/src/x.rs", "use std::collections::HashSet;").is_empty());
+        assert!(codes("crates/core/src/x.rs", "pub use std::collections::HashMap;").is_empty());
+    }
+
+    #[test]
+    fn sl003_everywhere() {
+        assert_eq!(
+            codes("crates/experiments/src/x.rs", "let mut r = thread_rng();"),
+            vec!["SL003"]
+        );
+        assert_eq!(
+            codes("crates/core/src/x.rs", "let r = SmallRng::from_entropy();"),
+            vec!["SL003"]
+        );
+    }
+
+    #[test]
+    fn sl004_library_only() {
+        let src = "fn f(x: Option<u8>) { x.unwrap(); }";
+        assert_eq!(codes("crates/core/src/x.rs", src), vec!["SL004"]);
+        assert!(codes("crates/core/tests/x.rs", src).is_empty());
+        assert!(codes("crates/core/benches/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn sl004_cfg_test_region_exempt() {
+        let src = "fn lib(x: Option<u8>) -> u8 { x.unwrap_or(0) }\n\
+                   #[cfg(test)]\nmod tests {\n fn t() { Some(1).unwrap(); }\n}";
+        assert!(codes("crates/core/src/x.rs", src).is_empty());
+        let mixed = "fn lib(x: Option<u8>) { x.expect(\"set\"); }\n\
+                     #[cfg(test)]\nmod tests { fn t() { Some(1).unwrap(); } }";
+        assert_eq!(codes("crates/core/src/x.rs", mixed), vec!["SL004"]);
+    }
+
+    #[test]
+    fn sl004_ignores_unwrap_or_and_field_names() {
+        assert!(codes(
+            "crates/core/src/x.rs",
+            "x.unwrap_or(1); x.unwrap_or_default();"
+        )
+        .is_empty());
+        assert!(codes("crates/core/src/x.rs", "struct S { expect: u8 }").is_empty());
+    }
+
+    #[test]
+    fn sl005_narrow_counter_cast() {
+        assert_eq!(
+            codes("crates/core/src/x.rs", "let x = t.as_nanos() as u32;"),
+            vec!["SL005"]
+        );
+        assert_eq!(
+            codes("crates/netsim/src/x.rs", "let b = total_bytes as f32;"),
+            vec!["SL005"]
+        );
+        // 64-bit targets are fine; unrelated identifiers are fine.
+        assert!(codes("crates/core/src/x.rs", "let x = t.as_nanos() as u64;").is_empty());
+        assert!(codes("crates/core/src/x.rs", "let i = idx as u32;").is_empty());
+    }
+
+    #[test]
+    fn comments_and_strings_never_fire() {
+        let src = "// Instant HashMap thread_rng .unwrap()\nlet s = \"SystemTime\";";
+        assert!(codes("crates/netsim/src/x.rs", src).is_empty());
+    }
+}

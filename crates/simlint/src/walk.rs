@@ -1,0 +1,89 @@
+//! Deterministic workspace walker.
+//!
+//! Collects every `.rs` file under `<root>/crates/`, sorted, skipping build
+//! output (`target/`) and the linter's own test fixtures (`fixtures/` —
+//! those files contain violations *on purpose*).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", "fixtures", ".git"];
+
+/// Collect workspace-relative paths (forward slashes) of all Rust sources
+/// under `root/crates`, sorted for deterministic output.
+pub fn rust_sources(root: &Path) -> Result<Vec<String>, String> {
+    let crates = root.join("crates");
+    if !crates.is_dir() {
+        return Err(format!(
+            "{} has no crates/ directory — pass the workspace root with --root",
+            root.display()
+        ));
+    }
+    let mut files = Vec::new();
+    collect(&crates, &mut files)?;
+    let mut rel: Vec<String> = files
+        .into_iter()
+        .filter_map(|p| {
+            p.strip_prefix(root).ok().map(|r| {
+                r.components()
+                    .map(|c| c.as_os_str().to_string_lossy())
+                    .collect::<Vec<_>>()
+                    .join("/")
+            })
+        })
+        .collect();
+    rel.sort();
+    Ok(rel)
+}
+
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
+    // Sort directory entries so traversal order never depends on the
+    // filesystem.
+    let mut entries: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            if SKIP_DIRS.contains(&name.as_str()) {
+                continue;
+            }
+            collect(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_this_crate_sorted_without_fixtures() {
+        // CARGO_MANIFEST_DIR = crates/simlint → workspace root is two up.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("workspace root");
+        let files = rust_sources(root).expect("walk succeeds");
+        assert!(files.iter().any(|f| f == "crates/simlint/src/lexer.rs"));
+        assert!(
+            files.iter().all(|f| !f.contains("/fixtures/")),
+            "fixture files must never be scanned"
+        );
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted, "walker output must be sorted");
+    }
+
+    #[test]
+    fn missing_crates_dir_is_an_error() {
+        assert!(rust_sources(Path::new("/nonexistent-simlint-root")).is_err());
+    }
+}

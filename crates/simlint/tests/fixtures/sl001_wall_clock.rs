@@ -1,0 +1,20 @@
+// Fixture: SL001 — wall-clock time sources in a simulation crate.
+// Scanned by tests/lint_tests.rs under a synthetic crates/netsim/src/ path;
+// never compiled, never scanned by the workspace walker (fixtures/ is
+// skipped).
+
+use std::time::Instant;
+
+pub fn bad_latency_probe() -> u128 {
+    let start = Instant::now(); // SL001
+    start.elapsed().as_nanos()
+}
+
+pub fn bad_timestamp() {
+    let _ = std::time::SystemTime::now(); // SL001
+}
+
+// Negative case: the word in a comment (Instant) or string must not fire.
+pub fn fine() -> &'static str {
+    "Instant SystemTime"
+}

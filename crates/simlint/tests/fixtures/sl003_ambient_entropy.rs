@@ -1,0 +1,14 @@
+// Fixture: SL003 — ambient entropy (workspace-wide, even in experiments).
+
+pub fn bad_seed() -> u64 {
+    let mut rng = rand::thread_rng(); // SL003
+    rng.gen()
+}
+
+pub fn bad_init() {
+    let _rng = SmallRng::from_entropy(); // SL003
+}
+
+pub fn fine(seed: u64) {
+    let _rng = SimRng::seed_from_u64(seed); // explicit seed: allowed
+}

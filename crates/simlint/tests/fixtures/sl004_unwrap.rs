@@ -1,0 +1,19 @@
+// Fixture: SL004 — unwrap/expect in non-test library code.
+
+pub fn bad(x: Option<u8>, y: Result<u8, ()>) -> u8 {
+    let a = x.unwrap(); // SL004
+    let b = y.expect("y must be set"); // SL004
+    a + b
+}
+
+pub fn fine(x: Option<u8>) -> u8 {
+    x.unwrap_or(0) // unwrap_or is not unwrap
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        Some(1u8).unwrap(); // exempt: inside #[cfg(test)]
+    }
+}

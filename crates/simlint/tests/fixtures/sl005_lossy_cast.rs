@@ -1,0 +1,13 @@
+// Fixture: SL005 — lossy casts of time/byte counters.
+
+pub fn bad(t: SimDuration, total_bytes: u64) -> (u32, f32) {
+    let ns = t.as_nanos() as u32; // SL005: 10 s of sim time overflows u32
+    let b = total_bytes as f32; // SL005: f32 loses integer precision past 2^24
+    (ns, b)
+}
+
+pub fn fine(t: SimDuration, idx: usize) -> (u64, u32) {
+    let ns = t.as_nanos() as u64; // 64-bit stays lossless
+    let i = idx as u32; // not a time/byte counter
+    (ns, i)
+}

@@ -1,0 +1,109 @@
+//! Integration tests: each fixture under `tests/fixtures/` is scanned under
+//! a synthetic workspace-relative path (the rules are path-sensitive), plus
+//! the self-check — the real workspace must lint clean with the real
+//! `simlint.toml`.
+
+use simlint::lexer::lex;
+use simlint::rules::check_file;
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+}
+
+fn codes(path: &str, source: &str) -> Vec<&'static str> {
+    check_file(path, &lex(source))
+        .into_iter()
+        .map(|f| f.code)
+        .collect()
+}
+
+#[test]
+fn sl001_fixture() {
+    let src = fixture("sl001_wall_clock.rs");
+    // Positive: in a sim crate, both wall-clock types fire (Instant twice:
+    // the use-line and the call site; SystemTime once).
+    let found = codes("crates/netsim/src/probe.rs", &src);
+    assert!(found.iter().all(|c| *c == "SL001"), "only SL001: {found:?}");
+    assert_eq!(found.len(), 3);
+    // Negative: the experiments harness may measure wall time.
+    assert!(codes("crates/experiments/src/probe.rs", &src).is_empty());
+}
+
+#[test]
+fn sl002_fixture() {
+    let src = fixture("sl002_default_hasher.rs");
+    let findings = check_file("crates/tcpstack/src/state.rs", &lex(&src));
+    let lines: Vec<u32> = findings.iter().map(|f| f.line).collect();
+    assert!(findings.iter().all(|f| f.code == "SL002"));
+    assert_eq!(
+        findings.len(),
+        2,
+        "exactly the two default-hasher fields: {findings:?}"
+    );
+    // The custom-hasher and BTreeMap fields (lines 11+) must not fire.
+    assert!(lines.iter().all(|&l| l < 11), "lines: {lines:?}");
+}
+
+#[test]
+fn sl003_fixture() {
+    let src = fixture("sl003_ambient_entropy.rs");
+    // Workspace-wide: fires even outside simulation crates.
+    assert_eq!(
+        codes("crates/experiments/src/gen.rs", &src),
+        vec!["SL003", "SL003"]
+    );
+}
+
+#[test]
+fn sl004_fixture() {
+    let src = fixture("sl004_unwrap.rs");
+    // Positive in library code; the #[cfg(test)] unwrap is exempt.
+    assert_eq!(codes("crates/core/src/x.rs", &src), vec!["SL004", "SL004"]);
+    // Whole file exempt under tests/.
+    assert!(codes("crates/core/tests/x.rs", &src).is_empty());
+}
+
+#[test]
+fn sl005_fixture() {
+    let src = fixture("sl005_lossy_cast.rs");
+    assert_eq!(codes("crates/core/src/x.rs", &src), vec!["SL005", "SL005"]);
+}
+
+#[test]
+fn waiver_silences_exactly_its_code_and_path() {
+    let src = fixture("sl004_unwrap.rs");
+    let waivers = simlint::config::parse(
+        "[[waiver]]\n\
+         code = \"SL004\"\n\
+         path = \"crates/core/src/x.rs\"\n\
+         reason = \"fixture: documented invariant\"\n",
+    )
+    .expect("waiver parses");
+    let findings = check_file("crates/core/src/x.rs", &lex(&src));
+    assert!(findings.iter().all(|f| waivers[0].covers(f)));
+    // Same finding in another file is NOT covered.
+    let elsewhere = check_file("crates/core/src/y.rs", &lex(&src));
+    assert!(elsewhere.iter().all(|f| !waivers[0].covers(f)));
+}
+
+/// The tree itself must be clean: every finding either fixed or waived with
+/// a justification in the real simlint.toml. This is the test CI leans on.
+#[test]
+fn workspace_self_check_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let waivers = simlint::load_waivers(&root.join("simlint.toml")).expect("simlint.toml parses");
+    let report = simlint::lint_workspace(root, &waivers).expect("lint runs");
+    let active: Vec<_> = report.active().collect();
+    assert!(
+        active.is_empty(),
+        "workspace must lint clean; active findings: {active:#?}"
+    );
+    assert!(report.files_scanned > 50, "walker found the workspace");
+}

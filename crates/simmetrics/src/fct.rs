@@ -213,7 +213,7 @@ fn class_summary(samples: &[FctSample], ideal: &IdealFct) -> ClassFctSummary {
         fct_p50_us: percentile_sorted(&fcts, 0.50),
         fct_p95_us: percentile_sorted(&fcts, 0.95),
         fct_p99_us: percentile_sorted(&fcts, 0.99),
-        fct_max_us: *fcts.last().expect("non-empty"),
+        fct_max_us: fcts.last().copied().unwrap_or(0.0),
         slowdown_mean: slowdowns.iter().sum::<f64>() / n,
         slowdown_p50: percentile_sorted(&slowdowns, 0.50),
         slowdown_p95: percentile_sorted(&slowdowns, 0.95),
@@ -288,6 +288,59 @@ mod tests {
         assert_eq!(percentile_sorted(&xs, 0.125), 1.5);
         assert_eq!(percentile_sorted(&[7.0], 0.99), 7.0, "single sample");
         assert_eq!(percentile_sorted(&[], 0.5), 0.0, "empty");
+    }
+
+    #[test]
+    fn single_sample_summary_is_that_sample() {
+        let mut c = FctCollector::new(ideal());
+        c.record(FlowClass::Mouse, 1000, SimDuration::from_micros(250));
+        let s = c.summary();
+        assert_eq!(s.all.flows, 1);
+        // Every percentile of a one-sample distribution is the sample.
+        assert_eq!(s.mice.fct_p50_us, 250.0);
+        assert_eq!(s.mice.fct_p95_us, 250.0);
+        assert_eq!(s.mice.fct_p99_us, 250.0);
+        assert_eq!(s.mice.fct_max_us, 250.0);
+        assert_eq!(s.mice.fct_mean_us, 250.0);
+        assert_eq!(s.mice.slowdown_p50, s.mice.slowdown_mean);
+        // The untouched class stays all-zero.
+        assert_eq!(s.elephants.flows, 0);
+        assert_eq!(s.elephants.fct_max_us, 0.0);
+    }
+
+    #[test]
+    fn duplicate_samples_collapse_every_percentile() {
+        let mut c = FctCollector::new(ideal());
+        for _ in 0..1000 {
+            c.record(FlowClass::Elephant, 50_000, SimDuration::from_micros(777));
+        }
+        let s = c.summary();
+        for v in [
+            s.elephants.fct_p50_us,
+            s.elephants.fct_p95_us,
+            s.elephants.fct_p99_us,
+            s.elephants.fct_max_us,
+            s.elephants.fct_mean_us,
+        ] {
+            assert_eq!(v, 777.0, "all statistics of a constant sample agree");
+        }
+        assert_eq!(s.elephants.slowdown_p99, s.elephants.slowdown_p50);
+    }
+
+    #[test]
+    fn percentile_sorted_duplicate_plateau() {
+        // A run of duplicates: percentiles inside the plateau return the
+        // duplicated value exactly (no interpolation drift).
+        let xs = [1.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0, 9.0];
+        assert_eq!(percentile_sorted(&xs, 0.0), 1.0);
+        assert_eq!(percentile_sorted(&xs, 0.5), 5.0);
+        assert_eq!(percentile_sorted(&xs, 0.75), 5.0);
+        assert_eq!(percentile_sorted(&xs, 1.0), 9.0);
+        // Monotone across the plateau edges.
+        let qs = [0.0, 0.1, 0.2, 0.5, 0.8, 0.9, 1.0];
+        for w in qs.windows(2) {
+            assert!(percentile_sorted(&xs, w[0]) <= percentile_sorted(&xs, w[1]));
+        }
     }
 
     #[test]

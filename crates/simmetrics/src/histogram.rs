@@ -312,6 +312,20 @@ mod tests {
     }
 
     #[test]
+    fn percentile_duplicates_collapse_to_value() {
+        // Every sample identical: the [min, max] clamp pins every percentile
+        // to the duplicated value, whatever the in-bucket interpolation says.
+        let mut h = LatencyHistogram::new();
+        for _ in 0..1000 {
+            h.record(SimDuration::from_micros(333));
+        }
+        for q in [0.0, 0.01, 0.25, 0.5, 0.75, 0.99, 1.0] {
+            assert_eq!(h.percentile(q), SimDuration::from_micros(333), "q = {q}");
+        }
+        assert_eq!(h.mean(), SimDuration::from_micros(333));
+    }
+
+    #[test]
     fn merge_with_empty_keeps_minmax() {
         let mut a = LatencyHistogram::new();
         a.record(SimDuration::from_micros(5));

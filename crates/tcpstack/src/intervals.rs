@@ -46,9 +46,10 @@ impl IntervalSet {
     pub fn prune_below(&mut self, x: u64) {
         let below: Vec<u64> = self.map.range(..x).map(|(&s, _)| s).collect();
         for s in below {
-            let e = self.map.remove(&s).unwrap();
-            if e > x {
-                self.map.insert(x, e);
+            if let Some(e) = self.map.remove(&s) {
+                if e > x {
+                    self.map.insert(x, e);
+                }
             }
         }
     }
