@@ -6,9 +6,11 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use experiments::scenario::{
-    run_scenario_once_with, BufferDepth, Engine, QueueKind, ScenarioConfig, Transport,
+    run_scenario_once_traced, run_scenario_once_with, BufferDepth, Engine, QueueKind,
+    ScenarioConfig, Transport,
 };
 use simevent::{CalendarQueue, EventQueue, QueueBackend, SimDuration, SimTime};
+use simtrace::{NullSink, TraceHandle};
 
 /// Deterministic 64-bit LCG (MMIX constants) for workload jitter.
 struct Lcg(u64);
@@ -82,5 +84,33 @@ fn bench_engines(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(kernel, bench_backends, bench_engines);
+/// Trace-overhead tiers on the same Fig. 2 point: the disabled handle (one
+/// predictable branch per emission site — must be indistinguishable from
+/// untraced) and an enabled handle draining into [`NullSink`] (the cost of
+/// event construction + the sink lock, with no IO).
+fn bench_trace_overhead(c: &mut Criterion) {
+    let cfg = ScenarioConfig::tiny();
+    let point = |trace: TraceHandle| {
+        run_scenario_once_traced(
+            &cfg,
+            Transport::Dctcp,
+            QueueKind::SimpleMarking,
+            BufferDepth::Shallow,
+            SimDuration::from_micros(500),
+            Engine::Fast,
+            trace,
+        )
+    };
+    let mut g = c.benchmark_group("fig2_point_trace");
+    g.sample_size(10);
+    g.bench_function("untraced", |b| {
+        b.iter(|| black_box(point(TraceHandle::null())))
+    });
+    g.bench_function("null_sink", |b| {
+        b.iter(|| black_box(point(TraceHandle::new(Box::new(NullSink)))))
+    });
+    g.finish();
+}
+
+criterion_group!(kernel, bench_backends, bench_engines, bench_trace_overhead);
 criterion_main!(kernel);

@@ -4,10 +4,12 @@
 
 use crate::ProtectionMode;
 use netpacket::{
-    ConservationCheck, EnqueueOutcome, Packet, PacketKind, QueueDiscipline, QueueStats,
+    packet_event, ConservationCheck, EnqueueOutcome, Packet, PacketKind, QueueDiscipline,
+    QueueStats,
 };
 use serde::{Deserialize, Serialize};
 use simevent::{SimDuration, SimTime};
+use simtrace::{EventKind, TraceHandle, NO_QUEUE};
 use std::collections::VecDeque;
 
 /// Configuration for [`CoDel`].
@@ -71,6 +73,8 @@ pub struct CoDel {
     drop_next: SimTime,
     count: u32,
     conserve: ConservationCheck,
+    trace: TraceHandle,
+    trace_q: u32,
 }
 
 impl CoDel {
@@ -87,6 +91,8 @@ impl CoDel {
             drop_next: SimTime::ZERO,
             count: 0,
             conserve: ConservationCheck::default(),
+            trace: TraceHandle::null(),
+            trace_q: NO_QUEUE,
         }
     }
 
@@ -132,10 +138,14 @@ impl CoDel {
 
     /// Apply the congestion signal to `p`: returns the packet to deliver
     /// (marked or protected) or `None` if it was dropped.
-    fn signal(&mut self, mut p: Packet) -> Option<Packet> {
+    fn signal(&mut self, mut p: Packet, now: SimTime) -> Option<Packet> {
         if self.cfg.ecn && p.is_ect() {
             p.ecn = p.ecn.marked();
             self.stats.marked.bump(PacketKind::of(&p));
+            if self.trace.is_enabled() {
+                self.trace
+                    .emit(packet_event(EventKind::Marked, now, self.trace_q, &p));
+            }
             return Some(p);
         }
         if self.cfg.ecn && self.cfg.protection.protects(&p) {
@@ -143,6 +153,12 @@ impl CoDel {
         }
         self.stats.dropped_early.bump(PacketKind::of(&p));
         self.conserve.on_drop_resident(p.wire_bytes());
+        if self.trace.is_enabled() {
+            // CoDel's early drop happens at dequeue time (head drop), so the
+            // event's stamp is the dequeue decision, not the arrival.
+            self.trace
+                .emit(packet_event(EventKind::DroppedEarly, now, self.trace_q, &p));
+        }
         None
     }
 
@@ -162,7 +178,7 @@ impl CoDel {
                 if now >= self.drop_next {
                     self.count += 1;
                     self.drop_next += self.control_interval();
-                    match self.signal(p) {
+                    match self.signal(p, now) {
                         Some(delivered) => return Some(delivered),
                         None => continue, // dropped: pull the next packet
                     }
@@ -181,7 +197,7 @@ impl CoDel {
                     1
                 };
                 self.drop_next = now + self.control_interval();
-                match self.signal(p) {
+                match self.signal(p, now) {
                     Some(delivered) => return Some(delivered),
                     None => continue,
                 }
@@ -196,7 +212,23 @@ impl QueueDiscipline for CoDel {
         let kind = PacketKind::of(&packet);
         if self.queue.len() as u64 >= self.cfg.capacity_packets {
             self.stats.dropped_full.bump(kind);
+            if self.trace.is_enabled() {
+                self.trace.emit(packet_event(
+                    EventKind::DroppedFull,
+                    now,
+                    self.trace_q,
+                    &packet,
+                ));
+            }
             return EnqueueOutcome::DroppedFull;
+        }
+        if self.trace.is_enabled() {
+            self.trace.emit(packet_event(
+                EventKind::Enqueued,
+                now,
+                self.trace_q,
+                &packet,
+            ));
         }
         let bytes = packet.wire_bytes();
         self.bytes += bytes as u64;
@@ -213,6 +245,10 @@ impl QueueDiscipline for CoDel {
         if let Some(p) = &delivered {
             self.conserve.on_deliver(p.wire_bytes());
             self.stats.on_dequeue(PacketKind::of(p), p.wire_bytes());
+            if self.trace.is_enabled() {
+                self.trace
+                    .emit(packet_event(EventKind::Dequeued, now, self.trace_q, p));
+            }
         }
         self.debug_verify_conservation();
         delivered
@@ -255,6 +291,11 @@ impl QueueDiscipline for CoDel {
     fn debug_verify_conservation(&self) {
         self.conserve
             .verify("CoDel", &self.stats, self.queue.len() as u64, self.bytes);
+    }
+
+    fn set_trace(&mut self, trace: TraceHandle, queue: u32) {
+        self.trace = trace;
+        self.trace_q = queue;
     }
 }
 

@@ -2,11 +2,16 @@
 
 use crate::fifo::Fifo;
 use netpacket::{
-    ConservationCheck, EnqueueOutcome, Packet, PacketKind, QueueDiscipline, QueueStats,
+    packet_event, ConservationCheck, EnqueueOutcome, Packet, PacketKind, QueueDiscipline,
+    QueueStats,
 };
 use simevent::SimTime;
+use simtrace::{EventKind, TraceHandle, NO_QUEUE};
 
 /// A DropTail queue: accept until the packet buffer is full, then drop.
+///
+/// Capacity is deliberately packet-denominated: DropTail has no byte mode
+/// (unlike [`crate::Red`]), matching the paper's fixed-depth switch buffers.
 ///
 /// Every result in the paper's §IV is normalised to this discipline (with
 /// shallow buffers for runtime/throughput, and with matching buffer depth for
@@ -17,6 +22,8 @@ pub struct DropTail {
     capacity_packets: u64,
     stats: QueueStats,
     conserve: ConservationCheck,
+    trace: TraceHandle,
+    trace_q: u32,
 }
 
 impl DropTail {
@@ -28,6 +35,8 @@ impl DropTail {
             capacity_packets,
             stats: QueueStats::default(),
             conserve: ConservationCheck::default(),
+            trace: TraceHandle::null(),
+            trace_q: NO_QUEUE,
         }
     }
 
@@ -38,11 +47,27 @@ impl DropTail {
 }
 
 impl QueueDiscipline for DropTail {
-    fn enqueue(&mut self, packet: Packet, _now: SimTime) -> EnqueueOutcome {
+    fn enqueue(&mut self, packet: Packet, now: SimTime) -> EnqueueOutcome {
         let kind = PacketKind::of(&packet);
         if self.fifo.len() >= self.capacity_packets {
             self.stats.dropped_full.bump(kind);
+            if self.trace.is_enabled() {
+                self.trace.emit(packet_event(
+                    EventKind::DroppedFull,
+                    now,
+                    self.trace_q,
+                    &packet,
+                ));
+            }
             return EnqueueOutcome::DroppedFull;
+        }
+        if self.trace.is_enabled() {
+            self.trace.emit(packet_event(
+                EventKind::Enqueued,
+                now,
+                self.trace_q,
+                &packet,
+            ));
         }
         let bytes = packet.wire_bytes();
         self.fifo.push(packet);
@@ -53,10 +78,14 @@ impl QueueDiscipline for DropTail {
         EnqueueOutcome::Enqueued
     }
 
-    fn dequeue(&mut self, _now: SimTime) -> Option<Packet> {
+    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
         let p = self.fifo.pop()?;
         self.conserve.on_deliver(p.wire_bytes());
         self.stats.on_dequeue(PacketKind::of(&p), p.wire_bytes());
+        if self.trace.is_enabled() {
+            self.trace
+                .emit(packet_event(EventKind::Dequeued, now, self.trace_q, &p));
+        }
         self.debug_verify_conservation();
         Some(p)
     }
@@ -92,6 +121,11 @@ impl QueueDiscipline for DropTail {
     fn debug_verify_conservation(&self) {
         self.conserve
             .verify("DropTail", &self.stats, self.fifo.len(), self.fifo.bytes());
+    }
+
+    fn set_trace(&mut self, trace: TraceHandle, queue: u32) {
+        self.trace = trace;
+        self.trace_q = queue;
     }
 }
 

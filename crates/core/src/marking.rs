@@ -3,9 +3,11 @@
 use crate::config::SimpleMarkingConfig;
 use crate::fifo::Fifo;
 use netpacket::{
-    ConservationCheck, EnqueueOutcome, Packet, PacketKind, QueueDiscipline, QueueStats,
+    packet_event, ConservationCheck, EnqueueOutcome, Packet, PacketKind, QueueDiscipline,
+    QueueStats,
 };
 use simevent::SimTime;
+use simtrace::{EventKind, TraceHandle, NO_QUEUE};
 
 /// A single-threshold marking queue that **never early-drops**.
 ///
@@ -18,13 +20,16 @@ use simevent::SimTime;
 ///   the threshold `K` are CE-marked and enqueued;
 /// * non-ECT packets (ACKs, SYN, SYN-ACK, or plain-TCP data) are enqueued
 ///   untouched regardless of the threshold;
-/// * the **only** loss is tail drop when the physical buffer is full.
+/// * the **only** loss is tail drop when the physical buffer is full
+///   (capacity and threshold are packet counts by design — no byte mode).
 #[derive(Debug)]
 pub struct SimpleMarking {
     cfg: SimpleMarkingConfig,
     fifo: Fifo,
     stats: QueueStats,
     conserve: ConservationCheck,
+    trace: TraceHandle,
+    trace_q: u32,
 }
 
 impl SimpleMarking {
@@ -36,6 +41,8 @@ impl SimpleMarking {
             cfg,
             stats: QueueStats::default(),
             conserve: ConservationCheck::default(),
+            trace: TraceHandle::null(),
+            trace_q: NO_QUEUE,
         }
     }
 
@@ -51,15 +58,35 @@ impl SimpleMarking {
 }
 
 impl QueueDiscipline for SimpleMarking {
-    fn enqueue(&mut self, mut packet: Packet, _now: SimTime) -> EnqueueOutcome {
+    fn enqueue(&mut self, mut packet: Packet, now: SimTime) -> EnqueueOutcome {
         let kind = PacketKind::of(&packet);
         if self.fifo.len() >= self.cfg.capacity_packets {
             self.stats.dropped_full.bump(kind);
+            if self.trace.is_enabled() {
+                self.trace.emit(packet_event(
+                    EventKind::DroppedFull,
+                    now,
+                    self.trace_q,
+                    &packet,
+                ));
+            }
             return EnqueueOutcome::DroppedFull;
         }
         let mark = packet.is_ect() && self.fifo.len() >= self.cfg.threshold_packets;
         if mark {
             packet.ecn = packet.ecn.marked();
+        }
+        if self.trace.is_enabled() {
+            if mark {
+                self.trace
+                    .emit(packet_event(EventKind::Marked, now, self.trace_q, &packet));
+            }
+            self.trace.emit(packet_event(
+                EventKind::Enqueued,
+                now,
+                self.trace_q,
+                &packet,
+            ));
         }
         let bytes = packet.wire_bytes();
         self.fifo.push(packet);
@@ -74,10 +101,14 @@ impl QueueDiscipline for SimpleMarking {
         }
     }
 
-    fn dequeue(&mut self, _now: SimTime) -> Option<Packet> {
+    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
         let p = self.fifo.pop()?;
         self.conserve.on_deliver(p.wire_bytes());
         self.stats.on_dequeue(PacketKind::of(&p), p.wire_bytes());
+        if self.trace.is_enabled() {
+            self.trace
+                .emit(packet_event(EventKind::Dequeued, now, self.trace_q, &p));
+        }
         self.debug_verify_conservation();
         Some(p)
     }
@@ -120,6 +151,11 @@ impl QueueDiscipline for SimpleMarking {
             self.fifo.len(),
             self.fifo.bytes(),
         );
+    }
+
+    fn set_trace(&mut self, trace: TraceHandle, queue: u32) {
+        self.trace = trace;
+        self.trace_q = queue;
     }
 }
 

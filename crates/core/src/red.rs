@@ -3,9 +3,11 @@
 use crate::config::RedConfig;
 use crate::fifo::Fifo;
 use netpacket::{
-    ConservationCheck, EnqueueOutcome, Packet, PacketKind, QueueDiscipline, QueueStats,
+    packet_event, ConservationCheck, EnqueueOutcome, Packet, PacketKind, QueueDiscipline,
+    QueueStats,
 };
 use simevent::{SimDuration, SimRng, SimTime};
+use simtrace::{EventKind, TraceHandle, NO_QUEUE};
 
 /// RED (Floyd & Jacobson 1993) as implemented by switch vendors, extended with
 /// the paper's configurable handling of non-ECT packets.
@@ -42,6 +44,8 @@ pub struct Red {
     /// Assumed transmission time of a mean-size packet, used only to scale the
     /// idle decay of the EWMA (classic RED's `s` parameter).
     idle_packet_time: SimDuration,
+    trace: TraceHandle,
+    trace_q: u32,
 }
 
 impl Red {
@@ -60,6 +64,8 @@ impl Red {
             count: -1,
             idle_since: Some(SimTime::ZERO),
             idle_packet_time: SimDuration::from_micros(12),
+            trace: TraceHandle::null(),
+            trace_q: NO_QUEUE,
         }
     }
 
@@ -91,6 +97,23 @@ impl Red {
             self.fifo.bytes() as f64
         } else {
             self.fifo.len() as f64
+        }
+    }
+
+    /// Is the physical buffer too full to admit `packet`? In byte mode the
+    /// buffer budget is `capacity_packets` mean-size packets worth of bytes
+    /// (the same scaling [`Red::thresholds`] applies), so capacity and
+    /// thresholds are expressed in the same unit; in packet mode it is a
+    /// packet count.
+    fn buffer_full(&self, packet: &Packet) -> bool {
+        if self.cfg.byte_mode {
+            let budget = self
+                .cfg
+                .capacity_packets
+                .saturating_mul(self.cfg.mean_packet_bytes as u64);
+            self.fifo.bytes() + packet.wire_bytes() as u64 > budget
+        } else {
+            self.fifo.len() >= self.cfg.capacity_packets
         }
     }
 
@@ -127,12 +150,15 @@ impl Red {
         }
         if self.avg >= max_th {
             if self.cfg.gentle {
-                // Ramp from max_p at max_th to 1 at 2*max_th.
+                // Ramp from max_p at max_th to 1 at 2*max_th. Gentle RED is
+                // the [min_th, max_th) band extended, so it uses the same
+                // count-corrected uniformisation: `count` keeps growing while
+                // notifies fail and only resets on a notify.
                 let span = max_th.max(1.0);
                 let frac = ((self.avg - max_th) / span).min(1.0);
-                let p = self.cfg.max_p + (1.0 - self.cfg.max_p) * frac;
-                self.count = 0;
-                return self.rng.chance(p);
+                let p_b = self.cfg.max_p + (1.0 - self.cfg.max_p) * frac;
+                self.count += 1;
+                return self.notify_with_count(p_b);
             }
             self.count = 0;
             return true;
@@ -140,6 +166,13 @@ impl Red {
         // min_th <= avg < max_th: probabilistic with count correction.
         self.count += 1;
         let p_b = self.cfg.max_p * (self.avg - min_th) / (max_th - min_th).max(f64::MIN_POSITIVE);
+        self.notify_with_count(p_b)
+    }
+
+    /// Classic RED uniformisation: notify with `p_a = p_b / (1 - count*p_b)`,
+    /// resetting `count` only when the notify actually happens. This bounds
+    /// the inter-notification gap at `ceil(1/p_b)` arrivals.
+    fn notify_with_count(&mut self, p_b: f64) -> bool {
         let denom = 1.0 - self.count as f64 * p_b;
         let p_a = if denom <= 0.0 {
             1.0
@@ -154,10 +187,22 @@ impl Red {
         }
     }
 
-    fn accept(&mut self, mut packet: Packet, mark: bool) -> EnqueueOutcome {
+    fn accept(&mut self, mut packet: Packet, mark: bool, now: SimTime) -> EnqueueOutcome {
         let kind = PacketKind::of(&packet);
         if mark {
             packet.ecn = packet.ecn.marked();
+        }
+        if self.trace.is_enabled() {
+            if mark {
+                self.trace
+                    .emit(packet_event(EventKind::Marked, now, self.trace_q, &packet));
+            }
+            self.trace.emit(packet_event(
+                EventKind::Enqueued,
+                now,
+                self.trace_q,
+                &packet,
+            ));
         }
         let bytes = packet.wire_bytes();
         self.fifo.push(packet);
@@ -176,24 +221,50 @@ impl Red {
 impl QueueDiscipline for Red {
     fn enqueue(&mut self, packet: Packet, now: SimTime) -> EnqueueOutcome {
         let kind = PacketKind::of(&packet);
-        if self.fifo.len() >= self.cfg.capacity_packets {
+        // Classic RED (Floyd & Jacobson) updates the average on *every*
+        // arrival, including ones about to be tail-dropped — otherwise the
+        // EWMA freezes while the buffer is full and under-reports congestion
+        // right after overload.
+        self.update_avg(now);
+        if self.buffer_full(&packet) {
             self.stats.dropped_full.bump(kind);
+            if self.fifo.is_empty() {
+                // Byte mode can tail-drop an oversized arrival while the
+                // queue is empty; keep the idle clock running so the EWMA
+                // decay is not lost across the drop.
+                self.idle_since = Some(now);
+            }
+            if self.trace.is_enabled() {
+                self.trace.emit(packet_event(
+                    EventKind::DroppedFull,
+                    now,
+                    self.trace_q,
+                    &packet,
+                ));
+            }
             return EnqueueOutcome::DroppedFull;
         }
-        self.update_avg(now);
         if !self.should_notify() {
-            return self.accept(packet, false);
+            return self.accept(packet, false, now);
         }
         // Congestion must be signalled for this packet.
         if self.cfg.ecn && packet.is_ect() {
-            return self.accept(packet, true);
+            return self.accept(packet, true, now);
         }
         if self.cfg.ecn && self.cfg.protection.protects(&packet) {
             // The paper's modification: protected non-ECT packets are admitted
             // unmarked instead of early-dropped.
-            return self.accept(packet, false);
+            return self.accept(packet, false, now);
         }
         self.stats.dropped_early.bump(kind);
+        if self.trace.is_enabled() {
+            self.trace.emit(packet_event(
+                EventKind::DroppedEarly,
+                now,
+                self.trace_q,
+                &packet,
+            ));
+        }
         EnqueueOutcome::DroppedEarly
     }
 
@@ -203,6 +274,10 @@ impl QueueDiscipline for Red {
         self.stats.on_dequeue(PacketKind::of(&p), p.wire_bytes());
         if self.fifo.is_empty() {
             self.idle_since = Some(now);
+        }
+        if self.trace.is_enabled() {
+            self.trace
+                .emit(packet_event(EventKind::Dequeued, now, self.trace_q, &p));
         }
         self.debug_verify_conservation();
         Some(p)
@@ -246,6 +321,11 @@ impl QueueDiscipline for Red {
     fn debug_verify_conservation(&self) {
         self.conserve
             .verify("RED", &self.stats, self.fifo.len(), self.fifo.bytes());
+    }
+
+    fn set_trace(&mut self, trace: TraceHandle, queue: u32) {
+        self.trace = trace;
+        self.trace_q = queue;
     }
 }
 
@@ -632,6 +712,177 @@ mod tests {
         assert!(
             accepts > 0 && drops > 0,
             "gentle band must be probabilistic: {accepts}/{drops}"
+        );
+    }
+
+    #[test]
+    fn byte_mode_capacity_is_a_byte_budget() {
+        // Regression: tail drop used to check `fifo.len() >= capacity_packets`
+        // even in byte mode, so a byte-mode queue enforced capacity in
+        // packets. The budget is `capacity_packets` mean-size packets of
+        // bytes, the same scaling `thresholds()` applies.
+        let mut cfg = single_threshold(1000, 10, ProtectionMode::Default);
+        cfg.byte_mode = true; // budget: 10 * 1500 = 15_000 bytes
+        let mut q = Red::new(cfg, 1);
+        // 150-byte ACKs: a packet-denominated cap would tail-drop the 11th;
+        // the byte budget holds exactly 100 of them.
+        let mut admitted = 0;
+        for i in 0..200 {
+            if q.enqueue(ack(i, TcpFlags::ACK), SimTime::ZERO).accepted() {
+                admitted += 1;
+            }
+        }
+        assert_eq!(admitted, 100, "15_000 B budget / 150 B ACKs");
+        assert_eq!(q.stats().dropped_full.total(), 100);
+        assert_eq!(q.stats().dropped_early.total(), 0);
+    }
+
+    #[test]
+    fn byte_mode_data_fills_budget_before_packet_cap() {
+        let mut cfg = single_threshold(1000, 10, ProtectionMode::Default);
+        cfg.byte_mode = true; // budget: 15_000 bytes; data wire size is 1514
+        let mut q = Red::new(cfg, 1);
+        let mut admitted = 0;
+        for i in 0..20 {
+            if q.enqueue(data(i, EcnCodepoint::Ect0), SimTime::ZERO)
+                .accepted()
+            {
+                admitted += 1;
+            }
+        }
+        // 9 * 1514 = 13_626 fits; the 10th (15_140) exceeds the budget, so
+        // byte mode admits fewer full-size packets than the packet cap would.
+        assert_eq!(admitted, 9);
+    }
+
+    #[test]
+    fn ewma_keeps_updating_while_buffer_full() {
+        // Regression: the tail-drop path returned before `update_avg`, so the
+        // EWMA froze while the buffer was full and under-reported congestion
+        // right after overload.
+        let mut cfg = single_threshold(50, 4, ProtectionMode::Default); // thresholds above cap
+        cfg.ewma_weight = 0.5;
+        let mut q = Red::new(cfg, 1);
+        for i in 0..4 {
+            assert!(q
+                .enqueue(data(i, EcnCodepoint::Ect0), SimTime::from_nanos(i + 1))
+                .accepted());
+        }
+        let frozen = q.average_queue();
+        assert!(frozen < 3.0, "EWMA lags the fill: {frozen}");
+        for i in 0..20 {
+            assert_eq!(
+                q.enqueue(
+                    data(100 + i, EcnCodepoint::Ect0),
+                    SimTime::from_nanos(100 + i)
+                ),
+                EnqueueOutcome::DroppedFull
+            );
+        }
+        assert!(
+            q.average_queue() > 3.9,
+            "avg must keep converging to the full occupancy while dropping: \
+             {} (was {frozen})",
+            q.average_queue()
+        );
+    }
+
+    #[test]
+    fn empty_queue_tail_drop_keeps_idle_decay_running() {
+        // Byte mode can tail-drop an oversized packet while the queue is
+        // empty; the drop must not eat the idle clock, or the EWMA decay for
+        // the ongoing idle period is lost.
+        let mut cfg = single_threshold(1000, 1, ProtectionMode::Default);
+        cfg.byte_mode = true; // budget: 1500 bytes — a 1514-byte data packet never fits
+        cfg.ewma_weight = 0.5;
+        let mut q = Red::new(cfg, 1);
+        for i in 0..5 {
+            assert!(q
+                .enqueue(ack(i, TcpFlags::ACK), SimTime::from_nanos(i + 1))
+                .accepted());
+        }
+        while q.dequeue(SimTime::from_micros(1)).is_some() {}
+        let built = q.average_queue();
+        assert!(built > 100.0, "bytes-denominated avg built up: {built}");
+        // Oversized arrival 1 µs into the idle period: tail-dropped empty.
+        assert_eq!(
+            q.enqueue(data(99, EcnCodepoint::Ect0), SimTime::from_micros(2)),
+            EnqueueOutcome::DroppedFull
+        );
+        // 10 ms later the average must have decayed to ~0: the idle period
+        // continued across the drop.
+        assert!(q
+            .enqueue(ack(100, TcpFlags::ACK), SimTime::from_millis(10))
+            .accepted());
+        assert!(
+            q.average_queue() < 1.0,
+            "idle decay must survive an empty-queue tail drop: {}",
+            q.average_queue()
+        );
+    }
+
+    #[test]
+    fn notification_gaps_are_count_corrected_in_both_bands() {
+        // Regression: gentle mode reset `count` even when the probabilistic
+        // notify failed, so its inter-notification gaps were geometric
+        // (unbounded) instead of count-corrected (bounded by ceil(1/p_b)).
+        // Hold occupancy fixed and measure gaps between early drops.
+        let gaps_at = |occupancy: u64| -> Vec<u64> {
+            let cfg = RedConfig {
+                capacity_packets: 1000,
+                min_th: 10,
+                max_th: 20,
+                max_p: 0.25,
+                ewma_weight: 1.0,
+                byte_mode: false,
+                mean_packet_bytes: 1500,
+                ecn: false,
+                protection: ProtectionMode::Default,
+                gentle: true,
+            };
+            let mut q = Red::new(cfg, 4242);
+            for i in 0..occupancy {
+                let _ = q.enqueue(data(i, EcnCodepoint::NotEct), SimTime::ZERO);
+            }
+            let mut gaps = Vec::new();
+            let mut since_last = 0u64;
+            for i in 0..2000 {
+                since_last += 1;
+                match q.enqueue(ack(10_000 + i, TcpFlags::ACK), SimTime::ZERO) {
+                    EnqueueOutcome::DroppedEarly => {
+                        gaps.push(since_last);
+                        since_last = 0;
+                    }
+                    out => {
+                        assert!(out.accepted());
+                        q.dequeue(SimTime::ZERO); // keep occupancy constant
+                    }
+                }
+            }
+            gaps
+        };
+        // Classic band: occupancy 15 -> p_b = 0.25 * 5/10 = 0.125, bound 8.
+        let classic = gaps_at(15);
+        // Gentle band: occupancy 25 -> p_b = 0.25 + 0.75 * 5/20 ~= 0.4375, bound 3.
+        let gentle = gaps_at(25);
+        assert!(classic.len() > 100 && gentle.len() > 400, "enough samples");
+        let max_classic = classic.iter().max().copied().unwrap_or(0);
+        let max_gentle = gentle.iter().max().copied().unwrap_or(0);
+        assert!(
+            max_classic <= 8,
+            "classic-band gap must be bounded by ceil(1/p_b): {max_classic}"
+        );
+        assert!(
+            max_gentle <= 3,
+            "gentle-band gap must be bounded by ceil(1/p_b): {max_gentle}"
+        );
+        // And the mean gaps must still reflect the underlying probabilities
+        // (the correction uniformises, it does not drop every packet).
+        let mean = |g: &[u64]| g.iter().sum::<u64>() as f64 / g.len() as f64;
+        assert!(mean(&classic) > mean(&gentle), "lower p_b -> longer gaps");
+        assert!(
+            mean(&gentle) > 1.2,
+            "gentle band must not degenerate to p=1"
         );
     }
 

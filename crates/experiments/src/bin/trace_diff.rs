@@ -1,0 +1,49 @@
+//! Compare two same-seed JSONL packet traces and report the first
+//! diverging event.
+//!
+//! Usage: `trace_diff LEFT.jsonl RIGHT.jsonl`
+//!
+//! Exit status: 0 when the traces are identical, 1 on divergence, 2 on a
+//! usage or IO error. CI runs the same traced scenario twice and requires
+//! exit 0 — any nondeterminism in the simulation shows up here as the first
+//! event where the two runs disagree, with its simulated timestamp.
+
+use simtrace::{diff_jsonl, event_time};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [left_path, right_path] = args.as_slice() else {
+        eprintln!("usage: trace_diff LEFT.jsonl RIGHT.jsonl");
+        std::process::exit(2);
+    };
+    let read = |p: &str| {
+        std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("trace_diff: {p}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let (left, right) = (read(left_path), read(right_path));
+    match diff_jsonl(&left, &right) {
+        None => {
+            println!(
+                "traces identical ({} lines)",
+                left.lines().filter(|l| !l.is_empty()).count()
+            );
+        }
+        Some(d) => {
+            println!("traces diverge at line {}", d.line);
+            let side = |name: &str, path: &str, line: &Option<String>| match line {
+                Some(l) => {
+                    let at = event_time(l)
+                        .map(|t| format!(" (t={t:?})"))
+                        .unwrap_or_default();
+                    println!("  {name} {path}{at}: {l}");
+                }
+                None => println!("  {name} {path}: <end of trace>"),
+            };
+            side("left ", left_path, &d.left);
+            side("right", right_path, &d.right);
+            std::process::exit(1);
+        }
+    }
+}

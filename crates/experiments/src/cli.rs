@@ -1,8 +1,13 @@
 //! Shared plumbing for the experiment binaries.
 
 use crate::report::write_sweep_json;
-use crate::scenario::ScenarioConfig;
+use crate::scenario::{
+    run_scenario_once_traced, BufferDepth, Engine, QueueKind, ScenarioConfig, Transport,
+};
 use crate::sweep::{sweep, SweepGrid, SweepResults};
+use ecn_core::ProtectionMode;
+use simevent::SimDuration;
+use simtrace::{JsonlSink, TraceFilter, TraceHandle, KIND_NAMES};
 use std::path::{Path, PathBuf};
 
 /// The flags every experiment binary understands.
@@ -14,6 +19,13 @@ pub struct CliArgs {
     pub fresh: bool,
     /// `--seed N`: override the scenario's base RNG seed.
     pub seed: Option<u64>,
+    /// `--trace PATH`: instead of the figure sweep, run one deterministic
+    /// scenario point with packet-lifecycle tracing and write a JSONL trace
+    /// to `PATH` (see [`run_traced_point`]), then exit.
+    pub trace: Option<PathBuf>,
+    /// `--trace-filter flow=N | kind=NAME`: restrict the trace to one flow
+    /// or one packet kind. Only meaningful together with `--trace`.
+    pub trace_filter: TraceFilter,
 }
 
 impl CliArgs {
@@ -30,15 +42,31 @@ impl CliArgs {
                     Some(Ok(s)) => out.seed = Some(s),
                     _ => die("--seed needs an unsigned integer value"),
                 },
-                other => match other.strip_prefix("--seed=") {
-                    Some(v) => match v.parse::<u64>() {
-                        Ok(s) => out.seed = Some(s),
-                        Err(_) => die("--seed needs an unsigned integer value"),
-                    },
-                    None => die(&format!(
-                        "unknown argument {other}; supported: --tiny --fresh --seed N"
-                    )),
+                "--trace" => match it.next() {
+                    Some(p) => out.trace = Some(PathBuf::from(p)),
+                    None => die("--trace needs an output path"),
                 },
+                "--trace-filter" => match it.next() {
+                    Some(spec) => out.trace_filter = parse_filter_or_die(&spec),
+                    None => die("--trace-filter needs flow=N or kind=NAME"),
+                },
+                other => {
+                    if let Some(v) = other.strip_prefix("--seed=") {
+                        match v.parse::<u64>() {
+                            Ok(s) => out.seed = Some(s),
+                            Err(_) => die("--seed needs an unsigned integer value"),
+                        }
+                    } else if let Some(v) = other.strip_prefix("--trace=") {
+                        out.trace = Some(PathBuf::from(v));
+                    } else if let Some(v) = other.strip_prefix("--trace-filter=") {
+                        out.trace_filter = parse_filter_or_die(v);
+                    } else {
+                        die(&format!(
+                            "unknown argument {other}; supported: --tiny --fresh --seed N \
+                             --trace PATH --trace-filter flow=N|kind=NAME"
+                        ))
+                    }
+                }
             }
         }
         out
@@ -64,9 +92,84 @@ fn die(msg: &str) -> ! {
     std::process::exit(2);
 }
 
-/// Parse the process's own arguments.
+/// Parse `--trace-filter` syntax: `flow=N` restricts the trace to one flow
+/// id, `kind=NAME` to one packet kind (`data`, `ack`, `syn`, `syn-ack`,
+/// `fin`, `other`).
+pub fn parse_trace_filter(spec: &str) -> Result<TraceFilter, String> {
+    let mut f = TraceFilter::default();
+    if let Some(v) = spec.strip_prefix("flow=") {
+        f.flow = Some(
+            v.parse::<u64>()
+                .map_err(|_| format!("--trace-filter flow wants an unsigned id, got {v:?}"))?,
+        );
+    } else if let Some(v) = spec.strip_prefix("kind=") {
+        let idx = KIND_NAMES
+            .iter()
+            .position(|k| *k == v)
+            .ok_or_else(|| format!("unknown packet kind {v:?}; one of {}", KIND_NAMES.join(" ")))?;
+        f.pkind = Some(idx as u8);
+    } else {
+        return Err(format!(
+            "--trace-filter wants flow=N or kind=NAME, got {spec:?}"
+        ));
+    }
+    Ok(f)
+}
+
+fn parse_filter_or_die(spec: &str) -> TraceFilter {
+    match parse_trace_filter(spec) {
+        Ok(f) => f,
+        Err(msg) => die(&msg),
+    }
+}
+
+/// The one scenario point `--trace` records: DCTCP through default RED on
+/// shallow buffers at a 500 µs target — the configuration the paper's Fig. 1
+/// pathology (and PR 2's SYN-drop claim) lives in. One repetition, fully
+/// deterministic under `--seed`, so two invocations with the same flags must
+/// produce byte-identical JSONL (checked in CI via `trace_diff`).
+pub fn run_traced_point(args: &CliArgs, path: &Path) -> std::io::Result<()> {
+    let mut cfg = args.scenario();
+    cfg.seed_count = 1;
+    let sink = JsonlSink::create(path)?;
+    let trace = TraceHandle::with_filter(Box::new(sink), args.trace_filter);
+    eprintln!(
+        "[experiments] tracing one point (dctcp / red[{}] / shallow / 500us) to {}",
+        ProtectionMode::Default.label(),
+        path.display()
+    );
+    let (m, report) = run_scenario_once_traced(
+        &cfg,
+        Transport::Dctcp,
+        QueueKind::Red(ProtectionMode::Default),
+        BufferDepth::Shallow,
+        SimDuration::from_micros(500),
+        Engine::Fast,
+        trace.clone(),
+    );
+    trace.flush()?;
+    eprintln!(
+        "[experiments] traced run done: runtime {:.3}s, {} events, completed={}",
+        m.runtime_s, report.events, m.completed
+    );
+    Ok(())
+}
+
+/// Parse the process's own arguments. `--trace` short-circuits: the binary
+/// records one traced scenario point (see [`run_traced_point`]) and exits
+/// instead of running its figure sweep.
 pub fn cli_args() -> CliArgs {
-    CliArgs::parse(std::env::args().skip(1))
+    let args = CliArgs::parse(std::env::args().skip(1));
+    if let Some(path) = args.trace.clone() {
+        match run_traced_point(&args, &path) {
+            Ok(()) => std::process::exit(0),
+            Err(e) => {
+                eprintln!("[experiments] trace failed: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
 }
 
 /// Where sweep results are cached so Figures 2–4 binaries share one run.
@@ -145,6 +248,30 @@ mod tests {
         assert_eq!(a.seed, Some(99));
         assert_eq!(parse(&["--seed=123"]).seed, Some(123));
         assert_eq!(parse(&[]).seed, None);
+    }
+
+    #[test]
+    fn parses_trace_flags() {
+        let a = parse(&["--trace", "out.jsonl", "--trace-filter", "flow=3"]);
+        assert_eq!(a.trace.as_deref(), Some(Path::new("out.jsonl")));
+        assert_eq!(a.trace_filter.flow, Some(3));
+        assert_eq!(a.trace_filter.pkind, None);
+        let b = parse(&["--trace=t.jsonl", "--trace-filter=kind=syn"]);
+        assert_eq!(b.trace.as_deref(), Some(Path::new("t.jsonl")));
+        assert_eq!(b.trace_filter.pkind, Some(2), "syn is kind index 2");
+        assert_eq!(parse(&[]).trace, None);
+    }
+
+    #[test]
+    fn trace_filter_syntax() {
+        assert_eq!(parse_trace_filter("flow=17").unwrap().flow, Some(17));
+        for (i, name) in KIND_NAMES.iter().enumerate() {
+            let f = parse_trace_filter(&format!("kind={name}")).unwrap();
+            assert_eq!(f.pkind, Some(i as u8));
+        }
+        assert!(parse_trace_filter("flow=x").is_err());
+        assert!(parse_trace_filter("kind=bogus").is_err());
+        assert!(parse_trace_filter("queue=1").is_err());
     }
 
     #[test]

@@ -314,6 +314,29 @@ pub fn run_scenario_once_with(
     target_delay: SimDuration,
     engine: Engine,
 ) -> (RunMetrics, netsim::RunReport) {
+    run_scenario_once_traced(
+        cfg,
+        transport,
+        queue,
+        depth,
+        target_delay,
+        engine,
+        simtrace::TraceHandle::null(),
+    )
+}
+
+/// One repetition with a packet-lifecycle trace attached (`--trace`). With
+/// the null handle this is exactly [`run_scenario_once_with`]; with an
+/// enabled handle every switch port, host NIC and sender records into it.
+pub fn run_scenario_once_traced(
+    cfg: &ScenarioConfig,
+    transport: Transport,
+    queue: QueueKind,
+    depth: BufferDepth,
+    target_delay: SimDuration,
+    engine: Engine,
+    trace: simtrace::TraceHandle,
+) -> (RunMetrics, netsim::RunReport) {
     let spec = ClusterSpec {
         racks: cfg.racks,
         hosts_per_rack: cfg.hosts_per_rack,
@@ -343,7 +366,10 @@ pub fn run_scenario_once_with(
         shuffle_jitter: cfg.shuffle_jitter,
         seed: cfg.seed ^ 0x5EED,
     };
-    let net = Network::new(spec);
+    let mut net = Network::new(spec);
+    if trace.is_enabled() {
+        net.set_trace(trace);
+    }
     let app = TerasortJob::new(job, n);
     let mut sim = Simulation::new(net, app);
     sim.time_limit = cfg.time_limit;

@@ -24,4 +24,4 @@ pub use classify::PacketKind;
 pub use ecn::EcnCodepoint;
 pub use flags::TcpFlags;
 pub use packet::{FlowId, NodeId, Packet, PacketId, SackBlocks, TCP_HEADER_BYTES};
-pub use qdisc::{ConservationCheck, EnqueueOutcome, QueueDiscipline, QueueStats};
+pub use qdisc::{packet_event, ConservationCheck, EnqueueOutcome, QueueDiscipline, QueueStats};

@@ -4,6 +4,18 @@
 use crate::{Packet, PacketKind};
 use serde::{Deserialize, Serialize};
 use simevent::SimTime;
+use simtrace::{EventKind, TraceEvent, TraceHandle};
+
+/// Build a packet-scoped [`TraceEvent`]: stamps the packet's id, flow and
+/// classified kind so every discipline serialises decisions identically.
+pub fn packet_event(kind: EventKind, at: SimTime, queue: u32, packet: &Packet) -> TraceEvent {
+    let mut ev = TraceEvent::new(kind, at);
+    ev.queue = queue;
+    ev.flow = packet.flow.0;
+    ev.packet = packet.id.0;
+    ev.pkind = PacketKind::of(packet).index() as u8;
+    ev
+}
 
 /// What happened to a packet offered to a queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -263,6 +275,14 @@ pub trait QueueDiscipline: std::fmt::Debug {
     /// enqueue/dequeue in debug builds; the default is a no-op so
     /// uninstrumented disciplines remain valid implementations.
     fn debug_verify_conservation(&self) {}
+
+    /// Attach a trace handle; `queue` is the id this discipline stamps into
+    /// its events (from [`TraceHandle::register_queue`]). Tracing must never
+    /// change decisions — only record them. The default ignores the handle so
+    /// uninstrumented disciplines remain valid implementations.
+    fn set_trace(&mut self, trace: TraceHandle, queue: u32) {
+        let _ = (trace, queue);
+    }
 }
 
 #[cfg(test)]
@@ -306,6 +326,43 @@ mod tests {
         c.verify("test", &s, 1, 100);
         let r = std::panic::catch_unwind(|| c.verify("test", &s, 0, 0));
         assert!(r.is_err(), "claiming an empty queue must trip the check");
+    }
+
+    #[test]
+    fn trace_kind_names_track_packet_kind_indices() {
+        // simtrace cannot depend on this crate, so it keeps its own copy of
+        // the kind-name table; this pins the two to each other.
+        for kind in PacketKind::ALL {
+            assert_eq!(
+                simtrace::KIND_NAMES[kind.index()],
+                kind.to_string(),
+                "KIND_NAMES[{}] out of sync with PacketKind ordering",
+                kind.index()
+            );
+        }
+    }
+
+    #[test]
+    fn packet_event_stamps_packet_identity() {
+        let p = Packet {
+            id: crate::PacketId(42),
+            flow: crate::FlowId(7),
+            src: crate::NodeId(0),
+            dst: crate::NodeId(1),
+            seq: 0,
+            ack: 0,
+            payload: 0,
+            flags: crate::TcpFlags::ACK,
+            ecn: crate::EcnCodepoint::NotEct,
+            sack: crate::SackBlocks::EMPTY,
+            sent_at: SimTime::ZERO,
+        };
+        let ev = packet_event(EventKind::DroppedEarly, SimTime::from_nanos(5), 3, &p);
+        assert_eq!(ev.queue, 3);
+        assert_eq!(ev.flow, 7);
+        assert_eq!(ev.packet, 42);
+        assert_eq!(ev.pkind, PacketKind::PureAck.index() as u8);
+        assert_eq!(ev.at, SimTime::from_nanos(5));
     }
 
     #[test]

@@ -6,6 +6,7 @@ use ecn_core::{build_qdisc, DropTail};
 use netpacket::{EnqueueOutcome, FlowId, NodeId, Packet, PacketKind, QueueDiscipline, QueueStats};
 use simevent::{SimDuration, SimTime};
 use simmetrics::{LatencyHistogram, QueueSample, QueueTrace, ThroughputMeter};
+use simtrace::{EventKind, TraceEvent, TraceHandle};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 use tcpstack::{Receiver, Sender, TcpAgent, TcpConfig};
@@ -68,6 +69,12 @@ impl std::fmt::Debug for Port {
 }
 
 /// A TCP endpoint living on a host.
+///
+/// `Sender` outweighs `Receiver` (~450 vs ~230 bytes); hosts hold a handful
+/// of endpoint slots driven by `&mut` on the per-packet path, so the inline
+/// layout beats boxing the large variant — the wasted bytes per `Rx` slot
+/// are cheaper than an extra pointer chase per delivered segment.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 enum Endpoint {
     Tx(Sender),
@@ -190,6 +197,13 @@ pub struct Network {
     latency_ack: LatencyHistogram,
     throughput: ThroughputMeter,
     trace: Option<TraceState>,
+    /// Per-packet lifecycle trace handle (disabled tier by default); fanned
+    /// out to every qdisc and sender by [`Network::set_trace`].
+    pkt_trace: TraceHandle,
+    /// `simtrace` queue ids for each host NIC, parallel to `hosts`.
+    host_qids: Vec<u32>,
+    /// `simtrace` queue ids per switch port, parallel to `switches[..].ports`.
+    switch_qids: Vec<Vec<u32>>,
     /// Packets that arrived for an unknown flow (should stay zero).
     orphan_packets: u64,
 }
@@ -333,8 +347,42 @@ impl Network {
             latency_ack: LatencyHistogram::new(),
             throughput: ThroughputMeter::new(),
             trace: None,
+            pkt_trace: TraceHandle::null(),
+            host_qids: Vec::new(),
+            switch_qids: Vec::new(),
             orphan_packets: 0,
         }
+    }
+
+    /// Attach a packet-lifecycle trace to the whole cluster: registers every
+    /// host NIC and switch egress port with the sink (stable ids in
+    /// host-then-switch construction order), hands the handle to every queue
+    /// discipline and every TCP sender (existing and, via
+    /// [`Network::add_flow`], future ones), and makes [`Network::sample`]
+    /// emit [`EventKind::QueueDepth`] events for the traced port.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.host_qids.clear();
+        self.switch_qids.clear();
+        for (h, host) in self.hosts.iter_mut().enumerate() {
+            let id = trace.register_queue(&format!("host{h}/nic: {}", host.nic.qdisc.name()));
+            host.nic.qdisc.set_trace(trace.clone(), id);
+            self.host_qids.push(id);
+            for slot in &mut host.endpoints {
+                if let Endpoint::Tx(s) = &mut slot.ep {
+                    s.set_trace(trace.clone());
+                }
+            }
+        }
+        for (si, sw) in self.switches.iter_mut().enumerate() {
+            let mut qids = Vec::with_capacity(sw.ports.len());
+            for (pi, port) in sw.ports.iter_mut().enumerate() {
+                let id = trace.register_queue(&format!("sw{si}/p{pi}: {}", port.qdisc.name()));
+                port.qdisc.set_trace(trace.clone(), id);
+                qids.push(id);
+            }
+            self.switch_qids.push(qids);
+        }
+        self.pkt_trace = trace;
     }
 
     /// The cluster spec this network was built from.
@@ -357,7 +405,8 @@ impl Network {
         assert!(src != dst, "flow endpoints must differ");
         assert!((src.0 as usize) < self.hosts.len() && (dst.0 as usize) < self.hosts.len());
         let flow = FlowId(self.flows.len() as u64 + 1);
-        let sender = Sender::new(flow, src, dst, bytes, cfg.clone(), now);
+        let mut sender = Sender::new(flow, src, dst, bytes, cfg.clone(), now);
+        sender.set_trace(self.pkt_trace.clone());
         let receiver = Receiver::new(flow, dst, src, cfg);
 
         let dst_h = &mut self.hosts[dst.0 as usize];
@@ -567,6 +616,19 @@ impl Network {
             len_bytes: port.qdisc.len_bytes(),
             by_kind: port.qdisc.snapshot_kinds(),
         };
+        if self.pkt_trace.is_enabled() {
+            if let Some(&qid) = self
+                .switch_qids
+                .get(ts.switch)
+                .and_then(|ports| ports.get(ts.port))
+            {
+                let mut ev = TraceEvent::new(EventKind::QueueDepth, now);
+                ev.queue = qid;
+                ev.a = sample.len_packets;
+                ev.b = sample.len_bytes;
+                self.pkt_trace.emit(ev);
+            }
+        }
         ts.trace.record(sample);
         ts.armed = true;
         if (ts.trace.samples().len()) < usize::MAX {

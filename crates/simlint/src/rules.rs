@@ -27,6 +27,7 @@ pub struct Finding {
 /// absent — measuring real elapsed time in the harness is legitimate.
 const SIM_CRATES: &[&str] = &[
     "simevent",
+    "simtrace",
     "netpacket",
     "tcpstack",
     "core",
@@ -40,6 +41,7 @@ const SIM_CRATES: &[&str] = &[
 /// anything that feeds report output, whose iteration order must be stable).
 const HASH_ORDER_CRATES: &[&str] = &[
     "simevent",
+    "simtrace",
     "netpacket",
     "tcpstack",
     "core",

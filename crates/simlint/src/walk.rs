@@ -1,14 +1,17 @@
 //! Deterministic workspace walker.
 //!
 //! Collects every `.rs` file under `<root>/crates/`, sorted, skipping build
-//! output (`target/`) and the linter's own test fixtures (`fixtures/` —
-//! those files contain violations *on purpose*).
+//! output (`target/`) and the linter's own test fixtures (`fixtures/` under
+//! `crates/simlint` — those files contain violations *on purpose*). Fixture
+//! directories of *other* crates (e.g. `simtrace`'s trace fixtures) are
+//! ordinary sources: they are scanned, with the test-path SL004 exemption
+//! applying as usual.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 
-/// Directory names never descended into.
-const SKIP_DIRS: &[&str] = &["target", "fixtures", ".git"];
+/// Directory names never descended into, anywhere.
+const SKIP_DIRS: &[&str] = &["target", ".git"];
 
 /// Collect workspace-relative paths (forward slashes) of all Rust sources
 /// under `root/crates`, sorted for deterministic output.
@@ -52,6 +55,10 @@ fn collect(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
             if SKIP_DIRS.contains(&name.as_str()) {
                 continue;
             }
+            // The linter's own fixture corpus violates rules on purpose.
+            if name == "fixtures" && path.components().any(|c| c.as_os_str() == "simlint") {
+                continue;
+            }
             collect(&path, out)?;
         } else if path.extension().is_some_and(|e| e == "rs") {
             out.push(path);
@@ -74,8 +81,12 @@ mod tests {
         let files = rust_sources(root).expect("walk succeeds");
         assert!(files.iter().any(|f| f == "crates/simlint/src/lexer.rs"));
         assert!(
-            files.iter().all(|f| !f.contains("/fixtures/")),
-            "fixture files must never be scanned"
+            files.iter().all(|f| !f.contains("simlint/tests/fixtures/")),
+            "the linter's own fixture corpus must never be scanned"
+        );
+        assert!(
+            files.iter().any(|f| f.contains("simtrace/tests/fixtures/")),
+            "other crates' fixture dirs are ordinary scanned sources"
         );
         let mut sorted = files.clone();
         sorted.sort();

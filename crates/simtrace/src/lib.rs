@@ -1,0 +1,672 @@
+//! Structured per-packet lifecycle tracing.
+//!
+//! The paper's whole argument rests on *which individual packets* an AQM
+//! early-drops at the marking threshold (non-ECT ACKs and SYNs vs. CE-marked
+//! data). Aggregate [`QueueStats`](../netpacket) counters cannot answer that,
+//! so this crate records the per-decision event stream:
+//!
+//! * packet lifecycle: [`EventKind::Enqueued`], [`EventKind::Marked`],
+//!   [`EventKind::DroppedEarly`], [`EventKind::DroppedFull`],
+//!   [`EventKind::Dequeued`] — emitted by every queue discipline at the
+//!   mark/drop decision point;
+//! * sender lifecycle: [`EventKind::Retransmit`], [`EventKind::RtoFired`],
+//!   [`EventKind::CwndChange`], [`EventKind::StateTransition`];
+//! * periodic [`EventKind::QueueDepth`] samples.
+//!
+//! Every event is stamped with the [`SimTime`] of the decision, the flow id,
+//! the packet id/kind, and the queue it happened at (queues are registered by
+//! name and referenced by a small integer id so the hot path never allocates).
+//!
+//! # Sink tiers
+//!
+//! The disabled tier is [`TraceHandle::null()`]: a `None` inside the handle,
+//! so every emission point is a single branch that the optimiser hoists. The
+//! [`NullSink`] type exists for generic sink plumbing and benches; attaching
+//! it costs one virtual call per event, while `TraceHandle::null()` costs
+//! nothing. [`RingSink`] keeps the last N events in memory (always-on flight
+//! recorder for tests); [`JsonlSink`] streams events as JSON Lines for
+//! offline analysis and [`diff_jsonl`] comparison of same-seed runs.
+//!
+//! Determinism: sinks record simulation time only — no wall clocks — so two
+//! same-seed runs must produce byte-identical JSONL files. `trace-diff`
+//! (in `experiments`) builds on [`diff_jsonl`] to report the first diverging
+//! event when they do not.
+
+use simevent::SimTime;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::io::Write;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Sentinel queue id for events not scoped to a queue (sender events).
+pub const NO_QUEUE: u32 = u32::MAX;
+/// Sentinel flow id for events not scoped to a flow (queue-depth samples).
+pub const NO_FLOW: u64 = u64::MAX;
+/// Sentinel packet id for events not scoped to a packet.
+pub const NO_PACKET: u64 = u64::MAX;
+/// Sentinel packet-kind index for events not scoped to a packet.
+pub const NO_KIND: u8 = u8::MAX;
+
+/// Packet-kind names indexed by `netpacket::PacketKind::index()`. Kept here
+/// (rather than depending on `netpacket`, which depends on this crate) and
+/// cross-checked by a test on the `netpacket` side.
+pub const KIND_NAMES: [&str; 6] = ["data", "ack", "syn", "syn-ack", "fin", "other"];
+
+/// What happened. See the module docs for which layer emits which kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Packet accepted into a queue (follows a `Marked` event when CE was set).
+    Enqueued,
+    /// Packet CE-marked on admission (`a` = 1 when the packet already carried CE).
+    Marked,
+    /// Packet rejected by AQM policy while the buffer had room; for CoDel this
+    /// is the head drop at dequeue time.
+    DroppedEarly,
+    /// Packet tail-dropped on a physically full buffer.
+    DroppedFull,
+    /// Packet handed to the line at dequeue.
+    Dequeued,
+    /// Sender re-emitted a segment (`a` = seq, `b` = payload bytes).
+    Retransmit,
+    /// Retransmission timer fired (`a` = snd_una, `b` = snd_nxt).
+    RtoFired,
+    /// Sender congestion window changed (`a` = cwnd bytes, `b` = ssthresh bytes).
+    CwndChange,
+    /// Sender connection state changed (`a` = from, `b` = to; codes are the
+    /// emitting stack's own state numbering).
+    StateTransition,
+    /// Periodic queue-depth sample (`a` = packets resident, `b` = bytes resident).
+    QueueDepth,
+}
+
+impl EventKind {
+    /// Stable lower-snake label used in the JSONL export.
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::Enqueued => "enqueued",
+            EventKind::Marked => "marked",
+            EventKind::DroppedEarly => "dropped_early",
+            EventKind::DroppedFull => "dropped_full",
+            EventKind::Dequeued => "dequeued",
+            EventKind::Retransmit => "retransmit",
+            EventKind::RtoFired => "rto_fired",
+            EventKind::CwndChange => "cwnd_change",
+            EventKind::StateTransition => "state_transition",
+            EventKind::QueueDepth => "queue_depth",
+        }
+    }
+}
+
+/// One trace record. A flat POD struct: emission sites fill the fields that
+/// apply and leave the rest at their `NO_*` sentinels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulation time of the decision.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: EventKind,
+    /// Queue id (from [`TraceHandle::register_queue`]), or [`NO_QUEUE`].
+    pub queue: u32,
+    /// Flow id, or [`NO_FLOW`].
+    pub flow: u64,
+    /// Packet id, or [`NO_PACKET`].
+    pub packet: u64,
+    /// Packet-kind index (see [`KIND_NAMES`]), or [`NO_KIND`].
+    pub pkind: u8,
+    /// Kind-specific detail (see [`EventKind`] docs).
+    pub a: u64,
+    /// Kind-specific detail (see [`EventKind`] docs).
+    pub b: u64,
+}
+
+impl TraceEvent {
+    /// An event with every optional field at its sentinel.
+    pub fn new(kind: EventKind, at: SimTime) -> Self {
+        TraceEvent {
+            at,
+            kind,
+            queue: NO_QUEUE,
+            flow: NO_FLOW,
+            packet: NO_PACKET,
+            pkind: NO_KIND,
+            a: 0,
+            b: 0,
+        }
+    }
+
+    /// Serialise as one JSON Lines record (no trailing newline). The field
+    /// set is fixed; sentinel values serialise as `null` so every line has
+    /// the same shape.
+    pub fn to_jsonl(&self) -> String {
+        let mut s = String::with_capacity(96);
+        let _ = write!(
+            s,
+            "{{\"t\":{},\"ev\":\"{}\"",
+            self.at.as_nanos(),
+            self.kind.label()
+        );
+        match self.queue {
+            NO_QUEUE => s.push_str(",\"q\":null"),
+            q => {
+                let _ = write!(s, ",\"q\":{q}");
+            }
+        }
+        match self.flow {
+            NO_FLOW => s.push_str(",\"flow\":null"),
+            f => {
+                let _ = write!(s, ",\"flow\":{f}");
+            }
+        }
+        match self.packet {
+            NO_PACKET => s.push_str(",\"pkt\":null"),
+            p => {
+                let _ = write!(s, ",\"pkt\":{p}");
+            }
+        }
+        match KIND_NAMES.get(self.pkind as usize) {
+            Some(name) => {
+                let _ = write!(s, ",\"kind\":\"{name}\"");
+            }
+            None => s.push_str(",\"kind\":null"),
+        }
+        let _ = write!(s, ",\"a\":{},\"b\":{}}}", self.a, self.b);
+        s
+    }
+}
+
+/// Keep-only filter applied before events reach the sink. Events that do not
+/// carry the filtered dimension (sentinel value) always pass, so queue-depth
+/// samples survive a flow filter and sender events survive a kind filter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceFilter {
+    /// Keep only events for this flow id.
+    pub flow: Option<u64>,
+    /// Keep only events for this packet-kind index.
+    pub pkind: Option<u8>,
+}
+
+impl TraceFilter {
+    /// True when `ev` should be recorded under this filter.
+    pub fn passes(&self, ev: &TraceEvent) -> bool {
+        if let Some(f) = self.flow {
+            if ev.flow != NO_FLOW && ev.flow != f {
+                return false;
+            }
+        }
+        if let Some(k) = self.pkind {
+            if ev.pkind != NO_KIND && ev.pkind != k {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Where trace events go. Implementations must not consult wall clocks or
+/// unseeded randomness: a sink observing two same-seed runs must produce
+/// identical output (the determinism contract `trace-diff` checks).
+pub trait TraceSink: std::fmt::Debug + Send {
+    /// Record one event. Infallible by design; IO sinks stash their first
+    /// error and surface it from [`TraceSink::flush`].
+    fn record(&mut self, ev: &TraceEvent);
+
+    /// A queue was registered under `id` with a human-readable `name`.
+    fn register_queue(&mut self, id: u32, name: &str) {
+        let _ = (id, name);
+    }
+
+    /// Flush buffered output, surfacing any deferred IO error.
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+
+    /// Remove and return buffered events, oldest first. Sinks that do not
+    /// retain events return nothing; [`RingSink`] returns its window.
+    fn drain_events(&mut self) -> Vec<TraceEvent> {
+        Vec::new()
+    }
+}
+
+/// Discards everything. Exists so generic sink plumbing and overhead benches
+/// have an explicit zero sink; prefer [`TraceHandle::null()`] for the
+/// fully-disabled tier (no virtual call at all).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _ev: &TraceEvent) {}
+}
+
+/// Bounded in-memory flight recorder: keeps the most recent `capacity`
+/// events, counting what it had to forget.
+#[derive(Debug)]
+pub struct RingSink {
+    buf: VecDeque<TraceEvent>,
+    capacity: usize,
+    overwritten: u64,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` events (`capacity >= 1`).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "RingSink capacity must be >= 1");
+        RingSink {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+            overwritten: 0,
+        }
+    }
+
+    /// Events forgotten because the ring was full.
+    pub fn overwritten(&self) -> u64 {
+        self.overwritten
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, ev: &TraceEvent) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.overwritten += 1;
+        }
+        self.buf.push_back(*ev);
+    }
+
+    fn drain_events(&mut self) -> Vec<TraceEvent> {
+        self.buf.drain(..).collect()
+    }
+}
+
+/// Streams events as JSON Lines. Queue registrations are written as
+/// `{"meta":"queue",...}` preamble lines so a trace file is self-describing.
+pub struct JsonlSink<W: Write + Send> {
+    out: W,
+    lines: u64,
+    err: Option<std::io::Error>,
+}
+
+impl JsonlSink<std::io::BufWriter<std::fs::File>> {
+    /// Create (truncating) a trace file at `path`.
+    pub fn create(path: &std::path::Path) -> std::io::Result<Self> {
+        Ok(JsonlSink::new(std::io::BufWriter::new(
+            std::fs::File::create(path)?,
+        )))
+    }
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wrap any writer.
+    pub fn new(out: W) -> Self {
+        JsonlSink {
+            out,
+            lines: 0,
+            err: None,
+        }
+    }
+
+    /// Lines written so far (meta + events).
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    fn write_line(&mut self, line: &str) {
+        if self.err.is_some() {
+            return;
+        }
+        if let Err(e) = writeln!(self.out, "{line}") {
+            self.err = Some(e);
+        } else {
+            self.lines += 1;
+        }
+    }
+}
+
+impl<W: Write + Send> std::fmt::Debug for JsonlSink<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink")
+            .field("lines", &self.lines)
+            .field("err", &self.err)
+            .finish()
+    }
+}
+
+impl<W: Write + Send> TraceSink for JsonlSink<W> {
+    fn record(&mut self, ev: &TraceEvent) {
+        self.write_line(&ev.to_jsonl());
+    }
+
+    fn register_queue(&mut self, id: u32, name: &str) {
+        // Registration happens at wiring time, before any event, so the
+        // preamble position is deterministic.
+        let escaped: String = name
+            .chars()
+            .flat_map(|c| match c {
+                '"' => vec!['\\', '"'],
+                '\\' => vec!['\\', '\\'],
+                c if (c as u32) < 0x20 => vec![' '],
+                c => vec![c],
+            })
+            .collect();
+        self.write_line(&format!(
+            "{{\"meta\":\"queue\",\"q\":{id},\"name\":\"{escaped}\"}}"
+        ));
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        if let Some(e) = self.err.take() {
+            return Err(e);
+        }
+        self.out.flush()
+    }
+}
+
+#[derive(Debug)]
+struct Recorder {
+    sink: Box<dyn TraceSink>,
+    filter: TraceFilter,
+    next_queue: u32,
+}
+
+/// The handle emission points hold. Cloning shares the underlying sink.
+///
+/// [`TraceHandle::null()`] (also `Default`) is the disabled tier: `emit` is a
+/// single branch on a `None`, and [`TraceHandle::is_enabled`] lets emission
+/// sites skip event construction entirely. All instrumented components accept
+/// a handle unconditionally, so tracing never changes simulation behaviour —
+/// only whether decisions are recorded.
+#[derive(Debug, Clone, Default)]
+pub struct TraceHandle {
+    inner: Option<Arc<Mutex<Recorder>>>,
+}
+
+fn lock(m: &Mutex<Recorder>) -> MutexGuard<'_, Recorder> {
+    // A sink panic while holding the lock poisons it; the recorder state is
+    // still coherent (record() is logically atomic), so keep tracing.
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl TraceHandle {
+    /// The disabled handle: every emission is a no-op branch.
+    pub fn null() -> Self {
+        TraceHandle::default()
+    }
+
+    /// An enabled handle recording into `sink`.
+    pub fn new(sink: Box<dyn TraceSink>) -> Self {
+        TraceHandle::with_filter(sink, TraceFilter::default())
+    }
+
+    /// An enabled handle recording events that pass `filter` into `sink`.
+    pub fn with_filter(sink: Box<dyn TraceSink>, filter: TraceFilter) -> Self {
+        TraceHandle {
+            inner: Some(Arc::new(Mutex::new(Recorder {
+                sink,
+                filter,
+                next_queue: 0,
+            }))),
+        }
+    }
+
+    /// True when events will actually be recorded. Emission sites guard on
+    /// this before building a [`TraceEvent`].
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Record one event (after the handle's filter).
+    #[inline]
+    pub fn emit(&self, ev: TraceEvent) {
+        if let Some(m) = &self.inner {
+            let mut r = lock(m);
+            if r.filter.passes(&ev) {
+                r.sink.record(&ev);
+            }
+        }
+    }
+
+    /// Register a queue by name, returning the id emission sites stamp into
+    /// events. On a disabled handle this returns [`NO_QUEUE`].
+    pub fn register_queue(&self, name: &str) -> u32 {
+        match &self.inner {
+            None => NO_QUEUE,
+            Some(m) => {
+                let mut r = lock(m);
+                let id = r.next_queue;
+                r.next_queue += 1;
+                r.sink.register_queue(id, name);
+                id
+            }
+        }
+    }
+
+    /// Flush the sink (surfaces deferred IO errors from [`JsonlSink`]).
+    pub fn flush(&self) -> std::io::Result<()> {
+        match &self.inner {
+            None => Ok(()),
+            Some(m) => lock(m).sink.flush(),
+        }
+    }
+
+    /// Drain buffered events out of the sink (see [`TraceSink::drain_events`]).
+    pub fn drain_events(&self) -> Vec<TraceEvent> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(m) => lock(m).sink.drain_events(),
+        }
+    }
+}
+
+/// Where two traces first disagree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// 1-based line number of the first difference.
+    pub line: usize,
+    /// The line in the left trace (`None` when it ended first).
+    pub left: Option<String>,
+    /// The line in the right trace (`None` when it ended first).
+    pub right: Option<String>,
+}
+
+/// Compare two JSONL traces line by line; `None` means byte-identical
+/// event streams (ignoring a trailing newline difference).
+pub fn diff_jsonl(left: &str, right: &str) -> Option<Divergence> {
+    let mut l = left.lines();
+    let mut r = right.lines();
+    let mut line = 0usize;
+    loop {
+        line += 1;
+        match (l.next(), r.next()) {
+            (None, None) => return None,
+            (a, b) if a == b => {}
+            (a, b) => {
+                return Some(Divergence {
+                    line,
+                    left: a.map(str::to_owned),
+                    right: b.map(str::to_owned),
+                })
+            }
+        }
+    }
+}
+
+/// Extract the `"t":<nanos>` stamp from a JSONL event line, if present.
+pub fn event_time(line: &str) -> Option<SimTime> {
+    let rest = line.strip_prefix("{\"t\":")?;
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    if digits.is_empty() {
+        return None;
+    }
+    digits.parse::<u64>().ok().map(SimTime::from_nanos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64, kind: EventKind) -> TraceEvent {
+        let mut e = TraceEvent::new(kind, SimTime::from_nanos(t));
+        e.queue = 1;
+        e.flow = 7;
+        e.packet = 42;
+        e.pkind = 1;
+        e
+    }
+
+    #[test]
+    fn jsonl_shape_is_fixed() {
+        let e = ev(123, EventKind::Enqueued);
+        assert_eq!(
+            e.to_jsonl(),
+            "{\"t\":123,\"ev\":\"enqueued\",\"q\":1,\"flow\":7,\"pkt\":42,\"kind\":\"ack\",\"a\":0,\"b\":0}"
+        );
+        let bare = TraceEvent::new(EventKind::QueueDepth, SimTime::ZERO);
+        assert_eq!(
+            bare.to_jsonl(),
+            "{\"t\":0,\"ev\":\"queue_depth\",\"q\":null,\"flow\":null,\"pkt\":null,\"kind\":null,\"a\":0,\"b\":0}"
+        );
+    }
+
+    #[test]
+    fn event_time_parses_jsonl_lines() {
+        assert_eq!(
+            event_time(&ev(9125, EventKind::Dequeued).to_jsonl()),
+            Some(SimTime::from_nanos(9125))
+        );
+        assert_eq!(
+            event_time("{\"meta\":\"queue\",\"q\":0,\"name\":\"x\"}"),
+            None
+        );
+    }
+
+    #[test]
+    fn null_handle_is_disabled_and_inert() {
+        let h = TraceHandle::null();
+        assert!(!h.is_enabled());
+        h.emit(ev(1, EventKind::Enqueued));
+        assert_eq!(h.register_queue("sw0/p0"), NO_QUEUE);
+        assert!(h.drain_events().is_empty());
+        assert!(h.flush().is_ok());
+    }
+
+    #[test]
+    fn ring_sink_keeps_most_recent() {
+        let h = TraceHandle::new(Box::new(RingSink::new(3)));
+        assert!(h.is_enabled());
+        for t in 0..5 {
+            h.emit(ev(t, EventKind::Enqueued));
+        }
+        let got = h.drain_events();
+        assert_eq!(
+            got.iter().map(|e| e.at.as_nanos()).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+        // Drain empties the ring.
+        assert!(h.drain_events().is_empty());
+    }
+
+    #[test]
+    fn filter_keeps_matching_and_unscoped_events() {
+        let h = TraceHandle::with_filter(
+            Box::new(RingSink::new(16)),
+            TraceFilter {
+                flow: Some(7),
+                pkind: None,
+            },
+        );
+        h.emit(ev(1, EventKind::Enqueued)); // flow 7: kept
+        let mut other = ev(2, EventKind::Enqueued);
+        other.flow = 8;
+        h.emit(other); // flow 8: filtered out
+        let depth = TraceEvent::new(EventKind::QueueDepth, SimTime::from_nanos(3));
+        h.emit(depth); // no flow: kept
+        let got = h.drain_events();
+        assert_eq!(
+            got.iter().map(|e| e.at.as_nanos()).collect::<Vec<_>>(),
+            vec![1, 3]
+        );
+    }
+
+    #[test]
+    fn kind_filter() {
+        let f = TraceFilter {
+            flow: None,
+            pkind: Some(2),
+        };
+        let mut syn = ev(1, EventKind::DroppedEarly);
+        syn.pkind = 2;
+        assert!(f.passes(&syn));
+        assert!(!f.passes(&ev(1, EventKind::DroppedEarly))); // pkind 1
+        assert!(f.passes(&TraceEvent::new(EventKind::CwndChange, SimTime::ZERO)));
+    }
+
+    #[test]
+    fn jsonl_sink_writes_preamble_then_events() {
+        let h = TraceHandle::new(Box::new(JsonlSink::new(Vec::new())));
+        let q = h.register_queue("sw0/p1: RED");
+        assert_eq!(q, 0);
+        let mut e = ev(5, EventKind::Marked);
+        e.queue = q;
+        h.emit(e);
+        // Pull the bytes back out via a second sink to check content: instead
+        // serialise expectations directly.
+        let expect_meta = "{\"meta\":\"queue\",\"q\":0,\"name\":\"sw0/p1: RED\"}";
+        let expect_ev = e.to_jsonl();
+        // Rebuild through a local sink to inspect the writer.
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.register_queue(0, "sw0/p1: RED");
+        sink.record(&e);
+        assert!(sink.flush().is_ok());
+        let text = String::from_utf8(sink.out).expect("utf8");
+        assert_eq!(text, format!("{expect_meta}\n{expect_ev}\n"));
+        assert_eq!(sink.lines, 2);
+        drop(h);
+    }
+
+    #[test]
+    fn jsonl_sink_escapes_queue_names() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.register_queue(3, "weird\"name\\x");
+        let text = String::from_utf8(sink.out).expect("utf8");
+        assert_eq!(
+            text,
+            "{\"meta\":\"queue\",\"q\":3,\"name\":\"weird\\\"name\\\\x\"}\n"
+        );
+    }
+
+    #[test]
+    fn diff_identical_is_none() {
+        let a = "line1\nline2\n";
+        assert_eq!(diff_jsonl(a, a), None);
+        assert_eq!(
+            diff_jsonl("x\ny", "x\ny\n"),
+            None,
+            "trailing newline ignored"
+        );
+    }
+
+    #[test]
+    fn diff_reports_first_divergence() {
+        let d = diff_jsonl("a\nb\nc", "a\nB\nc").expect("must diverge");
+        assert_eq!(d.line, 2);
+        assert_eq!(d.left.as_deref(), Some("b"));
+        assert_eq!(d.right.as_deref(), Some("B"));
+    }
+
+    #[test]
+    fn diff_reports_length_mismatch() {
+        let d = diff_jsonl("a\nb", "a").expect("must diverge");
+        assert_eq!(d.line, 2);
+        assert_eq!(d.left.as_deref(), Some("b"));
+        assert_eq!(d.right, None);
+    }
+
+    #[test]
+    fn clones_share_the_sink() {
+        let h = TraceHandle::new(Box::new(RingSink::new(8)));
+        let h2 = h.clone();
+        h.emit(ev(1, EventKind::Enqueued));
+        h2.emit(ev(2, EventKind::Dequeued));
+        assert_eq!(h.drain_events().len(), 2);
+    }
+}

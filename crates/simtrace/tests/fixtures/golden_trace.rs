@@ -1,0 +1,56 @@
+// Golden-trace fixture, `include!`d by `tests/golden.rs` (so: line comments
+// only — inner doc comments cannot be spliced mid-file).
+//
+// Lives under a `fixtures/` directory of a non-simlint crate: simlint scans
+// it (unlike its own fixture corpus) and the test-path exemption keeps the
+// deliberate `unwrap` below out of SL004's reach.
+
+/// The exact JSONL a [`JsonlSink`] must produce for [`golden_events`]: one
+/// queue-registration preamble line, then one fixed-shape line per event.
+/// Hand-written, so any change to the wire format is a conscious edit here.
+const GOLDEN: &str = "\
+{\"meta\":\"queue\",\"q\":0,\"name\":\"sw0/p0: Red(min=5,max=15)\"}\n\
+{\"t\":1000,\"ev\":\"enqueued\",\"q\":0,\"flow\":3,\"pkt\":41,\"kind\":\"data\",\"a\":0,\"b\":0}\n\
+{\"t\":1500,\"ev\":\"marked\",\"q\":0,\"flow\":3,\"pkt\":42,\"kind\":\"data\",\"a\":0,\"b\":0}\n\
+{\"t\":2000,\"ev\":\"dropped_early\",\"q\":0,\"flow\":4,\"pkt\":43,\"kind\":\"ack\",\"a\":0,\"b\":0}\n\
+{\"t\":2500,\"ev\":\"queue_depth\",\"q\":0,\"flow\":null,\"pkt\":null,\"kind\":null,\"a\":7,\"b\":10598}\n\
+{\"t\":3000,\"ev\":\"cwnd_change\",\"q\":null,\"flow\":3,\"pkt\":null,\"kind\":null,\"a\":2920,\"b\":65535}\n";
+
+/// The event sequence matching [`GOLDEN`] (minus the preamble line).
+fn golden_events() -> Vec<TraceEvent> {
+    let pkt = |kind, t, flow, id, pk| {
+        let mut ev = TraceEvent::new(kind, SimTime::from_nanos(t));
+        ev.queue = 0;
+        ev.flow = flow;
+        ev.packet = id;
+        ev.pkind = pk;
+        ev
+    };
+    let mut depth = TraceEvent::new(EventKind::QueueDepth, SimTime::from_nanos(2500));
+    depth.queue = 0;
+    depth.a = 7;
+    depth.b = 10598;
+    let mut cwnd = TraceEvent::new(EventKind::CwndChange, SimTime::from_nanos(3000));
+    cwnd.flow = 3;
+    cwnd.a = 2920;
+    cwnd.b = 65535;
+    vec![
+        pkt(EventKind::Enqueued, 1000, 3, 41, 0),
+        pkt(EventKind::Marked, 1500, 3, 42, 0),
+        pkt(EventKind::DroppedEarly, 2000, 4, 43, 1),
+        depth,
+        cwnd,
+    ]
+}
+
+/// Parse the timestamp of the `n`-th *event* line of a golden trace
+/// (skipping meta lines). Fixture code unwraps freely — a malformed golden
+/// trace should explode the test, loudly.
+fn golden_event_time(trace: &str, n: usize) -> SimTime {
+    let line = trace
+        .lines()
+        .filter(|l| !l.contains("\"meta\""))
+        .nth(n)
+        .unwrap();
+    event_time(line).unwrap()
+}

@@ -1,0 +1,56 @@
+//! Pins the JSONL wire format to a hand-written golden trace: byte-for-byte
+//! sink output, `event_time` parsing, and `diff_jsonl` behaviour on the
+//! golden corpus. Any format change must consciously edit the fixture.
+
+use simevent::SimTime;
+use simtrace::{diff_jsonl, event_time, EventKind, JsonlSink, TraceEvent, TraceHandle};
+
+include!("fixtures/golden_trace.rs");
+
+/// Shared byte buffer the boxed sink writes into.
+#[derive(Debug, Clone, Default)]
+struct SharedBuf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+impl std::io::Write for SharedBuf {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        self.0
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .extend_from_slice(data);
+        Ok(data.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn jsonl_sink_reproduces_the_golden_trace() {
+    let buf = SharedBuf::default();
+    let trace = TraceHandle::new(Box::new(JsonlSink::new(buf.clone())));
+    assert_eq!(trace.register_queue("sw0/p0: Red(min=5,max=15)"), 0);
+    for ev in golden_events() {
+        trace.emit(ev);
+    }
+    trace.flush().expect("in-memory sink cannot fail");
+    let got = String::from_utf8(buf.0.lock().unwrap_or_else(|e| e.into_inner()).clone())
+        .expect("traces are UTF-8");
+    assert_eq!(got, GOLDEN, "JSONL wire format drifted from the fixture");
+}
+
+#[test]
+fn event_time_parses_golden_lines() {
+    assert_eq!(golden_event_time(GOLDEN, 0), SimTime::from_nanos(1000));
+    assert_eq!(golden_event_time(GOLDEN, 4), SimTime::from_nanos(3000));
+    assert_eq!(event_time("{\"meta\":\"queue\",\"q\":0}"), None);
+}
+
+#[test]
+fn golden_trace_diffs_cleanly_against_itself_and_not_a_mutant() {
+    assert!(diff_jsonl(GOLDEN, GOLDEN).is_none());
+    let mutant = GOLDEN.replace("\"pkt\":42", "\"pkt\":99");
+    let d = diff_jsonl(GOLDEN, &mutant).expect("mutated trace must diverge");
+    assert_eq!(d.line, 3, "divergence is on the mutated line (1-based)");
+    assert!(d.left.expect("left line").contains("\"pkt\":42"));
+    assert!(d.right.expect("right line").contains("\"pkt\":99"));
+}

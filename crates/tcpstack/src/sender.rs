@@ -7,6 +7,7 @@ use crate::rtt::RttEstimator;
 use netpacket::{EcnCodepoint, FlowId, NodeId, Packet, PacketId, TcpFlags};
 use serde::{Deserialize, Serialize};
 use simevent::SimTime;
+use simtrace::{EventKind, TraceEvent, TraceHandle, NO_QUEUE};
 
 /// Counters exposed for experiment reporting.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -94,6 +95,11 @@ pub struct Sender {
     stats: SenderStats,
     started_at: SimTime,
     completed_at: Option<SimTime>,
+
+    trace: TraceHandle,
+    /// Last (cwnd, ssthresh) pair reported, so `CwndChange` fires once per
+    /// entry point that actually moved the window.
+    traced_window: (f64, f64),
 }
 
 impl Sender {
@@ -142,9 +148,61 @@ impl Sender {
             stats: SenderStats::default(),
             started_at: now,
             completed_at: None,
+            trace: TraceHandle::null(),
+            traced_window: (cwnd, ssthresh),
         };
         s.send_syn(now);
         s
+    }
+
+    /// Attach a trace handle; the sender then reports retransmissions, RTO
+    /// firings, cwnd changes and state transitions for its flow. Tracing
+    /// never changes protocol behaviour.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
+    }
+
+    fn state_code(s: State) -> u64 {
+        match s {
+            State::SynSent => 0,
+            State::Established => 1,
+            State::Complete => 2,
+        }
+    }
+
+    /// A sender-scoped event: stamped with the flow, not tied to a queue.
+    fn sender_ev(&self, kind: EventKind, now: SimTime) -> TraceEvent {
+        let mut ev = TraceEvent::new(kind, now);
+        ev.flow = self.flow.0;
+        ev
+    }
+
+    /// Move to `to`, reporting the transition.
+    fn set_state(&mut self, to: State, now: SimTime) {
+        let from = self.state;
+        self.state = to;
+        if self.trace.is_enabled() && from != to {
+            let mut ev = self.sender_ev(EventKind::StateTransition, now);
+            ev.a = Self::state_code(from);
+            ev.b = Self::state_code(to);
+            self.trace.emit(ev);
+        }
+    }
+
+    /// Report a `CwndChange` if cwnd/ssthresh moved since the last report.
+    /// Called at the end of each public entry point, so one ACK or timeout
+    /// produces at most one window event.
+    fn trace_window_if_changed(&mut self, now: SimTime) {
+        if !self.trace.is_enabled() {
+            return;
+        }
+        if self.traced_window != (self.cwnd, self.ssthresh) {
+            self.traced_window = (self.cwnd, self.ssthresh);
+            let mut ev = self.sender_ev(EventKind::CwndChange, now);
+            ev.a = self.cwnd as u64;
+            ev.b = self.ssthresh as u64;
+            self.trace.emit(ev);
+        }
     }
 
     // ----- accessors ------------------------------------------------------
@@ -286,6 +344,12 @@ impl Sender {
             sack: netpacket::SackBlocks::EMPTY,
             sent_at: now,
         };
+        if is_retransmit && self.trace.is_enabled() {
+            let mut ev = netpacket::packet_event(EventKind::Retransmit, now, NO_QUEUE, &pkt);
+            ev.a = seq;
+            ev.b = len as u64;
+            self.trace.emit(ev);
+        }
         self.outbox.push(pkt);
         self.stats.data_segments_sent += 1;
         if is_retransmit {
@@ -416,7 +480,7 @@ impl Sender {
         }
         // Completion check: all data bytes acknowledged.
         if self.snd_una > self.total {
-            self.state = State::Complete;
+            self.set_state(State::Complete, now);
             self.rto_deadline = None;
             if self.completed_at.is_none() {
                 self.completed_at = Some(now);
@@ -573,7 +637,7 @@ impl Sender {
                     TcpFlags::SYN
                 };
                 let id = self.next_id();
-                self.outbox.push(Packet {
+                let pkt = Packet {
                     id,
                     flow: self.flow,
                     src: self.src,
@@ -585,7 +649,20 @@ impl Sender {
                     ecn: EcnCodepoint::NotEct,
                     sack: netpacket::SackBlocks::EMPTY,
                     sent_at: now,
-                });
+                };
+                if self.trace.is_enabled() {
+                    let mut ev = self.sender_ev(EventKind::RtoFired, now);
+                    ev.a = self.snd_una;
+                    ev.b = self.snd_nxt;
+                    self.trace.emit(ev);
+                    self.trace.emit(netpacket::packet_event(
+                        EventKind::Retransmit,
+                        now,
+                        NO_QUEUE,
+                        &pkt,
+                    ));
+                }
+                self.outbox.push(pkt);
                 self.rto_deadline = Some(now + self.rtt.rto());
             }
             State::Established => {
@@ -598,6 +675,12 @@ impl Sender {
                 // "devastating" event the paper describes for dropped ACK
                 // windows.
                 self.stats.timeouts += 1;
+                if self.trace.is_enabled() {
+                    let mut ev = self.sender_ev(EventKind::RtoFired, now);
+                    ev.a = self.snd_una;
+                    ev.b = self.snd_nxt;
+                    self.trace.emit(ev);
+                }
                 self.ssthresh = (self.flight() as f64 / 2.0).max(2.0 * self.mss_f());
                 self.cwnd = self.mss_f();
                 self.in_recovery = false;
@@ -628,11 +711,11 @@ impl TcpAgent for Sender {
                     // ECN is on only if we asked AND the peer echoed ECE.
                     self.ecn_on = self.cfg.ecn.uses_ecn() && pkt.flags.contains(TcpFlags::ECE);
                     self.snd_una = 1;
-                    self.state = State::Established;
+                    self.set_state(State::Established, now);
                     self.rto_deadline = None;
                     self.send_handshake_ack(now);
                     if self.total == 0 {
-                        self.state = State::Complete;
+                        self.set_state(State::Complete, now);
                         self.completed_at = Some(now);
                     } else {
                         self.try_send(now);
@@ -673,12 +756,14 @@ impl TcpAgent for Sender {
             }
             State::Complete => {}
         }
+        self.trace_window_if_changed(now);
     }
 
     fn on_timer(&mut self, now: SimTime) {
         if let Some(d) = self.rto_deadline {
             if now >= d {
                 self.handle_timeout(now);
+                self.trace_window_if_changed(now);
             }
         }
     }

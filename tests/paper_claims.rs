@@ -67,15 +67,24 @@ fn claim_protection_eliminates_ack_drops() {
     );
     assert_eq!(acksyn.acks_early_dropped, 0, "ack+syn protects every ACK");
     assert_eq!(acksyn.handshake_early_dropped, 0);
-    assert!(
-        ece.acks_early_dropped <= default.acks_early_dropped,
-        "ece-bit must not drop more ACKs than default ({} vs {})",
-        ece.acks_early_dropped,
-        default.acks_early_dropped
-    );
+    // ece-bit's guarantee is about the *protected kinds* — ECE-carrying ACKs
+    // and the handshake — not the aggregate plain-ACK count: a protected run
+    // finishes faster with a busier queue, so it can legally early-drop more
+    // plain ACKs than default while still winning on runtime (the paper's
+    // Fig. 2 point).
     assert_eq!(
         ece.handshake_early_dropped, 0,
         "ECN SYNs carry ECE and are protected"
+    );
+    assert_eq!(
+        ece.syn_retransmits, 0,
+        "protected handshakes never need SYN retransmission"
+    );
+    assert!(
+        ece.runtime_s < default.runtime_s,
+        "protecting ECN feedback must speed the job up ({:.3}s vs {:.3}s)",
+        ece.runtime_s,
+        default.runtime_s
     );
 }
 
