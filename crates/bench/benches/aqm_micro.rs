@@ -11,7 +11,7 @@ use simevent::{SimDuration, SimTime};
 
 fn pkt(i: u64) -> Packet {
     // 4/5 ECT data, 1/5 non-ECT ACK, like a shuffle hot spot.
-    let ack = i.is_multiple_of(5);
+    let ack = i % 5 == 0;
     Packet {
         id: PacketId(i),
         flow: FlowId(i % 16),

@@ -1,0 +1,70 @@
+//! The sweep orchestrator itself: serial vs parallel execution of a
+//! nano-scale grid, and the cost of a fully warm content-addressed cache
+//! (pure lookup, no simulation). The parallel/serial ratio here is the
+//! same quantity `bench_gate` enforces in CI as `sweep_fig2_shallow.speedup`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ecn_core::ProtectionMode;
+use experiments::scenario::{QueueKind, Transport};
+use experiments::{sweep_with, CacheMode, SweepGrid, SweepOptions};
+
+/// 2 baselines + 4 grid points, each a complete nano Terasort.
+fn nano_grid() -> SweepGrid {
+    let mut grid = SweepGrid::tiny();
+    grid.config = bench::nano_config();
+    grid.transports = vec![Transport::Dctcp];
+    grid.queues = vec![
+        QueueKind::Red(ProtectionMode::Default),
+        QueueKind::SimpleMarking,
+    ];
+    grid.target_delays_us = vec![500];
+    grid
+}
+
+fn bench_orchestrator(c: &mut Criterion) {
+    let grid = nano_grid();
+    let mut g = c.benchmark_group("orchestrator");
+    g.sample_size(10);
+
+    g.bench_function("sweep_serial", |b| {
+        let opts = SweepOptions {
+            jobs: 1,
+            cache: CacheMode::Disabled,
+        };
+        b.iter(|| sweep_with(&grid, &opts).1.executed)
+    });
+
+    g.bench_function("sweep_parallel", |b| {
+        let opts = SweepOptions {
+            jobs: 0, // one worker per core
+            cache: CacheMode::Disabled,
+        };
+        b.iter(|| sweep_with(&grid, &opts).1.executed)
+    });
+
+    // Warm-cache replay: every point served from disk. This is the fixed
+    // cost a figure binary pays when nothing changed since the last run.
+    let cache_dir = std::env::temp_dir().join(format!("ecn-bench-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let warm = SweepOptions {
+        jobs: 0,
+        cache: CacheMode::Dir(cache_dir.clone()),
+    };
+    let (_, stats) = sweep_with(&grid, &warm); // populate
+    println!(
+        "[orchestrator @nano] cache populated: {} points",
+        stats.executed
+    );
+    g.bench_function("sweep_warm_cache", |b| {
+        b.iter(|| {
+            let (_, stats) = sweep_with(&grid, &warm);
+            assert_eq!(stats.executed, 0);
+            stats.cached
+        })
+    });
+    g.finish();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+criterion_group!(benches, bench_orchestrator);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Benchmark regression gate: measure the standard point set, emit
+//! `BENCH_5.json`, compare against the committed baseline, exit nonzero on
+//! regression.
+//!
+//! Usage:
+//!   `bench_gate [--out PATH] [--baseline PATH] [--seed N]`
+//!       measure, write `--out` (default `BENCH_5.json`), compare against
+//!       `--baseline` (default `BENCH_5_baseline.json`); exit 1 on any
+//!       metric outside tolerance, 2 on IO/usage errors.
+//!   `bench_gate --write-baseline [--baseline PATH] [--seed N]`
+//!       measure and (re)write the baseline instead of comparing — run this
+//!       on the reference machine when a deliberate perf change lands.
+//!   `bench_gate --compare-only CURRENT [--baseline PATH]`
+//!       skip measurement; compare an existing report file (used by tests
+//!       and for post-hoc analysis of CI artifacts).
+//!
+//! Tolerances: wall-clock metrics may regress ≤10%, throughput metrics
+//! (events/sec, orchestrator speedup) ≤10%; serial/parallel output
+//! divergence fails outright. See `experiments::gate`.
+
+use experiments::gate::{compare, measure, BenchReport, Tolerance};
+use experiments::report::write_json;
+use std::path::{Path, PathBuf};
+
+fn die(msg: &str) -> ! {
+    eprintln!("[bench_gate] {msg}");
+    std::process::exit(2);
+}
+
+fn load_report(path: &Path) -> BenchReport {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| die(&format!("cannot read {}: {e}", path.display())));
+    serde_json::from_str(&text)
+        .unwrap_or_else(|e| die(&format!("cannot parse {}: {e}", path.display())))
+}
+
+fn main() {
+    let mut out = PathBuf::from("BENCH_5.json");
+    let mut baseline_path = PathBuf::from("BENCH_5_baseline.json");
+    let mut compare_only: Option<PathBuf> = None;
+    let mut write_baseline = false;
+    let mut seed = 20170905u64;
+
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => match it.next() {
+                Some(p) => out = PathBuf::from(p),
+                None => die("--out needs a path"),
+            },
+            "--baseline" => match it.next() {
+                Some(p) => baseline_path = PathBuf::from(p),
+                None => die("--baseline needs a path"),
+            },
+            "--compare-only" => match it.next() {
+                Some(p) => compare_only = Some(PathBuf::from(p)),
+                None => die("--compare-only needs a report path"),
+            },
+            "--write-baseline" => write_baseline = true,
+            "--seed" => match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(s)) => seed = s,
+                _ => die("--seed needs an unsigned integer value"),
+            },
+            other => die(&format!(
+                "unknown argument {other}; supported: --out PATH --baseline PATH \
+                 --compare-only PATH --write-baseline --seed N"
+            )),
+        }
+    }
+
+    let current = match &compare_only {
+        Some(path) => load_report(path),
+        None => {
+            let report = measure(seed);
+            let target = if write_baseline { &baseline_path } else { &out };
+            if let Err(e) = write_json(&report, target) {
+                die(&format!("cannot write {}: {e}", target.display()));
+            }
+            eprintln!("[bench_gate] wrote {}", target.display());
+            if write_baseline {
+                eprintln!("[bench_gate] baseline refreshed; not comparing");
+                return;
+            }
+            report
+        }
+    };
+
+    let baseline = load_report(&baseline_path);
+    let violations = compare(&current, &baseline, &Tolerance::default());
+    println!("== bench gate vs {} ==", baseline_path.display());
+    println!(
+        "orchestrator: {} points, serial {:.2}s, parallel {:.2}s ({:.2}x), outputs identical: {}",
+        current.sweep_fig2_shallow.points,
+        current.sweep_fig2_shallow.reference_seconds,
+        current.sweep_fig2_shallow.fast_seconds,
+        current.sweep_fig2_shallow.speedup,
+        current.sweep_fig2_shallow.outputs_identical,
+    );
+    println!(
+        "kernel: churn {:.2}M ev/s (baseline {:.2}M), cancel-heavy {:.2}M ev/s (baseline {:.2}M)",
+        current.kernel.churn.calendar_events_per_sec / 1e6,
+        baseline.kernel.churn.calendar_events_per_sec / 1e6,
+        current.kernel.cancel_heavy.calendar_events_per_sec / 1e6,
+        baseline.kernel.cancel_heavy.calendar_events_per_sec / 1e6,
+    );
+    if violations.is_empty() {
+        println!("PASS: all gated metrics within tolerance");
+        return;
+    }
+    println!("FAIL: {} metric(s) regressed:", violations.len());
+    for v in &violations {
+        println!("  {v}");
+    }
+    std::process::exit(1);
+}

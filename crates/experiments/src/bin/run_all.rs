@@ -3,7 +3,7 @@
 //!
 //! Usage: `run_all [--tiny] [--fresh] [--seed N]`
 
-use experiments::claims::{claims, render_claims};
+use experiments::claims::{check_claims, claims, render_claims};
 use experiments::cli::sweep_from_args;
 use experiments::figures::{fig1, fig2, fig3, fig4, table1, table2};
 use experiments::report::{render_panel, write_json};
@@ -46,8 +46,18 @@ fn main() {
         );
     }
 
-    // Headline claims.
+    // Headline claims. Any claim that fails its direction-of-effect gate
+    // makes the whole run exit nonzero so CI catches the regression.
     let c = claims(&res);
     println!("{}", render_claims(&c));
     let _ = write_json(&c, Path::new("results/claims.json"));
+    let failures = check_claims(&c);
+    if !failures.is_empty() {
+        eprintln!("[run_all] {} claim check(s) FAILED:", failures.len());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("all claim gates passed");
 }

@@ -14,15 +14,24 @@
 //! `results/workloads_{incast,mixed,rpc}[_tiny].json` plus a claims file.
 //! Output JSON is deterministic: two same-seed runs are byte-identical.
 //!
-//! Usage: `workloads [--tiny] [--seed N]`
+//! The 12 (workload × queue) points are independent simulations, so they run
+//! through the `simsweep` orchestrator: in parallel under `--jobs N`, with
+//! results merged back in the canonical order, and served from the
+//! content-addressed cache under `results/.cache/` unless `--no-cache`.
+//!
+//! Exits nonzero if any claim check fails, so CI catches regressions in the
+//! reproduced pathology rather than just printing FAIL and passing.
+//!
+//! Usage: `workloads [--tiny] [--seed N] [--jobs N] [--no-cache]`
 
 use ecn_core::{ProtectionMode, QdiscSpec, RedConfig, SimpleMarkingConfig};
 use experiments::cli::cli_args;
 use experiments::report::write_json;
 use experiments::scenario::{ScenarioConfig, Transport};
+use experiments::simsweep;
 use netpacket::{NodeId, PacketKind};
-use netsim::{ClusterSpec, Network, Simulation};
-use serde::Serialize;
+use netsim::{ClusterSpec, LinkSpec, Network, Simulation};
+use serde::{Deserialize, Serialize};
 use simevent::{SimDuration, SimTime};
 use simmetrics::{FctSummary, IdealFct};
 use std::path::Path;
@@ -77,8 +86,54 @@ const QUEUES: [WlQueue; 4] = [
     WlQueue::SimpleMarking,
 ];
 
-/// One workload under one switch configuration.
+fn queue_from_label(label: &str) -> WlQueue {
+    QUEUES
+        .into_iter()
+        .find(|q| q.label() == label)
+        .unwrap_or_else(|| panic!("unknown queue label {label:?}"))
+}
+
+/// Cache identity of one (workload × queue) point. Everything the simulation
+/// consumes is in here — the scenario (seed, links, buffers), the per-workload
+/// generator config, the cluster size and the run's time limit — so two runs
+/// with the same key are the same deterministic simulation.
 #[derive(Debug, Clone, Serialize)]
+struct WlKey {
+    workload: String,
+    queue: String,
+    scenario: ScenarioConfig,
+    hosts: u32,
+    host_link: LinkSpec,
+    time_limit: SimTime,
+    incast: Option<IncastConfig>,
+    mixed: Option<MixedConfig>,
+    rpc: Option<RpcConfig>,
+}
+
+const WORKLOADS: [&str; 3] = ["incast", "mixed", "rpc"];
+
+fn point_keys(cfg: &ScenarioConfig, sz: &WorkloadSizes) -> Vec<WlKey> {
+    let mut keys = Vec::with_capacity(WORKLOADS.len() * QUEUES.len());
+    for wl in WORKLOADS {
+        for q in QUEUES {
+            keys.push(WlKey {
+                workload: wl.into(),
+                queue: q.label(),
+                scenario: cfg.clone(),
+                hosts: sz.hosts,
+                host_link: cfg.host_link,
+                time_limit: sz.time_limit,
+                incast: (wl == "incast").then_some(sz.incast),
+                mixed: (wl == "mixed").then_some(sz.mixed),
+                rpc: (wl == "rpc").then_some(sz.rpc),
+            });
+        }
+    }
+    keys
+}
+
+/// One workload under one switch configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct QueueResult {
     queue: String,
     /// Whether every flow completed inside the time limit.
@@ -271,69 +326,66 @@ fn print_row(r: &QueueResult) {
     );
 }
 
+/// Evaluate one orchestrator point. For the RPC workload the SLO accounting
+/// lives in the traffic model, not the sim report, so it is folded into the
+/// [`QueueResult`] here — before the result is cached — rather than after.
+fn eval_point(cfg: &ScenarioConfig, sz: &WorkloadSizes, key: &WlKey) -> QueueResult {
+    let q = queue_from_label(&key.queue);
+    match key.workload.as_str() {
+        "incast" => run_queue(cfg, sz, q, Incast::new(sz.incast)).0,
+        "mixed" => run_queue(cfg, sz, q, Mixed::new(sz.mixed)).0,
+        "rpc" => {
+            let (mut r, model) = run_queue(cfg, sz, q, Rpc::new(sz.rpc));
+            r.rpc = Some(model.summary());
+            r
+        }
+        other => panic!("unknown workload {other:?}"),
+    }
+}
+
 fn main() {
     let args = cli_args();
     let cfg = args.scenario();
+    let opts = args.sweep_options();
     let sz = sizes(&cfg, args.tiny);
     let suffix = if args.tiny { "_tiny" } else { "" };
 
-    // Incast.
-    print_header("partition-aggregate incast");
-    let mut incast_results = Vec::new();
-    for q in QUEUES {
-        let (r, _) = run_queue(&cfg, &sz, q, Incast::new(sz.incast));
-        print_row(&r);
-        incast_results.push(r);
-    }
-    let incast_report = WorkloadReport {
-        workload: "incast".into(),
-        seed: cfg.seed,
-        hosts: sz.hosts,
-        configs: incast_results,
-    };
-    let path = Path::new("results").join(format!("workloads_incast{suffix}.json"));
-    if write_json(&incast_report, &path).is_ok() {
-        eprintln!("[workloads] wrote {}", path.display());
-    }
+    // All 12 (workload × queue) points go through the orchestrator at once:
+    // parallel across `--jobs`, merged back in this canonical order, cached
+    // under `results/.cache/` unless `--no-cache`.
+    let keys = point_keys(&cfg, &sz);
+    let (mut results, stats) = simsweep::run_points(&keys, &opts, |key| eval_point(&cfg, &sz, key));
+    eprintln!(
+        "[workloads] {} points executed, {} served from cache",
+        stats.executed, stats.cached
+    );
 
-    // Mixed elephants + mice.
-    print_header("permutation elephants + poisson mice");
-    let mut mixed_results = Vec::new();
-    for q in QUEUES {
-        let (r, _) = run_queue(&cfg, &sz, q, Mixed::new(sz.mixed));
-        print_row(&r);
-        mixed_results.push(r);
+    let mut reports = Vec::new();
+    for (wl, title) in [
+        ("incast", "partition-aggregate incast"),
+        ("mixed", "permutation elephants + poisson mice"),
+        ("rpc", "closed-loop RPC"),
+    ] {
+        print_header(title);
+        let configs: Vec<QueueResult> = results.drain(..QUEUES.len()).collect();
+        for r in &configs {
+            print_row(r);
+        }
+        let report = WorkloadReport {
+            workload: wl.into(),
+            seed: cfg.seed,
+            hosts: sz.hosts,
+            configs,
+        };
+        let path = Path::new("results").join(format!("workloads_{wl}{suffix}.json"));
+        if write_json(&report, &path).is_ok() {
+            eprintln!("[workloads] wrote {}", path.display());
+        }
+        reports.push(report);
     }
-    let mixed_report = WorkloadReport {
-        workload: "mixed".into(),
-        seed: cfg.seed,
-        hosts: sz.hosts,
-        configs: mixed_results,
-    };
-    let path = Path::new("results").join(format!("workloads_mixed{suffix}.json"));
-    if write_json(&mixed_report, &path).is_ok() {
-        eprintln!("[workloads] wrote {}", path.display());
-    }
-
-    // Closed-loop RPC.
-    print_header("closed-loop RPC");
-    let mut rpc_results = Vec::new();
-    for q in QUEUES {
-        let (mut r, model) = run_queue(&cfg, &sz, q, Rpc::new(sz.rpc));
-        r.rpc = Some(model.summary());
-        print_row(&r);
-        rpc_results.push(r);
-    }
-    let rpc_report = WorkloadReport {
-        workload: "rpc".into(),
-        seed: cfg.seed,
-        hosts: sz.hosts,
-        configs: rpc_results,
-    };
-    let path = Path::new("results").join(format!("workloads_rpc{suffix}.json"));
-    if write_json(&rpc_report, &path).is_ok() {
-        eprintln!("[workloads] wrote {}", path.display());
-    }
+    let rpc_report = reports.pop().expect("rpc report");
+    let mixed_report = reports.pop().expect("mixed report");
+    let incast_report = reports.pop().expect("incast report");
 
     // Claim checks.
     let by_queue = |rs: &[QueueResult], q: WlQueue| -> QueueResult {
@@ -365,11 +417,15 @@ fn main() {
     };
 
     println!("\n== claim checks ==");
-    let check = |name: &str, pass: bool, detail: String| {
+    let mut failed: Vec<String> = Vec::new();
+    let mut check = |name: &str, pass: bool, detail: String| {
         println!(
             "  [{}] {name}: {detail}",
             if pass { "PASS" } else { "FAIL" }
         );
+        if !pass {
+            failed.push(name.into());
+        }
     };
     check(
         "incast goodput collapses without protection",
@@ -415,5 +471,14 @@ fn main() {
     let path = Path::new("results").join(format!("workloads_claims{suffix}.json"));
     if write_json(&claims, &path).is_ok() {
         eprintln!("[workloads] wrote {}", path.display());
+    }
+
+    if !failed.is_empty() {
+        eprintln!(
+            "[workloads] {} claim check(s) FAILED: {}",
+            failed.len(),
+            failed.join("; ")
+        );
+        std::process::exit(1);
     }
 }

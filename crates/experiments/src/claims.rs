@@ -117,6 +117,52 @@ pub fn claims(res: &SweepResults) -> ClaimsReport {
     }
 }
 
+/// Direction-of-effect gates on the headline claims: each measured value must
+/// land on the paper's side of a deliberately loose threshold, so the checks
+/// hold at both `--tiny` and full scale while still catching a regression
+/// that erases the pathology or breaks one of the fixes. A non-finite value
+/// (empty sweep slice) always fails. Returns one description per failed gate;
+/// empty means every claim reproduced.
+pub fn check_claims(c: &ClaimsReport) -> Vec<String> {
+    let mut failures = Vec::new();
+    let mut gate = |desc: &str, value: f64, pass: bool| {
+        if !value.is_finite() || !pass {
+            failures.push(format!("{desc} (measured {value:.3})"));
+        }
+    };
+    gate(
+        "RED[default] tight thresholds must lose throughput: expected < 0.9",
+        c.red_default_tight_throughput,
+        c.red_default_tight_throughput < 0.9,
+    );
+    gate(
+        "RED[ack+syn] must restore throughput: expected > 0.9",
+        c.ack_syn_best_throughput,
+        c.ack_syn_best_throughput > 0.9,
+    );
+    gate(
+        "simple marking must match protected throughput: expected > 0.9",
+        c.simple_marking_best_throughput,
+        c.simple_marking_best_throughput > 0.9,
+    );
+    gate(
+        "latency must drop at full throughput (shallow): expected < 0.9",
+        c.best_latency_at_full_throughput,
+        c.best_latency_at_full_throughput < 0.9,
+    );
+    gate(
+        "latency must drop on deep buffers: expected < 0.9",
+        c.deep_best_latency,
+        c.deep_best_latency < 0.9,
+    );
+    gate(
+        "shallow marking must approach deep DropTail throughput: expected > 0.8",
+        c.shallow_marking_vs_deep_droptail,
+        c.shallow_marking_vs_deep_droptail > 0.8,
+    );
+    failures
+}
+
 /// Render the claims table with the paper's expectations alongside.
 pub fn render_claims(c: &ClaimsReport) -> String {
     let mut s = String::new();
@@ -251,5 +297,49 @@ mod tests {
         let rendered = render_claims(&c);
         assert!(rendered.contains("measured"));
         assert!(rendered.contains("1.120"));
+    }
+
+    fn healthy_report() -> ClaimsReport {
+        ClaimsReport {
+            red_default_tight_throughput: 0.21,
+            ack_syn_best_throughput: 1.1,
+            simple_marking_best_throughput: 1.05,
+            best_latency_at_full_throughput: 0.22,
+            deep_best_latency: 0.4,
+            shallow_marking_vs_deep_droptail: 1.0,
+        }
+    }
+
+    #[test]
+    fn healthy_claims_pass_every_gate() {
+        assert!(check_claims(&healthy_report()).is_empty());
+    }
+
+    #[test]
+    fn erased_pathology_fails_the_gate() {
+        // If RED[default] no longer hurts throughput, the reproduction of the
+        // paper's core finding is broken and the gate must say so.
+        let mut c = healthy_report();
+        c.red_default_tight_throughput = 0.99;
+        let failures = check_claims(&c);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("RED[default]"), "{failures:?}");
+    }
+
+    #[test]
+    fn broken_fix_fails_the_gate() {
+        let mut c = healthy_report();
+        c.ack_syn_best_throughput = 0.5;
+        c.deep_best_latency = 1.2;
+        assert_eq!(check_claims(&c).len(), 2);
+    }
+
+    #[test]
+    fn nan_claims_always_fail() {
+        // A NaN means the sweep slice backing the claim was empty; silence
+        // here would hide a broken grid, so NaN fails even on "<" gates.
+        let mut c = healthy_report();
+        c.best_latency_at_full_throughput = f64::NAN;
+        assert_eq!(check_claims(&c).len(), 1);
     }
 }

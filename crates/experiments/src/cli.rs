@@ -4,7 +4,8 @@ use crate::report::write_sweep_json;
 use crate::scenario::{
     run_scenario_once_traced, BufferDepth, Engine, QueueKind, ScenarioConfig, Transport,
 };
-use crate::sweep::{sweep, SweepGrid, SweepResults};
+use crate::simsweep::{CacheMode, SweepOptions};
+use crate::sweep::{sweep_with, SweepGrid, SweepResults};
 use ecn_core::ProtectionMode;
 use simevent::SimDuration;
 use simtrace::{JsonlSink, TraceFilter, TraceHandle, KIND_NAMES};
@@ -19,6 +20,11 @@ pub struct CliArgs {
     pub fresh: bool,
     /// `--seed N`: override the scenario's base RNG seed.
     pub seed: Option<u64>,
+    /// `--jobs N`: worker threads for the sweep (default: one per core).
+    pub jobs: Option<usize>,
+    /// `--no-cache`: bypass the content-addressed point cache under
+    /// `results/.cache/` — every point executes and nothing is written back.
+    pub no_cache: bool,
     /// `--trace PATH`: instead of the figure sweep, run one deterministic
     /// scenario point with packet-lifecycle tracing and write a JSONL trace
     /// to `PATH` (see [`run_traced_point`]), then exit.
@@ -42,6 +48,11 @@ impl CliArgs {
                     Some(Ok(s)) => out.seed = Some(s),
                     _ => die("--seed needs an unsigned integer value"),
                 },
+                "--jobs" => match it.next().map(|v| v.parse::<usize>()) {
+                    Some(Ok(n)) if n >= 1 => out.jobs = Some(n),
+                    _ => die("--jobs needs an integer >= 1"),
+                },
+                "--no-cache" => out.no_cache = true,
                 "--trace" => match it.next() {
                     Some(p) => out.trace = Some(PathBuf::from(p)),
                     None => die("--trace needs an output path"),
@@ -56,6 +67,11 @@ impl CliArgs {
                             Ok(s) => out.seed = Some(s),
                             Err(_) => die("--seed needs an unsigned integer value"),
                         }
+                    } else if let Some(v) = other.strip_prefix("--jobs=") {
+                        match v.parse::<usize>() {
+                            Ok(n) if n >= 1 => out.jobs = Some(n),
+                            _ => die("--jobs needs an integer >= 1"),
+                        }
                     } else if let Some(v) = other.strip_prefix("--trace=") {
                         out.trace = Some(PathBuf::from(v));
                     } else if let Some(v) = other.strip_prefix("--trace-filter=") {
@@ -63,7 +79,7 @@ impl CliArgs {
                     } else {
                         die(&format!(
                             "unknown argument {other}; supported: --tiny --fresh --seed N \
-                             --trace PATH --trace-filter flow=N|kind=NAME"
+                             --jobs N --no-cache --trace PATH --trace-filter flow=N|kind=NAME"
                         ))
                     }
                 }
@@ -84,6 +100,21 @@ impl CliArgs {
             cfg.seed = s;
         }
         cfg
+    }
+
+    /// The orchestrator options these flags select. `--jobs N` bounds the
+    /// worker pool; `--no-cache` disables the content-addressed point cache.
+    /// `--trace` also disables it: a traced run must actually execute the
+    /// simulation to produce events, so cached results may never satisfy it.
+    pub fn sweep_options(&self) -> SweepOptions {
+        SweepOptions {
+            jobs: self.jobs.unwrap_or(0),
+            cache: if self.no_cache || self.trace.is_some() {
+                CacheMode::Disabled
+            } else {
+                CacheMode::default_dir()
+            },
+        }
     }
 }
 
@@ -183,10 +214,16 @@ pub fn default_cache_path(tiny: bool) -> PathBuf {
 }
 
 /// Load a cached sweep if it exists and was produced by the same grid;
-/// otherwise run the sweep and cache it. A `--seed` override changes
-/// `grid.config.seed`, so a cache written under a different seed fails the
-/// grid comparison and is re-run rather than silently reused.
-pub fn sweep_cached(grid: &SweepGrid, path: &Path) -> SweepResults {
+/// otherwise run the sweep through the orchestrator and cache it. A `--seed`
+/// override changes `grid.config.seed`, so a cache written under a different
+/// seed fails the grid comparison and is re-run rather than silently reused.
+///
+/// Two cache tiers compose here: this aggregate file (so the Fig. 2–4
+/// binaries share one run without recomputing anything at all), and the
+/// orchestrator's per-point content-addressed cache under `results/.cache/`
+/// (so a `--fresh` re-run, or a grid that overlaps a previous one, only
+/// executes the points it has never seen).
+pub fn sweep_cached(grid: &SweepGrid, path: &Path, opts: &SweepOptions) -> SweepResults {
     if let Ok(text) = std::fs::read_to_string(path) {
         if let Ok(res) = serde_json::from_str::<SweepResults>(&text) {
             if res.grid == *grid {
@@ -205,15 +242,20 @@ pub fn sweep_cached(grid: &SweepGrid, path: &Path) -> SweepResults {
         grid.queues.len(),
         grid.target_delays_us.len()
     );
-    let res = sweep(grid);
+    let (res, stats) = sweep_with(grid, opts);
+    eprintln!(
+        "[experiments] sweep done: {} points executed, {} from cache",
+        stats.executed, stats.cached
+    );
     if let Err(e) = write_sweep_json(&res, path) {
         eprintln!("[experiments] warning: could not cache sweep: {e}");
     }
     res
 }
 
-/// Parse the common flags. Returns (grid, cache_path, fresh).
-pub fn parse_args() -> (SweepGrid, PathBuf, bool) {
+/// Parse the common flags. Returns (grid, aggregate_cache_path, fresh,
+/// orchestrator options).
+pub fn parse_args() -> (SweepGrid, PathBuf, bool, SweepOptions) {
     let args = cli_args();
     let mut grid = if args.tiny {
         SweepGrid::tiny()
@@ -221,16 +263,17 @@ pub fn parse_args() -> (SweepGrid, PathBuf, bool) {
         SweepGrid::default()
     };
     grid.config = args.scenario();
-    (grid, default_cache_path(args.tiny), args.fresh)
+    let opts = args.sweep_options();
+    (grid, default_cache_path(args.tiny), args.fresh, opts)
 }
 
 /// Run (or load) the sweep per the parsed flags.
 pub fn sweep_from_args() -> SweepResults {
-    let (grid, path, fresh) = parse_args();
+    let (grid, path, fresh, opts) = parse_args();
     if fresh {
         let _ = std::fs::remove_file(&path);
     }
-    sweep_cached(&grid, &path)
+    sweep_cached(&grid, &path, &opts)
 }
 
 #[cfg(test)]
@@ -248,6 +291,52 @@ mod tests {
         assert_eq!(a.seed, Some(99));
         assert_eq!(parse(&["--seed=123"]).seed, Some(123));
         assert_eq!(parse(&[]).seed, None);
+    }
+
+    #[test]
+    fn parses_jobs_and_no_cache() {
+        let a = parse(&["--jobs", "4", "--no-cache"]);
+        assert_eq!(a.jobs, Some(4));
+        assert!(a.no_cache);
+        assert_eq!(parse(&["--jobs=2"]).jobs, Some(2));
+        let d = parse(&[]);
+        assert_eq!(d.jobs, None);
+        assert!(!d.no_cache);
+    }
+
+    #[test]
+    fn sweep_options_reflect_flags() {
+        let d = parse(&[]).sweep_options();
+        assert_eq!(d.jobs, 0, "default: one worker per core");
+        assert_eq!(d.cache, CacheMode::default_dir());
+
+        let a = parse(&["--jobs", "3"]).sweep_options();
+        assert_eq!(a.jobs, 3);
+        assert_eq!(a.cache, CacheMode::default_dir());
+
+        let b = parse(&["--no-cache"]).sweep_options();
+        assert_eq!(b.cache, CacheMode::Disabled);
+
+        // --seed interacts with the cache through the key, not the mode: the
+        // options stay cache-enabled and the ScenarioConfig (which is part of
+        // every point key) carries the new seed.
+        let s = parse(&["--seed", "42"]);
+        assert_eq!(s.sweep_options().cache, CacheMode::default_dir());
+        assert_eq!(s.scenario().seed, 42);
+    }
+
+    #[test]
+    fn trace_forces_cache_bypass() {
+        let t = parse(&["--trace", "out.jsonl"]).sweep_options();
+        assert_eq!(
+            t.cache,
+            CacheMode::Disabled,
+            "a traced point must execute, never load from cache"
+        );
+        // ...even when combined with --jobs and a warm-cache-friendly seed.
+        let t2 = parse(&["--trace=out.jsonl", "--jobs", "4", "--seed", "7"]).sweep_options();
+        assert_eq!(t2.cache, CacheMode::Disabled);
+        assert_eq!(t2.jobs, 4);
     }
 
     #[test]

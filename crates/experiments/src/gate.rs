@@ -1,0 +1,505 @@
+//! The benchmark regression gate behind the `bench_gate` bin.
+//!
+//! `bench_gate` runs a fixed "standard point set" (kernel microbenchmarks
+//! plus the Fig. 2 shallow sweep at gate scale), emits `BENCH_5.json` in the
+//! same schema as `BENCH_1.json`, and compares it against a committed
+//! baseline (`BENCH_5_baseline.json`) with per-metric tolerances — exiting
+//! nonzero on regression, so the repo's perf trajectory is *enforced*, not
+//! just recorded.
+//!
+//! For `BENCH_5.json` the sweep section measures the simsweep orchestrator
+//! itself: `reference_seconds` is the point set run serially (`jobs = 1`)
+//! and `fast_seconds` the same set on one worker per core, with
+//! `outputs_identical` asserting the two runs' metrics (and therefore any
+//! JSON built from them) are equal — the determinism contract of the
+//! parallel executor, measured on every gate run.
+//!
+//! Gate policy: wall-clock metrics may regress at most
+//! [`Tolerance::wall_clock_frac`] (default 10%), throughput-style metrics
+//! (events/sec, speedups) at most [`Tolerance::throughput_frac`] (default
+//! 10%), and `outputs_identical` must hold outright.
+
+use crate::scenario::{
+    run_scenario_once_with, BufferDepth, Engine, QueueKind, RunMetrics, ScenarioConfig, Transport,
+};
+use crate::simsweep::{CacheMode, SweepOptions};
+use crate::sweep::SweepGrid;
+use ecn_core::ProtectionMode;
+use serde::{Deserialize, Serialize};
+use simevent::{CalendarQueue, EventQueue, QueueBackend, SimDuration, SimTime};
+use std::time::Instant;
+
+/// One kernel microbenchmark line (schema-compatible with `BENCH_1.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelWorkload {
+    /// Events held in flight.
+    pub pending: u64,
+    /// Events popped during measurement.
+    pub popped_events: u64,
+    /// Reference binary-heap throughput.
+    pub heap_events_per_sec: f64,
+    /// Calendar-queue fast-path throughput.
+    pub calendar_events_per_sec: f64,
+    /// calendar / heap.
+    pub speedup: f64,
+}
+
+/// The two kernel workloads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelSection {
+    /// Hold-and-churn schedule/pop workload.
+    pub churn: KernelWorkload,
+    /// Cancel-and-rearm timer workload.
+    pub cancel_heavy: KernelWorkload,
+}
+
+/// The sweep wall-clock section (schema-compatible with `BENCH_1.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSection {
+    /// Points in the set.
+    pub points: u64,
+    /// Wall-clock of the slow configuration (serial / reference engine).
+    pub reference_seconds: f64,
+    /// Wall-clock of the fast configuration (parallel / fast engine).
+    pub fast_seconds: f64,
+    /// reference / fast.
+    pub speedup: f64,
+    /// Both configurations produced identical metrics.
+    pub outputs_identical: bool,
+    /// Simulation events processed, slow configuration.
+    pub reference_events: u64,
+    /// Simulation events processed, fast configuration.
+    pub fast_events: u64,
+    /// Peak pending events, slow configuration.
+    pub reference_peak_pending: u64,
+    /// Peak pending events, fast configuration.
+    pub fast_peak_pending: u64,
+}
+
+/// The whole report — the `BENCH_*.json` schema.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// What this report measures.
+    pub description: String,
+    /// Kernel microbenchmarks.
+    pub kernel: KernelSection,
+    /// Standard-point-set wall clock.
+    pub sweep_fig2_shallow: SweepSection,
+}
+
+/// Per-metric regression tolerances, as fractions (0.10 = 10%).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerance {
+    /// Allowed wall-clock increase on lower-is-better metrics.
+    pub wall_clock_frac: f64,
+    /// Allowed loss on higher-is-better metrics (events/sec, speedups).
+    pub throughput_frac: f64,
+}
+
+impl Default for Tolerance {
+    fn default() -> Self {
+        Tolerance {
+            wall_clock_frac: 0.10,
+            throughput_frac: 0.10,
+        }
+    }
+}
+
+/// One gated metric outside its tolerance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Dotted metric path, e.g. `kernel.churn.calendar_events_per_sec`.
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Measured value.
+    pub current: f64,
+    /// The bound the measured value crossed.
+    pub limit: f64,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {:.4} vs baseline {:.4} (limit {:.4})",
+            self.metric, self.current, self.baseline, self.limit
+        )
+    }
+}
+
+/// Compare a measured report against the baseline. Returns every gated
+/// metric outside its tolerance; empty means the gate passes.
+pub fn compare(current: &BenchReport, baseline: &BenchReport, tol: &Tolerance) -> Vec<Violation> {
+    let mut v = Vec::new();
+
+    // Higher is better: must not fall more than throughput_frac below
+    // the baseline.
+    let mut higher = |metric: &str, cur: f64, base: f64| {
+        let limit = base * (1.0 - tol.throughput_frac);
+        // Non-finite on either side means a corrupt report — fail, don't pass.
+        if !cur.is_finite() || !limit.is_finite() || cur < limit {
+            v.push(Violation {
+                metric: metric.to_string(),
+                baseline: base,
+                current: cur,
+                limit,
+            });
+        }
+    };
+    higher(
+        "kernel.churn.calendar_events_per_sec",
+        current.kernel.churn.calendar_events_per_sec,
+        baseline.kernel.churn.calendar_events_per_sec,
+    );
+    higher(
+        "kernel.cancel_heavy.calendar_events_per_sec",
+        current.kernel.cancel_heavy.calendar_events_per_sec,
+        baseline.kernel.cancel_heavy.calendar_events_per_sec,
+    );
+    higher(
+        "sweep_fig2_shallow.speedup",
+        current.sweep_fig2_shallow.speedup,
+        baseline.sweep_fig2_shallow.speedup,
+    );
+
+    // Lower is better: must not rise more than wall_clock_frac above the
+    // baseline.
+    let cur = current.sweep_fig2_shallow.fast_seconds;
+    let base = baseline.sweep_fig2_shallow.fast_seconds;
+    let limit = base * (1.0 + tol.wall_clock_frac);
+    if !cur.is_finite() || !limit.is_finite() || cur > limit {
+        v.push(Violation {
+            metric: "sweep_fig2_shallow.fast_seconds".to_string(),
+            baseline: base,
+            current: cur,
+            limit,
+        });
+    }
+
+    // Hard invariant, no tolerance: parallel and serial outputs agree.
+    if !current.sweep_fig2_shallow.outputs_identical {
+        v.push(Violation {
+            metric: "sweep_fig2_shallow.outputs_identical".to_string(),
+            baseline: 1.0,
+            current: 0.0,
+            limit: 1.0,
+        });
+    }
+    v
+}
+
+// ----- measurement -----------------------------------------------------------
+
+/// Deterministic 64-bit LCG (MMIX constants) for microbench jitter.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_below(&mut self, bound: u64) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (self.0 >> 33) % bound
+    }
+}
+
+fn churn<Q: QueueBackend<u64>>(mut q: Q, pending: usize, events: u64) -> f64 {
+    let mut rng = Lcg(0x9E37_79B9_7F4A_7C15);
+    for i in 0..pending {
+        q.schedule(SimTime::from_nanos(rng.next_below(1_000_000)), i as u64);
+    }
+    let start = Instant::now();
+    for _ in 0..events {
+        let (at, v) = q.pop().expect("queue held non-empty");
+        q.schedule(
+            at + SimDuration::from_nanos(rng.next_below(1_000_000) + 1),
+            v,
+        );
+    }
+    events as f64 / start.elapsed().as_secs_f64()
+}
+
+fn cancel_heavy<Q: QueueBackend<u64>>(mut q: Q, pending: usize, events: u64) -> f64 {
+    let mut rng = Lcg(0x2545_F491_4F6C_DD1D);
+    for i in 0..pending {
+        q.schedule(SimTime::from_nanos(rng.next_below(1_000_000)), i as u64);
+    }
+    let start = Instant::now();
+    for _ in 0..events {
+        let (at, v) = q.pop().expect("queue held non-empty");
+        let h =
+            q.schedule_cancellable(at + SimDuration::from_nanos(rng.next_below(500_000) + 1), v);
+        q.cancel(h);
+        q.schedule(
+            at + SimDuration::from_nanos(rng.next_below(1_000_000) + 1),
+            v,
+        );
+    }
+    events as f64 / start.elapsed().as_secs_f64()
+}
+
+fn gate_calendar(pending: usize) -> CalendarQueue<u64> {
+    let buckets = (pending / 2).next_power_of_two();
+    let shift = (22u32.saturating_sub(buckets.trailing_zeros())).max(1);
+    CalendarQueue::with_geometry(shift, buckets)
+}
+
+const GATE_KERNEL_SAMPLES: usize = 3;
+
+fn kernel_workload(
+    pending: usize,
+    events: u64,
+    heap_bench: fn(EventQueue<u64>, usize, u64) -> f64,
+    cal_bench: fn(CalendarQueue<u64>, usize, u64) -> f64,
+) -> KernelWorkload {
+    let mut heap_runs = Vec::new();
+    let mut cal_runs = Vec::new();
+    for _ in 0..GATE_KERNEL_SAMPLES {
+        heap_runs.push(heap_bench(EventQueue::new(), pending, events));
+        cal_runs.push(cal_bench(gate_calendar(pending), pending, events));
+    }
+    let median = |mut v: Vec<f64>| -> f64 {
+        v.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+        v[v.len() / 2]
+    };
+    let heap = median(heap_runs);
+    let calendar = median(cal_runs);
+    KernelWorkload {
+        pending: pending as u64,
+        popped_events: events,
+        heap_events_per_sec: heap,
+        calendar_events_per_sec: calendar,
+        speedup: calendar / heap,
+    }
+}
+
+/// The gate's standard point set: the Fig. 2 shallow grid at tiny scale,
+/// single seed per point so the set stays CI-cheap. 19 points (one DropTail
+/// baseline plus 2 transports × 3 queues × 3 delays).
+pub fn gate_grid(seed: u64) -> SweepGrid {
+    let mut grid = SweepGrid::tiny();
+    grid.config.seed = seed;
+    grid.config.seed_count = 1;
+    grid
+}
+
+fn gate_points(seed: u64) -> (ScenarioConfig, Vec<(Transport, QueueKind, u64)>) {
+    let grid = gate_grid(seed);
+    let mut points = vec![(Transport::Tcp, QueueKind::DropTail, 500)];
+    for &transport in &grid.transports {
+        for queue in [
+            QueueKind::Red(ProtectionMode::Default),
+            QueueKind::Red(ProtectionMode::AckSyn),
+            QueueKind::SimpleMarking,
+        ] {
+            for &delay_us in &grid.target_delays_us {
+                points.push((transport, queue, delay_us));
+            }
+        }
+    }
+    (grid.config, points)
+}
+
+/// Run the standard point set through the orchestrator with `jobs` workers
+/// (cache disabled — the gate measures execution, never cache hits).
+/// Returns (wall seconds, metrics, total events, peak pending).
+fn run_gate_sweep(seed: u64, jobs: usize) -> (f64, Vec<RunMetrics>, u64, u64) {
+    let (cfg, points) = gate_points(seed);
+    let opts = SweepOptions {
+        jobs,
+        cache: CacheMode::Disabled,
+    };
+    let start = Instant::now();
+    let (results, _) = crate::simsweep::run_points(&points, &opts, |&(transport, queue, delay)| {
+        let (m, report) = run_scenario_once_with(
+            &cfg,
+            transport,
+            queue,
+            BufferDepth::Shallow,
+            SimDuration::from_micros(delay),
+            Engine::Fast,
+        );
+        (m, report.events, report.peak_pending as u64)
+    });
+    let wall = start.elapsed().as_secs_f64();
+    let mut metrics = Vec::with_capacity(results.len());
+    let mut events = 0u64;
+    let mut peak = 0u64;
+    for (m, ev, pk) in results {
+        events += ev;
+        peak = peak.max(pk);
+        metrics.push(m);
+    }
+    (wall, metrics, events, peak)
+}
+
+/// Measure the full gate report: kernel microbenchmarks plus the standard
+/// point set serial (`jobs = 1`) vs parallel (one worker per core).
+pub fn measure(seed: u64) -> BenchReport {
+    eprintln!("[bench_gate] kernel microbench (churn)...");
+    let churn_w = kernel_workload(65_536, 300_000, churn, churn);
+    eprintln!(
+        "  heap {:.2}M ev/s, calendar {:.2}M ev/s, speedup {:.2}x",
+        churn_w.heap_events_per_sec / 1e6,
+        churn_w.calendar_events_per_sec / 1e6,
+        churn_w.speedup,
+    );
+    eprintln!("[bench_gate] kernel microbench (cancel-heavy)...");
+    let cancel_w = kernel_workload(65_536, 300_000, cancel_heavy, cancel_heavy);
+    eprintln!(
+        "  heap {:.2}M ev/s, calendar {:.2}M ev/s, speedup {:.2}x",
+        cancel_w.heap_events_per_sec / 1e6,
+        cancel_w.calendar_events_per_sec / 1e6,
+        cancel_w.speedup,
+    );
+
+    eprintln!("[bench_gate] standard point set, serial (--jobs 1)...");
+    let (serial_s, serial_metrics, serial_events, serial_peak) = run_gate_sweep(seed, 1);
+    eprintln!("  {serial_s:.2}s, {serial_events} events");
+    eprintln!("[bench_gate] standard point set, parallel (all cores)...");
+    let (par_s, par_metrics, par_events, par_peak) = run_gate_sweep(seed, 0);
+    eprintln!("  {par_s:.2}s, {par_events} events");
+    let identical = serial_metrics == par_metrics;
+    if !identical {
+        eprintln!("[bench_gate] WARNING: serial and parallel outputs differ!");
+    }
+
+    BenchReport {
+        description: "Sweep-orchestrator gate: calendar-queue kernel microbenchmarks plus the \
+                      Fig. 2 shallow standard point set run serially (reference_* = --jobs 1) \
+                      and on one worker per core (fast_*) through simsweep; outputs_identical \
+                      asserts both runs produced identical metrics."
+            .to_string(),
+        kernel: KernelSection {
+            churn: churn_w,
+            cancel_heavy: cancel_w,
+        },
+        sweep_fig2_shallow: SweepSection {
+            points: serial_metrics.len() as u64,
+            reference_seconds: serial_s,
+            fast_seconds: par_s,
+            speedup: serial_s / par_s,
+            outputs_identical: identical,
+            reference_events: serial_events,
+            fast_events: par_events,
+            reference_peak_pending: serial_peak,
+            fast_peak_pending: par_peak,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> BenchReport {
+        BenchReport {
+            description: "test".into(),
+            kernel: KernelSection {
+                churn: KernelWorkload {
+                    pending: 1024,
+                    popped_events: 1000,
+                    heap_events_per_sec: 1.0e6,
+                    calendar_events_per_sec: 3.0e6,
+                    speedup: 3.0,
+                },
+                cancel_heavy: KernelWorkload {
+                    pending: 1024,
+                    popped_events: 1000,
+                    heap_events_per_sec: 0.8e6,
+                    calendar_events_per_sec: 1.6e6,
+                    speedup: 2.0,
+                },
+            },
+            sweep_fig2_shallow: SweepSection {
+                points: 25,
+                reference_seconds: 4.0,
+                fast_seconds: 1.0,
+                speedup: 4.0,
+                outputs_identical: true,
+                reference_events: 1_000_000,
+                fast_events: 1_000_000,
+                reference_peak_pending: 100,
+                fast_peak_pending: 100,
+            },
+        }
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let r = report();
+        assert!(compare(&r, &r, &Tolerance::default()).is_empty());
+    }
+
+    #[test]
+    fn small_noise_within_tolerance_passes() {
+        let base = report();
+        let mut cur = report();
+        cur.kernel.churn.calendar_events_per_sec *= 0.95; // -5% < 10%
+        cur.sweep_fig2_shallow.fast_seconds *= 1.05; // +5% < 10%
+        cur.sweep_fig2_shallow.speedup *= 0.95;
+        assert!(compare(&cur, &base, &Tolerance::default()).is_empty());
+    }
+
+    #[test]
+    fn inflated_baseline_fails_the_gate() {
+        // The acceptance scenario: a baseline whose metrics claim 20% more
+        // than we can measure must trip the gate.
+        let cur = report();
+        let mut base = report();
+        base.kernel.churn.calendar_events_per_sec *= 1.2;
+        base.kernel.cancel_heavy.calendar_events_per_sec *= 1.2;
+        base.sweep_fig2_shallow.speedup *= 1.2;
+        base.sweep_fig2_shallow.fast_seconds /= 1.2;
+        let v = compare(&cur, &base, &Tolerance::default());
+        let metrics: Vec<&str> = v.iter().map(|x| x.metric.as_str()).collect();
+        assert!(metrics.contains(&"kernel.churn.calendar_events_per_sec"));
+        assert!(metrics.contains(&"kernel.cancel_heavy.calendar_events_per_sec"));
+        assert!(metrics.contains(&"sweep_fig2_shallow.speedup"));
+        assert!(metrics.contains(&"sweep_fig2_shallow.fast_seconds"));
+    }
+
+    #[test]
+    fn wall_clock_regression_fails() {
+        let base = report();
+        let mut cur = report();
+        cur.sweep_fig2_shallow.fast_seconds = base.sweep_fig2_shallow.fast_seconds * 1.2;
+        let v = compare(&cur, &base, &Tolerance::default());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].metric, "sweep_fig2_shallow.fast_seconds");
+        assert!(v[0].to_string().contains("fast_seconds"));
+    }
+
+    #[test]
+    fn divergent_outputs_fail_unconditionally() {
+        let base = report();
+        let mut cur = report();
+        cur.sweep_fig2_shallow.outputs_identical = false;
+        let v = compare(&cur, &base, &Tolerance::default());
+        assert!(v
+            .iter()
+            .any(|x| x.metric == "sweep_fig2_shallow.outputs_identical"));
+    }
+
+    #[test]
+    fn report_json_roundtrip() {
+        let r = report();
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let back: BenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+        // Schema check: the BENCH_1.json top-level keys.
+        assert!(json.contains("\"kernel\""));
+        assert!(json.contains("\"sweep_fig2_shallow\""));
+        assert!(json.contains("\"cancel_heavy\""));
+    }
+
+    #[test]
+    fn gate_grid_is_single_seed() {
+        let g = gate_grid(7);
+        assert_eq!(g.config.seed, 7);
+        assert_eq!(g.config.seed_count, 1);
+        let (_, points) = gate_points(7);
+        assert_eq!(points.len(), 1 + 2 * 3 * 3, "baseline + 2x3x3 grid");
+    }
+}

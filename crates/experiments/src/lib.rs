@@ -10,13 +10,23 @@
 //! deterministically seeded simulation — and the `figures` module renders the
 //! paper's Figures 2, 3 and 4 from one sweep, plus Fig. 1's queue snapshot
 //! and Tables I–II.
+//!
+//! The [`simsweep`] module is the orchestration layer underneath: a bounded
+//! worker pool (`--jobs N`) with a content-addressed result cache under
+//! `results/.cache/` (`--no-cache` to bypass), merging results in point
+//! order so parallel, serial and cache-served runs emit byte-identical
+//! JSON. The [`gate`] module holds the benchmark regression gate
+//! (`bench_gate` bin, `BENCH_5.json`) that CI enforces.
 
 pub mod claims;
 pub mod cli;
 pub mod figures;
+pub mod gate;
 pub mod report;
 pub mod scenario;
+pub mod simsweep;
 pub mod sweep;
 
 pub use scenario::{run_scenario, BufferDepth, QueueKind, RunMetrics, ScenarioConfig, Transport};
-pub use sweep::{sweep, SweepGrid, SweepPoint, SweepResults};
+pub use simsweep::{CacheMode, SweepOptions, SweepStats};
+pub use sweep::{sweep, sweep_with, SweepGrid, SweepPoint, SweepResults};

@@ -3,8 +3,8 @@
 use crate::scenario::{
     run_scenario, BufferDepth, QueueKind, RunMetrics, ScenarioConfig, Transport,
 };
+use crate::simsweep::{self, SweepOptions, SweepStats};
 use ecn_core::ProtectionMode;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use simevent::SimDuration;
 
@@ -137,66 +137,123 @@ fn timing_enabled() -> bool {
     std::env::var_os("SWEEP_TIMING").is_some_and(|v| v == "1")
 }
 
+/// The content-addressed cache key of one scenario point: everything that
+/// determines its [`RunMetrics`]. The [`ScenarioConfig`] carries the seed
+/// (and seed count), so a `--seed` override changes every key. The crate
+/// version and cache schema are added by the orchestrator's envelope
+/// ([`simsweep::key_json`]).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PointKey {
+    /// Shared cluster/workload parameters, seed included.
+    pub config: ScenarioConfig,
+    /// Transport of this point.
+    pub transport: Transport,
+    /// Queue discipline of this point.
+    pub queue: QueueKind,
+    /// Buffer depth of this point.
+    pub depth: BufferDepth,
+    /// RED/marking target delay, microseconds.
+    pub delay_us: u64,
+}
+
+/// The two DropTail baselines, expressed as ordinary points so they flow
+/// through the same worker pool and cache as the grid.
+fn baseline_key(cfg: &ScenarioConfig, depth: BufferDepth) -> PointKey {
+    PointKey {
+        config: cfg.clone(),
+        transport: Transport::Tcp,
+        queue: QueueKind::DropTail,
+        depth,
+        delay_us: 500,
+    }
+}
+
+fn eval_point(key: &PointKey) -> RunMetrics {
+    let timing = timing_enabled();
+    let start = std::time::Instant::now();
+    let metrics = run_scenario(
+        &key.config,
+        key.transport,
+        key.queue,
+        key.depth,
+        SimDuration::from_micros(key.delay_us),
+    );
+    if timing {
+        eprintln!(
+            "sweep point {} {} {} {}us: {:.3}s",
+            key.transport.label(),
+            key.queue.label(),
+            key.depth.label(),
+            key.delay_us,
+            start.elapsed().as_secs_f64(),
+        );
+    }
+    metrics
+}
+
 /// Run the full grid (both buffer depths plus the two DropTail baselines).
 ///
 /// Every point is an independent deterministic simulation, so the grid is
-/// evaluated in parallel with rayon. Set `SWEEP_TIMING=1` to print each
-/// point's wall-clock time to stderr.
+/// evaluated in parallel; this convenience wrapper uses one worker per core
+/// and no cache. Set `SWEEP_TIMING=1` to print each point's wall-clock time
+/// to stderr.
 pub fn sweep(grid: &SweepGrid) -> SweepResults {
-    let cfg = &grid.config;
-    let timing = timing_enabled();
-    // Baselines: the paper normalises against DropTail with plain TCP.
-    let (baseline_shallow, baseline_deep) = rayon::join(
-        || run_baseline(cfg, BufferDepth::Shallow),
-        || run_baseline(cfg, BufferDepth::Deep),
-    );
+    sweep_with(grid, &SweepOptions::default()).0
+}
 
-    let mut jobs = Vec::new();
+/// Run the full grid through the [`simsweep`] orchestrator: points execute
+/// on `opts.jobs` workers (0 = all cores), results merge in grid order (so
+/// the output is byte-identical to a serial run), and — when `opts.cache`
+/// names a directory — previously computed points load from the
+/// content-addressed cache instead of executing.
+pub fn sweep_with(grid: &SweepGrid, opts: &SweepOptions) -> (SweepResults, SweepStats) {
+    let cfg = &grid.config;
+    // Baselines first (the paper normalises against DropTail with plain
+    // TCP), then the grid in its canonical nested order.
+    let mut keys = vec![
+        baseline_key(cfg, BufferDepth::Shallow),
+        baseline_key(cfg, BufferDepth::Deep),
+    ];
     for depth in BufferDepth::ALL {
         for &transport in &grid.transports {
             for &queue in &grid.queues {
                 for &delay_us in &grid.target_delays_us {
-                    jobs.push((transport, queue, depth, delay_us));
+                    keys.push(PointKey {
+                        config: cfg.clone(),
+                        transport,
+                        queue,
+                        depth,
+                        delay_us,
+                    });
                 }
             }
         }
     }
-    let points: Vec<SweepPoint> = jobs
-        .into_par_iter()
-        .map(|(transport, queue, depth, delay_us)| {
-            let start = std::time::Instant::now();
-            let metrics = run_scenario(
-                cfg,
-                transport,
-                queue,
-                depth,
-                SimDuration::from_micros(delay_us),
-            );
-            if timing {
-                eprintln!(
-                    "sweep point {} {} {} {delay_us}us: {:.3}s",
-                    transport.label(),
-                    queue.label(),
-                    depth.label(),
-                    start.elapsed().as_secs_f64(),
-                );
-            }
-            SweepPoint {
-                transport,
-                queue,
-                depth,
-                delay_us,
-                metrics,
-            }
+
+    let (mut metrics, stats) = simsweep::run_points(&keys, opts, eval_point);
+    let points: Vec<SweepPoint> = keys
+        .drain(2..)
+        .zip(metrics.drain(2..))
+        .map(|(k, m)| SweepPoint {
+            transport: k.transport,
+            queue: k.queue,
+            depth: k.depth,
+            delay_us: k.delay_us,
+            metrics: m,
         })
         .collect();
+    let baseline_deep = metrics.pop().expect("deep baseline");
+    let baseline_shallow = metrics.pop().expect("shallow baseline");
 
-    SweepResults {
-        grid: grid.clone(),
-        baseline_shallow,
-        baseline_deep,
-        points,
-    }
+    (
+        SweepResults {
+            grid: grid.clone(),
+            baseline_shallow,
+            baseline_deep,
+            points,
+        },
+        stats,
+    )
 }
 
 #[cfg(test)]

@@ -27,3 +27,22 @@ pub use link::LinkSpec;
 pub use network::{DevRef, Event, FlowRecord, Network, PortStatsReport};
 pub use sim::{Application, RunReport, Simulation, StaticFlows};
 pub use topology::ClusterSpec;
+
+// The sweep orchestrator (experiments::simsweep) evaluates independent
+// scenario points on a worker pool, which requires entire simulations —
+// network, queues (boxed `dyn QueueDiscipline + Send`), TCP endpoints and
+// the app — to be movable across threads. Assert it at the source so a
+// future `Rc` or raw-pointer shortcut fails to compile here.
+#[cfg(test)]
+mod thread_safety {
+    use super::*;
+
+    fn assert_send<T: Send>() {}
+
+    #[test]
+    fn simulation_types_are_send() {
+        assert_send::<Network>();
+        assert_send::<RunReport>();
+        assert_send::<Simulation<StaticFlows>>();
+    }
+}

@@ -47,3 +47,27 @@ pub use queue::{EventQueue, QueueBackend, ScheduledEvent};
 pub use rng::SimRng;
 pub use scheduler::{HeapScheduler, RunOutcome, Scheduler, SchedulerConfig, SchedulerStats};
 pub use time::{SimDuration, SimTime};
+
+// The experiments crate's sweep orchestrator moves whole simulations across
+// worker threads, so the kernel types must stay `Send` (no `Rc`, no thread
+// affinity). These compile-time assertions turn an accidental `Rc`/`RefCell`
+// regression into a build error here instead of a confusing trait-bound
+// failure three crates up.
+#[cfg(test)]
+mod thread_safety {
+    use super::*;
+
+    fn assert_send<T: Send>() {}
+    fn assert_sync<T: Sync>() {}
+
+    #[test]
+    fn kernel_types_are_send() {
+        assert_send::<EventQueue<u64>>();
+        assert_send::<CalendarQueue<u64>>();
+        assert_send::<TimerHandle>();
+        assert_send::<SimRng>();
+        assert_send::<Scheduler<u64>>();
+        assert_sync::<SimTime>();
+        assert_sync::<SimDuration>();
+    }
+}

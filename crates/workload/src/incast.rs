@@ -14,6 +14,7 @@
 
 use crate::model::{class_of, FlowSpec, Launcher, TrafficModel};
 use netpacket::{FlowId, NodeId};
+use serde::Serialize;
 use simevent::{SimDuration, SimRng, SimTime};
 use std::collections::BTreeMap;
 
@@ -26,7 +27,7 @@ fn token(kind: u64, round: u32, responder: u32) -> u64 {
 }
 
 /// Configuration of a [`Incast`] workload.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize)]
 pub struct IncastConfig {
     /// The host every responder sends to.
     pub aggregator: NodeId,

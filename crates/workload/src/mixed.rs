@@ -17,6 +17,7 @@
 
 use crate::model::{class_of, FlowSpec, Launcher, TrafficModel};
 use netpacket::{FlowId, NodeId};
+use serde::Serialize;
 use simevent::{SimDuration, SimRng, SimTime};
 use simmetrics::FlowClass;
 use std::collections::BTreeMap;
@@ -25,7 +26,7 @@ use std::collections::BTreeMap;
 const TOKEN_MOUSE: u64 = 3 << 60;
 
 /// Flow-size distribution for mice.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub enum SizeDist {
     /// Web-search flow sizes (the DCTCP production trace shape).
     WebSearch,
@@ -89,7 +90,7 @@ impl SizeDist {
 }
 
 /// Configuration of a [`Mixed`] workload.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize)]
 pub struct MixedConfig {
     /// Permutation lanes (elephant sender hosts); must be ≤ cluster size.
     pub elephant_lanes: u32,

@@ -32,7 +32,7 @@ fn response_token(request: u64, server: NodeId) -> u64 {
 }
 
 /// Configuration of an [`Rpc`] workload.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize)]
 pub struct RpcConfig {
     /// Client hosts (hosts `0..clients`); servers are drawn from the rest.
     pub clients: u32,

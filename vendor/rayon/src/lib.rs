@@ -7,6 +7,93 @@
 //! scheduling. On a single-core host everything degrades to the sequential
 //! path with no thread spawns.
 
+use std::cell::Cell;
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`] for the
+    /// duration of a scope. `None` means "one worker per available core".
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Builder for a [`ThreadPool`] with an explicit worker count (the subset of
+/// rayon's builder this workspace uses).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with the default configuration (one worker per core).
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Bound the pool at `n` workers; `0` means one per available core.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool. Infallible here, but returns `Result` to match the
+    /// real rayon API surface.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// Error building a [`ThreadPool`] (never produced by this stand-in).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A worker-count cap for parallel pipelines evaluated under
+/// [`ThreadPool::install`].
+///
+/// The stand-in spawns scoped threads per pipeline rather than keeping
+/// persistent workers, so a pool is just a recorded thread budget: `install`
+/// sets a thread-local override that [`join`] and
+/// [`ParMap::collect`] consult when deciding how many workers to spawn.
+/// The override applies to pipelines started on the calling thread only —
+/// nested pipelines inside worker closures see the default budget.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// The worker budget pipelines will run under.
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads == 0 {
+            default_threads()
+        } else {
+            self.num_threads
+        }
+    }
+
+    /// Run `op` with this pool's worker budget installed for pipelines
+    /// started inside it. Restores the previous budget on exit, including
+    /// on panic.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = POOL_THREADS.with(|c| Restore(c.replace(Some(self.current_num_threads()))));
+        op()
+    }
+}
+
 /// Run two closures, potentially in parallel, returning both results.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
@@ -25,10 +112,16 @@ where
     })
 }
 
-fn threads_available() -> usize {
+fn default_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+fn threads_available() -> usize {
+    POOL_THREADS
+        .with(|c| c.get())
+        .unwrap_or_else(default_threads)
 }
 
 /// Conversion into a "parallel" iterator (the subset: owned `Vec`).
@@ -139,5 +232,35 @@ mod tests {
     fn empty_input_is_fine() {
         let ys: Vec<u64> = Vec::<u64>::new().into_par_iter().map(|x| x).collect();
         assert!(ys.is_empty());
+    }
+
+    #[test]
+    fn pool_bounds_worker_count() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
+        assert_eq!(pool.current_num_threads(), 2);
+        let inside = pool.install(super::threads_available);
+        assert_eq!(inside, 2);
+        // The override is scoped: gone after install returns.
+        assert_eq!(super::threads_available(), super::default_threads());
+    }
+
+    #[test]
+    fn pool_install_preserves_order() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let xs: Vec<u64> = (0..257).collect();
+        let ys: Vec<u64> = pool.install(|| xs.clone().into_par_iter().map(|x| x + 1).collect());
+        assert_eq!(ys, xs.iter().map(|x| x + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_threads_means_default() {
+        let pool = super::ThreadPoolBuilder::new().build().unwrap();
+        assert_eq!(pool.current_num_threads(), super::default_threads());
     }
 }
