@@ -221,4 +221,31 @@ mod tests {
     fn zero_capacity_rejected() {
         let _ = DropTail::new(0);
     }
+
+    #[test]
+    fn pool_bridge_consumes_handles_and_preserves_decisions() {
+        let mut pool = netpacket::PacketPool::new();
+        let mut q = DropTail::new(2);
+        let a = pool.insert(pkt(1));
+        let b = pool.insert(pkt(2));
+        let c = pool.insert(pkt(3));
+        assert_eq!(
+            q.enqueue_ref(a, &mut pool, SimTime::ZERO),
+            EnqueueOutcome::Enqueued
+        );
+        assert_eq!(
+            q.enqueue_ref(b, &mut pool, SimTime::ZERO),
+            EnqueueOutcome::Enqueued
+        );
+        assert_eq!(
+            q.enqueue_ref(c, &mut pool, SimTime::ZERO),
+            EnqueueOutcome::DroppedFull
+        );
+        assert!(pool.is_empty(), "handles consumed on accept and drop alike");
+        let out = q.dequeue_ref(&mut pool, SimTime::ZERO).unwrap();
+        assert_eq!(pool.get(out).id, PacketId(1));
+        pool.take(out);
+        assert_eq!(q.stats().enqueued.total(), 2);
+        assert_eq!(q.stats().dequeued.total(), 1);
+    }
 }

@@ -1,11 +1,11 @@
 //! Benchmark regression gate: measure the standard point set, emit
-//! `BENCH_5.json`, compare against the committed baseline, exit nonzero on
+//! `BENCH_6.json`, compare against the committed baseline, exit nonzero on
 //! regression.
 //!
 //! Usage:
 //!   `bench_gate [--out PATH] [--baseline PATH] [--seed N]`
-//!       measure, write `--out` (default `BENCH_5.json`), compare against
-//!       `--baseline` (default `BENCH_5_baseline.json`); exit 1 on any
+//!       measure, write `--out` (default `BENCH_6.json`), compare against
+//!       `--baseline` (default `BENCH_6_baseline.json`); exit 1 on any
 //!       metric outside tolerance, 2 on IO/usage errors.
 //!   `bench_gate --write-baseline [--baseline PATH] [--seed N]`
 //!       measure and (re)write the baseline instead of comparing — run this
@@ -14,9 +14,10 @@
 //!       skip measurement; compare an existing report file (used by tests
 //!       and for post-hoc analysis of CI artifacts).
 //!
-//! Tolerances: wall-clock metrics may regress ≤10%, throughput metrics
-//! (events/sec, orchestrator speedup) ≤10%; serial/parallel output
-//! divergence fails outright. See `experiments::gate`.
+//! Tolerances: wall-clock and per-packet metrics may regress ≤25%,
+//! ratio metrics (kernel speedups, end-to-end engine speedup) ≤10%;
+//! output divergence (serial vs parallel, fast vs reference) fails
+//! outright. See `experiments::gate`.
 
 use experiments::gate::{compare, measure, BenchReport, Tolerance};
 use experiments::report::write_json;
@@ -35,8 +36,8 @@ fn load_report(path: &Path) -> BenchReport {
 }
 
 fn main() {
-    let mut out = PathBuf::from("BENCH_5.json");
-    let mut baseline_path = PathBuf::from("BENCH_5_baseline.json");
+    let mut out = PathBuf::from("BENCH_6.json");
+    let mut baseline_path = PathBuf::from("BENCH_6_baseline.json");
     let mut compare_only: Option<PathBuf> = None;
     let mut write_baseline = false;
     let mut seed = 20170905u64;
@@ -89,19 +90,41 @@ fn main() {
     let violations = compare(&current, &baseline, &Tolerance::default());
     println!("== bench gate vs {} ==", baseline_path.display());
     println!(
-        "orchestrator: {} points, serial {:.2}s, parallel {:.2}s ({:.2}x), outputs identical: {}",
+        "end-to-end ({} hosts): reference {:.2}s, fast {:.2}s ({:.2}x, {:.2}M ev/s)",
+        current.end_to_end.hosts,
+        current.end_to_end.reference_seconds,
+        current.end_to_end.fast_seconds,
+        current.end_to_end.engine_speedup,
+        current.end_to_end.fast_events_per_sec / 1e6,
+    );
+    println!(
+        "sweep: {} points, reference {:.2}s, fast {:.2}s ({:.2}x), parallel {:.2}s, \
+         outputs identical: {}",
         current.sweep_fig2_shallow.points,
         current.sweep_fig2_shallow.reference_seconds,
         current.sweep_fig2_shallow.fast_seconds,
-        current.sweep_fig2_shallow.speedup,
+        current.sweep_fig2_shallow.engine_speedup,
+        current.sweep_fig2_shallow.parallel_seconds,
         current.sweep_fig2_shallow.outputs_identical,
     );
     println!(
-        "kernel: churn {:.2}M ev/s (baseline {:.2}M), cancel-heavy {:.2}M ev/s (baseline {:.2}M)",
-        current.kernel.churn.calendar_events_per_sec / 1e6,
-        baseline.kernel.churn.calendar_events_per_sec / 1e6,
-        current.kernel.cancel_heavy.calendar_events_per_sec / 1e6,
-        baseline.kernel.cancel_heavy.calendar_events_per_sec / 1e6,
+        "kernel: churn {:.2}M ev/s (baseline {:.2}M), cancel-heavy {:.2}M ev/s (baseline {:.2}M, {:.2}x vs heap)",
+        current.kernel.churn.fast_events_per_sec / 1e6,
+        baseline.kernel.churn.fast_events_per_sec / 1e6,
+        current.kernel.cancel_heavy.fast_events_per_sec / 1e6,
+        baseline.kernel.cancel_heavy.fast_events_per_sec / 1e6,
+        current.kernel.cancel_heavy.speedup,
+    );
+    println!(
+        "pool: {} packets, {} pooled heap allocs (reference {}), {:.2}M inserts/s",
+        current.pool.packets,
+        current.pool.pooled_heap_allocs,
+        current.pool.reference_heap_allocs,
+        current.pool.pooled_inserts_per_sec / 1e6,
+    );
+    println!(
+        "link: {:.2} events/packet fast vs {:.2} reference",
+        current.link.fast_events_per_packet, current.link.reference_events_per_packet,
     );
     if violations.is_empty() {
         println!("PASS: all gated metrics within tolerance");

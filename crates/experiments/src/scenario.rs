@@ -337,6 +337,24 @@ pub fn run_scenario_once_traced(
     engine: Engine,
     trace: simtrace::TraceHandle,
 ) -> (RunMetrics, netsim::RunReport) {
+    let (m, report, _) =
+        run_scenario_once_full(cfg, transport, queue, depth, target_delay, engine, trace);
+    (m, report)
+}
+
+/// One repetition returning, in addition to the metrics and run report, the
+/// packet-pool allocation counters — the perf gate's alloc accounting. In
+/// reference mode the pool reports one heap allocation per insert (the seed
+/// Box-per-packet model); pooled mode reports only slab spill.
+pub fn run_scenario_once_full(
+    cfg: &ScenarioConfig,
+    transport: Transport,
+    queue: QueueKind,
+    depth: BufferDepth,
+    target_delay: SimDuration,
+    engine: Engine,
+    trace: simtrace::TraceHandle,
+) -> (RunMetrics, netsim::RunReport, netpacket::PoolStats) {
     let spec = ClusterSpec {
         racks: cfg.racks,
         hosts_per_rack: cfg.hosts_per_rack,
@@ -381,6 +399,7 @@ pub fn run_scenario_once_traced(
         }
     };
 
+    let pool = sim.net.pool_stats();
     let res = sim.app.result();
     let runtime_s = res.runtime.as_secs_f64();
     // The paper's "average throughput per node": shuffle goodput over the
@@ -410,7 +429,7 @@ pub fn run_scenario_once_traced(
         syn_retransmits: tx.syn_retransmits,
         completed: report.app_done,
     };
-    (metrics, report)
+    (metrics, report, pool)
 }
 
 #[cfg(test)]

@@ -1,0 +1,117 @@
+//! Debug-build allocation audit: the arena's contract, enforced.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator and tallies
+//! every heap allocation in the process. The test runs the steady-state
+//! DCTCP gate point on the pooled fast path and asserts the allocation
+//! count does not scale with the packet count — i.e. **zero per-packet
+//! heap allocations**: everything left is per-run setup (topology Vecs,
+//! flow state, slab growth), which is sublinear in packets by construction.
+//! The reference engine run then proves the counter works by showing the
+//! seed model's one-Box-per-packet signature.
+//!
+//! The assertions are debug-only (`cfg(debug_assertions)`): CI runs this
+//! under `cargo test` (dev profile) in its own job; under `--release` the
+//! test still runs both engines but only checks the pool's own counters.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation to `System`; the counter is a relaxed
+// atomic with no allocation of its own.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+use experiments::scenario::{
+    run_scenario_once_full, BufferDepth, Engine, QueueKind, ScenarioConfig, Transport,
+};
+use simevent::SimDuration;
+
+fn run_point(engine: Engine) -> (u64, netpacket::PoolStats) {
+    let cfg = ScenarioConfig::tiny();
+    let before = allocs();
+    let (m, _report, pool) = run_scenario_once_full(
+        &cfg,
+        Transport::Dctcp,
+        QueueKind::SimpleMarking,
+        BufferDepth::Shallow,
+        SimDuration::from_micros(500),
+        engine,
+        simtrace::TraceHandle::null(),
+    );
+    assert!(m.completed, "gate point must finish");
+    (allocs() - before, pool)
+}
+
+/// Single test function: the counter is process-global, so interleaving
+/// with a parallel test would corrupt the deltas.
+#[test]
+fn steady_state_dctcp_point_performs_no_per_packet_allocation() {
+    // Warm-up run: fault in allocator arenas, lazy statics, thread locals.
+    let (_, warm_pool) = run_point(Engine::Fast);
+    let packets = warm_pool.inserts;
+    assert!(packets > 10_000, "point must push real traffic: {packets}");
+
+    // Measured pooled run.
+    let (pooled_allocs, pool) = run_point(Engine::Fast);
+    assert_eq!(pool.inserts, packets, "deterministic packet count");
+    // The pool itself must only have heap-allocated on slab growth.
+    assert!(
+        pool.heap_allocs < packets / 100,
+        "pool slab spill must be amortized: {} allocs for {} packets",
+        pool.heap_allocs,
+        packets
+    );
+
+    // Reference run: the seed model Boxes every insert.
+    let (reference_allocs, ref_pool) = run_point(Engine::Reference);
+    assert_eq!(
+        ref_pool.heap_allocs, packets,
+        "reference mode must Box per packet"
+    );
+
+    #[cfg(debug_assertions)]
+    {
+        // Zero per-packet heap allocations: the whole process performed
+        // fewer than one allocation per 10 packets (setup is O(hosts+flows)
+        // and slab growth is O(log packets)), while the reference engine's
+        // process-wide count necessarily exceeds one per packet.
+        assert!(
+            pooled_allocs < packets / 10,
+            "pooled hot path must not allocate per packet: \
+             {pooled_allocs} allocs for {packets} packets"
+        );
+        assert!(
+            reference_allocs > packets,
+            "counter sanity: reference mode allocates per packet \
+             ({reference_allocs} allocs for {packets} packets)"
+        );
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        let _ = (pooled_allocs, reference_allocs);
+    }
+}

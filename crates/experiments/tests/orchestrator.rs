@@ -3,7 +3,10 @@
 //! the bench-gate regression exit codes.
 
 use ecn_core::ProtectionMode;
-use experiments::gate::{BenchReport, KernelSection, KernelWorkload, SweepSection};
+use experiments::gate::{
+    BenchReport, EndToEndSection, KernelSection, KernelWorkload, LinkSection, PoolSection,
+    SweepSection,
+};
 use experiments::scenario::{QueueKind, Transport};
 use experiments::{sweep_with, CacheMode, SweepGrid, SweepOptions};
 use std::path::{Path, PathBuf};
@@ -183,12 +186,12 @@ fn fig2_bin_trace_executes_despite_warm_cache() {
 }
 
 fn canned_report() -> BenchReport {
-    let wl = |heap: f64, cal: f64| KernelWorkload {
+    let wl = |heap: f64, fast: f64| KernelWorkload {
         pending: 65_536,
         popped_events: 300_000,
         heap_events_per_sec: heap,
-        calendar_events_per_sec: cal,
-        speedup: cal / heap,
+        fast_events_per_sec: fast,
+        speedup: fast / heap,
     };
     BenchReport {
         description: "test report".into(),
@@ -196,11 +199,41 @@ fn canned_report() -> BenchReport {
             churn: wl(4.0e6, 9.0e6),
             cancel_heavy: wl(3.0e6, 8.0e6),
         },
+        end_to_end: EndToEndSection {
+            hosts: 32,
+            fast_seconds: 0.5,
+            reference_seconds: 1.5,
+            engine_speedup: 3.0,
+            fast_events: 1_800_000,
+            reference_events: 1_800_000,
+            fast_events_per_sec: 3.6e6,
+            reference_events_per_sec: 1.2e6,
+        },
+        pool: PoolSection {
+            packets: 1_400_000,
+            pooled_heap_allocs: 160,
+            reference_heap_allocs: 1_400_000,
+            pooled_allocs_per_packet: 160.0 / 1_400_000.0,
+            pooled_inserts_per_sec: 3.5e6,
+            reference_inserts_per_sec: 1.1e6,
+            high_water: 160,
+        },
+        link: LinkSection {
+            packets: 1_400_000,
+            fast_events: 1_800_000,
+            fast_events_per_packet: 1.25,
+            reference_events: 1_800_000,
+            reference_events_per_packet: 1.25,
+        },
         sweep_fig2_shallow: SweepSection {
             points: 19,
             reference_seconds: 2.0,
             fast_seconds: 1.0,
-            speedup: 2.0,
+            parallel_seconds: 0.5,
+            engine_speedup: 2.0,
+            parallel_speedup: 2.0,
+            fast_events_per_sec: 1.0e6,
+            reference_events_per_sec: 0.5e6,
             outputs_identical: true,
             reference_events: 1_000_000,
             fast_events: 1_000_000,
@@ -252,10 +285,10 @@ fn bench_gate_fails_against_inflated_baseline() {
     write_report(&current, &canned_report());
 
     let mut inflated = canned_report();
-    inflated.kernel.churn.calendar_events_per_sec *= 1.2;
-    inflated.kernel.cancel_heavy.calendar_events_per_sec *= 1.2;
-    inflated.sweep_fig2_shallow.fast_seconds /= 1.2;
-    inflated.sweep_fig2_shallow.speedup *= 1.2;
+    inflated.kernel.churn.speedup *= 1.2;
+    inflated.kernel.cancel_heavy.speedup *= 1.2;
+    inflated.sweep_fig2_shallow.fast_seconds /= 1.4;
+    inflated.end_to_end.engine_speedup *= 1.5;
     write_report(&baseline_path, &inflated);
 
     let out = bench_gate(dir, &current, &baseline_path);

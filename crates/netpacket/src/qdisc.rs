@@ -1,7 +1,7 @@
 //! The queue-discipline abstraction implemented by `ecn-core`'s AQMs and
 //! consumed by `netsim` switch ports.
 
-use crate::{Packet, PacketKind};
+use crate::{Packet, PacketKind, PacketPool, PacketRef};
 use serde::{Deserialize, Serialize};
 use simevent::SimTime;
 use simtrace::{EventKind, TraceEvent, TraceHandle};
@@ -240,6 +240,26 @@ pub trait QueueDiscipline: std::fmt::Debug {
 
     /// Remove the head-of-line packet, if any.
     fn dequeue(&mut self, now: SimTime) -> Option<Packet>;
+
+    /// Pool-handle variant of [`enqueue`](Self::enqueue): the packet arrives
+    /// as a [`PacketRef`] into `pool` and the handle is consumed either way
+    /// (the discipline owns the packet on acceptance, drops it on rejection).
+    ///
+    /// The default bridges to the by-value API, so every discipline
+    /// participates in the arena path unchanged; decisions, statistics and
+    /// tracing are byte-identical to the by-value path because they *are*
+    /// the by-value path.
+    fn enqueue_ref(&mut self, r: PacketRef, pool: &mut PacketPool, now: SimTime) -> EnqueueOutcome {
+        let packet = pool.take(r);
+        self.enqueue(packet, now)
+    }
+
+    /// Pool-handle variant of [`dequeue`](Self::dequeue): the departing
+    /// packet is parked back in `pool` and its handle returned, ready to ride
+    /// a scheduler event to the next hop.
+    fn dequeue_ref(&mut self, pool: &mut PacketPool, now: SimTime) -> Option<PacketRef> {
+        self.dequeue(now).map(|p| pool.insert(p))
+    }
 
     /// Current occupancy in packets.
     fn len_packets(&self) -> u64;

@@ -3,7 +3,10 @@
 use crate::link::LinkSpec;
 use crate::topology::ClusterSpec;
 use ecn_core::{build_qdisc, DropTail};
-use netpacket::{EnqueueOutcome, FlowId, NodeId, Packet, PacketKind, QueueDiscipline, QueueStats};
+use netpacket::{
+    EnqueueOutcome, FlowId, NodeId, Packet, PacketKind, PacketPool, PacketRef, QueueDiscipline,
+    QueueStats,
+};
 use simevent::{SimDuration, SimTime};
 use simmetrics::{LatencyHistogram, QueueSample, QueueTrace, ThroughputMeter};
 use simtrace::{EventKind, TraceEvent, TraceHandle};
@@ -21,17 +24,25 @@ pub enum DevRef {
 }
 
 /// Simulation events.
+///
+/// Events carry [`PacketRef`] pool handles, not packets: a `ScheduledEvent`
+/// is ~16 bytes, so calendar-bucket sifts stop memcpying ~120-byte packet
+/// structs around.
 #[derive(Debug)]
 pub enum Event {
     /// A packet arrives at a device after crossing a link.
     Arrive {
         /// Destination device.
         dev: DevRef,
-        /// The packet.
-        packet: Packet,
+        /// Handle to the packet in the network's [`PacketPool`].
+        packet: PacketRef,
     },
-    /// A port finished serialising its current packet.
-    TxComplete {
+    /// A busy port's line went free while its queue was non-empty, so the
+    /// next dequeue is due. Never scheduled for a port that goes idle
+    /// uncontended — the departing packet's `Arrive` is pre-scheduled at
+    /// transmission start, so an uncontended hop needs no completion event
+    /// at all (the seed paid one `TxComplete` per packet per hop).
+    PortFree {
         /// Transmitting device.
         dev: DevRef,
         /// Port index on that device (hosts have a single NIC, port 0).
@@ -52,11 +63,21 @@ pub enum Event {
 }
 
 /// One egress port: a queue discipline plus a serialising transmitter.
+///
+/// The transmitter is batched: it tracks only `busy_until`/`wakeup_armed`.
+/// The departing packet's `Arrive` is scheduled at transmission start (its
+/// arrival instant is already known), and a `PortFree` wakeup is armed only
+/// while the queue is contended. Both simulation modes share this machine —
+/// [`Network::set_reference_mode`] toggles the allocation model and the
+/// per-packet bookkeeping algorithms, not the link-layer event scheme.
 struct Port {
     qdisc: Box<dyn QueueDiscipline + Send>,
     link: LinkSpec,
     peer: DevRef,
-    transmitting: Option<Packet>,
+    /// When the current serialisation ends (ZERO = never busy).
+    busy_until: SimTime,
+    /// A `PortFree` event is pending for this port.
+    wakeup_armed: bool,
 }
 
 impl std::fmt::Debug for Port {
@@ -96,19 +117,20 @@ impl Endpoint {
     }
 }
 
-/// One endpoint slot on a host. Slots are appended in flow-creation order and
-/// never removed, so slot order equals ascending [`FlowId`] order — the same
-/// iteration order the original `BTreeMap<FlowId, Endpoint>` provided.
-#[derive(Debug)]
-struct EndpointSlot {
-    flow: FlowId,
-    ep: Endpoint,
-}
-
 #[derive(Debug)]
 struct Host {
     nic: Port,
-    endpoints: Vec<EndpointSlot>,
+    /// Flow-id column of the endpoint table, parallel to `eps`: slot `i`'s
+    /// endpoint serves flow `ep_flow[i]`. Struct-of-arrays split so the hot
+    /// loops touch only the column they need — the per-ACK deadline re-arm
+    /// and outbox drains walk `eps` without dragging flow ids through the
+    /// cache, and completion checks read `ep_flow` without the endpoint.
+    /// Slots are appended in flow-creation order and never removed, so slot
+    /// order equals ascending [`FlowId`] order — the same iteration order
+    /// the original `BTreeMap<FlowId, Endpoint>` provided.
+    ep_flow: Vec<FlowId>,
+    /// Endpoint column, parallel to `ep_flow`.
+    eps: Vec<Endpoint>,
     /// Flow → endpoint slot, the seed implementation's lookup structure.
     /// Maintained for [`Network::set_reference_mode`]; the fast path never
     /// reads it.
@@ -184,9 +206,15 @@ pub struct Network {
     /// Endpoint locations, parallel to `flows`.
     flow_slots: Vec<FlowSlot>,
     pending: Vec<(SimTime, Event)>,
+    /// The packet arena every [`Event::Arrive`] and port queue indexes into.
+    /// In reference mode its storage is one `Box` per packet (seed model).
+    pool: PacketPool,
     /// Scratch buffer reused by [`Network::flush_host`] so the per-packet hot
     /// path does not allocate.
     flush_buf: Vec<Packet>,
+    /// Scratch buffer reused by [`Network::host_timers`] for the matured
+    /// endpoint set — the seed allocated a fresh `Vec` per timer event.
+    due_buf: Vec<u32>,
     /// When set, per-packet processing uses the seed implementation's
     /// algorithms (map lookups, full-endpoint-scan flushes). See
     /// [`Network::set_reference_mode`].
@@ -217,22 +245,45 @@ struct TraceState {
     armed: bool,
 }
 
-fn try_start_tx(
+/// Batched fast path: dequeue the next packet from a free port and schedule
+/// its `Arrive` directly — the arrival instant (`now + tx + delay`) is fully
+/// determined at transmission start, so no per-packet completion event is
+/// needed. A single `PortFree` wakeup is armed only when the queue is still
+/// contended after the dequeue; an uncontended port costs one event per
+/// packet per hop instead of the seed's two.
+///
+/// Dequeue timestamps are identical to the seed scheme: the head packet of a
+/// busy period is dequeued at its enqueue instant, every follow-up at the
+/// previous packet's completion instant (`PortFree` fires exactly where the
+/// seed's per-packet `TxComplete` did).
+fn start_tx_batched(
     port: &mut Port,
     dev: DevRef,
     idx: usize,
     now: SimTime,
     pending: &mut Vec<(SimTime, Event)>,
+    pool: &mut PacketPool,
 ) {
-    if port.transmitting.is_some() {
+    debug_assert!(now >= port.busy_until, "port serviced while line busy");
+    debug_assert!(!port.wakeup_armed, "duplicate port service");
+    let Some(r) = port.qdisc.dequeue_ref(pool, now) else {
         return;
-    }
-    if let Some(p) = port.qdisc.dequeue(now) {
-        #[cfg(debug_assertions)]
-        port.qdisc.debug_verify_conservation();
-        let tx = port.link.tx_time(p.wire_bytes() as u64);
-        port.transmitting = Some(p);
-        pending.push((now + tx, Event::TxComplete { dev, port: idx }));
+    };
+    #[cfg(debug_assertions)]
+    port.qdisc.debug_verify_conservation();
+    let tx = port.link.tx_time(pool.get(r).wire_bytes() as u64);
+    let done = now + tx;
+    port.busy_until = done;
+    pending.push((
+        done + port.link.delay,
+        Event::Arrive {
+            dev: port.peer,
+            packet: r,
+        },
+    ));
+    if !port.qdisc.is_empty() {
+        port.wakeup_armed = true;
+        pending.push((done, Event::PortFree { dev, port: idx }));
     }
 }
 
@@ -240,14 +291,28 @@ fn enqueue_and_kick(
     port: &mut Port,
     dev: DevRef,
     idx: usize,
-    packet: Packet,
+    packet: PacketRef,
     now: SimTime,
     pending: &mut Vec<(SimTime, Event)>,
+    pool: &mut PacketPool,
 ) -> EnqueueOutcome {
-    let out = port.qdisc.enqueue(packet, now);
+    let out = port.qdisc.enqueue_ref(packet, pool, now);
     #[cfg(debug_assertions)]
     port.qdisc.debug_verify_conservation();
-    try_start_tx(port, dev, idx, now, pending);
+    if now >= port.busy_until {
+        if !port.wakeup_armed {
+            // Idle port: serve immediately. (With a wakeup armed the line
+            // went free at exactly `now` and the pending `PortFree` at this
+            // instant will serve the queue — serving here too would
+            // double-dequeue.)
+            start_tx_batched(port, dev, idx, now, pending, pool);
+        }
+    } else if !port.wakeup_armed && !port.qdisc.is_empty() {
+        // Busy line, nothing was queued at transmission start: arm the
+        // wakeup that start_tx_batched skipped.
+        port.wakeup_armed = true;
+        pending.push((port.busy_until, Event::PortFree { dev, port: idx }));
+    }
     out
 }
 
@@ -271,9 +336,11 @@ impl Network {
                     qdisc: Box::new(DropTail::new(spec.host_buffer_packets)),
                     link: spec.host_link,
                     peer: DevRef::Switch(spec.rack_of(h as u32) as usize),
-                    transmitting: None,
+                    busy_until: SimTime::ZERO,
+                    wakeup_armed: false,
                 },
-                endpoints: Vec::new(),
+                ep_flow: Vec::new(),
+                eps: Vec::new(),
                 by_flow: BTreeMap::new(),
                 deadlines: BinaryHeap::new(),
                 timer_scheduled: None,
@@ -292,7 +359,8 @@ impl Network {
                     qdisc: build_qdisc(&spec.switch_qdisc, next_seed()),
                     link: spec.host_link,
                     peer: DevRef::Host(h),
-                    transmitting: None,
+                    busy_until: SimTime::ZERO,
+                    wakeup_armed: false,
                 });
             }
             if racks > 1 {
@@ -301,7 +369,8 @@ impl Network {
                     qdisc: build_qdisc(&spec.switch_qdisc, next_seed()),
                     link: spec.uplink,
                     peer: DevRef::Switch(racks), // core
-                    transmitting: None,
+                    busy_until: SimTime::ZERO,
+                    wakeup_armed: false,
                 });
                 for (h, slot) in route.iter_mut().enumerate() {
                     if spec.rack_of(h as u32) as usize != r {
@@ -321,7 +390,8 @@ impl Network {
                     qdisc: build_qdisc(&spec.switch_qdisc, next_seed()),
                     link: spec.uplink,
                     peer: DevRef::Switch(r),
-                    transmitting: None,
+                    busy_until: SimTime::ZERO,
+                    wakeup_armed: false,
                 });
                 for (h, slot) in route.iter_mut().enumerate() {
                     if spec.rack_of(h as u32) as usize == r {
@@ -339,7 +409,9 @@ impl Network {
             flows: Vec::new(),
             flow_slots: Vec::new(),
             pending: Vec::new(),
+            pool: PacketPool::new(),
             flush_buf: Vec::new(),
+            due_buf: Vec::new(),
             reference_mode: false,
             completed: Vec::new(),
             latency_all: LatencyHistogram::new(),
@@ -367,8 +439,8 @@ impl Network {
             let id = trace.register_queue(&format!("host{h}/nic: {}", host.nic.qdisc.name()));
             host.nic.qdisc.set_trace(trace.clone(), id);
             self.host_qids.push(id);
-            for slot in &mut host.endpoints {
-                if let Endpoint::Tx(s) = &mut slot.ep {
+            for ep in &mut host.eps {
+                if let Endpoint::Tx(s) = ep {
                     s.set_trace(trace.clone());
                 }
             }
@@ -410,24 +482,20 @@ impl Network {
         let receiver = Receiver::new(flow, dst, src, cfg);
 
         let dst_h = &mut self.hosts[dst.0 as usize];
-        let rx_idx = dst_h.endpoints.len() as u32;
-        dst_h.endpoints.push(EndpointSlot {
-            flow,
-            ep: Endpoint::Rx(receiver),
-        });
+        let rx_idx = dst_h.eps.len() as u32;
+        dst_h.ep_flow.push(flow);
+        dst_h.eps.push(Endpoint::Rx(receiver));
         dst_h.by_flow.insert(flow, rx_idx);
         // Keep the deadline-heap invariant without flushing the receiving
         // host (the original code did not flush it either).
-        if let Some(d) = dst_h.endpoints[rx_idx as usize].ep.next_deadline() {
+        if let Some(d) = dst_h.eps[rx_idx as usize].next_deadline() {
             dst_h.deadlines.push(Reverse((d, rx_idx)));
         }
 
         let src_h = &mut self.hosts[src.0 as usize];
-        let tx_idx = src_h.endpoints.len() as u32;
-        src_h.endpoints.push(EndpointSlot {
-            flow,
-            ep: Endpoint::Tx(sender),
-        });
+        let tx_idx = src_h.eps.len() as u32;
+        src_h.ep_flow.push(flow);
+        src_h.eps.push(Endpoint::Tx(sender));
         src_h.by_flow.insert(flow, tx_idx);
 
         self.flow_slots.push(FlowSlot {
@@ -488,7 +556,7 @@ impl Network {
                 DevRef::Switch(s) => self.arrive_at_switch(s, packet, now),
                 DevRef::Host(h) => self.arrive_at_host(h, packet, now),
             },
-            Event::TxComplete { dev, port } => self.tx_complete(dev, port, now),
+            Event::PortFree { dev, port } => self.port_free(dev, port, now),
             Event::HostTimers { host } => self.host_timers(host, now),
             Event::Sample => self.sample(now),
             Event::AppTimer { .. } => {
@@ -497,19 +565,27 @@ impl Network {
         }
     }
 
-    fn arrive_at_switch(&mut self, s: usize, packet: Packet, now: SimTime) {
+    fn arrive_at_switch(&mut self, s: usize, packet: PacketRef, now: SimTime) {
+        let dst = self.pool.get(packet).dst;
         let sw = &mut self.switches[s];
-        let out = sw.route[packet.dst.0 as usize];
-        debug_assert!(
-            out != usize::MAX,
-            "no route from switch {s} to {}",
-            packet.dst
-        );
+        let out = sw.route[dst.0 as usize];
+        debug_assert!(out != usize::MAX, "no route from switch {s} to {dst}");
         let port = &mut sw.ports[out];
-        let _ = enqueue_and_kick(port, DevRef::Switch(s), out, packet, now, &mut self.pending);
+        let _ = enqueue_and_kick(
+            port,
+            DevRef::Switch(s),
+            out,
+            packet,
+            now,
+            &mut self.pending,
+            &mut self.pool,
+        );
     }
 
-    fn arrive_at_host(&mut self, h: usize, packet: Packet, now: SimTime) {
+    fn arrive_at_host(&mut self, h: usize, r: PacketRef, now: SimTime) {
+        // The packet leaves the pool here: delivery is the end of its life on
+        // the wire, and the endpoint only borrows it (`on_segment(&packet)`).
+        let packet = self.pool.take(r);
         // End-to-end latency accounting for every delivered packet.
         let lat = now.since(packet.sent_at);
         self.latency_all.record(lat);
@@ -540,37 +616,29 @@ impl Network {
             self.orphan_packets += 1;
             return;
         };
-        let ep = &mut self.hosts[h].endpoints[idx as usize].ep;
+        let ep = &mut self.hosts[h].eps[idx as usize];
         let goodput_before = match ep {
-            Endpoint::Rx(r) => Some(r.bytes_received()),
+            Endpoint::Rx(rx) => Some(rx.bytes_received()),
             Endpoint::Tx(_) => None,
         };
         ep.agent().on_segment(&packet, now);
-        if let (Some(before), Endpoint::Rx(r)) = (goodput_before, &*ep) {
-            let delta = r.bytes_received().saturating_sub(before);
+        if let (Some(before), Endpoint::Rx(rx)) = (goodput_before, &*ep) {
+            let delta = rx.bytes_received().saturating_sub(before);
             self.throughput.record(NodeId(h as u32), delta, now);
         }
         self.flush_host(h, now, &[idx]);
     }
 
-    fn tx_complete(&mut self, dev: DevRef, port_idx: usize, now: SimTime) {
+    /// Batched fast path: a contended port's line went free. Clear the armed
+    /// wakeup and serve the next queued packet.
+    fn port_free(&mut self, dev: DevRef, port_idx: usize, now: SimTime) {
         let port = match dev {
             DevRef::Host(h) => &mut self.hosts[h].nic,
             DevRef::Switch(s) => &mut self.switches[s].ports[port_idx],
         };
-        let p = port
-            .transmitting
-            .take()
-            .expect("TxComplete with no packet in flight");
-        let peer = port.peer;
-        self.pending.push((
-            now + port.link.delay,
-            Event::Arrive {
-                dev: peer,
-                packet: p,
-            },
-        ));
-        try_start_tx(port, dev, port_idx, now, &mut self.pending);
+        debug_assert!(port.wakeup_armed, "PortFree on an unarmed port");
+        port.wakeup_armed = false;
+        start_tx_batched(port, dev, port_idx, now, &mut self.pending, &mut self.pool);
     }
 
     fn host_timers(&mut self, h: usize, now: SimTime) {
@@ -578,6 +646,10 @@ impl Network {
             self.host_timers_reference(h, now);
             return;
         }
+        // Reuse the scratch buffer across timer events (the seed allocated a
+        // fresh `Vec` here every time).
+        let mut due = std::mem::take(&mut self.due_buf);
+        debug_assert!(due.is_empty());
         let host = &mut self.hosts[h];
         host.timer_scheduled = None;
         // Pop matured deadline candidates; entries are lazily invalidated, so
@@ -585,13 +657,12 @@ impl Network {
         // endpoint that is genuinely due has a matured entry here (the heap
         // always holds an entry at the current deadline), so this finds the
         // same set the original full endpoint scan did.
-        let mut due: Vec<u32> = Vec::new();
         while let Some(&Reverse((d, idx))) = host.deadlines.peek() {
             if d > now {
                 break;
             }
             host.deadlines.pop();
-            let actual = host.endpoints[idx as usize].ep.next_deadline();
+            let actual = host.eps[idx as usize].next_deadline();
             if actual.is_some_and(|a| a <= now) {
                 due.push(idx);
             }
@@ -600,9 +671,11 @@ impl Network {
         due.sort_unstable();
         due.dedup();
         for &idx in &due {
-            host.endpoints[idx as usize].ep.agent().on_timer(now);
+            host.eps[idx as usize].agent().on_timer(now);
         }
         self.flush_host(h, now, &due);
+        due.clear();
+        self.due_buf = due;
     }
 
     fn sample(&mut self, now: SimTime) {
@@ -657,33 +730,32 @@ impl Network {
             pending,
             completed,
             flush_buf,
+            pool,
             ..
         } = self;
         let host = &mut hosts[h];
         debug_assert!(flush_buf.is_empty());
         for &idx in touched {
-            host.endpoints[idx as usize]
-                .ep
-                .agent()
-                .drain_outbox_into(flush_buf);
+            host.eps[idx as usize].agent().drain_outbox_into(flush_buf);
         }
         for pkt in flush_buf.drain(..) {
-            let _ = enqueue_and_kick(&mut host.nic, DevRef::Host(h), 0, pkt, now, pending);
+            let r = pool.insert(pkt);
+            let _ = enqueue_and_kick(&mut host.nic, DevRef::Host(h), 0, r, now, pending, pool);
         }
         // Completion checks and deadline-heap maintenance for the touched
         // endpoints (completion can only transition on a driven endpoint).
         for &idx in touched {
-            let slot = &host.endpoints[idx as usize];
-            if let Endpoint::Tx(s) = &slot.ep {
+            if let Endpoint::Tx(s) = &host.eps[idx as usize] {
                 if s.is_complete() {
-                    let rec = &mut flows[flow_index(slot.flow).expect("flow id 0 is invalid")];
+                    let flow = host.ep_flow[idx as usize];
+                    let rec = &mut flows[flow_index(flow).expect("flow id 0 is invalid")];
                     if rec.completed.is_none() {
                         rec.completed = Some(s.completed_at().unwrap_or(now));
-                        completed.push(slot.flow);
+                        completed.push(flow);
                     }
                 }
             }
-            if let Some(d) = slot.ep.next_deadline() {
+            if let Some(d) = host.eps[idx as usize].next_deadline() {
                 host.deadlines.push(Reverse((d, idx)));
             }
         }
@@ -695,7 +767,7 @@ impl Network {
             let Some(&Reverse((d, idx))) = host.deadlines.peek() else {
                 break None;
             };
-            if host.endpoints[idx as usize].ep.next_deadline() == Some(d) {
+            if host.eps[idx as usize].next_deadline() == Some(d) {
                 break Some(d);
             }
             host.deadlines.pop();
@@ -718,24 +790,26 @@ impl Network {
     /// (`BENCH_1.json`); both modes produce identical simulation results.
     pub fn set_reference_mode(&mut self, on: bool) {
         self.reference_mode = on;
+        // The seed also boxed every packet individually; mirror that in the
+        // pool's storage so the allocation model matches the algorithms.
+        self.pool.set_reference_mode(on);
     }
 
     /// Seed implementation of [`Network::host_timers`]: scan every endpoint
     /// for matured deadlines.
     fn host_timers_reference(&mut self, h: usize, now: SimTime) {
         self.hosts[h].timer_scheduled = None;
-        let due: Vec<FlowId> = self.hosts[h]
-            .endpoints
+        let host = &self.hosts[h];
+        let due: Vec<FlowId> = host
+            .eps
             .iter()
-            .filter(|s| s.ep.next_deadline().is_some_and(|d| d <= now))
-            .map(|s| s.flow)
+            .zip(host.ep_flow.iter())
+            .filter(|(ep, _)| ep.next_deadline().is_some_and(|d| d <= now))
+            .map(|(_, &f)| f)
             .collect();
         for f in due {
             if let Some(&idx) = self.hosts[h].by_flow.get(&f) {
-                self.hosts[h].endpoints[idx as usize]
-                    .ep
-                    .agent()
-                    .on_timer(now);
+                self.hosts[h].eps[idx as usize].agent().on_timer(now);
             }
         }
         self.flush_host_reference(h, now);
@@ -748,32 +822,34 @@ impl Network {
         loop {
             let host = &mut self.hosts[h];
             let mut out: Vec<Packet> = Vec::new();
-            for slot in &mut host.endpoints {
-                out.append(&mut slot.ep.agent().take_outbox());
+            for ep in &mut host.eps {
+                out.append(&mut ep.agent().take_outbox());
             }
             if out.is_empty() {
                 break;
             }
             for pkt in out {
+                let r = self.pool.insert(pkt);
                 let _ = enqueue_and_kick(
-                    &mut host.nic,
+                    &mut self.hosts[h].nic,
                     DevRef::Host(h),
                     0,
-                    pkt,
+                    r,
                     now,
                     &mut self.pending,
+                    &mut self.pool,
                 );
             }
         }
         // Completion checks for senders on this host.
         let host = &self.hosts[h];
         let mut newly_done = Vec::new();
-        for slot in &host.endpoints {
-            if let Endpoint::Tx(s) = &slot.ep {
+        for (ep, &flow) in host.eps.iter().zip(host.ep_flow.iter()) {
+            if let Endpoint::Tx(s) = ep {
                 if s.is_complete() {
-                    if let Some(rec) = flow_index(slot.flow).and_then(|i| self.flows.get(i)) {
+                    if let Some(rec) = flow_index(flow).and_then(|i| self.flows.get(i)) {
                         if rec.completed.is_none() {
-                            newly_done.push((slot.flow, s.completed_at().unwrap_or(now)));
+                            newly_done.push((flow, s.completed_at().unwrap_or(now)));
                         }
                     }
                 }
@@ -787,11 +863,7 @@ impl Network {
         }
         // Re-arm the host timer from a full scan.
         let host = &mut self.hosts[h];
-        let next = host
-            .endpoints
-            .iter()
-            .filter_map(|s| s.ep.next_deadline())
-            .min();
+        let next = host.eps.iter().filter_map(|ep| ep.next_deadline()).min();
         if let Some(d) = next {
             let d = d.max(now);
             if host.timer_scheduled.is_none_or(|t| d < t) {
@@ -898,6 +970,12 @@ impl Network {
         self.orphan_packets
     }
 
+    /// Packet-pool allocation counters (inserts, heap allocations, high-water
+    /// occupancy) — the perf harness's alloc accounting.
+    pub fn pool_stats(&self) -> netpacket::PoolStats {
+        self.pool.stats()
+    }
+
     /// Aggregate switch-port queue statistics (drop/mark composition — the
     /// quantitative core of the paper's Fig. 1 argument).
     pub fn port_stats(&self) -> PortStatsReport {
@@ -917,8 +995,8 @@ impl Network {
     pub fn sender_stats_total(&self) -> tcpstack::SenderStats {
         let mut agg = tcpstack::SenderStats::default();
         for host in &self.hosts {
-            for slot in &host.endpoints {
-                if let Endpoint::Tx(s) = &slot.ep {
+            for ep in &host.eps {
+                if let Endpoint::Tx(s) = ep {
                     let st = s.stats();
                     agg.data_segments_sent += st.data_segments_sent;
                     agg.retransmits += st.retransmits;
@@ -937,8 +1015,8 @@ impl Network {
     pub fn receiver_stats_total(&self) -> tcpstack::ReceiverStats {
         let mut agg = tcpstack::ReceiverStats::default();
         for host in &self.hosts {
-            for slot in &host.endpoints {
-                if let Endpoint::Rx(r) = &slot.ep {
+            for ep in &host.eps {
+                if let Endpoint::Rx(r) = ep {
                     let st = r.stats();
                     agg.segments_received += st.segments_received;
                     agg.ce_received += st.ce_received;
@@ -955,8 +1033,8 @@ impl Network {
     pub fn total_bytes_received(&self) -> u64 {
         self.hosts
             .iter()
-            .flat_map(|h| h.endpoints.iter())
-            .map(|slot| match &slot.ep {
+            .flat_map(|h| h.eps.iter())
+            .map(|ep| match ep {
                 Endpoint::Rx(r) => r.bytes_received(),
                 Endpoint::Tx(_) => 0,
             })

@@ -63,10 +63,12 @@ impl<A: Application> Simulation<A> {
     /// Run until the application is done, the event queue drains, or the
     /// time limit is hit.
     ///
-    /// Uses the default calendar-queue scheduler backend; see
-    /// [`Simulation::run_with_backend`] to pin a specific one.
+    /// Uses the default hybrid scheduler backend — a calendar queue for plain
+    /// transmission/arrival events plus a hierarchical timer wheel for the
+    /// cancellable RTO-class timers; see [`Simulation::run_with_backend`] to
+    /// pin a specific one.
     pub fn run(&mut self) -> RunReport {
-        self.run_with_backend::<simevent::CalendarQueue<Event>>()
+        self.run_with_backend::<simevent::HybridQueue<Event>>()
     }
 
     /// Run on an explicit scheduler backend (e.g. the reference binary-heap

@@ -121,6 +121,15 @@ impl<E> CalendarQueue<E> {
     fn push(&mut self, at: SimTime, event: E) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.insert_with_seq(at, seq, event);
+        seq
+    }
+
+    /// Insert with a caller-supplied sequence number: the
+    /// [`HybridQueue`](crate::HybridQueue) owns one shared counter across its
+    /// sub-queues so FIFO tie-breaks stay global.
+    #[inline]
+    pub(crate) fn insert_with_seq(&mut self, at: SimTime, seq: u64, event: E) {
         self.scheduled_total += 1;
         self.raw_len += 1;
         let t = at.as_nanos();
@@ -135,7 +144,70 @@ impl<E> CalendarQueue<E> {
                 None => self.overflow.push(se),
             }
         }
-        seq
+    }
+
+    /// Advance the cursor (sliding the window as needed) until the earliest
+    /// live event sits atop the past heap or the cursor bucket, and return
+    /// its `(time, seq)` key without removing it. Reaps cancelled events it
+    /// passes over. Cursor motion is order-neutral, so calling this without
+    /// popping is always safe — the hybrid queue uses it to merge heads.
+    pub(crate) fn prepare_head(&mut self) -> Option<(SimTime, u64)> {
+        loop {
+            // Past is strictly earlier than everything in the window.
+            if let Some(se) = self.past.peek() {
+                if !self.cancels.is_cancelled(se.seq) {
+                    return Some((se.at, se.seq));
+                }
+                let se = self.past.pop().expect("peeked event exists");
+                self.raw_len -= 1;
+                self.cancels.reap(se.seq);
+                continue;
+            }
+            while self.cursor < self.buckets.len() {
+                match self.buckets[self.cursor].peek() {
+                    Some(se) if !self.cancels.is_cancelled(se.seq) => {
+                        return Some((se.at, se.seq));
+                    }
+                    Some(_) => {
+                        let se = self.buckets[self.cursor]
+                            .pop()
+                            .expect("peeked event exists");
+                        self.raw_len -= 1;
+                        self.cancels.reap(se.seq);
+                    }
+                    None => self.cursor += 1,
+                }
+            }
+            // Window exhausted: slide it to the earliest overflow event and
+            // redistribute everything that now falls inside (same motion as
+            // `pop_raw`).
+            let earliest = self.overflow.peek()?.at.as_nanos();
+            self.window_start = (earliest >> self.bucket_shift) << self.bucket_shift;
+            self.cursor = 0;
+            while let Some(se) = self.overflow.peek() {
+                match self.bucket_index(se.at.as_nanos()) {
+                    Some(idx) => {
+                        let se = self.overflow.pop().expect("peeked event exists");
+                        self.buckets[idx].push(se);
+                    }
+                    None => break,
+                }
+            }
+        }
+    }
+
+    /// Pop the head that [`prepare_head`](Self::prepare_head) exposed.
+    pub(crate) fn pop_prepared(&mut self) -> Option<ScheduledEvent<E>> {
+        self.prepare_head()?;
+        let se = match self.past.pop() {
+            Some(se) => se,
+            None => self.buckets[self.cursor]
+                .pop()
+                .expect("prepared head exists"),
+        };
+        self.raw_len -= 1;
+        self.cancels.reap(se.seq);
+        Some(se)
     }
 
     /// Pop the earliest physical event, cancelled or not.
@@ -255,6 +327,15 @@ impl<E> CalendarQueue<E> {
         self.raw_len = 0;
         self.cancels.clear();
     }
+
+    /// Release excess capacity after a burst (e.g. between sweep points).
+    pub fn shrink_to_fit(&mut self) {
+        self.past.shrink_to_fit();
+        for bucket in &mut self.buckets {
+            bucket.shrink_to_fit();
+        }
+        self.overflow.shrink_to_fit();
+    }
 }
 
 impl<E> QueueBackend<E> for CalendarQueue<E> {
@@ -284,6 +365,9 @@ impl<E> QueueBackend<E> for CalendarQueue<E> {
     }
     fn clear(&mut self) {
         CalendarQueue::clear(self);
+    }
+    fn shrink_to_fit(&mut self) {
+        CalendarQueue::shrink_to_fit(self);
     }
 }
 

@@ -1,0 +1,323 @@
+//! Hybrid backend: calendar queue for precise transmission events, timer
+//! wheel for the cancel-heavy RTO-class population — one shared sequence
+//! counter so the merged pop order is bit-identical to a single queue.
+//!
+//! # Routing
+//!
+//! The simulator schedules two very different event populations:
+//!
+//! * **plain events** (packet arrivals, port wakeups, samples) — never
+//!   cancelled, densely packed in the near future. The
+//!   [`CalendarQueue`] is ideal: O(1) amortised schedule, tiny bucket heaps.
+//! * **cancellable timers** (TCP RTO, delayed ACK) — almost always cancelled
+//!   and rearmed before firing. The [`TimerWheel`] removes those physically
+//!   in O(1) instead of sifting tombstones through bucket heaps.
+//!
+//! `schedule` routes to the calendar, `schedule_cancellable` to the wheel.
+//!
+//! # Why the merge is exact
+//!
+//! Determinism requires pops globally ordered by `(time, seq)` — including
+//! FIFO tie-breaks *across* the two sub-queues (a timer and a packet event
+//! at the same instant must fire in scheduling order). Two things make that
+//! hold: a single `next_seq` counter feeds both sub-queues via their
+//! `insert_with_seq` hooks, and `pop` compares exact `(time, seq)` head keys
+//! from both sides (`prepare_head`) before removing anything. The
+//! equivalence proptests pin the merged order against the reference
+//! [`EventQueue`](crate::EventQueue).
+
+use crate::calendar::CalendarQueue;
+use crate::handle::TimerHandle;
+use crate::queue::QueueBackend;
+use crate::time::SimTime;
+use crate::wheel::TimerWheel;
+
+/// A deterministic event queue that routes plain events to a
+/// [`CalendarQueue`] and cancellable timers to a [`TimerWheel`], popping the
+/// exact `(time, seq)` merge of both. Drop-in [`QueueBackend`]; the
+/// simulation driver's default.
+#[derive(Debug)]
+pub struct HybridQueue<E> {
+    calendar: CalendarQueue<E>,
+    wheel: TimerWheel<E>,
+    next_seq: u64,
+    scheduled_total: u64,
+}
+
+impl<E> Default for HybridQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> HybridQueue<E> {
+    /// An empty queue with both sub-queues at their default geometry.
+    pub fn new() -> Self {
+        HybridQueue {
+            calendar: CalendarQueue::new(),
+            wheel: TimerWheel::new(),
+            next_seq: 0,
+            scheduled_total: 0,
+        }
+    }
+
+    #[inline]
+    fn take_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        seq
+    }
+
+    /// Schedule `event` to fire at absolute time `at` (not cancellable;
+    /// calendar side).
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        let seq = self.take_seq();
+        self.calendar.insert_with_seq(at, seq, event);
+    }
+
+    /// Schedule `event` at `at`, returning a cancellation handle (wheel
+    /// side: cancellation will be an O(1) physical removal).
+    pub fn schedule_cancellable(&mut self, at: SimTime, event: E) -> TimerHandle {
+        let seq = self.take_seq();
+        self.wheel.insert_with_seq(at, seq, event)
+    }
+
+    /// Cancel a pending event. Handles only ever point into the wheel.
+    pub fn cancel(&mut self, handle: TimerHandle) -> bool {
+        self.wheel.cancel(handle)
+    }
+
+    /// Remove and return the earliest live event across both sub-queues.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let from_wheel = match (self.calendar.prepare_head(), self.wheel.prepare_head()) {
+            (None, None) => return None,
+            (Some(_), None) => false,
+            (None, Some(_)) => true,
+            // Exact global order: earliest time, then scheduling order. The
+            // shared seq counter makes the tie-break meaningful across
+            // sub-queues.
+            (Some(ck), Some(wk)) => wk < ck,
+        };
+        let se = if from_wheel {
+            self.wheel.pop_prepared()
+        } else {
+            self.calendar.pop_prepared()
+        };
+        se.map(|se| (se.at, se.event))
+    }
+
+    /// The firing time of the earliest live pending event. Immutable (does
+    /// not rotate either sub-queue), so worst-case O(n); tests and debug
+    /// assertions only — the hot path pops directly.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        match (self.calendar.peek_time(), self.wheel.peek_time()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Number of live pending events.
+    pub fn len(&self) -> usize {
+        self.calendar.len() + self.wheel.len()
+    }
+
+    /// True when no live events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events ever scheduled on this queue (monotone; survives
+    /// [`clear`](Self::clear)).
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+
+    /// Drop all pending events (keeps `scheduled_total` and the seq counter).
+    pub fn clear(&mut self) {
+        self.calendar.clear();
+        self.wheel.clear();
+    }
+
+    /// Release excess capacity in both sub-queues after a burst.
+    pub fn shrink_to_fit(&mut self) {
+        self.calendar.shrink_to_fit();
+        self.wheel.shrink_to_fit();
+    }
+}
+
+impl<E> QueueBackend<E> for HybridQueue<E> {
+    fn empty() -> Self {
+        Self::new()
+    }
+    fn schedule(&mut self, at: SimTime, event: E) {
+        HybridQueue::schedule(self, at, event);
+    }
+    fn schedule_cancellable(&mut self, at: SimTime, event: E) -> TimerHandle {
+        HybridQueue::schedule_cancellable(self, at, event)
+    }
+    fn cancel(&mut self, handle: TimerHandle) -> bool {
+        HybridQueue::cancel(self, handle)
+    }
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        HybridQueue::pop(self)
+    }
+    fn peek_time(&self) -> Option<SimTime> {
+        HybridQueue::peek_time(self)
+    }
+    fn len(&self) -> usize {
+        HybridQueue::len(self)
+    }
+    fn scheduled_total(&self) -> u64 {
+        HybridQueue::scheduled_total(self)
+    }
+    fn clear(&mut self) {
+        HybridQueue::clear(self);
+    }
+    fn shrink_to_fit(&mut self) {
+        HybridQueue::shrink_to_fit(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_instant_ties_break_across_subqueues() {
+        // A plain event and a cancellable timer at the same instant must pop
+        // in scheduling order — that is exactly what the shared seq buys.
+        let mut q: HybridQueue<u32> = HybridQueue::new();
+        let t = SimTime::from_micros(5);
+        q.schedule(t, 0);
+        let _h = q.schedule_cancellable(t, 1);
+        q.schedule(t, 2);
+        let _h2 = q.schedule_cancellable(t, 3);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn cancellation_only_touches_the_wheel_population() {
+        let mut q: HybridQueue<u32> = HybridQueue::new();
+        q.schedule(SimTime::from_nanos(10), 10);
+        let h = q.schedule_cancellable(SimTime::from_nanos(5), 5);
+        assert_eq!(q.len(), 2);
+        assert!(q.cancel(h));
+        assert!(!q.cancel(h));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(10), 10)));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_stays_ordered() {
+        let mut q: HybridQueue<u64> = HybridQueue::new();
+        q.schedule(SimTime::from_nanos(5), 5);
+        let _ = q.schedule_cancellable(SimTime::from_nanos(1), 1);
+        assert_eq!(q.pop().unwrap().1, 1);
+        q.schedule(SimTime::from_nanos(3), 3);
+        let _ = q.schedule_cancellable(SimTime::from_nanos(2), 2);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+        assert_eq!(q.pop().unwrap().1, 5);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn counters_span_both_subqueues() {
+        let mut q: HybridQueue<u32> = HybridQueue::new();
+        q.schedule(SimTime::from_nanos(1), 1);
+        let h = q.schedule_cancellable(SimTime::from_nanos(2), 2);
+        q.cancel(h);
+        assert_eq!(q.scheduled_total(), 2, "cancelled events still count");
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.scheduled_total(), 2);
+        q.schedule(SimTime::from_nanos(3), 3);
+        assert_eq!(q.scheduled_total(), 3);
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(3), 3)));
+    }
+}
+
+#[cfg(test)]
+mod equivalence {
+    //! The merged pop order is pinned against the reference heap under
+    //! arbitrary interleavings — same harness shape as the calendar queue's.
+
+    use super::*;
+    use crate::queue::EventQueue;
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Schedule(u64),
+        ScheduleCancellable(u64),
+        Pop,
+        Cancel(usize),
+    }
+
+    fn arb_op() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            // Coarse times collide often, forcing cross-subqueue FIFO
+            // tie-breaks (the case a per-subqueue counter would break).
+            4 => (0u64..2_000_000).prop_map(|t| Op::Schedule(t / 7 * 7)),
+            3 => (0u64..2_000_000).prop_map(|t| Op::ScheduleCancellable(t / 7 * 7)),
+            4 => Just(Op::Pop),
+            2 => (0usize..64).prop_map(Op::Cancel),
+        ]
+    }
+
+    fn check_equivalence(ops: Vec<Op>) -> Result<(), String> {
+        let mut heap: EventQueue<u64> = EventQueue::new();
+        let mut hybrid: HybridQueue<u64> = HybridQueue::new();
+        let mut handles: Vec<(TimerHandle, TimerHandle)> = Vec::new();
+        let mut payload = 0u64;
+        for op in ops {
+            match op {
+                Op::Schedule(t) => {
+                    heap.schedule(SimTime::from_nanos(t), payload);
+                    hybrid.schedule(SimTime::from_nanos(t), payload);
+                    payload += 1;
+                }
+                Op::ScheduleCancellable(t) => {
+                    let hh = heap.schedule_cancellable(SimTime::from_nanos(t), payload);
+                    let hy = hybrid.schedule_cancellable(SimTime::from_nanos(t), payload);
+                    handles.push((hh, hy));
+                    payload += 1;
+                }
+                Op::Pop => {
+                    prop_assert_eq!(heap.pop(), hybrid.pop(), "pop diverged");
+                }
+                Op::Cancel(k) => {
+                    if handles.is_empty() {
+                        continue;
+                    }
+                    let (hh, hy) = handles[k % handles.len()];
+                    prop_assert_eq!(heap.cancel(hh), hybrid.cancel(hy), "cancel diverged");
+                }
+            }
+            prop_assert_eq!(heap.len(), hybrid.len(), "live length diverged");
+            prop_assert_eq!(heap.peek_time(), hybrid.peek_time(), "peek diverged");
+            prop_assert_eq!(heap.scheduled_total(), hybrid.scheduled_total());
+        }
+        loop {
+            let (a, b) = (heap.pop(), hybrid.pop());
+            prop_assert_eq!(a, b, "drain diverged");
+            if a.is_none() {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// Merged (time, seq) order matches the single reference queue.
+        #[test]
+        fn same_pops_as_reference(ops in prop::collection::vec(arb_op(), 1..300)) {
+            check_equivalence(ops)?;
+        }
+    }
+}

@@ -13,8 +13,14 @@
 //! * [`CalendarQueue`] — the fast path: a time-bucketed calendar queue with
 //!   O(1)-amortised scheduling, proptest-verified to pop in exactly the same
 //!   order as [`EventQueue`].
-//! * [`TimerHandle`] cancellation on both queues (lazy deletion), so rearmed
-//!   timers (TCP RTO, delayed ACK) stop ballooning the pending-event set.
+//! * [`TimerWheel`] — a hierarchical timer wheel with O(1) *physical*
+//!   cancellation for the RTO-class timer population, where nearly every
+//!   scheduled timer is cancelled and rearmed before it fires.
+//! * [`HybridQueue`] — the production backend: plain events go to the
+//!   calendar, cancellable timers to the wheel, merged under one shared
+//!   sequence counter so pops stay bit-identical to a single queue.
+//! * [`TimerHandle`] cancellation on every backend, so rearmed timers
+//!   (TCP RTO, delayed ACK) stop ballooning the pending-event set.
 //! * [`Scheduler`] — a run-to-completion driver with event accounting and a
 //!   hard time limit to guard against runaway simulations; generic over the
 //!   queue backend, defaulting to the calendar queue.
@@ -36,17 +42,21 @@
 
 mod calendar;
 mod handle;
+mod hybrid;
 mod queue;
 mod rng;
 mod scheduler;
 mod time;
+mod wheel;
 
 pub use calendar::CalendarQueue;
 pub use handle::TimerHandle;
+pub use hybrid::HybridQueue;
 pub use queue::{EventQueue, QueueBackend, ScheduledEvent};
 pub use rng::SimRng;
 pub use scheduler::{HeapScheduler, RunOutcome, Scheduler, SchedulerConfig, SchedulerStats};
 pub use time::{SimDuration, SimTime};
+pub use wheel::TimerWheel;
 
 // The experiments crate's sweep orchestrator moves whole simulations across
 // worker threads, so the kernel types must stay `Send` (no `Rc`, no thread
@@ -64,6 +74,8 @@ mod thread_safety {
     fn kernel_types_are_send() {
         assert_send::<EventQueue<u64>>();
         assert_send::<CalendarQueue<u64>>();
+        assert_send::<TimerWheel<u64>>();
+        assert_send::<HybridQueue<u64>>();
         assert_send::<TimerHandle>();
         assert_send::<SimRng>();
         assert_send::<Scheduler<u64>>();

@@ -76,6 +76,10 @@ pub trait QueueBackend<E> {
     fn scheduled_total(&self) -> u64;
     /// Drop all pending events. Does not reset `scheduled_total`.
     fn clear(&mut self);
+    /// Release excess capacity after a burst, including any physical storage
+    /// still held by lazily-cancelled events. Semantically a no-op: live
+    /// events, pop order, and counters are unaffected.
+    fn shrink_to_fit(&mut self) {}
 }
 
 /// A deterministic event queue (reference implementation, binary heap).
@@ -130,7 +134,27 @@ impl<E> EventQueue<E> {
     }
 
     /// Release excess capacity after a burst (e.g. between sweep points).
+    ///
+    /// Cancelled-but-unreaped events are physically dropped first: they are
+    /// dead weight the allocator would otherwise keep sized for, and leaving
+    /// them in place made post-shrink capacity (and the pending-accounting
+    /// derived from it) report a stale burst high-water mark. Compaction
+    /// never changes pop order — only tombstones are removed.
     pub fn shrink_to_fit(&mut self) {
+        if self.cancels.pending_cancelled() > 0 {
+            let live: Vec<ScheduledEvent<E>> = std::mem::take(&mut self.heap)
+                .into_iter()
+                .filter(|se| {
+                    if self.cancels.is_cancelled(se.seq) {
+                        self.cancels.reap(se.seq);
+                        false
+                    } else {
+                        true
+                    }
+                })
+                .collect();
+            self.heap = BinaryHeap::from(live);
+        }
         self.heap.shrink_to_fit();
     }
 
@@ -243,6 +267,9 @@ impl<E> QueueBackend<E> for EventQueue<E> {
     fn clear(&mut self) {
         EventQueue::clear(self);
     }
+    fn shrink_to_fit(&mut self) {
+        EventQueue::shrink_to_fit(self);
+    }
 }
 
 #[cfg(test)]
@@ -344,6 +371,35 @@ mod tests {
         // The queue still works after shrinking.
         q.schedule(SimTime::from_nanos(1), 1);
         assert_eq!(q.pop(), Some((SimTime::from_nanos(1), 1)));
+    }
+
+    #[test]
+    fn shrink_to_fit_compacts_cancelled_tombstones() {
+        // Regression: a burst of rearmed timers leaves the heap full of
+        // cancelled tombstones; shrink_to_fit used to shrink around them, so
+        // capacity (and the pending accounting built on it) stayed at the
+        // stale burst high-water mark.
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut handles = Vec::new();
+        for i in 0..1024u64 {
+            handles.push(q.schedule_cancellable(SimTime::from_nanos(1000 + i), i));
+        }
+        let keeper = q.schedule_cancellable(SimTime::from_nanos(999), 9999);
+        for h in handles {
+            assert!(q.cancel(h));
+        }
+        assert_eq!(q.len(), 1);
+        q.shrink_to_fit();
+        assert!(
+            q.capacity() < 1024,
+            "capacity must reflect live events, not tombstones (got {})",
+            q.capacity()
+        );
+        assert_eq!(q.len(), 1, "compaction never touches live events");
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(999)));
+        // The surviving handle is still live and still cancellable.
+        assert!(q.cancel(keeper));
+        assert!(q.pop().is_none());
     }
 
     #[test]

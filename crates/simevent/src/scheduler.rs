@@ -142,6 +142,18 @@ impl<E, Q: QueueBackend<E>> Scheduler<E, Q> {
         self.peak_pending
     }
 
+    /// Release excess queue capacity after a burst and re-arm the
+    /// pending-event high-water mark from the *live* pending count.
+    ///
+    /// Without the re-arm, a scheduler reused across bursts (as the sweep
+    /// harness does between points) keeps reporting the stale all-time peak
+    /// even though the burst's storage — including any cancelled tombstones
+    /// the queue compacts here — is gone.
+    pub fn shrink_to_fit(&mut self) {
+        self.queue.shrink_to_fit();
+        self.peak_pending = self.queue.len();
+    }
+
     #[inline]
     fn note_pending(&mut self) {
         self.peak_pending = self.peak_pending.max(self.queue.len());
@@ -253,6 +265,32 @@ mod tests {
         let (outcome, stats) = s.run(|_, _, _| true);
         assert_eq!(outcome, RunOutcome::EventLimit);
         assert_eq!(stats.events_processed, 3);
+    }
+
+    #[test]
+    fn shrink_to_fit_rearms_peak_pending() {
+        // Regression: after a burst of rearmed (cancelled) timers drains,
+        // shrink_to_fit must both compact the queue and reset the high-water
+        // mark, or the next burst reports the stale peak.
+        let mut s: HeapScheduler<u32> = Scheduler::default();
+        let mut handles = Vec::new();
+        for i in 0..512u64 {
+            handles.push(s.schedule_cancellable_at(SimTime::from_nanos(100 + i), 0));
+        }
+        for h in handles {
+            assert!(s.cancel(h));
+        }
+        assert_eq!(s.peak_pending(), 512, "burst peak recorded");
+        assert_eq!(s.pending(), 0);
+        s.shrink_to_fit();
+        assert_eq!(s.peak_pending(), 0, "peak re-armed from live count");
+        // The next, smaller burst reports its own peak, not the stale one.
+        s.schedule_at(SimTime::from_nanos(1000), 1);
+        s.schedule_at(SimTime::from_nanos(1001), 2);
+        assert_eq!(s.peak_pending(), 2);
+        let (outcome, stats) = s.run(|_, _, _| true);
+        assert_eq!(outcome, RunOutcome::Drained);
+        assert_eq!(stats.events_processed, 2);
     }
 
     #[test]

@@ -1,0 +1,752 @@
+//! Hierarchical timer wheel: an event queue specialised for the massively
+//! cancelled RTO-class timer population (Varghese & Lauck, SOSP 1987).
+//!
+//! # Why a wheel next to the calendar queue
+//!
+//! The calendar queue schedules in O(1) amortised but cancels *lazily*: a
+//! cancelled RTO stays physically enqueued, gets sifted through bucket heaps,
+//! and pays a reap check when it finally surfaces. In the cancel-heavy regime
+//! (every ACK rearms the RTO, so nearly every timer dies before firing) that
+//! deferred cost dominates — BENCH_5 measured only 1.54x over the reference
+//! heap. The wheel turns cancellation into an O(1) *physical* removal: each
+//! slot is an unordered `Vec`, a side map records every entry's exact
+//! position, and `cancel` swap-removes it, so a dead timer costs nothing at
+//! pop time.
+//!
+//! # Structure
+//!
+//! Three levels of 256 slots each. Level 0 slots are `1 << shift` ns wide;
+//! each higher level is 256x coarser. A level-k slot holds events whose
+//! level-k slot number falls inside the currently *open* level-(k+1) slot,
+//! so slot indices never wrap ambiguously: within one open parent the ring
+//! index `slot & 255` is monotone in time. Opening a coarse slot drains it
+//! and reinserts its events one level finer (each event cascades at most
+//! `LEVELS - 1` times). Events beyond the top level's span go to an overflow
+//! heap, events behind the wheel's position go to a past heap, and the
+//! current level-0 slot is kept sorted in a small `ready` heap — three
+//! regions that partition time exactly as the calendar queue's do:
+//!
+//! ```text
+//! past  <  position  <=  ready  <  level-0 slots  <  level-1  <  ...  <= overflow
+//! ```
+//!
+//! Every individual heap orders by `(time, seq)`, the regions are disjoint in
+//! time, and slot drains re-sort through `ready` — so pops reproduce the
+//! reference [`EventQueue`](crate::EventQueue) order bit for bit, which the
+//! cross-backend proptests pin down.
+//!
+//! Slot width is a performance knob only: a coarser wheel batches more events
+//! per `ready` refill but never changes pop order.
+
+use crate::handle::{CancelSet, SeqHasher, TimerHandle};
+use crate::queue::{QueueBackend, ScheduledEvent};
+use crate::time::SimTime;
+use std::collections::{BinaryHeap, HashMap};
+use std::hash::BuildHasherDefault;
+
+/// Wheel depth. Three levels cover `256^3` level-0 slots before overflow.
+const LEVELS: usize = 3;
+/// log2 of the slots per level.
+const LEVEL_BITS: u32 = 8;
+/// Slots per level.
+const SLOTS: usize = 1 << LEVEL_BITS;
+/// Ring mask for one level.
+const SLOT_MASK: u64 = (SLOTS - 1) as u64;
+
+/// Default level-0 slot width: 2^13 ns ≈ 8.2 µs. RTO-class timers are
+/// hundreds of µs to ms out, so they land in the wheel body (physical
+/// cancellation) rather than in `ready`; the top level still spans
+/// `2^(13+24)` ns ≈ 137 s, so only epoch-scale timers touch overflow.
+const DEFAULT_WHEEL_SHIFT: u32 = 13;
+
+/// Exact position of a wheel-resident event, kept per `seq` so `cancel` can
+/// remove it physically in O(1).
+#[derive(Debug, Clone, Copy)]
+struct Loc {
+    level: u8,
+    slot: u8,
+    pos: u32,
+}
+
+type LocMap = HashMap<u64, Loc, BuildHasherDefault<SeqHasher>>;
+
+#[inline]
+fn set_bit(map: &mut [u64; 4], i: usize) {
+    map[i >> 6] |= 1 << (i & 63);
+}
+
+#[inline]
+fn clear_bit(map: &mut [u64; 4], i: usize) {
+    map[i >> 6] &= !(1 << (i & 63));
+}
+
+/// First set bit at index `>= from`, if any.
+fn scan_from(map: &[u64; 4], from: usize) -> Option<usize> {
+    if from >= SLOTS {
+        return None;
+    }
+    let mut word = from >> 6;
+    let mut bits = map[word] & (!0u64 << (from & 63));
+    loop {
+        if bits != 0 {
+            return Some((word << 6) + bits.trailing_zeros() as usize);
+        }
+        word += 1;
+        if word == 4 {
+            return None;
+        }
+        bits = map[word];
+    }
+}
+
+/// A deterministic event queue with O(1) physical cancellation, tuned for
+/// timers that are usually cancelled before they fire. Drop-in
+/// [`QueueBackend`]: same pop order as [`EventQueue`](crate::EventQueue),
+/// proptest-pinned.
+#[derive(Debug)]
+pub struct TimerWheel<E> {
+    /// log2 of the level-0 slot width in nanoseconds.
+    shift: u32,
+    /// `LEVELS * SLOTS` unordered slot vectors, level-major.
+    slots: Vec<Vec<ScheduledEvent<E>>>,
+    /// Per-level occupancy bitmap over ring indices.
+    occ: [[u64; 4]; LEVELS],
+    /// Absolute (non-ring) slot number currently open at each level.
+    /// Invariant: `cur[k] >> LEVEL_BITS == cur[k+1]`.
+    cur: [u64; LEVELS],
+    /// Virtual level-`LEVELS` slot: `cur[LEVELS-1] >> LEVEL_BITS`.
+    epoch: u64,
+    /// The open level-0 slot, sorted. Pops come from here (or `past`).
+    ready: BinaryHeap<ScheduledEvent<E>>,
+    /// Events scheduled behind the wheel position (arbitrary interleavings
+    /// only; the simulation driver never does this).
+    past: BinaryHeap<ScheduledEvent<E>>,
+    /// Events beyond the top level's span.
+    overflow: BinaryHeap<ScheduledEvent<E>>,
+    /// seq -> exact slot position, for O(1) physical cancel.
+    loc: LocMap,
+    /// Lazy cancellation for the heap regions (`ready`/`past`/`overflow`),
+    /// where physical removal is not O(1).
+    lazy: CancelSet,
+    /// Reusable drain buffer so slot cascades never reallocate.
+    spare: Vec<ScheduledEvent<E>>,
+    live_len: usize,
+    next_seq: u64,
+    scheduled_total: u64,
+}
+
+impl<E> Default for TimerWheel<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> TimerWheel<E> {
+    /// An empty wheel with the default geometry (8.2 µs level-0 slots).
+    pub fn new() -> Self {
+        Self::with_shift(DEFAULT_WHEEL_SHIFT)
+    }
+
+    /// An empty wheel with level-0 slots of `1 << shift` nanoseconds.
+    /// Exposed for tests and tuning; geometry affects performance only,
+    /// never pop order.
+    pub fn with_shift(shift: u32) -> Self {
+        assert!(
+            shift + LEVEL_BITS * LEVELS as u32 <= 40,
+            "wheel span must stay addressable"
+        );
+        TimerWheel {
+            shift,
+            slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            occ: [[0; 4]; LEVELS],
+            cur: [0; LEVELS],
+            epoch: 0,
+            ready: BinaryHeap::new(),
+            past: BinaryHeap::new(),
+            overflow: BinaryHeap::new(),
+            loc: LocMap::default(),
+            lazy: CancelSet::default(),
+            spare: Vec::new(),
+            live_len: 0,
+            next_seq: 0,
+            scheduled_total: 0,
+        }
+    }
+
+    /// Wheel position in nanoseconds: the start of the open level-0 slot.
+    #[inline]
+    fn position(&self) -> u64 {
+        self.cur[0] << self.shift
+    }
+
+    /// Route one event to its region. Slot residents get a `loc` entry
+    /// (physical cancel); heap residents register for lazy cancel.
+    fn place(&mut self, se: ScheduledEvent<E>) {
+        let t = se.at.as_nanos();
+        if t < self.position() {
+            self.lazy.register(se.seq);
+            self.past.push(se);
+            return;
+        }
+        let s0 = t >> self.shift;
+        if s0 == self.cur[0] {
+            self.lazy.register(se.seq);
+            self.ready.push(se);
+            return;
+        }
+        let (level, slot_abs) = if s0 >> LEVEL_BITS == self.cur[1] {
+            (0usize, s0)
+        } else {
+            let s1 = s0 >> LEVEL_BITS;
+            if s1 >> LEVEL_BITS == self.cur[2] {
+                (1, s1)
+            } else {
+                let s2 = s1 >> LEVEL_BITS;
+                if s2 >> LEVEL_BITS == self.epoch {
+                    (2, s2)
+                } else {
+                    self.lazy.register(se.seq);
+                    self.overflow.push(se);
+                    return;
+                }
+            }
+        };
+        let ring = (slot_abs & SLOT_MASK) as usize;
+        let vec = &mut self.slots[level * SLOTS + ring];
+        self.loc.insert(
+            se.seq,
+            Loc {
+                level: level as u8,
+                slot: ring as u8,
+                pos: vec.len() as u32,
+            },
+        );
+        vec.push(se);
+        set_bit(&mut self.occ[level], ring);
+    }
+
+    /// Take a slot's contents, leaving the reusable spare buffer in its
+    /// place so the cascade never churns allocations.
+    fn take_slot(&mut self, level: usize, ring: usize) -> Vec<ScheduledEvent<E>> {
+        clear_bit(&mut self.occ[level], ring);
+        std::mem::replace(
+            &mut self.slots[level * SLOTS + ring],
+            std::mem::take(&mut self.spare),
+        )
+    }
+
+    /// Move the wheel forward until `ready` holds the next slot's events.
+    /// Returns `false` when the wheel is completely empty.
+    fn advance(&mut self) -> bool {
+        loop {
+            // A cascade or epoch slide may have dropped events straight into
+            // `ready` (their level-0 slot is the one just opened); they are
+            // earlier than anything still in the slots, so surface them now.
+            if !self.ready.is_empty() {
+                return true;
+            }
+            // Finest level first: open the next occupied level-0 slot.
+            if let Some(i) = scan_from(&self.occ[0], (self.cur[0] & SLOT_MASK) as usize) {
+                self.cur[0] = ((self.cur[1]) << LEVEL_BITS) | i as u64;
+                let mut buf = self.take_slot(0, i);
+                for se in buf.drain(..) {
+                    self.loc.remove(&se.seq);
+                    self.lazy.register(se.seq);
+                    self.ready.push(se);
+                }
+                self.spare = buf;
+                return true;
+            }
+            // Level 0 exhausted: open the next occupied level-1 slot and
+            // cascade it down (strictly after the currently open one).
+            if let Some(j) = scan_from(&self.occ[1], (self.cur[1] & SLOT_MASK) as usize + 1) {
+                self.cur[1] = (self.cur[2] << LEVEL_BITS) | j as u64;
+                self.cur[0] = self.cur[1] << LEVEL_BITS;
+                let mut buf = self.take_slot(1, j);
+                for se in buf.drain(..) {
+                    self.loc.remove(&se.seq);
+                    self.place(se);
+                }
+                self.spare = buf;
+                continue;
+            }
+            // Level 1 exhausted: same one level up.
+            if let Some(k) = scan_from(&self.occ[2], (self.cur[2] & SLOT_MASK) as usize + 1) {
+                self.cur[2] = (self.epoch << LEVEL_BITS) | k as u64;
+                self.cur[1] = self.cur[2] << LEVEL_BITS;
+                self.cur[0] = self.cur[1] << LEVEL_BITS;
+                let mut buf = self.take_slot(2, k);
+                for se in buf.drain(..) {
+                    self.loc.remove(&se.seq);
+                    self.place(se);
+                }
+                self.spare = buf;
+                continue;
+            }
+            // Whole wheel empty: slide the epoch to the earliest overflow
+            // event and pull everything inside the new span back in.
+            let Some(head) = self.overflow.peek() else {
+                return false;
+            };
+            let t = head.at.as_nanos();
+            self.epoch = t >> (self.shift + LEVEL_BITS * 3);
+            self.cur[2] = t >> (self.shift + LEVEL_BITS * 2);
+            self.cur[1] = t >> (self.shift + LEVEL_BITS);
+            self.cur[0] = t >> self.shift;
+            while let Some(h) = self.overflow.peek() {
+                if h.at.as_nanos() >> (self.shift + LEVEL_BITS * 3) != self.epoch {
+                    break;
+                }
+                let se = self.overflow.pop().expect("peeked event exists");
+                // Transfer out of the lazy region: a cancelled overflow
+                // entry dies here (its live_len was charged at cancel time).
+                if !self.lazy.reap(se.seq) {
+                    self.place(se);
+                }
+            }
+        }
+    }
+
+    /// Ensure the earliest live event sits atop `past` or `ready` and return
+    /// its `(time, seq)` key. Used by the pop path and by
+    /// [`HybridQueue`](crate::HybridQueue) for exact cross-queue merging.
+    pub(crate) fn prepare_head(&mut self) -> Option<(SimTime, u64)> {
+        loop {
+            // `past` is strictly earlier than `ready` (t < position <= ready).
+            if let Some(se) = self.past.peek() {
+                if !self.lazy.is_cancelled(se.seq) {
+                    return Some((se.at, se.seq));
+                }
+                let se = self.past.pop().expect("peeked event exists");
+                self.lazy.reap(se.seq);
+                continue;
+            }
+            if let Some(se) = self.ready.peek() {
+                if !self.lazy.is_cancelled(se.seq) {
+                    return Some((se.at, se.seq));
+                }
+                let se = self.ready.pop().expect("peeked event exists");
+                self.lazy.reap(se.seq);
+                continue;
+            }
+            if !self.advance() {
+                return None;
+            }
+        }
+    }
+
+    /// Pop the head that [`prepare_head`](Self::prepare_head) exposed.
+    pub(crate) fn pop_prepared(&mut self) -> Option<ScheduledEvent<E>> {
+        self.prepare_head()?;
+        let se = match self.past.pop() {
+            Some(se) => se,
+            None => self.ready.pop().expect("prepared head exists"),
+        };
+        self.lazy.reap(se.seq);
+        self.live_len -= 1;
+        Some(se)
+    }
+
+    /// Insert with a caller-supplied sequence number (the hybrid queue owns
+    /// the shared counter). Returns the handle for the entry.
+    pub(crate) fn insert_with_seq(&mut self, at: SimTime, seq: u64, event: E) -> TimerHandle {
+        self.scheduled_total += 1;
+        self.live_len += 1;
+        self.place(ScheduledEvent { at, seq, event });
+        TimerHandle(seq)
+    }
+
+    /// Schedule `event` to fire at absolute time `at`.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.insert_with_seq(at, seq, event);
+    }
+
+    /// Schedule `event` at `at`, returning a cancellation handle.
+    pub fn schedule_cancellable(&mut self, at: SimTime, event: E) -> TimerHandle {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.insert_with_seq(at, seq, event)
+    }
+
+    /// Cancel a pending event. Slot residents are removed *physically* in
+    /// O(1) — the whole point of the wheel — so a cancelled RTO never sifts
+    /// through a heap again; heap residents fall back to lazy deletion.
+    pub fn cancel(&mut self, handle: TimerHandle) -> bool {
+        if let Some(loc) = self.loc.remove(&handle.0) {
+            let (level, ring, pos) = (loc.level as usize, loc.slot as usize, loc.pos as usize);
+            let vi = level * SLOTS + ring;
+            self.slots[vi].swap_remove(pos);
+            if let Some(moved) = self.slots[vi].get(pos) {
+                self.loc
+                    .get_mut(&moved.seq)
+                    .expect("slot resident has a loc entry")
+                    .pos = loc.pos;
+            }
+            if self.slots[vi].is_empty() {
+                clear_bit(&mut self.occ[level], ring);
+            }
+            self.live_len -= 1;
+            return true;
+        }
+        if self.lazy.cancel(handle) {
+            self.live_len -= 1;
+            return true;
+        }
+        false
+    }
+
+    /// Remove and return the earliest live event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.pop_prepared().map(|se| (se.at, se.event))
+    }
+
+    /// The firing time of the earliest live pending event.
+    ///
+    /// Immutable and therefore O(n) in the worst case (it may not rotate the
+    /// wheel); the hot path uses [`prepare_head`](Self::prepare_head)
+    /// instead. Fine for tests and debug assertions.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        let live_min = |heap: &BinaryHeap<ScheduledEvent<E>>| {
+            let head = heap.peek()?;
+            if !self.lazy.is_cancelled(head.seq) {
+                return Some(head.at);
+            }
+            heap.iter()
+                .filter(|se| !self.lazy.is_cancelled(se.seq))
+                .map(|se| se.at)
+                .min()
+        };
+        let mut best = live_min(&self.past);
+        for cand in [live_min(&self.ready), live_min(&self.overflow)] {
+            best = match (best, cand) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+        }
+        // Slot residents are all live by construction (cancel removes them).
+        let slot_min = self
+            .slots
+            .iter()
+            .flat_map(|v| v.iter())
+            .map(|se| se.at)
+            .min();
+        match (best, slot_min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Number of live pending events.
+    pub fn len(&self) -> usize {
+        self.live_len
+    }
+
+    /// True when no live events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.live_len == 0
+    }
+
+    /// Total events ever scheduled on this queue (monotone; survives
+    /// [`clear`](Self::clear)).
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+
+    /// Drop all pending events (keeps `scheduled_total` and the seq counter).
+    pub fn clear(&mut self) {
+        for v in &mut self.slots {
+            v.clear();
+        }
+        self.occ = [[0; 4]; LEVELS];
+        self.cur = [0; LEVELS];
+        self.epoch = 0;
+        self.ready.clear();
+        self.past.clear();
+        self.overflow.clear();
+        self.loc.clear();
+        self.lazy.clear();
+        self.live_len = 0;
+    }
+
+    /// Release excess capacity after a burst.
+    pub fn shrink_to_fit(&mut self) {
+        for v in &mut self.slots {
+            v.shrink_to_fit();
+        }
+        self.ready.shrink_to_fit();
+        self.past.shrink_to_fit();
+        self.overflow.shrink_to_fit();
+        self.loc.shrink_to_fit();
+        self.spare = Vec::new();
+    }
+}
+
+impl<E> QueueBackend<E> for TimerWheel<E> {
+    fn empty() -> Self {
+        Self::new()
+    }
+    fn schedule(&mut self, at: SimTime, event: E) {
+        TimerWheel::schedule(self, at, event);
+    }
+    fn schedule_cancellable(&mut self, at: SimTime, event: E) -> TimerHandle {
+        TimerWheel::schedule_cancellable(self, at, event)
+    }
+    fn cancel(&mut self, handle: TimerHandle) -> bool {
+        TimerWheel::cancel(self, handle)
+    }
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        TimerWheel::pop(self)
+    }
+    fn peek_time(&self) -> Option<SimTime> {
+        TimerWheel::peek_time(self)
+    }
+    fn len(&self) -> usize {
+        TimerWheel::len(self)
+    }
+    fn scheduled_total(&self) -> u64 {
+        TimerWheel::scheduled_total(self)
+    }
+    fn clear(&mut self) {
+        TimerWheel::clear(self);
+    }
+    fn shrink_to_fit(&mut self) {
+        TimerWheel::shrink_to_fit(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tiny geometry (4 ns level-0 slots) so unit tests cascade constantly.
+    fn tiny() -> TimerWheel<u64> {
+        TimerWheel::with_shift(2)
+    }
+
+    #[test]
+    fn pops_in_time_order_across_levels() {
+        let mut w = tiny();
+        // Spread over level 0, level 1, level 2, and overflow spans.
+        for (i, t) in [3u64, 900, 17, 70_000, 5_000_000, 41, 128, 1 << 36]
+            .iter()
+            .enumerate()
+        {
+            w.schedule(SimTime::from_nanos(*t), i as u64);
+        }
+        let mut times = Vec::new();
+        while let Some((t, _)) = w.pop() {
+            times.push(t.as_nanos());
+        }
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted);
+        assert_eq!(times.len(), 8);
+    }
+
+    #[test]
+    fn same_instant_is_fifo_even_through_cascade() {
+        let mut w = tiny();
+        let t = SimTime::from_nanos(100_000); // lands above level 0
+        for i in 0..50u64 {
+            w.schedule(t, i);
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| w.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_is_physical_for_slot_residents() {
+        let mut w = tiny();
+        let h1 = w.schedule_cancellable(SimTime::from_nanos(1_000), 1);
+        let h2 = w.schedule_cancellable(SimTime::from_nanos(1_001), 2);
+        let h3 = w.schedule_cancellable(SimTime::from_nanos(1_002), 3);
+        assert_eq!(w.len(), 3);
+        // Middle removal exercises the swap_remove position fixup.
+        assert!(w.cancel(h2));
+        assert!(!w.cancel(h2), "double cancel is a no-op");
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.pop(), Some((SimTime::from_nanos(1_000), 1)));
+        assert_eq!(w.pop(), Some((SimTime::from_nanos(1_002), 3)));
+        assert!(!w.cancel(h1), "cancel after fire reports false");
+        assert!(!w.cancel(h3));
+        assert!(w.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_works_in_every_region() {
+        let mut w = tiny();
+        w.schedule(SimTime::from_nanos(500), 0);
+        w.pop(); // wheel position is now 500: a t=0 insert lands in `past`
+        let h_past = w.schedule_cancellable(SimTime::from_nanos(0), 1);
+        let h_ready = w.schedule_cancellable(SimTime::from_nanos(501), 2);
+        let h_slot = w.schedule_cancellable(SimTime::from_nanos(1_000), 3);
+        let h_over = w.schedule_cancellable(SimTime::from_nanos(1 << 40), 4);
+        for h in [h_past, h_ready, h_slot, h_over] {
+            assert!(w.cancel(h));
+            assert!(!w.cancel(h));
+        }
+        assert!(w.is_empty());
+        assert!(w.pop().is_none());
+    }
+
+    #[test]
+    fn peek_time_is_live_minimum() {
+        let mut w = tiny();
+        assert_eq!(w.peek_time(), None);
+        let h = w.schedule_cancellable(SimTime::from_nanos(3), 3);
+        w.schedule(SimTime::from_nanos(50_000), 50);
+        assert_eq!(w.peek_time(), Some(SimTime::from_nanos(3)));
+        w.cancel(h);
+        assert_eq!(
+            w.peek_time(),
+            Some(SimTime::from_nanos(50_000)),
+            "peek skips the cancelled head"
+        );
+    }
+
+    #[test]
+    fn len_and_counters_track_liveness() {
+        let mut w = tiny();
+        for i in 0..10u64 {
+            w.schedule(SimTime::from_nanos(i * 3), i);
+        }
+        let h = w.schedule_cancellable(SimTime::from_nanos(99), 99);
+        assert_eq!(w.len(), 11);
+        assert_eq!(w.scheduled_total(), 11);
+        w.cancel(h);
+        assert_eq!(w.len(), 10, "len is live events only");
+        w.pop();
+        assert_eq!(w.len(), 9);
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.scheduled_total(), 11, "lifetime counter survives clear");
+        w.schedule(SimTime::from_nanos(1), 1);
+        assert_eq!(w.scheduled_total(), 12);
+        assert_eq!(w.pop(), Some((SimTime::from_nanos(1), 1)));
+    }
+
+    #[test]
+    fn epoch_slide_reaches_far_overflow() {
+        let mut w = tiny();
+        // Far beyond the top level's span twice over.
+        w.schedule(SimTime::from_nanos(1 << 45), 1);
+        w.schedule(SimTime::from_nanos((1 << 45) + 7), 2);
+        w.schedule(SimTime::from_nanos(5), 0);
+        assert_eq!(w.pop(), Some((SimTime::from_nanos(5), 0)));
+        assert_eq!(w.pop(), Some((SimTime::from_nanos(1 << 45), 1)));
+        assert_eq!(w.pop(), Some((SimTime::from_nanos((1 << 45) + 7), 2)));
+        assert!(w.pop().is_none());
+    }
+
+    #[test]
+    fn rearm_pattern_stays_cheap_and_correct() {
+        // The RTO pattern: schedule far out, cancel, rearm slightly later.
+        let mut w = TimerWheel::with_shift(10);
+        let mut handle = w.schedule_cancellable(SimTime::from_micros(200), 0);
+        for i in 1..500u64 {
+            assert!(w.cancel(handle));
+            handle = w.schedule_cancellable(SimTime::from_micros(200 + i), i);
+            assert_eq!(w.len(), 1, "exactly one live timer at all times");
+        }
+        let (t, e) = w.pop().expect("final timer fires");
+        assert_eq!(t, SimTime::from_micros(699));
+        assert_eq!(e, 499);
+        assert!(w.pop().is_none());
+    }
+}
+
+#[cfg(test)]
+mod equivalence {
+    //! Pop-order equivalence against the reference heap, under arbitrary
+    //! interleavings — the same harness shape the calendar queue uses.
+
+    use super::*;
+    use crate::queue::EventQueue;
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Schedule(u64),
+        ScheduleCancellable(u64),
+        Pop,
+        Cancel(usize),
+    }
+
+    fn arb_op() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            // Spans several cascade levels of the tiny wheel; coarse
+            // granularity forces FIFO tie-breaks.
+            4 => (0u64..2_000_000).prop_map(|t| Op::Schedule(t / 7 * 7)),
+            3 => (0u64..2_000_000).prop_map(|t| Op::ScheduleCancellable(t / 7 * 7)),
+            4 => Just(Op::Pop),
+            2 => (0usize..64).prop_map(Op::Cancel),
+        ]
+    }
+
+    fn check_equivalence(ops: Vec<Op>, shift: u32) -> Result<(), String> {
+        let mut heap: EventQueue<u64> = EventQueue::new();
+        let mut wheel: TimerWheel<u64> = TimerWheel::with_shift(shift);
+        let mut handles: Vec<(TimerHandle, TimerHandle)> = Vec::new();
+        let mut payload = 0u64;
+        for op in ops {
+            match op {
+                Op::Schedule(t) => {
+                    heap.schedule(SimTime::from_nanos(t), payload);
+                    wheel.schedule(SimTime::from_nanos(t), payload);
+                    payload += 1;
+                }
+                Op::ScheduleCancellable(t) => {
+                    let hh = heap.schedule_cancellable(SimTime::from_nanos(t), payload);
+                    let hw = wheel.schedule_cancellable(SimTime::from_nanos(t), payload);
+                    handles.push((hh, hw));
+                    payload += 1;
+                }
+                Op::Pop => {
+                    prop_assert_eq!(heap.pop(), wheel.pop(), "pop diverged");
+                }
+                Op::Cancel(k) => {
+                    if handles.is_empty() {
+                        continue;
+                    }
+                    let (hh, hw) = handles[k % handles.len()];
+                    prop_assert_eq!(heap.cancel(hh), wheel.cancel(hw), "cancel diverged");
+                }
+            }
+            prop_assert_eq!(heap.len(), wheel.len(), "live length diverged");
+            prop_assert_eq!(heap.peek_time(), wheel.peek_time(), "peek diverged");
+            prop_assert_eq!(heap.scheduled_total(), wheel.scheduled_total());
+        }
+        loop {
+            let (a, b) = (heap.pop(), wheel.pop());
+            prop_assert_eq!(a, b, "drain diverged");
+            if a.is_none() {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// Equivalence under a tiny geometry (constant cascades).
+        #[test]
+        fn same_pops_tiny_wheel(ops in prop::collection::vec(arb_op(), 1..300)) {
+            check_equivalence(ops, 2)?;
+        }
+
+        /// Equivalence under the production geometry.
+        #[test]
+        fn same_pops_default_wheel(ops in prop::collection::vec(arb_op(), 1..300)) {
+            check_equivalence(ops, 13)?;
+        }
+
+        /// Equivalence under a coarse wheel (everything piles into `ready`).
+        #[test]
+        fn same_pops_coarse_wheel(ops in prop::collection::vec(arb_op(), 1..200)) {
+            check_equivalence(ops, 16)?;
+        }
+    }
+}

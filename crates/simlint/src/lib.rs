@@ -15,6 +15,7 @@
 //! | SL003 | no `thread_rng`/`from_entropy` anywhere |
 //! | SL004 | no `.unwrap()`/`.expect()` in non-test library code |
 //! | SL005 | no lossy `as` casts of time/byte counters |
+//! | SL006 | no `Box::new`/`push` of packet payloads outside the pool API |
 //!
 //! Findings can be waived per path + code in `simlint.toml`, each with a
 //! mandatory justification. Run it as `cargo run -p simlint` (human output)

@@ -1,4 +1,4 @@
-//! The lint rules: SL001–SL005.
+//! The lint rules: SL001–SL006.
 //!
 //! Each rule is a pure function over a file's token stream plus its
 //! workspace-relative path. The rules encode the simulator's **determinism
@@ -14,7 +14,7 @@ pub struct Finding {
     pub file: String,
     /// 1-based source line.
     pub line: u32,
-    /// Stable diagnostic code (`SL001` ... `SL005`).
+    /// Stable diagnostic code (`SL001` ... `SL006`).
     pub code: &'static str,
     /// Human-readable explanation.
     pub message: String,
@@ -203,6 +203,41 @@ fn lookback_names_counter(tokens: &[Token], i: usize, n: usize) -> Option<String
     None
 }
 
+/// Idents SL006 treats as naming a full packet value. Deliberately exact:
+/// `host_buffer_packets`, `PacketRef`, and friends are counters or 8-byte
+/// handles, not payloads.
+const PACKETISH: &[&str] = &["Packet", "packet", "pkt"];
+
+/// Scan the balanced-paren argument list opening at `tokens[open]` (which
+/// must be `(`) for an ident naming a packet payload. A struct-field label
+/// (`packet: r`) is skipped — it labels a field holding a cheap handle, not
+/// a by-value payload — while a `Packet::...` path still counts (that is an
+/// inline construction). Returns the matching ident, or `None` when the
+/// argument is clean or the list never closes.
+fn packetish_payload(tokens: &[Token], open: usize) -> Option<String> {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return None;
+            }
+        } else if t.kind == TokenKind::Ident && PACKETISH.contains(&t.text.as_str()) {
+            let is_field_label = tokens.get(j + 1).is_some_and(|n| n.is_punct(':'))
+                && !tokens.get(j + 2).is_some_and(|n| n.is_punct(':'));
+            if !is_field_label {
+                return Some(t.text.clone());
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
 /// Run every rule over one file. `path` must be workspace-relative with
 /// forward slashes.
 pub fn check_file(path: &str, tokens: &[Token]) -> Vec<Finding> {
@@ -316,6 +351,49 @@ pub fn check_file(path: &str, tokens: &[Token]) -> Vec<Finding> {
                     }
                 }
             }
+            // SL006: per-packet heap traffic outside the pool API. Packet
+            // storage on the hot path belongs in `PacketPool`; a `Box::new`
+            // or growable-buffer push of a packet payload is a per-packet
+            // allocation the arena was built to eliminate.
+            "Box" if in_sim && !test_path && !test_mask[i] => {
+                let is_box_new = tokens.get(i + 1).is_some_and(|n| n.is_punct(':'))
+                    && tokens.get(i + 2).is_some_and(|n| n.is_punct(':'))
+                    && tokens.get(i + 3).is_some_and(|n| n.is_ident("new"))
+                    && tokens.get(i + 4).is_some_and(|n| n.is_punct('('));
+                if is_box_new {
+                    if let Some(what) = packetish_payload(tokens, i + 4) {
+                        push(
+                            t.line,
+                            "SL006",
+                            format!(
+                                "`Box::new({what})` heap-allocates per packet: route \
+                                 packet storage through PacketPool (the pool's \
+                                 reference mode is the only sanctioned per-packet Box)"
+                            ),
+                        );
+                    }
+                }
+            }
+            "push" | "push_back" if in_sim && !test_path && !test_mask[i] => {
+                let is_method_call = i > 0
+                    && tokens[i - 1].is_punct('.')
+                    && tokens.get(i + 1).is_some_and(|n| n.is_punct('('));
+                if is_method_call {
+                    if let Some(what) = packetish_payload(tokens, i + 1) {
+                        push(
+                            t.line,
+                            "SL006",
+                            format!(
+                                "`.{}({what})` moves a packet-sized payload into a \
+                                 growable buffer: pass PacketRef handles from the \
+                                 pool, or waive with the buffer's amortization \
+                                 contract in simlint.toml",
+                                t.text
+                            ),
+                        );
+                    }
+                }
+            }
             _ => {}
         }
     }
@@ -416,6 +494,51 @@ mod tests {
         // 64-bit targets are fine; unrelated identifiers are fine.
         assert!(codes("crates/core/src/x.rs", "let x = t.as_nanos() as u64;").is_empty());
         assert!(codes("crates/core/src/x.rs", "let i = idx as u32;").is_empty());
+    }
+
+    #[test]
+    fn sl006_flags_boxed_and_pushed_packets() {
+        assert_eq!(
+            codes("crates/netpacket/src/x.rs", "let b = Box::new(packet);"),
+            vec!["SL006"]
+        );
+        assert_eq!(
+            codes("crates/tcpstack/src/x.rs", "self.outbox.push(pkt);"),
+            vec!["SL006"]
+        );
+        assert_eq!(
+            codes(
+                "crates/core/src/x.rs",
+                "self.queue.push_back((packet, now));"
+            ),
+            vec!["SL006"]
+        );
+        // Inline construction counts: `Packet::...` is not a field label.
+        assert_eq!(
+            codes("crates/tcpstack/src/x.rs", "out.push(Packet::tcp(1, 2));"),
+            vec!["SL006"]
+        );
+    }
+
+    #[test]
+    fn sl006_skips_handles_labels_and_non_sim_code() {
+        // Struct-field labels carry an 8-byte PacketRef, not a payload.
+        assert!(codes(
+            "crates/netsim/src/x.rs",
+            "pending.push((done, Event::Arrive { dev, packet: r }));"
+        )
+        .is_empty());
+        // Counters that merely contain "packet" are not payloads.
+        assert!(codes(
+            "crates/netsim/src/x.rs",
+            "let q = Box::new(DropTail::new(spec.host_buffer_packets));"
+        )
+        .is_empty());
+        // Non-packetish pushes and non-sim crates are out of scope.
+        assert!(codes("crates/core/src/x.rs", "out.push(p);").is_empty());
+        assert!(codes("crates/experiments/src/x.rs", "v.push(packet);").is_empty());
+        // Test code is exempt.
+        assert!(codes("crates/core/tests/x.rs", "v.push(packet);").is_empty());
     }
 
     #[test]

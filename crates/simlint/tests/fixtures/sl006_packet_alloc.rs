@@ -1,0 +1,29 @@
+//! SL006 fixture: per-packet heap traffic outside the pool API.
+//!
+//! Lines 8–10 must fire; everything after the marker must stay clean.
+
+fn hot_path(&mut self, packet: Packet, pkt: Packet) {
+    // Three violations: a per-packet Box, a Vec push of a payload, and an
+    // inline construction pushed into a deque.
+    let boxed = Box::new(packet);
+    self.staging.push(pkt);
+    self.queue.push_back(Packet::tcp(1, 2));
+}
+
+// ---- clean from here down ----
+
+fn clean(&mut self, r: PacketRef) {
+    // A field label carries an 8-byte handle, not a payload.
+    self.pending.push((done, Event::Arrive { dev, packet: r }));
+    // Counters that merely contain "packet" are not payloads.
+    let q = Box::new(DropTail::new(spec.host_buffer_packets));
+    self.refs.push(r);
+}
+
+#[cfg(test)]
+mod tests {
+    fn exempt() {
+        let b = Box::new(packet);
+        v.push(pkt);
+    }
+}

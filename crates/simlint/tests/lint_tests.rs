@@ -74,6 +74,23 @@ fn sl005_fixture() {
 }
 
 #[test]
+fn sl006_fixture() {
+    let src = fixture("sl006_packet_alloc.rs");
+    let findings = check_file("crates/netsim/src/hot.rs", &lex(&src));
+    assert!(findings.iter().all(|f| f.code == "SL006"), "{findings:?}");
+    assert_eq!(
+        findings.len(),
+        3,
+        "exactly the three hot-path sites: {findings:?}"
+    );
+    // Everything after the clean marker (field labels, packet-counting
+    // idents, PacketRef pushes, test code) must not fire.
+    assert!(findings.iter().all(|f| f.line <= 10), "{findings:?}");
+    // Out of scope in the harness crate.
+    assert!(codes("crates/experiments/src/hot.rs", &src).is_empty());
+}
+
+#[test]
 fn waiver_silences_exactly_its_code_and_path() {
     let src = fixture("sl004_unwrap.rs");
     let waivers = simlint::config::parse(

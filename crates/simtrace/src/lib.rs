@@ -225,16 +225,28 @@ pub trait TraceSink: std::fmt::Debug + Send {
     fn drain_events(&mut self) -> Vec<TraceEvent> {
         Vec::new()
     }
+
+    /// True when this sink provably discards every event.
+    /// [`TraceHandle::with_filter`] collapses such a sink to the disabled
+    /// tier, so emission sites skip [`TraceEvent`] construction entirely.
+    fn is_discard(&self) -> bool {
+        false
+    }
 }
 
-/// Discards everything. Exists so generic sink plumbing and overhead benches
-/// have an explicit zero sink; prefer [`TraceHandle::null()`] for the
-/// fully-disabled tier (no virtual call at all).
+/// Discards everything. Exists so generic sink plumbing has an explicit zero
+/// sink. A handle built over it reports [`TraceHandle::is_enabled`] `false`
+/// and is bit-for-bit the disabled tier: no per-packet [`TraceEvent`]
+/// construction, no lock, no virtual call on the hot dequeue path.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct NullSink;
 
 impl TraceSink for NullSink {
     fn record(&mut self, _ev: &TraceEvent) {}
+
+    fn is_discard(&self) -> bool {
+        true
+    }
 }
 
 /// Bounded in-memory flight recorder: keeps the most recent `capacity`
@@ -397,7 +409,14 @@ impl TraceHandle {
     }
 
     /// An enabled handle recording events that pass `filter` into `sink`.
+    ///
+    /// A sink that provably discards everything ([`TraceSink::is_discard`],
+    /// e.g. [`NullSink`]) yields the *disabled* tier instead: emission sites
+    /// see [`TraceHandle::is_enabled`] `false` and never construct an event.
     pub fn with_filter(sink: Box<dyn TraceSink>, filter: TraceFilter) -> Self {
+        if sink.is_discard() {
+            return TraceHandle::null();
+        }
         TraceHandle {
             inner: Some(Arc::new(Mutex::new(Recorder {
                 sink,
@@ -511,6 +530,21 @@ mod tests {
         e.packet = 42;
         e.pkind = 1;
         e
+    }
+
+    #[test]
+    fn null_sink_collapses_to_the_disabled_tier() {
+        let h = TraceHandle::new(Box::new(NullSink));
+        assert!(
+            !h.is_enabled(),
+            "a NullSink handle must be the disabled tier: emission sites \
+             guard on is_enabled() and would otherwise build a TraceEvent, \
+             take the recorder lock, and virtual-call record() per packet"
+        );
+        // Disabled-tier semantics follow: no queue ids, emit is a no-op.
+        assert_eq!(h.register_queue("sw0/p0"), NO_QUEUE);
+        h.emit(ev(1, EventKind::Dequeued));
+        assert_eq!(h.drain_events(), Vec::new());
     }
 
     #[test]

@@ -38,6 +38,34 @@ enum State {
     Complete,
 }
 
+/// The congestion-control fields every ACK touches, grouped so the per-ACK
+/// hot path (`on_new_ack` → `dctcp_account` → `ecn_reduce`) reads and writes
+/// one ~64-byte struct instead of fields scattered across the ~450-byte
+/// [`Sender`]. The struct-of-arrays split at the host layer
+/// (`netsim::Network`'s endpoint columns) keeps these together per endpoint;
+/// this grouping keeps them together *within* the endpoint.
+#[derive(Debug, Clone, Copy)]
+struct CongState {
+    /// Oldest unacknowledged sequence number.
+    snd_una: u64,
+    /// Congestion window, bytes (fractional: DCTCP scales multiplicatively).
+    cwnd: f64,
+    /// Slow-start threshold, bytes.
+    ssthresh: f64,
+    /// Consecutive duplicate-ACK count.
+    dupacks: u32,
+    /// Reduce-once-per-window guard: ignore ECE until snd_una passes this.
+    cwr_end: u64,
+    /// DCTCP fraction-of-marked-bytes EWMA.
+    alpha: f64,
+    /// Bytes acked with CE feedback in the current observation window.
+    ce_acked: u64,
+    /// Total bytes acked in the current observation window.
+    window_acked: u64,
+    /// Sequence number closing the current DCTCP observation window.
+    alpha_end: u64,
+}
+
 /// A one-directional TCP sender pushing `total_bytes` to a [`crate::Receiver`].
 ///
 /// Sequence space: the SYN occupies seq 0, data occupies `[1, total_bytes+1)`.
@@ -51,11 +79,9 @@ pub struct Sender {
     total: u64,
     state: State,
 
-    snd_una: u64,
+    /// Congestion-control hot state (see [`CongState`]).
+    cong: CongState,
     snd_nxt: u64,
-    cwnd: f64,
-    ssthresh: f64,
-    dupacks: u32,
     in_recovery: bool,
     recover: u64,
 
@@ -66,19 +92,11 @@ pub struct Sender {
 
     /// ECN actually negotiated on the handshake.
     ecn_on: bool,
-    /// Reduce-once-per-window guard: ignore ECE until snd_una passes this.
-    cwr_end: u64,
     /// Send CWR on outgoing data segments until the reduction window is
     /// acknowledged. Sticky (not one-shot) so a lost CWR-carrying segment
     /// cannot leave the receiver's ECE latch stuck — a stuck latch would
     /// halve cwnd every window for the rest of the flow.
     send_cwr: bool,
-
-    // DCTCP state.
-    alpha: f64,
-    ce_acked: u64,
-    window_acked: u64,
-    alpha_end: u64,
 
     /// Highest sequence number ever transmitted (for Karn's rule after a
     /// go-back-N timeout, where `snd_nxt` rewinds below it).
@@ -123,23 +141,25 @@ impl Sender {
             dst,
             total: total_bytes,
             state: State::SynSent,
-            snd_una: 0,
+            cong: CongState {
+                snd_una: 0,
+                cwnd,
+                ssthresh,
+                dupacks: 0,
+                cwr_end: 0,
+                alpha: 1.0,
+                ce_acked: 0,
+                window_acked: 0,
+                alpha_end: 1,
+            },
             snd_nxt: 1, // SYN occupies seq 0
-            cwnd,
-            ssthresh,
-            dupacks: 0,
             in_recovery: false,
             recover: 0,
             rtt,
             rto_deadline: None,
             rtt_sample: None,
             ecn_on: false,
-            cwr_end: 0,
             send_cwr: false,
-            alpha: 1.0,
-            ce_acked: 0,
-            window_acked: 0,
-            alpha_end: 1,
             max_sent: 1,
             sacked: IntervalSet::new(),
             retx_point: 1,
@@ -196,11 +216,11 @@ impl Sender {
         if !self.trace.is_enabled() {
             return;
         }
-        if self.traced_window != (self.cwnd, self.ssthresh) {
-            self.traced_window = (self.cwnd, self.ssthresh);
+        if self.traced_window != (self.cong.cwnd, self.cong.ssthresh) {
+            self.traced_window = (self.cong.cwnd, self.cong.ssthresh);
             let mut ev = self.sender_ev(EventKind::CwndChange, now);
-            ev.a = self.cwnd as u64;
-            ev.b = self.ssthresh as u64;
+            ev.a = self.cong.cwnd as u64;
+            ev.b = self.cong.ssthresh as u64;
             self.trace.emit(ev);
         }
     }
@@ -209,7 +229,7 @@ impl Sender {
 
     /// Bytes acknowledged so far (excluding SYN).
     pub fn bytes_acked(&self) -> u64 {
-        self.snd_una.saturating_sub(1).min(self.total)
+        self.cong.snd_una.saturating_sub(1).min(self.total)
     }
 
     /// Total bytes this flow will transfer.
@@ -219,17 +239,17 @@ impl Sender {
 
     /// Congestion window in bytes.
     pub fn cwnd(&self) -> f64 {
-        self.cwnd
+        self.cong.cwnd
     }
 
     /// Slow-start threshold in bytes.
     pub fn ssthresh(&self) -> f64 {
-        self.ssthresh
+        self.cong.ssthresh
     }
 
     /// DCTCP's congestion-extent estimate.
     pub fn alpha(&self) -> f64 {
-        self.alpha
+        self.cong.alpha
     }
 
     /// True once the handshake completed and ECN was agreed by both ends.
@@ -254,7 +274,7 @@ impl Sender {
 
     /// True while unacknowledged data (or SYN) is outstanding.
     pub fn has_outstanding(&self) -> bool {
-        self.snd_nxt > self.snd_una
+        self.snd_nxt > self.cong.snd_una
     }
 
     /// Bytes currently marked received-out-of-order by the SACK scoreboard.
@@ -371,11 +391,11 @@ impl Sender {
     }
 
     fn flight(&self) -> u64 {
-        self.snd_nxt - self.snd_una
+        self.snd_nxt - self.cong.snd_una
     }
 
     fn usable_window(&self) -> f64 {
-        self.cwnd.min(self.cfg.recv_wnd as f64)
+        self.cong.cwnd.min(self.cfg.recv_wnd as f64)
     }
 
     /// React to an ECE-carrying ACK, at most once per window.
@@ -383,23 +403,23 @@ impl Sender {
         if !self.ecn_on || self.in_recovery {
             return;
         }
-        if ack <= self.cwr_end {
+        if ack <= self.cong.cwr_end {
             return; // already reacted this window
         }
         match self.cfg.ecn {
             EcnMode::Ecn => {
                 // RFC 3168: same response as a loss, but without retransmission.
-                self.ssthresh = (self.cwnd / 2.0).max(2.0 * self.mss_f());
-                self.cwnd = self.ssthresh;
+                self.cong.ssthresh = (self.cong.cwnd / 2.0).max(2.0 * self.mss_f());
+                self.cong.cwnd = self.cong.ssthresh;
             }
             EcnMode::Dctcp => {
                 // DCTCP: scale by the congestion extent.
-                self.cwnd = (self.cwnd * (1.0 - self.alpha / 2.0)).max(self.mss_f());
-                self.ssthresh = self.cwnd;
+                self.cong.cwnd = (self.cong.cwnd * (1.0 - self.cong.alpha / 2.0)).max(self.mss_f());
+                self.cong.ssthresh = self.cong.cwnd;
             }
             EcnMode::Off => return,
         }
-        self.cwr_end = self.snd_nxt;
+        self.cong.cwr_end = self.snd_nxt;
         self.send_cwr = true;
         self.stats.ecn_reductions += 1;
     }
@@ -409,32 +429,32 @@ impl Sender {
         if self.cfg.ecn != EcnMode::Dctcp {
             return;
         }
-        self.window_acked += newly;
+        self.cong.window_acked += newly;
         if ece {
-            self.ce_acked += newly;
+            self.cong.ce_acked += newly;
         }
-        if ack >= self.alpha_end {
-            if self.window_acked > 0 {
-                let f = self.ce_acked as f64 / self.window_acked as f64;
+        if ack >= self.cong.alpha_end {
+            if self.cong.window_acked > 0 {
+                let f = self.cong.ce_acked as f64 / self.cong.window_acked as f64;
                 let g = self.cfg.dctcp_g;
-                self.alpha = (1.0 - g) * self.alpha + g * f;
+                self.cong.alpha = (1.0 - g) * self.cong.alpha + g * f;
             }
-            self.ce_acked = 0;
-            self.window_acked = 0;
-            self.alpha_end = self.snd_nxt;
+            self.cong.ce_acked = 0;
+            self.cong.window_acked = 0;
+            self.cong.alpha_end = self.snd_nxt;
         }
     }
 
     fn on_new_ack(&mut self, ack: u64, ece: bool, now: SimTime) {
         // The ECN reduction window has passed: stop advertising CWR.
-        if self.send_cwr && ack > self.cwr_end {
+        if self.send_cwr && ack > self.cong.cwr_end {
             self.send_cwr = false;
         }
         // After a go-back-N rewind a cumulative ACK can exceed snd_nxt (it
         // covers data sent before the timeout): pull snd_nxt forward so the
         // covered range is never retransmitted and flight() stays well-formed.
         self.snd_nxt = self.snd_nxt.max(ack);
-        let newly = ack - self.snd_una;
+        let newly = ack - self.cong.snd_una;
         self.dctcp_account(newly, ece, ack);
         if ece {
             self.maybe_ecn_react(ack);
@@ -451,25 +471,25 @@ impl Sender {
             if ack >= self.recover {
                 // Full ACK: leave fast recovery.
                 self.in_recovery = false;
-                self.cwnd = self.ssthresh;
-                self.dupacks = 0;
-                self.snd_una = ack;
+                self.cong.cwnd = self.cong.ssthresh;
+                self.cong.dupacks = 0;
+                self.cong.snd_una = ack;
             } else {
                 // Partial ACK: retransmit the next hole (SACK skips ranges
                 // the receiver already holds), deflate (NewReno).
-                self.snd_una = ack;
+                self.cong.snd_una = ack;
                 self.retx_point = self.retx_point.max(ack);
-                self.cwnd = (self.cwnd - newly as f64 + self.mss_f()).max(self.mss_f());
+                self.cong.cwnd = (self.cong.cwnd - newly as f64 + self.mss_f()).max(self.mss_f());
                 let _ = self.retransmit_next_hole(now);
             }
         } else {
-            self.dupacks = 0;
-            self.snd_una = ack;
+            self.cong.dupacks = 0;
+            self.cong.snd_una = ack;
             // Window growth.
-            if self.cwnd < self.ssthresh {
-                self.cwnd += self.mss_f().min(newly as f64);
+            if self.cong.cwnd < self.cong.ssthresh {
+                self.cong.cwnd += self.mss_f().min(newly as f64);
             } else {
-                self.cwnd += self.mss_f() * self.mss_f() / self.cwnd;
+                self.cong.cwnd += self.mss_f() * self.mss_f() / self.cong.cwnd;
             }
         }
         // Restart or disarm the retransmission timer.
@@ -479,7 +499,7 @@ impl Sender {
             self.rto_deadline = None;
         }
         // Completion check: all data bytes acknowledged.
-        if self.snd_una > self.total {
+        if self.cong.snd_una > self.total {
             self.set_state(State::Complete, now);
             self.rto_deadline = None;
             if self.completed_at.is_none() {
@@ -493,31 +513,31 @@ impl Sender {
             return;
         }
         if ece {
-            self.maybe_ecn_react(self.snd_una);
+            self.maybe_ecn_react(self.cong.snd_una);
         }
         if self.in_recovery {
             // Inflate: each dup signals a departed segment.
-            self.cwnd += self.mss_f();
+            self.cong.cwnd += self.mss_f();
             if self.cfg.sack && !self.sacked.is_empty() && self.retransmit_next_hole(now) {
                 // SACK fast recovery: the freed slot was spent repairing a
                 // hole, so take the inflation back — exactly one packet
                 // enters the network per dupack, as in classic recovery.
-                self.cwnd -= self.mss_f();
+                self.cong.cwnd -= self.mss_f();
             }
             return;
         }
-        self.dupacks += 1;
-        if self.dupacks < 3 {
+        self.cong.dupacks += 1;
+        if self.cong.dupacks < 3 {
             // Limited transmit (RFC 3042): send one previously unsent segment
             // per early dupack so the ACK clock keeps running and fast
             // retransmit can trigger even with small windows.
             self.limited_transmit(now);
             return;
         }
-        if self.dupacks == 3 {
+        if self.cong.dupacks == 3 {
             if self.cfg.sack
                 && self.stats.fast_retransmits > 0
-                && self.snd_una <= self.recover
+                && self.cong.snd_una <= self.recover
                 && self.sacked.is_empty()
             {
                 // RFC 6582-style "avoid multiple fast retransmits": with an
@@ -529,11 +549,11 @@ impl Sender {
             }
             // Fast retransmit + fast recovery (NewReno; SACK-aware hole
             // selection when the scoreboard has data).
-            self.ssthresh = (self.flight() as f64 / 2.0).max(2.0 * self.mss_f());
-            self.cwnd = self.ssthresh + 3.0 * self.mss_f();
+            self.cong.ssthresh = (self.flight() as f64 / 2.0).max(2.0 * self.mss_f());
+            self.cong.cwnd = self.cong.ssthresh + 3.0 * self.mss_f();
             self.in_recovery = true;
             self.recover = self.snd_nxt;
-            self.retx_point = self.snd_una;
+            self.retx_point = self.cong.snd_una;
             self.stats.fast_retransmits += 1;
             let _ = self.retransmit_next_hole(now);
         }
@@ -565,11 +585,11 @@ impl Sender {
     fn retransmit_next_hole(&mut self, now: SimTime) -> bool {
         let seq = if self.cfg.sack {
             self.sacked
-                .first_uncovered(self.retx_point.max(self.snd_una).max(1))
+                .first_uncovered(self.retx_point.max(self.cong.snd_una).max(1))
         } else {
-            self.snd_una.max(1)
+            self.cong.snd_una.max(1)
         };
-        if seq > self.total || seq >= self.recover.max(self.snd_una + 1) {
+        if seq > self.total || seq >= self.recover.max(self.cong.snd_una + 1) {
             return false;
         }
         if self.cfg.sack && !self.sacked.is_empty() {
@@ -577,7 +597,7 @@ impl Sender {
             // highest SACKed byte can be declared lost; everything above it
             // is merely in flight and must not be retransmitted.
             let highest = self.sacked.max_covered().unwrap_or(0);
-            if seq >= highest && seq != self.snd_una {
+            if seq >= highest && seq != self.cong.snd_una {
                 return false;
             }
         }
@@ -652,7 +672,7 @@ impl Sender {
                 };
                 if self.trace.is_enabled() {
                     let mut ev = self.sender_ev(EventKind::RtoFired, now);
-                    ev.a = self.snd_una;
+                    ev.a = self.cong.snd_una;
                     ev.b = self.snd_nxt;
                     self.trace.emit(ev);
                     self.trace.emit(netpacket::packet_event(
@@ -677,16 +697,16 @@ impl Sender {
                 self.stats.timeouts += 1;
                 if self.trace.is_enabled() {
                     let mut ev = self.sender_ev(EventKind::RtoFired, now);
-                    ev.a = self.snd_una;
+                    ev.a = self.cong.snd_una;
                     ev.b = self.snd_nxt;
                     self.trace.emit(ev);
                 }
-                self.ssthresh = (self.flight() as f64 / 2.0).max(2.0 * self.mss_f());
-                self.cwnd = self.mss_f();
+                self.cong.ssthresh = (self.flight() as f64 / 2.0).max(2.0 * self.mss_f());
+                self.cong.cwnd = self.mss_f();
                 self.in_recovery = false;
-                self.dupacks = 0;
-                self.retx_point = self.snd_una;
-                self.snd_nxt = self.snd_una.max(1);
+                self.cong.dupacks = 0;
+                self.retx_point = self.cong.snd_una;
+                self.snd_nxt = self.cong.snd_una.max(1);
                 self.rtt.back_off();
                 self.rtt_sample = None;
                 self.rto_deadline = Some(now + self.rtt.rto());
@@ -710,7 +730,7 @@ impl TcpAgent for Sender {
                 if pkt.is_syn_ack() && pkt.ack >= 1 {
                     // ECN is on only if we asked AND the peer echoed ECE.
                     self.ecn_on = self.cfg.ecn.uses_ecn() && pkt.flags.contains(TcpFlags::ECE);
-                    self.snd_una = 1;
+                    self.cong.snd_una = 1;
                     self.set_state(State::Established, now);
                     self.rto_deadline = None;
                     self.send_handshake_ack(now);
@@ -734,7 +754,7 @@ impl TcpAgent for Sender {
                 if self.cfg.sack {
                     for (bs, be) in pkt.sack.iter() {
                         // Clamp to what we actually sent; ignore stale blocks.
-                        let bs = bs.max(self.snd_una);
+                        let bs = bs.max(self.cong.snd_una);
                         let be = be.min(self.max_sent);
                         self.sacked.insert(bs, be);
                     }
@@ -746,10 +766,10 @@ impl TcpAgent for Sender {
                 if pkt.ack > self.max_sent {
                     return; // acks data we never sent; ignore
                 }
-                if pkt.ack > self.snd_una {
+                if pkt.ack > self.cong.snd_una {
                     self.on_new_ack(pkt.ack, ece, now);
                     self.try_send(now);
-                } else if pkt.ack == self.snd_una {
+                } else if pkt.ack == self.cong.snd_una {
                     self.on_dup_ack(ece, now);
                     self.try_send(now);
                 }
