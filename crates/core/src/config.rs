@@ -101,6 +101,37 @@ impl RedConfig {
         }
     }
 
+    /// The DCTCP mimic as commodity switches actually deploy it: the same
+    /// single threshold (`min_th == max_th == K`, mark everything above),
+    /// but measured on the switch's EWMA-averaged queue — vendors' RED
+    /// pipelines apply the averaging unconditionally, and the knob the DCTCP
+    /// paper's recipe needs (`w = 1`, instantaneous queue) does not exist on
+    /// real hardware. The lagging average smears the step into marking runs
+    /// that straddle round boundaries, which is precisely the sparse classic
+    /// signature a Prague sender's fall-back detector looks for; contrast
+    /// [`RedConfig::dctcp_mimic`] (the textbook recipe) and
+    /// [`crate::SimpleMarking`] (the true scheme).
+    pub fn dctcp_mimic_deployed(
+        target_delay: SimDuration,
+        line_rate_bps: u64,
+        mean_packet_bytes: u32,
+        capacity_packets: u64,
+        protection: ProtectionMode,
+    ) -> RedConfig {
+        RedConfig {
+            // Floyd-style averaging (same as [`RedConfig::classic`]): the
+            // EWMA is a property of the switch pipeline, not of the recipe.
+            ewma_weight: 0.002,
+            ..Self::dctcp_mimic(
+                target_delay,
+                line_rate_bps,
+                mean_packet_bytes,
+                capacity_packets,
+                protection,
+            )
+        }
+    }
+
     /// The threshold (in packets) corresponding to a target queuing delay.
     pub fn threshold_packets(
         target_delay: SimDuration,
@@ -282,6 +313,32 @@ mod tests {
         assert_eq!(c.ewma_weight, 1.0);
         assert_eq!(c.max_p, 1.0);
         c.validate();
+    }
+
+    #[test]
+    fn deployed_mimic_keeps_thresholds_but_averages_like_classic_red() {
+        let textbook = RedConfig::dctcp_mimic(
+            SimDuration::from_micros(500),
+            1_000_000_000,
+            1500,
+            100,
+            ProtectionMode::Default,
+        );
+        let deployed = RedConfig::dctcp_mimic_deployed(
+            SimDuration::from_micros(500),
+            1_000_000_000,
+            1500,
+            100,
+            ProtectionMode::Default,
+        );
+        // Same single threshold as the textbook recipe...
+        assert_eq!(deployed.min_th, textbook.min_th);
+        assert_eq!(deployed.max_th, textbook.max_th);
+        assert_eq!(deployed.max_p, 1.0);
+        // ...but on the switch pipeline's non-bypassable Floyd EWMA.
+        assert_eq!(deployed.ewma_weight, RedConfig::classic(100).ewma_weight);
+        assert!(deployed.ewma_weight < 1.0);
+        deployed.validate();
     }
 
     #[test]

@@ -1,11 +1,11 @@
 //! Benchmark regression gate: measure the standard point set, emit
-//! `BENCH_6.json`, compare against the committed baseline, exit nonzero on
+//! `BENCH_7.json`, compare against the committed baseline, exit nonzero on
 //! regression.
 //!
 //! Usage:
 //!   `bench_gate [--out PATH] [--baseline PATH] [--seed N]`
-//!       measure, write `--out` (default `BENCH_6.json`), compare against
-//!       `--baseline` (default `BENCH_6_baseline.json`); exit 1 on any
+//!       measure, write `--out` (default `BENCH_7.json`), compare against
+//!       `--baseline` (default `BENCH_7_baseline.json`); exit 1 on any
 //!       metric outside tolerance, 2 on IO/usage errors.
 //!   `bench_gate --write-baseline [--baseline PATH] [--seed N]`
 //!       measure and (re)write the baseline instead of comparing — run this
@@ -36,8 +36,8 @@ fn load_report(path: &Path) -> BenchReport {
 }
 
 fn main() {
-    let mut out = PathBuf::from("BENCH_6.json");
-    let mut baseline_path = PathBuf::from("BENCH_6_baseline.json");
+    let mut out = PathBuf::from("BENCH_7.json");
+    let mut baseline_path = PathBuf::from("BENCH_7_baseline.json");
     let mut compare_only: Option<PathBuf> = None;
     let mut write_baseline = false;
     let mut seed = 20170905u64;
@@ -115,6 +115,20 @@ fn main() {
         baseline.kernel.cancel_heavy.fast_events_per_sec / 1e6,
         current.kernel.cancel_heavy.speedup,
     );
+    let cc_line: Vec<String> = current
+        .cc
+        .controllers
+        .iter()
+        .map(|w| {
+            format!(
+                "{} {:.1}M ops/s ({:.2}x)",
+                w.controller,
+                w.ops_per_sec / 1e6,
+                w.vs_reno
+            )
+        })
+        .collect();
+    println!("cc on_ack: {}", cc_line.join(", "));
     println!(
         "pool: {} packets, {} pooled heap allocs (reference {}), {:.2}M inserts/s",
         current.pool.packets,

@@ -3,6 +3,7 @@
 //!
 //! Usage: `run_all [--tiny] [--fresh] [--seed N]`
 
+use experiments::cc_matrix::{cc_claims, check_cc_claims, render_cc_matrix, run_cc_matrix};
 use experiments::claims::{check_claims, claims, render_claims};
 use experiments::cli::sweep_from_args;
 use experiments::figures::{fig1, fig2, fig3, fig4, table1, table2};
@@ -46,12 +47,23 @@ fn main() {
         );
     }
 
-    // Headline claims. Any claim that fails its direction-of-effect gate
-    // makes the whole run exit nonzero so CI catches the regression.
+    // Controller x queue matrix (pinned deterministic point; only the seed
+    // flows through from the CLI).
+    eprintln!("[run_all] controller x queue matrix...");
+    let matrix = run_cc_matrix(&cfg);
+    println!("{}", render_cc_matrix(&matrix));
+    let _ = write_json(&matrix, Path::new("results/cc_matrix.json"));
+    let cc = cc_claims(&matrix);
+    let _ = write_json(&cc, Path::new("results/cc_claims.json"));
+
+    // Headline claims, both dimensions. Any claim that fails its
+    // direction-of-effect gate makes the whole run exit nonzero so CI
+    // catches the regression.
     let c = claims(&res);
     println!("{}", render_claims(&c));
     let _ = write_json(&c, Path::new("results/claims.json"));
-    let failures = check_claims(&c);
+    let mut failures = check_claims(&c);
+    failures.extend(check_cc_claims(&cc));
     if !failures.is_empty() {
         eprintln!("[run_all] {} claim check(s) FAILED:", failures.len());
         for f in &failures {

@@ -1,0 +1,341 @@
+//! The controller × queue-discipline matrix: every `simcc` congestion
+//! controller against the paper's protection-relevant queue disciplines, on
+//! shallow buffers, at one deterministic point.
+//!
+//! This is the controller-dimension companion to the main sweep: the paper's
+//! story (ACK early-drops starve the shuffle; protection or a true marking
+//! scheme fixes it) was told through Reno and DCTCP, and the matrix checks
+//! which parts survive a modern stack — CUBIC, BBR, and TCP Prague with its
+//! classic-ECN-AQM fallback detector (see [`check_cc_claims`]).
+
+use crate::scenario::{
+    run_scenario, BufferDepth, QueueKind, RunMetrics, ScenarioConfig, Transport,
+};
+use ecn_core::ProtectionMode;
+use serde::{Deserialize, Serialize};
+use simevent::SimDuration;
+use tcpstack::CcAlg;
+
+/// The queue disciplines each controller runs against. DropTail is the
+/// normalisation baseline; RED default/ack+syn is the pathology and its fix;
+/// the RED mimic (min=max=K, still EWMA-averaged and still early-dropping
+/// non-ECT) is the classic-ECN AQM a Prague sender must detect; simple
+/// marking is the paper's proposal and must *not* trip the detector.
+pub const CC_MATRIX_QUEUES: [QueueKind; 5] = [
+    QueueKind::DropTail,
+    QueueKind::Red(ProtectionMode::Default),
+    QueueKind::Red(ProtectionMode::AckSyn),
+    QueueKind::RedMimic(ProtectionMode::AckSyn),
+    QueueKind::SimpleMarking,
+];
+
+/// The matrix's single target delay. 500 µs sits in the middle of the
+/// sweep's band: tight enough that stock RED early-drops ACKs, loose enough
+/// that the protected configurations keep full throughput.
+pub fn cc_matrix_delay() -> SimDuration {
+    SimDuration::from_micros(500)
+}
+
+/// One cell of the matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CcPoint {
+    /// The congestion controller under test.
+    pub cc: CcAlg,
+    /// The switch discipline it ran against.
+    pub queue: QueueKind,
+    /// Averaged metrics for the cell.
+    pub metrics: RunMetrics,
+}
+
+/// The full matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CcMatrixResults {
+    /// Every controller × queue cell, controllers outermost, queues in
+    /// [`CC_MATRIX_QUEUES`] order.
+    pub points: Vec<CcPoint>,
+}
+
+impl CcMatrixResults {
+    /// Look up one cell.
+    pub fn cell(&self, cc: CcAlg, queue: QueueKind) -> Option<&RunMetrics> {
+        self.points
+            .iter()
+            .find(|p| p.cc == cc && p.queue == queue)
+            .map(|p| &p.metrics)
+    }
+}
+
+/// Run the matrix: every controller × every protection-relevant queue, on
+/// shallow buffers. The transport hint is classic ECN, so loss-based
+/// controllers (Reno, CUBIC, BBR) negotiate RFC 3168 ECN while the
+/// CE-fraction controllers (DCTCP, Prague) run their required DCTCP-style
+/// feedback — exactly what `--cc` does on the other bins.
+///
+/// The matrix deliberately pins its own scenario (the tiny shallow-buffer
+/// incast point) and takes only the seed from `cfg`: it is a claims gate,
+/// not a sweep, so the same deterministic point runs everywhere the gate
+/// runs. In particular, Prague's staleness test compares a marked packet's
+/// RTT against the connection's clean-sample floor, which is sound while
+/// congestion is forward-path; at full all-to-all scale the *reverse* path
+/// (the ACK stream) queues too, inflating the clean floor and confounding
+/// any RTT-only staleness inference (see DESIGN.md §13). Full-scale
+/// controller behaviour stays explorable via `--cc` on the other bins; it
+/// is not a gated claim.
+pub fn run_cc_matrix(cfg: &ScenarioConfig) -> CcMatrixResults {
+    let mut points = Vec::with_capacity(CcAlg::ALL.len() * CC_MATRIX_QUEUES.len());
+    for &cc in &CcAlg::ALL {
+        let mut c = ScenarioConfig::tiny();
+        c.seed = cfg.seed;
+        c.cc = Some(cc);
+        // The matrix gates direction-of-effect ratios on single cells, so
+        // average several repetitions per cell — one RTO-tail event at toy
+        // scale can otherwise swamp a cell.
+        c.seed_count = 3;
+        for &queue in &CC_MATRIX_QUEUES {
+            let metrics = run_scenario(
+                &c,
+                Transport::TcpEcn,
+                queue,
+                BufferDepth::Shallow,
+                cc_matrix_delay(),
+            );
+            points.push(CcPoint { cc, queue, metrics });
+        }
+    }
+    CcMatrixResults { points }
+}
+
+/// Controller-dimension headline numbers, distilled from the matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CcClaimsReport {
+    /// CUBIC goodput under RED\[ack+syn\] relative to CUBIC under stock
+    /// RED\[default\] — the protection rescue, same controller, same AQM
+    /// family (expected well above 1: stock RED early-drops the ACK clock).
+    pub cubic_protection_rescue: f64,
+    /// CUBIC goodput under RED\[ack+syn\], normalised to CUBIC on DropTail —
+    /// protection must rescue the incast goodput (expected ≥ 1).
+    pub cubic_ack_syn_vs_droptail: f64,
+    /// BBR goodput under RED\[ack+syn\] vs BBR on DropTail — the fix must
+    /// generalise to a rate-based controller too.
+    pub bbr_ack_syn_vs_droptail: f64,
+    /// Classic-ECN-AQM fallback episodes Prague detected against the RED
+    /// mimic (a classic AQM wearing a step-marking costume; expected > 0).
+    pub prague_fallbacks_red_mimic: u64,
+    /// Fallback episodes against the true simple marking scheme (a genuine
+    /// step AQM; the detector must stay silent, expected 0).
+    pub prague_fallbacks_simple_marking: u64,
+}
+
+fn norm(results: &CcMatrixResults, cc: CcAlg, queue: QueueKind) -> f64 {
+    let num = results.cell(cc, queue);
+    let den = results.cell(cc, QueueKind::DropTail);
+    match (num, den) {
+        (Some(n), Some(d)) if d.throughput_per_node_bps > 0.0 => {
+            n.throughput_per_node_bps / d.throughput_per_node_bps
+        }
+        _ => f64::NAN,
+    }
+}
+
+/// Distill the matrix into the gated controller-dimension claims.
+pub fn cc_claims(results: &CcMatrixResults) -> CcClaimsReport {
+    let fallbacks = |queue| {
+        results
+            .cell(CcAlg::Prague, queue)
+            .map_or(u64::MAX, |m| m.cc_fallbacks)
+    };
+    let rescue = {
+        let protected = results.cell(CcAlg::Cubic, QueueKind::Red(ProtectionMode::AckSyn));
+        let stock = results.cell(CcAlg::Cubic, QueueKind::Red(ProtectionMode::Default));
+        match (protected, stock) {
+            (Some(p), Some(s)) if s.throughput_per_node_bps > 0.0 => {
+                p.throughput_per_node_bps / s.throughput_per_node_bps
+            }
+            _ => f64::NAN,
+        }
+    };
+    CcClaimsReport {
+        cubic_protection_rescue: rescue,
+        cubic_ack_syn_vs_droptail: norm(
+            results,
+            CcAlg::Cubic,
+            QueueKind::Red(ProtectionMode::AckSyn),
+        ),
+        bbr_ack_syn_vs_droptail: norm(results, CcAlg::Bbr, QueueKind::Red(ProtectionMode::AckSyn)),
+        prague_fallbacks_red_mimic: fallbacks(QueueKind::RedMimic(ProtectionMode::AckSyn)),
+        prague_fallbacks_simple_marking: fallbacks(QueueKind::SimpleMarking),
+    }
+}
+
+/// Direction-of-effect gates on the controller dimension, same philosophy as
+/// [`crate::claims::check_claims`]: deliberately loose thresholds on the
+/// pinned matrix point that catch a regression that erases the pathology,
+/// breaks the fix, or mistunes the Prague detector. Returns one description
+/// per failed gate; empty means the controller claims reproduced.
+pub fn check_cc_claims(c: &CcClaimsReport) -> Vec<String> {
+    let mut failures = Vec::new();
+    let mut gate = |desc: &str, value: f64, pass: bool| {
+        if !value.is_finite() || !pass {
+            failures.push(format!("{desc} (measured {value:.3})"));
+        }
+    };
+    gate(
+        "ack+syn protection must rescue CUBIC goodput vs stock RED: expected > 1.2x",
+        c.cubic_protection_rescue,
+        c.cubic_protection_rescue > 1.2,
+    );
+    gate(
+        "ack+syn protection must hold CUBIC goodput: expected > 0.9 of droptail",
+        c.cubic_ack_syn_vs_droptail,
+        c.cubic_ack_syn_vs_droptail > 0.9,
+    );
+    gate(
+        "ack+syn protection must hold BBR goodput: expected > 0.8 of droptail",
+        c.bbr_ack_syn_vs_droptail,
+        c.bbr_ack_syn_vs_droptail > 0.8,
+    );
+    gate(
+        "Prague must detect the classic AQM behind the RED mimic: expected > 0 episodes",
+        c.prague_fallbacks_red_mimic as f64,
+        c.prague_fallbacks_red_mimic >= 1 && c.prague_fallbacks_red_mimic != u64::MAX,
+    );
+    gate(
+        "Prague must stay scalable on true simple marking: expected 0 episodes",
+        c.prague_fallbacks_simple_marking as f64,
+        c.prague_fallbacks_simple_marking == 0,
+    );
+    failures
+}
+
+/// Render the matrix and the claims, throughput normalised per controller to
+/// its own DropTail cell.
+pub fn render_cc_matrix(results: &CcMatrixResults) -> String {
+    let mut s = String::new();
+    s.push_str("== Controller × queue matrix (shallow, 500 µs target) ==\n");
+    s.push_str(&format!(
+        "{:<8} {:<18} {:>10} {:>11} {:>9} {:>10} {:>9}\n",
+        "cc", "queue", "tput/base", "latency-us", "ack-drop", "timeouts", "fallback"
+    ));
+    for p in &results.points {
+        let base = norm(results, p.cc, p.queue);
+        s.push_str(&format!(
+            "{:<8} {:<18} {:>10.3} {:>11.1} {:>9} {:>10} {:>9}\n",
+            p.cc.label(),
+            p.queue.label(),
+            base,
+            p.metrics.mean_latency_s * 1e6,
+            p.metrics.acks_early_dropped,
+            p.metrics.timeouts,
+            p.metrics.cc_fallbacks,
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(tput: f64, fallbacks: u64) -> RunMetrics {
+        RunMetrics {
+            runtime_s: 1.0,
+            throughput_per_node_bps: tput,
+            mean_latency_s: 1.0,
+            p99_latency_s: 2.0,
+            acks_early_dropped: 0,
+            handshake_early_dropped: 0,
+            data_marked: 0,
+            full_drops: 0,
+            timeouts: 0,
+            fast_retransmits: 0,
+            syn_retransmits: 0,
+            cc_fallbacks: fallbacks,
+            completed: true,
+        }
+    }
+
+    fn healthy_matrix() -> CcMatrixResults {
+        let mut points = Vec::new();
+        for &cc in &CcAlg::ALL {
+            for &queue in &CC_MATRIX_QUEUES {
+                let tput = match queue {
+                    QueueKind::Red(ProtectionMode::Default) => 70.0,
+                    _ => 100.0,
+                };
+                let fb = match (cc, queue) {
+                    (CcAlg::Prague, QueueKind::RedMimic(_)) => 2,
+                    (CcAlg::Prague, QueueKind::Red(_)) => 1,
+                    _ => 0,
+                };
+                points.push(CcPoint {
+                    cc,
+                    queue,
+                    metrics: metrics(tput, fb),
+                });
+            }
+        }
+        CcMatrixResults { points }
+    }
+
+    #[test]
+    fn healthy_matrix_passes_every_gate() {
+        let c = cc_claims(&healthy_matrix());
+        assert!((c.cubic_protection_rescue - 100.0 / 70.0).abs() < 1e-9);
+        assert!((c.cubic_ack_syn_vs_droptail - 1.0).abs() < 1e-9);
+        assert_eq!(c.prague_fallbacks_red_mimic, 2);
+        assert_eq!(c.prague_fallbacks_simple_marking, 0);
+        assert!(check_cc_claims(&c).is_empty());
+    }
+
+    #[test]
+    fn erased_pathology_fails_the_cubic_gate() {
+        let mut m = healthy_matrix();
+        for p in &mut m.points {
+            p.metrics.throughput_per_node_bps = 100.0;
+        }
+        let failures = check_cc_claims(&cc_claims(&m));
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("CUBIC"), "{failures:?}");
+    }
+
+    #[test]
+    fn silent_detector_fails_the_prague_gate() {
+        let mut m = healthy_matrix();
+        for p in &mut m.points {
+            p.metrics.cc_fallbacks = 0;
+        }
+        let failures = check_cc_claims(&cc_claims(&m));
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("RED mimic"), "{failures:?}");
+    }
+
+    #[test]
+    fn trigger_happy_detector_fails_the_marking_gate() {
+        let mut m = healthy_matrix();
+        for p in &mut m.points {
+            if p.cc == CcAlg::Prague {
+                p.metrics.cc_fallbacks = 3;
+            }
+        }
+        let failures = check_cc_claims(&cc_claims(&m));
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("simple marking"), "{failures:?}");
+    }
+
+    #[test]
+    fn missing_cell_always_fails() {
+        let mut m = healthy_matrix();
+        m.points.retain(|p| p.cc != CcAlg::Prague);
+        let failures = check_cc_claims(&cc_claims(&m));
+        assert_eq!(failures.len(), 2, "{failures:?}");
+    }
+
+    #[test]
+    fn render_includes_every_controller() {
+        let s = render_cc_matrix(&healthy_matrix());
+        for cc in CcAlg::ALL {
+            assert!(s.contains(cc.label()), "{s}");
+        }
+        assert!(s.contains("red-mimic[ack+syn]"));
+    }
+}

@@ -228,6 +228,7 @@ mod tests {
             timeouts: 0,
             fast_retransmits: 0,
             syn_retransmits: 0,
+            cc_fallbacks: 0,
             completed: true,
         }
     }

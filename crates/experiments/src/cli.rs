@@ -32,6 +32,9 @@ pub struct CliArgs {
     /// `--trace-filter flow=N | kind=NAME`: restrict the trace to one flow
     /// or one packet kind. Only meaningful together with `--trace`.
     pub trace_filter: TraceFilter,
+    /// `--cc reno|dctcp|cubic|bbr|prague`: override every flow's congestion
+    /// controller. `None` keeps each transport's native pairing.
+    pub cc: Option<tcpstack::CcAlg>,
 }
 
 impl CliArgs {
@@ -61,6 +64,10 @@ impl CliArgs {
                     Some(spec) => out.trace_filter = parse_filter_or_die(&spec),
                     None => die("--trace-filter needs flow=N or kind=NAME"),
                 },
+                "--cc" => match it.next() {
+                    Some(v) => out.cc = Some(parse_cc_or_die(&v)),
+                    None => die("--cc needs one of reno dctcp cubic bbr prague"),
+                },
                 other => {
                     if let Some(v) = other.strip_prefix("--seed=") {
                         match v.parse::<u64>() {
@@ -76,10 +83,13 @@ impl CliArgs {
                         out.trace = Some(PathBuf::from(v));
                     } else if let Some(v) = other.strip_prefix("--trace-filter=") {
                         out.trace_filter = parse_filter_or_die(v);
+                    } else if let Some(v) = other.strip_prefix("--cc=") {
+                        out.cc = Some(parse_cc_or_die(v));
                     } else {
                         die(&format!(
                             "unknown argument {other}; supported: --tiny --fresh --seed N \
-                             --jobs N --no-cache --trace PATH --trace-filter flow=N|kind=NAME"
+                             --jobs N --no-cache --cc ALG --trace PATH \
+                             --trace-filter flow=N|kind=NAME"
                         ))
                     }
                 }
@@ -99,6 +109,7 @@ impl CliArgs {
         if let Some(s) = self.seed {
             cfg.seed = s;
         }
+        cfg.cc = self.cc;
         cfg
     }
 
@@ -151,6 +162,15 @@ fn parse_filter_or_die(spec: &str) -> TraceFilter {
     match parse_trace_filter(spec) {
         Ok(f) => f,
         Err(msg) => die(&msg),
+    }
+}
+
+fn parse_cc_or_die(v: &str) -> tcpstack::CcAlg {
+    match tcpstack::CcAlg::parse(v) {
+        Some(alg) => alg,
+        None => die(&format!(
+            "unknown congestion controller {v:?}; one of reno dctcp cubic bbr prague"
+        )),
     }
 }
 

@@ -1,17 +1,22 @@
 //! The benchmark regression gate behind the `bench_gate` bin.
 //!
 //! `bench_gate` runs a fixed "standard point set" (kernel microbenchmarks
-//! plus the Fig. 2 shallow sweep at gate scale), emits `BENCH_6.json`, and
-//! compares it against a committed baseline (`BENCH_6_baseline.json`) with
+//! plus the Fig. 2 shallow sweep at gate scale), emits `BENCH_7.json`, and
+//! compares it against a committed baseline (`BENCH_7_baseline.json`) with
 //! per-metric tolerances — exiting nonzero on regression, so the repo's perf
 //! trajectory is *enforced*, not just recorded.
 //!
-//! `BENCH_6.json` is a netbench-style report covering every hot-path layer:
+//! `BENCH_7.json` is a netbench-style report covering every hot-path layer:
 //!
 //! * **kernel** — scheduler microbenchmarks. `churn` pits the calendar queue
 //!   against the reference binary heap on a hold-and-churn workload;
 //!   `cancel_heavy` pits the hybrid (timer-wheel) backend against the heap
 //!   on a cancel-and-rearm workload, the RTO pattern the wheel was built for.
+//! * **cc** — congestion-controller `on_ack` hot-path microbenchmark: every
+//!   `simcc` controller driven through the sender's per-ACK hook sequence,
+//!   gated on its throughput ratio against Reno sampled interleaved, so a
+//!   controller that grows an allocation or a quadratic scan on the ACK
+//!   path trips the gate.
 //! * **pool** — packet-arena allocation accounting on one fig2-shallow DCTCP
 //!   point: pool inserts, heap allocations (slab spill in pooled mode, one
 //!   Box per packet in reference mode), inserts per wall-second.
@@ -40,6 +45,7 @@ use crate::simsweep::{CacheMode, SweepOptions};
 use crate::sweep::SweepGrid;
 use ecn_core::ProtectionMode;
 use serde::{Deserialize, Serialize};
+use simcc::{Cc, CcAlg, CcParams, CongestionController};
 use simevent::{CalendarQueue, EventQueue, HybridQueue, QueueBackend, SimDuration, SimTime};
 use std::time::Instant;
 
@@ -66,6 +72,28 @@ pub struct KernelSection {
     pub churn: KernelWorkload,
     /// Cancel-and-rearm timer workload (hybrid timer-wheel fast path).
     pub cancel_heavy: KernelWorkload,
+}
+
+/// One congestion controller's `on_ack` hot-path measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CcWorkload {
+    /// Controller label (`reno`, `dctcp`, `cubic`, `bbr`, `prague`).
+    pub controller: String,
+    /// ACK hook sequences per wall-second (median of interleaved samples).
+    pub ops_per_sec: f64,
+    /// This controller's throughput relative to Reno's from the same
+    /// interleaved sampling pass — the gated metric (load noise cancels in
+    /// the ratio the way it does for the kernel speedups).
+    pub vs_reno: f64,
+}
+
+/// The congestion-controller microbenchmark section.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CcSection {
+    /// ACK hook sequences executed per sample per controller.
+    pub ops: u64,
+    /// One line per `simcc` controller, in `CcAlg::ALL` order.
+    pub controllers: Vec<CcWorkload>,
 }
 
 /// Packet-arena allocation accounting on the measured DCTCP point.
@@ -165,13 +193,15 @@ pub struct SweepSection {
     pub fast_peak_pending: u64,
 }
 
-/// The whole report — the `BENCH_6.json` schema.
+/// The whole report — the `BENCH_7.json` schema.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BenchReport {
     /// What this report measures.
     pub description: String,
     /// Kernel microbenchmarks.
     pub kernel: KernelSection,
+    /// Congestion-controller `on_ack` microbenchmarks.
+    pub cc: CcSection,
     /// Hot-host end-to-end engine comparison.
     pub end_to_end: EndToEndSection,
     /// Packet-arena allocation accounting.
@@ -257,6 +287,31 @@ pub fn compare(current: &BenchReport, baseline: &BenchReport, tol: &Tolerance) -
         current.kernel.cancel_heavy.speedup,
         baseline.kernel.cancel_heavy.speedup,
     );
+    // Controller on_ack cost, gated as the interleaved vs-Reno ratio for the
+    // same noise-cancellation reason — but with the looser wall-clock slack:
+    // a 1M-op arithmetic loop is short enough that the measured ratio still
+    // swings several percent run to run (observed ~8% on CUBIC's cbrt-heavy
+    // path), and the regressions this line exists to catch — an allocation
+    // or a scan growing onto the per-ACK path — cost integer factors, not
+    // percents. A controller missing from the current report fails its
+    // baseline line outright (NaN never passes).
+    for base_cc in &baseline.cc.controllers {
+        let cur = current
+            .cc
+            .controllers
+            .iter()
+            .find(|c| c.controller == base_cc.controller)
+            .map_or(f64::NAN, |c| c.vs_reno);
+        let limit = base_cc.vs_reno * (1.0 - tol.wall_clock_frac);
+        if !cur.is_finite() || !limit.is_finite() || cur < limit {
+            v.push(Violation {
+                metric: format!("cc.{}.vs_reno", base_cc.controller),
+                baseline: base_cc.vs_reno,
+                current: cur,
+                limit,
+            });
+        }
+    }
     // The end-to-end speedup divides two *sequential* wall-clock runs, so
     // load noise does not cancel the way it does for the interleaved kernel
     // samples — gate it with the loose wall-clock tolerance instead.
@@ -371,6 +426,64 @@ fn gate_calendar(pending: usize) -> CalendarQueue<u64> {
 }
 
 const GATE_KERNEL_SAMPLES: usize = 3;
+
+/// ACK hook sequences per controller per sample in the cc microbench.
+const GATE_CC_OPS: u64 = 1_000_000;
+
+/// Drive one controller through the sender's per-ACK hook sequence
+/// `GATE_CC_OPS` times: `on_ack` + `on_ce_feedback` on every ACK (the hooks
+/// the sender calls unconditionally), an RTT sample and a guarded ECN
+/// reduction once per ~window. Deterministic — no RNG, fixed CE cadence.
+fn cc_on_ack(alg: CcAlg) -> f64 {
+    let p = CcParams {
+        mss: 1448.0,
+        init_cwnd: 10.0 * 1448.0,
+        init_ssthresh: (1u64 << 20) as f64,
+        dctcp_g: 1.0 / 16.0,
+    };
+    let mut cc = Cc::new(alg, &p);
+    let mut now = 0u64;
+    let mut ack = 0u64;
+    let start = Instant::now();
+    for i in 0..GATE_CC_OPS {
+        now += 12_000;
+        ack += 1448;
+        cc.on_ack(&p, 1448, now);
+        cc.on_ce_feedback(&p, 1448, i % 97 == 0, ack, ack + 64 * 1448);
+        if i % 64 == 63 {
+            cc.on_rtt_sample(&p, 200_000 + (i % 7) * 10_000, now, false);
+            cc.on_ece(&p);
+        }
+    }
+    std::hint::black_box(cc.cwnd());
+    GATE_CC_OPS as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Measure every controller's ACK-path throughput, sampling the controllers
+/// round-robin so machine-load noise hits all of them alike, and reduce to
+/// per-controller medians plus vs-Reno ratios.
+fn cc_section() -> CcSection {
+    let mut runs: Vec<Vec<f64>> = vec![Vec::new(); CcAlg::ALL.len()];
+    for _ in 0..GATE_KERNEL_SAMPLES {
+        for (i, &alg) in CcAlg::ALL.iter().enumerate() {
+            runs[i].push(cc_on_ack(alg));
+        }
+    }
+    let medians: Vec<f64> = runs.into_iter().map(median).collect();
+    let reno = medians[0];
+    CcSection {
+        ops: GATE_CC_OPS,
+        controllers: CcAlg::ALL
+            .iter()
+            .zip(&medians)
+            .map(|(alg, &m)| CcWorkload {
+                controller: alg.label().to_string(),
+                ops_per_sec: m,
+                vs_reno: m / reno,
+            })
+            .collect(),
+    }
+}
 
 fn median(mut v: Vec<f64>) -> f64 {
     v.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
@@ -527,6 +640,17 @@ pub fn measure(seed: u64) -> BenchReport {
         cancel_w.speedup,
     );
 
+    eprintln!("[bench_gate] congestion-controller on_ack microbench...");
+    let cc = cc_section();
+    for w in &cc.controllers {
+        eprintln!(
+            "  {:<8} {:.2}M ops/s ({:.2}x vs reno)",
+            w.controller,
+            w.ops_per_sec / 1e6,
+            w.vs_reno,
+        );
+    }
+
     eprintln!("[bench_gate] hot-host DCTCP point, pooled fast engine...");
     let (fast_pt_s, fast_pt_m, fast_pt_rep, fast_pool) = dctcp_point(seed, Engine::Fast);
     eprintln!(
@@ -562,18 +686,20 @@ pub fn measure(seed: u64) -> BenchReport {
     let packets = fast_pool.inserts;
     BenchReport {
         description: "Hot-path netbench gate: scheduler kernel microbenchmarks (calendar churn, \
-                      timer-wheel cancel-heavy) vs the reference binary heap; a hot-host DCTCP \
-                      point run end to end on both engines with packet-arena allocation \
-                      accounting and events-per-packet; and the Fig. 2 shallow standard point \
-                      set run serially on the reference engine (seed allocation model + heap \
-                      scheduler), serially on the fast engine, and on one worker per core. \
-                      outputs_identical asserts serial == parallel AND fast == reference \
-                      metrics on every point."
+                      timer-wheel cancel-heavy) vs the reference binary heap; per-controller \
+                      simcc on_ack hot-path microbenchmarks gated on the vs-Reno ratio; a \
+                      hot-host DCTCP point run end to end on both engines with packet-arena \
+                      allocation accounting and events-per-packet; and the Fig. 2 shallow \
+                      standard point set run serially on the reference engine (seed allocation \
+                      model + heap scheduler), serially on the fast engine, and on one worker \
+                      per core. outputs_identical asserts serial == parallel AND fast == \
+                      reference metrics on every point."
             .to_string(),
         kernel: KernelSection {
             churn: churn_w,
             cancel_heavy: cancel_w,
         },
+        cc,
         end_to_end: EndToEndSection {
             hosts: hot_host_config(seed).hosts() as u64,
             fast_seconds: fast_pt_s,
@@ -640,6 +766,17 @@ mod tests {
                     fast_events_per_sec: 2.8e6,
                     speedup: 3.5,
                 },
+            },
+            cc: CcSection {
+                ops: 1000,
+                controllers: CcAlg::ALL
+                    .iter()
+                    .map(|alg| CcWorkload {
+                        controller: alg.label().to_string(),
+                        ops_per_sec: 50.0e6,
+                        vs_reno: 1.0,
+                    })
+                    .collect(),
             },
             end_to_end: EndToEndSection {
                 hosts: 32,
@@ -746,6 +883,27 @@ mod tests {
     }
 
     #[test]
+    fn controller_ack_path_regression_fails() {
+        let base = report();
+        let mut cur = report();
+        // Prague's on_ack grows 30% slower relative to Reno: outside the
+        // 25% cc ratio tolerance.
+        cur.cc.controllers.last_mut().unwrap().vs_reno = 0.7;
+        let v = compare(&cur, &base, &Tolerance::default());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].metric, "cc.prague.vs_reno");
+    }
+
+    #[test]
+    fn missing_controller_fails_its_baseline_line() {
+        let base = report();
+        let mut cur = report();
+        cur.cc.controllers.retain(|c| c.controller != "bbr");
+        let v = compare(&cur, &base, &Tolerance::default());
+        assert!(v.iter().any(|x| x.metric == "cc.bbr.vs_reno"), "{v:?}");
+    }
+
+    #[test]
     fn divergent_outputs_fail_unconditionally() {
         let base = report();
         let mut cur = report();
@@ -762,8 +920,10 @@ mod tests {
         let json = serde_json::to_string_pretty(&r).unwrap();
         let back: BenchReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, r);
-        // Schema check: the BENCH_6.json top-level keys.
+        // Schema check: the BENCH_7.json top-level keys.
         assert!(json.contains("\"kernel\""));
+        assert!(json.contains("\"cc\""));
+        assert!(json.contains("\"vs_reno\""));
         assert!(json.contains("\"pool\""));
         assert!(json.contains("\"link\""));
         assert!(json.contains("\"sweep_fig2_shallow\""));

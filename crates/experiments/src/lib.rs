@@ -18,6 +18,7 @@
 //! JSON. The [`gate`] module holds the benchmark regression gate
 //! (`bench_gate` bin, `BENCH_5.json`) that CI enforces.
 
+pub mod cc_matrix;
 pub mod claims;
 pub mod cli;
 pub mod figures;

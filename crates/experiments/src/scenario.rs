@@ -6,7 +6,7 @@ use netpacket::PacketKind;
 use netsim::{ClusterSpec, LinkSpec, Network, Simulation};
 use serde::{Deserialize, Serialize};
 use simevent::{SimDuration, SimTime};
-use tcpstack::{EcnMode, TcpConfig};
+use tcpstack::{CcAlg, EcnMode, TcpConfig};
 
 /// Which transport the cluster's flows run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -45,6 +45,13 @@ pub enum QueueKind {
     DropTail,
     /// RED with ECN and the given non-ECT protection mode.
     Red(ProtectionMode),
+    /// RED configured to *mimic* a step marking scheme the way commodity
+    /// switches actually run it (`min_th = max_th = K` per the DCTCP paper's
+    /// recommendation, §II, but on the switch's non-bypassable EWMA-averaged
+    /// queue) — still a classic RED: the lagging average smears the step
+    /// into sparse marking runs, and non-ECT packets crossing the threshold
+    /// are early-dropped.
+    RedMimic(ProtectionMode),
     /// The paper's true simple marking scheme.
     SimpleMarking,
     /// CoDel with ECN and the given protection mode (extension: shows the
@@ -58,6 +65,7 @@ impl QueueKind {
         match self {
             QueueKind::DropTail => "droptail".into(),
             QueueKind::Red(m) => format!("red[{}]", m.label()),
+            QueueKind::RedMimic(m) => format!("red-mimic[{}]", m.label()),
             QueueKind::SimpleMarking => "simple-marking".into(),
             QueueKind::CoDel(m) => format!("codel[{}]", m.label()),
         }
@@ -110,6 +118,13 @@ pub struct ScenarioConfig {
     /// Max deterministic stagger of map-task completions / shuffle starts
     /// (models real Hadoop task skew; decorrelates incast bursts).
     pub shuffle_jitter: SimDuration,
+    /// Congestion-control override (`--cc`). `None` keeps the transport's
+    /// native pairing (DCTCP feedback → DCTCP controller, otherwise NewReno
+    /// — exactly the pre-`simcc` behaviour). `Some(alg)` runs `alg` with the
+    /// ECN mode it requires, keeping the transport's mode as the hint (see
+    /// [`TcpConfig::with_cc`]). Part of the sweep cache key: adding the
+    /// field re-keys every cached point.
+    pub cc: Option<CcAlg>,
     /// Base RNG seed.
     pub seed: u64,
     /// Independent repetitions per point (different seeds); reported metrics
@@ -132,6 +147,7 @@ impl Default for ScenarioConfig {
             map_waves: 4,
             mean_packet_bytes: 1526,
             shuffle_jitter: SimDuration::from_millis(10),
+            cc: None,
             seed: 20170905, // CLUSTER 2017 conference date
             seed_count: 3,
             time_limit: SimTime::from_secs(600),
@@ -179,6 +195,13 @@ impl ScenarioConfig {
                 capacity_packets: cap,
             },
             QueueKind::Red(mode) => QdiscSpec::Red(RedConfig::from_target_delay(
+                target_delay,
+                self.host_link.rate_bps,
+                self.mean_packet_bytes,
+                cap,
+                mode,
+            )),
+            QueueKind::RedMimic(mode) => QdiscSpec::Red(RedConfig::dctcp_mimic_deployed(
                 target_delay,
                 self.host_link.rate_bps,
                 self.mean_packet_bytes,
@@ -248,6 +271,9 @@ pub struct RunMetrics {
     pub fast_retransmits: u64,
     /// SYN retransmissions.
     pub syn_retransmits: u64,
+    /// Classic-ECN-AQM fallback episodes detected by the congestion
+    /// controllers (Prague only; 0 for every other controller).
+    pub cc_fallbacks: u64,
     /// Whether the job actually finished inside the time limit.
     pub completed: bool,
 }
@@ -288,6 +314,11 @@ fn average_metrics(runs: &[RunMetrics]) -> RunMetrics {
         timeouts: umean(|m| m.timeouts),
         fast_retransmits: umean(|m| m.fast_retransmits),
         syn_retransmits: umean(|m| m.syn_retransmits),
+        // Max, not mean: this is a detection gate, not a load metric. "Did
+        // the controller ever declare a classic AQM" must not round away a
+        // single-repetition detection — and a false positive in *any*
+        // repetition should fail the silence gate, not be averaged out.
+        cc_fallbacks: runs.iter().map(|m| m.cc_fallbacks).max().unwrap_or(0),
         completed: runs.iter().all(|m| m.completed),
     }
 }
@@ -369,10 +400,17 @@ pub fn run_scenario_once_full(
     // slow-start overshoot of each shuffle flow, and SACK is off because the
     // paper's substrate (NS-2 FullTcp under MRPerf) predates it; flip
     // `sack: true` for the modern-stack ablation (`cargo bench ablations`).
+    let base = match cfg.cc {
+        // Controller override: run `alg` under the ECN mode it requires,
+        // using the transport's mode as the hint (so `--cc cubic` with the
+        // TcpEcn transport gets classic ECN, and with Tcp gets no ECN).
+        Some(alg) => TcpConfig::with_cc(alg, transport.ecn_mode()),
+        None => TcpConfig::with_ecn(transport.ecn_mode()),
+    };
     let tcp = TcpConfig {
         recv_wnd: 128 << 10,
         sack: false,
-        ..TcpConfig::with_ecn(transport.ecn_mode())
+        ..base
     };
     let job = JobSpec {
         input_bytes_per_node: cfg.input_bytes_per_node,
@@ -427,6 +465,7 @@ pub fn run_scenario_once_full(
         timeouts: tx.timeouts,
         fast_retransmits: tx.fast_retransmits,
         syn_retransmits: tx.syn_retransmits,
+        cc_fallbacks: tx.cc_fallbacks,
         completed: report.app_done,
     };
     (metrics, report, pool)

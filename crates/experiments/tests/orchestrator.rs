@@ -4,8 +4,8 @@
 
 use ecn_core::ProtectionMode;
 use experiments::gate::{
-    BenchReport, EndToEndSection, KernelSection, KernelWorkload, LinkSection, PoolSection,
-    SweepSection,
+    BenchReport, CcSection, CcWorkload, EndToEndSection, KernelSection, KernelWorkload,
+    LinkSection, PoolSection, SweepSection,
 };
 use experiments::scenario::{QueueKind, Transport};
 use experiments::{sweep_with, CacheMode, SweepGrid, SweepOptions};
@@ -224,6 +224,17 @@ fn canned_report() -> BenchReport {
             fast_events_per_packet: 1.25,
             reference_events: 1_800_000,
             reference_events_per_packet: 1.25,
+        },
+        cc: CcSection {
+            ops: 1_000_000,
+            controllers: ["reno", "dctcp", "cubic", "bbr", "prague"]
+                .iter()
+                .map(|name| CcWorkload {
+                    controller: (*name).into(),
+                    ops_per_sec: 5.0e7,
+                    vs_reno: 1.0,
+                })
+                .collect(),
         },
         sweep_fig2_shallow: SweepSection {
             points: 19,

@@ -4,8 +4,8 @@
 //! `run_reference`) and the pooled fast path (arena handles, SoA flow
 //! columns, deadline heap, hybrid scheduler) must produce byte-identical
 //! metrics JSON and a byte-identical packet-lifecycle trace on every
-//! fig2-shallow point — across transports, queue disciplines, target delays
-//! and seeds.
+//! fig2-shallow point — across transports, queue disciplines, congestion
+//! controllers, target delays and seeds.
 
 use ecn_core::ProtectionMode;
 use experiments::scenario::{
@@ -14,6 +14,7 @@ use experiments::scenario::{
 use proptest::prelude::*;
 use simevent::SimDuration;
 use simtrace::{RingSink, TraceHandle};
+use tcpstack::CcAlg;
 
 /// One traced tiny-scenario run: returns the metrics serialized exactly as
 /// report JSON would embed them, plus the trace as JSONL.
@@ -22,10 +23,12 @@ fn run_point(
     seed: u64,
     transport: Transport,
     queue: QueueKind,
+    cc: Option<CcAlg>,
     delay_us: u64,
 ) -> (String, String) {
     let mut cfg = ScenarioConfig::tiny();
     cfg.seed = seed;
+    cfg.cc = cc;
     let trace = TraceHandle::new(Box::new(RingSink::new(1 << 16)));
     let (m, _report) = run_scenario_once_traced(
         &cfg,
@@ -55,7 +58,8 @@ proptest! {
     #[test]
     fn pooled_and_reference_paths_are_byte_identical(
         seed in 1u64..=1_000_000,
-        pick in 0usize..12,
+        pick in 0usize..15,
+        cc_pick in 0usize..6,
         delay_us in 200u64..=900,
     ) {
         let transports = [Transport::Tcp, Transport::TcpEcn, Transport::Dctcp];
@@ -63,12 +67,16 @@ proptest! {
             QueueKind::DropTail,
             QueueKind::Red(ProtectionMode::Default),
             QueueKind::Red(ProtectionMode::AckSyn),
+            QueueKind::RedMimic(ProtectionMode::AckSyn),
             QueueKind::SimpleMarking,
         ];
-        let transport = transports[pick / 4];
-        let queue = queues[pick % 4];
-        let (fast_json, fast_trace) = run_point(Engine::Fast, seed, transport, queue, delay_us);
-        let (ref_json, ref_trace) = run_point(Engine::Reference, seed, transport, queue, delay_us);
+        let transport = transports[pick / 5];
+        let queue = queues[pick % 5];
+        // 0 keeps the transport's native controller pairing; 1..=5 override
+        // with each simcc controller, exactly what `--cc` does.
+        let cc = (cc_pick > 0).then(|| CcAlg::ALL[cc_pick - 1]);
+        let (fast_json, fast_trace) = run_point(Engine::Fast, seed, transport, queue, cc, delay_us);
+        let (ref_json, ref_trace) = run_point(Engine::Reference, seed, transport, queue, cc, delay_us);
         prop_assert_eq!(fast_json, ref_json);
         prop_assert_eq!(fast_trace, ref_trace);
     }

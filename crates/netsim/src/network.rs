@@ -1005,6 +1005,7 @@ impl Network {
                     agg.syn_retransmits += st.syn_retransmits;
                     agg.ece_acks += st.ece_acks;
                     agg.ecn_reductions += st.ecn_reductions;
+                    agg.cc_fallbacks += st.cc_fallbacks;
                 }
             }
         }

@@ -1,0 +1,279 @@
+//! CUBIC (RFC 8312): window growth follows `W(t) = C·(t − K)³ + W_max`
+//! around the last reduction point, with the TCP-friendly region, fast
+//! convergence, and a HyStart-style hybrid slow start that exits on RTT
+//! inflation instead of waiting for loss.
+//!
+//! Internal window math is in segments (as in the RFC); the public surface
+//! is bytes like every other controller.
+
+use crate::{CcAlg, CcParams, CongestionController, Window};
+
+/// Multiplicative decrease factor.
+const BETA: f64 = 0.7;
+/// Cubic scaling constant C, segments/sec³.
+const C: f64 = 0.4;
+/// HyStart: RTT samples per round.
+const HYSTART_SAMPLES: u32 = 8;
+/// HyStart: minimum RTT inflation treated as queue growth, ns.
+const HYSTART_MIN_DELTA_NS: u64 = 4_000_000;
+
+/// CUBIC per-flow state.
+#[derive(Debug, Clone, Copy)]
+pub struct Cubic {
+    w: Window,
+    /// Window at the last reduction, segments (after fast convergence).
+    w_max_seg: f64,
+    /// Time to return to `w_max_seg`, seconds.
+    k: f64,
+    /// Epoch start (first ACK of the current avoidance epoch), ns; 0 = unset.
+    epoch_start_ns: u64,
+    /// Last RTT sample, ns (0 until the first sample).
+    srtt_ns: u64,
+    /// HyStart: previous round's minimum RTT, ns (0 = none yet).
+    hy_last_min_ns: u64,
+    /// HyStart: current round's minimum RTT, ns (0 = none yet).
+    hy_cur_min_ns: u64,
+    /// HyStart: samples seen this round.
+    hy_count: u32,
+}
+
+impl Cubic {
+    /// Fresh state at the initial window.
+    pub fn new(p: &CcParams) -> Cubic {
+        Cubic {
+            w: Window::new(p),
+            w_max_seg: 0.0,
+            k: 0.0,
+            epoch_start_ns: 0,
+            srtt_ns: 0,
+            hy_last_min_ns: 0,
+            hy_cur_min_ns: 0,
+            hy_count: 0,
+        }
+    }
+
+    /// Start a reduction: record the origin point with fast convergence and
+    /// drop ssthresh to `beta·cwnd`. The caller sets the post-reduction cwnd.
+    fn reduce(&mut self, p: &CcParams) {
+        let w_seg = self.w.cwnd / p.mss;
+        if w_seg < self.w_max_seg {
+            // Fast convergence: we lost ground since the last episode, so
+            // release capacity faster for newcomers.
+            self.w_max_seg = w_seg * (2.0 - BETA) / 2.0;
+        } else {
+            self.w_max_seg = w_seg;
+        }
+        self.w.ssthresh = (self.w.cwnd * BETA).max(2.0 * p.mss);
+        self.epoch_start_ns = 0;
+    }
+
+    /// The cubic curve `W(t) = C·(t − K)³ + W_max`, segments.
+    fn w_cubic_seg(&self, t_sec: f64) -> f64 {
+        let d = t_sec - self.k;
+        C * d * d * d + self.w_max_seg
+    }
+}
+
+impl CongestionController for Cubic {
+    fn alg(&self) -> CcAlg {
+        CcAlg::Cubic
+    }
+    fn cwnd(&self) -> f64 {
+        self.w.cwnd
+    }
+    fn ssthresh(&self) -> f64 {
+        self.w.ssthresh
+    }
+
+    fn on_ack(&mut self, p: &CcParams, newly: u64, now_ns: u64) {
+        if self.w.cwnd < self.w.ssthresh {
+            // Slow start (HyStart exit happens via on_rtt_sample).
+            self.w.cwnd += p.mss.min(newly as f64);
+            return;
+        }
+        let w_seg = self.w.cwnd / p.mss;
+        if self.epoch_start_ns == 0 {
+            // New avoidance epoch: anchor the curve at the current window.
+            self.epoch_start_ns = now_ns.max(1);
+            if self.w_max_seg < w_seg {
+                self.w_max_seg = w_seg;
+            }
+            self.k = ((self.w_max_seg - w_seg) / C).cbrt();
+        }
+        let srtt_sec = self.srtt_ns as f64 / 1e9;
+        let t = now_ns.saturating_sub(self.epoch_start_ns) as f64 / 1e9 + srtt_sec;
+        let target_seg = self.w_cubic_seg(t);
+        // TCP-friendly region (RFC 8312 §4.2): track at least standard TCP's
+        // AIMD estimate so short-RTT paths are not starved by the flat
+        // plateau around W_max.
+        let w_est_seg = if self.srtt_ns > 0 {
+            self.w_max_seg * BETA + (3.0 * (1.0 - BETA) / (1.0 + BETA)) * (t / srtt_sec)
+        } else {
+            0.0
+        };
+        let target_seg = target_seg.max(w_est_seg);
+        if target_seg > w_seg {
+            // Spread the distance-to-target over the next window of ACKs.
+            self.w.cwnd += p.mss * (target_seg - w_seg) / w_seg;
+        } else {
+            // At or above the curve: probe minimally (~1 segment / 100 RTT).
+            self.w.cwnd += p.mss * 0.01 / w_seg;
+        }
+    }
+
+    fn on_rtt_sample(&mut self, _p: &CcParams, rtt_ns: u64, _now_ns: u64, _ce: bool) {
+        self.srtt_ns = rtt_ns;
+        if self.w.cwnd >= self.w.ssthresh {
+            return;
+        }
+        // HyStart delay-increase detection, rounds of HYSTART_SAMPLES.
+        if self.hy_cur_min_ns == 0 || rtt_ns < self.hy_cur_min_ns {
+            self.hy_cur_min_ns = rtt_ns;
+        }
+        self.hy_count += 1;
+        if self.hy_count >= HYSTART_SAMPLES {
+            if self.hy_last_min_ns > 0 {
+                let thresh =
+                    self.hy_last_min_ns + (self.hy_last_min_ns / 8).max(HYSTART_MIN_DELTA_NS);
+                if self.hy_cur_min_ns >= thresh {
+                    // Queue is building: leave slow start at the current
+                    // window instead of overshooting into loss.
+                    self.w.ssthresh = self.w.cwnd;
+                }
+            }
+            self.hy_last_min_ns = self.hy_cur_min_ns;
+            self.hy_cur_min_ns = 0;
+            self.hy_count = 0;
+        }
+    }
+
+    fn on_ece(&mut self, p: &CcParams) -> bool {
+        self.reduce(p);
+        self.w.cwnd = self.w.ssthresh;
+        true
+    }
+    fn on_loss(&mut self, p: &CcParams, _flight: u64) {
+        self.reduce(p);
+        self.w.cwnd = self.w.ssthresh + 3.0 * p.mss;
+    }
+    fn on_partial_ack(&mut self, p: &CcParams, newly: u64) {
+        self.w.partial_ack(p, newly);
+    }
+    fn on_recovery_dupack(&mut self, p: &CcParams) {
+        self.w.cwnd += p.mss;
+    }
+    fn undo_recovery_dupack(&mut self, p: &CcParams) {
+        self.w.cwnd -= p.mss;
+    }
+    fn on_recovery_exit(&mut self, _p: &CcParams) {
+        self.w.cwnd = self.w.ssthresh;
+    }
+    fn on_rto(&mut self, p: &CcParams, flight: u64) {
+        let _ = flight;
+        self.reduce(p);
+        self.w.cwnd = p.mss;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_params;
+
+    const MSS: f64 = 1460.0;
+
+    /// Put the controller in congestion avoidance at `w0` segments with a
+    /// recorded `w_max` of `wmax` segments, epoch not yet anchored.
+    fn in_avoidance(p: &CcParams, w0: f64, wmax: f64) -> Cubic {
+        let mut c = Cubic::new(p);
+        c.w.cwnd = w0 * MSS;
+        c.w.ssthresh = w0 * MSS;
+        c.w_max_seg = wmax;
+        c
+    }
+
+    /// Drive a dense ACK train (one per `step_ns`) so per-ACK growth
+    /// integrates the curve closely, then compare against closed form.
+    #[test]
+    fn window_tracks_closed_form_curve() {
+        let p = test_params();
+        let w0 = 30.0;
+        let wmax = 100.0;
+        let mut c = in_avoidance(&p, w0, wmax);
+        let k = ((wmax - w0) / C).cbrt();
+        let step_ns = 500_000u64; // dense ack clock, 0.5 ms
+                                  // At t = K the curve returns to W_max.
+        let t_end_ns = (k * 1e9) as u64;
+        let mut now = 1_000u64;
+        while now < 1_000 + t_end_ns {
+            c.on_ack(&p, 1460, now);
+            now += step_ns;
+        }
+        let w_seg = c.cwnd() / MSS;
+        assert!(
+            (w_seg - wmax).abs() < 2.0,
+            "at t=K the window must be back at W_max: {w_seg} vs {wmax}"
+        );
+        // Convex region: half of K further on, closed form says
+        // W = C*(K/2)^3 + W_max.
+        let t2_ns = t_end_ns + (k / 2.0 * 1e9) as u64;
+        while now < 1_000 + t2_ns {
+            c.on_ack(&p, 1460, now);
+            now += step_ns;
+        }
+        let expect = C * (k / 2.0) * (k / 2.0) * (k / 2.0) + wmax;
+        let w_seg = c.cwnd() / MSS;
+        assert!(
+            (w_seg - expect).abs() < 2.5,
+            "convex growth must follow the cubic: {w_seg} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn fast_convergence_shrinks_w_max_on_back_to_back_losses() {
+        let p = test_params();
+        let mut c = in_avoidance(&p, 100.0, 100.0);
+        c.on_loss(&p, 100 * 1460);
+        let w_max_1 = c.w_max_seg;
+        assert_eq!(w_max_1, 100.0, "first loss records the full window");
+        // Recovery exit then a second loss below the previous W_max.
+        c.on_recovery_exit(&p);
+        c.on_loss(&p, 70 * 1460);
+        assert!(
+            c.w_max_seg < 70.0,
+            "fast convergence must release capacity: {}",
+            c.w_max_seg
+        );
+        let expect = 70.0 * (2.0 - BETA) / 2.0;
+        assert!((c.w_max_seg - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hystart_exits_slow_start_on_rtt_inflation() {
+        let p = test_params();
+        let mut c = Cubic::new(&p);
+        assert!(c.cwnd() < c.ssthresh(), "starts in slow start");
+        // Round 1: flat 1 ms RTTs.
+        for _ in 0..HYSTART_SAMPLES {
+            c.on_rtt_sample(&p, 1_000_000, 0, false);
+        }
+        assert!(c.cwnd() < c.ssthresh(), "flat RTTs keep slow start");
+        // Round 2: RTT jumped to 6 ms (> 1 ms + max(1/8 ms, 4 ms)).
+        for _ in 0..HYSTART_SAMPLES {
+            c.on_rtt_sample(&p, 6_000_000, 0, false);
+        }
+        assert_eq!(
+            c.ssthresh(),
+            c.cwnd(),
+            "inflated round must exit slow start at the current window"
+        );
+    }
+
+    #[test]
+    fn ece_reduction_uses_beta_not_half() {
+        let p = test_params();
+        let mut c = in_avoidance(&p, 100.0, 100.0);
+        c.on_ece(&p);
+        assert!((c.cwnd() - 100.0 * MSS * BETA).abs() < 1e-6);
+    }
+}

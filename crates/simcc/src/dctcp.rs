@@ -1,0 +1,133 @@
+//! DCTCP (RFC 8257): per-window CE-fraction EWMA (`alpha`) driving a
+//! proportional multiplicative decrease. Growth and loss handling are the
+//! NewReno mechanics. This reproduces the pre-refactor hardwired DCTCP path
+//! expression for expression.
+
+use crate::{CcAlg, CcParams, CongestionController, Window};
+
+/// DCTCP per-flow state: the window pair plus the alpha observation window.
+#[derive(Debug, Clone, Copy)]
+pub struct Dctcp {
+    w: Window,
+    /// Fraction-of-marked-bytes EWMA (conservative 1.0 init).
+    alpha: f64,
+    /// Bytes acked with CE feedback in the current observation window.
+    ce_acked: u64,
+    /// Total bytes acked in the current observation window.
+    window_acked: u64,
+    /// Sequence number closing the current observation window.
+    alpha_end: u64,
+}
+
+impl Dctcp {
+    /// Fresh state; `alpha_end = 1` matches the pre-refactor init (the first
+    /// data byte closes the first observation window).
+    pub fn new(p: &CcParams) -> Dctcp {
+        Dctcp {
+            w: Window::new(p),
+            alpha: 1.0,
+            ce_acked: 0,
+            window_acked: 0,
+            alpha_end: 1,
+        }
+    }
+}
+
+impl CongestionController for Dctcp {
+    fn alg(&self) -> CcAlg {
+        CcAlg::Dctcp
+    }
+    fn cwnd(&self) -> f64 {
+        self.w.cwnd
+    }
+    fn ssthresh(&self) -> f64 {
+        self.w.ssthresh
+    }
+    fn alpha(&self) -> f64 {
+        self.alpha
+    }
+    fn on_ack(&mut self, p: &CcParams, newly: u64, _now_ns: u64) {
+        self.w.reno_ack(p, newly);
+    }
+    fn on_ce_feedback(&mut self, p: &CcParams, newly: u64, ce: bool, ack: u64, snd_nxt: u64) {
+        self.window_acked += newly;
+        if ce {
+            self.ce_acked += newly;
+        }
+        if ack >= self.alpha_end {
+            if self.window_acked > 0 {
+                let f = self.ce_acked as f64 / self.window_acked as f64;
+                let g = p.dctcp_g;
+                self.alpha = (1.0 - g) * self.alpha + g * f;
+            }
+            self.ce_acked = 0;
+            self.window_acked = 0;
+            self.alpha_end = snd_nxt;
+        }
+    }
+    fn on_ece(&mut self, p: &CcParams) -> bool {
+        self.w.cwnd = (self.w.cwnd * (1.0 - self.alpha / 2.0)).max(p.mss);
+        self.w.ssthresh = self.w.cwnd;
+        true
+    }
+    fn on_loss(&mut self, p: &CcParams, flight: u64) {
+        self.w.reno_loss(p, flight);
+    }
+    fn on_partial_ack(&mut self, p: &CcParams, newly: u64) {
+        self.w.partial_ack(p, newly);
+    }
+    fn on_recovery_dupack(&mut self, p: &CcParams) {
+        self.w.cwnd += p.mss;
+    }
+    fn undo_recovery_dupack(&mut self, p: &CcParams) {
+        self.w.cwnd -= p.mss;
+    }
+    fn on_recovery_exit(&mut self, _p: &CcParams) {
+        self.w.cwnd = self.w.ssthresh;
+    }
+    fn on_rto(&mut self, p: &CcParams, flight: u64) {
+        self.w.rto(p, flight);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_params;
+
+    #[test]
+    fn alpha_decays_on_clean_window() {
+        let p = test_params();
+        let mut d = Dctcp::new(&p);
+        assert_eq!(d.alpha(), 1.0, "conservative init");
+        d.on_ce_feedback(&p, 2920, false, 2921, 5841);
+        let g = 1.0 / 16.0;
+        assert!((d.alpha() - (1.0 - g)).abs() < 1e-12, "alpha {}", d.alpha());
+        assert_eq!(d.alpha_end, 5841, "next window closes at snd_nxt");
+    }
+
+    #[test]
+    fn alpha_tracks_ce_fraction() {
+        let p = test_params();
+        let mut d = Dctcp::new(&p);
+        // Half the window's bytes CE-marked, observed over two ACKs.
+        d.on_ce_feedback(&p, 1460, true, 1461, 2921);
+        d.on_ce_feedback(&p, 1460, false, 2921, 2921);
+        let g = 1.0 / 16.0;
+        let expect = (1.0 - g) * ((1.0 - g) * 1.0 + g * 1.0) + g * 0.0;
+        // First ACK closes the initial 1-byte window with f = 1, the second
+        // closes the next with f = 0 (counters were reset between).
+        assert!((d.alpha() - expect).abs() < 1e-12, "alpha {}", d.alpha());
+    }
+
+    #[test]
+    fn ece_scales_by_alpha_with_mss_floor() {
+        let p = test_params();
+        let mut d = Dctcp::new(&p);
+        d.alpha = 0.5;
+        let before = d.cwnd();
+        assert!(d.on_ece(&p));
+        assert_eq!(d.cwnd().to_bits(), (before * 0.75f64).to_bits());
+        assert_eq!(d.ssthresh(), d.cwnd());
+    }
+}

@@ -1,0 +1,401 @@
+//! TCP Prague-style controller: DCTCP's proportional CE response plus
+//! RTT-independence scaling, and the Briscoe/Ahmed classic-ECN-AQM
+//! detection ("Fall-back on Detection of a Classic ECN AQM"): a scalable
+//! sender expects either no marks or marking concentrated into short
+//! near-saturating bursts (step marking at a shallow threshold, so a marked
+//! packet always *experienced* the queue that marked it). A classic AQM
+//! betrays itself in two ways: RED's probabilistic ramp spreads *sparse*
+//! marks over many consecutive RTTs, and its EWMA-averaged queue keeps
+//! marking after the real queue has drained — *stale* marks on packets
+//! whose RTT shows no queueing delay at all. When the round classifier
+//! accumulates enough sparse- or stale-marking evidence the controller
+//! falls back to a Reno-like (halving) CE response so it stops
+//! out-competing classic flows through that AQM, and it re-engages the
+//! scalable response after the episode ends (several mark-free rounds).
+
+use crate::{CcAlg, CcParams, CongestionController, Window};
+
+/// Target virtual RTT for RTT-independence, ns (25 ms as in Prague).
+const RTT_VIRT_NS: f64 = 25_000_000.0;
+/// A round's CE fraction strictly below this (and above zero) counts as
+/// classic-AQM evidence: step marking at a shallow threshold yields rounds
+/// near 0 or near 1, while RED's probabilistic curve lives in between.
+const CLASSIC_FRAC_MAX: f64 = 0.35;
+/// Accumulated evidence required to declare a classic AQM.
+const DETECT_ROUNDS: u32 = 6;
+/// Mark-free rounds that end a classic-AQM episode.
+const CLEAR_ROUNDS: u32 = 4;
+/// An RTT sample completed by a CE-marked packet counts as *stale* when it
+/// *undercuts* the connection's observed RTT floor by this factor. A packet
+/// marked by an instantaneous-queue scheme stood in a queue at the marking
+/// threshold, so its RTT can only sit *above* any propagation floor the
+/// connection has observed — a marked sample at half the floor is only
+/// possible when an averaged (classic) AQM kept marking after the real
+/// queue drained. The 2× margin absorbs floor inflation on short flows
+/// whose every clean sample carried some queueing delay.
+const STALE_RTT_FACTOR: f64 = 0.5;
+/// Stale-marked rounds (ever, per connection) that declare a classic AQM.
+/// Stale evidence never decays: a step AQM cannot produce such marks at
+/// all, so even well-separated observations stay damning — two of them
+/// suffice.
+const STALE_DETECT: u32 = 2;
+
+/// Prague per-flow state.
+#[derive(Debug, Clone, Copy)]
+pub struct Prague {
+    w: Window,
+    /// Fraction-of-marked-bytes EWMA, as in DCTCP.
+    alpha: f64,
+    /// Bytes acked with CE in the current observation round.
+    ce_acked: u64,
+    /// Total bytes acked in the current observation round.
+    window_acked: u64,
+    /// Sequence number closing the current round.
+    round_end: u64,
+    /// Last RTT sample, ns (0 until the first sample).
+    srtt_ns: u64,
+    /// Smallest RTT sample seen on this connection, ns (`u64::MAX` until the
+    /// first sample) — the propagation-delay estimate the staleness test
+    /// compares marked samples against.
+    rtt_min_ns: u64,
+    /// The current round saw a CE-marked packet whose own RTT shows no
+    /// queueing delay (set by [`CongestionController::on_rtt_sample`]).
+    stale_round: bool,
+    /// Sparse-marking evidence accumulated by the round classifier; cleared
+    /// by mark-free stretches, decayed by dense fresh marking.
+    evidence: u32,
+    /// Stale-marked rounds observed over the connection's lifetime.
+    stale_evidence: u32,
+    /// Consecutive mark-free rounds (ends a fallback episode).
+    clear_rounds: u32,
+    /// Classic-AQM episodes detected so far.
+    fallbacks: u64,
+    /// Currently responding like a classic (Reno) sender.
+    fallback: bool,
+}
+
+impl Prague {
+    /// Fresh state in scalable (L4S) mode.
+    pub fn new(p: &CcParams) -> Prague {
+        Prague {
+            w: Window::new(p),
+            alpha: 1.0,
+            ce_acked: 0,
+            window_acked: 0,
+            round_end: 1,
+            srtt_ns: 0,
+            rtt_min_ns: u64::MAX,
+            stale_round: false,
+            evidence: 0,
+            stale_evidence: 0,
+            clear_rounds: 0,
+            fallbacks: 0,
+            fallback: false,
+        }
+    }
+
+    /// Classify a finished observation round by its CE-mark fraction and
+    /// the staleness of its marks.
+    fn classify_round(&mut self, frac: f64, stale: bool) {
+        if frac > 0.0 && stale {
+            // A marked packet whose own RTT shows no queueing delay: the
+            // strongest classic-AQM signature, at any mark fraction. Never
+            // decays — a step AQM cannot produce this observation.
+            self.stale_evidence = self.stale_evidence.saturating_add(1);
+            self.clear_rounds = 0;
+        } else if frac > 0.0 && frac < CLASSIC_FRAC_MAX {
+            // Sparse marking: the classic probabilistic-ramp signature.
+            self.evidence = self.evidence.saturating_add(1);
+            self.clear_rounds = 0;
+        } else if frac == 0.0 {
+            self.clear_rounds = self.clear_rounds.saturating_add(1);
+            if self.clear_rounds >= CLEAR_ROUNDS {
+                // Episode over: re-engage the scalable response and rearm
+                // the sparse classifier for a future episode (sparse rounds
+                // must be consecutive-ish; a step AQM's occasional
+                // threshold-straddling round must not accumulate forever).
+                self.evidence = 0;
+                self.fallback = false;
+            }
+        } else {
+            // Dense fresh marking (step/L4S signature): decay the evidence.
+            self.evidence = self.evidence.saturating_sub(1);
+            self.clear_rounds = 0;
+        }
+        // Only a round that could have *added* evidence may open an episode:
+        // retained stale evidence plus a mark-free round must not re-trigger.
+        let classic_round = frac > 0.0 && (stale || frac < CLASSIC_FRAC_MAX);
+        if classic_round
+            && !self.fallback
+            && (self.evidence >= DETECT_ROUNDS || self.stale_evidence >= STALE_DETECT)
+        {
+            self.fallback = true;
+            self.fallbacks += 1;
+        }
+    }
+}
+
+impl CongestionController for Prague {
+    fn alg(&self) -> CcAlg {
+        CcAlg::Prague
+    }
+    fn cwnd(&self) -> f64 {
+        self.w.cwnd
+    }
+    fn ssthresh(&self) -> f64 {
+        self.w.ssthresh
+    }
+    fn alpha(&self) -> f64 {
+        self.alpha
+    }
+    fn fallback_count(&self) -> u64 {
+        self.fallbacks
+    }
+    fn in_fallback(&self) -> bool {
+        self.fallback
+    }
+
+    fn on_ack(&mut self, p: &CcParams, newly: u64, _now_ns: u64) {
+        if self.w.cwnd < self.w.ssthresh {
+            self.w.cwnd += p.mss.min(newly as f64);
+            return;
+        }
+        // RTT independence: additive increase normalized to the virtual RTT,
+        // so a 100 µs datacenter flow does not grow 250× faster (per wall
+        // clock) than the 25 ms reference. Fallback mode restores classic
+        // Reno growth to match the competition.
+        let scale = if self.fallback || self.srtt_ns == 0 {
+            1.0
+        } else {
+            let r = self.srtt_ns as f64 / RTT_VIRT_NS;
+            (r * r).min(1.0)
+        };
+        self.w.cwnd += scale * p.mss * p.mss / self.w.cwnd;
+    }
+
+    fn on_ce_feedback(&mut self, p: &CcParams, newly: u64, ce: bool, ack: u64, snd_nxt: u64) {
+        self.window_acked += newly;
+        if ce {
+            self.ce_acked += newly;
+        }
+        if ack >= self.round_end {
+            if self.window_acked > 0 {
+                let f = self.ce_acked as f64 / self.window_acked as f64;
+                let g = p.dctcp_g;
+                self.alpha = (1.0 - g) * self.alpha + g * f;
+                let stale = self.stale_round;
+                self.classify_round(f, stale);
+            }
+            self.ce_acked = 0;
+            self.window_acked = 0;
+            self.stale_round = false;
+            self.round_end = snd_nxt;
+        }
+    }
+
+    fn on_ece(&mut self, p: &CcParams) -> bool {
+        if self.fallback {
+            // Classic-AQM episode: respond like Reno so classic flows
+            // sharing the bottleneck get their fair share.
+            self.w.reno_ece(p);
+        } else {
+            self.w.cwnd = (self.w.cwnd * (1.0 - self.alpha / 2.0)).max(p.mss);
+            self.w.ssthresh = self.w.cwnd;
+        }
+        true
+    }
+
+    fn on_rtt_sample(&mut self, _p: &CcParams, rtt_ns: u64, _now_ns: u64, ce: bool) {
+        self.srtt_ns = rtt_ns;
+        // Staleness is judged against the propagation floor established by
+        // earlier *clean* samples: a first-ever sample can never look stale,
+        // and a marked sample never updates the floor (the packet stood in
+        // the marking queue, so its RTT is not a propagation estimate — and
+        // folding it in would collapse the floor exactly when the drained
+        // queue makes repeated stale observations possible).
+        let prior_min = self.rtt_min_ns;
+        if ce {
+            if prior_min != u64::MAX && (rtt_ns as f64) < prior_min as f64 * STALE_RTT_FACTOR {
+                // This packet was CE-marked yet its RTT undercuts every clean
+                // sample the connection has seen: the mark came from an
+                // averaged queue that had already drained.
+                self.stale_round = true;
+            }
+        } else {
+            self.rtt_min_ns = prior_min.min(rtt_ns);
+        }
+    }
+
+    fn on_loss(&mut self, p: &CcParams, flight: u64) {
+        self.w.reno_loss(p, flight);
+    }
+    fn on_partial_ack(&mut self, p: &CcParams, newly: u64) {
+        self.w.partial_ack(p, newly);
+    }
+    fn on_recovery_dupack(&mut self, p: &CcParams) {
+        self.w.cwnd += p.mss;
+    }
+    fn undo_recovery_dupack(&mut self, p: &CcParams) {
+        self.w.cwnd -= p.mss;
+    }
+    fn on_recovery_exit(&mut self, _p: &CcParams) {
+        self.w.cwnd = self.w.ssthresh;
+    }
+    fn on_rto(&mut self, p: &CcParams, flight: u64) {
+        self.w.rto(p, flight);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_params;
+
+    /// Feed one observation round with the given CE fraction (by bytes).
+    fn round(pr: &mut Prague, p: &CcParams, frac: f64) {
+        let total = 14600u64;
+        let ce = (total as f64 * frac) as u64;
+        // Two ACKs per round: first carries the CE bytes, second closes the
+        // round at `round_end`.
+        let end = pr.round_end;
+        pr.on_ce_feedback(p, ce, true, end - 1, end + total);
+        pr.on_ce_feedback(p, total - ce, false, end, end + total);
+    }
+
+    #[test]
+    fn sparse_marking_rounds_trigger_exactly_one_fallback() {
+        let p = test_params();
+        let mut pr = Prague::new(&p);
+        assert!(!pr.in_fallback());
+        // A classic-AQM episode: many consecutive rounds of sparse marking.
+        for i in 0..20 {
+            round(&mut pr, &p, 0.1);
+            if i < DETECT_ROUNDS as usize - 1 {
+                assert!(!pr.in_fallback(), "needs {DETECT_ROUNDS} rounds");
+            }
+        }
+        assert!(pr.in_fallback());
+        assert_eq!(
+            pr.fallback_count(),
+            1,
+            "one flip per episode, not per round"
+        );
+    }
+
+    #[test]
+    fn episode_end_and_new_episode_counts_again() {
+        let p = test_params();
+        let mut pr = Prague::new(&p);
+        for _ in 0..DETECT_ROUNDS {
+            round(&mut pr, &p, 0.1);
+        }
+        assert!(pr.in_fallback());
+        // Mark-free rounds end the episode.
+        for _ in 0..CLEAR_ROUNDS {
+            round(&mut pr, &p, 0.0);
+        }
+        assert!(!pr.in_fallback(), "episode must end after clear rounds");
+        assert_eq!(pr.fallback_count(), 1);
+        // A second classic episode is detected and counted separately.
+        for _ in 0..DETECT_ROUNDS {
+            round(&mut pr, &p, 0.15);
+        }
+        assert!(pr.in_fallback());
+        assert_eq!(pr.fallback_count(), 2);
+    }
+
+    #[test]
+    fn dense_step_marking_never_falls_back() {
+        let p = test_params();
+        let mut pr = Prague::new(&p);
+        // SimpleMarking-style feedback: rounds alternate between saturated
+        // marking (queue above threshold) and none (below).
+        for _ in 0..50 {
+            round(&mut pr, &p, 0.9);
+            round(&mut pr, &p, 0.0);
+        }
+        assert!(!pr.in_fallback());
+        assert_eq!(pr.fallback_count(), 0);
+    }
+
+    #[test]
+    fn stale_marks_trigger_fallback_at_any_fraction() {
+        let p = test_params();
+        // Saturated rounds whose marked packets undercut the clean RTT
+        // floor by more than 2x: only a lagging averaged AQM marks after
+        // the queue has drained, so the detector must fire even though the
+        // fraction looks L4S-dense.
+        let mut pr = Prague::new(&p);
+        pr.on_rtt_sample(&p, 1_000_000, 0, false); // clean floor: 1 ms (congested)
+        for i in 0..STALE_DETECT {
+            if i > 0 {
+                // Stale evidence survives mark-free gaps > CLEAR_ROUNDS.
+                for _ in 0..2 * CLEAR_ROUNDS {
+                    round(&mut pr, &p, 0.0);
+                }
+            }
+            assert!(
+                !pr.in_fallback(),
+                "needs {STALE_DETECT} stale rounds, had {i}"
+            );
+            // The timed packet carried a mark at well under half the floor:
+            // the queue it was "marked in" had already drained. The marked
+            // sample must NOT lower the floor, or the next stale sample
+            // would no longer undercut it.
+            pr.on_rtt_sample(&p, 400_000, 0, true);
+            round(&mut pr, &p, 1.0);
+        }
+        assert!(pr.in_fallback());
+        assert_eq!(pr.fallback_count(), 1);
+
+        // Marks at or above the clean floor are what a step AQM produces
+        // (the marked packet stood in the marking queue): silent, at any
+        // fraction.
+        let mut fresh = Prague::new(&p);
+        fresh.on_rtt_sample(&p, 100_000, 0, false);
+        for _ in 0..50 {
+            fresh.on_rtt_sample(&p, 90_000, 0, true);
+            round(&mut fresh, &p, 1.0);
+        }
+        assert!(!fresh.in_fallback());
+        assert_eq!(fresh.fallback_count(), 0);
+    }
+
+    #[test]
+    fn fallback_switches_ce_response_to_halving() {
+        let p = test_params();
+        let mut pr = Prague::new(&p);
+        pr.w.cwnd = 100.0 * p.mss;
+        pr.w.ssthresh = 100.0 * p.mss;
+        pr.alpha = 0.1;
+        let scalable = pr.w.cwnd * (1.0 - 0.1 / 2.0);
+        assert!(pr.on_ece(&p));
+        assert!((pr.cwnd() - scalable).abs() < 1e-9, "scalable response");
+        pr.fallback = true;
+        let before = pr.cwnd();
+        assert!(pr.on_ece(&p));
+        assert!((pr.cwnd() - before / 2.0).abs() < 1e-9, "classic response");
+    }
+
+    #[test]
+    fn rtt_independence_scales_growth_below_virtual_rtt() {
+        let p = test_params();
+        let mut fast = Prague::new(&p);
+        let mut slow = Prague::new(&p);
+        for pr in [&mut fast, &mut slow] {
+            pr.w.cwnd = 50.0 * p.mss;
+            pr.w.ssthresh = 50.0 * p.mss;
+        }
+        fast.on_rtt_sample(&p, 2_500_000, 0, false); // 2.5 ms: 1/10 of virtual RTT
+        slow.on_rtt_sample(&p, 25_000_000, 0, false); // exactly the virtual RTT
+        let w0 = fast.cwnd();
+        fast.on_ack(&p, 1460, 0);
+        slow.on_ack(&p, 1460, 0);
+        let fast_gain = fast.cwnd() - w0;
+        let slow_gain = slow.cwnd() - w0;
+        assert!(
+            (fast_gain * 100.0 - slow_gain).abs() < 1e-9,
+            "per-ack growth must scale by (rtt/rtt_virt)^2: {fast_gain} vs {slow_gain}"
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! NewReno: the classic loss-based controller (RFC 5681 growth, RFC 6582
+//! recovery mechanics, RFC 3168 ECE response). This is the pre-refactor
+//! hardwired classic-TCP path, expression for expression.
+
+use crate::{CcAlg, CcParams, CongestionController, Window};
+
+/// NewReno per-flow state: just the window pair.
+#[derive(Debug, Clone, Copy)]
+pub struct Reno {
+    w: Window,
+}
+
+impl Reno {
+    /// Fresh state at the initial window.
+    pub fn new(p: &CcParams) -> Reno {
+        Reno { w: Window::new(p) }
+    }
+}
+
+impl CongestionController for Reno {
+    fn alg(&self) -> CcAlg {
+        CcAlg::Reno
+    }
+    fn cwnd(&self) -> f64 {
+        self.w.cwnd
+    }
+    fn ssthresh(&self) -> f64 {
+        self.w.ssthresh
+    }
+    fn on_ack(&mut self, p: &CcParams, newly: u64, _now_ns: u64) {
+        self.w.reno_ack(p, newly);
+    }
+    fn on_ece(&mut self, p: &CcParams) -> bool {
+        self.w.reno_ece(p);
+        true
+    }
+    fn on_loss(&mut self, p: &CcParams, flight: u64) {
+        self.w.reno_loss(p, flight);
+    }
+    fn on_partial_ack(&mut self, p: &CcParams, newly: u64) {
+        self.w.partial_ack(p, newly);
+    }
+    fn on_recovery_dupack(&mut self, p: &CcParams) {
+        self.w.cwnd += p.mss;
+    }
+    fn undo_recovery_dupack(&mut self, p: &CcParams) {
+        self.w.cwnd -= p.mss;
+    }
+    fn on_recovery_exit(&mut self, _p: &CcParams) {
+        self.w.cwnd = self.w.ssthresh;
+    }
+    fn on_rto(&mut self, p: &CcParams, flight: u64) {
+        self.w.rto(p, flight);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_params;
+
+    #[test]
+    fn growth_matches_pre_refactor_arithmetic() {
+        let p = test_params();
+        let mut r = Reno::new(&p);
+        // Slow start: += min(mss, newly), exactly.
+        r.on_ack(&p, 2920, 0);
+        assert_eq!(r.cwnd().to_bits(), (2.0f64 * 1460.0 + 1460.0).to_bits());
+        r.on_ack(&p, 100, 0);
+        assert_eq!(r.cwnd().to_bits(), (3.0f64 * 1460.0 + 100.0).to_bits());
+        // Congestion avoidance: += mss*mss/cwnd, exactly.
+        let mut c = Reno::new(&p);
+        c.w.ssthresh = c.w.cwnd;
+        let before = c.cwnd();
+        c.on_ack(&p, 1460, 0);
+        assert_eq!(
+            c.cwnd().to_bits(),
+            (before + 1460.0 * 1460.0 / before).to_bits()
+        );
+    }
+
+    #[test]
+    fn ece_halves_with_two_mss_floor() {
+        let p = test_params();
+        let mut r = Reno::new(&p);
+        assert!(r.on_ece(&p));
+        assert_eq!(r.cwnd(), 2.0 * p.mss, "floor binds at the initial window");
+        assert_eq!(r.ssthresh(), r.cwnd());
+    }
+
+    #[test]
+    fn rto_collapses_to_one_mss() {
+        let p = test_params();
+        let mut r = Reno::new(&p);
+        r.on_rto(&p, 10 * 1460);
+        assert_eq!(r.cwnd(), p.mss);
+        assert_eq!(r.ssthresh(), 5.0 * 1460.0);
+    }
+}

@@ -28,6 +28,7 @@ pub struct Finding {
 const SIM_CRATES: &[&str] = &[
     "simevent",
     "simtrace",
+    "simcc",
     "netpacket",
     "tcpstack",
     "core",
@@ -42,6 +43,7 @@ const SIM_CRATES: &[&str] = &[
 const HASH_ORDER_CRATES: &[&str] = &[
     "simevent",
     "simtrace",
+    "simcc",
     "netpacket",
     "tcpstack",
     "core",

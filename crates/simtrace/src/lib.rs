@@ -70,7 +70,10 @@ pub enum EventKind {
     Retransmit,
     /// Retransmission timer fired (`a` = snd_una, `b` = snd_nxt).
     RtoFired,
-    /// Sender congestion window changed (`a` = cwnd bytes, `b` = ssthresh bytes).
+    /// Sender congestion window changed (`a` = cwnd bytes, `b` = ssthresh
+    /// bytes, `c` = controller/reason tag: controller id in bits 8..16 and a
+    /// compact reason code — ack/loss/ece/rto/app-limited — in bits 0..8,
+    /// packed by `simcc::cwnd_change_tag`).
     CwndChange,
     /// Sender connection state changed (`a` = from, `b` = to; codes are the
     /// emitting stack's own state numbering).
@@ -117,6 +120,10 @@ pub struct TraceEvent {
     pub a: u64,
     /// Kind-specific detail (see [`EventKind`] docs).
     pub b: u64,
+    /// Kind-specific detail (see [`EventKind`] docs); 0 for events that do
+    /// not use it. Today only [`EventKind::CwndChange`] fills it (the
+    /// controller/reason tag).
+    pub c: u64,
 }
 
 impl TraceEvent {
@@ -131,6 +138,7 @@ impl TraceEvent {
             pkind: NO_KIND,
             a: 0,
             b: 0,
+            c: 0,
         }
     }
 
@@ -169,7 +177,7 @@ impl TraceEvent {
             }
             None => s.push_str(",\"kind\":null"),
         }
-        let _ = write!(s, ",\"a\":{},\"b\":{}}}", self.a, self.b);
+        let _ = write!(s, ",\"a\":{},\"b\":{},\"c\":{}}}", self.a, self.b, self.c);
         s
     }
 }
@@ -552,12 +560,12 @@ mod tests {
         let e = ev(123, EventKind::Enqueued);
         assert_eq!(
             e.to_jsonl(),
-            "{\"t\":123,\"ev\":\"enqueued\",\"q\":1,\"flow\":7,\"pkt\":42,\"kind\":\"ack\",\"a\":0,\"b\":0}"
+            "{\"t\":123,\"ev\":\"enqueued\",\"q\":1,\"flow\":7,\"pkt\":42,\"kind\":\"ack\",\"a\":0,\"b\":0,\"c\":0}"
         );
         let bare = TraceEvent::new(EventKind::QueueDepth, SimTime::ZERO);
         assert_eq!(
             bare.to_jsonl(),
-            "{\"t\":0,\"ev\":\"queue_depth\",\"q\":null,\"flow\":null,\"pkt\":null,\"kind\":null,\"a\":0,\"b\":0}"
+            "{\"t\":0,\"ev\":\"queue_depth\",\"q\":null,\"flow\":null,\"pkt\":null,\"kind\":null,\"a\":0,\"b\":0,\"c\":0}"
         );
     }
 

@@ -10,11 +10,11 @@
 /// Hand-written, so any change to the wire format is a conscious edit here.
 const GOLDEN: &str = "\
 {\"meta\":\"queue\",\"q\":0,\"name\":\"sw0/p0: Red(min=5,max=15)\"}\n\
-{\"t\":1000,\"ev\":\"enqueued\",\"q\":0,\"flow\":3,\"pkt\":41,\"kind\":\"data\",\"a\":0,\"b\":0}\n\
-{\"t\":1500,\"ev\":\"marked\",\"q\":0,\"flow\":3,\"pkt\":42,\"kind\":\"data\",\"a\":0,\"b\":0}\n\
-{\"t\":2000,\"ev\":\"dropped_early\",\"q\":0,\"flow\":4,\"pkt\":43,\"kind\":\"ack\",\"a\":0,\"b\":0}\n\
-{\"t\":2500,\"ev\":\"queue_depth\",\"q\":0,\"flow\":null,\"pkt\":null,\"kind\":null,\"a\":7,\"b\":10598}\n\
-{\"t\":3000,\"ev\":\"cwnd_change\",\"q\":null,\"flow\":3,\"pkt\":null,\"kind\":null,\"a\":2920,\"b\":65535}\n";
+{\"t\":1000,\"ev\":\"enqueued\",\"q\":0,\"flow\":3,\"pkt\":41,\"kind\":\"data\",\"a\":0,\"b\":0,\"c\":0}\n\
+{\"t\":1500,\"ev\":\"marked\",\"q\":0,\"flow\":3,\"pkt\":42,\"kind\":\"data\",\"a\":0,\"b\":0,\"c\":0}\n\
+{\"t\":2000,\"ev\":\"dropped_early\",\"q\":0,\"flow\":4,\"pkt\":43,\"kind\":\"ack\",\"a\":0,\"b\":0,\"c\":0}\n\
+{\"t\":2500,\"ev\":\"queue_depth\",\"q\":0,\"flow\":null,\"pkt\":null,\"kind\":null,\"a\":7,\"b\":10598,\"c\":0}\n\
+{\"t\":3000,\"ev\":\"cwnd_change\",\"q\":null,\"flow\":3,\"pkt\":null,\"kind\":null,\"a\":2920,\"b\":65535,\"c\":2}\n";
 
 /// The event sequence matching [`GOLDEN`] (minus the preamble line).
 fn golden_events() -> Vec<TraceEvent> {
@@ -34,6 +34,7 @@ fn golden_events() -> Vec<TraceEvent> {
     cwnd.flow = 3;
     cwnd.a = 2920;
     cwnd.b = 65535;
+    cwnd.c = 2; // controller/reason tag: Reno (id 0), reason ece (2)
     vec![
         pkt(EventKind::Enqueued, 1000, 3, 41, 0),
         pkt(EventKind::Marked, 1500, 3, 42, 0),

@@ -1,6 +1,7 @@
 //! Transport configuration.
 
 use serde::{Deserialize, Serialize};
+use simcc::CcAlg;
 use simevent::SimDuration;
 
 /// Which congestion-signalling mode a connection runs.
@@ -51,6 +52,12 @@ pub struct TcpConfig {
     pub max_rto: SimDuration,
     /// Congestion-signalling mode.
     pub ecn: EcnMode,
+    /// Congestion-control algorithm (see `simcc`). Must be consistent with
+    /// `ecn`: the CE-fraction controllers (DCTCP, Prague) need the DCTCP
+    /// receiver's per-segment CE echo ([`EcnMode::Dctcp`]), and the loss/RTT
+    /// based ones (Reno, CUBIC, BBR) need the RFC 3168 latched-ECE echo or no
+    /// ECN at all — `validate()` enforces the pairing.
+    pub cc: CcAlg,
     /// DCTCP's EWMA gain `g` for the alpha estimate.
     pub dctcp_g: f64,
     /// ACK every `delayed_ack` data segments (1 = ack every segment, NS-2's
@@ -83,6 +90,7 @@ impl Default for TcpConfig {
             initial_rto: SimDuration::from_secs(1),
             max_rto: SimDuration::from_secs(60),
             ecn: EcnMode::Off,
+            cc: CcAlg::Reno,
             dctcp_g: 1.0 / 16.0,
             delayed_ack: 1,
             delack_timeout: SimDuration::from_millis(40),
@@ -93,10 +101,35 @@ impl Default for TcpConfig {
 }
 
 impl TcpConfig {
-    /// A config with the given ECN mode and the rest default.
+    /// A config with the given ECN mode, the controller that mode implies
+    /// (DCTCP feedback → DCTCP, otherwise NewReno — exactly the pre-`simcc`
+    /// hardwired pairing), and the rest default.
     pub fn with_ecn(ecn: EcnMode) -> Self {
         TcpConfig {
             ecn,
+            cc: match ecn {
+                EcnMode::Dctcp => CcAlg::Dctcp,
+                EcnMode::Off | EcnMode::Ecn => CcAlg::Reno,
+            },
+            ..Default::default()
+        }
+    }
+
+    /// A config running `cc` with the ECN mode that controller requires:
+    /// CE-fraction controllers get the DCTCP receiver echo, the rest get
+    /// classic RFC 3168 ECN when `ecn_hint` asks for ECN (or no ECN at all).
+    pub fn with_cc(cc: CcAlg, ecn_hint: EcnMode) -> Self {
+        let ecn = if cc.needs_ce_feedback() {
+            EcnMode::Dctcp
+        } else {
+            match ecn_hint {
+                EcnMode::Off => EcnMode::Off,
+                EcnMode::Ecn | EcnMode::Dctcp => EcnMode::Ecn,
+            }
+        };
+        TcpConfig {
+            ecn,
+            cc,
             ..Default::default()
         }
     }
@@ -124,6 +157,14 @@ impl TcpConfig {
             self.dctcp_g
         );
         assert!(self.delayed_ack >= 1, "delayed_ack factor must be >= 1");
+        assert!(
+            self.cc.needs_ce_feedback() == (self.ecn == EcnMode::Dctcp),
+            "cc {:?} is incompatible with ecn {:?}: DCTCP/Prague need the \
+             DCTCP per-segment CE echo, Reno/CUBIC/BBR need latched ECE or no \
+             ECN (use TcpConfig::with_cc to pick a consistent pair)",
+            self.cc,
+            self.ecn
+        );
     }
 }
 
@@ -167,6 +208,56 @@ mod tests {
     fn bad_gain_rejected() {
         TcpConfig {
             dctcp_g: 0.0,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn with_ecn_picks_the_pre_refactor_controller() {
+        assert_eq!(TcpConfig::with_ecn(EcnMode::Off).cc, CcAlg::Reno);
+        assert_eq!(TcpConfig::with_ecn(EcnMode::Ecn).cc, CcAlg::Reno);
+        assert_eq!(TcpConfig::with_ecn(EcnMode::Dctcp).cc, CcAlg::Dctcp);
+    }
+
+    #[test]
+    fn with_cc_picks_a_consistent_ecn_mode() {
+        for alg in CcAlg::ALL {
+            for hint in [EcnMode::Off, EcnMode::Ecn, EcnMode::Dctcp] {
+                TcpConfig::with_cc(alg, hint).validate();
+            }
+        }
+        assert_eq!(
+            TcpConfig::with_cc(CcAlg::Prague, EcnMode::Off).ecn,
+            EcnMode::Dctcp
+        );
+        assert_eq!(
+            TcpConfig::with_cc(CcAlg::Cubic, EcnMode::Dctcp).ecn,
+            EcnMode::Ecn
+        );
+        assert_eq!(
+            TcpConfig::with_cc(CcAlg::Bbr, EcnMode::Off).ecn,
+            EcnMode::Off
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn ce_fraction_controller_without_dctcp_echo_rejected() {
+        TcpConfig {
+            cc: CcAlg::Prague,
+            ecn: EcnMode::Ecn,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn loss_based_controller_with_dctcp_echo_rejected() {
+        TcpConfig {
+            cc: CcAlg::Cubic,
+            ecn: EcnMode::Dctcp,
             ..Default::default()
         }
         .validate();

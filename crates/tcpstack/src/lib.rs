@@ -33,8 +33,10 @@ mod sender;
 
 pub use agent::TcpAgent;
 pub use config::{EcnMode, TcpConfig};
+// Re-exported so downstream crates pick the controller without naming simcc.
 pub use intervals::IntervalSet;
 pub use reassembly::Reassembly;
 pub use receiver::{Receiver, ReceiverStats};
 pub use rtt::RttEstimator;
 pub use sender::{Sender, SenderStats};
+pub use simcc::{CcAlg, CongestionController};

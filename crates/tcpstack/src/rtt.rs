@@ -67,6 +67,19 @@ impl RttEstimator {
         self.backoff = self.backoff.saturating_add(1);
     }
 
+    /// Clear the exponential backoff without feeding a sample.
+    ///
+    /// Karn's rule forbids sampling retransmitted ranges, so after a
+    /// go-back-N burst every segment in flight is a retransmission and
+    /// [`RttEstimator::sample`] may not run for several windows — yet a
+    /// cumulative ACK that advances `snd_una` proves the path is forwarding
+    /// again. Linux resets `icsk_backoff` on exactly that evidence (and on
+    /// handshake completion after SYN retransmissions); callers apply the
+    /// same rule here.
+    pub fn reset_backoff(&mut self) {
+        self.backoff = 0;
+    }
+
     /// Current backoff exponent (0 = none).
     pub fn backoff_level(&self) -> u32 {
         self.backoff
@@ -148,6 +161,22 @@ mod tests {
             e.back_off();
         }
         assert_eq!(e.rto(), SimDuration::from_secs(60), "capped at max_rto");
+    }
+
+    #[test]
+    fn reset_backoff_clears_without_sample() {
+        let mut e = est();
+        e.sample(SimDuration::from_millis(100));
+        let base = e.rto();
+        e.back_off();
+        e.back_off();
+        assert_eq!(e.backoff_level(), 2);
+        e.reset_backoff();
+        assert_eq!(e.backoff_level(), 0);
+        // No sample was fed, so the smoothed estimate is untouched: the RTO
+        // returns to its pre-backoff value exactly.
+        assert_eq!(e.rto(), base);
+        assert_eq!(e.srtt(), Some(SimDuration::from_millis(100)));
     }
 
     #[test]

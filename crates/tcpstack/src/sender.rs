@@ -1,11 +1,16 @@
-//! The sending endpoint: NewReno congestion control, ECN and DCTCP reactions.
+//! The sending endpoint: reliability, recovery and ECN mechanics, with the
+//! window itself delegated to a pluggable `simcc` congestion controller.
 
 use crate::agent::TcpAgent;
-use crate::config::{EcnMode, TcpConfig};
+use crate::config::TcpConfig;
 use crate::intervals::IntervalSet;
 use crate::rtt::RttEstimator;
 use netpacket::{EcnCodepoint, FlowId, NodeId, Packet, PacketId, TcpFlags};
 use serde::{Deserialize, Serialize};
+use simcc::{
+    cwnd_change_tag, Cc, CcParams, CongestionController, REASON_ACK, REASON_APP_LIMITED,
+    REASON_ECE, REASON_LOSS, REASON_RTO,
+};
 use simevent::SimTime;
 use simtrace::{EventKind, TraceEvent, TraceHandle, NO_QUEUE};
 
@@ -26,6 +31,9 @@ pub struct SenderStats {
     pub ece_acks: u64,
     /// Congestion-window reductions caused by ECN (ECE) rather than loss.
     pub ecn_reductions: u64,
+    /// Classic-ECN-AQM fallback episodes detected by the controller (Prague
+    /// only; always 0 for the other algorithms).
+    pub cc_fallbacks: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,31 +47,24 @@ enum State {
 }
 
 /// The congestion-control fields every ACK touches, grouped so the per-ACK
-/// hot path (`on_new_ack` → `dctcp_account` → `ecn_reduce`) reads and writes
-/// one ~64-byte struct instead of fields scattered across the ~450-byte
+/// hot path (`on_new_ack` → CE feedback → ECE reaction) reads and writes one
+/// compact struct instead of fields scattered across the ~450-byte
 /// [`Sender`]. The struct-of-arrays split at the host layer
 /// (`netsim::Network`'s endpoint columns) keeps these together per endpoint;
-/// this grouping keeps them together *within* the endpoint.
+/// this grouping keeps them together *within* the endpoint. The window
+/// itself lives in the embedded [`Cc`] controller — a `Copy` enum, so the
+/// whole struct is still inline, allocation-free state (Reno/DCTCP stay
+/// within the pre-`simcc` ~64-byte budget; see `simcc`'s size assertions).
 #[derive(Debug, Clone, Copy)]
 struct CongState {
     /// Oldest unacknowledged sequence number.
     snd_una: u64,
-    /// Congestion window, bytes (fractional: DCTCP scales multiplicatively).
-    cwnd: f64,
-    /// Slow-start threshold, bytes.
-    ssthresh: f64,
     /// Consecutive duplicate-ACK count.
     dupacks: u32,
     /// Reduce-once-per-window guard: ignore ECE until snd_una passes this.
     cwr_end: u64,
-    /// DCTCP fraction-of-marked-bytes EWMA.
-    alpha: f64,
-    /// Bytes acked with CE feedback in the current observation window.
-    ce_acked: u64,
-    /// Total bytes acked in the current observation window.
-    window_acked: u64,
-    /// Sequence number closing the current DCTCP observation window.
-    alpha_end: u64,
+    /// The pluggable congestion controller (owns cwnd/ssthresh/alpha).
+    cc: Cc,
 }
 
 /// A one-directional TCP sender pushing `total_bytes` to a [`crate::Receiver`].
@@ -81,6 +82,11 @@ pub struct Sender {
 
     /// Congestion-control hot state (see [`CongState`]).
     cong: CongState,
+    /// Static parameters handed to every controller hook.
+    ccp: CcParams,
+    /// Why the window last moved (a `simcc::REASON_*` code), carried into the
+    /// `CwndChange` trace event's `c` field.
+    cwnd_reason: u64,
     snd_nxt: u64,
     in_recovery: bool,
     recover: u64,
@@ -131,8 +137,14 @@ impl Sender {
         now: SimTime,
     ) -> Self {
         cfg.validate();
-        let cwnd = (cfg.init_cwnd_segments as f64) * cfg.mss as f64;
-        let ssthresh = cfg.recv_wnd as f64;
+        let ccp = CcParams {
+            mss: cfg.mss as f64,
+            init_cwnd: (cfg.init_cwnd_segments as f64) * cfg.mss as f64,
+            init_ssthresh: cfg.recv_wnd as f64,
+            dctcp_g: cfg.dctcp_g,
+        };
+        let cc = Cc::new(cfg.cc, &ccp);
+        let traced_window = (cc.cwnd(), cc.ssthresh());
         let rtt = RttEstimator::new(cfg.initial_rto, cfg.min_rto, cfg.max_rto);
         let mut s = Sender {
             cfg,
@@ -143,15 +155,12 @@ impl Sender {
             state: State::SynSent,
             cong: CongState {
                 snd_una: 0,
-                cwnd,
-                ssthresh,
                 dupacks: 0,
                 cwr_end: 0,
-                alpha: 1.0,
-                ce_acked: 0,
-                window_acked: 0,
-                alpha_end: 1,
+                cc,
             },
+            ccp,
+            cwnd_reason: REASON_ACK,
             snd_nxt: 1, // SYN occupies seq 0
             in_recovery: false,
             recover: 0,
@@ -169,7 +178,7 @@ impl Sender {
             started_at: now,
             completed_at: None,
             trace: TraceHandle::null(),
-            traced_window: (cwnd, ssthresh),
+            traced_window,
         };
         s.send_syn(now);
         s
@@ -216,11 +225,13 @@ impl Sender {
         if !self.trace.is_enabled() {
             return;
         }
-        if self.traced_window != (self.cong.cwnd, self.cong.ssthresh) {
-            self.traced_window = (self.cong.cwnd, self.cong.ssthresh);
+        let pair = (self.cong.cc.cwnd(), self.cong.cc.ssthresh());
+        if self.traced_window != pair {
+            self.traced_window = pair;
             let mut ev = self.sender_ev(EventKind::CwndChange, now);
-            ev.a = self.cong.cwnd as u64;
-            ev.b = self.cong.ssthresh as u64;
+            ev.a = pair.0 as u64;
+            ev.b = pair.1 as u64;
+            ev.c = cwnd_change_tag(self.cong.cc.alg(), self.cwnd_reason);
             self.trace.emit(ev);
         }
     }
@@ -239,17 +250,33 @@ impl Sender {
 
     /// Congestion window in bytes.
     pub fn cwnd(&self) -> f64 {
-        self.cong.cwnd
+        self.cong.cc.cwnd()
     }
 
     /// Slow-start threshold in bytes.
     pub fn ssthresh(&self) -> f64 {
-        self.cong.ssthresh
+        self.cong.cc.ssthresh()
     }
 
-    /// DCTCP's congestion-extent estimate.
+    /// DCTCP-family congestion-extent estimate (1.0 for other controllers).
     pub fn alpha(&self) -> f64 {
-        self.cong.alpha
+        self.cong.cc.alpha()
+    }
+
+    /// Which congestion-control algorithm this flow runs.
+    pub fn cc_alg(&self) -> simcc::CcAlg {
+        self.cong.cc.alg()
+    }
+
+    /// The controller's model-based pacing rate, if it computes one (BBR).
+    pub fn pacing_rate(&self) -> Option<f64> {
+        self.cong.cc.pacing_rate()
+    }
+
+    /// True while the controller is in a classic-ECN fallback episode
+    /// (Prague only).
+    pub fn in_cc_fallback(&self) -> bool {
+        self.cong.cc.in_fallback()
     }
 
     /// True once the handshake completed and ECN was agreed by both ends.
@@ -372,6 +399,9 @@ impl Sender {
         }
         self.outbox.push(pkt);
         self.stats.data_segments_sent += 1;
+        self.cong
+            .cc
+            .on_sent(&self.ccp, len as u64, now.as_nanos(), is_retransmit);
         if is_retransmit {
             self.stats.retransmits += 1;
             // Karn: never sample RTT from a retransmitted range.
@@ -386,19 +416,18 @@ impl Sender {
 
     // ----- congestion control ---------------------------------------------
 
-    fn mss_f(&self) -> f64 {
-        self.cfg.mss as f64
-    }
-
     fn flight(&self) -> u64 {
         self.snd_nxt - self.cong.snd_una
     }
 
     fn usable_window(&self) -> f64 {
-        self.cong.cwnd.min(self.cfg.recv_wnd as f64)
+        self.cong.cc.cwnd().min(self.cfg.recv_wnd as f64)
     }
 
-    /// React to an ECE-carrying ACK, at most once per window.
+    /// React to an ECE-carrying ACK, at most once per window. The sender owns
+    /// the guards (negotiation, recovery, the CWR window); the controller
+    /// owns the reduction itself and may decline it (BBR ignores ECE), in
+    /// which case no CWR window starts and no reduction is counted.
     fn maybe_ecn_react(&mut self, ack: u64) {
         if !self.ecn_on || self.in_recovery {
             return;
@@ -406,46 +435,23 @@ impl Sender {
         if ack <= self.cong.cwr_end {
             return; // already reacted this window
         }
-        match self.cfg.ecn {
-            EcnMode::Ecn => {
-                // RFC 3168: same response as a loss, but without retransmission.
-                self.cong.ssthresh = (self.cong.cwnd / 2.0).max(2.0 * self.mss_f());
-                self.cong.cwnd = self.cong.ssthresh;
-            }
-            EcnMode::Dctcp => {
-                // DCTCP: scale by the congestion extent.
-                self.cong.cwnd = (self.cong.cwnd * (1.0 - self.cong.alpha / 2.0)).max(self.mss_f());
-                self.cong.ssthresh = self.cong.cwnd;
-            }
-            EcnMode::Off => return,
+        if !self.cong.cc.on_ece(&self.ccp) {
+            return;
         }
+        self.cwnd_reason = REASON_ECE;
         self.cong.cwr_end = self.snd_nxt;
         self.send_cwr = true;
         self.stats.ecn_reductions += 1;
     }
 
-    /// DCTCP per-window alpha update.
-    fn dctcp_account(&mut self, newly: u64, ece: bool, ack: u64) {
-        if self.cfg.ecn != EcnMode::Dctcp {
-            return;
-        }
-        self.cong.window_acked += newly;
-        if ece {
-            self.cong.ce_acked += newly;
-        }
-        if ack >= self.cong.alpha_end {
-            if self.cong.window_acked > 0 {
-                let f = self.cong.ce_acked as f64 / self.cong.window_acked as f64;
-                let g = self.cfg.dctcp_g;
-                self.cong.alpha = (1.0 - g) * self.cong.alpha + g * f;
-            }
-            self.cong.ce_acked = 0;
-            self.cong.window_acked = 0;
-            self.cong.alpha_end = self.snd_nxt;
-        }
-    }
-
     fn on_new_ack(&mut self, ack: u64, ece: bool, now: SimTime) {
+        self.cwnd_reason = REASON_ACK;
+        // Forward progress: the path delivered new data, so the exponential
+        // RTO backoff no longer reflects its state. Karn's rule alone cannot
+        // clear it — after a go-back-N burst every in-flight segment is a
+        // retransmission and no sample is ever taken, which left the backoff
+        // (and thus multi-second RTOs) stuck for the rest of the episode.
+        self.rtt.reset_backoff();
         // The ECN reduction window has passed: stop advertising CWR.
         if self.send_cwr && ack > self.cong.cwr_end {
             self.send_cwr = false;
@@ -455,14 +461,22 @@ impl Sender {
         // covered range is never retransmitted and flight() stays well-formed.
         self.snd_nxt = self.snd_nxt.max(ack);
         let newly = ack - self.cong.snd_una;
-        self.dctcp_account(newly, ece, ack);
+        // Per-ACK CE accounting (DCTCP's alpha window, Prague's round
+        // classifier); a no-op for the loss-based controllers.
+        self.cong
+            .cc
+            .on_ce_feedback(&self.ccp, newly, ece, ack, self.snd_nxt);
         if ece {
             self.maybe_ecn_react(ack);
         }
         // Complete an outstanding RTT sample.
         if let Some((need, sent)) = self.rtt_sample {
             if ack >= need {
-                self.rtt.sample(now.since(sent));
+                let dt = now.since(sent);
+                self.rtt.sample(dt);
+                self.cong
+                    .cc
+                    .on_rtt_sample(&self.ccp, dt.as_nanos(), now.as_nanos(), ece);
                 self.rtt_sample = None;
             }
         }
@@ -471,7 +485,8 @@ impl Sender {
             if ack >= self.recover {
                 // Full ACK: leave fast recovery.
                 self.in_recovery = false;
-                self.cong.cwnd = self.cong.ssthresh;
+                self.cong.cc.on_recovery_exit(&self.ccp);
+                self.cwnd_reason = REASON_LOSS;
                 self.cong.dupacks = 0;
                 self.cong.snd_una = ack;
             } else {
@@ -479,19 +494,22 @@ impl Sender {
                 // the receiver already holds), deflate (NewReno).
                 self.cong.snd_una = ack;
                 self.retx_point = self.retx_point.max(ack);
-                self.cong.cwnd = (self.cong.cwnd - newly as f64 + self.mss_f()).max(self.mss_f());
+                self.cong.cc.on_partial_ack(&self.ccp, newly);
+                self.cwnd_reason = REASON_LOSS;
                 let _ = self.retransmit_next_hole(now);
             }
         } else {
             self.cong.dupacks = 0;
             self.cong.snd_una = ack;
-            // Window growth.
-            if self.cong.cwnd < self.cong.ssthresh {
-                self.cong.cwnd += self.mss_f().min(newly as f64);
-            } else {
-                self.cong.cwnd += self.mss_f() * self.mss_f() / self.cong.cwnd;
+            // Window growth. A controller that *shrinks* here did so on its
+            // own model (BBR Drain/ProbeRTT), not on a congestion signal.
+            let pre = self.cong.cc.cwnd();
+            self.cong.cc.on_ack(&self.ccp, newly, now.as_nanos());
+            if self.cong.cc.cwnd() < pre && self.cwnd_reason == REASON_ACK {
+                self.cwnd_reason = REASON_APP_LIMITED;
             }
         }
+        self.stats.cc_fallbacks = self.cong.cc.fallback_count();
         // Restart or disarm the retransmission timer.
         if self.has_outstanding() {
             self.rto_deadline = Some(now + self.rtt.rto());
@@ -512,17 +530,19 @@ impl Sender {
         if !self.has_outstanding() {
             return;
         }
+        self.cwnd_reason = REASON_ACK;
         if ece {
             self.maybe_ecn_react(self.cong.snd_una);
         }
         if self.in_recovery {
             // Inflate: each dup signals a departed segment.
-            self.cong.cwnd += self.mss_f();
+            self.cong.cc.on_recovery_dupack(&self.ccp);
+            self.cwnd_reason = REASON_LOSS;
             if self.cfg.sack && !self.sacked.is_empty() && self.retransmit_next_hole(now) {
                 // SACK fast recovery: the freed slot was spent repairing a
                 // hole, so take the inflation back — exactly one packet
                 // enters the network per dupack, as in classic recovery.
-                self.cong.cwnd -= self.mss_f();
+                self.cong.cc.undo_recovery_dupack(&self.ccp);
             }
             return;
         }
@@ -549,8 +569,8 @@ impl Sender {
             }
             // Fast retransmit + fast recovery (NewReno; SACK-aware hole
             // selection when the scoreboard has data).
-            self.cong.ssthresh = (self.flight() as f64 / 2.0).max(2.0 * self.mss_f());
-            self.cong.cwnd = self.cong.ssthresh + 3.0 * self.mss_f();
+            self.cong.cc.on_loss(&self.ccp, self.flight());
+            self.cwnd_reason = REASON_LOSS;
             self.in_recovery = true;
             self.recover = self.snd_nxt;
             self.retx_point = self.cong.snd_una;
@@ -701,8 +721,8 @@ impl Sender {
                     ev.b = self.snd_nxt;
                     self.trace.emit(ev);
                 }
-                self.cong.ssthresh = (self.flight() as f64 / 2.0).max(2.0 * self.mss_f());
-                self.cong.cwnd = self.mss_f();
+                self.cong.cc.on_rto(&self.ccp, self.flight());
+                self.cwnd_reason = REASON_RTO;
                 self.in_recovery = false;
                 self.cong.dupacks = 0;
                 self.retx_point = self.cong.snd_una;
@@ -733,6 +753,10 @@ impl TcpAgent for Sender {
                     self.cong.snd_una = 1;
                     self.set_state(State::Established, now);
                     self.rto_deadline = None;
+                    // The handshake completed: SYN-retransmission backoff must
+                    // not inflate the very first data RTO (SYNs are never
+                    // sampled, so nothing else would ever clear it).
+                    self.rtt.reset_backoff();
                     self.send_handshake_ack(now);
                     if self.total == 0 {
                         self.set_state(State::Complete, now);
@@ -808,6 +832,8 @@ impl TcpAgent for Sender {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::EcnMode;
+    use simevent::SimDuration;
 
     const MSS: u64 = 1460;
 
@@ -1079,6 +1105,58 @@ mod tests {
             una_before,
             "ack for unsent data must be ignored"
         );
+    }
+
+    #[test]
+    fn handshake_completion_clears_syn_backoff() {
+        // Two dropped SYNs back the RTO off to 4x. Once the SYN-ACK lands the
+        // backoff must not leak into the first data RTO: SYNs are excluded
+        // from sampling, so without an explicit reset nothing clears it and
+        // the flow starts life with a multi-second timer.
+        let mut s = mk(1_000_000, EcnMode::Off);
+        let _ = s.take_outbox();
+        let d1 = s.next_deadline().expect("SYN timer armed");
+        s.on_timer(d1);
+        let d2 = s.next_deadline().expect("re-armed after first SYN loss");
+        s.on_timer(d2);
+        assert_eq!(s.stats().syn_retransmits, 2);
+        assert_eq!(s.rtt.backoff_level(), 2);
+        let est_at = d2 + SimDuration::from_millis(1);
+        s.on_segment(&syn_ack(false), est_at);
+        assert_eq!(s.rtt.backoff_level(), 0, "handshake resets backoff");
+        // The data RTO armed at establishment uses the plain initial RTO
+        // (1 s), not the 4x backed-off one.
+        assert_eq!(
+            s.next_deadline(),
+            Some(est_at + SimDuration::from_secs(1)),
+            "first data RTO must not inherit SYN backoff"
+        );
+    }
+
+    #[test]
+    fn forward_progress_ack_clears_rto_backoff() {
+        // After a go-back-N burst every in-flight segment is a retransmission,
+        // so Karn's rule suppresses all samples and `RttEstimator::sample`
+        // never runs to clear the backoff. A cumulative ACK that advances
+        // snd_una is direct evidence the path forwards again and must reset
+        // it (Linux clears icsk_backoff on exactly this signal).
+        let mut s = established(1_000_000, EcnMode::Off);
+        let _ = s.take_outbox();
+        s.on_segment(&ack(1 + 2 * MSS, TcpFlags::ACK), SimTime::from_micros(200));
+        let _ = s.take_outbox();
+        let d1 = s.next_deadline().expect("RTO armed with data in flight");
+        s.on_timer(d1);
+        let d2 = s.next_deadline().expect("re-armed after first timeout");
+        s.on_timer(d2);
+        assert_eq!(s.stats().timeouts, 2);
+        assert_eq!(s.rtt.backoff_level(), 2);
+        // The retransmissions are never sampled (Karn), yet this ACK advances
+        // snd_una: backoff must clear even with no sample taken.
+        s.on_segment(
+            &ack(1 + 3 * MSS, TcpFlags::ACK),
+            d2 + SimDuration::from_millis(1),
+        );
+        assert_eq!(s.rtt.backoff_level(), 0, "forward progress resets backoff");
     }
 
     #[test]
