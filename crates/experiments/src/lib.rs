@@ -16,7 +16,8 @@
 //! `results/.cache/` (`--no-cache` to bypass), merging results in point
 //! order so parallel, serial and cache-served runs emit byte-identical
 //! JSON. The [`gate`] module holds the benchmark regression gate
-//! (`bench_gate` bin, `BENCH_5.json`) that CI enforces.
+//! (`bench_gate` bin, `BENCH_5.json`) that CI enforces, and the [`verify`]
+//! module the `simverify` schedule-permutation determinism checker.
 
 pub mod cc_matrix;
 pub mod claims;
@@ -27,6 +28,7 @@ pub mod report;
 pub mod scenario;
 pub mod simsweep;
 pub mod sweep;
+pub mod verify;
 
 pub use scenario::{run_scenario, BufferDepth, QueueKind, RunMetrics, ScenarioConfig, Transport};
 pub use simsweep::{CacheMode, SweepOptions, SweepStats};

@@ -125,6 +125,12 @@ pub struct ScenarioConfig {
     /// [`TcpConfig::with_cc`]). Part of the sweep cache key: adding the
     /// field re-keys every cached point.
     pub cc: Option<CcAlg>,
+    /// Same-instant tie-break permutation seed. `None` (the default, and the
+    /// production contract) pops same-timestamp events FIFO; `Some(seed)`
+    /// runs the whole simulation under `TieBreak::Permuted(seed)` — the
+    /// `simverify` hook that proves results are tie-break-order independent.
+    /// Part of the sweep cache key like every other field.
+    pub tie_seed: Option<u64>,
     /// Base RNG seed.
     pub seed: u64,
     /// Independent repetitions per point (different seeds); reported metrics
@@ -148,6 +154,7 @@ impl Default for ScenarioConfig {
             mean_packet_bytes: 1526,
             shuffle_jitter: SimDuration::from_millis(10),
             cc: None,
+            tie_seed: None,
             seed: 20170905, // CLUSTER 2017 conference date
             seed_count: 3,
             time_limit: SimTime::from_secs(600),
@@ -429,6 +436,9 @@ pub fn run_scenario_once_full(
     let app = TerasortJob::new(job, n);
     let mut sim = Simulation::new(net, app);
     sim.time_limit = cfg.time_limit;
+    if let Some(tie_seed) = cfg.tie_seed {
+        sim.tie_break = simevent::TieBreak::Permuted(tie_seed);
+    }
     let report = match engine {
         Engine::Fast => sim.run(),
         Engine::Reference => {

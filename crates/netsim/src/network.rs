@@ -23,6 +23,22 @@ pub enum DevRef {
     Switch(usize),
 }
 
+/// The tie-break lane of a device: the entity a sharded engine would own.
+/// Hosts take even lanes, switches odd; two reserved lanes at the top of the
+/// `u16` range cover the non-device producers (application, sampler).
+#[inline]
+pub(crate) fn dev_lane(dev: DevRef) -> u16 {
+    match dev {
+        DevRef::Host(i) => 2 * i as u16,
+        DevRef::Switch(i) => 2 * i as u16 + 1,
+    }
+}
+
+/// Reserved lane for application-scheduled timers ([`Event::AppTimer`]).
+pub(crate) const APP_LANE: u16 = 0xFFFF;
+/// Reserved lane for the queue-trace sampler ([`Event::Sample`]).
+pub(crate) const SAMPLE_LANE: u16 = 0xFFFE;
+
 /// Simulation events.
 ///
 /// Events carry [`PacketRef`] pool handles, not packets: a `ScheduledEvent`
@@ -205,7 +221,13 @@ pub struct Network {
     flows: Vec<FlowRecord>,
     /// Endpoint locations, parallel to `flows`.
     flow_slots: Vec<FlowSlot>,
-    pending: Vec<(SimTime, Event)>,
+    /// Events generated since the last drain, each tagged with the lane of
+    /// the *producing* entity ([`dev_lane`], or a reserved lane). The sim
+    /// loop packs producer + destination into the tie-break lane so that
+    /// under [`simevent::TieBreak::Permuted`] same-instant events at one
+    /// destination keep a canonical per-source order — the deterministic
+    /// merge a sharded engine performs on its inbound channels.
+    pending: Vec<(SimTime, u16, Event)>,
     /// The packet arena every [`Event::Arrive`] and port queue indexes into.
     /// In reference mode its storage is one `Box` per packet (seed model).
     pool: PacketPool,
@@ -261,7 +283,7 @@ fn start_tx_batched(
     dev: DevRef,
     idx: usize,
     now: SimTime,
-    pending: &mut Vec<(SimTime, Event)>,
+    pending: &mut Vec<(SimTime, u16, Event)>,
     pool: &mut PacketPool,
 ) {
     debug_assert!(now >= port.busy_until, "port serviced while line busy");
@@ -276,6 +298,7 @@ fn start_tx_batched(
     port.busy_until = done;
     pending.push((
         done + port.link.delay,
+        dev_lane(dev),
         Event::Arrive {
             dev: port.peer,
             packet: r,
@@ -283,7 +306,7 @@ fn start_tx_batched(
     ));
     if !port.qdisc.is_empty() {
         port.wakeup_armed = true;
-        pending.push((done, Event::PortFree { dev, port: idx }));
+        pending.push((done, dev_lane(dev), Event::PortFree { dev, port: idx }));
     }
 }
 
@@ -293,7 +316,7 @@ fn enqueue_and_kick(
     idx: usize,
     packet: PacketRef,
     now: SimTime,
-    pending: &mut Vec<(SimTime, Event)>,
+    pending: &mut Vec<(SimTime, u16, Event)>,
     pool: &mut PacketPool,
 ) -> EnqueueOutcome {
     let out = port.qdisc.enqueue_ref(packet, pool, now);
@@ -311,7 +334,11 @@ fn enqueue_and_kick(
         // Busy line, nothing was queued at transmission start: arm the
         // wakeup that start_tx_batched skipped.
         port.wakeup_armed = true;
-        pending.push((port.busy_until, Event::PortFree { dev, port: idx }));
+        pending.push((
+            port.busy_until,
+            dev_lane(dev),
+            Event::PortFree { dev, port: idx },
+        ));
     }
     out
 }
@@ -518,7 +545,7 @@ impl Network {
 
     /// Ask the sim loop to deliver an [`Event::AppTimer`] at `at`.
     pub fn schedule_app_timer(&mut self, at: SimTime, token: u64) {
-        self.pending.push((at, Event::AppTimer { token }));
+        self.pending.push((at, APP_LANE, Event::AppTimer { token }));
     }
 
     /// Record queue-occupancy samples of one switch port every `interval`.
@@ -538,7 +565,8 @@ impl Network {
             trace: QueueTrace::new(max_samples),
             armed: false,
         });
-        self.pending.push((SimTime::ZERO, Event::Sample));
+        self.pending
+            .push((SimTime::ZERO, SAMPLE_LANE, Event::Sample));
     }
 
     /// The recorded queue trace, if tracing was enabled.
@@ -706,7 +734,8 @@ impl Network {
         ts.armed = true;
         if (ts.trace.samples().len()) < usize::MAX {
             // Keep sampling; the trace itself caps retained samples.
-            self.pending.push((now + ts.interval, Event::Sample));
+            self.pending
+                .push((now + ts.interval, SAMPLE_LANE, Event::Sample));
         }
     }
 
@@ -776,7 +805,7 @@ impl Network {
             let d = d.max(now);
             if host.timer_scheduled.is_none_or(|t| d < t) {
                 host.timer_scheduled = Some(d);
-                pending.push((d, Event::HostTimers { host: h }));
+                pending.push((d, dev_lane(DevRef::Host(h)), Event::HostTimers { host: h }));
             }
         }
     }
@@ -868,7 +897,8 @@ impl Network {
             let d = d.max(now);
             if host.timer_scheduled.is_none_or(|t| d < t) {
                 host.timer_scheduled = Some(d);
-                self.pending.push((d, Event::HostTimers { host: h }));
+                self.pending
+                    .push((d, dev_lane(DevRef::Host(h)), Event::HostTimers { host: h }));
             }
         }
     }
@@ -876,14 +906,14 @@ impl Network {
     // ----- draining by the sim loop -----------------------------------------
 
     /// Take the events generated since the last call.
-    pub fn take_pending(&mut self) -> Vec<(SimTime, Event)> {
+    pub fn take_pending(&mut self) -> Vec<(SimTime, u16, Event)> {
         std::mem::take(&mut self.pending)
     }
 
     /// Like [`Network::take_pending`], but swaps the pending buffer with
     /// `buf` (which must be empty) so the event loop can reuse one allocation
     /// for the lifetime of the run instead of allocating per event.
-    pub fn swap_pending(&mut self, buf: &mut Vec<(SimTime, Event)>) {
+    pub fn swap_pending(&mut self, buf: &mut Vec<(SimTime, u16, Event)>) {
         debug_assert!(buf.is_empty(), "swap_pending requires an empty buffer");
         std::mem::swap(&mut self.pending, buf);
     }
@@ -903,7 +933,7 @@ impl Network {
     /// snapshot — how [`crate::PairApp`] namespaces its secondary
     /// application's timers.
     pub fn tag_new_app_timers(&mut self, since: usize, bit: u64) {
-        for (_, ev) in self.pending.iter_mut().skip(since) {
+        for (_, _, ev) in self.pending.iter_mut().skip(since) {
             if let Event::AppTimer { token } = ev {
                 *token |= bit;
             }

@@ -1,9 +1,10 @@
 //! The event loop and the application hook.
 
-use crate::network::{Event, Network};
+use crate::network::{dev_lane, DevRef, Event, Network, APP_LANE, SAMPLE_LANE};
 use netpacket::{FlowId, NodeId};
 use simevent::{
-    HeapScheduler, QueueBackend, RunOutcome, Scheduler, SchedulerConfig, SimTime, TimerHandle,
+    HeapScheduler, QueueBackend, RunOutcome, Scheduler, SchedulerConfig, SimTime, TieBreak,
+    TimerHandle,
 };
 use tcpstack::TcpConfig;
 
@@ -48,6 +49,39 @@ pub struct Simulation<A: Application> {
     pub app: A,
     /// Hard wall on simulated time.
     pub time_limit: SimTime,
+    /// Same-instant event ordering. [`TieBreak::Fifo`] (the default) is the
+    /// production contract; `simverify` sets [`TieBreak::Permuted`] to prove
+    /// results are independent of same-timestamp tie-break order.
+    pub tie_break: TieBreak,
+}
+
+/// The destination lane of an event: its *handling* entity — the shard that
+/// would own it. A host's timers share its device lane (one shard owns
+/// both); the application and the metrics sampler each get a reserved lane.
+#[inline]
+fn event_dest_lane(ev: &Event) -> u16 {
+    match ev {
+        Event::Arrive { dev, .. } | Event::PortFree { dev, .. } => dev_lane(*dev),
+        Event::HostTimers { host } => dev_lane(DevRef::Host(*host)),
+        Event::AppTimer { .. } => APP_LANE,
+        Event::Sample => SAMPLE_LANE,
+    }
+}
+
+/// Pack an event's (destination, producer) pair into the tie-break lane.
+///
+/// Under [`TieBreak::Permuted`] the key orders same-instant events by
+/// (seeded destination rank, source, FIFO): cross-destination order is
+/// permuted — the freedom a sharded engine has — while one destination's
+/// same-instant inbox keeps a *canonical* per-source order, independent of
+/// the upstream execution interleaving. That is exactly the deterministic
+/// per-channel merge a sharded engine performs, and it is what makes the
+/// permutation check a sound conformance oracle: without the source key, a
+/// permuted upstream order at time `t` would leak into the seq order of
+/// same-destination arrivals at `t + delay` and diverge on queue physics.
+#[inline]
+fn event_tie_lane(src: u16, ev: &Event) -> u64 {
+    simevent::pack_lane(event_dest_lane(ev), src)
 }
 
 impl<A: Application> Simulation<A> {
@@ -57,6 +91,7 @@ impl<A: Application> Simulation<A> {
             net,
             app,
             time_limit: SimTime::from_secs(3600),
+            tie_break: TieBreak::Fifo,
         }
     }
 
@@ -78,6 +113,7 @@ impl<A: Application> Simulation<A> {
         let mut sched: Scheduler<Event, Q> = Scheduler::new(SchedulerConfig {
             time_limit: self.time_limit,
             event_limit: u64::MAX,
+            tie_break: self.tie_break,
         });
         let net = &mut self.net;
         let app = &mut self.app;
@@ -88,27 +124,31 @@ impl<A: Application> Simulation<A> {
         let mut timer_handles: Vec<Option<TimerHandle>> = vec![None; net.num_hosts()];
         // Reused pending-event buffer: the per-event drain swaps it with the
         // network's (empty) buffer instead of allocating a fresh Vec.
-        let mut inbox: Vec<(SimTime, Event)> = Vec::new();
+        let mut inbox: Vec<(SimTime, u16, Event)> = Vec::new();
 
         fn drain(
             sched: &mut Scheduler<Event, impl QueueBackend<Event>>,
-            inbox: &mut Vec<(SimTime, Event)>,
+            inbox: &mut Vec<(SimTime, u16, Event)>,
             timer_handles: &mut [Option<TimerHandle>],
             net: &mut Network,
             now: SimTime,
         ) {
             net.swap_pending(inbox);
-            for (t, e) in inbox.drain(..) {
+            for (t, src, e) in inbox.drain(..) {
                 let t = t.max(now);
+                let lane = event_tie_lane(src, &e);
                 match e {
                     Event::HostTimers { host } => {
                         if let Some(h) = timer_handles[host].take() {
                             sched.cancel(h);
                         }
-                        timer_handles[host] =
-                            Some(sched.schedule_cancellable_at(t, Event::HostTimers { host }));
+                        timer_handles[host] = Some(sched.schedule_cancellable_at_in_lane(
+                            t,
+                            lane,
+                            Event::HostTimers { host },
+                        ));
                     }
-                    e => sched.schedule_at(t, e),
+                    e => sched.schedule_at_in_lane(t, lane, e),
                 }
             }
         }
@@ -169,13 +209,15 @@ impl<A: Application> Simulation<A> {
         let mut sched: HeapScheduler<Event> = Scheduler::new(SchedulerConfig {
             time_limit: self.time_limit,
             event_limit: u64::MAX,
+            tie_break: self.tie_break,
         });
         let net = &mut self.net;
         let app = &mut self.app;
 
         app.on_start(net, SimTime::ZERO);
-        for (t, e) in net.take_pending() {
-            sched.schedule_at(t, e);
+        for (t, src, e) in net.take_pending() {
+            let lane = event_tie_lane(src, &e);
+            sched.schedule_at_in_lane(t, lane, e);
         }
         if app.done(net) {
             return RunReport {
@@ -196,8 +238,9 @@ impl<A: Application> Simulation<A> {
             for f in net.take_completed() {
                 app.on_flow_complete(f, net, now);
             }
-            for (t, e) in net.take_pending() {
-                sched.schedule_at(t.max(now), e);
+            for (t, src, e) in net.take_pending() {
+                let lane = event_tie_lane(src, &e);
+                sched.schedule_at_in_lane(t.max(now), lane, e);
             }
             !app.done(net)
         });

@@ -305,6 +305,61 @@ mod tests {
     }
 
     #[test]
+    fn recovery_needs_consecutive_clear_rounds_then_restores_scalable_ece() {
+        let p = test_params();
+        let mut pr = Prague::new(&p);
+        for _ in 0..DETECT_ROUNDS {
+            round(&mut pr, &p, 0.1);
+        }
+        assert!(pr.in_fallback());
+
+        // While fallen back, ECE gets the Reno response: cwnd drops to
+        // exactly half (ssthresh = cwnd/2, cwnd = ssthresh).
+        pr.w.cwnd = 100.0 * p.mss;
+        pr.on_ece(&p);
+        assert!(
+            (pr.cwnd() - 50.0 * p.mss).abs() < 1e-9,
+            "fallback ECE must halve, got {} mss",
+            pr.cwnd() / p.mss
+        );
+
+        // CLEAR_ROUNDS - 1 mark-free rounds are not enough to recover...
+        for i in 1..CLEAR_ROUNDS {
+            round(&mut pr, &p, 0.0);
+            assert!(pr.in_fallback(), "recovered after only {i} clear rounds");
+        }
+        // ...and a single sparse-marked round resets the streak, so the
+        // next CLEAR_ROUNDS - 1 clear rounds still don't end the episode.
+        round(&mut pr, &p, 0.1);
+        for _ in 1..CLEAR_ROUNDS {
+            round(&mut pr, &p, 0.0);
+        }
+        assert!(pr.in_fallback(), "clear rounds must be consecutive");
+
+        // The CLEAR_ROUNDS-th consecutive mark-free round ends the episode.
+        round(&mut pr, &p, 0.0);
+        assert!(!pr.in_fallback());
+        assert_eq!(pr.fallback_count(), 1, "recovery is not a new episode");
+
+        // Recovered, the ECE response reverts to the alpha-proportional
+        // scalable cut — gentler than Reno's half once alpha has decayed.
+        pr.w.cwnd = 100.0 * p.mss;
+        let alpha = pr.alpha();
+        pr.on_ece(&p);
+        let scalable = (100.0 * p.mss * (1.0 - alpha / 2.0)).max(p.mss);
+        assert!(
+            (pr.cwnd() - scalable).abs() < 1e-9,
+            "post-recovery ECE must cut by alpha/2: got {} mss, want {} mss",
+            pr.cwnd() / p.mss,
+            scalable / p.mss
+        );
+        assert!(
+            pr.cwnd() > 50.0 * p.mss,
+            "decayed alpha ({alpha}) makes the scalable cut gentler than Reno"
+        );
+    }
+
+    #[test]
     fn dense_step_marking_never_falls_back() {
         let p = test_params();
         let mut pr = Prague::new(&p);

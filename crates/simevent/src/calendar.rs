@@ -32,6 +32,7 @@
 
 use crate::handle::{CancelSet, TimerHandle};
 use crate::queue::{QueueBackend, ScheduledEvent};
+use crate::tiebreak::TieBreak;
 use crate::time::SimTime;
 use std::collections::BinaryHeap;
 
@@ -70,6 +71,7 @@ pub struct CalendarQueue<E> {
     next_seq: u64,
     scheduled_total: u64,
     cancels: CancelSet,
+    tie_break: TieBreak,
 }
 
 impl<E> Default for CalendarQueue<E> {
@@ -82,6 +84,15 @@ impl<E> CalendarQueue<E> {
     /// An empty queue with the default geometry (512 buckets × ~2 µs).
     pub fn new() -> Self {
         Self::with_geometry(DEFAULT_BUCKET_SHIFT, DEFAULT_BUCKETS)
+    }
+
+    /// An empty queue (default geometry) ordering same-instant events by
+    /// `tie_break`. Must be set at construction: changing the policy after
+    /// events are queued would leave mixed tie keys in the heaps.
+    pub fn with_tie_break(tie_break: TieBreak) -> Self {
+        let mut q = Self::new();
+        q.tie_break = tie_break;
+        q
     }
 
     /// An empty queue with buckets of `1 << bucket_shift` nanoseconds and
@@ -101,6 +112,7 @@ impl<E> CalendarQueue<E> {
             next_seq: 0,
             scheduled_total: 0,
             cancels: CancelSet::default(),
+            tie_break: TieBreak::Fifo,
         }
     }
 
@@ -118,10 +130,10 @@ impl<E> CalendarQueue<E> {
     }
 
     #[inline]
-    fn push(&mut self, at: SimTime, event: E) -> u64 {
+    fn push(&mut self, at: SimTime, lane: u64, event: E) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.insert_with_seq(at, seq, event);
+        self.insert_with_seq(at, seq, lane, event);
         seq
     }
 
@@ -129,11 +141,17 @@ impl<E> CalendarQueue<E> {
     /// [`HybridQueue`](crate::HybridQueue) owns one shared counter across its
     /// sub-queues so FIFO tie-breaks stay global.
     #[inline]
-    pub(crate) fn insert_with_seq(&mut self, at: SimTime, seq: u64, event: E) {
+    pub(crate) fn insert_with_seq(&mut self, at: SimTime, seq: u64, lane: u64, event: E) {
         self.scheduled_total += 1;
         self.raw_len += 1;
         let t = at.as_nanos();
-        let se = ScheduledEvent { at, seq, event };
+        let tie = self.tie_break.key(seq, lane);
+        let se = ScheduledEvent {
+            at,
+            seq,
+            tie,
+            event,
+        };
         if t < self.cursor_start() {
             // Behind the cursor: strictly earlier than everything still in
             // the window, so it must win the next pop.
@@ -148,7 +166,7 @@ impl<E> CalendarQueue<E> {
 
     /// Advance the cursor (sliding the window as needed) until the earliest
     /// live event sits atop the past heap or the cursor bucket, and return
-    /// its `(time, seq)` key without removing it. Reaps cancelled events it
+    /// its `(time, tie)` key without removing it. Reaps cancelled events it
     /// passes over. Cursor motion is order-neutral, so calling this without
     /// popping is always safe — the hybrid queue uses it to merge heads.
     pub(crate) fn prepare_head(&mut self) -> Option<(SimTime, u64)> {
@@ -156,7 +174,7 @@ impl<E> CalendarQueue<E> {
             // Past is strictly earlier than everything in the window.
             if let Some(se) = self.past.peek() {
                 if !self.cancels.is_cancelled(se.seq) {
-                    return Some((se.at, se.seq));
+                    return Some((se.at, se.tie));
                 }
                 let se = self.past.pop().expect("peeked event exists");
                 self.raw_len -= 1;
@@ -166,7 +184,7 @@ impl<E> CalendarQueue<E> {
             while self.cursor < self.buckets.len() {
                 match self.buckets[self.cursor].peek() {
                     Some(se) if !self.cancels.is_cancelled(se.seq) => {
-                        return Some((se.at, se.seq));
+                        return Some((se.at, se.tie));
                     }
                     Some(_) => {
                         let se = self.buckets[self.cursor]
@@ -241,14 +259,30 @@ impl<E> CalendarQueue<E> {
         }
     }
 
-    /// Schedule `event` to fire at absolute time `at`.
+    /// Schedule `event` to fire at absolute time `at` (default lane 0).
     pub fn schedule(&mut self, at: SimTime, event: E) {
-        self.push(at, event);
+        self.push(at, 0, event);
+    }
+
+    /// Schedule `event` at `at` in `lane` (the handling entity, used by
+    /// [`TieBreak::Permuted`] same-instant ordering; ignored under FIFO).
+    pub fn schedule_in_lane(&mut self, at: SimTime, lane: u64, event: E) {
+        self.push(at, lane, event);
     }
 
     /// Schedule `event` at `at`, returning a cancellation handle.
     pub fn schedule_cancellable(&mut self, at: SimTime, event: E) -> TimerHandle {
-        let seq = self.push(at, event);
+        self.schedule_cancellable_in_lane(at, 0, event)
+    }
+
+    /// Cancellable scheduling with an explicit lane.
+    pub fn schedule_cancellable_in_lane(
+        &mut self,
+        at: SimTime,
+        lane: u64,
+        event: E,
+    ) -> TimerHandle {
+        let seq = self.push(at, lane, event);
         self.cancels.register(seq)
     }
 
@@ -339,14 +373,14 @@ impl<E> CalendarQueue<E> {
 }
 
 impl<E> QueueBackend<E> for CalendarQueue<E> {
-    fn empty() -> Self {
-        Self::new()
+    fn with_tie_break(tie_break: TieBreak) -> Self {
+        CalendarQueue::with_tie_break(tie_break)
     }
-    fn schedule(&mut self, at: SimTime, event: E) {
-        CalendarQueue::schedule(self, at, event);
+    fn schedule_in_lane(&mut self, at: SimTime, lane: u64, event: E) {
+        CalendarQueue::schedule_in_lane(self, at, lane, event);
     }
-    fn schedule_cancellable(&mut self, at: SimTime, event: E) -> TimerHandle {
-        CalendarQueue::schedule_cancellable(self, at, event)
+    fn schedule_cancellable_in_lane(&mut self, at: SimTime, lane: u64, event: E) -> TimerHandle {
+        CalendarQueue::schedule_cancellable_in_lane(self, at, lane, event)
     }
     fn cancel(&mut self, handle: TimerHandle) -> bool {
         CalendarQueue::cancel(self, handle)
@@ -481,6 +515,7 @@ mod equivalence {
 
     use super::*;
     use crate::queue::EventQueue;
+    use crate::tiebreak::pack_lane;
     use proptest::prelude::*;
 
     #[derive(Debug, Clone)]
@@ -506,21 +541,45 @@ mod equivalence {
         ]
     }
 
-    fn check_equivalence(ops: Vec<Op>, shift: u32, n_buckets: usize) -> Result<(), String> {
-        let mut heap: EventQueue<u64> = EventQueue::new();
+    fn check_equivalence(
+        ops: Vec<Op>,
+        shift: u32,
+        n_buckets: usize,
+        tb: TieBreak,
+    ) -> Result<(), String> {
+        let mut heap: EventQueue<u64> = EventQueue::with_tie_break(tb);
         let mut cal: CalendarQueue<u64> = CalendarQueue::with_geometry(shift, n_buckets);
+        cal.tie_break = tb;
         let mut handles: Vec<(TimerHandle, TimerHandle)> = Vec::new();
         let mut payload = 0u64;
         for op in ops {
             match op {
                 Op::Schedule(t) => {
-                    heap.schedule(SimTime::from_nanos(t), payload);
-                    cal.schedule(SimTime::from_nanos(t), payload);
+                    // Lane derived from the payload so permuted runs exercise
+                    // cross-lane reordering with same-lane FIFO preserved.
+                    heap.schedule_in_lane(
+                        SimTime::from_nanos(t),
+                        pack_lane((payload % 5) as u16, 0),
+                        payload,
+                    );
+                    cal.schedule_in_lane(
+                        SimTime::from_nanos(t),
+                        pack_lane((payload % 5) as u16, 0),
+                        payload,
+                    );
                     payload += 1;
                 }
                 Op::ScheduleCancellable(t) => {
-                    let hh = heap.schedule_cancellable(SimTime::from_nanos(t), payload);
-                    let hc = cal.schedule_cancellable(SimTime::from_nanos(t), payload);
+                    let hh = heap.schedule_cancellable_in_lane(
+                        SimTime::from_nanos(t),
+                        pack_lane((payload % 5) as u16, 0),
+                        payload,
+                    );
+                    let hc = cal.schedule_cancellable_in_lane(
+                        SimTime::from_nanos(t),
+                        pack_lane((payload % 5) as u16, 0),
+                        payload,
+                    );
                     handles.push((hh, hc));
                     payload += 1;
                 }
@@ -556,19 +615,29 @@ mod equivalence {
         /// Equivalence under the tiny geometry (constant window slides).
         #[test]
         fn same_pops_tiny_geometry(ops in prop::collection::vec(arb_op(), 1..300)) {
-            check_equivalence(ops, 4, 8)?;
+            check_equivalence(ops, 4, 8, TieBreak::Fifo)?;
         }
 
         /// Equivalence under the production geometry.
         #[test]
         fn same_pops_default_geometry(ops in prop::collection::vec(arb_op(), 1..300)) {
-            check_equivalence(ops, 11, 512)?;
+            check_equivalence(ops, 11, 512, TieBreak::Fifo)?;
         }
 
         /// Equivalence with a single bucket (degenerates to heap-of-heaps).
         #[test]
         fn same_pops_single_bucket(ops in prop::collection::vec(arb_op(), 1..200)) {
-            check_equivalence(ops, 6, 1)?;
+            check_equivalence(ops, 6, 1, TieBreak::Fifo)?;
+        }
+
+        /// Equivalence holds under permuted tie-break too: the calendar's
+        /// region argument orders by `(time, tie)` whatever the tie policy.
+        #[test]
+        fn same_pops_permuted(
+            ops in prop::collection::vec(arb_op(), 1..300),
+            seed in 0u64..1000,
+        ) {
+            check_equivalence(ops, 4, 8, TieBreak::Permuted(seed))?;
         }
     }
 }

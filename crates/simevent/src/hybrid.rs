@@ -29,12 +29,13 @@
 use crate::calendar::CalendarQueue;
 use crate::handle::TimerHandle;
 use crate::queue::QueueBackend;
+use crate::tiebreak::TieBreak;
 use crate::time::SimTime;
 use crate::wheel::TimerWheel;
 
 /// A deterministic event queue that routes plain events to a
 /// [`CalendarQueue`] and cancellable timers to a [`TimerWheel`], popping the
-/// exact `(time, seq)` merge of both. Drop-in [`QueueBackend`]; the
+/// exact `(time, tie)` merge of both. Drop-in [`QueueBackend`]; the
 /// simulation driver's default.
 #[derive(Debug)]
 pub struct HybridQueue<E> {
@@ -42,6 +43,12 @@ pub struct HybridQueue<E> {
     wheel: TimerWheel<E>,
     next_seq: u64,
     scheduled_total: u64,
+    /// Largest time popped so far — the queue's view of `now`.
+    watermark: SimTime,
+    /// Debug-build backstop for SL011: scheduling behind the watermark is a
+    /// lookahead violation in the monotone driver. The equivalence proptests
+    /// exercise arbitrary (non-monotone) interleavings and opt out.
+    monotone_check: bool,
 }
 
 impl<E> Default for HybridQueue<E> {
@@ -53,16 +60,43 @@ impl<E> Default for HybridQueue<E> {
 impl<E> HybridQueue<E> {
     /// An empty queue with both sub-queues at their default geometry.
     pub fn new() -> Self {
+        Self::with_tie_break(TieBreak::Fifo)
+    }
+
+    /// An empty queue ordering same-instant events by `tie_break`. A single
+    /// policy (and a single seq counter) spans both sub-queues, so the
+    /// merged order stays the exact `(time, tie)` order a single queue
+    /// would produce.
+    pub fn with_tie_break(tie_break: TieBreak) -> Self {
         HybridQueue {
-            calendar: CalendarQueue::new(),
-            wheel: TimerWheel::new(),
+            calendar: CalendarQueue::with_tie_break(tie_break),
+            wheel: TimerWheel::with_tie_break(tie_break),
             next_seq: 0,
             scheduled_total: 0,
+            watermark: SimTime::ZERO,
+            monotone_check: true,
         }
     }
 
+    /// Disable the debug-build schedule-behind-watermark assertion. Only for
+    /// harnesses that intentionally schedule into the past (the cross-backend
+    /// equivalence proptests); the simulation driver never does.
+    pub fn set_monotone_check(&mut self, enabled: bool) {
+        self.monotone_check = enabled;
+    }
+
+    /// Largest time popped so far (the queue's view of `now`).
+    pub fn watermark(&self) -> SimTime {
+        self.watermark
+    }
+
     #[inline]
-    fn take_seq(&mut self) -> u64 {
+    fn take_seq(&mut self, at: SimTime) -> u64 {
+        debug_assert!(
+            !self.monotone_check || at >= self.watermark,
+            "scheduled {at:?} behind watermark {:?}: computed timestamp precedes now (SL011)",
+            self.watermark
+        );
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled_total += 1;
@@ -70,17 +104,33 @@ impl<E> HybridQueue<E> {
     }
 
     /// Schedule `event` to fire at absolute time `at` (not cancellable;
-    /// calendar side).
+    /// calendar side; default lane 0).
     pub fn schedule(&mut self, at: SimTime, event: E) {
-        let seq = self.take_seq();
-        self.calendar.insert_with_seq(at, seq, event);
+        self.schedule_in_lane(at, 0, event);
+    }
+
+    /// Schedule `event` at `at` in `lane` (the handling entity, used by
+    /// [`TieBreak::Permuted`] same-instant ordering; ignored under FIFO).
+    pub fn schedule_in_lane(&mut self, at: SimTime, lane: u64, event: E) {
+        let seq = self.take_seq(at);
+        self.calendar.insert_with_seq(at, seq, lane, event);
     }
 
     /// Schedule `event` at `at`, returning a cancellation handle (wheel
     /// side: cancellation will be an O(1) physical removal).
     pub fn schedule_cancellable(&mut self, at: SimTime, event: E) -> TimerHandle {
-        let seq = self.take_seq();
-        self.wheel.insert_with_seq(at, seq, event)
+        self.schedule_cancellable_in_lane(at, 0, event)
+    }
+
+    /// Cancellable scheduling with an explicit lane.
+    pub fn schedule_cancellable_in_lane(
+        &mut self,
+        at: SimTime,
+        lane: u64,
+        event: E,
+    ) -> TimerHandle {
+        let seq = self.take_seq(at);
+        self.wheel.insert_with_seq(at, seq, lane, event)
     }
 
     /// Cancel a pending event. Handles only ever point into the wheel.
@@ -104,7 +154,10 @@ impl<E> HybridQueue<E> {
         } else {
             self.calendar.pop_prepared()
         };
-        se.map(|se| (se.at, se.event))
+        se.map(|se| {
+            self.watermark = self.watermark.max(se.at);
+            (se.at, se.event)
+        })
     }
 
     /// The firing time of the earliest live pending event. Immutable (does
@@ -133,10 +186,13 @@ impl<E> HybridQueue<E> {
         self.scheduled_total
     }
 
-    /// Drop all pending events (keeps `scheduled_total` and the seq counter).
+    /// Drop all pending events (keeps `scheduled_total` and the seq counter;
+    /// resets the monotone watermark — an emptied queue can be reused from
+    /// time zero).
     pub fn clear(&mut self) {
         self.calendar.clear();
         self.wheel.clear();
+        self.watermark = SimTime::ZERO;
     }
 
     /// Release excess capacity in both sub-queues after a burst.
@@ -147,14 +203,14 @@ impl<E> HybridQueue<E> {
 }
 
 impl<E> QueueBackend<E> for HybridQueue<E> {
-    fn empty() -> Self {
-        Self::new()
+    fn with_tie_break(tie_break: TieBreak) -> Self {
+        HybridQueue::with_tie_break(tie_break)
     }
-    fn schedule(&mut self, at: SimTime, event: E) {
-        HybridQueue::schedule(self, at, event);
+    fn schedule_in_lane(&mut self, at: SimTime, lane: u64, event: E) {
+        HybridQueue::schedule_in_lane(self, at, lane, event);
     }
-    fn schedule_cancellable(&mut self, at: SimTime, event: E) -> TimerHandle {
-        HybridQueue::schedule_cancellable(self, at, event)
+    fn schedule_cancellable_in_lane(&mut self, at: SimTime, lane: u64, event: E) -> TimerHandle {
+        HybridQueue::schedule_cancellable_in_lane(self, at, lane, event)
     }
     fn cancel(&mut self, handle: TimerHandle) -> bool {
         HybridQueue::cancel(self, handle)
@@ -225,6 +281,62 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "behind watermark"))]
+    #[cfg_attr(not(debug_assertions), ignore = "debug_assert compiled out in release")]
+    fn scheduling_behind_the_watermark_panics_in_debug() {
+        // Satellite backstop for SL011: once an event at t=100 has popped,
+        // scheduling at t=50 is a computed-timestamp-precedes-now bug.
+        let mut q: HybridQueue<u32> = HybridQueue::new();
+        q.schedule(SimTime::from_nanos(100), 1);
+        let _ = q.pop();
+        q.schedule(SimTime::from_nanos(50), 2);
+    }
+
+    #[test]
+    fn monotone_check_can_be_disabled() {
+        let mut q: HybridQueue<u32> = HybridQueue::new();
+        q.set_monotone_check(false);
+        q.schedule(SimTime::from_nanos(100), 1);
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(100), 1)));
+        assert_eq!(q.watermark(), SimTime::from_nanos(100));
+        // Past-scheduling is tolerated (the equivalence harness needs it) and
+        // still pops, via the sub-queues' past heaps.
+        q.schedule(SimTime::from_nanos(50), 2);
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(50), 2)));
+    }
+
+    #[test]
+    fn permuted_ties_stay_exact_across_subqueues() {
+        // Same payloads at one instant, alternating calendar/wheel. Under a
+        // permuted tie-break the merged order must equal the reference
+        // EventQueue's order for the same policy — the shared tie keys make
+        // the cross-queue merge exact, FIFO or not.
+        use crate::queue::EventQueue;
+        let t = SimTime::from_micros(9);
+        let tb = TieBreak::Permuted(3);
+        let mut reference: EventQueue<u32> = EventQueue::with_tie_break(tb);
+        let mut hybrid: HybridQueue<u32> = HybridQueue::with_tie_break(tb);
+        for i in 0..40u32 {
+            let lane = u64::from(i) % 8;
+            if i % 2 == 0 {
+                reference.schedule_in_lane(t, lane, i);
+                hybrid.schedule_in_lane(t, lane, i);
+            } else {
+                let _ = reference.schedule_cancellable_in_lane(t, lane, i);
+                let _ = hybrid.schedule_cancellable_in_lane(t, lane, i);
+            }
+        }
+        let want: Vec<u32> = std::iter::from_fn(|| reference.pop().map(|(_, e)| e)).collect();
+        let got: Vec<u32> = std::iter::from_fn(|| hybrid.pop().map(|(_, e)| e)).collect();
+        assert_eq!(got, want, "hybrid merge diverged from reference");
+        assert_ne!(
+            got,
+            (0..40).collect::<Vec<_>>(),
+            "seed 3 should not be FIFO"
+        );
+    }
+
+    #[test]
     fn counters_span_both_subqueues() {
         let mut q: HybridQueue<u32> = HybridQueue::new();
         q.schedule(SimTime::from_nanos(1), 1);
@@ -247,6 +359,7 @@ mod equivalence {
 
     use super::*;
     use crate::queue::EventQueue;
+    use crate::tiebreak::pack_lane;
     use proptest::prelude::*;
 
     #[derive(Debug, Clone)]
@@ -268,21 +381,39 @@ mod equivalence {
         ]
     }
 
-    fn check_equivalence(ops: Vec<Op>) -> Result<(), String> {
-        let mut heap: EventQueue<u64> = EventQueue::new();
-        let mut hybrid: HybridQueue<u64> = HybridQueue::new();
+    fn check_equivalence(ops: Vec<Op>, tb: TieBreak) -> Result<(), String> {
+        let mut heap: EventQueue<u64> = EventQueue::with_tie_break(tb);
+        let mut hybrid: HybridQueue<u64> = HybridQueue::with_tie_break(tb);
+        // This harness schedules into the past on purpose.
+        hybrid.set_monotone_check(false);
         let mut handles: Vec<(TimerHandle, TimerHandle)> = Vec::new();
         let mut payload = 0u64;
         for op in ops {
             match op {
                 Op::Schedule(t) => {
-                    heap.schedule(SimTime::from_nanos(t), payload);
-                    hybrid.schedule(SimTime::from_nanos(t), payload);
+                    heap.schedule_in_lane(
+                        SimTime::from_nanos(t),
+                        pack_lane((payload % 5) as u16, 0),
+                        payload,
+                    );
+                    hybrid.schedule_in_lane(
+                        SimTime::from_nanos(t),
+                        pack_lane((payload % 5) as u16, 0),
+                        payload,
+                    );
                     payload += 1;
                 }
                 Op::ScheduleCancellable(t) => {
-                    let hh = heap.schedule_cancellable(SimTime::from_nanos(t), payload);
-                    let hy = hybrid.schedule_cancellable(SimTime::from_nanos(t), payload);
+                    let hh = heap.schedule_cancellable_in_lane(
+                        SimTime::from_nanos(t),
+                        pack_lane((payload % 5) as u16, 0),
+                        payload,
+                    );
+                    let hy = hybrid.schedule_cancellable_in_lane(
+                        SimTime::from_nanos(t),
+                        pack_lane((payload % 5) as u16, 0),
+                        payload,
+                    );
                     handles.push((hh, hy));
                     payload += 1;
                 }
@@ -314,10 +445,22 @@ mod equivalence {
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(96))]
 
-        /// Merged (time, seq) order matches the single reference queue.
+        /// Merged (time, tie) order matches the single reference queue under
+        /// the default FIFO policy.
         #[test]
         fn same_pops_as_reference(ops in prop::collection::vec(arb_op(), 1..300)) {
-            check_equivalence(ops)?;
+            check_equivalence(ops, TieBreak::Fifo)?;
+        }
+
+        /// ... and under seeded tie-break permutations: the cross-queue merge
+        /// stays exact for any (bijective) tie policy, which is what lets
+        /// simverify permute schedules without changing queue semantics.
+        #[test]
+        fn same_pops_as_reference_permuted(
+            ops in prop::collection::vec(arb_op(), 1..300),
+            seed in 0u64..1_000,
+        ) {
+            check_equivalence(ops, TieBreak::Permuted(seed))?;
         }
     }
 }

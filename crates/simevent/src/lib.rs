@@ -26,6 +26,9 @@
 //!   queue backend, defaulting to the calendar queue.
 //! * [`SimRng`] — seedable RNG plumbing so stochastic components (e.g. RED's
 //!   drop probability) are reproducible.
+//! * [`TieBreak`] — the same-instant ordering policy: FIFO in production,
+//!   seeded permutation under `simverify`, which re-runs pinned scenarios
+//!   with permuted tie-break order to prove no result depends on it.
 //!
 //! # Example
 //!
@@ -46,6 +49,7 @@ mod hybrid;
 mod queue;
 mod rng;
 mod scheduler;
+mod tiebreak;
 mod time;
 mod wheel;
 
@@ -55,6 +59,7 @@ pub use hybrid::HybridQueue;
 pub use queue::{EventQueue, QueueBackend, ScheduledEvent};
 pub use rng::SimRng;
 pub use scheduler::{HeapScheduler, RunOutcome, Scheduler, SchedulerConfig, SchedulerStats};
+pub use tiebreak::{pack_lane, TieBreak};
 pub use time::{SimDuration, SimTime};
 pub use wheel::TimerWheel;
 

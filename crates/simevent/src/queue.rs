@@ -1,26 +1,31 @@
 //! Stable priority queue of timestamped events.
 
 use crate::handle::{CancelSet, TimerHandle};
+use crate::tiebreak::TieBreak;
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-/// An event plus the instant it fires and a monotone sequence number that makes
-/// same-instant events pop in the order they were scheduled (FIFO), which is
-/// what keeps whole simulations deterministic.
+/// An event plus the instant it fires, a monotone sequence number, and the
+/// tie key derived from it. Under the default [`TieBreak::Fifo`] policy
+/// `tie == seq`, so same-instant events pop in the order they were scheduled
+/// (FIFO), which is what keeps whole simulations deterministic. Cancellation
+/// identity always stays on `seq`; only same-instant ordering uses `tie`.
 #[derive(Debug, Clone)]
 pub struct ScheduledEvent<E> {
     /// When the event fires.
     pub at: SimTime,
-    /// Scheduling order, used as a tie-break.
+    /// Scheduling order; the cancellation/bookkeeping identity.
     pub seq: u64,
+    /// Same-instant ordering key ([`TieBreak::key`] of `seq`).
+    pub tie: u64,
     /// The event payload.
     pub event: E,
 }
 
 impl<E> PartialEq for ScheduledEvent<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.at == other.at && self.tie == other.tie
     }
 }
 impl<E> Eq for ScheduledEvent<E> {}
@@ -34,11 +39,11 @@ impl<E> PartialOrd for ScheduledEvent<E> {
 impl<E> Ord for ScheduledEvent<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest (and, at equal
-        // times, the first-scheduled) event is at the top.
+        // times, the smallest tie key) event is at the top.
         other
             .at
             .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+            .then_with(|| other.tie.cmp(&self.tie))
     }
 }
 
@@ -52,12 +57,29 @@ impl<E> Ord for ScheduledEvent<E> {
 /// operation sequence pop the same event sequence and return the same
 /// cancellation results.
 pub trait QueueBackend<E> {
-    /// An empty queue.
-    fn empty() -> Self;
+    /// An empty queue using the default FIFO tie-break.
+    fn empty() -> Self
+    where
+        Self: Sized,
+    {
+        Self::with_tie_break(TieBreak::Fifo)
+    }
+    /// An empty queue ordering same-instant events by `tie_break`.
+    fn with_tie_break(tie_break: TieBreak) -> Self;
     /// Schedule `event` at absolute time `at` (not cancellable, no overhead).
-    fn schedule(&mut self, at: SimTime, event: E);
+    fn schedule(&mut self, at: SimTime, event: E) {
+        self.schedule_in_lane(at, 0, event);
+    }
     /// Schedule `event` at `at` and return a handle that can cancel it.
-    fn schedule_cancellable(&mut self, at: SimTime, event: E) -> TimerHandle;
+    fn schedule_cancellable(&mut self, at: SimTime, event: E) -> TimerHandle {
+        self.schedule_cancellable_in_lane(at, 0, event)
+    }
+    /// Like [`schedule`](Self::schedule), tagging the event with the lane
+    /// (handling entity) used by [`TieBreak::Permuted`] same-instant
+    /// ordering. Under [`TieBreak::Fifo`] the lane is ignored.
+    fn schedule_in_lane(&mut self, at: SimTime, lane: u64, event: E);
+    /// Like [`schedule_cancellable`](Self::schedule_cancellable) with a lane.
+    fn schedule_cancellable_in_lane(&mut self, at: SimTime, lane: u64, event: E) -> TimerHandle;
     /// Cancel a previously scheduled event. `false` if it already fired or
     /// was already cancelled.
     fn cancel(&mut self, handle: TimerHandle) -> bool;
@@ -94,6 +116,7 @@ pub struct EventQueue<E> {
     next_seq: u64,
     scheduled_total: u64,
     cancels: CancelSet,
+    tie_break: TieBreak,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -103,13 +126,19 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// An empty queue.
+    /// An empty queue (FIFO tie-break).
     pub fn new() -> Self {
+        Self::with_tie_break(TieBreak::Fifo)
+    }
+
+    /// An empty queue ordering same-instant events by `tie_break`.
+    pub fn with_tie_break(tie_break: TieBreak) -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
             scheduled_total: 0,
             cancels: CancelSet::default(),
+            tie_break,
         }
     }
 
@@ -125,6 +154,7 @@ impl<E> EventQueue<E> {
             next_seq: 0,
             scheduled_total: 0,
             cancels: CancelSet::default(),
+            tie_break: TieBreak::Fifo,
         }
     }
 
@@ -158,22 +188,44 @@ impl<E> EventQueue<E> {
         self.heap.shrink_to_fit();
     }
 
-    fn push(&mut self, at: SimTime, event: E) -> u64 {
+    fn push(&mut self, at: SimTime, lane: u64, event: E) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled_total += 1;
-        self.heap.push(ScheduledEvent { at, seq, event });
+        let tie = self.tie_break.key(seq, lane);
+        self.heap.push(ScheduledEvent {
+            at,
+            seq,
+            tie,
+            event,
+        });
         seq
     }
 
-    /// Schedule `event` to fire at absolute time `at`.
+    /// Schedule `event` to fire at absolute time `at` (default lane 0).
     pub fn schedule(&mut self, at: SimTime, event: E) {
-        self.push(at, event);
+        self.push(at, 0, event);
+    }
+
+    /// Schedule `event` at `at` in `lane` (the handling entity, used by
+    /// [`TieBreak::Permuted`] same-instant ordering; ignored under FIFO).
+    pub fn schedule_in_lane(&mut self, at: SimTime, lane: u64, event: E) {
+        self.push(at, lane, event);
     }
 
     /// Schedule `event` at `at`, returning a cancellation handle.
     pub fn schedule_cancellable(&mut self, at: SimTime, event: E) -> TimerHandle {
-        let seq = self.push(at, event);
+        self.schedule_cancellable_in_lane(at, 0, event)
+    }
+
+    /// Cancellable scheduling with an explicit lane.
+    pub fn schedule_cancellable_in_lane(
+        &mut self,
+        at: SimTime,
+        lane: u64,
+        event: E,
+    ) -> TimerHandle {
+        let seq = self.push(at, lane, event);
         self.cancels.register(seq)
     }
 
@@ -240,14 +292,14 @@ impl<E> EventQueue<E> {
 }
 
 impl<E> QueueBackend<E> for EventQueue<E> {
-    fn empty() -> Self {
-        Self::new()
+    fn with_tie_break(tie_break: TieBreak) -> Self {
+        EventQueue::with_tie_break(tie_break)
     }
-    fn schedule(&mut self, at: SimTime, event: E) {
-        EventQueue::schedule(self, at, event);
+    fn schedule_in_lane(&mut self, at: SimTime, lane: u64, event: E) {
+        EventQueue::schedule_in_lane(self, at, lane, event);
     }
-    fn schedule_cancellable(&mut self, at: SimTime, event: E) -> TimerHandle {
-        EventQueue::schedule_cancellable(self, at, event)
+    fn schedule_cancellable_in_lane(&mut self, at: SimTime, lane: u64, event: E) -> TimerHandle {
+        EventQueue::schedule_cancellable_in_lane(self, at, lane, event)
     }
     fn cancel(&mut self, handle: TimerHandle) -> bool {
         EventQueue::cancel(self, handle)
@@ -416,6 +468,58 @@ mod tests {
         assert_eq!(q.pop(), Some((SimTime::from_nanos(3), 3)), "2 was skipped");
         assert!(!q.cancel(h3), "cancel after fire reports false");
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn permuted_tiebreak_reorders_only_across_lanes_within_an_instant() {
+        use crate::tiebreak::{pack_lane, TieBreak};
+        // Two instants, 50 events each, spread over 10 destination lanes.
+        // Permuted ordering must keep the instants in time order, emit each
+        // instant's events as a permutation of the FIFO set, keep same-lane
+        // events in FIFO order, and (for this seed) differ from global FIFO.
+        let t1 = SimTime::from_micros(1);
+        let t2 = SimTime::from_micros(2);
+        let mut q = EventQueue::with_tie_break(TieBreak::Permuted(7));
+        for i in 0..50u32 {
+            q.schedule_in_lane(t1, pack_lane((i % 10) as u16, 0), i);
+        }
+        for i in 50..100u32 {
+            q.schedule_in_lane(t2, pack_lane((i % 10) as u16, 0), i);
+        }
+        let popped: Vec<(SimTime, u32)> = std::iter::from_fn(|| q.pop()).collect();
+        let (first, second) = popped.split_at(50);
+        assert!(first.iter().all(|&(t, _)| t == t1));
+        assert!(second.iter().all(|&(t, _)| t == t2));
+        let g1: Vec<u32> = first.iter().map(|&(_, e)| e).collect();
+        assert_ne!(g1, (0..50).collect::<Vec<_>>(), "seed 7 should not be FIFO");
+        let mut sorted = g1.clone();
+        sorted.sort_unstable();
+        assert_eq!(
+            sorted,
+            (0..50).collect::<Vec<_>>(),
+            "a permutation, not a loss"
+        );
+        // Same-lane events (i % 10 equal) must still appear in schedule order.
+        for lane in 0..10u32 {
+            let in_lane: Vec<u32> = g1.iter().copied().filter(|e| e % 10 == lane).collect();
+            let mut expect = in_lane.clone();
+            expect.sort_unstable();
+            assert_eq!(in_lane, expect, "lane {lane} lost its FIFO order");
+        }
+    }
+
+    #[test]
+    fn permuted_tiebreak_is_reproducible() {
+        use crate::tiebreak::{pack_lane, TieBreak};
+        let run = |seed: u64| {
+            let mut q = EventQueue::with_tie_break(TieBreak::Permuted(seed));
+            for i in 0..64u32 {
+                q.schedule_in_lane(SimTime::from_micros(3), pack_lane(i as u16, 0), i);
+            }
+            std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(11), run(11), "same seed, same order");
+        assert_ne!(run(11), run(12), "different seeds diverge on 64 lanes");
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::calendar::CalendarQueue;
 use crate::handle::TimerHandle;
 use crate::queue::{EventQueue, QueueBackend};
+use crate::tiebreak::TieBreak;
 use crate::time::SimTime;
 use std::marker::PhantomData;
 
@@ -13,6 +14,10 @@ pub struct SchedulerConfig {
     pub time_limit: SimTime,
     /// Hard wall on the number of events processed; guards against livelock.
     pub event_limit: u64,
+    /// Same-instant ordering policy. [`TieBreak::Fifo`] is the production
+    /// default; `simverify` runs [`TieBreak::Permuted`] to prove results do
+    /// not depend on same-timestamp tie-break order.
+    pub tie_break: TieBreak,
 }
 
 impl Default for SchedulerConfig {
@@ -20,6 +25,7 @@ impl Default for SchedulerConfig {
         SchedulerConfig {
             time_limit: SimTime::from_secs(3_600),
             event_limit: u64::MAX,
+            tie_break: TieBreak::Fifo,
         }
     }
 }
@@ -78,7 +84,7 @@ impl<E, Q: QueueBackend<E>> Scheduler<E, Q> {
     /// A scheduler with the given limits, clock at t=0.
     pub fn new(config: SchedulerConfig) -> Self {
         Scheduler {
-            queue: Q::empty(),
+            queue: Q::with_tie_break(config.tie_break),
             now: SimTime::ZERO,
             config,
             peak_pending: 0,
@@ -96,12 +102,19 @@ impl<E, Q: QueueBackend<E>> Scheduler<E, Q> {
     /// Panics if `at` is in the simulated past — such an event would silently
     /// corrupt causality.
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        self.schedule_at_in_lane(at, 0, event);
+    }
+
+    /// Like [`schedule_at`](Self::schedule_at), tagging the event with the
+    /// lane (handling entity) used by [`TieBreak::Permuted`] same-instant
+    /// ordering; ignored under the default FIFO policy.
+    pub fn schedule_at_in_lane(&mut self, at: SimTime, lane: u64, event: E) {
         assert!(
             at >= self.now,
             "cannot schedule into the past: {at} < {}",
             self.now
         );
-        self.queue.schedule(at, event);
+        self.queue.schedule_in_lane(at, lane, event);
         self.note_pending();
     }
 
@@ -116,12 +129,23 @@ impl<E, Q: QueueBackend<E>> Scheduler<E, Q> {
     /// cancel the event before it fires — the tool rearming timers (TCP RTO,
     /// delayed ACK) need so superseded deadlines stop accumulating.
     pub fn schedule_cancellable_at(&mut self, at: SimTime, event: E) -> TimerHandle {
+        self.schedule_cancellable_at_in_lane(at, 0, event)
+    }
+
+    /// Cancellable scheduling with an explicit lane (see
+    /// [`schedule_at_in_lane`](Self::schedule_at_in_lane)).
+    pub fn schedule_cancellable_at_in_lane(
+        &mut self,
+        at: SimTime,
+        lane: u64,
+        event: E,
+    ) -> TimerHandle {
         assert!(
             at >= self.now,
             "cannot schedule into the past: {at} < {}",
             self.now
         );
-        let h = self.queue.schedule_cancellable(at, event);
+        let h = self.queue.schedule_cancellable_in_lane(at, lane, event);
         self.note_pending();
         h
     }
@@ -243,7 +267,7 @@ mod tests {
     fn respects_time_limit() {
         let mut s: Scheduler<()> = Scheduler::new(SchedulerConfig {
             time_limit: SimTime::from_micros(10),
-            event_limit: u64::MAX,
+            ..SchedulerConfig::default()
         });
         s.schedule_at(SimTime::from_micros(5), ());
         s.schedule_at(SimTime::from_micros(50), ());
@@ -258,6 +282,7 @@ mod tests {
         let mut s: Scheduler<()> = Scheduler::new(SchedulerConfig {
             time_limit: SimTime::MAX,
             event_limit: 3,
+            ..SchedulerConfig::default()
         });
         for i in 0..10 {
             s.schedule_at(SimTime::from_nanos(i), ());

@@ -40,6 +40,7 @@
 
 use crate::handle::{CancelSet, SeqHasher, TimerHandle};
 use crate::queue::{QueueBackend, ScheduledEvent};
+use crate::tiebreak::TieBreak;
 use crate::time::SimTime;
 use std::collections::{BinaryHeap, HashMap};
 use std::hash::BuildHasherDefault;
@@ -133,6 +134,7 @@ pub struct TimerWheel<E> {
     live_len: usize,
     next_seq: u64,
     scheduled_total: u64,
+    tie_break: TieBreak,
 }
 
 impl<E> Default for TimerWheel<E> {
@@ -145,6 +147,14 @@ impl<E> TimerWheel<E> {
     /// An empty wheel with the default geometry (8.2 µs level-0 slots).
     pub fn new() -> Self {
         Self::with_shift(DEFAULT_WHEEL_SHIFT)
+    }
+
+    /// An empty wheel (default geometry) ordering same-instant events by
+    /// `tie_break`. Must be set at construction, before any event is queued.
+    pub fn with_tie_break(tie_break: TieBreak) -> Self {
+        let mut q = Self::new();
+        q.tie_break = tie_break;
+        q
     }
 
     /// An empty wheel with level-0 slots of `1 << shift` nanoseconds.
@@ -170,6 +180,7 @@ impl<E> TimerWheel<E> {
             live_len: 0,
             next_seq: 0,
             scheduled_total: 0,
+            tie_break: TieBreak::Fifo,
         }
     }
 
@@ -308,14 +319,14 @@ impl<E> TimerWheel<E> {
     }
 
     /// Ensure the earliest live event sits atop `past` or `ready` and return
-    /// its `(time, seq)` key. Used by the pop path and by
+    /// its `(time, tie)` key. Used by the pop path and by
     /// [`HybridQueue`](crate::HybridQueue) for exact cross-queue merging.
     pub(crate) fn prepare_head(&mut self) -> Option<(SimTime, u64)> {
         loop {
             // `past` is strictly earlier than `ready` (t < position <= ready).
             if let Some(se) = self.past.peek() {
                 if !self.lazy.is_cancelled(se.seq) {
-                    return Some((se.at, se.seq));
+                    return Some((se.at, se.tie));
                 }
                 let se = self.past.pop().expect("peeked event exists");
                 self.lazy.reap(se.seq);
@@ -323,7 +334,7 @@ impl<E> TimerWheel<E> {
             }
             if let Some(se) = self.ready.peek() {
                 if !self.lazy.is_cancelled(se.seq) {
-                    return Some((se.at, se.seq));
+                    return Some((se.at, se.tie));
                 }
                 let se = self.ready.pop().expect("peeked event exists");
                 self.lazy.reap(se.seq);
@@ -349,25 +360,53 @@ impl<E> TimerWheel<E> {
 
     /// Insert with a caller-supplied sequence number (the hybrid queue owns
     /// the shared counter). Returns the handle for the entry.
-    pub(crate) fn insert_with_seq(&mut self, at: SimTime, seq: u64, event: E) -> TimerHandle {
+    pub(crate) fn insert_with_seq(
+        &mut self,
+        at: SimTime,
+        seq: u64,
+        lane: u64,
+        event: E,
+    ) -> TimerHandle {
         self.scheduled_total += 1;
         self.live_len += 1;
-        self.place(ScheduledEvent { at, seq, event });
+        let tie = self.tie_break.key(seq, lane);
+        self.place(ScheduledEvent {
+            at,
+            seq,
+            tie,
+            event,
+        });
         TimerHandle(seq)
     }
 
-    /// Schedule `event` to fire at absolute time `at`.
+    /// Schedule `event` to fire at absolute time `at` (default lane 0).
     pub fn schedule(&mut self, at: SimTime, event: E) {
+        self.schedule_in_lane(at, 0, event);
+    }
+
+    /// Schedule `event` at `at` in `lane` (the handling entity, used by
+    /// [`TieBreak::Permuted`] same-instant ordering; ignored under FIFO).
+    pub fn schedule_in_lane(&mut self, at: SimTime, lane: u64, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.insert_with_seq(at, seq, event);
+        self.insert_with_seq(at, seq, lane, event);
     }
 
     /// Schedule `event` at `at`, returning a cancellation handle.
     pub fn schedule_cancellable(&mut self, at: SimTime, event: E) -> TimerHandle {
+        self.schedule_cancellable_in_lane(at, 0, event)
+    }
+
+    /// Cancellable scheduling with an explicit lane.
+    pub fn schedule_cancellable_in_lane(
+        &mut self,
+        at: SimTime,
+        lane: u64,
+        event: E,
+    ) -> TimerHandle {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.insert_with_seq(at, seq, event)
+        self.insert_with_seq(at, seq, lane, event)
     }
 
     /// Cancel a pending event. Slot residents are removed *physically* in
@@ -484,14 +523,14 @@ impl<E> TimerWheel<E> {
 }
 
 impl<E> QueueBackend<E> for TimerWheel<E> {
-    fn empty() -> Self {
-        Self::new()
+    fn with_tie_break(tie_break: TieBreak) -> Self {
+        TimerWheel::with_tie_break(tie_break)
     }
-    fn schedule(&mut self, at: SimTime, event: E) {
-        TimerWheel::schedule(self, at, event);
+    fn schedule_in_lane(&mut self, at: SimTime, lane: u64, event: E) {
+        TimerWheel::schedule_in_lane(self, at, lane, event);
     }
-    fn schedule_cancellable(&mut self, at: SimTime, event: E) -> TimerHandle {
-        TimerWheel::schedule_cancellable(self, at, event)
+    fn schedule_cancellable_in_lane(&mut self, at: SimTime, lane: u64, event: E) -> TimerHandle {
+        TimerWheel::schedule_cancellable_in_lane(self, at, lane, event)
     }
     fn cancel(&mut self, handle: TimerHandle) -> bool {
         TimerWheel::cancel(self, handle)
@@ -664,6 +703,7 @@ mod equivalence {
 
     use super::*;
     use crate::queue::EventQueue;
+    use crate::tiebreak::pack_lane;
     use proptest::prelude::*;
 
     #[derive(Debug, Clone)]
@@ -685,21 +725,38 @@ mod equivalence {
         ]
     }
 
-    fn check_equivalence(ops: Vec<Op>, shift: u32) -> Result<(), String> {
-        let mut heap: EventQueue<u64> = EventQueue::new();
+    fn check_equivalence(ops: Vec<Op>, shift: u32, tb: TieBreak) -> Result<(), String> {
+        let mut heap: EventQueue<u64> = EventQueue::with_tie_break(tb);
         let mut wheel: TimerWheel<u64> = TimerWheel::with_shift(shift);
+        wheel.tie_break = tb;
         let mut handles: Vec<(TimerHandle, TimerHandle)> = Vec::new();
         let mut payload = 0u64;
         for op in ops {
             match op {
                 Op::Schedule(t) => {
-                    heap.schedule(SimTime::from_nanos(t), payload);
-                    wheel.schedule(SimTime::from_nanos(t), payload);
+                    heap.schedule_in_lane(
+                        SimTime::from_nanos(t),
+                        pack_lane((payload % 5) as u16, 0),
+                        payload,
+                    );
+                    wheel.schedule_in_lane(
+                        SimTime::from_nanos(t),
+                        pack_lane((payload % 5) as u16, 0),
+                        payload,
+                    );
                     payload += 1;
                 }
                 Op::ScheduleCancellable(t) => {
-                    let hh = heap.schedule_cancellable(SimTime::from_nanos(t), payload);
-                    let hw = wheel.schedule_cancellable(SimTime::from_nanos(t), payload);
+                    let hh = heap.schedule_cancellable_in_lane(
+                        SimTime::from_nanos(t),
+                        pack_lane((payload % 5) as u16, 0),
+                        payload,
+                    );
+                    let hw = wheel.schedule_cancellable_in_lane(
+                        SimTime::from_nanos(t),
+                        pack_lane((payload % 5) as u16, 0),
+                        payload,
+                    );
                     handles.push((hh, hw));
                     payload += 1;
                 }
@@ -734,19 +791,29 @@ mod equivalence {
         /// Equivalence under a tiny geometry (constant cascades).
         #[test]
         fn same_pops_tiny_wheel(ops in prop::collection::vec(arb_op(), 1..300)) {
-            check_equivalence(ops, 2)?;
+            check_equivalence(ops, 2, TieBreak::Fifo)?;
         }
 
         /// Equivalence under the production geometry.
         #[test]
         fn same_pops_default_wheel(ops in prop::collection::vec(arb_op(), 1..300)) {
-            check_equivalence(ops, 13)?;
+            check_equivalence(ops, 13, TieBreak::Fifo)?;
         }
 
         /// Equivalence under a coarse wheel (everything piles into `ready`).
         #[test]
         fn same_pops_coarse_wheel(ops in prop::collection::vec(arb_op(), 1..200)) {
-            check_equivalence(ops, 16)?;
+            check_equivalence(ops, 16, TieBreak::Fifo)?;
+        }
+
+        /// Equivalence holds under permuted tie-break: wheel regions order by
+        /// `(time, tie)` whatever the tie policy.
+        #[test]
+        fn same_pops_permuted_wheel(
+            ops in prop::collection::vec(arb_op(), 1..300),
+            seed in 0u64..1000,
+        ) {
+            check_equivalence(ops, 2, TieBreak::Permuted(seed))?;
         }
     }
 }

@@ -16,14 +16,24 @@
 //! | SL004 | no `.unwrap()`/`.expect()` in non-test library code |
 //! | SL005 | no lossy `as` casts of time/byte counters |
 //! | SL006 | no `Box::new`/`push` of packet payloads outside the pool API |
+//! | SL007 | no unsorted hash-order iteration in simulation crates |
+//! | SL008 | no interior mutability (`RefCell`/`Atomic*`/`static mut`) in simulation state |
+//! | SL009 | no f64 `+=` accumulation in metrics/claims code |
+//! | SL010 | no wall-clock or RNG construction outside their blessed homes |
+//! | SL011 | no scheduling at a subtracted (possibly past) timestamp |
+//! | SL012 | no `unsafe` outside `netpacket::pool` |
 //!
-//! Findings can be waived per path + code in `simlint.toml`, each with a
-//! mandatory justification. Run it as `cargo run -p simlint` (human output)
-//! or `cargo run -p simlint -- --json` (machine output for CI).
+//! SL001–SL006 are flat token-pattern rules; SL007–SL012 use the
+//! [`scope`] pass (brace-matched `impl`/`fn`/type-definition context) to
+//! tell simulation *state* from locals. Findings can be waived per path +
+//! code in `simlint.toml`, each with a mandatory justification. Run it as
+//! `cargo run -p simlint` (human output) or `cargo run -p simlint -- --json`
+//! (machine output for CI; byte-identical across runs on an unchanged tree).
 
 pub mod config;
 pub mod lexer;
 pub mod rules;
+pub mod scope;
 pub mod walk;
 
 use std::fs;
@@ -109,7 +119,9 @@ pub fn to_json(report: &LintReport) -> String {
     let mut items = Vec::new();
     for f in &report.findings {
         items.push(format!(
-            "    {{\"file\": \"{}\", \"line\": {}, \"code\": \"{}\", \"waived\": {}, \"message\": \"{}\"}}",
+            "    {{\"span\": \"{}:{}\", \"file\": \"{}\", \"line\": {}, \"code\": \"{}\", \"waived\": {}, \"message\": \"{}\"}}",
+            esc(&f.file),
+            f.line,
             esc(&f.file),
             f.line,
             f.code,
@@ -117,11 +129,30 @@ pub fn to_json(report: &LintReport) -> String {
             esc(&f.message)
         ));
     }
+    // Per-rule counts, keyed by code in sorted order (findings are sorted
+    // by (file, line, code), so a BTreeMap keeps the output stable and
+    // byte-identical across runs on an unchanged tree).
+    let mut by_rule: std::collections::BTreeMap<&str, (usize, usize)> =
+        std::collections::BTreeMap::new();
+    for f in &report.findings {
+        let e = by_rule.entry(f.code).or_insert((0, 0));
+        e.0 += 1;
+        if !f.waived {
+            e.1 += 1;
+        }
+    }
+    let rules: Vec<String> = by_rule
+        .iter()
+        .map(|(code, (total, active))| {
+            format!("    \"{code}\": {{\"total\": {total}, \"active\": {active}}}")
+        })
+        .collect();
     format!(
-        "{{\n  \"files_scanned\": {},\n  \"waived\": {},\n  \"active\": {},\n  \"findings\": [\n{}\n  ]\n}}",
+        "{{\n  \"files_scanned\": {},\n  \"waived\": {},\n  \"active\": {},\n  \"rules\": {{\n{}\n  }},\n  \"findings\": [\n{}\n  ]\n}}",
         report.files_scanned,
         report.waived_count(),
         report.active().count(),
+        rules.join(",\n"),
         items.join(",\n")
     )
 }
@@ -155,6 +186,26 @@ mod tests {
         assert!(json.contains("\\\"why\\\""));
         assert!(json.contains("\"active\": 1"));
         assert!(json.contains("\"waived\": 1"));
+        // Rule-level counts, sorted by code, and stable file:line spans.
+        assert!(json.contains("\"SL001\": {\"total\": 1, \"active\": 1}"));
+        assert!(json.contains("\"SL004\": {\"total\": 1, \"active\": 0}"));
+        assert!(json.contains("\"span\": \"crates/a/src/y.rs:9\""));
+        let sl1 = json.find("\"SL001\"").unwrap();
+        let sl4 = json.find("\"SL004\"").unwrap();
+        assert!(sl1 < sl4, "rule counts must be code-sorted");
         assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn json_is_deterministic() {
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(std::path::Path::parent)
+            .expect("workspace root");
+        let waivers = load_waivers(&root.join("simlint.toml")).expect("simlint.toml parses");
+        let a = to_json(&lint_workspace(root, &waivers).expect("lint runs"));
+        let b = to_json(&lint_workspace(root, &waivers).expect("lint runs"));
+        assert_eq!(a, b, "same tree must produce byte-identical JSON");
+        assert!(a.contains("\"rules\""));
     }
 }

@@ -36,7 +36,7 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "simlint: determinism & invariant linter\n\n\
                      USAGE: simlint [--root DIR] [--config FILE] [--json]\n\n\
-                     Scans crates/**/*.rs for SL001-SL006 violations.\n\
+                     Scans crates/**/*.rs for SL001-SL012 violations.\n\
                      Waivers: simlint.toml at the workspace root (or --config).\n\
                      Exit: 0 clean, 1 findings, 2 usage/config error."
                 );

@@ -1,11 +1,18 @@
-//! The lint rules: SL001–SL006.
+//! The lint rules: SL001–SL012.
 //!
 //! Each rule is a pure function over a file's token stream plus its
 //! workspace-relative path. The rules encode the simulator's **determinism
 //! contract** (see DESIGN.md): simulation results must be a function of the
 //! scenario and the seed, and of nothing else.
+//!
+//! SL001–SL006 are flat pattern matches over the token stream; SL007–SL012
+//! additionally consult the [`ScopeMap`] (brace-matched item context) and
+//! per-file name tables (which locals/fields are hash-ordered collections,
+//! which are `f64` accumulators), so they can tell a `RefCell` *field of
+//! simulation state* from a `RefCell` local in a helper.
 
 use crate::lexer::{Token, TokenKind};
+use crate::scope::ScopeMap;
 
 /// One diagnostic produced by a rule.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -14,7 +21,7 @@ pub struct Finding {
     pub file: String,
     /// 1-based source line.
     pub line: u32,
-    /// Stable diagnostic code (`SL001` ... `SL006`).
+    /// Stable diagnostic code (`SL001` ... `SL012`).
     pub code: &'static str,
     /// Human-readable explanation.
     pub message: String,
@@ -240,6 +247,221 @@ fn packetish_payload(tokens: &[Token], open: usize) -> Option<String> {
     None
 }
 
+/// Index of the `>` closing the generic list opening at `tokens[open]`
+/// (which must be `<`), skipping `->`/`=>`; `None` when it never closes.
+fn generic_close(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if (t.is_punct('-') || t.is_punct('='))
+            && tokens.get(j + 1).is_some_and(|n| n.is_punct('>'))
+        {
+            j += 2;
+            continue;
+        }
+        if t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct('>') {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Types whose very presence in a simulation state type hides mutation from
+/// the single-owner event loop (SL008). `Atomic*` is matched by prefix.
+const INTERIOR_MUT: &[&str] = &[
+    "RefCell",
+    "Cell",
+    "UnsafeCell",
+    "OnceCell",
+    "OnceLock",
+    "Mutex",
+    "RwLock",
+];
+
+/// Methods whose call on a hash-ordered collection visits it in hash order
+/// (SL007).
+const HASH_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "retain",
+];
+
+/// Names declared in this file with a `HashMap`/`HashSet` type — directly
+/// (`m: HashMap<...>`, including through a path prefix), via a file-local
+/// `type` alias, or by `let`-binding a constructor (`let mut m =
+/// HashMap::new()`). SL007 flags iteration over these names. A custom
+/// hasher does **not** exempt a name: a fixed hasher makes iteration
+/// deterministic (SL002's concern) but the order is still arbitrary, which
+/// is exactly what SL007 exists to surface.
+fn hash_typed_names(tokens: &[Token]) -> Vec<String> {
+    let mut types: Vec<&str> = vec!["HashMap", "HashSet"];
+    for i in 0..tokens.len() {
+        // `type LocMap = [path::]HashMap<...>`
+        if tokens[i].is_ident("type")
+            && tokens
+                .get(i + 1)
+                .is_some_and(|t| t.kind == TokenKind::Ident)
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct('='))
+        {
+            let end = (i + 10).min(tokens.len());
+            for j in i + 3..end {
+                let t = &tokens[j];
+                if t.kind == TokenKind::Ident {
+                    if types.contains(&t.text.as_str()) {
+                        types.push(tokens[i + 1].text.as_str());
+                        break;
+                    }
+                } else if !t.is_punct(':') {
+                    break;
+                }
+            }
+        }
+    }
+    let mut names = Vec::new();
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        // `name : [&][mut] [path::]HashType` — a field, param, or local
+        // annotation. The `:` must not be a path separator on either side.
+        if t.kind == TokenKind::Ident
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && !tokens.get(i + 2).is_some_and(|n| n.is_punct(':'))
+            && !(i > 0 && tokens[i - 1].is_punct(':'))
+        {
+            let end = (i + 10).min(tokens.len());
+            for n in &tokens[i + 2..end] {
+                if n.kind == TokenKind::Ident {
+                    if types.contains(&n.text.as_str()) {
+                        names.push(t.text.clone());
+                        break;
+                    }
+                    // `mut` and lowercase path segments (`std`,
+                    // `collections`) may precede the type; any other
+                    // capitalized ident is a different concrete type.
+                    if n.text != "mut" && n.text.chars().next().is_some_and(char::is_uppercase) {
+                        break;
+                    }
+                } else if !(n.is_punct(':') || n.is_punct('&')) {
+                    break;
+                }
+            }
+        }
+        // `let [mut] name = [path::]HashType::...`
+        if t.is_ident("let") {
+            let mut k = i + 1;
+            if tokens.get(k).is_some_and(|n| n.is_ident("mut")) {
+                k += 1;
+            }
+            if tokens.get(k).is_some_and(|n| n.kind == TokenKind::Ident)
+                && tokens.get(k + 1).is_some_and(|n| n.is_punct('='))
+            {
+                let end = (k + 10).min(tokens.len());
+                for j in k + 2..end {
+                    let n = &tokens[j];
+                    if n.kind == TokenKind::Ident {
+                        if types.contains(&n.text.as_str()) {
+                            names.push(tokens[k].text.clone());
+                            break;
+                        }
+                    } else if !n.is_punct(':') {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// Names declared `f64` in this file (`x: f64` annotations and
+/// `let mut x = 1.0` float-literal bindings) — SL009's accumulator table.
+fn f64_names(tokens: &[Token]) -> Vec<String> {
+    let mut names = Vec::new();
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        if t.kind == TokenKind::Ident
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && !tokens.get(i + 2).is_some_and(|n| n.is_punct(':'))
+            && !(i > 0 && tokens[i - 1].is_punct(':'))
+            && tokens.get(i + 2).is_some_and(|n| n.is_ident("f64"))
+        {
+            names.push(t.text.clone());
+        }
+        if t.is_ident("let") && tokens.get(i + 1).is_some_and(|n| n.is_ident("mut")) {
+            let is_float = |n: &Token| {
+                n.kind == TokenKind::Number && (n.text.contains('.') || n.text.ends_with("f64"))
+            };
+            if tokens
+                .get(i + 2)
+                .is_some_and(|n| n.kind == TokenKind::Ident)
+                && tokens.get(i + 3).is_some_and(|n| n.is_punct('='))
+                && tokens.get(i + 4).is_some_and(is_float)
+            {
+                names.push(tokens[i + 2].text.clone());
+            }
+        }
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// SL007's justification scan: a sort call or BTree collection within a
+/// 30-token window around `i` counts as evidence the author made the
+/// iteration order deliberate (`collect()` + `sort()`, or rebuilding into a
+/// BTreeMap).
+fn sorted_nearby(tokens: &[Token], i: usize) -> bool {
+    let lo = i.saturating_sub(30);
+    let hi = (i + 30).min(tokens.len());
+    tokens[lo..hi].iter().any(|t| {
+        t.kind == TokenKind::Ident && (t.text.starts_with("sort") || t.text.contains("BTree"))
+    })
+}
+
+/// SL011: does the first top-level argument of the call opening at
+/// `tokens[open]` (`(`) compute with a bare `-` (not `->`), with no clamp
+/// (`max` / `saturating_sub` / `checked_sub`) in sight?
+fn first_arg_unclamped_subtraction(tokens: &[Token], open: usize) -> bool {
+    let mut depth = 0usize;
+    let mut minus = false;
+    let mut clamped = false;
+    let mut j = open;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                break;
+            }
+        } else if t.is_punct(',') && depth == 1 {
+            break;
+        } else if t.is_punct('-') && !tokens.get(j + 1).is_some_and(|n| n.is_punct('>')) {
+            minus = true;
+        } else if t.kind == TokenKind::Ident
+            && matches!(t.text.as_str(), "max" | "saturating_sub" | "checked_sub")
+        {
+            clamped = true;
+        }
+        j += 1;
+    }
+    minus && !clamped
+}
+
 /// Run every rule over one file. `path` must be workspace-relative with
 /// forward slashes.
 pub fn check_file(path: &str, tokens: &[Token]) -> Vec<Finding> {
@@ -247,8 +469,21 @@ pub fn check_file(path: &str, tokens: &[Token]) -> Vec<Finding> {
     let krate = crate_dir(path);
     let in_sim = krate.is_some_and(|c| SIM_CRATES.contains(&c));
     let in_hash_scope = krate.is_some_and(|c| HASH_ORDER_CRATES.contains(&c));
+    // SL009's scope: code that computes reported numbers.
+    let in_metrics = matches!(krate, Some("simmetrics") | Some("experiments"));
     let test_path = is_test_path(path);
     let test_mask = test_region_mask(tokens);
+    let scope = ScopeMap::build(tokens);
+    let hash_names = if in_sim && !test_path {
+        hash_typed_names(tokens)
+    } else {
+        Vec::new()
+    };
+    let f64_accs = if in_metrics && !test_path {
+        f64_names(tokens)
+    } else {
+        Vec::new()
+    };
 
     let mut push = |line: u32, code: &'static str, message: String| {
         out.push(Finding {
@@ -263,6 +498,48 @@ pub fn check_file(path: &str, tokens: &[Token]) -> Vec<Finding> {
     for (i, t) in tokens.iter().enumerate() {
         if t.kind != TokenKind::Ident {
             continue;
+        }
+        // SL008: interior mutability declared inside a simulation state
+        // type. A single-owner event loop is what makes runs replayable;
+        // a RefCell/Atomic field lets state mutate behind a shared
+        // reference, invisibly to the scheduler's ordering.
+        if in_sim
+            && !test_path
+            && !test_mask[i]
+            && scope.in_type_def(i)
+            && (INTERIOR_MUT.contains(&t.text.as_str()) || t.text.starts_with("Atomic"))
+            && !in_use_statement(tokens, i)
+        {
+            push(
+                t.line,
+                "SL008",
+                format!(
+                    "`{}` field in a simulation state type: interior mutability \
+                     hides writes from the single-owner event loop; hold plain \
+                     owned state (or waive with a proof it never affects results)",
+                    t.text
+                ),
+            );
+        }
+        // SL009: the trigger ident is an arbitrary name from the f64
+        // table, so it is checked outside the name match below.
+        if !f64_accs.is_empty()
+            && !test_mask[i]
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('+'))
+            && tokens.get(i + 2).is_some_and(|n| n.is_punct('='))
+            && f64_accs.iter().any(|n| n == &t.text)
+        {
+            push(
+                t.line,
+                "SL009",
+                format!(
+                    "`{} +=` accumulates in f64: float addition is \
+                     order-sensitive, so summation order leaks into reported \
+                     numbers; accumulate in integers (u64/u128, like \
+                     simmetrics' histogram) and convert once at the end",
+                    t.text
+                ),
+            );
         }
         match t.text.as_str() {
             // SL001: wall-clock time sources in simulation crates.
@@ -358,12 +635,27 @@ pub fn check_file(path: &str, tokens: &[Token]) -> Vec<Finding> {
             // or growable-buffer push of a packet payload is a per-packet
             // allocation the arena was built to eliminate.
             "Box" if in_sim && !test_path && !test_mask[i] => {
-                let is_box_new = tokens.get(i + 1).is_some_and(|n| n.is_punct(':'))
-                    && tokens.get(i + 2).is_some_and(|n| n.is_punct(':'))
-                    && tokens.get(i + 3).is_some_and(|n| n.is_ident("new"))
-                    && tokens.get(i + 4).is_some_and(|n| n.is_punct('('));
+                // `Box::new(` — and the turbofish spelling
+                // `Box::<T>::new(`, which the original adjacency check
+                // missed (the generics sit between the path separators).
+                let path_sep = |j: usize| {
+                    tokens.get(j).is_some_and(|n| n.is_punct(':'))
+                        && tokens.get(j + 1).is_some_and(|n| n.is_punct(':'))
+                };
+                if !path_sep(i + 1) {
+                    continue;
+                }
+                let mut j = i + 3;
+                if tokens.get(j).is_some_and(|n| n.is_punct('<')) {
+                    match generic_close(tokens, j) {
+                        Some(close) if path_sep(close + 1) => j = close + 3,
+                        _ => continue,
+                    }
+                }
+                let is_box_new = tokens.get(j).is_some_and(|n| n.is_ident("new"))
+                    && tokens.get(j + 1).is_some_and(|n| n.is_punct('('));
                 if is_box_new {
-                    if let Some(what) = packetish_payload(tokens, i + 4) {
+                    if let Some(what) = packetish_payload(tokens, j + 1) {
                         push(
                             t.line,
                             "SL006",
@@ -396,6 +688,187 @@ pub fn check_file(path: &str, tokens: &[Token]) -> Vec<Finding> {
                     }
                 }
             }
+            // SL007: hash-order iteration in simulation crates. The name
+            // table holds everything declared HashMap/HashSet in this file;
+            // visiting one in hash order without a sort/BTree nearby puts
+            // an arbitrary (even if fixed-hasher deterministic) order on
+            // the hot path.
+            "iter" | "iter_mut" | "keys" | "values" | "values_mut" | "drain" | "into_iter"
+            | "retain"
+                if in_sim && !test_path && !test_mask[i] && !hash_names.is_empty() =>
+            {
+                debug_assert!(HASH_ITER_METHODS.contains(&t.text.as_str()));
+                let receiver = (i >= 2
+                    && tokens[i - 1].is_punct('.')
+                    && tokens.get(i + 1).is_some_and(|n| n.is_punct('(')))
+                .then(|| &tokens[i - 2])
+                .filter(|r| r.kind == TokenKind::Ident && hash_names.contains(&r.text));
+                if let Some(r) = receiver {
+                    if !sorted_nearby(tokens, i) {
+                        push(
+                            t.line,
+                            "SL007",
+                            format!(
+                                "`{}.{}()` in fn `{}` visits a hash-ordered collection: \
+                                 iteration order is arbitrary; sort the result, use a \
+                                 BTree collection, or waive with an order-insensitivity \
+                                 argument",
+                                r.text,
+                                t.text,
+                                scope.enclosing_fn(i).unwrap_or("?")
+                            ),
+                        );
+                    }
+                }
+            }
+            // SL007, `for _ in map` form (method-less iteration).
+            "in" if in_sim && !test_path && !test_mask[i] && !hash_names.is_empty() => {
+                let mut j = i + 1;
+                while tokens
+                    .get(j)
+                    .is_some_and(|n| n.is_punct('&') || n.is_ident("mut"))
+                {
+                    j += 1;
+                }
+                if tokens.get(j).is_some_and(|n| n.is_ident("self"))
+                    && tokens.get(j + 1).is_some_and(|n| n.is_punct('.'))
+                {
+                    j += 2;
+                }
+                let direct_loop = tokens
+                    .get(j)
+                    .is_some_and(|n| n.kind == TokenKind::Ident && hash_names.contains(&n.text))
+                    && tokens.get(j + 1).is_some_and(|n| n.is_punct('{'));
+                if direct_loop && !sorted_nearby(tokens, i) {
+                    push(
+                        t.line,
+                        "SL007",
+                        format!(
+                            "`for .. in {}` in fn `{}` visits a hash-ordered collection: \
+                             iteration order is arbitrary; sort the result, use a BTree \
+                             collection, or waive with an order-insensitivity argument",
+                            tokens[j].text,
+                            scope.enclosing_fn(i).unwrap_or("?")
+                        ),
+                    );
+                }
+            }
+            // SL008, ordering half: Relaxed atomics give no happens-before
+            // edge at all — if an atomic sneaks into a sim crate, Relaxed
+            // is the reddest flag.
+            "Relaxed"
+                if in_sim
+                    && !test_path
+                    && !test_mask[i]
+                    && i >= 2
+                    && tokens[i - 1].is_punct(':')
+                    && tokens[i - 2].is_punct(':') =>
+            {
+                push(
+                    t.line,
+                    "SL008",
+                    "`Ordering::Relaxed` in a simulation crate: relaxed atomics order \
+                     nothing; simulation state must be plainly owned by the event loop"
+                        .to_string(),
+                );
+            }
+            // SL008, static-mut half: a `static mut` is global interior
+            // mutability with extra steps.
+            "static"
+                if in_sim
+                    && !test_path
+                    && !test_mask[i]
+                    && tokens.get(i + 1).is_some_and(|n| n.is_ident("mut")) =>
+            {
+                push(
+                    t.line,
+                    "SL008",
+                    "`static mut` in a simulation crate: global mutable state survives \
+                     across runs and breaks run-to-run purity; thread state through the \
+                     simulation structs"
+                        .to_string(),
+                );
+            }
+            // SL010, wall-clock half: SL001 owns the sim crates; this arm
+            // covers the rest of the workspace (harness, linter), where
+            // wall-clock reads are measurement-only and each site must be
+            // waived with its justification.
+            "Instant" | "SystemTime"
+                if !in_sim && krate.is_some() && !test_path && !test_mask[i] =>
+            {
+                push(
+                    t.line,
+                    "SL010",
+                    format!(
+                        "`{}` outside the simulation crates: wall-clock reads are \
+                         measurement-only; keep them out of result data and waive each \
+                         site with its purpose",
+                        t.text
+                    ),
+                );
+            }
+            // SL010, RNG half: every random stream must fork from SimRng so
+            // seeds reproduce runs; constructing a generator anywhere else
+            // creates an unseeded (or separately seeded) side channel.
+            "SmallRng" | "StdRng" | "seed_from_u64" | "from_seed" | "from_rng" | "from_os_rng"
+                if path != "crates/simevent/src/rng.rs" && !test_path && !test_mask[i] =>
+            {
+                // `SimRng::seed_from_u64(..)` is the blessed wrapper itself.
+                let blessed = i >= 3
+                    && tokens[i - 1].is_punct(':')
+                    && tokens[i - 2].is_punct(':')
+                    && tokens[i - 3].is_ident("SimRng");
+                if blessed {
+                    continue;
+                }
+                push(
+                    t.line,
+                    "SL010",
+                    format!(
+                        "`{}` constructs an RNG outside simevent::rng: all randomness \
+                         must fork from a scenario-seeded SimRng stream",
+                        t.text
+                    ),
+                );
+            }
+            // SL012: the packet pool owns every sanctioned unsafe block.
+            "unsafe" if path != "crates/netpacket/src/pool.rs" => {
+                let ctx = scope
+                    .enclosing_fn(i)
+                    .map(|f| format!(" in fn `{f}`"))
+                    .unwrap_or_default();
+                push(
+                    t.line,
+                    "SL012",
+                    format!(
+                        "`unsafe`{ctx} outside netpacket::pool: the pool is the one \
+                         audited home for unsafe packet storage; new blocks need a \
+                         simlint.toml waiver with a safety argument"
+                    ),
+                );
+            }
+            // SL011: scheduling at a computed timestamp containing a bare
+            // subtraction — the classic way to schedule into the past.
+            // (`fn schedule...` definitions and clamped args are skipped.)
+            s if s.starts_with("schedule")
+                && in_sim
+                && !test_path
+                && !test_mask[i]
+                && tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
+                && !(i > 0 && tokens[i - 1].is_ident("fn"))
+                && first_arg_unclamped_subtraction(tokens, i + 1) =>
+            {
+                push(
+                    t.line,
+                    "SL011",
+                    format!(
+                        "`{s}(..)` first argument computes a timestamp with `-`: \
+                         subtraction can land before `now` and violate the \
+                         no-past-scheduling invariant; clamp with `.max(now)` or \
+                         `saturating_sub` before scheduling"
+                    ),
+                );
+            }
             _ => {}
         }
     }
@@ -419,7 +892,8 @@ mod tests {
     fn sl001_flags_instant_in_sim_crate_only() {
         let src = "use std::time::Instant;";
         assert_eq!(codes("crates/netsim/src/x.rs", src), vec!["SL001"]);
-        assert!(codes("crates/experiments/src/x.rs", src).is_empty());
+        // Outside the sim crates the wall clock is SL010's business.
+        assert_eq!(codes("crates/experiments/src/x.rs", src), vec!["SL010"]);
     }
 
     #[test]
@@ -449,9 +923,11 @@ mod tests {
             codes("crates/experiments/src/x.rs", "let mut r = thread_rng();"),
             vec!["SL003"]
         );
+        // `SmallRng` construction outside simevent::rng additionally
+        // trips SL010.
         assert_eq!(
             codes("crates/core/src/x.rs", "let r = SmallRng::from_entropy();"),
-            vec!["SL003"]
+            vec!["SL010", "SL003"]
         );
     }
 
@@ -547,5 +1023,176 @@ mod tests {
     fn comments_and_strings_never_fire() {
         let src = "// Instant HashMap thread_rng .unwrap()\nlet s = \"SystemTime\";";
         assert!(codes("crates/netsim/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn sl006_turbofish_and_multiline_builder() {
+        // The turbofish spelling the adjacency check used to miss.
+        assert_eq!(
+            codes(
+                "crates/netpacket/src/x.rs",
+                "let b = Box::<Packet>::new(pkt);"
+            ),
+            vec!["SL006"]
+        );
+        // Builder-style call split across lines: the lexer is line-agnostic,
+        // so the payload scan must cross them.
+        let multi = "let b = Box::new(\n    wrap(packet),\n);";
+        assert_eq!(codes("crates/netsim/src/x.rs", multi), vec!["SL006"]);
+        // Non-packet turbofish payloads stay clean.
+        assert!(codes("crates/netsim/src/x.rs", "let b = Box::<u64>::new(7);").is_empty());
+    }
+
+    #[test]
+    fn sl007_hash_iteration_needs_sort_or_btree() {
+        let src = "struct S { m: HashMap<u64, u64, BuildHasherDefault<H>> }\n\
+                   impl S { fn f(&self) { for v in self.m.values() { consume(v); } } }";
+        assert_eq!(codes("crates/netsim/src/x.rs", src), vec!["SL007"]);
+        // A sort in the same statement neighborhood is the justification.
+        let sorted = "struct S { m: HashMap<u64, u64, BuildHasherDefault<H>> }\n\
+                      impl S { fn f(&self) -> Vec<u64> {\n\
+                        let mut v: Vec<u64> = self.m.keys().copied().collect();\n\
+                        v.sort(); v } }";
+        assert!(codes("crates/netsim/src/x.rs", sorted).is_empty());
+        // `for .. in &self.map` (method-less) fires too.
+        let forin = "struct S { m: HashSet<u64, BuildHasherDefault<H>> }\n\
+                     impl S { fn f(&self) { for v in &self.m { consume(v); } } }";
+        assert_eq!(codes("crates/tcpstack/src/x.rs", forin), vec!["SL007"]);
+        // Vec iteration and non-sim crates are out of scope.
+        assert!(codes(
+            "crates/netsim/src/x.rs",
+            "fn f(v: &Vec<u64>) { for x in v.iter() { consume(x); } }"
+        )
+        .is_empty());
+        assert!(codes("crates/experiments/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn sl008_interior_mutability_in_state_types() {
+        assert_eq!(
+            codes("crates/tcpstack/src/x.rs", "struct S { c: Cell<u64> }"),
+            vec!["SL008"]
+        );
+        assert_eq!(
+            codes("crates/netsim/src/x.rs", "static mut DROPS: u64 = 0;"),
+            vec!["SL008"]
+        );
+        assert_eq!(
+            codes(
+                "crates/netsim/src/x.rs",
+                "fn f(a: &AtomicU64) -> u64 { a.load(Ordering::Relaxed) }"
+            ),
+            vec!["SL008"]
+        );
+        // A local RefCell in a fn body is not simulation state.
+        assert!(codes(
+            "crates/tcpstack/src/x.rs",
+            "fn f() { let scratch = RefCell::new(0u64); }"
+        )
+        .is_empty());
+        // Imports and non-sim crates stay clean.
+        assert!(codes("crates/tcpstack/src/x.rs", "use std::cell::RefCell;").is_empty());
+        assert!(codes("crates/experiments/src/x.rs", "struct S { c: Cell<u64> }").is_empty());
+    }
+
+    #[test]
+    fn sl009_f64_accumulation_in_metrics_code() {
+        let src = "struct A { total: f64 }\n\
+                   impl A { fn add(&mut self, x: f64) { self.total += x; } }";
+        assert_eq!(codes("crates/simmetrics/src/x.rs", src), vec!["SL009"]);
+        assert_eq!(codes("crates/experiments/src/x.rs", src), vec!["SL009"]);
+        // Only metrics/claims crates are in scope.
+        assert!(codes("crates/netsim/src/x.rs", src).is_empty());
+        // Integer accumulation is the blessed pattern.
+        assert!(codes(
+            "crates/simmetrics/src/x.rs",
+            "struct A { n: u64 } impl A { fn f(&mut self) { self.n += 1; } }"
+        )
+        .is_empty());
+        // `let mut acc = 0.0` locals count as f64 accumulators.
+        let local = "fn mean(xs: &[f64]) -> f64 {\n\
+                     let mut acc = 0.0; for x in xs { acc += x; } acc }";
+        assert_eq!(codes("crates/experiments/src/x.rs", local), vec!["SL009"]);
+    }
+
+    #[test]
+    fn sl010_wall_clock_and_rng_blessed_homes() {
+        assert_eq!(
+            codes("crates/experiments/src/x.rs", "let t = Instant::now();"),
+            vec!["SL010"]
+        );
+        assert_eq!(
+            codes(
+                "crates/netsim/src/x.rs",
+                "let r = SmallRng::seed_from_u64(1);"
+            ),
+            vec!["SL010", "SL010"]
+        );
+        // The one allowed construction site.
+        assert!(codes(
+            "crates/simevent/src/rng.rs",
+            "let r = SmallRng::seed_from_u64(1);"
+        )
+        .is_empty());
+        // The SimRng wrapper itself is the blessed API.
+        assert!(codes(
+            "crates/workload/src/x.rs",
+            "let r = SimRng::seed_from_u64(9);"
+        )
+        .is_empty());
+        // Tests may measure wall time.
+        assert!(codes("crates/experiments/tests/x.rs", "let t = Instant::now();").is_empty());
+    }
+
+    #[test]
+    fn sl011_subtracted_schedule_timestamp() {
+        assert_eq!(
+            codes(
+                "crates/simevent/src/x.rs",
+                "sched.schedule_at(now - jitter, ev);"
+            ),
+            vec!["SL011"]
+        );
+        // Clamped computations and plain additions are fine.
+        assert!(codes(
+            "crates/simevent/src/x.rs",
+            "sched.schedule_at((now - jitter).max(now), ev);"
+        )
+        .is_empty());
+        assert!(codes(
+            "crates/simevent/src/x.rs",
+            "sched.schedule_at(now + delay, ev);"
+        )
+        .is_empty());
+        // A `-` in a *later* argument is not a timestamp.
+        assert!(codes(
+            "crates/simevent/src/x.rs",
+            "sched.schedule_at(now, total - done);"
+        )
+        .is_empty());
+        // Definitions and non-sim crates are skipped.
+        assert!(codes(
+            "crates/simevent/src/x.rs",
+            "fn schedule_at(&mut self, at: SimTime) {}"
+        )
+        .is_empty());
+        assert!(codes(
+            "crates/experiments/src/x.rs",
+            "sched.schedule_at(now - jitter, ev);"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn sl012_unsafe_outside_pool() {
+        let src = "fn peek() { unsafe { danger() } }";
+        assert_eq!(codes("crates/tcpstack/src/x.rs", src), vec!["SL012"]);
+        // Unlike most rules, tests are NOT exempt: unsafe is unsafe there too.
+        assert_eq!(codes("crates/tcpstack/tests/x.rs", src), vec!["SL012"]);
+        // The pool is the audited home.
+        assert!(codes("crates/netpacket/src/pool.rs", src).is_empty());
+        // The message names the enclosing fn (scope pass at work).
+        let f = check_file("crates/core/src/x.rs", &lex(src));
+        assert!(f[0].message.contains("in fn `peek`"), "{}", f[0].message);
     }
 }

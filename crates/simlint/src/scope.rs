@@ -1,0 +1,220 @@
+//! Token-tree scoping: one brace-matching pass that labels every token with
+//! its enclosing item context.
+//!
+//! The original rules (SL001–SL006) are pure pattern matches over the token
+//! stream; the deeper rules need to know *where* a token sits: SL008 flags
+//! interior-mutability types only when they appear **inside a type
+//! definition** (a `RefCell` local in a test helper is noise, a `RefCell`
+//! field in simulation state is a determinism hazard), and diagnostics read
+//! better when they can name the enclosing function. [`ScopeMap::build`]
+//! computes both in a single linear pass over the brace structure:
+//!
+//! - a keyword (`struct`/`enum`/`union`, `fn`, `impl`/`trait`) arms a
+//!   *pending* frame kind, which the next `{` consumes; a `;` at
+//!   square-bracket depth 0 disarms it (tuple structs, trait method
+//!   signatures);
+//! - `fn` only arms when followed by an identifier, so `fn(u32) -> u32`
+//!   pointer types in field declarations never open a phantom body;
+//! - a token is "in a type definition" when the innermost `struct`-like
+//!   frame is not shadowed by a `fn` frame above it — enum-variant braces
+//!   (`A { x: u32 }`) open an anonymous frame and correctly inherit the
+//!   type-definition context, while `fn` bodies reset it.
+//!
+//! This is a heuristic over tokens, not a parse: `macro_rules!` bodies and
+//! exotic macro input can mislabel a region. For lint rules (backed by the
+//! waiver mechanism) that trade-off is fine.
+
+use crate::lexer::{Token, TokenKind};
+
+/// What opened a brace frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FrameKind {
+    /// `struct` / `enum` / `union` body.
+    TypeDef,
+    /// A `fn` body; the payload indexes into the interned name list.
+    Fn(u32),
+    /// An `impl` or `trait` block.
+    Impl,
+    /// Any other brace pair: expression blocks, match arms, modules, …
+    Other,
+}
+
+/// Sentinel for "no enclosing fn".
+const NO_FN: u32 = u32::MAX;
+
+/// Per-token scope labels for one file.
+#[derive(Debug)]
+pub struct ScopeMap {
+    in_type_def: Vec<bool>,
+    enclosing_fn: Vec<u32>,
+    fn_names: Vec<String>,
+}
+
+/// Saved state restored when a frame closes.
+struct Frame {
+    kind: FrameKind,
+    prev_td: bool,
+    prev_fn: u32,
+}
+
+impl ScopeMap {
+    /// Label every token in `tokens`.
+    pub fn build(tokens: &[Token]) -> ScopeMap {
+        let mut in_type_def = vec![false; tokens.len()];
+        let mut enclosing_fn = vec![NO_FN; tokens.len()];
+        let mut fn_names: Vec<String> = Vec::new();
+
+        let mut stack: Vec<Frame> = Vec::new();
+        let mut pending: Option<FrameKind> = None;
+        let mut cur_td = false;
+        let mut cur_fn = NO_FN;
+        // `[u8; N]` semicolons must not disarm a pending item keyword.
+        let mut bracket_depth = 0usize;
+
+        for (i, t) in tokens.iter().enumerate() {
+            if t.kind == TokenKind::Ident {
+                match t.text.as_str() {
+                    "struct" | "enum" | "union" => pending = Some(FrameKind::TypeDef),
+                    "impl" | "trait" => pending = Some(FrameKind::Impl),
+                    "fn" => {
+                        // Only a named fn opens a body; `fn(u32)` is a type.
+                        if let Some(name) = tokens.get(i + 1).filter(|n| n.kind == TokenKind::Ident)
+                        {
+                            let id = fn_names.len() as u32;
+                            fn_names.push(name.text.clone());
+                            pending = Some(FrameKind::Fn(id));
+                        }
+                    }
+                    _ => {}
+                }
+            } else if t.is_punct('[') {
+                bracket_depth += 1;
+            } else if t.is_punct(']') {
+                bracket_depth = bracket_depth.saturating_sub(1);
+            } else if t.is_punct(';') && bracket_depth == 0 {
+                // Braceless item: unit/tuple struct, trait method signature.
+                pending = None;
+            } else if t.is_punct('{') {
+                let kind = pending.take().unwrap_or(FrameKind::Other);
+                stack.push(Frame {
+                    kind,
+                    prev_td: cur_td,
+                    prev_fn: cur_fn,
+                });
+                match kind {
+                    FrameKind::TypeDef => cur_td = true,
+                    FrameKind::Fn(id) => {
+                        cur_td = false;
+                        cur_fn = id;
+                    }
+                    FrameKind::Impl | FrameKind::Other => {}
+                }
+            }
+
+            in_type_def[i] = cur_td;
+            enclosing_fn[i] = cur_fn;
+
+            if t.is_punct('}') {
+                if let Some(f) = stack.pop() {
+                    let _ = f.kind;
+                    cur_td = f.prev_td;
+                    cur_fn = f.prev_fn;
+                }
+            }
+        }
+
+        ScopeMap {
+            in_type_def,
+            enclosing_fn,
+            fn_names,
+        }
+    }
+
+    /// Token `i` sits inside a `struct`/`enum`/`union` body (a field or
+    /// variant declaration), not inside any `fn` body nested above it.
+    pub fn in_type_def(&self, i: usize) -> bool {
+        self.in_type_def.get(i).copied().unwrap_or(false)
+    }
+
+    /// Name of the innermost `fn` whose body contains token `i`.
+    pub fn enclosing_fn(&self, i: usize) -> Option<&str> {
+        let id = *self.enclosing_fn.get(i)?;
+        if id == NO_FN {
+            None
+        } else {
+            Some(&self.fn_names[id as usize])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn map(src: &str) -> (Vec<Token>, ScopeMap) {
+        let tokens = lex(src);
+        let m = ScopeMap::build(&tokens);
+        (tokens, m)
+    }
+
+    fn idx_of(tokens: &[Token], text: &str) -> usize {
+        tokens
+            .iter()
+            .position(|t| t.text == text)
+            .unwrap_or_else(|| panic!("token {text:?} not found"))
+    }
+
+    #[test]
+    fn struct_fields_are_type_def_fn_bodies_are_not() {
+        let src = "struct S { field: RefCell<u8> }\n\
+                   fn work() { let local = RefCell::new(0); }";
+        let (tokens, m) = map(src);
+        assert!(m.in_type_def(idx_of(&tokens, "field")));
+        assert!(!m.in_type_def(idx_of(&tokens, "local")));
+        assert_eq!(m.enclosing_fn(idx_of(&tokens, "local")), Some("work"));
+        assert_eq!(m.enclosing_fn(idx_of(&tokens, "field")), None);
+    }
+
+    #[test]
+    fn enum_variant_braces_inherit_type_def() {
+        let src = "enum E { A { x: u8 }, B(u16) }";
+        let (tokens, m) = map(src);
+        assert!(m.in_type_def(idx_of(&tokens, "x")));
+    }
+
+    #[test]
+    fn impl_methods_are_fn_scope_not_type_def() {
+        let src = "impl S { fn tick(&mut self) { self.count += 1; } }";
+        let (tokens, m) = map(src);
+        assert!(!m.in_type_def(idx_of(&tokens, "count")));
+        assert_eq!(m.enclosing_fn(idx_of(&tokens, "count")), Some("tick"));
+    }
+
+    #[test]
+    fn nested_local_struct_in_fn_is_type_def() {
+        let src = "fn outer() { struct Local { y: u8 } let z = 1; }";
+        let (tokens, m) = map(src);
+        assert!(m.in_type_def(idx_of(&tokens, "y")));
+        assert!(!m.in_type_def(idx_of(&tokens, "z")));
+        assert_eq!(m.enclosing_fn(idx_of(&tokens, "z")), Some("outer"));
+    }
+
+    #[test]
+    fn fn_pointer_field_does_not_open_a_body() {
+        let src = "struct S { cb: fn(u32) -> u32, after: u8 }";
+        let (tokens, m) = map(src);
+        assert!(m.in_type_def(idx_of(&tokens, "after")));
+        assert_eq!(m.enclosing_fn(idx_of(&tokens, "after")), None);
+    }
+
+    #[test]
+    fn tuple_struct_and_trait_signature_disarm_pending() {
+        let src = "struct Unit(u8);\n\
+                   trait T { fn sig(&self, xs: [u8; 4]); }\n\
+                   fn real() { let inside = 1; }";
+        let (tokens, m) = map(src);
+        assert_eq!(m.enclosing_fn(idx_of(&tokens, "inside")), Some("real"));
+        assert!(!m.in_type_def(idx_of(&tokens, "inside")));
+    }
+}

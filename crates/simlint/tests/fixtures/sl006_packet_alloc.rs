@@ -1,13 +1,18 @@
 //! SL006 fixture: per-packet heap traffic outside the pool API.
 //!
-//! Lines 8–10 must fire; everything after the marker must stay clean.
+//! The five violations sit on lines 7–15; everything after the marker must
+//! stay clean.
 
 fn hot_path(&mut self, packet: Packet, pkt: Packet) {
-    // Three violations: a per-packet Box, a Vec push of a payload, and an
-    // inline construction pushed into a deque.
-    let boxed = Box::new(packet);
-    self.staging.push(pkt);
-    self.queue.push_back(Packet::tcp(1, 2));
+    let boxed = Box::new(packet); // SL006: per-packet Box
+    self.staging.push(pkt); // SL006: payload into growable buffer
+    self.queue.push_back(Packet::tcp(1, 2)); // SL006: inline construction
+    // Regression: the builder-style multiline call and the turbofish
+    // spelling must fire exactly like the single-line form.
+    let built = Box::new(
+        frame(packet), // SL006 (reported on the `Box` line above)
+    );
+    let tf = Box::<Packet>::new(pkt); // SL006: turbofish
 }
 
 // ---- clean from here down ----
@@ -17,6 +22,8 @@ fn clean(&mut self, r: PacketRef) {
     self.pending.push((done, Event::Arrive { dev, packet: r }));
     // Counters that merely contain "packet" are not payloads.
     let q = Box::new(DropTail::new(spec.host_buffer_packets));
+    // Turbofish of a non-packet type is not packet traffic.
+    let n = Box::<u64>::new(7);
     self.refs.push(r);
 }
 

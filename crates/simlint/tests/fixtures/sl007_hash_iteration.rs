@@ -1,0 +1,51 @@
+//! SL007 fixture: hash-order iteration in a simulation crate.
+//!
+//! Scanned as `crates/netsim/src/state.rs`. The custom hashers keep SL002
+//! quiet so the two SL007 sites (lines 16 and 20) are isolated; the sorted
+//! collect, the Vec loop, and the test region must stay clean.
+
+type FlowMap = HashMap<u64, Flow, BuildHasherDefault<SeqHasher>>;
+
+struct Tracker {
+    flows: FlowMap,
+    peers: HashSet<u64, BuildHasherDefault<SeqHasher>>,
+}
+
+impl Tracker {
+    fn bad_broadcast(&mut self) {
+        for (id, f) in &self.flows {
+            // SL007: visits flows in hash order on the hot path.
+            touch(id, f);
+        }
+        let sample: Vec<u64> = self.peers.iter().take(3).copied().collect();
+        // SL007: first-three-in-hash-order is an arbitrary sample.
+        consume(sample);
+    }
+}
+
+// ---- clean from here down ----
+
+impl Tracker {
+    fn fine_report(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.flows.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    fn fine_vec(&self, order: &Vec<u64>) -> u64 {
+        let mut acc = 0;
+        for id in order.iter() {
+            acc ^= id;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    fn exempt(t: &Tracker) {
+        for p in &t.peers {
+            consume(p);
+        }
+    }
+}

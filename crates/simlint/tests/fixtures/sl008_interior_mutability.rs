@@ -1,0 +1,37 @@
+//! SL008 fixture: interior mutability inside simulation state.
+//!
+//! Scanned as `crates/tcpstack/src/state.rs`. Five violations: three
+//! fields of the state struct, one `static mut`, one `Ordering::Relaxed`.
+//! Locals in fn bodies and the test region must stay clean.
+
+struct BadState {
+    acked: Cell<u64>,
+    window: RefCell<Window>,
+    marks: AtomicU64,
+}
+
+static mut GLOBAL_DROPS: u64 = 0;
+
+fn read_marks(m: &AtomicU64) -> u64 {
+    m.load(Ordering::Relaxed)
+}
+
+// ---- clean from here down ----
+
+fn scratchpad() -> u64 {
+    // A local is owned by one stack frame, not shared simulation state.
+    let scratch = RefCell::new(0u64);
+    scratch.into_inner()
+}
+
+enum CleanState {
+    Idle { since: u64 },
+    Busy(u64),
+}
+
+#[cfg(test)]
+mod tests {
+    struct Probe {
+        hits: Cell<u64>,
+    }
+}

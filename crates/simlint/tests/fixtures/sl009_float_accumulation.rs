@@ -1,0 +1,41 @@
+//! SL009 fixture: f64 `+=` accumulation in metrics code.
+//!
+//! Scanned as `crates/simmetrics/src/agg.rs`. Two violations: a struct
+//! field accumulator (line 13) and a float local (line 19). The integer
+//! accumulation below the marker is the blessed pattern.
+
+struct Agg {
+    total_bps: f64,
+}
+
+impl Agg {
+    fn bad_add(&mut self, sample_bps: f64) {
+        self.total_bps += sample_bps;
+    }
+
+    fn bad_mean(&self, xs: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for x in xs {
+            acc += *x;
+        }
+        acc / xs.len() as f64
+    }
+}
+
+// ---- clean from here down ----
+
+struct Fine {
+    sum_ns: u128,
+    count: u64,
+}
+
+impl Fine {
+    fn add(&mut self, ns: u64) {
+        self.sum_ns += u128::from(ns);
+        self.count += 1;
+    }
+
+    fn mean_ns(&self) -> f64 {
+        self.sum_ns as f64 / self.count as f64
+    }
+}

@@ -1,0 +1,30 @@
+//! SL010 fixture: wall-clock reads and RNG construction outside their
+//! blessed homes.
+//!
+//! Scanned as `crates/experiments/src/probe.rs` (five SL010 sites) and as
+//! `crates/simevent/src/rng.rs`, where the RNG constructions are allowed
+//! and the wall-clock reads fall to SL001 instead (sim crate).
+
+use std::time::Instant;
+
+fn bad_timing() -> u128 {
+    let t0 = Instant::now();
+    t0.elapsed().as_nanos()
+}
+
+fn bad_rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+// ---- clean from here down ----
+
+fn fine(rng: &mut SimRng) -> u64 {
+    // Forking the scenario-seeded stream is the blessed pattern...
+    let mut fork = rng.fork();
+    fork.next_u64()
+}
+
+fn fine_wrapper(seed: u64) -> SimRng {
+    // ...and so is the SimRng wrapper itself.
+    SimRng::seed_from_u64(seed)
+}

@@ -1,0 +1,23 @@
+//! SL011 fixture: scheduling at a subtracted (possibly past) timestamp.
+//!
+//! Scanned as `crates/simevent/src/probe.rs`. One violation (line 9);
+//! clamped computations, plain additions, later-argument subtractions, and
+//! `fn schedule*` definitions must stay clean.
+
+impl Probe {
+    fn bad_retry(&mut self, now: SimTime, jitter: SimTime) {
+        self.sched.schedule_at(now - jitter, Event::Tick);
+    }
+
+    // ---- clean from here down ----
+
+    fn fine(&mut self, now: SimTime, jitter: SimTime, delay: SimTime) {
+        self.sched.schedule_at((now - jitter).max(now), Event::Tick);
+        self.sched.schedule_at(now + delay, Event::Tick);
+        self.sched.schedule_at(now, self.total - self.done);
+    }
+
+    fn schedule_probe(&mut self, at: SimTime) {
+        self.sched.schedule_at(at, Event::Tick);
+    }
+}

@@ -1,0 +1,12 @@
+//! SL012 fixture: `unsafe` outside `netpacket::pool`.
+//!
+//! Scanned as `crates/tcpstack/src/fast.rs` (one violation, line 8 — and
+//! unlike most rules, a `tests/` path does NOT exempt it) and as
+//! `crates/netpacket/src/pool.rs`, the one audited home, where it is clean.
+
+fn peek_u32(buf: &[u8]) -> u32 {
+    unsafe { read_unaligned(buf.as_ptr().cast()) }
+}
+
+// No clean section: any other `unsafe` token would itself be a finding —
+// the rule has no carve-outs besides the pool file and waivers.

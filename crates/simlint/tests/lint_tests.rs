@@ -29,8 +29,11 @@ fn sl001_fixture() {
     let found = codes("crates/netsim/src/probe.rs", &src);
     assert!(found.iter().all(|c| *c == "SL001"), "only SL001: {found:?}");
     assert_eq!(found.len(), 3);
-    // Negative: the experiments harness may measure wall time.
-    assert!(codes("crates/experiments/src/probe.rs", &src).is_empty());
+    // Outside the sim crates the same sites are SL010's (waivable,
+    // measurement-only) findings instead.
+    let harness = codes("crates/experiments/src/probe.rs", &src);
+    assert!(harness.iter().all(|c| *c == "SL010"), "{harness:?}");
+    assert_eq!(harness.len(), 3);
 }
 
 #[test]
@@ -51,10 +54,12 @@ fn sl002_fixture() {
 #[test]
 fn sl003_fixture() {
     let src = fixture("sl003_ambient_entropy.rs");
-    // Workspace-wide: fires even outside simulation crates.
+    // Workspace-wide: fires even outside simulation crates. The bare
+    // `SmallRng` construction additionally trips SL010; the explicit
+    // `SimRng::seed_from_u64` stays clean.
     assert_eq!(
         codes("crates/experiments/src/gen.rs", &src),
-        vec!["SL003", "SL003"]
+        vec!["SL003", "SL010", "SL003"]
     );
 }
 
@@ -80,14 +85,103 @@ fn sl006_fixture() {
     assert!(findings.iter().all(|f| f.code == "SL006"), "{findings:?}");
     assert_eq!(
         findings.len(),
-        3,
-        "exactly the three hot-path sites: {findings:?}"
+        5,
+        "the three single-line sites plus the multiline-builder and \
+         turbofish regressions: {findings:?}"
     );
     // Everything after the clean marker (field labels, packet-counting
-    // idents, PacketRef pushes, test code) must not fire.
-    assert!(findings.iter().all(|f| f.line <= 10), "{findings:?}");
+    // idents, PacketRef pushes, non-packet turbofish, test code) must not
+    // fire.
+    assert!(findings.iter().all(|f| f.line <= 15), "{findings:?}");
     // Out of scope in the harness crate.
     assert!(codes("crates/experiments/src/hot.rs", &src).is_empty());
+}
+
+#[test]
+fn sl007_fixture() {
+    let src = fixture("sl007_hash_iteration.rs");
+    let findings = check_file("crates/netsim/src/state.rs", &lex(&src));
+    assert!(findings.iter().all(|f| f.code == "SL007"), "{findings:?}");
+    assert_eq!(
+        findings.len(),
+        2,
+        "the for-loop and the unsorted sample: {findings:?}"
+    );
+    // The sorted collect, the Vec loop, and the test region are clean.
+    assert!(findings.iter().all(|f| f.line <= 22), "{findings:?}");
+    // Out of scope in the harness crate.
+    assert!(codes("crates/experiments/src/state.rs", &src).is_empty());
+}
+
+#[test]
+fn sl008_fixture() {
+    let src = fixture("sl008_interior_mutability.rs");
+    let findings = check_file("crates/tcpstack/src/state.rs", &lex(&src));
+    assert!(findings.iter().all(|f| f.code == "SL008"), "{findings:?}");
+    assert_eq!(
+        findings.len(),
+        5,
+        "three state fields + static mut + Relaxed: {findings:?}"
+    );
+    // Locals, plain enums, and the test region are clean.
+    assert!(findings.iter().all(|f| f.line <= 17), "{findings:?}");
+    // Out of scope in the harness crate.
+    assert!(codes("crates/experiments/src/state.rs", &src).is_empty());
+}
+
+#[test]
+fn sl009_fixture() {
+    let src = fixture("sl009_float_accumulation.rs");
+    let findings = check_file("crates/simmetrics/src/agg.rs", &lex(&src));
+    assert!(findings.iter().all(|f| f.code == "SL009"), "{findings:?}");
+    assert_eq!(
+        findings.len(),
+        2,
+        "the field accumulator and the float local: {findings:?}"
+    );
+    // The integer-accumulation pattern below the marker is clean.
+    assert!(findings.iter().all(|f| f.line <= 22), "{findings:?}");
+    // Metrics scope covers the harness too, but not plain sim crates.
+    assert_eq!(codes("crates/experiments/src/agg.rs", &src).len(), 2);
+    assert!(codes("crates/netsim/src/agg.rs", &src).is_empty());
+}
+
+#[test]
+fn sl010_fixture() {
+    let src = fixture("sl010_ambient_construction.rs");
+    // In the harness: two wall-clock reads + three RNG-construction idents.
+    let findings = check_file("crates/experiments/src/probe.rs", &lex(&src));
+    assert!(findings.iter().all(|f| f.code == "SL010"), "{findings:?}");
+    assert_eq!(findings.len(), 5, "{findings:?}");
+    // In the blessed home the constructions are allowed — and the
+    // wall-clock reads fall to SL001, since simevent is a sim crate.
+    assert_eq!(
+        codes("crates/simevent/src/rng.rs", &src),
+        vec!["SL001", "SL001"]
+    );
+    // Tests may measure wall time and seed ad-hoc generators.
+    assert!(codes("crates/experiments/tests/probe.rs", &src).is_empty());
+}
+
+#[test]
+fn sl011_fixture() {
+    let src = fixture("sl011_past_schedule.rs");
+    let findings = check_file("crates/simevent/src/probe.rs", &lex(&src));
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].code, "SL011");
+    assert_eq!(findings[0].line, 9);
+    // Out of scope in the harness crate.
+    assert!(codes("crates/experiments/src/probe.rs", &src).is_empty());
+}
+
+#[test]
+fn sl012_fixture() {
+    let src = fixture("sl012_unsafe.rs");
+    assert_eq!(codes("crates/tcpstack/src/fast.rs", &src), vec!["SL012"]);
+    // Unlike most rules, a tests/ path does not exempt unsafe.
+    assert_eq!(codes("crates/tcpstack/tests/fast.rs", &src), vec!["SL012"]);
+    // The pool is the one audited home.
+    assert!(codes("crates/netpacket/src/pool.rs", &src).is_empty());
 }
 
 #[test]

@@ -517,6 +517,57 @@ pub fn diff_jsonl(left: &str, right: &str) -> Option<Divergence> {
     }
 }
 
+/// Compare two JSONL traces up to *within-instant* emission order.
+///
+/// Lines in each maximal run sharing one `"t"` stamp are sorted before
+/// comparison, so two traces of the same simulation that processed
+/// same-instant events in a different (tie-break-permuted) order still
+/// compare equal — the determinism contract pins the *set* of events at each
+/// instant plus the cross-instant order, not the emission interleaving
+/// inside one instant. Lines without a timestamp (e.g. meta records) act as
+/// group boundaries and must match in place. This is `simverify`'s trace
+/// comparator; the reported line number indexes the *canonicalised* traces.
+pub fn diff_jsonl_canonical(left: &str, right: &str) -> Option<Divergence> {
+    diff_jsonl(&canonicalize_jsonl(left), &canonicalize_jsonl(right))
+}
+
+/// Rewrite a JSONL trace into within-instant canonical form: each maximal
+/// run of consecutive lines with the same `"t"` stamp is sorted
+/// lexicographically. Cross-instant order (and the position of untimestamped
+/// lines) is preserved. Idempotent; two traces differing only in
+/// same-instant emission order canonicalise to identical strings.
+pub fn canonicalize_jsonl(trace: &str) -> String {
+    let mut out: Vec<&str> = Vec::new();
+    let mut group: Vec<&str> = Vec::new();
+    let mut group_t: Option<SimTime> = None;
+    fn flush<'a>(out: &mut Vec<&'a str>, group: &mut Vec<&'a str>) {
+        group.sort_unstable();
+        out.append(group);
+    }
+    for line in trace.lines() {
+        match event_time(line) {
+            Some(t) => {
+                if group_t != Some(t) {
+                    flush(&mut out, &mut group);
+                    group_t = Some(t);
+                }
+                group.push(line);
+            }
+            None => {
+                flush(&mut out, &mut group);
+                group_t = None;
+                out.push(line);
+            }
+        }
+    }
+    flush(&mut out, &mut group);
+    let mut s = out.join("\n");
+    if !s.is_empty() {
+        s.push('\n');
+    }
+    s
+}
+
 /// Extract the `"t":<nanos>` stamp from a JSONL event line, if present.
 pub fn event_time(line: &str) -> Option<SimTime> {
     let rest = line.strip_prefix("{\"t\":")?;
@@ -701,6 +752,57 @@ mod tests {
         assert_eq!(d.line, 2);
         assert_eq!(d.left.as_deref(), Some("b"));
         assert_eq!(d.right, None);
+    }
+
+    #[test]
+    fn canonicalize_sorts_within_one_instant_only() {
+        let trace = "{\"t\":5,\"ev\":\"b\"}\n{\"t\":5,\"ev\":\"a\"}\n{\"t\":9,\"ev\":\"z\"}\n";
+        assert_eq!(
+            canonicalize_jsonl(trace),
+            "{\"t\":5,\"ev\":\"a\"}\n{\"t\":5,\"ev\":\"b\"}\n{\"t\":9,\"ev\":\"z\"}\n",
+            "same-instant lines sort; cross-instant order is preserved"
+        );
+        // Idempotent.
+        assert_eq!(
+            canonicalize_jsonl(&canonicalize_jsonl(trace)),
+            canonicalize_jsonl(trace)
+        );
+        assert_eq!(canonicalize_jsonl(""), "");
+    }
+
+    #[test]
+    fn canonical_diff_ignores_within_instant_order() {
+        let left = "{\"meta\":\"queue\",\"q\":0,\"name\":\"x\"}\n\
+                    {\"t\":5,\"ev\":\"a\"}\n{\"t\":5,\"ev\":\"b\"}\n{\"t\":7,\"ev\":\"c\"}\n";
+        let right = "{\"meta\":\"queue\",\"q\":0,\"name\":\"x\"}\n\
+                    {\"t\":5,\"ev\":\"b\"}\n{\"t\":5,\"ev\":\"a\"}\n{\"t\":7,\"ev\":\"c\"}\n";
+        assert_eq!(diff_jsonl(left, right).map(|d| d.line), Some(2));
+        assert_eq!(diff_jsonl_canonical(left, right), None);
+    }
+
+    #[test]
+    fn canonical_diff_still_catches_real_divergence() {
+        // Same multiset of lines, but at different instants: NOT equal.
+        let left = "{\"t\":5,\"ev\":\"a\"}\n{\"t\":7,\"ev\":\"c\"}\n";
+        let right = "{\"t\":5,\"ev\":\"c\"}\n{\"t\":7,\"ev\":\"a\"}\n";
+        assert!(diff_jsonl_canonical(left, right).is_some());
+        // A missing event inside an instant group is caught too.
+        let d = diff_jsonl_canonical(
+            "{\"t\":5,\"ev\":\"a\"}\n{\"t\":5,\"ev\":\"b\"}\n",
+            "{\"t\":5,\"ev\":\"a\"}\n",
+        )
+        .expect("must diverge");
+        assert_eq!(d.line, 2);
+        assert_eq!(d.right, None);
+    }
+
+    #[test]
+    fn canonical_diff_meta_lines_are_group_boundaries() {
+        // An untimestamped line splits the instant group: reordering across
+        // it is a divergence, not emission-order noise.
+        let left = "{\"t\":5,\"ev\":\"a\"}\n{\"meta\":\"m\"}\n{\"t\":5,\"ev\":\"b\"}\n";
+        let right = "{\"t\":5,\"ev\":\"b\"}\n{\"meta\":\"m\"}\n{\"t\":5,\"ev\":\"a\"}\n";
+        assert!(diff_jsonl_canonical(left, right).is_some());
     }
 
     #[test]
