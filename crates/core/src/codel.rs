@@ -167,6 +167,13 @@ impl CoDel {
     fn dequeue_inner(&mut self, now: SimTime) -> Option<Packet> {
         loop {
             let Some((p, ok)) = self.dodeque(now) else {
+                // The queue drained empty: the congestion episode is over.
+                // `first_above` must not survive the idle period — a stale
+                // deadline would make the first above-target sojourn of the
+                // *next* episode satisfy `now >= first_above` immediately,
+                // entering the dropping state without waiting the full
+                // interval the control law requires.
+                self.first_above = None;
                 self.dropping = false;
                 return None;
             };
@@ -498,6 +505,115 @@ mod tests {
         assert!(
             second_half > first_half,
             "marking must escalate: {first_half} then {second_half}"
+        );
+    }
+
+    #[test]
+    fn idle_gap_does_not_leak_first_above() {
+        // Regression for the stale-interval bug: `first_above` armed during
+        // one congestion episode survived the queue draining empty, so after
+        // an idle gap the first above-target sojourn compared against the old
+        // deadline and signalled immediately instead of waiting a full
+        // interval. Two episodes separated by idle; the first post-idle
+        // dequeue must not signal.
+        let mut q = CoDel::new(cfg(true, ProtectionMode::Default));
+        // Episode 1: sojourns far above target, but drained before the
+        // full-interval condition is met — `first_above` gets armed, then
+        // the queue empties.
+        for i in 0..10 {
+            q.enqueue(data(i, EcnCodepoint::Ect0), SimTime::from_micros(i));
+        }
+        let out = drain_all(
+            &mut q,
+            SimTime::from_millis(50),
+            SimDuration::from_micros(200),
+        );
+        assert_eq!(out.len(), 10);
+        assert_eq!(
+            q.stats().marked.total(),
+            0,
+            "episode 1 is shorter than an interval: no signal yet"
+        );
+        assert!(q.is_empty());
+        // Long idle, then episode 2 opens with a single above-target sojourn.
+        let resume = SimTime::from_millis(1000);
+        q.enqueue(data(100, EcnCodepoint::Ect0), resume);
+        let first = q
+            .dequeue(resume + SimDuration::from_millis(1))
+            .expect("queue is non-empty");
+        assert_eq!(
+            first.ecn,
+            EcnCodepoint::Ect0,
+            "first post-idle dequeue must not be CE-marked"
+        );
+        assert_eq!(q.stats().marked.total(), 0);
+        assert_eq!(q.stats().dropped_early.total(), 0);
+        assert!(
+            !q.in_dropping_state(),
+            "one above-target sojourn is not persistent congestion"
+        );
+    }
+
+    #[test]
+    fn count_resets_to_one_across_long_idle() {
+        // Sibling idle-state hazard: on exit-via-empty, `drop_next` stays
+        // frozen at the old episode. The count-reuse guard compares
+        // `now.since(drop_next)` against `interval * 8`; `SimTime::since`
+        // saturates, so across a long idle gap the guard must take the reset
+        // branch and the new episode restarts at count = 1 — a full-interval
+        // signalling cadence, not the old escalated rate. Pin that.
+        let interval = SimDuration::from_millis(10);
+        let mut q = CoDel::new(cfg(true, ProtectionMode::Default));
+        // Episode 1: persistent congestion escalates the count well past the
+        // reuse threshold (same drive as drop_rate_escalates_...).
+        for i in 0..400 {
+            q.enqueue(data(i, EcnCodepoint::Ect0), SimTime::from_micros(i));
+        }
+        let mut marks_1 = Vec::new();
+        let mut t = SimTime::from_millis(50);
+        loop {
+            let before = q.stats().marked.total();
+            if q.dequeue(t).is_none() {
+                break;
+            }
+            if q.stats().marked.total() > before {
+                marks_1.push(t);
+            }
+            t += SimDuration::from_micros(300);
+        }
+        assert!(marks_1.len() >= 4, "episode 1 must escalate the count");
+        let last_gap = marks_1[marks_1.len() - 1].since(marks_1[marks_1.len() - 2]);
+        assert!(
+            last_gap < interval,
+            "escalated cadence must be faster than one interval, got {last_gap}"
+        );
+        assert!(q.is_empty());
+        // Long idle (far beyond interval * 8 past the frozen drop_next).
+        let resume = SimTime::from_millis(5000);
+        for i in 0..200 {
+            q.enqueue(
+                data(1000 + i, EcnCodepoint::Ect0),
+                resume + SimDuration::from_micros(i),
+            );
+        }
+        let mut marks_2 = Vec::new();
+        let mut t = resume + SimDuration::from_millis(50);
+        loop {
+            let before = q.stats().marked.total();
+            if q.dequeue(t).is_none() {
+                break;
+            }
+            if q.stats().marked.total() > before {
+                marks_2.push(t);
+            }
+            t += SimDuration::from_micros(300);
+        }
+        assert!(marks_2.len() >= 2, "episode 2 must re-enter dropping");
+        let first_gap = marks_2[1].since(marks_2[0]);
+        assert!(
+            first_gap >= interval,
+            "count must reset to 1 after long idle: first cadence gap \
+             {first_gap} is shorter than the full interval"
         );
     }
 

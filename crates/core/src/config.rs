@@ -218,6 +218,234 @@ impl SimpleMarkingConfig {
     }
 }
 
+/// Configuration for [`crate::CurvyRed`] — Briscoe's "Insights from Curvy
+/// RED" AQM: power-law marking on the **instantaneous** queue, no EWMA.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CurvyRedConfig {
+    /// Physical buffer depth in packets.
+    pub capacity_packets: u64,
+    /// Queue length (packets) at which the marking probability reaches 1.
+    pub range_packets: u64,
+    /// Curviness exponent `u` of the ECN marking curve:
+    /// `P(mark) = (q / range)^u`. The drop curve for non-ECT traffic uses
+    /// `2u` (drop probability = square of the marking probability), so drops
+    /// stay rarer than marks at every operating point.
+    pub mark_exponent: u32,
+    /// Whether ECT packets are CE-marked (the L4S-era default). When `false`
+    /// every selected packet takes the drop curve.
+    pub ecn: bool,
+    /// Which non-ECT packets escape the drop curve.
+    pub protection: ProtectionMode,
+}
+
+impl CurvyRedConfig {
+    /// Derive the curve from a target queuing delay: the marking probability
+    /// hits 0.25 (`= (1/2)^u` with `u = 2`) at the queue length `K` that
+    /// induces the target delay, i.e. `range = 2K`.
+    pub fn from_target_delay(
+        target_delay: SimDuration,
+        line_rate_bps: u64,
+        mean_packet_bytes: u32,
+        capacity_packets: u64,
+        protection: ProtectionMode,
+    ) -> CurvyRedConfig {
+        let k = RedConfig::threshold_packets(target_delay, line_rate_bps, mean_packet_bytes);
+        CurvyRedConfig {
+            capacity_packets,
+            range_packets: (2 * k).max(2),
+            mark_exponent: 2,
+            ecn: true,
+            protection,
+        }
+    }
+
+    /// Validate internal consistency.
+    pub fn validate(&self) {
+        assert!(self.capacity_packets > 0, "capacity must be positive");
+        assert!(self.range_packets >= 1, "range must be at least 1");
+        assert!(
+            (1..=8).contains(&self.mark_exponent),
+            "mark exponent must be in 1..=8, got {}",
+            self.mark_exponent
+        );
+    }
+}
+
+/// Configuration for [`crate::Pie`] — Proportional Integral controller
+/// Enhanced (RFC 8033): latency-based AQM with departure-rate estimation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PieConfig {
+    /// Physical buffer depth in packets.
+    pub capacity_packets: u64,
+    /// Target queuing delay the PI controller steers towards.
+    pub target: SimDuration,
+    /// Probability-update period (RFC 8033 `T_UPDATE`).
+    pub t_update: SimDuration,
+    /// Proportional gain on `(qdelay - target)`, in 1/s (RFC 8033 `alpha`).
+    pub alpha: f64,
+    /// Derivative-flavoured gain on `(qdelay - qdelay_old)`, in 1/s
+    /// (RFC 8033 `beta`).
+    pub beta: f64,
+    /// Initial/reset burst allowance: no early action while it lasts
+    /// (RFC 8033 `MAX_BURST`).
+    pub max_burst: SimDuration,
+    /// ECT packets are marked instead of dropped while the drop probability
+    /// is at or below this (RFC 8033 `MARK_ECNTH`); above it even ECT
+    /// traffic is dropped.
+    pub mark_ecnth: f64,
+    /// Bytes departed per departure-rate measurement cycle
+    /// (RFC 8033 `DQ_THRESHOLD`).
+    pub dq_threshold_bytes: u64,
+    /// Whether ECT packets may be CE-marked at all.
+    pub ecn: bool,
+    /// Which non-ECT packets escape early drop.
+    pub protection: ProtectionMode,
+}
+
+impl PieConfig {
+    /// RFC 8033 gains over the paper's target-delay axis. The update period
+    /// tracks the target (never below 500 µs) so the controller reacts on the
+    /// timescale it is asked to control.
+    ///
+    /// The RFC's reference gains (`alpha` 0.125 Hz, `beta` 1.25 Hz) are tuned
+    /// for its 15 ms reference target; against the paper's microsecond-scale
+    /// data-centre targets the delay error shrinks by the same two orders of
+    /// magnitude and the stock controller would take whole seconds to ramp —
+    /// longer than a shuffle burst lives. The gains therefore scale inversely
+    /// with the target (capped at 1000x), keeping the loop dynamics in units
+    /// of the target delay. The departure-rate cycle (RFC `DQ_THRESHOLD`,
+    /// reference 16 kB) is likewise capped at half the physical buffer so a
+    /// tens-of-packets port can still complete a measurement.
+    pub fn from_target_delay(
+        target_delay: SimDuration,
+        capacity_packets: u64,
+        protection: ProtectionMode,
+    ) -> PieConfig {
+        let t_update = target_delay.max(SimDuration::from_micros(500));
+        let scale = (SimDuration::from_millis(15).as_secs_f64() / target_delay.as_secs_f64())
+            .clamp(1.0, 1000.0);
+        // Half the buffer in bytes at MTU-scale packets, floored at two
+        // packets: a cycle must be completable with the queue half full.
+        let cap_bytes = capacity_packets.saturating_mul(1500);
+        let dq_threshold_bytes = (16 * 1024).min(cap_bytes / 2).max(3000);
+        PieConfig {
+            capacity_packets,
+            target: target_delay,
+            t_update,
+            alpha: 0.125 * scale,
+            beta: 1.25 * scale,
+            max_burst: t_update.saturating_mul(10),
+            mark_ecnth: 0.1,
+            dq_threshold_bytes,
+            ecn: true,
+            protection,
+        }
+    }
+
+    /// Validate internal consistency.
+    pub fn validate(&self) {
+        assert!(self.capacity_packets > 0, "capacity must be positive");
+        assert!(self.target > SimDuration::ZERO, "target must be positive");
+        assert!(
+            self.t_update > SimDuration::ZERO,
+            "t_update must be positive"
+        );
+        assert!(
+            self.alpha > 0.0 && self.beta > 0.0,
+            "PI gains must be positive"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.mark_ecnth),
+            "mark_ecnth must be a probability, got {}",
+            self.mark_ecnth
+        );
+        assert!(self.dq_threshold_bytes > 0, "dq_threshold must be positive");
+    }
+}
+
+/// Configuration for [`crate::DualQ`] — the L4S DualQ coupled AQM
+/// (RFC 9332): a classic queue under a PI² controller and a low-latency
+/// queue whose marking is coupled to it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DualQConfig {
+    /// Physical buffer depth in packets, **shared** by both queues.
+    pub capacity_packets: u64,
+    /// Classic-queue delay target for the PI controller.
+    pub target: SimDuration,
+    /// Base-probability update period (RFC 9332 `Tupdate`).
+    pub t_update: SimDuration,
+    /// Proportional PI gain, in 1/s.
+    pub alpha: f64,
+    /// Derivative-flavoured PI gain, in 1/s.
+    pub beta: f64,
+    /// Coupling factor `k`: the L queue inherits `p_CL = k * p'` from the
+    /// classic base probability `p'` (classic traffic sees `p_C = p'^2`).
+    pub coupling: f64,
+    /// L-queue step-marking threshold on the head packet's sojourn time:
+    /// above it every L packet is marked (the dense signal TCP Prague needs).
+    pub step_threshold: SimDuration,
+    /// Time-shift the scheduler credits the L queue with (time-shifted FIFO):
+    /// the L head is served unless the classic head has waited more than
+    /// `t_shift` longer.
+    pub t_shift: SimDuration,
+    /// Which non-ECT packets escape early drop in the classic queue.
+    pub protection: ProtectionMode,
+}
+
+impl DualQConfig {
+    /// RFC 9332 appendix defaults scaled onto the paper's target-delay axis:
+    /// step threshold a quarter of the classic target (floored at 50 µs) and
+    /// a scheduler time-shift of two targets.
+    ///
+    /// Like [`PieConfig::from_target_delay`], the reference PI gains (0.16 Hz
+    /// and 3.2 Hz, tuned for the appendix's 15 ms classic target) scale
+    /// inversely with the target (capped at 1000x): at microsecond
+    /// data-centre targets the raw gains would need seconds of sustained
+    /// overload before `p'` leaves the noise floor.
+    pub fn from_target_delay(
+        target_delay: SimDuration,
+        capacity_packets: u64,
+        protection: ProtectionMode,
+    ) -> DualQConfig {
+        let scale = (SimDuration::from_millis(15).as_secs_f64() / target_delay.as_secs_f64())
+            .clamp(1.0, 1000.0);
+        DualQConfig {
+            capacity_packets,
+            target: target_delay,
+            t_update: target_delay.max(SimDuration::from_micros(500)),
+            alpha: 0.16 * scale,
+            beta: 3.2 * scale,
+            coupling: 2.0,
+            step_threshold: (target_delay / 4).max(SimDuration::from_micros(50)),
+            t_shift: target_delay.saturating_mul(2),
+            protection,
+        }
+    }
+
+    /// Validate internal consistency.
+    pub fn validate(&self) {
+        assert!(self.capacity_packets > 0, "capacity must be positive");
+        assert!(self.target > SimDuration::ZERO, "target must be positive");
+        assert!(
+            self.t_update > SimDuration::ZERO,
+            "t_update must be positive"
+        );
+        assert!(
+            self.alpha > 0.0 && self.beta > 0.0,
+            "PI gains must be positive"
+        );
+        assert!(
+            self.coupling >= 1.0,
+            "coupling below 1 starves the L queue, got {}",
+            self.coupling
+        );
+        assert!(
+            self.step_threshold > SimDuration::ZERO,
+            "step threshold must be positive"
+        );
+    }
+}
+
 /// Serialisable description of any queue discipline in this crate, used by
 /// topology builders and experiment configs.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -233,6 +461,12 @@ pub enum QdiscSpec {
     SimpleMarking(SimpleMarkingConfig),
     /// CoDel with the embedded configuration.
     CoDel(crate::CoDelConfig),
+    /// Curvy RED with the embedded configuration.
+    CurvyRed(CurvyRedConfig),
+    /// PIE with the embedded configuration.
+    Pie(PieConfig),
+    /// L4S DualQ coupled AQM with the embedded configuration.
+    DualQ(DualQConfig),
 }
 
 impl QdiscSpec {
@@ -243,6 +477,9 @@ impl QdiscSpec {
             QdiscSpec::Red(c) => c.capacity_packets,
             QdiscSpec::SimpleMarking(c) => c.capacity_packets,
             QdiscSpec::CoDel(c) => c.capacity_packets,
+            QdiscSpec::CurvyRed(c) => c.capacity_packets,
+            QdiscSpec::Pie(c) => c.capacity_packets,
+            QdiscSpec::DualQ(c) => c.capacity_packets,
         }
     }
 
@@ -253,6 +490,9 @@ impl QdiscSpec {
             QdiscSpec::Red(c) => format!("red[{}]", c.protection.label()),
             QdiscSpec::SimpleMarking(_) => "simple-marking".to_string(),
             QdiscSpec::CoDel(c) => format!("codel[{}]", c.protection.label()),
+            QdiscSpec::CurvyRed(c) => format!("curvy-red[{}]", c.protection.label()),
+            QdiscSpec::Pie(c) => format!("pie[{}]", c.protection.label()),
+            QdiscSpec::DualQ(c) => format!("dualq[{}]", c.protection.label()),
         }
     }
 }
@@ -411,6 +651,68 @@ mod tests {
             threshold_packets: 10,
         });
         assert_eq!(s.label(), "simple-marking");
+    }
+
+    #[test]
+    fn curvy_red_from_target_delay() {
+        // K = 41 at 500 us / 1 Gbps / 1500 B -> range 82, prob 0.25 at K.
+        let c = CurvyRedConfig::from_target_delay(
+            SimDuration::from_micros(500),
+            1_000_000_000,
+            1500,
+            100,
+            ProtectionMode::AckSyn,
+        );
+        assert_eq!(c.range_packets, 82);
+        assert_eq!(c.mark_exponent, 2);
+        assert!(c.ecn);
+        c.validate();
+        assert_eq!(QdiscSpec::CurvyRed(c).label(), "curvy-red[ack+syn]");
+    }
+
+    #[test]
+    fn pie_from_target_delay_tracks_target() {
+        let c =
+            PieConfig::from_target_delay(SimDuration::from_millis(5), 100, ProtectionMode::Default);
+        assert_eq!(c.t_update, SimDuration::from_millis(5));
+        assert_eq!(c.max_burst, SimDuration::from_millis(50));
+        c.validate();
+        // Sub-500us targets floor the update period.
+        let tiny = PieConfig::from_target_delay(
+            SimDuration::from_micros(100),
+            100,
+            ProtectionMode::Default,
+        );
+        assert_eq!(tiny.t_update, SimDuration::from_micros(500));
+        tiny.validate();
+        assert_eq!(QdiscSpec::Pie(tiny).label(), "pie[default]");
+    }
+
+    #[test]
+    fn dualq_from_target_delay_scales_step_and_shift() {
+        let c = DualQConfig::from_target_delay(
+            SimDuration::from_micros(500),
+            100,
+            ProtectionMode::EceBit,
+        );
+        assert_eq!(c.step_threshold, SimDuration::from_micros(125));
+        assert_eq!(c.t_shift, SimDuration::from_millis(1));
+        assert_eq!(c.coupling, 2.0);
+        c.validate();
+        assert_eq!(QdiscSpec::DualQ(c.clone()).label(), "dualq[ece-bit]");
+        assert_eq!(QdiscSpec::DualQ(c).capacity_packets(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "coupling")]
+    fn dualq_rejects_sub_unit_coupling() {
+        let mut c = DualQConfig::from_target_delay(
+            SimDuration::from_micros(500),
+            100,
+            ProtectionMode::Default,
+        );
+        c.coupling = 0.5;
+        c.validate();
     }
 
     #[test]

@@ -1,0 +1,448 @@
+//! Curvy RED (Briscoe) with ECN and the paper's protection modes.
+
+use crate::config::CurvyRedConfig;
+use crate::fifo::Fifo;
+use netpacket::{
+    packet_event, ConservationCheck, EnqueueOutcome, Packet, PacketKind, QueueDiscipline,
+    QueueStats,
+};
+use simevent::{SimRng, SimTime};
+use simtrace::{EventKind, TraceHandle, NO_QUEUE};
+use std::collections::VecDeque;
+
+/// Curvy RED: power-law marking on the **instantaneous** queue.
+///
+/// Briscoe's "Insights from Curvy RED" argues that classic RED's EWMA and
+/// min/max thresholds are foot-guns (the frozen-EWMA bug PR 4 fixed in this
+/// repo is a live specimen), and that a single convex curve over the
+/// instantaneous queue is both simpler and better behaved:
+///
+/// * ECN marking probability `(q / range)^u`, implemented with the cached
+///   power-of-random-queue trick: each arrival draws **one** uniform variate
+///   into a small ring, and the decision compares `q / range` against the
+///   maximum of the most recent `u` draws — `P(max of u uniforms < x) = x^u`,
+///   so the marginal marking probability is exactly the power law without
+///   ever calling `powf` on the hot path.
+/// * Drop probability for non-ECT traffic is the **square** of the marking
+///   probability (exponent `2u`, the maximum over the most recent `2u`
+///   draws): drops stay rarer than marks at every operating point, which is
+///   the curve's built-in version of the paper's observation that dropping
+///   control packets is far more expensive than marking data.
+///
+/// The paper's [`crate::ProtectionMode`] applies to the drop curve exactly as
+/// it does in [`crate::Red`]: exempted non-ECT packets are admitted unmarked.
+#[derive(Debug)]
+pub struct CurvyRed {
+    cfg: CurvyRedConfig,
+    fifo: Fifo,
+    stats: QueueStats,
+    conserve: ConservationCheck,
+    rng: SimRng,
+    /// Ring of the most recent `2u` uniform draws (the "cached randoms").
+    recent: VecDeque<f64>,
+    trace: TraceHandle,
+    trace_q: u32,
+}
+
+impl CurvyRed {
+    /// Build the queue. `seed` feeds the per-arrival uniform draws; identical
+    /// configs, seeds and call sequences behave identically.
+    pub fn new(cfg: CurvyRedConfig, seed: u64) -> Self {
+        cfg.validate();
+        let depth = 2 * cfg.mark_exponent as usize;
+        CurvyRed {
+            cfg,
+            fifo: Fifo::new(),
+            stats: QueueStats::default(),
+            conserve: ConservationCheck::default(),
+            rng: SimRng::new(seed),
+            recent: VecDeque::with_capacity(depth),
+            trace: TraceHandle::null(),
+            trace_q: NO_QUEUE,
+        }
+    }
+
+    /// The configuration this queue was built with.
+    pub fn config(&self) -> &CurvyRedConfig {
+        &self.cfg
+    }
+
+    /// Draw this arrival's uniform variate into the ring.
+    fn push_draw(&mut self) {
+        if self.recent.len() == 2 * self.cfg.mark_exponent as usize {
+            self.recent.pop_front();
+        }
+        let r = self.rng.next_f64();
+        self.recent.push_back(r);
+    }
+
+    /// Does the curve with exponent `n` select the current queue? True with
+    /// probability `(q / range)^n`: compare against the max of the `n` most
+    /// recent draws.
+    fn curve_selects(&self, n: u32) -> bool {
+        let x = self.fifo.len() as f64 / self.cfg.range_packets as f64;
+        if x >= 1.0 {
+            return true;
+        }
+        self.recent.iter().rev().take(n as usize).all(|&r| r < x)
+    }
+
+    fn accept(&mut self, mut packet: Packet, mark: bool, now: SimTime) -> EnqueueOutcome {
+        let kind = PacketKind::of(&packet);
+        if mark {
+            packet.ecn = packet.ecn.marked();
+        }
+        if self.trace.is_enabled() {
+            if mark {
+                self.trace
+                    .emit(packet_event(EventKind::Marked, now, self.trace_q, &packet));
+            }
+            self.trace.emit(packet_event(
+                EventKind::Enqueued,
+                now,
+                self.trace_q,
+                &packet,
+            ));
+        }
+        let bytes = packet.wire_bytes();
+        self.fifo.push(packet);
+        self.conserve.on_admit(bytes);
+        self.stats
+            .on_enqueue(kind, bytes, mark, self.fifo.len(), self.fifo.bytes());
+        self.debug_verify_conservation();
+        if mark {
+            EnqueueOutcome::EnqueuedMarked
+        } else {
+            EnqueueOutcome::Enqueued
+        }
+    }
+}
+
+impl QueueDiscipline for CurvyRed {
+    fn enqueue(&mut self, packet: Packet, now: SimTime) -> EnqueueOutcome {
+        let kind = PacketKind::of(&packet);
+        if self.fifo.len() >= self.cfg.capacity_packets {
+            self.stats.dropped_full.bump(kind);
+            if self.trace.is_enabled() {
+                self.trace.emit(packet_event(
+                    EventKind::DroppedFull,
+                    now,
+                    self.trace_q,
+                    &packet,
+                ));
+            }
+            return EnqueueOutcome::DroppedFull;
+        }
+        self.push_draw();
+        let u = self.cfg.mark_exponent;
+        if self.cfg.ecn && packet.is_ect() {
+            let mark = self.curve_selects(u);
+            return self.accept(packet, mark, now);
+        }
+        // Non-ECT (or ECN disabled): the drop curve, exponent 2u.
+        if !self.curve_selects(2 * u) {
+            return self.accept(packet, false, now);
+        }
+        if self.cfg.ecn && self.cfg.protection.protects(&packet) {
+            // The paper's modification: protected non-ECT packets are admitted
+            // unmarked instead of early-dropped.
+            return self.accept(packet, false, now);
+        }
+        self.stats.dropped_early.bump(kind);
+        if self.trace.is_enabled() {
+            self.trace.emit(packet_event(
+                EventKind::DroppedEarly,
+                now,
+                self.trace_q,
+                &packet,
+            ));
+        }
+        EnqueueOutcome::DroppedEarly
+    }
+
+    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+        let p = self.fifo.pop()?;
+        self.conserve.on_deliver(p.wire_bytes());
+        self.stats.on_dequeue(PacketKind::of(&p), p.wire_bytes());
+        if self.trace.is_enabled() {
+            self.trace
+                .emit(packet_event(EventKind::Dequeued, now, self.trace_q, &p));
+        }
+        self.debug_verify_conservation();
+        Some(p)
+    }
+
+    fn len_packets(&self) -> u64 {
+        self.fifo.len()
+    }
+
+    fn len_bytes(&self) -> u64 {
+        self.fifo.bytes()
+    }
+
+    fn capacity_packets(&self) -> u64 {
+        self.cfg.capacity_packets
+    }
+
+    fn stats(&self) -> &QueueStats {
+        &self.stats
+    }
+
+    fn snapshot_kinds(&self) -> [u64; 6] {
+        let mut kinds = [0u64; 6];
+        for p in self.fifo.iter() {
+            kinds[PacketKind::of(p).index()] += 1;
+        }
+        kinds
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "CurvyRED[{}](range={},u={},cap={},ecn={})",
+            self.cfg.protection.label(),
+            self.cfg.range_packets,
+            self.cfg.mark_exponent,
+            self.cfg.capacity_packets,
+            self.cfg.ecn
+        )
+    }
+
+    fn debug_verify_conservation(&self) {
+        self.conserve
+            .verify("CurvyRED", &self.stats, self.fifo.len(), self.fifo.bytes());
+    }
+
+    fn set_trace(&mut self, trace: TraceHandle, queue: u32) {
+        self.trace = trace;
+        self.trace_q = queue;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProtectionMode;
+    use netpacket::{EcnCodepoint, FlowId, NodeId, PacketId, TcpFlags};
+
+    fn data(id: u64, ecn: EcnCodepoint) -> Packet {
+        Packet {
+            id: PacketId(id),
+            flow: FlowId(0),
+            src: NodeId(0),
+            dst: NodeId(1),
+            seq: 0,
+            ack: 0,
+            payload: 1460,
+            flags: TcpFlags::ACK,
+            ecn,
+            sack: netpacket::SackBlocks::EMPTY,
+            sent_at: SimTime::ZERO,
+        }
+    }
+
+    fn ack(id: u64) -> Packet {
+        Packet {
+            payload: 0,
+            ecn: EcnCodepoint::NotEct,
+            ..data(id, EcnCodepoint::NotEct)
+        }
+    }
+
+    fn cfg(range: u64, cap: u64, protection: ProtectionMode) -> CurvyRedConfig {
+        CurvyRedConfig {
+            capacity_packets: cap,
+            range_packets: range,
+            mark_exponent: 2,
+            ecn: true,
+            protection,
+        }
+    }
+
+    /// Fill to occupancy `occ` with ECT data (tolerating probabilistic drops
+    /// on the way up, e.g. with ECN disabled).
+    fn fill_to(q: &mut CurvyRed, occ: u64) {
+        let mut i = 0u64;
+        while q.len_packets() < occ {
+            let _ = q.enqueue(data(i, EcnCodepoint::Ect0), SimTime::ZERO);
+            i += 1;
+            assert!(i < 100_000, "fill did not converge");
+        }
+    }
+
+    /// Hold occupancy at `occ` and probe with `n` further arrivals (ECT data
+    /// or non-ECT ACKs); returns (marked-or-dropped count, accepted count).
+    fn probe(q: &mut CurvyRed, occ: u64, n: u64, ect: bool) -> (u64, u64) {
+        fill_to(q, occ);
+        let mut signalled = 0;
+        let mut accepted = 0;
+        for i in 0..n {
+            let p = if ect {
+                data(10_000 + i, EcnCodepoint::Ect0)
+            } else {
+                ack(10_000 + i)
+            };
+            match q.enqueue(p, SimTime::ZERO) {
+                EnqueueOutcome::EnqueuedMarked => {
+                    signalled += 1;
+                    accepted += 1;
+                    q.dequeue(SimTime::ZERO);
+                }
+                EnqueueOutcome::DroppedEarly => signalled += 1,
+                out => {
+                    assert!(out.accepted());
+                    accepted += 1;
+                    q.dequeue(SimTime::ZERO);
+                }
+            }
+        }
+        (signalled, accepted)
+    }
+
+    #[test]
+    fn empty_queue_never_signals() {
+        let mut q = CurvyRed::new(cfg(20, 100, ProtectionMode::Default), 1);
+        for i in 0..50 {
+            let out = q.enqueue(data(i, EcnCodepoint::Ect0), SimTime::ZERO);
+            assert_eq!(out, EnqueueOutcome::Enqueued);
+            q.dequeue(SimTime::ZERO);
+        }
+        assert_eq!(q.stats().marked.total(), 0);
+        assert_eq!(q.stats().dropped_early.total(), 0);
+    }
+
+    #[test]
+    fn at_range_marking_is_certain() {
+        let mut q = CurvyRed::new(cfg(10, 100, ProtectionMode::Default), 1);
+        let (signalled, _) = probe(&mut q, 10, 50, true);
+        assert_eq!(signalled, 50, "q >= range must mark every ECT arrival");
+        assert_eq!(q.stats().dropped_early.total(), 0, "ECT is never dropped");
+    }
+
+    #[test]
+    fn marking_probability_follows_the_power_law() {
+        // At q = range/2 with u = 2 the marking probability is 0.25; at
+        // q = 0.9*range it is 0.81. Statistical check with wide margins.
+        let run = |occ: u64| {
+            let mut q = CurvyRed::new(cfg(100, 1000, ProtectionMode::Default), 42);
+            let (signalled, _) = probe(&mut q, occ, 2000, true);
+            signalled as f64 / 2000.0
+        };
+        let half = run(50);
+        let high = run(90);
+        assert!(
+            (0.15..0.35).contains(&half),
+            "P(mark) at range/2 should be ~0.25, got {half}"
+        );
+        assert!(
+            (0.70..0.92).contains(&high),
+            "P(mark) at 0.9*range should be ~0.81, got {high}"
+        );
+    }
+
+    #[test]
+    fn drop_curve_is_the_square_of_the_mark_curve() {
+        // At q = range/2 with u = 2: P(mark) = 0.25, P(drop) = 0.0625.
+        let run = |ect: bool| {
+            let mut q = CurvyRed::new(cfg(100, 1000, ProtectionMode::Default), 42);
+            let (signalled, _) = probe(&mut q, 50, 2000, ect);
+            signalled as f64 / 2000.0
+        };
+        let marks = run(true);
+        let drops = run(false);
+        assert!(
+            drops < marks / 2.0,
+            "drop curve must lie well below the mark curve: {drops} vs {marks}"
+        );
+        assert!(
+            (0.02..0.12).contains(&drops),
+            "P(drop) at range/2 should be ~0.06, got {drops}"
+        );
+    }
+
+    #[test]
+    fn protection_exempts_acks_from_the_drop_curve() {
+        let mut q = CurvyRed::new(cfg(10, 1000, ProtectionMode::AckSyn), 7);
+        let (_, accepted) = probe(&mut q, 30, 200, false);
+        assert_eq!(accepted, 200, "q >= range but every ACK must survive");
+        assert_eq!(q.stats().dropped_early.total(), 0);
+    }
+
+    #[test]
+    fn default_mode_drops_acks_above_range() {
+        let mut q = CurvyRed::new(cfg(10, 1000, ProtectionMode::Default), 7);
+        let (signalled, accepted) = probe(&mut q, 30, 200, false);
+        assert_eq!(signalled, 200, "q >= range: drop curve is certain");
+        assert_eq!(accepted, 0);
+        assert_eq!(q.stats().dropped_early.get(PacketKind::PureAck), 200);
+    }
+
+    #[test]
+    fn ecn_disabled_uses_drop_curve_for_ect_too() {
+        let mut c = cfg(10, 1000, ProtectionMode::AckSyn);
+        c.ecn = false;
+        let mut q = CurvyRed::new(c, 7);
+        // With ECN off the drop curve caps reachable occupancy at `range`.
+        let (signalled, _) = probe(&mut q, 10, 100, true);
+        assert_eq!(signalled, 100);
+        assert_eq!(q.stats().marked.total(), 0, "no marking without ECN");
+        assert!(q.stats().dropped_early.total() > 0);
+    }
+
+    #[test]
+    fn tail_drop_on_full_buffer_trumps_the_curve() {
+        let mut q = CurvyRed::new(cfg(10, 4, ProtectionMode::AckSyn), 1);
+        for i in 0..4 {
+            assert!(q.enqueue(ack(i), SimTime::ZERO).accepted());
+        }
+        assert_eq!(
+            q.enqueue(ack(9), SimTime::ZERO),
+            EnqueueOutcome::DroppedFull
+        );
+        assert_eq!(q.stats().dropped_full.total(), 1);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_decisions() {
+        let run = |seed: u64| -> Vec<EnqueueOutcome> {
+            let mut q = CurvyRed::new(cfg(20, 100, ProtectionMode::Default), seed);
+            let mut outs = Vec::new();
+            for i in 0..400 {
+                let p = if i % 4 == 0 {
+                    ack(i)
+                } else {
+                    data(i, EcnCodepoint::Ect0)
+                };
+                outs.push(q.enqueue(p, SimTime::from_nanos(i * 100)));
+                if i % 3 == 0 {
+                    q.dequeue(SimTime::from_nanos(i * 100 + 50));
+                }
+            }
+            outs
+        };
+        assert_eq!(run(99), run(99));
+        assert_ne!(run(99), run(100), "different seeds should differ somewhere");
+    }
+
+    #[test]
+    fn conservation_property() {
+        let mut q = CurvyRed::new(cfg(5, 20, ProtectionMode::Default), 7);
+        let mut offered = 0u64;
+        for i in 0..300 {
+            offered += 1;
+            let p = if i % 3 == 0 {
+                ack(i)
+            } else {
+                data(i, EcnCodepoint::Ect0)
+            };
+            let _ = q.enqueue(p, SimTime::from_nanos(i));
+            if i % 2 == 0 {
+                q.dequeue(SimTime::from_nanos(i));
+            }
+        }
+        while q.dequeue(SimTime::ZERO).is_some() {}
+        let s = q.stats();
+        assert_eq!(s.enqueued.total() + s.dropped_total(), offered);
+        assert_eq!(s.enqueued.total(), s.dequeued.total());
+        assert_eq!(s.bytes_enqueued, s.bytes_dequeued);
+    }
+}

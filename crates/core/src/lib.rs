@@ -29,28 +29,40 @@
 
 mod codel;
 mod config;
+mod curvy_red;
 mod droptail;
+mod dualq;
 mod fifo;
 mod marking;
+mod pie;
 mod protection;
 mod red;
 
 pub use codel::{CoDel, CoDelConfig};
-pub use config::{QdiscSpec, RedConfig, SimpleMarkingConfig};
+pub use config::{
+    CurvyRedConfig, DualQConfig, PieConfig, QdiscSpec, RedConfig, SimpleMarkingConfig,
+};
+pub use curvy_red::CurvyRed;
 pub use droptail::DropTail;
+pub use dualq::DualQ;
 pub use marking::SimpleMarking;
+pub use pie::Pie;
 pub use protection::ProtectionMode;
 pub use red::Red;
 
 use netpacket::QueueDiscipline;
 
 /// Build a boxed queue discipline from a serialisable spec. `seed` feeds the
-/// AQM's internal RNG (RED's probabilistic early decision).
+/// AQM's internal RNG (RED's and Curvy RED's cached draws, PIE's early
+/// decision); CoDel, SimpleMarking and DualQ are deterministic without one.
 pub fn build_qdisc(spec: &QdiscSpec, seed: u64) -> Box<dyn QueueDiscipline + Send> {
     match spec {
         QdiscSpec::DropTail { capacity_packets } => Box::new(DropTail::new(*capacity_packets)),
         QdiscSpec::Red(cfg) => Box::new(Red::new(cfg.clone(), seed)),
         QdiscSpec::SimpleMarking(cfg) => Box::new(SimpleMarking::new(cfg.clone())),
         QdiscSpec::CoDel(cfg) => Box::new(CoDel::new(cfg.clone())),
+        QdiscSpec::CurvyRed(cfg) => Box::new(CurvyRed::new(cfg.clone(), seed)),
+        QdiscSpec::Pie(cfg) => Box::new(Pie::new(cfg.clone(), seed)),
+        QdiscSpec::DualQ(cfg) => Box::new(DualQ::new(cfg.clone())),
     }
 }

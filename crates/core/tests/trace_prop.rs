@@ -5,7 +5,8 @@
 //! invents or loses them.
 
 use ecn_core::{
-    build_qdisc, CoDelConfig, ProtectionMode, QdiscSpec, RedConfig, SimpleMarkingConfig,
+    build_qdisc, CoDelConfig, CurvyRedConfig, DualQConfig, PieConfig, ProtectionMode, QdiscSpec,
+    RedConfig, SimpleMarkingConfig,
 };
 use netpacket::{EcnCodepoint, FlowId, NodeId, Packet, PacketId, PacketKind, SackBlocks, TcpFlags};
 use proptest::prelude::*;
@@ -37,7 +38,7 @@ fn codepoint(i: u8) -> EcnCodepoint {
     }
 }
 
-/// The four disciplines under small configs that exercise marking, early
+/// The seven disciplines under small configs that exercise marking, early
 /// drops and tail drops within a short stream.
 fn specs() -> Vec<QdiscSpec> {
     vec![
@@ -65,6 +66,36 @@ fn specs() -> Vec<QdiscSpec> {
             target: SimDuration::from_nanos(50),
             interval: SimDuration::from_nanos(200),
             ecn: true,
+            protection: ProtectionMode::Default,
+        }),
+        QdiscSpec::CurvyRed(CurvyRedConfig {
+            capacity_packets: 8,
+            range_packets: 4,
+            mark_exponent: 2,
+            ecn: true,
+            protection: ProtectionMode::Default,
+        }),
+        QdiscSpec::Pie(PieConfig {
+            capacity_packets: 8,
+            target: SimDuration::from_nanos(50),
+            t_update: SimDuration::from_nanos(100),
+            alpha: 1e8,
+            beta: 2e8,
+            max_burst: SimDuration::from_nanos(100),
+            mark_ecnth: 0.5,
+            dq_threshold_bytes: 3000,
+            ecn: true,
+            protection: ProtectionMode::Default,
+        }),
+        QdiscSpec::DualQ(DualQConfig {
+            capacity_packets: 8,
+            target: SimDuration::from_nanos(100),
+            t_update: SimDuration::from_nanos(100),
+            alpha: 1e8,
+            beta: 2e8,
+            coupling: 2.0,
+            step_threshold: SimDuration::from_nanos(50),
+            t_shift: SimDuration::from_nanos(200),
             protection: ProtectionMode::Default,
         }),
     ]

@@ -25,8 +25,8 @@ fn main() {
     let c = cc_claims(&res);
     let _ = write_json(&c, Path::new("results/cc_claims.json"));
     println!(
-        "prague fallbacks: red-mimic={} simple-marking={}",
-        c.prague_fallbacks_red_mimic, c.prague_fallbacks_simple_marking
+        "prague fallbacks: red-mimic={} simple-marking={} dualq={}",
+        c.prague_fallbacks_red_mimic, c.prague_fallbacks_simple_marking, c.prague_fallbacks_dualq
     );
     let failures = check_cc_claims(&c);
     if !failures.is_empty() {

@@ -8,6 +8,9 @@ use experiments::claims::{check_claims, claims, render_claims};
 use experiments::cli::sweep_from_args;
 use experiments::figures::{fig1, fig2, fig3, fig4, table1, table2};
 use experiments::report::{render_panel, write_json};
+use experiments::tiny_buffer::{
+    check_tiny_buffer_claims, render_tiny_buffer, run_tiny_buffer, tiny_buffer_claims,
+};
 use simevent::SimDuration;
 use std::path::Path;
 
@@ -56,7 +59,16 @@ fn main() {
     let cc = cc_claims(&matrix);
     let _ = write_json(&cc, Path::new("results/cc_claims.json"));
 
-    // Headline claims, both dimensions. Any claim that fails its
+    // Tiny-buffer protection sweep (pinned deterministic grid, like the
+    // matrix: only the seed flows through from the CLI).
+    eprintln!("[run_all] tiny-buffer protection sweep...");
+    let tb = run_tiny_buffer(&cfg);
+    println!("{}", render_tiny_buffer(&tb));
+    let _ = write_json(&tb, Path::new("results/tiny_buffer.json"));
+    let tbc = tiny_buffer_claims(&tb);
+    let _ = write_json(&tbc, Path::new("results/tiny_buffer_claims.json"));
+
+    // Headline claims, all three dimensions. Any claim that fails its
     // direction-of-effect gate makes the whole run exit nonzero so CI
     // catches the regression.
     let c = claims(&res);
@@ -64,6 +76,7 @@ fn main() {
     let _ = write_json(&c, Path::new("results/claims.json"));
     let mut failures = check_claims(&c);
     failures.extend(check_cc_claims(&cc));
+    failures.extend(check_tiny_buffer_claims(&tbc));
     if !failures.is_empty() {
         eprintln!("[run_all] {} claim check(s) FAILED:", failures.len());
         for f in &failures {

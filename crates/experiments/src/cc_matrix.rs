@@ -20,13 +20,19 @@ use tcpstack::CcAlg;
 /// normalisation baseline; RED default/ack+syn is the pathology and its fix;
 /// the RED mimic (min=max=K, still EWMA-averaged and still early-dropping
 /// non-ECT) is the classic-ECN AQM a Prague sender must detect; simple
-/// marking is the paper's proposal and must *not* trip the detector.
-pub const CC_MATRIX_QUEUES: [QueueKind; 5] = [
+/// marking is the paper's proposal and must *not* trip the detector. The
+/// modern-AQM columns (Curvy RED, PIE, DualQ) extend the question: DualQ is
+/// the queue Prague was built for, so its cell is the headline — the
+/// fallback detector must stay silent there while still firing on the mimic.
+pub const CC_MATRIX_QUEUES: [QueueKind; 8] = [
     QueueKind::DropTail,
     QueueKind::Red(ProtectionMode::Default),
     QueueKind::Red(ProtectionMode::AckSyn),
     QueueKind::RedMimic(ProtectionMode::AckSyn),
     QueueKind::SimpleMarking,
+    QueueKind::CurvyRed(ProtectionMode::AckSyn),
+    QueueKind::Pie(ProtectionMode::AckSyn),
+    QueueKind::DualQ(ProtectionMode::AckSyn),
 ];
 
 /// The matrix's single target delay. 500 µs sits in the middle of the
@@ -124,6 +130,11 @@ pub struct CcClaimsReport {
     /// Fallback episodes against the true simple marking scheme (a genuine
     /// step AQM; the detector must stay silent, expected 0).
     pub prague_fallbacks_simple_marking: u64,
+    /// Fallback episodes against the L4S DualQ coupled AQM — the queue
+    /// Prague was designed for, and the matrix's headline cell. The L queue
+    /// step-marks ECT(1) traffic at sub-RTT sojourns, so the detector must
+    /// stay silent (expected 0) while still firing on the RED mimic.
+    pub prague_fallbacks_dualq: u64,
 }
 
 fn norm(results: &CcMatrixResults, cc: CcAlg, queue: QueueKind) -> f64 {
@@ -164,6 +175,7 @@ pub fn cc_claims(results: &CcMatrixResults) -> CcClaimsReport {
         bbr_ack_syn_vs_droptail: norm(results, CcAlg::Bbr, QueueKind::Red(ProtectionMode::AckSyn)),
         prague_fallbacks_red_mimic: fallbacks(QueueKind::RedMimic(ProtectionMode::AckSyn)),
         prague_fallbacks_simple_marking: fallbacks(QueueKind::SimpleMarking),
+        prague_fallbacks_dualq: fallbacks(QueueKind::DualQ(ProtectionMode::AckSyn)),
     }
 }
 
@@ -203,6 +215,11 @@ pub fn check_cc_claims(c: &CcClaimsReport) -> Vec<String> {
         "Prague must stay scalable on true simple marking: expected 0 episodes",
         c.prague_fallbacks_simple_marking as f64,
         c.prague_fallbacks_simple_marking == 0,
+    );
+    gate(
+        "Prague must stay scalable on its native L4S DualQ: expected 0 episodes",
+        c.prague_fallbacks_dualq as f64,
+        c.prague_fallbacks_dualq == 0,
     );
     failures
 }
@@ -284,6 +301,7 @@ mod tests {
         assert!((c.cubic_ack_syn_vs_droptail - 1.0).abs() < 1e-9);
         assert_eq!(c.prague_fallbacks_red_mimic, 2);
         assert_eq!(c.prague_fallbacks_simple_marking, 0);
+        assert_eq!(c.prague_fallbacks_dualq, 0);
         assert!(check_cc_claims(&c).is_empty());
     }
 
@@ -310,7 +328,7 @@ mod tests {
     }
 
     #[test]
-    fn trigger_happy_detector_fails_the_marking_gate() {
+    fn trigger_happy_detector_fails_the_marking_and_dualq_gates() {
         let mut m = healthy_matrix();
         for p in &mut m.points {
             if p.cc == CcAlg::Prague {
@@ -318,8 +336,22 @@ mod tests {
             }
         }
         let failures = check_cc_claims(&cc_claims(&m));
-        assert_eq!(failures.len(), 1);
-        assert!(failures[0].contains("simple marking"), "{failures:?}");
+        assert_eq!(failures.len(), 2, "{failures:?}");
+        assert!(failures.iter().any(|f| f.contains("simple marking")));
+        assert!(failures.iter().any(|f| f.contains("DualQ")));
+    }
+
+    #[test]
+    fn fallback_on_dualq_fails_the_headline_gate() {
+        let mut m = healthy_matrix();
+        for p in &mut m.points {
+            if p.cc == CcAlg::Prague && matches!(p.queue, QueueKind::DualQ(_)) {
+                p.metrics.cc_fallbacks = 1;
+            }
+        }
+        let failures = check_cc_claims(&cc_claims(&m));
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("DualQ"), "{failures:?}");
     }
 
     #[test]
@@ -327,7 +359,7 @@ mod tests {
         let mut m = healthy_matrix();
         m.points.retain(|p| p.cc != CcAlg::Prague);
         let failures = check_cc_claims(&cc_claims(&m));
-        assert_eq!(failures.len(), 2, "{failures:?}");
+        assert_eq!(failures.len(), 3, "{failures:?}");
     }
 
     #[test]

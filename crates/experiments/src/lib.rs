@@ -28,6 +28,7 @@ pub mod report;
 pub mod scenario;
 pub mod simsweep;
 pub mod sweep;
+pub mod tiny_buffer;
 pub mod verify;
 
 pub use scenario::{run_scenario, BufferDepth, QueueKind, RunMetrics, ScenarioConfig, Transport};

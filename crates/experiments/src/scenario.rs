@@ -1,6 +1,9 @@
 //! One experiment point: cluster + job + queue configuration → metrics.
 
-use ecn_core::{ProtectionMode, QdiscSpec, RedConfig, SimpleMarkingConfig};
+use ecn_core::{
+    CurvyRedConfig, DualQConfig, PieConfig, ProtectionMode, QdiscSpec, RedConfig,
+    SimpleMarkingConfig,
+};
 use mrsim::{JobSpec, TerasortJob};
 use netpacket::PacketKind;
 use netsim::{ClusterSpec, LinkSpec, Network, Simulation};
@@ -57,6 +60,14 @@ pub enum QueueKind {
     /// CoDel with ECN and the given protection mode (extension: shows the
     /// pathology and its fix generalise beyond RED).
     CoDel(ProtectionMode),
+    /// Curvy RED: instantaneous-queue power-law marking, drop curve =
+    /// square of the mark curve (no EWMA, no min/max band to mistune).
+    CurvyRed(ProtectionMode),
+    /// PIE (RFC 8033): delay-based PI controller with burst allowance.
+    Pie(ProtectionMode),
+    /// L4S DualQ coupled AQM (RFC 9332): classic + low-latency queues,
+    /// coupled marking. Pairs with the Prague controller (`--cc prague`).
+    DualQ(ProtectionMode),
 }
 
 impl QueueKind {
@@ -68,7 +79,26 @@ impl QueueKind {
             QueueKind::RedMimic(m) => format!("red-mimic[{}]", m.label()),
             QueueKind::SimpleMarking => "simple-marking".into(),
             QueueKind::CoDel(m) => format!("codel[{}]", m.label()),
+            QueueKind::CurvyRed(m) => format!("curvy-red[{}]", m.label()),
+            QueueKind::Pie(m) => format!("pie[{}]", m.label()),
+            QueueKind::DualQ(m) => format!("dualq[{}]", m.label()),
         }
+    }
+
+    /// All seven core disciplines at a given protection mode — the
+    /// tiny-buffer sweep's column set. `RedMimic` is RED re-parametrised,
+    /// not a distinct discipline, so it is not repeated here; `DropTail`
+    /// and `SimpleMarking` carry no mode (neither ever early-drops).
+    pub fn all_with_mode(mode: ProtectionMode) -> [QueueKind; 7] {
+        [
+            QueueKind::DropTail,
+            QueueKind::Red(mode),
+            QueueKind::SimpleMarking,
+            QueueKind::CoDel(mode),
+            QueueKind::CurvyRed(mode),
+            QueueKind::Pie(mode),
+            QueueKind::DualQ(mode),
+        ]
     }
 }
 
@@ -235,6 +265,19 @@ impl ScenarioConfig {
                 ecn: true,
                 protection: mode,
             }),
+            QueueKind::CurvyRed(mode) => QdiscSpec::CurvyRed(CurvyRedConfig::from_target_delay(
+                target_delay,
+                self.host_link.rate_bps,
+                self.mean_packet_bytes,
+                cap,
+                mode,
+            )),
+            QueueKind::Pie(mode) => {
+                QdiscSpec::Pie(PieConfig::from_target_delay(target_delay, cap, mode))
+            }
+            QueueKind::DualQ(mode) => {
+                QdiscSpec::DualQ(DualQConfig::from_target_delay(target_delay, cap, mode))
+            }
         }
     }
 }
@@ -496,7 +539,56 @@ mod tests {
             "red[ack+syn]"
         );
         assert_eq!(QueueKind::SimpleMarking.label(), "simple-marking");
+        assert_eq!(
+            QueueKind::CurvyRed(ProtectionMode::Default).label(),
+            "curvy-red[default]"
+        );
+        assert_eq!(
+            QueueKind::Pie(ProtectionMode::EceBit).label(),
+            "pie[ece-bit]"
+        );
+        assert_eq!(
+            QueueKind::DualQ(ProtectionMode::AckSyn).label(),
+            "dualq[ack+syn]"
+        );
         assert_eq!(BufferDepth::Shallow.label(), "shallow");
+    }
+
+    #[test]
+    fn all_with_mode_covers_the_seven_disciplines() {
+        let kinds = QueueKind::all_with_mode(ProtectionMode::AckSyn);
+        let labels: Vec<String> = kinds.iter().map(|k| k.label()).collect();
+        assert_eq!(kinds.len(), 7);
+        for l in [
+            "droptail",
+            "red[ack+syn]",
+            "simple-marking",
+            "codel[ack+syn]",
+            "curvy-red[ack+syn]",
+            "pie[ack+syn]",
+            "dualq[ack+syn]",
+        ] {
+            assert!(labels.contains(&l.to_string()), "missing {l}: {labels:?}");
+        }
+    }
+
+    #[test]
+    fn new_aqm_qdisc_building() {
+        let cfg = ScenarioConfig::default();
+        let t = SimDuration::from_micros(500);
+        for (kind, want) in [
+            (QueueKind::CurvyRed(ProtectionMode::AckSyn), "curvy-red"),
+            (QueueKind::Pie(ProtectionMode::AckSyn), "pie"),
+            (QueueKind::DualQ(ProtectionMode::AckSyn), "dualq"),
+        ] {
+            let spec = cfg.qdisc(kind, BufferDepth::Shallow, t);
+            assert_eq!(spec.capacity_packets(), 100);
+            assert!(
+                spec.label().starts_with(want),
+                "{kind:?} built {}",
+                spec.label()
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,410 @@
+//! The tiny-buffer protection-mode sweep: every core queue discipline at
+//! 8–32-packet buffers.
+//!
+//! Tiny Buffer TCP (PAPERS.md) argues commodity switch ports really run
+//! tens-of-packets buffers — exactly the regime where an AQM's early-drop
+//! policy on non-ECT control packets should matter most, because a single
+//! lost ACK or SYN is a whole RTO against a sub-millisecond queue. The paper
+//! established its protection result against RED; this sweep asks whether
+//! the direction of effect survives when the AQM is delay-based (CoDel,
+//! PIE), curve-based (Curvy RED) or coupled (L4S DualQ):
+//!
+//! * ACK+SYN protection must never early-drop an ACK (structural, every
+//!   AQM);
+//! * stock `Default` policy must still show the pathology somewhere in the
+//!   grid (otherwise the comparison is vacuous);
+//! * per discipline, protection must not *cost* goodput — and in aggregate
+//!   it must win it.
+
+use crate::scenario::{
+    run_scenario, BufferDepth, QueueKind, RunMetrics, ScenarioConfig, Transport,
+};
+use ecn_core::ProtectionMode;
+use serde::{Deserialize, Serialize};
+use simevent::SimDuration;
+
+/// The buffer depths swept, in packets. 8 packets is ~12 kB/port — the Tiny
+/// Buffer TCP floor; 32 is still a third of the repo's "shallow" 100.
+pub const TINY_BUFFERS: [u64; 3] = [8, 16, 32];
+
+/// The disciplines that take a protection mode — the rows the
+/// direction-of-effect gates compare across `Default` vs `AckSyn`.
+pub fn modal_kinds(mode: ProtectionMode) -> [QueueKind; 5] {
+    [
+        QueueKind::Red(mode),
+        QueueKind::CoDel(mode),
+        QueueKind::CurvyRed(mode),
+        QueueKind::Pie(mode),
+        QueueKind::DualQ(mode),
+    ]
+}
+
+/// Family label for a modal discipline, mode stripped: the gate pairs
+/// `Default` and `AckSyn` cells of the same family.
+fn family(queue: QueueKind) -> &'static str {
+    match queue {
+        QueueKind::Red(_) => "red",
+        QueueKind::RedMimic(_) => "red-mimic",
+        QueueKind::CoDel(_) => "codel",
+        QueueKind::CurvyRed(_) => "curvy-red",
+        QueueKind::Pie(_) => "pie",
+        QueueKind::DualQ(_) => "dualq",
+        QueueKind::DropTail => "droptail",
+        QueueKind::SimpleMarking => "simple-marking",
+    }
+}
+
+/// The marking target for a given buffer: the sojourn of a half-full queue,
+/// so the AQM's operating point actually sits *inside* the tiny buffer. A
+/// fixed 500 µs target converts to ~41 packets at 1 Gbps — deeper than the
+/// whole 8-packet buffer, which would silently turn every AQM into a
+/// DropTail and make the sweep measure nothing.
+pub fn tiny_buffer_delay(buffer_packets: u64, cfg: &ScenarioConfig) -> SimDuration {
+    let bits = buffer_packets * cfg.mean_packet_bytes as u64 * 8;
+    let full_us = bits * 1_000_000 / cfg.host_link.rate_bps;
+    SimDuration::from_micros((full_us / 2).max(25))
+}
+
+/// One cell of the sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TinyBufferPoint {
+    /// Switch buffer depth, packets.
+    pub buffer_packets: u64,
+    /// The discipline under test.
+    pub queue: QueueKind,
+    /// Averaged metrics for the cell.
+    pub metrics: RunMetrics,
+}
+
+/// The full tiny-buffer grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TinyBufferResults {
+    /// Buffers outermost in [`TINY_BUFFERS`] order, then the modeless
+    /// baselines (DropTail, SimpleMarking), then [`modal_kinds`] at
+    /// `Default`, then at `AckSyn`.
+    pub points: Vec<TinyBufferPoint>,
+}
+
+impl TinyBufferResults {
+    /// Look up one cell.
+    pub fn cell(&self, buffer: u64, queue: QueueKind) -> Option<&RunMetrics> {
+        self.points
+            .iter()
+            .find(|p| p.buffer_packets == buffer && p.queue == queue)
+            .map(|p| &p.metrics)
+    }
+}
+
+/// Run the grid. Like the cc matrix this is a claims gate, not a sweep: it
+/// pins its own scenario (the tiny incast point with the port buffer forced
+/// down to each [`TINY_BUFFERS`] depth) and takes only the seed from `cfg`.
+/// Classic ECN transport throughout — Reno's ACK-clock is the paper's most
+/// protection-sensitive sender.
+pub fn run_tiny_buffer(cfg: &ScenarioConfig) -> TinyBufferResults {
+    let mut points = Vec::new();
+    for &buffer in &TINY_BUFFERS {
+        let mut c = ScenarioConfig::tiny();
+        c.seed = cfg.seed;
+        c.shallow_packets = buffer;
+        // Tiny jobs on 8-packet buffers are one RTO-tail event away from a
+        // goodput inversion; average harder than the figure sweeps do.
+        c.seed_count = 3;
+        let delay = tiny_buffer_delay(buffer, &c);
+        let mut queues = vec![QueueKind::DropTail, QueueKind::SimpleMarking];
+        queues.extend(modal_kinds(ProtectionMode::Default));
+        queues.extend(modal_kinds(ProtectionMode::AckSyn));
+        for queue in queues {
+            let metrics = run_scenario(&c, Transport::TcpEcn, queue, BufferDepth::Shallow, delay);
+            points.push(TinyBufferPoint {
+                buffer_packets: buffer,
+                queue,
+                metrics,
+            });
+        }
+    }
+    TinyBufferResults { points }
+}
+
+/// The gated direction-of-effect numbers, distilled from the grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TinyBufferClaims {
+    /// Per modal family: goodput under `AckSyn` over goodput under
+    /// `Default`, each summed across the buffer axis (family label, ratio).
+    /// Protection must not cost goodput on any AQM (each ≥ 0.9) — the
+    /// paper's result generalising beyond RED.
+    pub protection_ratios: Vec<(String, f64)>,
+    /// ACK early-drops across every `AckSyn` cell (structural; must be 0).
+    pub protected_ack_drops: u64,
+    /// SYN/SYN-ACK early-drops across every `AckSyn` cell (must be 0).
+    pub protected_handshake_drops: u64,
+    /// ACK early-drops across every `Default` cell — the pathology must
+    /// still exist at tiny buffers (must be ≥ 1).
+    pub default_ack_drops: u64,
+    /// Every cell's job finished inside the time limit.
+    pub all_completed: bool,
+}
+
+/// Distill the grid into the gated claims.
+pub fn tiny_buffer_claims(res: &TinyBufferResults) -> TinyBufferClaims {
+    let sum_tput = |queue: QueueKind| -> f64 {
+        TINY_BUFFERS
+            .iter()
+            .map(|&b| {
+                res.cell(b, queue)
+                    .map_or(f64::NAN, |m| m.throughput_per_node_bps)
+            })
+            .sum()
+    };
+    let protection_ratios = modal_kinds(ProtectionMode::Default)
+        .into_iter()
+        .zip(modal_kinds(ProtectionMode::AckSyn))
+        .map(|(def, prot)| {
+            let d = sum_tput(def);
+            let ratio = if d > 0.0 {
+                sum_tput(prot) / d
+            } else {
+                f64::NAN
+            };
+            (family(def).to_string(), ratio)
+        })
+        .collect();
+    let drops = |mode: ProtectionMode, f: fn(&RunMetrics) -> u64| -> u64 {
+        res.points
+            .iter()
+            .filter(|p| modal_kinds(mode).contains(&p.queue))
+            .map(|p| f(&p.metrics))
+            .sum()
+    };
+    TinyBufferClaims {
+        protection_ratios,
+        protected_ack_drops: drops(ProtectionMode::AckSyn, |m| m.acks_early_dropped),
+        protected_handshake_drops: drops(ProtectionMode::AckSyn, |m| m.handshake_early_dropped),
+        default_ack_drops: drops(ProtectionMode::Default, |m| m.acks_early_dropped),
+        all_completed: res.points.iter().all(|p| p.metrics.completed),
+    }
+}
+
+/// Direction-of-effect gates, same philosophy as [`crate::claims::check_claims`]:
+/// deliberately loose thresholds that catch a regression erasing the
+/// pathology or breaking the protection result on any of the modern AQMs.
+/// Returns one description per failed gate; empty means the tiny-buffer
+/// claims reproduced.
+pub fn check_tiny_buffer_claims(c: &TinyBufferClaims) -> Vec<String> {
+    let mut failures = Vec::new();
+    if c.protection_ratios.len() != modal_kinds(ProtectionMode::Default).len() {
+        failures.push(format!(
+            "expected one protection ratio per modal AQM, got {}",
+            c.protection_ratios.len()
+        ));
+    }
+    for (fam, ratio) in &c.protection_ratios {
+        if !ratio.is_finite() || *ratio < 0.9 {
+            failures.push(format!(
+                "ack+syn protection must not cost goodput on {fam} at tiny buffers: \
+                 expected >= 0.9 (measured {ratio:.3})"
+            ));
+        }
+    }
+    if let Some(best) = c
+        .protection_ratios
+        .iter()
+        .map(|(_, r)| *r)
+        .fold(None, |acc: Option<f64>, r| {
+            Some(acc.map_or(r, |a| a.max(r)))
+        })
+    {
+        if !best.is_finite() || best <= 1.0 {
+            failures.push(format!(
+                "ack+syn protection must win goodput on at least one AQM at tiny \
+                 buffers: expected best ratio > 1.0 (measured {best:.3})"
+            ));
+        }
+    }
+    if c.protected_ack_drops != 0 {
+        failures.push(format!(
+            "ack+syn protection must never early-drop an ACK (measured {})",
+            c.protected_ack_drops
+        ));
+    }
+    if c.protected_handshake_drops != 0 {
+        failures.push(format!(
+            "ack+syn protection must never early-drop a SYN/SYN-ACK (measured {})",
+            c.protected_handshake_drops
+        ));
+    }
+    if c.default_ack_drops == 0 {
+        failures.push(
+            "stock Default policy must early-drop ACKs somewhere at tiny buffers \
+             (measured 0: the comparison is vacuous)"
+                .to_string(),
+        );
+    }
+    if !c.all_completed {
+        failures.push("every tiny-buffer cell must finish inside the time limit".to_string());
+    }
+    failures
+}
+
+/// Render the grid, one row per cell.
+pub fn render_tiny_buffer(res: &TinyBufferResults) -> String {
+    let mut s = String::new();
+    s.push_str("== Tiny-buffer protection sweep (TCP-ECN, 8-32 pkt ports) ==\n");
+    s.push_str(&format!(
+        "{:<7} {:<20} {:>9} {:>11} {:>9} {:>10} {:>9}\n",
+        "buffer", "queue", "tput/node", "latency-us", "ack-drop", "full-drop", "timeouts"
+    ));
+    for p in &res.points {
+        s.push_str(&format!(
+            "{:<7} {:<20} {:>7.1} M {:>11.1} {:>9} {:>10} {:>9}{}\n",
+            p.buffer_packets,
+            p.queue.label(),
+            p.metrics.throughput_per_node_bps / 1e6,
+            p.metrics.mean_latency_s * 1e6,
+            p.metrics.acks_early_dropped,
+            p.metrics.full_drops,
+            p.metrics.timeouts,
+            if p.metrics.completed { "" } else { " [DNF]" },
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(tput: f64, ack_drops: u64) -> RunMetrics {
+        RunMetrics {
+            runtime_s: 1.0,
+            throughput_per_node_bps: tput,
+            mean_latency_s: 1.0,
+            p99_latency_s: 2.0,
+            acks_early_dropped: ack_drops,
+            handshake_early_dropped: 0,
+            data_marked: 0,
+            full_drops: 0,
+            timeouts: 0,
+            fast_retransmits: 0,
+            syn_retransmits: 0,
+            cc_fallbacks: 0,
+            completed: true,
+        }
+    }
+
+    /// Protection wins everywhere, Default drops ACKs: the healthy shape.
+    fn healthy_grid() -> TinyBufferResults {
+        let mut points = Vec::new();
+        for &b in &TINY_BUFFERS {
+            points.push(TinyBufferPoint {
+                buffer_packets: b,
+                queue: QueueKind::DropTail,
+                metrics: metrics(90.0, 0),
+            });
+            points.push(TinyBufferPoint {
+                buffer_packets: b,
+                queue: QueueKind::SimpleMarking,
+                metrics: metrics(105.0, 0),
+            });
+            for q in modal_kinds(ProtectionMode::Default) {
+                points.push(TinyBufferPoint {
+                    buffer_packets: b,
+                    queue: q,
+                    metrics: metrics(80.0, 7),
+                });
+            }
+            for q in modal_kinds(ProtectionMode::AckSyn) {
+                points.push(TinyBufferPoint {
+                    buffer_packets: b,
+                    queue: q,
+                    metrics: metrics(100.0, 0),
+                });
+            }
+        }
+        TinyBufferResults { points }
+    }
+
+    #[test]
+    fn delay_scales_with_buffer() {
+        let cfg = ScenarioConfig::tiny();
+        let d8 = tiny_buffer_delay(8, &cfg);
+        let d32 = tiny_buffer_delay(32, &cfg);
+        assert!(d8 < d32);
+        // Half of 8 x 1526 B at 1 Gbps is ~49 us — inside the buffer.
+        assert!(d8 >= SimDuration::from_micros(25));
+        assert!(d8 <= SimDuration::from_micros(60), "{d8}");
+    }
+
+    #[test]
+    fn healthy_grid_passes_every_gate() {
+        let c = tiny_buffer_claims(&healthy_grid());
+        assert_eq!(c.protection_ratios.len(), 5);
+        for (fam, r) in &c.protection_ratios {
+            assert!((r - 1.25).abs() < 1e-9, "{fam}: {r}");
+        }
+        assert_eq!(c.protected_ack_drops, 0);
+        assert_eq!(c.default_ack_drops, 7 * 5 * TINY_BUFFERS.len() as u64);
+        assert!(check_tiny_buffer_claims(&c).is_empty());
+    }
+
+    #[test]
+    fn protection_costing_goodput_fails_its_family_gate() {
+        let mut g = healthy_grid();
+        for p in &mut g.points {
+            if matches!(p.queue, QueueKind::Pie(ProtectionMode::AckSyn)) {
+                p.metrics.throughput_per_node_bps = 50.0;
+            }
+        }
+        let failures = check_tiny_buffer_claims(&tiny_buffer_claims(&g));
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("pie"), "{failures:?}");
+    }
+
+    #[test]
+    fn leaky_protection_fails_the_structural_gate() {
+        let mut g = healthy_grid();
+        for p in &mut g.points {
+            if matches!(p.queue, QueueKind::DualQ(ProtectionMode::AckSyn)) {
+                p.metrics.acks_early_dropped = 1;
+            }
+        }
+        let failures = check_tiny_buffer_claims(&tiny_buffer_claims(&g));
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(
+            failures[0].contains("never early-drop an ACK"),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn vanished_pathology_fails_the_vacuity_gate() {
+        let mut g = healthy_grid();
+        for p in &mut g.points {
+            p.metrics.acks_early_dropped = 0;
+        }
+        let failures = check_tiny_buffer_claims(&tiny_buffer_claims(&g));
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("vacuous"), "{failures:?}");
+    }
+
+    #[test]
+    fn missing_cells_fail() {
+        let mut g = healthy_grid();
+        g.points
+            .retain(|p| !matches!(p.queue, QueueKind::CurvyRed(ProtectionMode::Default)));
+        let failures = check_tiny_buffer_claims(&tiny_buffer_claims(&g));
+        assert!(
+            failures.iter().any(|f| f.contains("curvy-red")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn render_lists_every_cell() {
+        let g = healthy_grid();
+        let s = render_tiny_buffer(&g);
+        for p in &g.points {
+            assert!(s.contains(&p.queue.label()), "{s}");
+        }
+        assert!(s.contains("dualq[ack+syn]"));
+    }
+}

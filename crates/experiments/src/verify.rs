@@ -79,6 +79,12 @@ pub fn pinned_grid() -> Vec<CellSpec> {
             cc: Some(CcAlg::Prague),
             queue: QueueKind::SimpleMarking,
         },
+        CellSpec {
+            label: "prague-dualq",
+            transport: Transport::Dctcp,
+            cc: Some(CcAlg::Prague),
+            queue: QueueKind::DualQ(ProtectionMode::AckSyn),
+        },
     ]
 }
 
@@ -324,7 +330,7 @@ mod tests {
     #[test]
     fn grid_is_pinned() {
         let g = pinned_grid();
-        assert_eq!(g.len(), 4);
+        assert_eq!(g.len(), 5);
         assert!(g.iter().any(|c| c.cc == Some(CcAlg::Prague)));
         assert!(g
             .iter()
@@ -332,11 +338,14 @@ mod tests {
         assert!(g
             .iter()
             .any(|c| matches!(c.queue, QueueKind::RedMimic(ProtectionMode::AckSyn))));
+        // The headline L4S pairing is certified deterministic too.
+        assert!(g.iter().any(|c| c.cc == Some(CcAlg::Prague)
+            && matches!(c.queue, QueueKind::DualQ(ProtectionMode::AckSyn))));
         // Labels are unique (they name artifact directories).
         let mut labels: Vec<_> = g.iter().map(|c| c.label).collect();
         labels.sort_unstable();
         labels.dedup();
-        assert_eq!(labels.len(), 4);
+        assert_eq!(labels.len(), 5);
     }
 
     #[test]

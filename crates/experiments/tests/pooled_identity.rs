@@ -58,7 +58,7 @@ proptest! {
     #[test]
     fn pooled_and_reference_paths_are_byte_identical(
         seed in 1u64..=1_000_000,
-        pick in 0usize..15,
+        pick in 0usize..27,
         cc_pick in 0usize..6,
         delay_us in 200u64..=900,
     ) {
@@ -69,9 +69,13 @@ proptest! {
             QueueKind::Red(ProtectionMode::AckSyn),
             QueueKind::RedMimic(ProtectionMode::AckSyn),
             QueueKind::SimpleMarking,
+            QueueKind::CoDel(ProtectionMode::AckSyn),
+            QueueKind::CurvyRed(ProtectionMode::AckSyn),
+            QueueKind::Pie(ProtectionMode::AckSyn),
+            QueueKind::DualQ(ProtectionMode::AckSyn),
         ];
-        let transport = transports[pick / 5];
-        let queue = queues[pick % 5];
+        let transport = transports[pick / 9];
+        let queue = queues[pick % 9];
         // 0 keeps the transport's native controller pairing; 1..=5 override
         // with each simcc controller, exactly what `--cc` does.
         let cc = (cc_pick > 0).then(|| CcAlg::ALL[cc_pick - 1]);

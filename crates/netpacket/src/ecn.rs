@@ -43,6 +43,14 @@ impl EcnCodepoint {
         matches!(self, EcnCodepoint::Ce)
     }
 
+    /// True for `ECT(1)` and `CE`: the L4S identifier (RFC 9331). A DualQ
+    /// coupled AQM classifies these packets into its low-latency queue; `CE`
+    /// is included because a packet marked upstream must keep riding the L
+    /// queue (re-ordering it into the classic queue would defeat L4S).
+    pub fn is_l4s(self) -> bool {
+        matches!(self, EcnCodepoint::Ect1 | EcnCodepoint::Ce)
+    }
+
     /// The result of a switch marking this packet: ECT(0)/ECT(1) become CE;
     /// CE stays CE. Marking a Non-ECT packet is a protocol violation and
     /// panics (AQMs must check [`EcnCodepoint::is_ect`] first).
@@ -122,6 +130,14 @@ mod tests {
         assert!(EcnCodepoint::Ce.is_ect());
         assert!(EcnCodepoint::Ce.is_ce());
         assert!(!EcnCodepoint::Ect0.is_ce());
+    }
+
+    #[test]
+    fn l4s_identifier_is_ect1_or_ce() {
+        assert!(!EcnCodepoint::NotEct.is_l4s());
+        assert!(!EcnCodepoint::Ect0.is_l4s());
+        assert!(EcnCodepoint::Ect1.is_l4s());
+        assert!(EcnCodepoint::Ce.is_l4s());
     }
 
     #[test]

@@ -7,11 +7,23 @@
 //! betrays itself in two ways: RED's probabilistic ramp spreads *sparse*
 //! marks over many consecutive RTTs, and its EWMA-averaged queue keeps
 //! marking after the real queue has drained — *stale* marks on packets
-//! whose RTT shows no queueing delay at all. When the round classifier
-//! accumulates enough sparse- or stale-marking evidence the controller
-//! falls back to a Reno-like (halving) CE response so it stops
-//! out-competing classic flows through that AQM, and it re-engages the
-//! scalable response after the episode ends (several mark-free rounds).
+//! whose RTT shows no queueing delay at all — and its late-engaging signal
+//! lets the buffer overflow while it marks, so CE marks and tail drops
+//! land in the *same* round (*drop-coupled* marking, the RTT-free
+//! signature). Sparse marking alone is not enough, though: the L4S DualQ
+//! coupled AQM (RFC 9332) *also* emits a ramp-shaped signal (`p_CL =
+//! k·p'`) by design, so a sparse round only counts as classic evidence
+//! when its marked packets carried classic-scale RTT inflation over the
+//! clean floor — a classic ramp marks from a deep queue, the DualQ
+//! coupling marks while the scheduler keeps the L queue shallow. Both
+//! RTT-based judgments wait for the clean floor to mature
+//! ([`MIN_CLEAN_FLOOR`]): cumulative-ACK RTT samples taken under loss
+//! recovery measure head-of-line blocking, not the path. When the round
+//! classifier accumulates enough sparse-, stale- or drop-coupled-marking
+//! evidence the controller falls back to a Reno-like (halving) CE
+//! response so it stops out-competing classic flows through that AQM, and
+//! it re-engages the scalable response after the episode ends (several
+//! mark-free rounds).
 
 use crate::{CcAlg, CcParams, CongestionController, Window};
 
@@ -34,11 +46,44 @@ const CLEAR_ROUNDS: u32 = 4;
 /// queue drained. The 2× margin absorbs floor inflation on short flows
 /// whose every clean sample carried some queueing delay.
 const STALE_RTT_FACTOR: f64 = 0.5;
+/// A sparse-marked round only counts as classic evidence when some marked
+/// packet in it carried at least this much RTT inflation over the clean
+/// floor. Classic ramp marking is inseparable from a *deep* queue — RED
+/// only marks while its (averaged) queue sits above `min_th`, so the marked
+/// packet's RTT carries the whole standing queue. The L4S DualQ coupled
+/// AQM (RFC 9332) also emits a deliberately ramp-shaped signal
+/// (`p_CL = k·p'`), but by design it arrives while the time-shifted
+/// scheduler keeps the L queue *shallow*: falling back on those marks would
+/// defeat the coupling, which exists precisely so a scalable sender can
+/// keep its scalable response while classic flows get their share. The
+/// marked-RTT inflation test separates the two ramps by the queue depth
+/// they betray.
+const CLASSIC_RTT_INFLATION: f64 = 4.0;
 /// Stale-marked rounds (ever, per connection) that declare a classic AQM.
 /// Stale evidence never decays: a step AQM cannot produce such marks at
 /// all, so even well-separated observations stay damning — two of them
 /// suffice.
 const STALE_DETECT: u32 = 2;
+/// Clean samples the floor must rest on before the RTT-based judgments
+/// (stale undercut, classic inflation) are trusted. An RTT sample completes
+/// on the cumulative ACK that crosses the timed sequence, so under loss
+/// recovery a "clean" sample can carry head-of-line blocking rather than
+/// path RTT — a floor built from two or three such samples reads a
+/// millisecond where propagation is fifty microseconds, and every fresh
+/// mark then looks like it "undercuts" it. A few samples in, the minimum
+/// has seen past the noise.
+const MIN_CLEAN_FLOOR: u32 = 8;
+/// Rounds observing *sparse* CE marking *and* a loss in the same window
+/// that declare a classic AQM. Drop-coupled sparse marking is the RTT-free
+/// classic signature: RED's EWMA engages only after the burst has already
+/// overflowed, so the sender sees a thin trickle of marks in the very round
+/// its packets are tail-dropped. The sparseness requirement is what keeps a
+/// step AQM out: when an incast burst blows through a shallow step
+/// threshold to the buffer limit, the instantaneous queue sits far above
+/// the threshold, so the overflow round arrives *saturated* with marks —
+/// dense marks plus loss is congestion, sparse marks plus loss is a lagging
+/// signal. Like stale evidence it never decays — two such rounds suffice.
+const COEXIST_DETECT: u32 = 2;
 
 /// Prague per-flow state.
 #[derive(Debug, Clone, Copy)]
@@ -61,11 +106,23 @@ pub struct Prague {
     /// The current round saw a CE-marked packet whose own RTT shows no
     /// queueing delay (set by [`CongestionController::on_rtt_sample`]).
     stale_round: bool,
+    /// Clean (unmarked) RTT samples folded into the floor so far.
+    clean_samples: u32,
+    /// The current round saw a CE-marked packet whose own RTT carried
+    /// classic-scale inflation over the clean floor (set by
+    /// [`CongestionController::on_rtt_sample`]) — the deep-queue signature
+    /// that lets a sparse round count as classic evidence.
+    round_inflated: bool,
+    /// The current round saw a loss (fast-retransmit or RTO) — combined
+    /// with a CE mark in the same round it is drop-coupled-marking evidence.
+    round_loss: bool,
     /// Sparse-marking evidence accumulated by the round classifier; cleared
     /// by mark-free stretches, decayed by dense fresh marking.
     evidence: u32,
     /// Stale-marked rounds observed over the connection's lifetime.
     stale_evidence: u32,
+    /// Marked-and-lossy rounds observed over the connection's lifetime.
+    coexist_evidence: u32,
     /// Consecutive mark-free rounds (ends a fallback episode).
     clear_rounds: u32,
     /// Classic-AQM episodes detected so far.
@@ -86,25 +143,42 @@ impl Prague {
             srtt_ns: 0,
             rtt_min_ns: u64::MAX,
             stale_round: false,
+            clean_samples: 0,
+            round_inflated: false,
+            round_loss: false,
             evidence: 0,
             stale_evidence: 0,
+            coexist_evidence: 0,
             clear_rounds: 0,
             fallbacks: 0,
             fallback: false,
         }
     }
 
-    /// Classify a finished observation round by its CE-mark fraction and
-    /// the staleness of its marks.
-    fn classify_round(&mut self, frac: f64, stale: bool) {
+    /// Classify a finished observation round by its CE-mark fraction, the
+    /// staleness of its marks, whether the marks came from a deep queue,
+    /// and whether the round also lost packets.
+    fn classify_round(&mut self, frac: f64, stale: bool, inflated: bool, lossy: bool) {
+        let coexist = frac > 0.0 && frac < CLASSIC_FRAC_MAX && lossy;
+        if coexist {
+            // Sparsely marked and tail-dropped in the same window: the
+            // marking queue overflowed while its signal was still a trickle,
+            // so the signal lags the real occupancy — the RTT-free classic
+            // signature (see COEXIST_DETECT). Independent of the fraction
+            // branches below: a coexist round may also be stale or inflated.
+            self.coexist_evidence = self.coexist_evidence.saturating_add(1);
+        }
         if frac > 0.0 && stale {
             // A marked packet whose own RTT shows no queueing delay: the
             // strongest classic-AQM signature, at any mark fraction. Never
             // decays — a step AQM cannot produce this observation.
             self.stale_evidence = self.stale_evidence.saturating_add(1);
             self.clear_rounds = 0;
-        } else if frac > 0.0 && frac < CLASSIC_FRAC_MAX {
-            // Sparse marking: the classic probabilistic-ramp signature.
+        } else if frac > 0.0 && frac < CLASSIC_FRAC_MAX && inflated {
+            // Sparse marking out of a deep queue: the classic
+            // probabilistic-ramp signature. Sparse marks at *shallow* RTTs
+            // are the DualQ coupling (ramp-shaped on purpose) and stay
+            // neutral — they neither add evidence nor clear the episode.
             self.evidence = self.evidence.saturating_add(1);
             self.clear_rounds = 0;
         } else if frac == 0.0 {
@@ -117,17 +191,25 @@ impl Prague {
                 self.evidence = 0;
                 self.fallback = false;
             }
-        } else {
+        } else if frac >= CLASSIC_FRAC_MAX {
             // Dense fresh marking (step/L4S signature): decay the evidence.
             self.evidence = self.evidence.saturating_sub(1);
+            self.clear_rounds = 0;
+        } else {
+            // Sparse marking at shallow RTT: consistent with the DualQ
+            // coupled ramp, so neutral — but the round was marked, so it
+            // must not count toward ending an episode either.
             self.clear_rounds = 0;
         }
         // Only a round that could have *added* evidence may open an episode:
         // retained stale evidence plus a mark-free round must not re-trigger.
-        let classic_round = frac > 0.0 && (stale || frac < CLASSIC_FRAC_MAX);
+        let classic_round =
+            frac > 0.0 && (stale || coexist || (frac < CLASSIC_FRAC_MAX && inflated));
         if classic_round
             && !self.fallback
-            && (self.evidence >= DETECT_ROUNDS || self.stale_evidence >= STALE_DETECT)
+            && (self.evidence >= DETECT_ROUNDS
+                || self.stale_evidence >= STALE_DETECT
+                || self.coexist_evidence >= COEXIST_DETECT)
         {
             self.fallback = true;
             self.fallbacks += 1;
@@ -184,11 +266,18 @@ impl CongestionController for Prague {
                 let g = p.dctcp_g;
                 self.alpha = (1.0 - g) * self.alpha + g * f;
                 let stale = self.stale_round;
-                self.classify_round(f, stale);
+                // Without a clean floor (no RTT samples yet) the depth of
+                // the marking queue is unknowable — keep the pre-floor
+                // behavior of trusting the fraction alone.
+                let inflated = self.round_inflated || self.rtt_min_ns == u64::MAX;
+                let lossy = self.round_loss;
+                self.classify_round(f, stale, inflated, lossy);
             }
             self.ce_acked = 0;
             self.window_acked = 0;
             self.stale_round = false;
+            self.round_inflated = false;
+            self.round_loss = false;
             self.round_end = snd_nxt;
         }
     }
@@ -214,19 +303,30 @@ impl CongestionController for Prague {
         // folding it in would collapse the floor exactly when the drained
         // queue makes repeated stale observations possible).
         let prior_min = self.rtt_min_ns;
+        // The floor must be mature before either RTT judgment is trusted
+        // (see MIN_CLEAN_FLOOR): cumulative-ACK samples taken under loss
+        // recovery carry head-of-line blocking, not path RTT.
+        let floor_ready = prior_min != u64::MAX && self.clean_samples >= MIN_CLEAN_FLOOR;
         if ce {
-            if prior_min != u64::MAX && (rtt_ns as f64) < prior_min as f64 * STALE_RTT_FACTOR {
+            if floor_ready && (rtt_ns as f64) < prior_min as f64 * STALE_RTT_FACTOR {
                 // This packet was CE-marked yet its RTT undercuts every clean
                 // sample the connection has seen: the mark came from an
                 // averaged queue that had already drained.
                 self.stale_round = true;
             }
+            if floor_ready && (rtt_ns as f64) > prior_min as f64 * CLASSIC_RTT_INFLATION {
+                // Marked out of a deep queue: the round's sparse marks (if
+                // sparse it is) may count as classic-ramp evidence.
+                self.round_inflated = true;
+            }
         } else {
             self.rtt_min_ns = prior_min.min(rtt_ns);
+            self.clean_samples = self.clean_samples.saturating_add(1);
         }
     }
 
     fn on_loss(&mut self, p: &CcParams, flight: u64) {
+        self.round_loss = true;
         self.w.reno_loss(p, flight);
     }
     fn on_partial_ack(&mut self, p: &CcParams, newly: u64) {
@@ -242,6 +342,7 @@ impl CongestionController for Prague {
         self.w.cwnd = self.w.ssthresh;
     }
     fn on_rto(&mut self, p: &CcParams, flight: u64) {
+        self.round_loss = true;
         self.w.rto(p, flight);
     }
 }
@@ -260,6 +361,14 @@ mod tests {
         let end = pr.round_end;
         pr.on_ce_feedback(p, ce, true, end - 1, end + total);
         pr.on_ce_feedback(p, total - ce, false, end, end + total);
+    }
+
+    /// Feed enough clean RTT samples at `rtt_ns` that the floor is mature
+    /// and the RTT-based judgments (stale, inflation) engage.
+    fn mature_floor(pr: &mut Prague, p: &CcParams, rtt_ns: u64) {
+        for _ in 0..MIN_CLEAN_FLOOR {
+            pr.on_rtt_sample(p, rtt_ns, 0, false);
+        }
     }
 
     #[test]
@@ -381,7 +490,7 @@ mod tests {
         // the queue has drained, so the detector must fire even though the
         // fraction looks L4S-dense.
         let mut pr = Prague::new(&p);
-        pr.on_rtt_sample(&p, 1_000_000, 0, false); // clean floor: 1 ms (congested)
+        mature_floor(&mut pr, &p, 1_000_000); // clean floor: 1 ms (congested)
         for i in 0..STALE_DETECT {
             if i > 0 {
                 // Stale evidence survives mark-free gaps > CLEAR_ROUNDS.
@@ -407,13 +516,120 @@ mod tests {
         // (the marked packet stood in the marking queue): silent, at any
         // fraction.
         let mut fresh = Prague::new(&p);
-        fresh.on_rtt_sample(&p, 100_000, 0, false);
+        mature_floor(&mut fresh, &p, 100_000);
         for _ in 0..50 {
             fresh.on_rtt_sample(&p, 90_000, 0, true);
             round(&mut fresh, &p, 1.0);
         }
         assert!(!fresh.in_fallback());
         assert_eq!(fresh.fallback_count(), 0);
+    }
+
+    #[test]
+    fn shallow_sparse_marks_are_the_dualq_coupling_and_never_fall_back() {
+        let p = test_params();
+        let mut pr = Prague::new(&p);
+        mature_floor(&mut pr, &p, 100_000); // clean floor: 100 µs
+                                            // The DualQ coupled signal: sparse ramp marks on packets whose RTT
+                                            // shows only the shallow L queue (1.5x floor — no deep queue, not
+                                            // stale either). Ramp-shaped on purpose, must not trigger fallback.
+        for _ in 0..50 {
+            pr.on_rtt_sample(&p, 150_000, 0, true);
+            round(&mut pr, &p, 0.15);
+        }
+        assert!(!pr.in_fallback());
+        assert_eq!(pr.fallback_count(), 0);
+    }
+
+    #[test]
+    fn sparse_marks_from_a_deep_queue_still_fall_back() {
+        let p = test_params();
+        let mut pr = Prague::new(&p);
+        mature_floor(&mut pr, &p, 100_000); // clean floor: 100 µs
+                                            // A classic RED ramp: the same sparse fractions, but every marked
+                                            // packet stood in the deep queue that marked it (6x the floor).
+        for i in 0..20 {
+            pr.on_rtt_sample(&p, 600_000, 0, true);
+            round(&mut pr, &p, 0.15);
+            if i < DETECT_ROUNDS as usize - 1 {
+                assert!(!pr.in_fallback(), "needs {DETECT_ROUNDS} rounds");
+            }
+        }
+        assert!(pr.in_fallback());
+        assert_eq!(pr.fallback_count(), 1);
+    }
+
+    #[test]
+    fn immature_floor_defers_rtt_judgments() {
+        let p = test_params();
+        let mut pr = Prague::new(&p);
+        // Two clean samples taken under loss recovery: cumulative-ACK
+        // head-of-line blocking reads 1 ms where propagation is 50 µs. Every
+        // later fresh mark would "undercut" such a floor — with fewer than
+        // MIN_CLEAN_FLOOR samples behind it, the stale judgment must stay
+        // quiet.
+        pr.on_rtt_sample(&p, 1_000_000, 0, false);
+        pr.on_rtt_sample(&p, 1_300_000, 0, false);
+        for _ in 0..50 {
+            pr.on_rtt_sample(&p, 120_000, 0, true); // fresh mark, 8x under floor
+            round(&mut pr, &p, 0.9);
+        }
+        assert!(!pr.in_fallback());
+        assert_eq!(pr.fallback_count(), 0);
+        // The inflation judgment is deferred the same way: sparse marks over
+        // an immature (but non-empty) floor are not deep-queue evidence.
+        let mut sp = Prague::new(&p);
+        sp.on_rtt_sample(&p, 100_000, 0, false);
+        for _ in 0..50 {
+            sp.on_rtt_sample(&p, 600_000, 0, true);
+            round(&mut sp, &p, 0.15);
+        }
+        assert!(!sp.in_fallback());
+        assert_eq!(sp.fallback_count(), 0);
+    }
+
+    #[test]
+    fn drop_coupled_sparse_marking_triggers_fallback() {
+        let p = test_params();
+        // Sparse CE marks and a loss in the same round, twice: the RTT-free
+        // classic signature (the queue overflowed while the marking signal
+        // was still a trickle).
+        let mut pr = Prague::new(&p);
+        mature_floor(&mut pr, &p, 100_000);
+        pr.on_loss(&p, 10 * p.mss as u64);
+        round(&mut pr, &p, 0.1);
+        assert!(!pr.in_fallback(), "needs {COEXIST_DETECT} coexist rounds");
+        // Evidence never decays: clear rounds in between don't erase it.
+        for _ in 0..2 * CLEAR_ROUNDS {
+            round(&mut pr, &p, 0.0);
+        }
+        pr.on_rto(&p, 10 * p.mss as u64);
+        round(&mut pr, &p, 0.2);
+        assert!(pr.in_fallback());
+        assert_eq!(pr.fallback_count(), 1);
+
+        // Loss without marks (droptail) and sparse shallow marks without
+        // loss (the DualQ coupling) never coexist in a round: silent.
+        let mut droptail = Prague::new(&p);
+        mature_floor(&mut droptail, &p, 100_000);
+        for _ in 0..20 {
+            droptail.on_loss(&p, 10 * p.mss as u64);
+            round(&mut droptail, &p, 0.0);
+        }
+        assert_eq!(droptail.fallback_count(), 0);
+
+        // Dense marks plus loss is a step AQM whose shallow buffer an incast
+        // burst blew straight through: the instantaneous queue sat far above
+        // the threshold, so the overflow round arrives saturated with marks.
+        // Congestion, not a lagging signal — silent.
+        let mut step = Prague::new(&p);
+        mature_floor(&mut step, &p, 100_000);
+        for _ in 0..20 {
+            step.on_loss(&p, 10 * p.mss as u64);
+            round(&mut step, &p, 0.9);
+            round(&mut step, &p, 0.0);
+        }
+        assert_eq!(step.fallback_count(), 0);
     }
 
     #[test]

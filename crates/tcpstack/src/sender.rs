@@ -316,6 +316,18 @@ impl Sender {
         PacketId((self.flow.0 << 20) | self.pkt_counter as u64)
     }
 
+    /// The ECT variant this flow stamps on ECN-capable packets. Scalable
+    /// congestion control (TCP Prague) uses the L4S identifier ECT(1)
+    /// (RFC 9331), which a DualQ coupled AQM classifies into its low-latency
+    /// queue; every classic controller uses ECT(0).
+    fn ect_codepoint(&self) -> EcnCodepoint {
+        if self.cong.cc.alg() == simcc::CcAlg::Prague {
+            EcnCodepoint::Ect1
+        } else {
+            EcnCodepoint::Ect0
+        }
+    }
+
     fn send_syn(&mut self, now: SimTime) {
         let flags = if self.cfg.ecn.uses_ecn() {
             TcpFlags::ecn_setup_syn()
@@ -325,7 +337,7 @@ impl Sender {
         // Stock TCP: SYNs are never ECT (paper §II-B). With the ECN++
         // extension they are, so AQMs mark instead of dropping them.
         let ecn = if self.cfg.ect_control_packets && self.cfg.ecn.uses_ecn() {
-            EcnCodepoint::Ect0
+            self.ect_codepoint()
         } else {
             EcnCodepoint::NotEct
         };
@@ -348,7 +360,7 @@ impl Sender {
 
     fn send_handshake_ack(&mut self, now: SimTime) {
         let ecn = if self.cfg.ect_control_packets && self.ecn_on {
-            EcnCodepoint::Ect0 // ECN++ extension
+            self.ect_codepoint() // ECN++ extension
         } else {
             EcnCodepoint::NotEct // pure ACKs are never ECT — the crux
         };
@@ -374,7 +386,7 @@ impl Sender {
             flags.insert(TcpFlags::CWR);
         }
         let ecn = if self.ecn_on {
-            EcnCodepoint::Ect0
+            self.ect_codepoint()
         } else {
             EcnCodepoint::NotEct
         };
@@ -919,6 +931,35 @@ mod tests {
         assert_eq!(out[1].seq, 1);
         assert_eq!(out[1].ecn, EcnCodepoint::Ect0);
         assert_eq!(out[2].seq, 1 + MSS);
+    }
+
+    #[test]
+    fn prague_sender_uses_ect1_identifier() {
+        // RFC 9331: an L4S sender sets ECT(1) on everything it would
+        // otherwise send as ECT(0), so DualQ classifies its packets into
+        // the low-latency queue. Classic senders must stay on ECT(0).
+        let mut s = Sender::new(
+            FlowId(1),
+            NodeId(0),
+            NodeId(1),
+            100_000,
+            TcpConfig::with_cc(simcc::CcAlg::Prague, EcnMode::Dctcp),
+            SimTime::ZERO,
+        );
+        let _ = s.take_outbox();
+        s.on_segment(&syn_ack(true), SimTime::from_micros(100));
+        let out = s.take_outbox();
+        assert!(out
+            .iter()
+            .filter(|p| p.payload > 0)
+            .all(|p| p.ecn == EcnCodepoint::Ect1));
+
+        let mut classic = established(100_000, EcnMode::Dctcp);
+        let out = classic.take_outbox();
+        assert!(out
+            .iter()
+            .filter(|p| p.payload > 0)
+            .all(|p| p.ecn == EcnCodepoint::Ect0));
     }
 
     #[test]
